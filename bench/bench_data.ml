@@ -1,0 +1,66 @@
+(* Materialised evaluation datasets: the five images of Figures 6-8 as
+   sample sets with seeded random k-space values, plus reduced variants for
+   quick runs. Generation is cached so every experiment sees identical
+   data. *)
+
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+
+type t = {
+  name : string;
+  n : int;  (** image dimension *)
+  g : int;  (** oversampled grid (sigma = 2) *)
+  m : int;
+  samples : Nufft.Sample.t2;
+  description : string;
+}
+
+let sigma = 2.0
+let w = 6
+
+(* K-space magnitudes decay with radius like real anatomy; keeps the
+   fixed-point accumulators well inside their range too. *)
+let values_for traj =
+  let m = Trajectory.Traj.length traj in
+  let rng = Random.State.make [| 2026 |] in
+  Cvec.init m (fun j ->
+      let r = Trajectory.Traj.radius traj j /. Float.pi in
+      let mag = 1.0 /. (1.0 +. (10.0 *. r *. r)) in
+      let phase = Random.State.float rng (2.0 *. Float.pi) in
+      C.scale mag (C.exp_i phase))
+
+let of_dataset (d : Trajectory.Dataset.t) =
+  let traj = d.Trajectory.Dataset.trajectory () in
+  let g = int_of_float (sigma *. float_of_int d.Trajectory.Dataset.n) in
+  let samples =
+    Nufft.Sample.of_omega_2d ~g ~omega_x:traj.Trajectory.Traj.omega_x
+      ~omega_y:traj.Trajectory.Traj.omega_y ~values:(values_for traj)
+  in
+  { name = d.Trajectory.Dataset.name;
+    n = d.Trajectory.Dataset.n;
+    g;
+    m = d.Trajectory.Dataset.m;
+    samples;
+    description = d.Trajectory.Dataset.description }
+
+let cache : (string, t) Hashtbl.t = Hashtbl.create 8
+
+let load d =
+  let key = d.Trajectory.Dataset.name in
+  match Hashtbl.find_opt cache key with
+  | Some v -> v
+  | None ->
+      let v = of_dataset d in
+      Hashtbl.add cache key v;
+      v
+
+let quick = ref false
+
+let images () =
+  let base = Trajectory.Dataset.all in
+  let base =
+    if !quick then List.map Trajectory.Dataset.small_variant base else base
+  in
+  List.map load base
+
+let label ds = Printf.sprintf "%s N=%dx%d M=%d" ds.name ds.n ds.n ds.m

@@ -1,0 +1,43 @@
+(* Figure 6: gridding speedups normalised to the CPU (MIRT-class serial)
+   baseline, for the five evaluation images.
+
+   Paper values (Titan Xp / 16 nm ASIC, MIRT-Matlab baseline):
+     Impatient       4, 18, 39, 9, 9          (avg ~16x)
+     Slice-and-Dice  374, 201, 248, 249, 202  (avg >250x)
+     JIGSAW          2386, 750, 943, 1728, 1759 (avg ~1500x)
+   Our baseline is compiled OCaml (several times faster than Matlab-MIRT),
+   so absolute "vs CPU" factors are smaller; the ordering and the
+   accelerator-to-accelerator ratios are the reproduction targets. *)
+
+let run () =
+  Printf.printf "\n=== Figure 6: gridding speedups (normalized to CPU serial baseline) ===\n";
+  Printf.printf "%-28s %12s %12s %12s %12s | %9s %9s %9s\n" "dataset" "cpu(ms)"
+    "binned(ms)" "slice(ms)" "jigsaw(ms)" "binned_x" "slice_x" "jigsaw_x";
+  let rows = List.map Perf_models.gridding_row (Bench_data.images ()) in
+  let speedups =
+    List.map
+      (fun r ->
+        let sb = r.Perf_models.cpu_s /. r.Perf_models.binned_s in
+        let ss = r.Perf_models.cpu_s /. r.Perf_models.slice_s in
+        let sj = r.Perf_models.cpu_s /. r.Perf_models.jigsaw_s in
+        Printf.printf "%-28s %12.3f %12.3f %12.3f %12.4f | %9.1f %9.1f %9.1f\n"
+          (Bench_data.label r.Perf_models.ds)
+          (1e3 *. r.Perf_models.cpu_s)
+          (1e3 *. r.Perf_models.binned_s)
+          (1e3 *. r.Perf_models.slice_s)
+          (1e3 *. r.Perf_models.jigsaw_s)
+          sb ss sj;
+        (sb, ss, sj))
+      rows
+  in
+  let g f = Perf_models.geomean (List.map f speedups) in
+  let avg_b = g (fun (b, _, _) -> b)
+  and avg_s = g (fun (_, s, _) -> s)
+  and avg_j = g (fun (_, _, j) -> j) in
+  Printf.printf
+    "geomean speedups: binned %.1fx  slice-and-dice %.1fx  jigsaw %.1fx\n"
+    avg_b avg_s avg_j;
+  Printf.printf
+    "accelerator ratios: slice/binned %.1fx (paper ~16x)  jigsaw/slice %.1fx \
+     (paper ~6x)  jigsaw/binned %.1fx (paper ~36-95x)\n"
+    (avg_s /. avg_b) (avg_j /. avg_s) (avg_j /. avg_b)

@@ -1,0 +1,50 @@
+(* Figure 7: end-to-end NuFFT speedups normalised to the CPU baseline.
+
+   End-to-end = gridding + oversampled 2D FFT (apodization is negligible
+   and identical across systems). The CPU pipeline uses our measured FFT;
+   the GPU/ASIC pipelines use the cuFFT-class throughput model of
+   Perf_models (the paper's GPU implementations and JIGSAW all rely on the
+   GPU FFT, which is why JIGSAW's end-to-end gain (36x vs Impatient) is far
+   below its gridding gain (95x): the FFT finally becomes the
+   bottleneck). *)
+
+let run () =
+  Printf.printf "\n=== Figure 7: end-to-end NuFFT speedups (normalized to CPU baseline) ===\n";
+  Printf.printf "%-28s %11s %11s %11s %11s | %8s %8s %8s | %s\n" "dataset"
+    "cpu(ms)" "binned(ms)" "slice(ms)" "jigsaw(ms)" "binned_x" "slice_x"
+    "jigsaw_x" "grid%jig";
+  let rows = List.map Perf_models.gridding_row (Bench_data.images ()) in
+  let speedups =
+    List.map
+      (fun r ->
+        let g = r.Perf_models.ds.Bench_data.g in
+        let cpu_fft = Perf_models.cpu_fft_2d_s ~g in
+        let gpu_fft = Perf_models.gpu_fft_2d_s ~g in
+        let cpu = r.Perf_models.cpu_s +. cpu_fft in
+        let binned = r.Perf_models.binned_s +. gpu_fft in
+        let slice = r.Perf_models.slice_s +. gpu_fft in
+        let jigsaw = r.Perf_models.jigsaw_s +. gpu_fft in
+        let frac = r.Perf_models.jigsaw_s /. jigsaw in
+        Printf.printf
+          "%-28s %11.3f %11.3f %11.3f %11.3f | %8.1f %8.1f %8.1f | %5.0f%%\n"
+          (Bench_data.label r.Perf_models.ds)
+          (1e3 *. cpu) (1e3 *. binned) (1e3 *. slice) (1e3 *. jigsaw)
+          (cpu /. binned) (cpu /. slice) (cpu /. jigsaw) (100.0 *. frac);
+        (cpu /. binned, cpu /. slice, cpu /. jigsaw, frac,
+         r.Perf_models.slice_s /. gpu_fft))
+      rows
+  in
+  let g f = Perf_models.geomean (List.map f speedups) in
+  Printf.printf
+    "geomean end-to-end speedups: binned %.1fx  slice %.1fx  jigsaw %.1fx\n"
+    (g (fun (b, _, _, _, _) -> b))
+    (g (fun (_, s, _, _, _) -> s))
+    (g (fun (_, _, j, _, _) -> j));
+  Printf.printf
+    "slice gridding/FFT balance: %.2f (paper: ~1, \"equal gridding and FFT \
+     computation time\")\n"
+    (g (fun (_, _, _, _, ratio) -> ratio));
+  Printf.printf
+    "jigsaw gridding share of end-to-end: %.0f%% (paper: ~25%%, \"FFT the \
+     bottleneck for the first time\")\n"
+    (100.0 *. g (fun (_, _, _, f, _) -> f))

@@ -1,0 +1,41 @@
+(* Figure 8: energy of the gridding implementations.
+
+   Paper: Impatient averages 1.95 J, Slice-and-Dice GPU 108.27 mJ, JIGSAW
+   83.89 uJ — i.e. ~23000x less than Impatient and ~1300x less than
+   Slice-and-Dice GPU for the ASIC. GPU energies come from the simulator's
+   activity-scaled board-power model; JIGSAW's from the synthesised power
+   (Table II) times its cycle-exact runtime. *)
+
+let run () =
+  Printf.printf "\n=== Figure 8: gridding energy ===\n";
+  Printf.printf "%-28s %14s %14s %14s | %12s %12s\n" "dataset" "binned(mJ)"
+    "slice(mJ)" "jigsaw(uJ)" "bin/jig" "slice/jig";
+  let rows = List.map Perf_models.gridding_row (Bench_data.images ()) in
+  let ratios =
+    List.map
+      (fun r ->
+        let e_binned =
+          r.Perf_models.binned_result.Gpusim.Sim.energy_j
+          +. r.Perf_models.presort_result.Gpusim.Sim.energy_j
+        in
+        let e_slice = r.Perf_models.slice_result.Gpusim.Sim.energy_j in
+        let cfg = Perf_models.jigsaw_config r.Perf_models.ds in
+        let e_jigsaw =
+          Jigsaw.Synthesis.energy_j
+            ~cycles:
+              (r.Perf_models.ds.Bench_data.m
+              + cfg.Jigsaw.Config.pipeline_depth_2d)
+            ~clock_ghz:cfg.Jigsaw.Config.clock_ghz ()
+        in
+        Printf.printf "%-28s %14.3f %14.3f %14.2f | %12.0f %12.0f\n"
+          (Bench_data.label r.Perf_models.ds)
+          (1e3 *. e_binned) (1e3 *. e_slice) (1e6 *. e_jigsaw)
+          (e_binned /. e_jigsaw) (e_slice /. e_jigsaw);
+        (e_binned /. e_jigsaw, e_slice /. e_jigsaw))
+      rows
+  in
+  Printf.printf
+    "geomean energy reductions: jigsaw vs binned %.0fx (paper ~23000x), \
+     jigsaw vs slice GPU %.0fx (paper ~1300x)\n"
+    (Perf_models.geomean (List.map fst ratios))
+    (Perf_models.geomean (List.map snd ratios))

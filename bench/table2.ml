@@ -1,0 +1,30 @@
+(* Table II: JIGSAW synthesis results (16 nm, 1.0 GHz), plus the derived
+   observations the paper makes about them (SRAM dominance, 3D power). *)
+
+let run () =
+  Printf.printf "\n=== Table II: JIGSAW synthesis results (16 nm, 1.0 GHz) ===\n";
+  Printf.printf "  %-28s %12s %12s\n" "variant" "power (mW)" "area (mm2)";
+  List.iter
+    (fun (name, m) ->
+      Printf.printf "  %-28s %12.2f %12.2f\n" name
+        m.Jigsaw.Synthesis.power_mw m.Jigsaw.Synthesis.area_mm2)
+    Jigsaw.Synthesis.table;
+  let full = Jigsaw.Synthesis.with_accum_sram Jigsaw.Synthesis.Two_d in
+  let sram = Jigsaw.Synthesis.sram_contribution Jigsaw.Synthesis.Two_d in
+  Printf.printf
+    "  2D accumulation SRAM share: %.0f%% of area (paper ~95%%), %.0f%% of \
+     power (paper >56%%)\n"
+    (100.0 *. sram.Jigsaw.Synthesis.area_mm2 /. full.Jigsaw.Synthesis.area_mm2)
+    (100.0 *. sram.Jigsaw.Synthesis.power_mw /. full.Jigsaw.Synthesis.power_mw);
+  let p3 = (Jigsaw.Synthesis.with_accum_sram Jigsaw.Synthesis.Three_d_slice).Jigsaw.Synthesis.power_mw in
+  Printf.printf
+    "  3D Slice draws less power than 2D (%.2f vs %.2f mW): reduced \
+     switching, each slice fully processes only ~M/Nz samples\n"
+    p3 full.Jigsaw.Synthesis.power_mw;
+  (* Cross-check the SRAM budget against the configuration model. *)
+  let cfg = Jigsaw.Config.make ~n:1024 ~w:8 ~l:64 () in
+  Printf.printf
+    "  config model: accumulation SRAM %d bytes (8 MiB), weight SRAM %d \
+     entries per dimension (fits 257)\n"
+    (Jigsaw.Config.accum_sram_bytes cfg)
+    (Jigsaw.Config.weight_sram_entries cfg)

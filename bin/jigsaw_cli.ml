@@ -1,0 +1,293 @@
+(* jigsaw_cli: command-line driver for the Jigsaw / Slice-and-Dice
+   reproduction.
+
+   Subcommands:
+     grid    generate a trajectory, grid it with a chosen backend, report
+             timing/stats and optionally validate against the serial
+             reference
+     recon   reconstruct the Shepp-Logan phantom from a simulated
+             acquisition and write a PGM image
+     accuracy  adjoint-NuFFT error vs the exact NuDFT (tabulated KB and
+             exact min-max interpolation)
+     info    print the hardware models' parameters (Table I / Table II)   *)
+
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers *)
+
+let make_trajectory kind m n =
+  match kind with
+  | "radial" ->
+      let readout = 2 * n in
+      let spokes = max 1 (m / readout) in
+      Trajectory.Radial.make ~spokes ~readout ()
+  | "spiral" ->
+      Trajectory.Spiral.make ~samples_per_interleave:m
+        ~turns:(float_of_int n /. 8.0) ()
+  | "rosette" -> Trajectory.Rosette.make ~samples:m ()
+  | "random" -> Trajectory.Random_traj.make ~samples:m ()
+  | "cartesian" -> Trajectory.Cartesian.make ~n
+  | other -> failwith (Printf.sprintf "unknown trajectory %S" other)
+
+let samples_of_traj ~g ~seed traj =
+  let m = Trajectory.Traj.length traj in
+  let rng = Random.State.make [| seed |] in
+  let values =
+    Cvec.init m (fun _ ->
+        C.make
+          (0.2 *. (Random.State.float rng 2.0 -. 1.0))
+          (0.2 *. (Random.State.float rng 2.0 -. 1.0)))
+  in
+  Nufft.Sample.of_omega_2d ~g ~omega_x:traj.Trajectory.Traj.omega_x
+    ~omega_y:traj.Trajectory.Traj.omega_y ~values
+
+let parse_engine ~w s =
+  match String.lowercase_ascii s with
+  | "serial" -> `Cpu Nufft.Gridding.Serial
+  | "output" -> `Cpu Nufft.Gridding.Output_parallel
+  | "binned" -> `Cpu (Nufft.Gridding.Binned 8)
+  | "slice" -> `Cpu (Nufft.Gridding.Slice_and_dice (max 8 w))
+  | "jigsaw" -> `Jigsaw
+  | "gpu-slice" -> `Gpu `Slice
+  | "gpu-binned" -> `Gpu `Binned
+  | other -> failwith (Printf.sprintf "unknown backend %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* grid subcommand *)
+
+let run_grid n traj_kind m backend w l seed validate =
+  let g = 2 * n in
+  let traj = make_trajectory traj_kind m n in
+  let s = samples_of_traj ~g ~seed traj in
+  let m = Nufft.Sample.length s in
+  Printf.printf "gridding %d %s samples onto %dx%d (w=%d, l=%d)\n" m traj_kind
+    g g w l;
+  let kernel = Numerics.Window.default_kaiser_bessel ~width:w ~sigma:2.0 in
+  let table = Numerics.Weight_table.make ~kernel ~width:w ~l () in
+  let reference () =
+    Nufft.Gridding_serial.grid_2d ~table ~g ~gx:s.Nufft.Sample.gx
+      ~gy:s.Nufft.Sample.gy s.Nufft.Sample.values
+  in
+  (match parse_engine ~w backend with
+  | `Cpu engine ->
+      let stats = Nufft.Gridding_stats.create () in
+      let t0 = Unix.gettimeofday () in
+      let grid =
+        Nufft.Gridding.grid_2d ~stats engine ~table ~g ~gx:s.Nufft.Sample.gx
+          ~gy:s.Nufft.Sample.gy s.Nufft.Sample.values
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "%s: %.3f ms (CPU, instrumented)\n"
+        (Nufft.Gridding.engine_name engine)
+        (1e3 *. dt);
+      Format.printf "stats: %a@." Nufft.Gridding_stats.pp stats;
+      if validate then
+        Printf.printf "max deviation vs serial reference: %g\n"
+          (Cvec.max_abs_diff (reference ()) grid)
+  | `Jigsaw ->
+      let l = min l 64 in
+      let cfg = Jigsaw.Config.make ~n:g ~w ~l () in
+      let jt =
+        Numerics.Weight_table.make ~precision:Numerics.Weight_table.Fixed16
+          ~kernel ~width:w ~l ()
+      in
+      let e = Jigsaw.Engine2d.create cfg ~table:jt in
+      Jigsaw.Engine2d.stream e ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy
+        s.Nufft.Sample.values;
+      Printf.printf
+        "jigsaw: %d cycles (M+12) = %.3f ms at 1 GHz; %.2f uJ; saturations %d\n"
+        (Jigsaw.Engine2d.gridding_cycles e)
+        (1e3 *. Jigsaw.Engine2d.gridding_time_s e)
+        (1e6
+        *. Jigsaw.Synthesis.energy_j
+             ~cycles:(Jigsaw.Engine2d.gridding_cycles e)
+             ~clock_ghz:1.0 ())
+        (Jigsaw.Engine2d.saturation_events e);
+      if validate then
+        Printf.printf "NRMSD vs serial double reference: %.3e\n"
+          (Cvec.nrmsd ~reference:(reference ()) (Jigsaw.Engine2d.readout e))
+  | `Gpu which ->
+      let p = Gpusim.Kernels.problem_of_samples ~w s in
+      let result =
+        match which with
+        | `Slice -> Gpusim.Sim.run (Gpusim.Kernels.slice_and_dice p)
+        | `Binned -> Gpusim.Sim.run (Gpusim.Kernels.binned p)
+      in
+      Format.printf "simulated Titan Xp (%s):@.%a@."
+        (match which with `Slice -> "slice-and-dice" | `Binned -> "binned")
+        Gpusim.Sim.pp_result result);
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* recon subcommand *)
+
+let run_recon n spokes output =
+  let plan = Nufft.Plan.make ~n () in
+  let phantom = Imaging.Phantom.make ~n () in
+  let spokes =
+    match spokes with
+    | Some s -> s
+    | None -> Trajectory.Radial.fully_sampled_spokes ~n
+  in
+  let traj = Trajectory.Radial.make ~spokes ~readout:(2 * n) () in
+  let density = Trajectory.Radial.density_weights traj in
+  let recon, _ = Imaging.Recon.roundtrip ~density plan traj phantom in
+  let err = Imaging.Metrics.nrmsd_scaled ~reference:phantom recon in
+  Imaging.Pgm.write_magnitude ~path:output ~n recon;
+  Printf.printf
+    "reconstructed %dx%d phantom from %d spokes (%d samples): scaled NRMSD \
+     %.3f -> %s\n"
+    n n spokes (Trajectory.Traj.length traj) err output;
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* accuracy subcommand *)
+
+let run_accuracy n m w sigma l seed =
+  if n > 48 then
+    failwith "accuracy: n must be <= 48 (the exact NuDFT reference is O(M n^2))";
+  let rng = Random.State.make [| seed |] in
+  let omega () =
+    Array.init m (fun _ -> Random.State.float rng (2.0 *. Float.pi) -. Float.pi)
+  in
+  let ox = omega () and oy = omega () in
+  let values =
+    Cvec.init m (fun _ ->
+        C.make
+          (Random.State.float rng 2.0 -. 1.0)
+          (Random.State.float rng 2.0 -. 1.0))
+  in
+  let exact = Nufft.Nudft.adjoint_2d ~n ~omega_x:ox ~omega_y:oy ~values in
+  let plan = Nufft.Plan.make ~n ~w ~sigma ~l () in
+  let g = plan.Nufft.Plan.g in
+  let samples = Nufft.Sample.of_omega_2d ~g ~omega_x:ox ~omega_y:oy ~values in
+  let fast = Nufft.Plan.adjoint_2d plan samples in
+  Printf.printf
+    "adjoint NuFFT vs exact NuDFT (n=%d, m=%d, w=%d, sigma=%g, L=%d, g=%d):\n"
+    n m w sigma l g;
+  Printf.printf "  kaiser-bessel table:  NRMSD %.3e\n"
+    (Cvec.nrmsd ~reference:exact fast);
+  let mm =
+    Nufft.Minmax.adjoint_2d ~scaling:Nufft.Minmax.Kaiser_bessel_scaling ~n ~g
+      ~w ~gx:samples.Nufft.Sample.gx ~gy:samples.Nufft.Sample.gy values
+  in
+  Printf.printf "  exact min-max:        NRMSD %.3e\n"
+    (Cvec.nrmsd ~reference:exact mm);
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* info subcommand *)
+
+let run_info () =
+  print_endline "JIGSAW model parameters (paper Tables I & II)";
+  print_endline "  Table I ranges: N 8-1024, T 8, W 1-8, L 1-64 (pow2),";
+  print_endline "                  32-bit fixed-point pipeline, 16-bit weights";
+  List.iter
+    (fun (name, m) ->
+      Printf.printf "  %-28s %8.2f mW %8.2f mm2\n" name
+        m.Jigsaw.Synthesis.power_mw m.Jigsaw.Synthesis.area_mm2)
+    Jigsaw.Synthesis.table;
+  let gpu = Gpusim.Config.titan_xp in
+  Printf.printf
+    "  GPU model: %d SMs @ %.2f GHz, L2 %d KiB, DRAM %.0f B/cycle\n"
+    gpu.Gpusim.Config.num_sms gpu.Gpusim.Config.clock_ghz
+    (gpu.Gpusim.Config.l2.Cachesim.Cache.size_bytes / 1024)
+    gpu.Gpusim.Config.dram.Cachesim.Dram.bytes_per_cycle;
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner plumbing *)
+
+open Cmdliner
+
+let n_arg =
+  Arg.(value & opt int 128 & info [ "n" ] ~docv:"N" ~doc:"Image size per side.")
+
+let traj_arg =
+  Arg.(
+    value
+    & opt string "radial"
+    & info [ "t"; "trajectory" ] ~docv:"KIND"
+        ~doc:"Trajectory: radial, spiral, rosette, random, cartesian.")
+
+let m_arg =
+  Arg.(
+    value & opt int 50000
+    & info [ "m"; "samples" ] ~docv:"M" ~doc:"Approximate sample count.")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt string "slice"
+    & info [ "b"; "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Gridding backend: serial, output, binned, slice, jigsaw, \
+           gpu-slice, gpu-binned.")
+
+let w_arg = Arg.(value & opt int 6 & info [ "w" ] ~docv:"W" ~doc:"Window width.")
+
+let l_arg =
+  Arg.(
+    value & opt int 512
+    & info [ "l" ] ~docv:"L" ~doc:"Table oversampling factor.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Value RNG seed.")
+
+let validate_arg =
+  Arg.(
+    value & flag
+    & info [ "validate" ] ~doc:"Compare against the serial double reference.")
+
+let grid_cmd =
+  let doc = "grid a non-uniform acquisition with a chosen backend" in
+  Cmd.v (Cmd.info "grid" ~doc)
+    Term.(
+      ret
+        (const run_grid $ n_arg $ traj_arg $ m_arg $ backend_arg $ w_arg
+       $ l_arg $ seed_arg $ validate_arg))
+
+let recon_cmd =
+  let doc = "reconstruct the Shepp-Logan phantom from radial k-space" in
+  let spokes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "spokes" ] ~docv:"S" ~doc:"Spoke count (default: Nyquist).")
+  in
+  let output =
+    Arg.(
+      value & opt string "recon.pgm"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output PGM path.")
+  in
+  Cmd.v (Cmd.info "recon" ~doc)
+    Term.(ret (const run_recon $ n_arg $ spokes $ output))
+
+let info_cmd =
+  let doc = "print hardware-model parameters" in
+  Cmd.v (Cmd.info "info" ~doc) Term.(ret (const run_info $ const ()))
+
+let accuracy_cmd =
+  let doc = "measure adjoint-NuFFT accuracy against the exact NuDFT" in
+  let n =
+    Arg.(value & opt int 24 & info [ "n" ] ~docv:"N" ~doc:"Image size (<= 48).")
+  in
+  let m =
+    Arg.(value & opt int 300 & info [ "m" ] ~docv:"M" ~doc:"Sample count.")
+  in
+  let sigma =
+    Arg.(
+      value & opt float 2.0
+      & info [ "sigma" ] ~docv:"S" ~doc:"Oversampling factor.")
+  in
+  Cmd.v (Cmd.info "accuracy" ~doc)
+    Term.(ret (const run_accuracy $ n $ m $ w_arg $ sigma $ l_arg $ seed_arg))
+
+let main_cmd =
+  let doc = "Slice-and-Dice / JIGSAW NuFFT acceleration reproduction" in
+  Cmd.group (Cmd.info "jigsaw_cli" ~doc)
+    [ grid_cmd; recon_cmd; accuracy_cmd; info_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

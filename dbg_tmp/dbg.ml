@@ -1,0 +1,21 @@
+module C = Numerics.Complexd
+module Cvec = Numerics.Cvec
+let () =
+  let n = 32 and m = 200 in
+  let rng = Random.State.make [| 5 |] in
+  let omega () = Array.init m (fun _ -> Random.State.float rng (2.0 *. Float.pi) -. Float.pi) in
+  let ox = omega () and oy = omega () in
+  let values = Cvec.init m (fun _ ->
+      C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
+  let exact = Nufft.Nudft.adjoint_2d ~n ~omega_x:ox ~omega_y:oy ~values in
+  List.iter (fun w ->
+    let plan = Nufft.Plan.make ~n ~w ~l:2048 () in
+    let g = plan.Nufft.Plan.g in
+    let s = Nufft.Sample.of_omega_2d ~g ~omega_x:ox ~omega_y:oy ~values in
+    let kb = Nufft.Plan.adjoint_2d plan s in
+    let mm = Nufft.Minmax.adjoint_2d ~n ~g ~w ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy values in
+    let mmk = Nufft.Minmax.adjoint_2d ~scaling:Nufft.Minmax.Kaiser_bessel_scaling
+        ~n ~g ~w ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy values in
+    Printf.printf "w=%d  KB %.3e   mm-uniform %.3e   mm-kb-scaled %.3e\n"
+      w (Cvec.nrmsd ~reference:exact kb) (Cvec.nrmsd ~reference:exact mm)
+      (Cvec.nrmsd ~reference:exact mmk)) [2;4;6]

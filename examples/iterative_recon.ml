@@ -1,0 +1,67 @@
+(* Iterative (model-based) MRI reconstruction — the emerging workload the
+   paper's introduction says makes NuFFT throughput critical ("millions of
+   NuFFTs are taken iteratively to reconstruct a single volume").
+
+   Solves the regularised normal equations (A^H A + lambda I) x = A^H y
+   with conjugate gradients, applying the Gram operator through its
+   Toeplitz embedding (two 2N-point FFTs per iteration, no gridding after
+   setup — the structure of the Impatient framework the paper compares
+   against). Compares against one-shot density-compensated gridding
+   reconstruction at two undersampling levels.
+
+   Run with:  dune exec examples/iterative_recon.exe *)
+
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+
+let n = 64
+
+let () =
+  let plan = Nufft.Plan.make ~n () in
+  let phantom = Imaging.Phantom.make ~n () in
+  let full = Trajectory.Radial.fully_sampled_spokes ~n in
+  List.iter
+    (fun (tag, spokes) ->
+      let traj = Trajectory.Radial.make ~spokes ~readout:(2 * n) () in
+      let samples = Imaging.Recon.acquire plan traj phantom in
+      (* Direct: density-compensated adjoint. *)
+      let density = Trajectory.Radial.density_weights traj in
+      let direct = Imaging.Recon.reconstruct ~density plan samples in
+      let direct_err = Imaging.Metrics.nrmsd_scaled ~reference:phantom direct in
+      (* Iterative: CG on the Toeplitz normal operator. *)
+      let t0 = Unix.gettimeofday () in
+      let top =
+        Imaging.Toeplitz.make ~n ~omega_x:traj.Trajectory.Traj.omega_x
+          ~omega_y:traj.Trajectory.Traj.omega_y ()
+      in
+      let setup = Unix.gettimeofday () -. t0 in
+      let b = Imaging.Cg.normal_equations_rhs ~plan samples in
+      let lambda = 1e-3 *. sqrt (Cvec.norm2 b) in
+      let apply x =
+        let tx = Imaging.Toeplitz.apply top x in
+        Cvec.iteri
+          (fun k c -> Cvec.set tx k (C.add (Cvec.get tx k) (C.scale lambda c)))
+          x;
+        tx
+      in
+      let t1 = Unix.gettimeofday () in
+      let r = Imaging.Cg.solve ~max_iterations:25 ~tolerance:1e-6 ~apply b in
+      let solve = Unix.gettimeofday () -. t1 in
+      let cg_err =
+        Imaging.Metrics.nrmsd_scaled ~reference:phantom r.Imaging.Cg.solution
+      in
+      let path = Printf.sprintf "iter_recon_%s.pgm" tag in
+      Imaging.Pgm.write_magnitude ~path ~n r.Imaging.Cg.solution;
+      Printf.printf
+        "%-6s %3d spokes: direct NRMSD %.4f | CG(%2d iters%s) NRMSD %.4f \
+         [setup %.2fs, solve %.2fs] -> %s\n"
+        tag spokes direct_err r.Imaging.Cg.iterations
+        (if r.Imaging.Cg.converged then ", converged" else "")
+        cg_err setup solve path)
+    [ ("full", full); ("third", full / 3) ];
+  Printf.printf
+    "CG wins where it matters — under undersampling, where no one-shot \
+     density compensation can undo the point-spread function; at full \
+     sampling both reconstructions are Gibbs-limited. Each CG iteration \
+     costs one Gram-operator application (two 2N FFTs here; a forward + \
+     adjoint NuFFT without the Toeplitz trick).\n"

@@ -1,0 +1,41 @@
+(* End-to-end MRI reconstruction demo — the workload the paper's
+   introduction motivates.
+
+   Simulates a radial MRI acquisition of the Shepp-Logan phantom with the
+   forward NuFFT, then reconstructs with density-compensated adjoint NuFFT
+   (gridding reconstruction) at three undersampling levels, writing PGM
+   images you can open with any viewer.
+
+   Run with:  dune exec examples/mri_radial_recon.exe *)
+
+let n = 128
+
+let () =
+  let plan = Nufft.Plan.make ~n () in
+  let phantom = Imaging.Phantom.make ~n () in
+  Imaging.Pgm.write_magnitude ~path:"recon_phantom.pgm" ~n phantom;
+  Printf.printf "Phantom %dx%d written to recon_phantom.pgm\n" n n;
+  let full_spokes = Trajectory.Radial.fully_sampled_spokes ~n in
+  List.iter
+    (fun (tag, spokes) ->
+      let traj = Trajectory.Radial.make ~spokes ~readout:(2 * n) () in
+      let density = Trajectory.Radial.density_weights traj in
+      let t0 = Unix.gettimeofday () in
+      let recon, _ = Imaging.Recon.roundtrip ~density plan traj phantom in
+      let dt = Unix.gettimeofday () -. t0 in
+      let err = Imaging.Metrics.nrmsd_scaled ~reference:phantom recon in
+      let psnr = Imaging.Metrics.psnr ~reference:phantom recon in
+      let path = Printf.sprintf "recon_radial_%s.pgm" tag in
+      Imaging.Pgm.write_magnitude ~path ~n recon;
+      Printf.printf
+        "%-16s %4d spokes, %6d samples: scaled NRMSD %.3f, PSNR %5.1f dB, \
+         %.2f s -> %s\n"
+        tag spokes
+        (Trajectory.Traj.length traj)
+        err psnr dt path)
+    [ ("full", full_spokes);
+      ("half", full_spokes / 2);
+      ("eighth", full_spokes / 8) ];
+  Printf.printf
+    "Expect: quality degrades gracefully with undersampling (streak \
+     artifacts), the hallmark of radial imaging.\n"

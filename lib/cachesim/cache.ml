@@ -1,0 +1,102 @@
+type config = {
+  size_bytes : int;
+  line_bytes : int;
+  ways : int;
+}
+
+let titan_xp_l2 = { size_bytes = 3 * 1024 * 1024; line_bytes = 128; ways = 24 }
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type t = {
+  cfg : config;
+  n_sets : int;
+  tags : int array;  (** [set * ways + way]; -1 = invalid *)
+  last_use : int array;  (** LRU timestamps, same indexing *)
+  mutable clock : int;
+  st : stats;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create cfg =
+  if cfg.size_bytes <= 0 || cfg.line_bytes <= 0 || cfg.ways <= 0 then
+    invalid_arg "Cache.create: non-positive geometry";
+  if not (is_pow2 cfg.line_bytes) then
+    invalid_arg "Cache.create: line_bytes must be a power of two";
+  if cfg.size_bytes mod (cfg.line_bytes * cfg.ways) <> 0 then
+    invalid_arg "Cache.create: size must be a multiple of line*ways";
+  let n_sets = cfg.size_bytes / (cfg.line_bytes * cfg.ways) in
+  { cfg;
+    n_sets;
+    tags = Array.make (n_sets * cfg.ways) (-1);
+    last_use = Array.make (n_sets * cfg.ways) 0;
+    clock = 0;
+    st = { hits = 0; misses = 0; evictions = 0 } }
+
+let set_and_tag t addr =
+  let line = addr / t.cfg.line_bytes in
+  (line mod t.n_sets, line / t.n_sets)
+
+let probe t addr =
+  let set, tag = set_and_tag t addr in
+  let base = set * t.cfg.ways in
+  let rec go w = w < t.cfg.ways && (t.tags.(base + w) = tag || go (w + 1)) in
+  go 0
+
+let access t addr =
+  t.clock <- t.clock + 1;
+  let set, tag = set_and_tag t addr in
+  let base = set * t.cfg.ways in
+  let hit_way = ref (-1) in
+  for w = 0 to t.cfg.ways - 1 do
+    if t.tags.(base + w) = tag then hit_way := w
+  done;
+  if !hit_way >= 0 then begin
+    t.last_use.(base + !hit_way) <- t.clock;
+    t.st.hits <- t.st.hits + 1;
+    true
+  end
+  else begin
+    t.st.misses <- t.st.misses + 1;
+    (* Fill: free way if any, else evict LRU. *)
+    let victim = ref 0 and oldest = ref max_int in
+    (try
+       for w = 0 to t.cfg.ways - 1 do
+         if t.tags.(base + w) = -1 then begin
+           victim := w;
+           raise Exit
+         end;
+         if t.last_use.(base + w) < !oldest then begin
+           oldest := t.last_use.(base + w);
+           victim := w
+         end
+       done;
+       t.st.evictions <- t.st.evictions + 1
+     with Exit -> ());
+    t.tags.(base + !victim) <- tag;
+    t.last_use.(base + !victim) <- t.clock;
+    false
+  end
+
+let stats t = t.st
+
+let hit_rate t =
+  let total = t.st.hits + t.st.misses in
+  if total = 0 then 0.0 else float_of_int t.st.hits /. float_of_int total
+
+let reset_stats t =
+  t.st.hits <- 0;
+  t.st.misses <- 0;
+  t.st.evictions <- 0
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.last_use 0 (Array.length t.last_use) 0
+
+let sets t = t.n_sets
+let config t = t.cfg

@@ -1,0 +1,48 @@
+(** Set-associative cache model with LRU replacement.
+
+    Used as the L2 of the GPU timing simulator ({!Gpusim}): the paper's
+    explanation of why Slice-and-Dice beats binning on GPUs rests on L2 hit
+    rates (~98% vs ~80%, §VI-A), so the memory system is simulated rather
+    than assumed. Addresses are byte addresses; a cache of [size_bytes]
+    with [line_bytes] lines and [ways]-way associativity has
+    [size/(line*ways)] sets indexed by the low line-address bits. *)
+
+type config = {
+  size_bytes : int;
+  line_bytes : int;  (** must be a power of two *)
+  ways : int;
+}
+
+val titan_xp_l2 : config
+(** 3 MiB, 128-byte lines, 24-way — the Pascal-class L2 of the paper's
+    evaluation GPU. *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type t
+
+val create : config -> t
+(** Raises [Invalid_argument] for inconsistent geometry (non-power-of-two
+    line size, size not divisible by line*ways, non-positive fields). *)
+
+val access : t -> int -> bool
+(** [access t addr] touches the line containing byte [addr]; returns [true]
+    on hit. A miss fills the line (evicting LRU if the set is full). *)
+
+val probe : t -> int -> bool
+(** Non-mutating lookup: would [addr] hit right now? *)
+
+val stats : t -> stats
+val hit_rate : t -> float
+(** Hits / accesses, 0 if never accessed. *)
+
+val reset_stats : t -> unit
+val flush : t -> unit
+(** Invalidate all lines (stats preserved). *)
+
+val sets : t -> int
+val config : t -> config

@@ -1,0 +1,48 @@
+type config = {
+  latency_cycles : int;
+  bytes_per_cycle : float;
+}
+
+let titan_xp = { latency_cycles = 400; bytes_per_cycle = 346.0 }
+let ddr4_host = { latency_cycles = 60; bytes_per_cycle = 20.0 }
+
+let epoch_cycles = 256
+
+type t = {
+  cfg : config;
+  used : (int, int) Hashtbl.t;  (** window index -> bytes booked *)
+  mutable last_window : int;
+  mutable bytes : int;
+}
+
+let create cfg =
+  if cfg.latency_cycles < 0 || cfg.bytes_per_cycle <= 0.0 then
+    invalid_arg "Dram.create: bad config";
+  { cfg; used = Hashtbl.create 64; last_window = 0; bytes = 0 }
+
+let capacity cfg =
+  max 1 (int_of_float (cfg.bytes_per_cycle *. float_of_int epoch_cycles))
+
+let request t ~now ~bytes =
+  let cap = capacity t.cfg in
+  let w = ref (max 0 (now / epoch_cycles)) in
+  let booked w = Option.value ~default:0 (Hashtbl.find_opt t.used w) in
+  while booked !w + bytes > cap && booked !w > 0 do
+    incr w
+  done;
+  Hashtbl.replace t.used !w (booked !w + bytes);
+  if !w > t.last_window then t.last_window <- !w;
+  t.bytes <- t.bytes + bytes;
+  let transfer =
+    int_of_float (Float.ceil (float_of_int bytes /. t.cfg.bytes_per_cycle))
+  in
+  let start = max now (!w * epoch_cycles) in
+  start + transfer + t.cfg.latency_cycles
+
+let busy_until t = (t.last_window + 1) * epoch_cycles
+let total_bytes t = t.bytes
+
+let reset t =
+  Hashtbl.reset t.used;
+  t.last_window <- 0;
+  t.bytes <- 0

@@ -1,0 +1,41 @@
+(** DRAM timing model: fixed access latency plus a shared, epoch-bucketed
+    bandwidth pipe.
+
+    Bandwidth is enforced per {!epoch_cycles}-cycle window: each request
+    consumes capacity in the earliest window (at or after its arrival) with
+    room, so requests arriving in any order within a window share the pipe
+    fairly — which is what lets the GPU simulator co-simulate SMs in time
+    quanta without serialising one SM's traffic behind another's. A full
+    window pushes the request into later windows: that is how miss-heavy
+    kernels become bandwidth-bound ("massive memory bandwidth utilization
+    problems", paper §I) no matter how much latency the scheduler hides. *)
+
+type config = {
+  latency_cycles : int;  (** row access latency *)
+  bytes_per_cycle : float;  (** peak sustained bandwidth per core cycle *)
+}
+
+val titan_xp : config
+(** 547 GB/s at 1.58 GHz core clock (~346 B/cycle), ~400-cycle latency. *)
+
+val ddr4_host : config
+(** ~20 GB/s at 1.0 GHz (the JIGSAW DMA stream rate, §IV). *)
+
+val epoch_cycles : int
+(** Bandwidth accounting window (256 cycles). *)
+
+type t
+
+val create : config -> t
+
+val request : t -> now:int -> bytes:int -> int
+(** [request t ~now ~bytes] books the transfer in the earliest window with
+    capacity and returns the completion cycle
+    (window start + transfer + latency, never before
+    [now + transfer + latency]). *)
+
+val busy_until : t -> int
+(** End of the last window with any booked traffic. *)
+
+val total_bytes : t -> int
+val reset : t -> unit

@@ -1,0 +1,31 @@
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+
+let factors ~kernel ~width ~n ~g =
+  let f =
+    Array.init n (fun i ->
+        let freq = float_of_int (i - (n / 2)) /. float_of_int g in
+        Numerics.Window.ft kernel ~width freq)
+  in
+  Array.iteri
+    (fun i v ->
+      if Float.abs v < 1e-12 then
+        failwith
+          (Printf.sprintf
+             "Apodization.factors: psi_hat vanishes at index %d (kernel too \
+              narrow for this oversampling)"
+             i))
+    f;
+  f
+
+let divide_2d ~factors ~n image =
+  if Cvec.length image <> n * n then
+    invalid_arg "Apodization: image size mismatch";
+  if Array.length factors <> n then
+    invalid_arg "Apodization: factors length mismatch";
+  Cvec.init (n * n) (fun idx ->
+      let ix = idx mod n and iy = idx / n in
+      C.scale (1.0 /. (factors.(ix) *. factors.(iy))) (Cvec.get image idx))
+
+let deapodize_2d = divide_2d
+let apodize_2d = divide_2d

@@ -1,0 +1,27 @@
+(** Apodization (amplitude weighting) factors for the NuFFT (paper §II-B).
+
+    Spreading samples with window [psi] multiplies the image domain by
+    [psi_hat] (the window's continuous Fourier transform); the adjoint NuFFT
+    therefore divides the cropped image by these factors
+    ("de-apodization"), and the forward NuFFT pre-divides the image before
+    its FFT ("pre-apodization"). Factors are separable across dimensions, so
+    a single per-dimension vector suffices. *)
+
+val factors :
+  kernel:Numerics.Window.t -> width:int -> n:int -> g:int -> float array
+(** [factors ~kernel ~width ~n ~g] is the length-[n] vector
+    [psi_hat ((i - n/2) / g)] for [i in 0..n-1]: the image-domain gain at
+    each centred position for an oversampled grid of [g] points. All values
+    are checked to be bounded away from zero (the oversampling margin
+    guarantees this for sane kernels); raises [Failure] otherwise. *)
+
+val deapodize_2d :
+  factors:float array -> n:int -> Numerics.Cvec.t -> Numerics.Cvec.t
+(** Divide an [n x n] image by the separable factor product
+    [factors.(ix) * factors.(iy)] (out of place). *)
+
+val apodize_2d :
+  factors:float array -> n:int -> Numerics.Cvec.t -> Numerics.Cvec.t
+(** The same division — pre-apodization of the forward NuFFT is also a
+    division by [psi_hat] (the two operations coincide; the name reflects
+    the pipeline stage). *)

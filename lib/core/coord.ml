@@ -1,0 +1,60 @@
+let window_start ~w u =
+  int_of_float (Float.floor (u +. (float_of_int w /. 2.0))) - w + 1
+
+let wrap ~g k =
+  let r = k mod g in
+  if r < 0 then r + g else r
+
+let iter_window ~w ~g u f =
+  let start = window_start ~w u in
+  for j = 0 to w - 1 do
+    let k = start + j in
+    f ~k:(wrap ~g k) ~dist:(float_of_int k -. u)
+  done
+
+type column_hit = {
+  k_wrapped : int;
+  tile : int;
+  dist : float;
+  wrapped_tile : bool;
+}
+
+let decompose ~t u =
+  if u < 0.0 then invalid_arg "Coord.decompose: negative coordinate";
+  let q = int_of_float (Float.floor (u /. float_of_int t)) in
+  (q, u -. float_of_int (q * t))
+
+let check_tiling ~t ~g ~w =
+  if w < 1 then invalid_arg "Coord: window width must be >= 1";
+  if t < 1 then invalid_arg "Coord: tile size must be >= 1";
+  if w > t then invalid_arg "Coord: window width must not exceed tile size";
+  if g mod t <> 0 then invalid_arg "Coord: tile size must divide grid size"
+
+let column_check ~w ~t ~g ~column u =
+  let start = window_start ~w u in
+  (* Unique window point congruent to [column] mod t (there is at most one
+     because w <= t): j = (column - start) mod t. *)
+  let j =
+    let m = (column - start) mod t in
+    if m < 0 then m + t else m
+  in
+  if j >= w then None
+  else begin
+    let k = start + j in
+    let n_tiles = g / t in
+    let tile_unwrapped =
+      if k >= 0 then k / t else ((k + 1) / t) - 1 (* floor division *)
+    in
+    let sample_tile = int_of_float (Float.floor (u /. float_of_int t)) in
+    Some
+      { k_wrapped = wrap ~g k;
+        tile = wrap ~g:n_tiles tile_unwrapped;
+        dist = float_of_int k -. u;
+        wrapped_tile = tile_unwrapped <> sample_tile }
+  end
+
+let affected_columns ~w ~t u =
+  let start = window_start ~w u in
+  List.init w (fun j ->
+      let m = (start + j) mod t in
+      if m < 0 then m + t else m)

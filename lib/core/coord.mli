@@ -1,0 +1,67 @@
+(** Interpolation-window geometry and the Slice-and-Dice coordinate
+    decomposition (paper §III, Fig 4).
+
+    Every gridding engine — serial, output-parallel, binned, Slice-and-Dice,
+    and the JIGSAW hardware model — enumerates the same canonical window so
+    that all engines produce bit-identical gridding geometry (they may still
+    differ in accumulation order and arithmetic precision).
+
+    {2 Canonical window}
+
+    For a sample at continuous coordinate [u] (in oversampled-grid units)
+    and window width [w], the affected points are the [w] consecutive
+    integers [k = kmax - w + 1 .. kmax] with [kmax = floor (u + w/2)]. The
+    signed distance [k - u] then lies in [[-w/2, w/2)]. This "exactly w
+    points" convention is what lets a stall-free hardware pipeline use a
+    fixed trip count irrespective of where the sample falls; points at
+    distance ~w/2 receive (near-)zero weight from the window function.
+
+    {2 Slice-and-Dice decomposition}
+
+    Dividing a coordinate by the virtual tile size [t] gives the {e tile
+    coordinate} (quotient) and the {e relative coordinate} (remainder). A
+    worker owning relative position (column) [p] of every tile is affected
+    by a sample iff the window covers some [k with k mod t = p] — at most
+    one such [k] exists per window when [w <= t]. The worker then derives
+    the accumulation index ("depth in the column") from the tile coordinate,
+    decremented when the window wrapped into the neighbouring tile. *)
+
+val window_start : w:int -> float -> int
+(** First (unwrapped, possibly negative) affected grid index:
+    [floor (u + w/2) - w + 1]. *)
+
+val wrap : g:int -> int -> int
+(** Torus wrap of an unwrapped index onto [0 .. g-1]; total for any int. *)
+
+val iter_window : w:int -> g:int -> float -> (k:int -> dist:float -> unit) -> unit
+(** [iter_window ~w ~g u f] calls [f ~k ~dist] for each of the [w] affected
+    points, where [k] is the wrapped grid index and [dist = k_unwrapped - u].
+    Requires [w <= g]. *)
+
+(** Result of the two-part Slice-and-Dice boundary check for one column. *)
+type column_hit = {
+  k_wrapped : int;    (** wrapped grid index of the affected point *)
+  tile : int;         (** wrapped tile coordinate (depth in the column) *)
+  dist : float;       (** signed distance [k_unwrapped - u] *)
+  wrapped_tile : bool (** the window crossed a tile boundary for this hit *)
+}
+
+val decompose : t:int -> float -> int * float
+(** [decompose ~t u] is [(tile_coordinate, relative_coordinate)]:
+    the quotient and remainder of [u / t]. Requires [u >= 0]. *)
+
+val column_check :
+  w:int -> t:int -> g:int -> column:int -> float -> column_hit option
+(** [column_check ~w ~t ~g ~column u] performs the Slice-and-Dice boundary
+    check of sample [u] against relative position [column] (in [0..t-1]).
+    [Some hit] iff the sample's window covers the (unique) point of that
+    column; [None] otherwise. Requires [w <= t], [t] divides [g]. *)
+
+val affected_columns : w:int -> t:int -> float -> int list
+(** The relative positions (columns) hit by the sample's window — [w]
+    distinct columns when [w <= t]. Used by the sample-outer CPU
+    implementation of Slice-and-Dice; agrees with {!column_check}. *)
+
+val check_tiling : t:int -> g:int -> w:int -> unit
+(** Validates [1 <= w <= t], [t >= 1], [t] divides [g]. Raises
+    [Invalid_argument] otherwise. *)

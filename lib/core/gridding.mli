@@ -1,0 +1,71 @@
+(** Gridding engine selection and dispatch.
+
+    Gridding (the adjoint NuFFT's interpolation step) spreads each
+    non-uniform sample onto the [w^d] oversampled-grid points covered by its
+    interpolation window; the forward direction ("regridding") gathers from
+    the same points. Four engines implement the same spreading with the
+    algorithmic structures the paper compares:
+
+    - {!Serial}: input-driven, one sample at a time (MIRT-class CPU
+      baseline and double-precision reference),
+    - {!Output_parallel}: naive output-driven parallelism, [M * G^d]
+      boundary checks (paper §II-C),
+    - {!Binned}: geometric tiling with pre-sorted (and duplicated) bins —
+      the Impatient-class optimisation,
+    - {!Slice_and_dice}: the paper's contribution — presort-free, [M * t^d]
+      two-part boundary checks, stacked-tile output layout.
+
+    All engines enumerate the canonical window of {!Coord} and therefore
+    compute the same grid up to floating-point accumulation order (the
+    Slice-and-Dice sample-outer schedule is even bit-identical to Serial).
+
+    See {!Gridding_stats} for the work counters every engine reports. *)
+
+type engine =
+  | Serial
+  | Output_parallel
+  | Binned of int  (** tile/bin edge length in grid points *)
+  | Slice_and_dice of int  (** virtual tile edge length [t], [w <= t] *)
+
+val engine_name : engine -> string
+val pp_engine : Format.formatter -> engine -> unit
+
+val default_engines : g:int -> w:int -> engine list
+(** The four engines with sensible parameters for a [g]-point-per-side grid
+    and window width [w] (bin/tile sizes 8, per the paper). *)
+
+val grid_1d :
+  ?stats:Gridding_stats.t ->
+  engine ->
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  coords:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** [grid_1d engine ~table ~g ~coords values] spreads [values.(j)] at
+    [coords.(j)] (grid units, [0 <= u < g]) onto a length-[g] grid. *)
+
+val grid_2d :
+  ?stats:Gridding_stats.t ->
+  engine ->
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  gx:float array ->
+  gy:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** Spread onto a [g] x [g] row-major grid (index [y*g + x]). The
+    [Slice_and_dice] case uses the sample-outer CPU schedule
+    ({!Gridding_slice.grid_2d_fast}). *)
+
+val interp_2d :
+  ?stats:Gridding_stats.t ->
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  gx:float array ->
+  gy:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** [interp_2d ~table ~g ~gx ~gy grid] — the transpose operation (forward
+    NuFFT's "regridding"): gather [f_j = sum_window psi * grid[k]] at each
+    sample location. *)

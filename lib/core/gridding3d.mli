@@ -1,0 +1,46 @@
+(** Serial 3D gridding and interpolation.
+
+    The 3D analogue of {!Gridding_serial}: each sample spreads onto the
+    [w^3] grid points of its separable interpolation window, on a cubic
+    torus of [g] points per side. This is the functional reference for the
+    JIGSAW 3D-Slice engine and for 3D NuFFT pipelines; the paper's
+    accelerators process 3D volumes as sequences of 2D slices precisely
+    because a 1024^3 grid (~8 GB complex) cannot live on chip. *)
+
+val grid_3d :
+  ?stats:Gridding_stats.t ->
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  gx:float array ->
+  gy:float array ->
+  gz:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** [grid_3d ~table ~g ~gx ~gy ~gz values] spreads onto a [g^3] row-major
+    grid (index [(z*g + y)*g + x]). *)
+
+val grid_3d_sliced :
+  ?stats:Gridding_stats.t ->
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  gx:float array ->
+  gy:float array ->
+  gz:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** The same result computed the way the hardware does: one full pass over
+    the sample stream per z-slice, accumulating [slice z] from the samples
+    whose z-window covers it (paper §IV "Gridding in 2D and 3D"). Exists to
+    demonstrate/test the slicing schedule; output equals {!grid_3d} up to
+    accumulation order. *)
+
+val interp_3d :
+  ?stats:Gridding_stats.t ->
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  gx:float array ->
+  gy:float array ->
+  gz:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** Transpose gather: [f_j = sum_window psi^3 * grid[k]]. *)

@@ -1,0 +1,40 @@
+(** Binned (geometrically tiled) gridding — the Impatient-class optimisation
+    (paper §II-C, Fig 3a).
+
+    The grid is broken into square tiles of [bin] points per side; a presort
+    pass assigns each sample to the bin of every tile its window touches
+    (samples near tile edges are duplicated into up to four bins in 2D).
+    Tile–bin pairs are then processed with output-driven parallelism inside
+    the tile: each of the tile's [bin^d] points checks every sample of the
+    bin, so the boundary-check count is [bin^d * sum_of_bin_sizes] — far
+    fewer than naive output parallelism but inflated by duplicates, and paid
+    for with the presort pass that Slice-and-Dice eliminates. *)
+
+val duplication_factor :
+  w:int -> bin:int -> g:int -> coords:float array -> float
+(** Average number of bins each 1D coordinate stream sample lands in —
+    the presort duplication overhead (1.0 = no duplicates). *)
+
+val grid_1d :
+  ?stats:Gridding_stats.t ->
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  bin:int ->
+  coords:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+
+val grid_2d :
+  ?stats:Gridding_stats.t ->
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  bin:int ->
+  gx:float array ->
+  gy:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+
+val bins_of_sample_2d :
+  w:int -> bin:int -> g:int -> float -> float -> (int * int) list
+(** The distinct (tile_x, tile_y) bins a 2D sample is sorted into; exposed
+    for the Fig 3 work-accounting experiment and the GPU-simulator kernel. *)

@@ -1,0 +1,70 @@
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+module Wt = Numerics.Weight_table
+
+let bump stats f = match stats with None -> () | Some s -> f s
+
+(* Is grid point [k] covered by the window of a sample at [u]?  Same
+   arithmetic as Coord.iter_window: k is hit iff (k - start) mod g < w. *)
+let hit ~w ~g ~k u =
+  let start = Coord.window_start ~w u in
+  let j =
+    let m = (k - start) mod g in
+    if m < 0 then m + g else m
+  in
+  if j < w then Some (float_of_int (start + j) -. u) else None
+
+let grid_1d ?stats ~table ~g ~coords values =
+  let w = Wt.width table in
+  let m = Array.length coords in
+  if Cvec.length values <> m then
+    invalid_arg "Gridding_output.grid_1d: coords/values length mismatch";
+  let out = Cvec.create g in
+  for k = 0 to g - 1 do
+    for j = 0 to m - 1 do
+      bump stats (fun s ->
+          s.Gridding_stats.boundary_checks <-
+            s.Gridding_stats.boundary_checks + 1);
+      match hit ~w ~g ~k coords.(j) with
+      | None -> ()
+      | Some dist ->
+          bump stats (fun s ->
+              s.Gridding_stats.window_evals <-
+                s.Gridding_stats.window_evals + 1;
+              s.Gridding_stats.grid_accumulates <-
+                s.Gridding_stats.grid_accumulates + 1);
+          Cvec.accumulate out k (C.scale (Wt.lookup table dist) (Cvec.get values j))
+    done
+  done;
+  out
+
+let grid_2d ?stats ~table ~g ~gx ~gy values =
+  let w = Wt.width table in
+  let m = Array.length gx in
+  if Array.length gy <> m || Cvec.length values <> m then
+    invalid_arg "Gridding_output.grid_2d: coords/values length mismatch";
+  let out = Cvec.create (g * g) in
+  for ky = 0 to g - 1 do
+    for kx = 0 to g - 1 do
+      let idx = (ky * g) + kx in
+      for j = 0 to m - 1 do
+        bump stats (fun s ->
+            s.Gridding_stats.boundary_checks <-
+              s.Gridding_stats.boundary_checks + 1);
+        match hit ~w ~g ~k:kx gx.(j) with
+        | None -> ()
+        | Some dx -> (
+            match hit ~w ~g ~k:ky gy.(j) with
+            | None -> ()
+            | Some dy ->
+                let weight = Wt.lookup table dx *. Wt.lookup table dy in
+                bump stats (fun s ->
+                    s.Gridding_stats.window_evals <-
+                      s.Gridding_stats.window_evals + 2;
+                    s.Gridding_stats.grid_accumulates <-
+                      s.Gridding_stats.grid_accumulates + 1);
+                Cvec.accumulate out idx (C.scale weight (Cvec.get values j)))
+      done
+    done
+  done;
+  out

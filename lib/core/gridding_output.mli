@@ -1,0 +1,26 @@
+(** Naive output-driven parallel gridding (paper §II-C).
+
+    One logical thread per grid point; every thread performs a boundary
+    check against every sample, so the engine performs [M * g^d] checks of
+    which only [M * w^d] succeed. Threads own disjoint outputs, so no
+    synchronisation is needed — but the check count makes this intractable
+    for real problem sizes, which is precisely the paper's motivation for
+    binning and Slice-and-Dice. Functionally exact; intended for small
+    problems and for producing the check-count statistics of Fig 3/E8. *)
+
+val grid_1d :
+  ?stats:Gridding_stats.t ->
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  coords:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+
+val grid_2d :
+  ?stats:Gridding_stats.t ->
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  gx:float array ->
+  gy:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t

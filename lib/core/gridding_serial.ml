@@ -1,0 +1,91 @@
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+module F32 = Numerics.Float32
+module Wt = Numerics.Weight_table
+
+type precision = [ `Double | `Single ]
+
+let bump stats f = match stats with None -> () | Some s -> f s
+
+let grid_1d ?stats ?(precision = `Double) ~table ~g ~coords values =
+  let w = Wt.width table in
+  let m = Array.length coords in
+  if Cvec.length values <> m then
+    invalid_arg "Gridding_serial.grid_1d: coords/values length mismatch";
+  let out = Cvec.create g in
+  for j = 0 to m - 1 do
+    let v = Cvec.get values j in
+    bump stats (fun s ->
+        s.Gridding_stats.samples_processed <-
+          s.Gridding_stats.samples_processed + 1);
+    Coord.iter_window ~w ~g coords.(j) (fun ~k ~dist ->
+        let weight = Wt.lookup table dist in
+        bump stats (fun s ->
+            s.Gridding_stats.window_evals <- s.Gridding_stats.window_evals + 1;
+            s.Gridding_stats.grid_accumulates <-
+              s.Gridding_stats.grid_accumulates + 1);
+        match precision with
+        | `Double -> Cvec.accumulate out k (C.scale weight v)
+        | `Single ->
+            let c = F32.cmul (F32.cround v) (C.of_float (F32.round weight)) in
+            Cvec.set out k (F32.cadd (Cvec.get out k) c))
+  done;
+  out
+
+let grid_2d ?stats ?(precision = `Double) ~table ~g ~gx ~gy values =
+  let w = Wt.width table in
+  let m = Array.length gx in
+  if Array.length gy <> m || Cvec.length values <> m then
+    invalid_arg "Gridding_serial.grid_2d: coords/values length mismatch";
+  let out = Cvec.create (g * g) in
+  for j = 0 to m - 1 do
+    let v = Cvec.get values j in
+    bump stats (fun s ->
+        s.Gridding_stats.samples_processed <-
+          s.Gridding_stats.samples_processed + 1);
+    Coord.iter_window ~w ~g gy.(j) (fun ~k:ky ~dist:dy ->
+        let wy = Wt.lookup table dy in
+        bump stats (fun s ->
+            s.Gridding_stats.window_evals <- s.Gridding_stats.window_evals + 1);
+        Coord.iter_window ~w ~g gx.(j) (fun ~k:kx ~dist:dx ->
+            let wx = Wt.lookup table dx in
+            let idx = (ky * g) + kx in
+            bump stats (fun s ->
+                s.Gridding_stats.window_evals <-
+                  s.Gridding_stats.window_evals + 1;
+                s.Gridding_stats.grid_accumulates <-
+                  s.Gridding_stats.grid_accumulates + 1);
+            match precision with
+            | `Double -> Cvec.accumulate out idx (C.scale (wx *. wy) v)
+            | `Single ->
+                let weight = F32.mul (F32.round wx) (F32.round wy) in
+                let c = F32.cmul (F32.cround v) (C.of_float weight) in
+                Cvec.set out idx (F32.cadd (Cvec.get out idx) c)))
+  done;
+  out
+
+let interp_2d ?stats ~table ~g ~gx ~gy grid =
+  let w = Wt.width table in
+  let m = Array.length gx in
+  if Array.length gy <> m then
+    invalid_arg "Gridding_serial.interp_2d: coords length mismatch";
+  if Cvec.length grid <> g * g then
+    invalid_arg "Gridding_serial.interp_2d: grid size mismatch";
+  let out = Cvec.create m in
+  for j = 0 to m - 1 do
+    bump stats (fun s ->
+        s.Gridding_stats.samples_processed <-
+          s.Gridding_stats.samples_processed + 1);
+    let acc = ref C.zero in
+    Coord.iter_window ~w ~g gy.(j) (fun ~k:ky ~dist:dy ->
+        let wy = Wt.lookup table dy in
+        Coord.iter_window ~w ~g gx.(j) (fun ~k:kx ~dist:dx ->
+            let wx = Wt.lookup table dx in
+            bump stats (fun s ->
+                s.Gridding_stats.window_evals <-
+                  s.Gridding_stats.window_evals + 2);
+            acc :=
+              C.add !acc (C.scale (wx *. wy) (Cvec.get grid ((ky * g) + kx)))));
+    Cvec.set out j !acc
+  done;
+  out

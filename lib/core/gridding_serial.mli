@@ -1,0 +1,43 @@
+(** Input-driven serial gridding — the MIRT-class baseline (paper §II-C).
+
+    Processes the (possibly randomly ordered) samples one at a time,
+    accumulating each sample's weighted contribution to every point of its
+    interpolation window. This is the double-precision functional reference
+    used to validate every other engine, and — run at simulated single
+    precision — the source of the paper's 32-bit floating-point quality
+    numbers (Fig 9). *)
+
+type precision = [ `Double | `Single ]
+
+val grid_1d :
+  ?stats:Gridding_stats.t ->
+  ?precision:precision ->
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  coords:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** [grid_1d ~table ~g ~coords values] spreads [values] onto a length-[g]
+    grid. *)
+
+val grid_2d :
+  ?stats:Gridding_stats.t ->
+  ?precision:precision ->
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  gx:float array ->
+  gy:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** [grid_2d ~table ~g ~gx ~gy values] spreads onto a [g] x [g] row-major
+    grid. *)
+
+val interp_2d :
+  ?stats:Gridding_stats.t ->
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  gx:float array ->
+  gy:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** [interp_2d ~table ~g ~gx ~gy grid] gathers from a [g] x [g] grid. *)

@@ -1,0 +1,38 @@
+type t = {
+  mutable samples_processed : int;
+  mutable boundary_checks : int;
+  mutable window_evals : int;
+  mutable grid_accumulates : int;
+  mutable presort_ops : int;
+}
+
+let create () =
+  { samples_processed = 0;
+    boundary_checks = 0;
+    window_evals = 0;
+    grid_accumulates = 0;
+    presort_ops = 0 }
+
+let reset s =
+  s.samples_processed <- 0;
+  s.boundary_checks <- 0;
+  s.window_evals <- 0;
+  s.grid_accumulates <- 0;
+  s.presort_ops <- 0
+
+let add acc s =
+  acc.samples_processed <- acc.samples_processed + s.samples_processed;
+  acc.boundary_checks <- acc.boundary_checks + s.boundary_checks;
+  acc.window_evals <- acc.window_evals + s.window_evals;
+  acc.grid_accumulates <- acc.grid_accumulates + s.grid_accumulates;
+  acc.presort_ops <- acc.presort_ops + s.presort_ops
+
+let total_work s =
+  s.samples_processed + s.boundary_checks + s.window_evals
+  + s.grid_accumulates + s.presort_ops
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[samples=%d checks=%d lookups=%d accums=%d presort=%d@]"
+    s.samples_processed s.boundary_checks s.window_evals s.grid_accumulates
+    s.presort_ops

@@ -1,0 +1,24 @@
+(** Work counters shared by all gridding engines, mirroring the costs the
+    paper compares in §II-C and §III: presort work, duplicated sample
+    visits, boundary checks, table lookups and grid read-modify-writes. *)
+
+type t = {
+  mutable samples_processed : int;
+      (** sample visits, including binning duplicates *)
+  mutable boundary_checks : int;
+      (** point-vs-sample checks performed by the engine's parallel model *)
+  mutable window_evals : int;  (** weight-table lookups *)
+  mutable grid_accumulates : int;  (** read-modify-write grid updates *)
+  mutable presort_ops : int;
+      (** per-sample bin-insertion operations before gridding (binning) *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : t -> t -> unit
+(** [add acc s] accumulates [s] into [acc]. *)
+
+val total_work : t -> int
+(** Sum of all counters — a crude single-number work metric. *)
+
+val pp : Format.formatter -> t -> unit

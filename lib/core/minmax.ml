@@ -1,0 +1,132 @@
+module C = Numerics.Complexd
+module Cvec = Numerics.Cvec
+module Linalg = Numerics.Linalg
+
+type scaling =
+  | Uniform
+  | Kaiser_bessel_scaling
+
+(* S(theta) = sum_{x=-n/2}^{n/2-1} e^{i theta x}, closed form. *)
+let dirichlet ~n theta =
+  if Float.abs theta < 1e-12 then C.of_float (float_of_int n)
+  else begin
+    let nf = float_of_int n in
+    let num = C.sub C.one (C.exp_i (theta *. nf)) in
+    let den = C.sub C.one (C.exp_i theta) in
+    C.mul (C.exp_i (-.theta *. nf /. 2.0)) (C.div num den)
+  end
+
+let window_points ~w u =
+  let start = Coord.window_start ~w u in
+  Array.init w (fun j -> start + j)
+
+(* s(x) at centred position index xi (x = xi - n/2). *)
+let scaling_values scaling ~n ~g ~w =
+  match scaling with
+  | Uniform -> None
+  | Kaiser_bessel_scaling ->
+      let sigma = float_of_int g /. float_of_int n in
+      let kernel = Numerics.Window.default_kaiser_bessel ~width:w ~sigma in
+      Some
+        (Array.init n (fun xi ->
+             Numerics.Window.ft kernel ~width:w
+               (float_of_int (xi - (n / 2)) /. float_of_int g)))
+
+(* sum_x p(x) e^{i theta x} over the centred support, where p is a
+   positive pointwise weight. *)
+let weighted_sum ~n ~p theta =
+  match p with
+  | None -> dirichlet ~n theta
+  | Some p ->
+      let acc = ref C.zero in
+      for xi = 0 to n - 1 do
+        let x = float_of_int (xi - (n / 2)) in
+        acc := C.add !acc (C.scale p.(xi) (C.exp_i (theta *. x)))
+      done;
+      !acc
+
+(* Weighted least squares: choose c to minimise
+   sum_x | e^{i u theta(x)} - (1/s(x)) sum_j c_j e^{i k_j theta(x)} |^2,
+   i.e. the actual post-deapodization reconstruction error. Normal
+   equations: T_jl = sum 1/s^2 e^{i(k_l - k_j)x}, r_j = sum 1/s
+   e^{i(u - k_j)x}. Uniform scaling reduces both to Dirichlet sums. *)
+let coefficients_with ~s ~n ~g ~w u =
+  if w < 1 then invalid_arg "Minmax.coefficients: w < 1";
+  if n > g then invalid_arg "Minmax.coefficients: n must not exceed g";
+  let ks = window_points ~w u in
+  let omega k = 2.0 *. Float.pi *. k /. float_of_int g in
+  let p2 = Option.map (Array.map (fun v -> 1.0 /. (v *. v))) s in
+  let p1 = Option.map (Array.map (fun v -> 1.0 /. v)) s in
+  let t =
+    Array.init w (fun j ->
+        Array.init w (fun l ->
+            weighted_sum ~n ~p:p2 (omega (float_of_int (ks.(l) - ks.(j))))))
+  in
+  let r =
+    Array.init w (fun j ->
+        weighted_sum ~n ~p:p1 (omega (u -. float_of_int ks.(j))))
+  in
+  Linalg.solve_regularized t r
+
+let coefficients ?(scaling = Uniform) ~n ~g ~w u =
+  coefficients_with ~s:(scaling_values scaling ~n ~g ~w) ~n ~g ~w u
+
+let grid_2d ?(scaling = Uniform) ~n ~g ~w ~gx ~gy values =
+  let m = Array.length gx in
+  if Array.length gy <> m || Cvec.length values <> m then
+    invalid_arg "Minmax.grid_2d: coords/values length mismatch";
+  let s = scaling_values scaling ~n ~g ~w in
+  let out = Cvec.create (g * g) in
+  for j = 0 to m - 1 do
+    let v = Cvec.get values j in
+    let cx = coefficients_with ~s ~n ~g ~w gx.(j) in
+    let cy = coefficients_with ~s ~n ~g ~w gy.(j) in
+    let kxs = window_points ~w gx.(j) and kys = window_points ~w gy.(j) in
+    Array.iteri
+      (fun iy ky ->
+        let vy = C.mul cy.(iy) v in
+        Array.iteri
+          (fun ix kx ->
+            Cvec.accumulate out
+              ((Coord.wrap ~g ky * g) + Coord.wrap ~g kx)
+              (C.mul cx.(ix) vy))
+          kxs)
+      kys
+  done;
+  out
+
+let adjoint_2d ?(scaling = Uniform) ~n ~g ~w ~gx ~gy values =
+  let grid = grid_2d ~scaling ~n ~g ~w ~gx ~gy values in
+  Fft.Fftnd.transform_2d Fft.Dft.Inverse ~nx:g ~ny:g grid;
+  let s = scaling_values scaling ~n ~g ~w in
+  Cvec.init (n * n) (fun idx ->
+      let ix = idx mod n and iy = idx / n in
+      let cx = ix - (n / 2) and cy = iy - (n / 2) in
+      let v = Cvec.get grid ((Coord.wrap ~g cy * g) + Coord.wrap ~g cx) in
+      match s with
+      | None -> v
+      | Some s -> C.scale (1.0 /. (s.(ix) *. s.(iy))) v)
+
+let worst_case_error ?(scaling = Uniform) ~n ~g ~w u =
+  let s = scaling_values scaling ~n ~g ~w in
+  let c = coefficients_with ~s ~n ~g ~w u in
+  let ks = window_points ~w u in
+  let worst = ref 0.0 in
+  for xi = 0 to n - 1 do
+    let x = float_of_int (xi - (n / 2)) in
+    let sx = match s with None -> 1.0 | Some s -> s.(xi) in
+    let ideal = C.exp_i (2.0 *. Float.pi *. u *. x /. float_of_int g) in
+    let approx = ref C.zero in
+    Array.iteri
+      (fun j k ->
+        approx :=
+          C.add !approx
+            (C.mul c.(j)
+               (C.exp_i
+                  (2.0 *. Float.pi *. float_of_int k *. x /. float_of_int g))))
+      ks;
+    (* Post-deapodization reconstruction error at x. *)
+    let e = C.norm (C.sub ideal (C.scale (1.0 /. sx) !approx)) in
+    if e > !worst then worst := e
+  done;
+  !worst

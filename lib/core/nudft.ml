@@ -1,0 +1,112 @@
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+
+let forward_1d ~n ~omega ~signal =
+  if Cvec.length signal <> n then
+    invalid_arg "Nudft.forward_1d: signal size mismatch";
+  let m = Array.length omega in
+  Cvec.init m (fun j ->
+      let acc = ref C.zero in
+      for i = 0 to n - 1 do
+        let pos = float_of_int (i - (n / 2)) in
+        acc :=
+          C.add !acc
+            (C.mul (Cvec.get signal i) (C.exp_i (-.(omega.(j) *. pos))))
+      done;
+      !acc)
+
+let adjoint_1d ~n ~omega ~values =
+  let m = Array.length omega in
+  if Cvec.length values <> m then
+    invalid_arg "Nudft.adjoint_1d: values size mismatch";
+  Cvec.init n (fun i ->
+      let pos = float_of_int (i - (n / 2)) in
+      let acc = ref C.zero in
+      for j = 0 to m - 1 do
+        acc :=
+          C.add !acc (C.mul (Cvec.get values j) (C.exp_i (omega.(j) *. pos)))
+      done;
+      !acc)
+
+let forward_2d ~n ~omega_x ~omega_y ~image =
+  if Cvec.length image <> n * n then
+    invalid_arg "Nudft.forward_2d: image size mismatch";
+  let m = Array.length omega_x in
+  if Array.length omega_y <> m then
+    invalid_arg "Nudft.forward_2d: omega length mismatch";
+  Cvec.init m (fun j ->
+      let acc = ref C.zero in
+      for iy = 0 to n - 1 do
+        let py = float_of_int (iy - (n / 2)) in
+        for ix = 0 to n - 1 do
+          let px = float_of_int (ix - (n / 2)) in
+          let phase = -.((omega_x.(j) *. px) +. (omega_y.(j) *. py)) in
+          acc :=
+            C.add !acc
+              (C.mul (Cvec.get image ((iy * n) + ix)) (C.exp_i phase))
+        done
+      done;
+      !acc)
+
+let adjoint_2d ~n ~omega_x ~omega_y ~values =
+  let m = Array.length omega_x in
+  if Array.length omega_y <> m || Cvec.length values <> m then
+    invalid_arg "Nudft.adjoint_2d: size mismatch";
+  Cvec.init (n * n) (fun idx ->
+      let ix = idx mod n and iy = idx / n in
+      let px = float_of_int (ix - (n / 2)) and py = float_of_int (iy - (n / 2)) in
+      let acc = ref C.zero in
+      for j = 0 to m - 1 do
+        let phase = (omega_x.(j) *. px) +. (omega_y.(j) *. py) in
+        acc := C.add !acc (C.mul (Cvec.get values j) (C.exp_i phase))
+      done;
+      !acc)
+
+let forward_3d ~n ~omega_x ~omega_y ~omega_z ~image =
+  if Cvec.length image <> n * n * n then
+    invalid_arg "Nudft.forward_3d: image size mismatch";
+  let m = Array.length omega_x in
+  if Array.length omega_y <> m || Array.length omega_z <> m then
+    invalid_arg "Nudft.forward_3d: omega length mismatch";
+  Cvec.init m (fun j ->
+      let acc = ref C.zero in
+      for iz = 0 to n - 1 do
+        let pz = float_of_int (iz - (n / 2)) in
+        for iy = 0 to n - 1 do
+          let py = float_of_int (iy - (n / 2)) in
+          for ix = 0 to n - 1 do
+            let px = float_of_int (ix - (n / 2)) in
+            let phase =
+              -.((omega_x.(j) *. px) +. (omega_y.(j) *. py)
+                +. (omega_z.(j) *. pz))
+            in
+            acc :=
+              C.add !acc
+                (C.mul
+                   (Cvec.get image ((((iz * n) + iy) * n) + ix))
+                   (C.exp_i phase))
+          done
+        done
+      done;
+      !acc)
+
+let adjoint_3d ~n ~omega_x ~omega_y ~omega_z ~values =
+  let m = Array.length omega_x in
+  if Array.length omega_y <> m || Array.length omega_z <> m
+     || Cvec.length values <> m
+  then invalid_arg "Nudft.adjoint_3d: size mismatch";
+  Cvec.init (n * n * n) (fun idx ->
+      let ix = idx mod n in
+      let iy = idx / n mod n in
+      let iz = idx / (n * n) in
+      let px = float_of_int (ix - (n / 2))
+      and py = float_of_int (iy - (n / 2))
+      and pz = float_of_int (iz - (n / 2)) in
+      let acc = ref C.zero in
+      for j = 0 to m - 1 do
+        let phase =
+          (omega_x.(j) *. px) +. (omega_y.(j) *. py) +. (omega_z.(j) *. pz)
+        in
+        acc := C.add !acc (C.mul (Cvec.get values j) (C.exp_i phase))
+      done;
+      !acc)

@@ -1,0 +1,54 @@
+(** Direct Non-uniform Discrete Fourier Transform — the exact reference the
+    NuFFT approximates (paper §II-A, eqs. 1–2).
+
+    Image arrays are [n x n], row-major, with index [i] along each dimension
+    corresponding to the {e centred} spatial position [i - n/2]. Sample
+    frequencies are angular, [omega in [-pi, pi)^2]:
+
+    - forward:  [f_j = sum_n x_n e^{-i omega_j . n}]
+    - adjoint:  [x_n = sum_j f_j e^{+i omega_j . n}]
+
+    Complexity is O(M n^2) — usable only for the small problems on which we
+    validate the fast path, exactly the role MIRT's exact transform plays in
+    the paper's quality evaluation. *)
+
+val forward_2d :
+  n:int ->
+  omega_x:float array ->
+  omega_y:float array ->
+  image:Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** [forward_2d ~n ~omega_x ~omega_y ~image] evaluates the forward NuDFT at
+    each sample frequency; returns [m] values. *)
+
+val adjoint_2d :
+  n:int ->
+  omega_x:float array ->
+  omega_y:float array ->
+  values:Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** Adjoint NuDFT onto an [n x n] centred image. *)
+
+val forward_3d :
+  n:int ->
+  omega_x:float array ->
+  omega_y:float array ->
+  omega_z:float array ->
+  image:Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** 3D forward NuDFT of an [n^3] centred volume (O(M n^3): tiny problems
+    only). *)
+
+val adjoint_3d :
+  n:int ->
+  omega_x:float array ->
+  omega_y:float array ->
+  omega_z:float array ->
+  values:Numerics.Cvec.t ->
+  Numerics.Cvec.t
+
+val forward_1d :
+  n:int -> omega:float array -> signal:Numerics.Cvec.t -> Numerics.Cvec.t
+
+val adjoint_1d :
+  n:int -> omega:float array -> values:Numerics.Cvec.t -> Numerics.Cvec.t

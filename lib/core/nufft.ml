@@ -1,0 +1,18 @@
+(* Library entry point: re-export every public module and lift the plan API
+   to the top level, so users write [Nufft.make], [Nufft.adjoint_2d],
+   [Nufft.Gridding.Slice_and_dice], ... *)
+
+module Coord = Coord
+module Sample = Sample
+module Gridding_stats = Gridding_stats
+module Gridding = Gridding
+module Gridding_serial = Gridding_serial
+module Gridding_output = Gridding_output
+module Gridding_binned = Gridding_binned
+module Gridding_slice = Gridding_slice
+module Gridding3d = Gridding3d
+module Minmax = Minmax
+module Apodization = Apodization
+module Nudft = Nudft
+module Plan = Plan
+include Plan

@@ -1,0 +1,150 @@
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+module Wt = Numerics.Weight_table
+
+type plan = {
+  n : int;
+  sigma : float;
+  g : int;
+  w : int;
+  l : int;
+  kernel : Numerics.Window.t;
+  table : Wt.t;
+  deapod : float array;
+  engine : Gridding.engine;
+}
+
+let make ?kernel ?(w = 6) ?(sigma = 2.0) ?(l = 512) ?(engine = Gridding.Serial)
+    ?(table_precision = Wt.Double) ~n () =
+  if n < 2 then invalid_arg "Plan.make: n must be >= 2";
+  if sigma <= 1.0 then invalid_arg "Plan.make: sigma must be > 1";
+  if w < 1 then invalid_arg "Plan.make: w must be >= 1";
+  if l < 1 then invalid_arg "Plan.make: l must be >= 1";
+  let g = int_of_float (Float.round (sigma *. float_of_int n)) in
+  if w > g then invalid_arg "Plan.make: window wider than oversampled grid";
+  let kernel =
+    match kernel with
+    | Some k -> k
+    | None -> Numerics.Window.default_kaiser_bessel ~width:w ~sigma
+  in
+  let table = Wt.make ~precision:table_precision ~kernel ~width:w ~l () in
+  let deapod = Apodization.factors ~kernel ~width:w ~n ~g in
+  { n; sigma; g; w; l; kernel; table; deapod; engine }
+
+(* The adjoint evaluates x_n = (1 / psi_hat(n/G)) * B[n mod G] where
+   B = unnormalised inverse-convention DFT of the spread grid; see the
+   derivation in the module documentation of {!Apodization}. *)
+
+let crop_deapodize_2d plan big =
+  let n = plan.n and g = plan.g in
+  Cvec.init (n * n) (fun idx ->
+      let ix = idx mod n and iy = idx / n in
+      let cx = ix - (n / 2) and cy = iy - (n / 2) in
+      let src = (Coord.wrap ~g cy * g) + Coord.wrap ~g cx in
+      C.scale
+        (1.0 /. (plan.deapod.(ix) *. plan.deapod.(iy)))
+        (Cvec.get big src))
+
+let pad_apodize_2d plan image =
+  let n = plan.n and g = plan.g in
+  if Cvec.length image <> n * n then
+    invalid_arg "Plan: image size mismatch";
+  let big = Cvec.create (g * g) in
+  for iy = 0 to n - 1 do
+    for ix = 0 to n - 1 do
+      let cx = ix - (n / 2) and cy = iy - (n / 2) in
+      let dst = (Coord.wrap ~g cy * g) + Coord.wrap ~g cx in
+      Cvec.set big dst
+        (C.scale
+           (1.0 /. (plan.deapod.(ix) *. plan.deapod.(iy)))
+           (Cvec.get image ((iy * n) + ix)))
+    done
+  done;
+  big
+
+let check_samples plan (s : Sample.t2) =
+  if s.Sample.g <> plan.g then
+    invalid_arg
+      (Printf.sprintf "Plan: sample set is for grid %d, plan uses %d"
+         s.Sample.g plan.g)
+
+type timings = { gridding_s : float; fft_s : float; deapod_s : float }
+
+let now () = Unix.gettimeofday ()
+
+let adjoint_2d_timed ?stats plan samples =
+  check_samples plan samples;
+  let t0 = now () in
+  let grid =
+    Gridding.grid_2d ?stats plan.engine ~table:plan.table ~g:plan.g
+      ~gx:samples.Sample.gx ~gy:samples.Sample.gy samples.Sample.values
+  in
+  let t1 = now () in
+  Fft.Fftnd.transform_2d Fft.Dft.Inverse ~nx:plan.g ~ny:plan.g grid;
+  let t2 = now () in
+  let image = crop_deapodize_2d plan grid in
+  let t3 = now () in
+  (image, { gridding_s = t1 -. t0; fft_s = t2 -. t1; deapod_s = t3 -. t2 })
+
+let adjoint_2d ?stats plan samples = fst (adjoint_2d_timed ?stats plan samples)
+
+let forward_2d ?stats plan ~gx ~gy image =
+  let big = pad_apodize_2d plan image in
+  Fft.Fftnd.transform_2d Fft.Dft.Forward ~nx:plan.g ~ny:plan.g big;
+  Gridding.interp_2d ?stats ~table:plan.table ~g:plan.g ~gx ~gy big
+
+let adjoint_1d ?stats plan ~coords values =
+  let grid =
+    Gridding.grid_1d ?stats plan.engine ~table:plan.table ~g:plan.g ~coords
+      values
+  in
+  Fft.Fft1d.transform Fft.Dft.Inverse grid;
+  let n = plan.n and g = plan.g in
+  Cvec.init n (fun i ->
+      let c = i - (n / 2) in
+      C.scale (1.0 /. plan.deapod.(i)) (Cvec.get grid (Coord.wrap ~g c)))
+
+let adjoint_3d ?stats plan ~gx ~gy ~gz values =
+  let grid =
+    Gridding3d.grid_3d ?stats ~table:plan.table ~g:plan.g ~gx ~gy ~gz values
+  in
+  Fft.Fftnd.transform_3d Fft.Dft.Inverse ~nx:plan.g ~ny:plan.g ~nz:plan.g grid;
+  let n = plan.n and g = plan.g in
+  Cvec.init (n * n * n) (fun idx ->
+      let ix = idx mod n in
+      let iy = idx / n mod n in
+      let iz = idx / (n * n) in
+      let cx = ix - (n / 2) and cy = iy - (n / 2) and cz = iz - (n / 2) in
+      let src =
+        (((Coord.wrap ~g cz * g) + Coord.wrap ~g cy) * g) + Coord.wrap ~g cx
+      in
+      C.scale
+        (1.0 /. (plan.deapod.(ix) *. plan.deapod.(iy) *. plan.deapod.(iz)))
+        (Cvec.get grid src))
+
+let forward_3d ?stats plan ~gx ~gy ~gz volume =
+  let n = plan.n and g = plan.g in
+  if Cvec.length volume <> n * n * n then
+    invalid_arg "Plan.forward_3d: volume size mismatch";
+  let big = Cvec.create (g * g * g) in
+  for iz = 0 to n - 1 do
+    for iy = 0 to n - 1 do
+      for ix = 0 to n - 1 do
+        let cx = ix - (n / 2) and cy = iy - (n / 2) and cz = iz - (n / 2) in
+        let dst =
+          (((Coord.wrap ~g cz * g) + Coord.wrap ~g cy) * g) + Coord.wrap ~g cx
+        in
+        Cvec.set big dst
+          (C.scale
+             (1.0
+             /. (plan.deapod.(ix) *. plan.deapod.(iy) *. plan.deapod.(iz)))
+             (Cvec.get volume ((((iz * n) + iy) * n) + ix)))
+      done
+    done
+  done;
+  Fft.Fftnd.transform_3d Fft.Dft.Forward ~nx:g ~ny:g ~nz:g big;
+  Gridding3d.interp_3d ?stats ~table:plan.table ~g ~gx ~gy ~gz big
+
+let gridding_fraction t =
+  let total = t.gridding_s +. t.fft_s +. t.deapod_s in
+  if total <= 0.0 then 0.0 else t.gridding_s /. total

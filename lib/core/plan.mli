@@ -1,0 +1,103 @@
+(** The Non-uniform Fast Fourier Transform (paper §II-B, Fig 1).
+
+    A {!plan} fixes the problem geometry (base grid size [n], oversampling
+    factor [sigma], window width [w], table oversampling [l]) and
+    precomputes the interpolation weight table and apodization factors. The
+    two NuFFT variants used in image reconstruction are then:
+
+    - {e adjoint} (k-space -> image): (1) gridding, (2) FFT,
+      (3) de-apodization;
+    - {e forward} (image -> k-space): (1) pre-apodization, (2) FFT,
+      (3) regridding (interpolation at the sample locations).
+
+    Both approximate the corresponding NuDFT of {!Nudft} with error that
+    decreases with [w], [sigma] and [l]; the pair is an exact adjoint pair
+    by construction ([<forward x, y> = <x, adjoint y>] to rounding),
+    which the property tests verify. Complexity is
+    [O(M w^d + G^d log G^d)] versus the NuDFT's [O(M N^d)]. *)
+
+type plan = private {
+  n : int;  (** base (image) grid size per dimension *)
+  sigma : float;  (** oversampling factor, 1 < sigma <= 2 typical *)
+  g : int;  (** oversampled grid size, [round (sigma * n)] *)
+  w : int;  (** interpolation window width *)
+  l : int;  (** table oversampling factor *)
+  kernel : Numerics.Window.t;
+  table : Numerics.Weight_table.t;
+  deapod : float array;  (** per-dimension apodization factors, length n *)
+  engine : Gridding.engine;
+}
+
+val make :
+  ?kernel:Numerics.Window.t ->
+  ?w:int ->
+  ?sigma:float ->
+  ?l:int ->
+  ?engine:Gridding.engine ->
+  ?table_precision:Numerics.Weight_table.precision ->
+  n:int ->
+  unit ->
+  plan
+(** Create a plan for an [n^d] image. Defaults: Kaiser-Bessel window with
+    the Beatty beta, [w = 6], [sigma = 2.0], [l = 512], [engine = Serial].
+    Raises [Invalid_argument] for inconsistent geometry ([n < 2], [w > g],
+    [sigma <= 1], ...). *)
+
+val adjoint_2d : ?stats:Gridding_stats.t -> plan -> Sample.t2 -> Numerics.Cvec.t
+(** Adjoint NuFFT of a 2D sample set (whose [g] must match the plan's) onto
+    an [n x n] centred image. *)
+
+val forward_2d :
+  ?stats:Gridding_stats.t ->
+  plan ->
+  gx:float array ->
+  gy:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** [forward_2d plan ~gx ~gy image] — forward NuFFT: evaluate the image's
+    spectrum at the given grid-unit sample coordinates. *)
+
+val adjoint_1d :
+  ?stats:Gridding_stats.t ->
+  plan ->
+  coords:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** [adjoint_1d plan ~coords values] — 1D adjoint (coords in grid units
+    [0, g)); used heavily by the tests. *)
+
+val adjoint_3d :
+  ?stats:Gridding_stats.t ->
+  plan ->
+  gx:float array ->
+  gy:float array ->
+  gz:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** [adjoint_3d plan ~gx ~gy ~gz values] — 3D adjoint NuFFT onto an [n^3]
+    centred volume (coords in grid units [0, g)); gridding -> 3D FFT ->
+    separable de-apodization. Memory scales as [g^3]: meant for the small
+    volumes where a software reference is feasible (the hardware grids 3D
+    as 2D slices for exactly this reason). *)
+
+val forward_3d :
+  ?stats:Gridding_stats.t ->
+  plan ->
+  gx:float array ->
+  gy:float array ->
+  gz:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** [forward_3d plan ~gx ~gy ~gz volume] — evaluate the [n^3] volume's
+    spectrum at the sample coordinates. *)
+
+(** Wall-clock decomposition of one adjoint application, for the
+    gridding-dominance experiments (paper §I: gridding can be >99.6% of
+    NuFFT time). *)
+type timings = { gridding_s : float; fft_s : float; deapod_s : float }
+
+val adjoint_2d_timed :
+  ?stats:Gridding_stats.t -> plan -> Sample.t2 -> Numerics.Cvec.t * timings
+
+val gridding_fraction : timings -> float
+(** Gridding share of total time, in [0, 1]. *)

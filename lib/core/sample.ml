@@ -1,0 +1,67 @@
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+
+type t2 = {
+  gx : float array;
+  gy : float array;
+  values : Cvec.t;
+  g : int;
+}
+
+let length s = Array.length s.gx
+
+let omega_to_grid ~g omega =
+  let gf = float_of_int g in
+  let u = omega *. gf /. (2.0 *. Float.pi) in
+  let u = Float.rem u gf in
+  let u = if u < 0.0 then u +. gf else u in
+  (* Guard the open upper bound against rounding. *)
+  if u >= gf then 0.0 else u
+
+let check_lengths name a b values =
+  if Array.length a <> Array.length b || Array.length a <> Cvec.length values
+  then invalid_arg (name ^ ": coordinate/value length mismatch")
+
+let of_omega_2d ~g ~omega_x ~omega_y ~values =
+  check_lengths "Sample.of_omega_2d" omega_x omega_y values;
+  { gx = Array.map (omega_to_grid ~g) omega_x;
+    gy = Array.map (omega_to_grid ~g) omega_y;
+    values;
+    g }
+
+let validate s =
+  let gf = float_of_int s.g in
+  let check u =
+    if not (u >= 0.0 && u < gf) then
+      invalid_arg
+        (Printf.sprintf "Sample: coordinate %g outside [0, %d)" u s.g)
+  in
+  Array.iter check s.gx;
+  Array.iter check s.gy
+
+let make_2d ~g ~gx ~gy ~values =
+  check_lengths "Sample.make_2d" gx gy values;
+  let s = { gx; gy; values; g } in
+  validate s;
+  s
+
+let random_2d ?(seed = 0) ~g m =
+  let rng = Random.State.make [| seed |] in
+  let gf = float_of_int g in
+  let coord () =
+    let u = Random.State.float rng gf in
+    if u >= gf then 0.0 else u
+  in
+  { gx = Array.init m (fun _ -> coord ());
+    gy = Array.init m (fun _ -> coord ());
+    values =
+      Cvec.init m (fun _ ->
+          C.make
+            (Random.State.float rng 2.0 -. 1.0)
+            (Random.State.float rng 2.0 -. 1.0));
+    g }
+
+let with_values s values =
+  if Cvec.length values <> length s then
+    invalid_arg "Sample.with_values: length mismatch";
+  { s with values }

@@ -1,0 +1,49 @@
+(** Non-uniform sample sets.
+
+    Two coordinate domains are used in this library:
+
+    - {e angular frequencies} omega in [[-pi, pi)] per dimension — the
+      natural domain for MRI k-space trajectories and the NuDFT definition;
+    - {e grid units} u in [[0, G)] per dimension, where [G = sigma * N] is
+      the oversampled grid size — the domain the gridding engines and the
+      JIGSAW hardware consume ([u = omega * G / 2pi] wrapped onto the torus,
+      paper Fig 2).
+
+    A sample set couples coordinate arrays with a complex value vector. *)
+
+type t2 = {
+  gx : float array;  (** grid-unit x coordinates, each in [0, g) *)
+  gy : float array;  (** grid-unit y coordinates, each in [0, g) *)
+  values : Numerics.Cvec.t;  (** one complex value per sample *)
+  g : int;  (** the oversampled grid size the coordinates refer to *)
+}
+
+val length : t2 -> int
+
+val omega_to_grid : g:int -> float -> float
+(** Map one angular frequency in [[-pi, pi)] (any real is accepted and
+    wrapped) to grid units in [[0, g)]. *)
+
+val of_omega_2d :
+  g:int ->
+  omega_x:float array ->
+  omega_y:float array ->
+  values:Numerics.Cvec.t ->
+  t2
+(** Build a sample set from k-space angular frequencies. Raises
+    [Invalid_argument] on length mismatch. *)
+
+val make_2d :
+  g:int -> gx:float array -> gy:float array -> values:Numerics.Cvec.t -> t2
+(** Build directly from grid-unit coordinates (validated to lie in
+    [0, g)). *)
+
+val random_2d : ?seed:int -> g:int -> int -> t2
+(** [random_2d ~g m] is [m] samples with uniformly random coordinates in [0, g)^2 and values in
+    the complex unit square — the "effectively random order" worst case the
+    paper emphasises. *)
+
+val with_values : t2 -> Numerics.Cvec.t -> t2
+
+val validate : t2 -> unit
+(** Check all coordinates lie in [0, g); raises [Invalid_argument]. *)

@@ -1,0 +1,37 @@
+module Cvec = Numerics.Cvec
+module Complexd = Numerics.Complexd
+
+type direction = Forward | Inverse
+
+let sign = function Forward -> -1.0 | Inverse -> 1.0
+
+let transform dir v =
+  let n = Cvec.length v in
+  let s = sign dir in
+  Cvec.init n (fun k ->
+      let acc = ref Complexd.zero in
+      for j = 0 to n - 1 do
+        let theta = s *. 2.0 *. Float.pi *. float_of_int (k * j mod n) /. float_of_int n in
+        acc := Complexd.add !acc (Complexd.mul (Cvec.get v j) (Complexd.exp_i theta))
+      done;
+      !acc)
+
+let transform_2d dir ~nx ~ny v =
+  if Cvec.length v <> nx * ny then invalid_arg "Dft.transform_2d: size mismatch";
+  let s = sign dir in
+  Cvec.init (nx * ny) (fun k ->
+      let kx = k mod nx and ky = k / nx in
+      let acc = ref Complexd.zero in
+      for y = 0 to ny - 1 do
+        for x = 0 to nx - 1 do
+          let phase =
+            s *. 2.0 *. Float.pi
+            *. ((float_of_int (kx * x) /. float_of_int nx)
+               +. (float_of_int (ky * y) /. float_of_int ny))
+          in
+          acc :=
+            Complexd.add !acc
+              (Complexd.mul (Cvec.get v ((y * nx) + x)) (Complexd.exp_i phase))
+        done
+      done;
+      !acc)

@@ -1,0 +1,15 @@
+(** Naive O(n^2) discrete Fourier transform — the correctness oracle for the
+    FFT. Unnormalised, with the engineering sign convention:
+    forward uses [e^{-2 pi i k n / N}], inverse uses [e^{+2 pi i k n / N}]. *)
+
+type direction = Forward | Inverse
+
+val sign : direction -> float
+(** -1.0 for {!Forward}, +1.0 for {!Inverse}: the sign of the exponent. *)
+
+val transform : direction -> Numerics.Cvec.t -> Numerics.Cvec.t
+(** Dense DFT of any length (no power-of-two restriction). *)
+
+val transform_2d :
+  direction -> nx:int -> ny:int -> Numerics.Cvec.t -> Numerics.Cvec.t
+(** 2D DFT of a row-major [ny] x [nx] array (index [y*nx + x]). *)

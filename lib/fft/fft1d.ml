@@ -1,0 +1,150 @@
+module Cvec = Numerics.Cvec
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let next_pow2 n =
+  if n < 1 then invalid_arg "Fft1d.next_pow2";
+  let rec go m = if m >= n then m else go (m * 2) in
+  go 1
+
+(* Caches, keyed by (n, sign). The tables are tiny relative to the data and
+   the cache makes repeated transforms of the same size (2D row/column
+   passes, iterative reconstruction) allocation-free. *)
+let twiddle_cache : (int * int, float array) Hashtbl.t = Hashtbl.create 16
+let bitrev_cache : (int, int array) Hashtbl.t = Hashtbl.create 16
+
+let twiddles n sgn =
+  match Hashtbl.find_opt twiddle_cache (n, sgn) with
+  | Some t -> t
+  | None ->
+      let t = Array.make n 0.0 in
+      for j = 0 to (n / 2) - 1 do
+        let theta = float_of_int sgn *. 2.0 *. Float.pi *. float_of_int j /. float_of_int n in
+        t.(2 * j) <- cos theta;
+        t.((2 * j) + 1) <- sin theta
+      done;
+      Hashtbl.add twiddle_cache (n, sgn) t;
+      t
+
+let bitrev_table n =
+  match Hashtbl.find_opt bitrev_cache n with
+  | Some t -> t
+  | None ->
+      let bits =
+        let rec go b m = if m = 1 then b else go (b + 1) (m / 2) in
+        go 0 n
+      in
+      let t = Array.init n (fun i ->
+          let r = ref 0 and x = ref i in
+          for _ = 1 to bits do
+            r := (!r lsl 1) lor (!x land 1);
+            x := !x lsr 1
+          done;
+          !r)
+      in
+      Hashtbl.add bitrev_cache n t;
+      t
+
+let radix2_inplace sgn v =
+  let n = Cvec.length v in
+  let rev = bitrev_table n in
+  for i = 0 to n - 1 do
+    let j = rev.(i) in
+    if j > i then begin
+      let tr = v.(2 * i) and ti = v.((2 * i) + 1) in
+      v.(2 * i) <- v.(2 * j);
+      v.((2 * i) + 1) <- v.((2 * j) + 1);
+      v.(2 * j) <- tr;
+      v.((2 * j) + 1) <- ti
+    end
+  done;
+  let tw = twiddles n sgn in
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let step = n / !len in
+    let i = ref 0 in
+    while !i < n do
+      for j = 0 to half - 1 do
+        let wi = j * step in
+        let wr = tw.(2 * wi) and wim = tw.((2 * wi) + 1) in
+        let a = !i + j and b = !i + j + half in
+        let br = v.(2 * b) and bi = v.((2 * b) + 1) in
+        let tr = (wr *. br) -. (wim *. bi) in
+        let ti = (wr *. bi) +. (wim *. br) in
+        let ar = v.(2 * a) and ai = v.((2 * a) + 1) in
+        v.(2 * a) <- ar +. tr;
+        v.((2 * a) + 1) <- ai +. ti;
+        v.(2 * b) <- ar -. tr;
+        v.((2 * b) + 1) <- ai -. ti
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+(* Bluestein chirp-z: X_k = c_k * circular-convolution(u, v)_k with
+   u_j = x_j c_j,
+   c_j = e^{s pi i j^2 / n}, v_j = conj(c_j) wrapped symmetrically into a
+   length-m circular buffer, m = next_pow2 (2n - 1). *)
+let bluestein sgn v =
+  let n = Cvec.length v in
+  let m = next_pow2 ((2 * n) - 1) in
+  let s = float_of_int sgn in
+  let chirp j =
+    (* j^2 mod 2n keeps the angle argument small and accurate. *)
+    let q = j * j mod (2 * n) in
+    let theta = s *. Float.pi *. float_of_int q /. float_of_int n in
+    (cos theta, sin theta)
+  in
+  let u = Cvec.create m and w = Cvec.create m in
+  for j = 0 to n - 1 do
+    let cr, ci = chirp j in
+    let xr = v.(2 * j) and xi = v.((2 * j) + 1) in
+    u.(2 * j) <- (xr *. cr) -. (xi *. ci);
+    u.((2 * j) + 1) <- (xr *. ci) +. (xi *. cr);
+    w.(2 * j) <- cr;
+    w.((2 * j) + 1) <- -.ci;
+    if j > 0 then begin
+      let k = m - j in
+      w.(2 * k) <- cr;
+      w.((2 * k) + 1) <- -.ci
+    end
+  done;
+  radix2_inplace (-1) u;
+  radix2_inplace (-1) w;
+  for j = 0 to m - 1 do
+    let ar = u.(2 * j) and ai = u.((2 * j) + 1) in
+    let br = w.(2 * j) and bi = w.((2 * j) + 1) in
+    u.(2 * j) <- (ar *. br) -. (ai *. bi);
+    u.((2 * j) + 1) <- (ar *. bi) +. (ai *. br)
+  done;
+  radix2_inplace 1 u;
+  let scale = 1.0 /. float_of_int m in
+  for k = 0 to n - 1 do
+    let cr, ci = chirp k in
+    let ur = u.(2 * k) *. scale and ui = u.((2 * k) + 1) *. scale in
+    v.(2 * k) <- (ur *. cr) -. (ui *. ci);
+    v.((2 * k) + 1) <- (ur *. ci) +. (ui *. cr)
+  done
+
+let transform dir v =
+  let n = Cvec.length v in
+  let sgn = int_of_float (Dft.sign dir) in
+  if n <= 1 then ()
+  else if is_pow2 n then radix2_inplace sgn v
+  else bluestein sgn v
+
+let transformed dir v =
+  let c = Cvec.copy v in
+  transform dir c;
+  c
+
+let inverse_normalized v =
+  let c = transformed Dft.Inverse v in
+  Cvec.scale_inplace (1.0 /. float_of_int (Cvec.length v)) c;
+  c
+
+let flop_estimate n =
+  let nf = float_of_int n in
+  5.0 *. nf *. (log nf /. log 2.0)

@@ -1,0 +1,30 @@
+(** 1D complex fast Fourier transform.
+
+    Power-of-two lengths use an iterative radix-2 decimation-in-time
+    transform with cached twiddle factors and bit-reversal tables; other
+    lengths fall back to Bluestein's chirp-z algorithm (two power-of-two
+    FFTs), so any positive length is supported — needed because reduced
+    oversampling factors sigma < 2 (Beatty gridding) produce non-power-of-two
+    oversampled grid sizes.
+
+    Transforms are unnormalised (like FFTW): [transform Inverse
+    (transform Forward v)] equals [n * v]. *)
+
+val is_pow2 : int -> bool
+val next_pow2 : int -> int
+(** Smallest power of two >= the argument (argument must be >= 1). *)
+
+val transform : Dft.direction -> Numerics.Cvec.t -> unit
+(** In-place FFT of the whole vector. Any length >= 1. *)
+
+val transformed : Dft.direction -> Numerics.Cvec.t -> Numerics.Cvec.t
+(** Copying variant of {!transform}. *)
+
+val inverse_normalized : Numerics.Cvec.t -> Numerics.Cvec.t
+(** Inverse transform scaled by [1/n]: a true inverse of
+    [transform Forward]. *)
+
+val flop_estimate : int -> float
+(** [5 n log2 n] — the standard complex-FFT flop count, used by the
+    end-to-end performance models to estimate what a cuFFT/FFTW-class
+    library would take on the evaluation hardware. *)

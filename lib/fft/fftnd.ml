@@ -1,0 +1,69 @@
+module Cvec = Numerics.Cvec
+
+let check_size name n v =
+  if Cvec.length v <> n then invalid_arg (name ^ ": size mismatch")
+
+(* Transform [count] lines of [len] elements with stride [stride] complex
+   elements between consecutive points of a line; [line_start k] gives the
+   linear index of line k's first element. A scratch buffer gathers each
+   strided line so the 1D kernel always works on contiguous data. *)
+let transform_lines dir ~len ~count ~stride ~line_start v =
+  let scratch = Cvec.create len in
+  for k = 0 to count - 1 do
+    let base = line_start k in
+    if stride = 1 then begin
+      Array.blit v (2 * base) scratch 0 (2 * len);
+      Fft1d.transform dir scratch;
+      Array.blit scratch 0 v (2 * base) (2 * len)
+    end
+    else begin
+      for j = 0 to len - 1 do
+        let src = base + (j * stride) in
+        scratch.(2 * j) <- v.(2 * src);
+        scratch.((2 * j) + 1) <- v.((2 * src) + 1)
+      done;
+      Fft1d.transform dir scratch;
+      for j = 0 to len - 1 do
+        let dst = base + (j * stride) in
+        v.(2 * dst) <- scratch.(2 * j);
+        v.((2 * dst) + 1) <- scratch.((2 * j) + 1)
+      done
+    end
+  done
+
+let transform_2d dir ~nx ~ny v =
+  check_size "Fftnd.transform_2d" (nx * ny) v;
+  transform_lines dir ~len:nx ~count:ny ~stride:1 ~line_start:(fun y -> y * nx) v;
+  transform_lines dir ~len:ny ~count:nx ~stride:nx ~line_start:(fun x -> x) v
+
+let transform_3d dir ~nx ~ny ~nz v =
+  check_size "Fftnd.transform_3d" (nx * ny * nz) v;
+  transform_lines dir ~len:nx ~count:(ny * nz) ~stride:1
+    ~line_start:(fun k -> k * nx) v;
+  transform_lines dir ~len:ny ~count:(nx * nz) ~stride:nx
+    ~line_start:(fun k ->
+      let x = k mod nx and z = k / nx in
+      (z * ny * nx) + x)
+    v;
+  transform_lines dir ~len:nz ~count:(nx * ny) ~stride:(nx * ny)
+    ~line_start:(fun k -> k) v
+
+let transformed_2d dir ~nx ~ny v =
+  let c = Cvec.copy v in
+  transform_2d dir ~nx ~ny c;
+  c
+
+let fftshift_2d ~nx ~ny v =
+  check_size "Fftnd.fftshift_2d" (nx * ny) v;
+  let out = Cvec.create (nx * ny) in
+  for y = 0 to ny - 1 do
+    for x = 0 to nx - 1 do
+      let x' = (x + (nx / 2)) mod nx and y' = (y + (ny / 2)) mod ny in
+      Cvec.set out ((y' * nx) + x') (Cvec.get v ((y * nx) + x))
+    done
+  done;
+  out
+
+let flop_estimate_2d ~nx ~ny =
+  let n = float_of_int (nx * ny) in
+  5.0 *. n *. (log n /. log 2.0)

@@ -1,0 +1,23 @@
+(** Multi-dimensional FFT by the row-column method.
+
+    Arrays are row-major: a 2D array of [ny] rows and [nx] columns stores
+    element [(x, y)] at linear index [y*nx + x]; a 3D array of [nz] slices
+    stores [(x, y, z)] at [(z*ny + y)*nx + x]. Any per-dimension length is
+    supported (see {!Fft1d}). Transforms are unnormalised. *)
+
+val transform_2d : Dft.direction -> nx:int -> ny:int -> Numerics.Cvec.t -> unit
+(** In-place 2D FFT: 1D transforms along every row, then every column. *)
+
+val transform_3d :
+  Dft.direction -> nx:int -> ny:int -> nz:int -> Numerics.Cvec.t -> unit
+
+val transformed_2d :
+  Dft.direction -> nx:int -> ny:int -> Numerics.Cvec.t -> Numerics.Cvec.t
+
+val fftshift_2d : nx:int -> ny:int -> Numerics.Cvec.t -> Numerics.Cvec.t
+(** Swap quadrants so that index 0 moves to the centre [(nx/2, ny/2)] —
+    the usual display/centred-spectrum reordering. Self-inverse for even
+    dimensions. *)
+
+val flop_estimate_2d : nx:int -> ny:int -> float
+(** Row-column flop count, [5 nx ny log2 (nx ny)]. *)

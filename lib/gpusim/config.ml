@@ -1,0 +1,57 @@
+type gpu = {
+  num_sms : int;
+  warp_size : int;
+  max_warps_per_sm : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  registers_per_sm : int;
+  clock_ghz : float;
+  l2 : Cachesim.Cache.config;
+  l2_latency : int;
+  dram : Cachesim.Dram.config;
+  board_power_w : float;
+  idle_power_w : float;
+}
+
+let titan_xp =
+  { num_sms = 30;
+    warp_size = 32;
+    max_warps_per_sm = 64;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    registers_per_sm = 65536;
+    clock_ghz = 1.58;
+    l2 = Cachesim.Cache.titan_xp_l2;
+    l2_latency = 90;
+    dram = Cachesim.Dram.titan_xp;
+    board_power_w = 250.0;
+    idle_power_w = 55.0 }
+
+type kernel_resources = {
+  threads_per_block : int;
+  registers_per_thread : int;
+  shared_bytes_per_block : int;
+}
+
+let shared_per_sm = 96 * 1024
+
+let resident_blocks gpu r =
+  if r.threads_per_block <= 0 then invalid_arg "Config: threads_per_block";
+  let by_regs =
+    if r.registers_per_thread <= 0 then gpu.max_blocks_per_sm
+    else gpu.registers_per_sm / (r.registers_per_thread * r.threads_per_block)
+  in
+  let by_threads = gpu.max_threads_per_sm / r.threads_per_block in
+  let by_shared =
+    if r.shared_bytes_per_block <= 0 then gpu.max_blocks_per_sm
+    else shared_per_sm / r.shared_bytes_per_block
+  in
+  max 0 (min (min by_regs by_threads) (min gpu.max_blocks_per_sm by_shared))
+
+let occupancy gpu r =
+  let blocks = resident_blocks gpu r in
+  let warps_per_block =
+    (r.threads_per_block + gpu.warp_size - 1) / gpu.warp_size
+  in
+  let warps = min gpu.max_warps_per_sm (blocks * warps_per_block) in
+  float_of_int warps /. float_of_int gpu.max_warps_per_sm

@@ -1,0 +1,38 @@
+(** GPU hardware and kernel-resource configuration.
+
+    The timing simulator models a Pascal-class GPU (the paper's Titan Xp)
+    at the fidelity its argument needs: SIMT warps with divergence, an
+    issue-limited SM, occupancy limited by register/thread/block resources,
+    a shared L2 (set-associative, simulated) and a bandwidth/latency DRAM
+    pipe. Per-kernel resource declarations determine occupancy the same way
+    the CUDA occupancy calculator does. *)
+
+type gpu = {
+  num_sms : int;
+  warp_size : int;
+  max_warps_per_sm : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  registers_per_sm : int;
+  clock_ghz : float;
+  l2 : Cachesim.Cache.config;
+  l2_latency : int;  (** cycles, hit *)
+  dram : Cachesim.Dram.config;
+  board_power_w : float;  (** sustained board power under load *)
+  idle_power_w : float;
+}
+
+val titan_xp : gpu
+
+type kernel_resources = {
+  threads_per_block : int;
+  registers_per_thread : int;
+  shared_bytes_per_block : int;
+}
+
+val resident_blocks : gpu -> kernel_resources -> int
+(** Blocks simultaneously resident on one SM: the min over the register,
+    thread, block-slot and shared-memory (96 KiB) limits; at least 0. *)
+
+val occupancy : gpu -> kernel_resources -> float
+(** Resident warps / max warps, in [0, 1]. *)

@@ -1,0 +1,319 @@
+module Coord = Nufft.Coord
+module Slice = Nufft.Gridding_slice
+module Binned = Nufft.Gridding_binned
+
+type problem = {
+  g : int;
+  w : int;
+  gx : float array;
+  gy : float array;
+}
+
+let problem_of_samples ~w (s : Nufft.Sample.t2) =
+  { g = s.Nufft.Sample.g; w; gx = s.Nufft.Sample.gx; gy = s.Nufft.Sample.gy }
+
+(* Synthetic device address map (bytes). *)
+let sample_base = 0
+let grid_base = 1 lsl 30
+let bin_lists_base = 1 lsl 31
+let bin_counters_base = (1 lsl 31) + (1 lsl 29)
+
+let sample_bytes = 16 (* kx, ky : f32; value : complex f32 *)
+let point_bytes = 8 (* complex f32 grid point *)
+
+(* All 32 lanes read the same 16-byte sample record (a broadcast load). *)
+let sample_load j =
+  Op.Load
+    { addrs =
+        Array.init 32 (fun lane ->
+            sample_base + (j * sample_bytes) + (lane mod 4 * 4)) }
+
+(* Is wrapped grid point [k] inside the window of a sample at [u]? *)
+let point_hit ~w ~g ~k u =
+  let start = Coord.window_start ~w u in
+  let j =
+    let m = (k - start) mod g in
+    if m < 0 then m + g else m
+  in
+  j < w
+
+(* ------------------------------------------------------------------ *)
+(* Slice-and-Dice kernel *)
+
+let slice_and_dice ?(t = 8) ?(grid_blocks = 16384) ?(online_weights = false) p =
+  Coord.check_tiling ~t ~g:p.g ~w:p.w;
+  let m = Array.length p.gx in
+  let warps_per_block = t * t / 32 in
+  if warps_per_block < 1 then invalid_arg "Kernels.slice_and_dice: t too small";
+  let warp_of ~block ~warp =
+    let lo = block * m / grid_blocks and hi = (block + 1) * m / grid_blocks in
+    Op.concat_gen (fun i ->
+        let j = lo + i in
+        if j >= hi then None
+        else begin
+          (* Columns covered by this warp: warp*32 .. warp*32+31. *)
+          let hits = ref [] and nhits = ref 0 in
+          for lane = 31 downto 0 do
+            let column = (warp * 32) + lane in
+            let rx = column mod t and ry = column / t in
+            match Coord.column_check ~w:p.w ~t ~g:p.g ~column:rx p.gx.(j) with
+            | None -> ()
+            | Some hx -> (
+                match
+                  Coord.column_check ~w:p.w ~t ~g:p.g ~column:ry p.gy.(j)
+                with
+                | None -> ()
+                | Some hy ->
+                    let n_tiles = p.g / t in
+                    let tile = (hy.Coord.tile * n_tiles) + hx.Coord.tile in
+                    let addr =
+                      Slice.dice_address ~t ~g:p.g ~column ~tile * point_bytes
+                    in
+                    hits := (grid_base + addr) :: !hits;
+                    incr nhits)
+          done;
+          let ops =
+            (* Two-part boundary check in both dimensions: shifts,
+               masks, compares — ~12 issue slots on real SASS. *)
+            sample_load j
+            :: Op.Alu { issue_cycles = 12; active = 32 }
+            ::
+            (if !nhits = 0 then []
+             else begin
+               (* Complex atomicAdd = two 4-byte float atomics per lane. *)
+               let words =
+                 List.concat_map (fun a -> [ a; a + 4 ]) !hits
+               in
+               let weight_op =
+                 if online_weights then
+                   (* Ablation: compute the Kaiser-Bessel weights on the
+                      SFU instead of reading the LUT — what the paper
+                      credits as reason 1 for beating Impatient. *)
+                   Op.Alu
+                     { issue_cycles = 2 * 40 * ((!nhits + 7) / 8);
+                       active = !nhits }
+                 else
+                   (* LUT lookup from shared memory + weight multiply. *)
+                   Op.Alu { issue_cycles = 4; active = !nhits }
+               in
+               [ weight_op; Op.Atomic { addrs = Array.of_list words } ]
+             end)
+          in
+          Some (Op.of_list ops)
+        end)
+  in
+  { Sim.name =
+      (if online_weights then "slice-and-dice-online-weights"
+       else "slice-and-dice");
+    resources =
+      { Config.threads_per_block = t * t;
+        registers_per_thread = 40;
+        shared_bytes_per_block = 2048 };
+    blocks = grid_blocks;
+    warps_per_block;
+    warp_of }
+
+(* ------------------------------------------------------------------ *)
+(* Impatient-style binned kernel *)
+
+(* Bin contents (sample index lists) per tile, plus prefix offsets into the
+   device-side bin list array. *)
+let build_bins ~bin p =
+  let n_tiles = p.g / bin in
+  let bins = Array.make (n_tiles * n_tiles) [] in
+  let m = Array.length p.gx in
+  for j = m - 1 downto 0 do
+    List.iter
+      (fun (tx, ty) ->
+        let b = (ty * n_tiles) + tx in
+        bins.(b) <- j :: bins.(b))
+      (Binned.bins_of_sample_2d ~w:p.w ~bin ~g:p.g p.gx.(j) p.gy.(j))
+  done;
+  let offsets = Array.make (Array.length bins + 1) 0 in
+  Array.iteri
+    (fun i l -> offsets.(i + 1) <- offsets.(i) + List.length l)
+    bins;
+  (Array.map Array.of_list bins, offsets)
+
+let binned ?(bin = 8) p =
+  if p.g mod bin <> 0 then invalid_arg "Kernels.binned: bin must divide g";
+  let bins, offsets = build_bins ~bin p in
+  let n_tiles = p.g / bin in
+  let warps_per_block = bin * bin / 32 in
+  if warps_per_block < 1 then invalid_arg "Kernels.binned: bin too small";
+  let warp_of ~block ~warp =
+    let tx = block mod n_tiles and ty = block / n_tiles in
+    let entries = bins.(block) in
+    let n = Array.length entries in
+    (* Rows of the tile owned by this warp (bin columns x 32/bin rows). *)
+    let rows_per_warp = 32 / bin in
+    let row0 = warp * rows_per_warp in
+    Op.concat_gen (fun i ->
+        if i > n then None
+        else if i = n then begin
+          (* Epilogue: write the warp's tile points back, coalesced. *)
+          let addrs =
+            Array.init 32 (fun lane ->
+                let px = lane mod bin and py = row0 + (lane / bin) in
+                let gx = (tx * bin) + px and gy = (ty * bin) + py in
+                grid_base + (((gy * p.g) + gx) * point_bytes))
+          in
+          Some (Op.of_list [ Op.Store { addrs } ])
+        end
+        else begin
+          let j = entries.(i) in
+          (* Count this warp's tile points inside the sample's window: the
+             SIMD lanes that do useful work (the rest diverge and idle). *)
+          let active = ref 0 in
+          for py = row0 to row0 + rows_per_warp - 1 do
+            let ky = (ty * bin) + py in
+            if point_hit ~w:p.w ~g:p.g ~k:ky p.gy.(j) then
+              for px = 0 to bin - 1 do
+                let kx = (tx * bin) + px in
+                if point_hit ~w:p.w ~g:p.g ~k:kx p.gx.(j) then incr active
+              done
+          done;
+          let ops = ref [] in
+          (* Amortised bin-list read: one coalesced line per 32 entries. *)
+          if i mod 32 = 0 then
+            ops :=
+              [ Op.Load
+                  { addrs =
+                      Array.init (min 32 (n - i)) (fun e ->
+                          bin_lists_base + ((offsets.(block) + i + e) * 4)) } ];
+          ops := !ops @ [ sample_load j; Op.Alu { issue_cycles = 4; active = 32 } ];
+          if !active > 0 then begin
+            (* On-line Kaiser-Bessel weight evaluation — Impatient computes
+               weights during processing rather than from a LUT (paper
+               §VI-A reason 1): one sqrt + I0 polynomial chain per
+               dimension (~40 SFU-class ops each), on the SFU pipe at
+               ~8 lanes/cycle, so cost scales with the active lanes. *)
+            let sfu_cost = 2 * 40 * ((!active + 7) / 8) in
+            ops :=
+              !ops
+              @ [ Op.Alu { issue_cycles = sfu_cost; active = !active };
+                  Op.Alu { issue_cycles = 2; active = !active } ]
+          end;
+          Some (Op.of_list !ops)
+        end)
+  in
+  { Sim.name = "impatient-binned";
+    resources =
+      { Config.threads_per_block = bin * bin;
+        registers_per_thread = 64;
+        shared_bytes_per_block = 512 };
+    blocks = n_tiles * n_tiles;
+    warps_per_block;
+    warp_of }
+
+let binned_presort ?(bin = 8) p =
+  if p.g mod bin <> 0 then
+    invalid_arg "Kernels.binned_presort: bin must divide g";
+  let m = Array.length p.gx in
+  let n_tiles = p.g / bin in
+  (* Exact device list positions for every (sample, bin) pair. *)
+  let fill = Array.make (n_tiles * n_tiles) 0 in
+  let offsets =
+    let bins, offsets = build_bins ~bin p in
+    ignore bins;
+    offsets
+  in
+  let positions =
+    Array.init m (fun j ->
+        List.map
+          (fun (tx, ty) ->
+            let b = (ty * n_tiles) + tx in
+            let pos = offsets.(b) + fill.(b) in
+            fill.(b) <- fill.(b) + 1;
+            (b, pos))
+          (Binned.bins_of_sample_2d ~w:p.w ~bin ~g:p.g p.gx.(j) p.gy.(j)))
+  in
+  let threads_per_block = 256 in
+  let blocks = max 1 ((m + threads_per_block - 1) / threads_per_block) in
+  let warp_of ~block ~warp =
+    let base = (block * threads_per_block) + (warp * 32) in
+    if base >= m then Op.of_list []
+    else begin
+      let lanes = min 32 (m - base) in
+      let coord_load =
+        Op.Load
+          { addrs = Array.init lanes (fun l -> sample_base + ((base + l) * sample_bytes)) }
+      in
+      (* Up to 4 duplicate rounds (a 2D window touches <= 4 tiles). *)
+      let rounds = ref [] in
+      for r = 3 downto 0 do
+        let counters = ref [] and stores = ref [] in
+        for l = lanes - 1 downto 0 do
+          match List.nth_opt positions.(base + l) r with
+          | None -> ()
+          | Some (b, pos) ->
+              counters := (bin_counters_base + (b * 4)) :: !counters;
+              stores := (bin_lists_base + (pos * 4)) :: !stores
+        done;
+        if !counters <> [] then
+          rounds :=
+            Op.Atomic { addrs = Array.of_list !counters }
+            :: Op.Store { addrs = Array.of_list !stores }
+            :: !rounds
+      done;
+      Op.of_list
+        (coord_load :: Op.Alu { issue_cycles = 4; active = lanes } :: !rounds)
+    end
+  in
+  { Sim.name = "impatient-presort";
+    resources =
+      { Config.threads_per_block;
+        registers_per_thread = 32;
+        shared_bytes_per_block = 0 };
+    blocks;
+    warps_per_block = threads_per_block / 32;
+    warp_of }
+
+(* Naive output-driven kernel (paper Sec. II-C): one thread per grid point,
+   every thread boundary-checks every sample — M * G^2 checks. Only
+   tractable for thumbnail problems; exists to demonstrate in the timing
+   model why binning and Slice-and-Dice were invented. *)
+let naive_output p =
+  let g = p.g in
+  let m = Array.length p.gx in
+  let threads_per_block = 64 in
+  let blocks = max 1 (g * g / threads_per_block) in
+  let warp_of ~block ~warp =
+    (* The 32 grid points owned by this warp, row-major. *)
+    let base = (block * threads_per_block) + (warp * 32) in
+    Op.concat_gen (fun i ->
+        if i >= m then None
+        else begin
+          let j = i in
+          let active = ref 0 and hits = ref [] in
+          for lane = 31 downto 0 do
+            let idx = base + lane in
+            if idx < g * g then begin
+              let kx = idx mod g and ky = idx / g in
+              if point_hit ~w:p.w ~g ~k:kx p.gx.(j)
+                 && point_hit ~w:p.w ~g ~k:ky p.gy.(j)
+              then begin
+                incr active;
+                hits := (grid_base + (idx * point_bytes)) :: !hits
+              end
+            end
+          done;
+          let ops =
+            sample_load j :: Op.Alu { issue_cycles = 6; active = 32 }
+            ::
+            (if !active = 0 then []
+             else
+               [ Op.Alu { issue_cycles = 4; active = !active };
+                 Op.Store { addrs = Array.of_list !hits } ])
+          in
+          Some (Op.of_list ops)
+        end)
+  in
+  { Sim.name = "naive-output-parallel";
+    resources =
+      { Config.threads_per_block;
+        registers_per_thread = 32;
+        shared_bytes_per_block = 0 };
+    blocks;
+    warps_per_block = threads_per_block / 32;
+    warp_of }

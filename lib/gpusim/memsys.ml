@@ -1,0 +1,99 @@
+type t = {
+  cache : Cachesim.Cache.t;
+  dram : Cachesim.Dram.t;
+  l2_latency : int;
+  line : int;
+  mutable txns : int;
+}
+
+let create (gpu : Config.gpu) =
+  { cache = Cachesim.Cache.create gpu.Config.l2;
+    dram = Cachesim.Dram.create gpu.Config.dram;
+    l2_latency = gpu.Config.l2_latency;
+    line = gpu.Config.l2.Cachesim.Cache.line_bytes;
+    txns = 0 }
+
+(* Distinct line addresses, preserving first-touch order. *)
+let coalesce t addrs =
+  let seen = Hashtbl.create 8 in
+  let lines = ref [] in
+  Array.iter
+    (fun a ->
+      let l = a / t.line in
+      if not (Hashtbl.mem seen l) then begin
+        Hashtbl.add seen l ();
+        lines := l :: !lines
+      end)
+    addrs;
+  List.rev !lines
+
+let max_word_conflicts addrs =
+  let counts = Hashtbl.create 8 in
+  Array.iter
+    (fun a ->
+      let w = a / 4 in
+      Hashtbl.replace counts w (1 + Option.value ~default:0 (Hashtbl.find_opt counts w)))
+    addrs;
+  Hashtbl.fold (fun _ c acc -> max c acc) counts 0
+
+(* Distinct 4-byte word addresses, preserving order: atomics are handled
+   per word by the L2's atomic units and do not coalesce like loads. *)
+let distinct_words addrs =
+  let seen = Hashtbl.create 8 in
+  let words = ref [] in
+  Array.iter
+    (fun a ->
+      let w = a / 4 in
+      if not (Hashtbl.mem seen w) then begin
+        Hashtbl.add seen w ();
+        words := w :: !words
+      end)
+    addrs;
+  List.rev !words
+
+let access t ~now ~atomic addrs =
+  if Array.length addrs = 0 then (now, 0)
+  else if atomic then begin
+    (* One L2 atomic operation per distinct word; the line is still
+       fetched through the cache on first touch. *)
+    let words = distinct_words addrs in
+    let completion = ref now in
+    List.iter
+      (fun wrd ->
+        t.txns <- t.txns + 1;
+        let byte_addr = wrd * 4 in
+        let done_at =
+          if Cachesim.Cache.access t.cache byte_addr then now + t.l2_latency
+          else Cachesim.Dram.request t.dram ~now ~bytes:t.line
+        in
+        if done_at > !completion then completion := done_at)
+      words;
+    let conflicts = max_word_conflicts addrs in
+    if conflicts > 1 then
+      completion := !completion + ((conflicts - 1) * t.l2_latency);
+    (!completion, List.length words)
+  end
+  else begin
+    let lines = coalesce t addrs in
+    let completion = ref now in
+    List.iter
+      (fun l ->
+        t.txns <- t.txns + 1;
+        let byte_addr = l * t.line in
+        let done_at =
+          if Cachesim.Cache.access t.cache byte_addr then now + t.l2_latency
+          else Cachesim.Dram.request t.dram ~now ~bytes:t.line
+        in
+        if done_at > !completion then completion := done_at)
+      lines;
+    (!completion, List.length lines)
+  end
+
+let l2_hit_rate t = Cachesim.Cache.hit_rate t.cache
+let dram_bytes t = Cachesim.Dram.total_bytes t.dram
+let transactions t = t.txns
+
+let reset_stats t =
+  Cachesim.Cache.reset_stats t.cache;
+  Cachesim.Dram.reset t.dram;
+  t.txns <- 0

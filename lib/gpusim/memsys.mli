@@ -1,0 +1,24 @@
+(** Shared GPU memory system: coalescer + L2 + DRAM pipe.
+
+    A warp-wide load/store is coalesced into line-sized transactions; each
+    transaction probes the (simulated, shared) L2 and on a miss books the
+    DRAM bandwidth pipe. Atomics do not coalesce: the L2's atomic units
+    process one operation per distinct 4-byte word, and lanes hitting the
+    same word serialise at one L2 round per conflicting lane. *)
+
+type t
+
+val create : Config.gpu -> t
+
+val access :
+  t -> now:int -> atomic:bool -> int array -> int * int
+(** [access t ~now ~atomic addrs] performs one warp memory operation.
+    Returns [(completion_cycle, transactions)]: the cycle at which the data
+    for every lane is available, and the number of transactions issued
+    (lines for loads/stores, words for atomics) — the operation's issue
+    cost on the SM. *)
+
+val l2_hit_rate : t -> float
+val dram_bytes : t -> int
+val transactions : t -> int
+val reset_stats : t -> unit

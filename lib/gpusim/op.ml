@@ -1,0 +1,36 @@
+type t =
+  | Alu of { issue_cycles : int; active : int }
+  | Load of { addrs : int array }
+  | Store of { addrs : int array }
+  | Atomic of { addrs : int array }
+
+type warp = unit -> t option
+
+let of_list ops =
+  let rest = ref ops in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | op :: tl ->
+        rest := tl;
+        Some op
+
+let concat_gen f =
+  let idx = ref 0 in
+  let current = ref (f 0) in
+  let rec next () =
+    match !current with
+    | None -> None
+    | Some warp -> (
+        match warp () with
+        | Some op -> Some op
+        | None ->
+            incr idx;
+            current := f !idx;
+            next ())
+  in
+  next
+
+let lanes_of = function
+  | Alu { active; _ } -> active
+  | Load { addrs } | Store { addrs } | Atomic { addrs } -> Array.length addrs

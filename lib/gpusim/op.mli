@@ -1,0 +1,29 @@
+(** Abstract warp-level instruction stream.
+
+    Kernels are expressed as per-warp generators of warp-wide operations;
+    the simulator pulls operations on demand so traces are never
+    materialised (a full-size gridding run issues tens of millions of
+    operations). [active] is the number of enabled SIMD lanes — the
+    divergence the paper blames for Impatient's "massive under-utilization
+    of SIMD execution lanes" (§II-C). *)
+
+type t =
+  | Alu of { issue_cycles : int; active : int }
+      (** arithmetic: occupies the issue port for [issue_cycles] *)
+  | Load of { addrs : int array }
+      (** global-memory read; one byte address per active lane *)
+  | Store of { addrs : int array }
+  | Atomic of { addrs : int array }
+      (** read-modify-write; conflicting same-word lanes serialise *)
+
+type warp = unit -> t option
+(** Pull the warp's next operation; [None] = warp retired. *)
+
+val of_list : t list -> warp
+
+val concat_gen : (int -> warp option) -> warp
+(** [concat_gen f] chains the warps [f 0, f 1, ...] until [f] returns
+    [None] — used to build long per-sample streams lazily. *)
+
+val lanes_of : t -> int
+(** Active lanes (for Load/Store/Atomic, the address count). *)

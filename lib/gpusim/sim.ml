@@ -1,0 +1,223 @@
+type kernel = {
+  name : string;
+  resources : Config.kernel_resources;
+  blocks : int;
+  warps_per_block : int;
+  warp_of : block:int -> warp:int -> Op.warp;
+}
+
+type result = {
+  cycles : int;
+  time_s : float;
+  issue_slots : int;
+  active_lane_slots : float;
+  instructions : int;
+  mem_transactions : int;
+  l2_hit_rate : float;
+  dram_bytes : int;
+  occupancy : float;
+  simd_utilization : float;
+  issue_utilization : float;
+  energy_j : float;
+}
+
+type warp_slot = {
+  gen : Op.warp;
+  mutable ready_at : int;
+  mutable retired : bool;
+}
+
+type sm = {
+  id : int;
+  mutable cycle : int;
+  mutable pending : int list;  (** block indices not yet resident *)
+  mutable resident : warp_slot array;
+  mutable rr : int;  (** round-robin scan start *)
+  mutable live : int;  (** non-retired resident warps *)
+  mutable done_ : bool;
+}
+
+let quantum = 4096
+
+let run ?(gpu = Config.titan_xp) kernel =
+  if kernel.blocks < 1 then invalid_arg "Sim.run: kernel needs >= 1 block";
+  if kernel.warps_per_block < 1 then
+    invalid_arg "Sim.run: kernel needs >= 1 warp per block";
+  let mem = Memsys.create gpu in
+  let resident_limit =
+    let b = max 1 (Config.resident_blocks gpu kernel.resources) in
+    b * kernel.warps_per_block
+  in
+  let issue_slots = ref 0 in
+  let active_lane_slots = ref 0.0 in
+  let instructions = ref 0 in
+  let warp_size = float_of_int gpu.Config.warp_size in
+  (* Deal blocks round-robin over SMs. *)
+  let sms =
+    Array.init gpu.Config.num_sms (fun id ->
+        { id;
+          cycle = 0;
+          pending = [];
+          resident = [||];
+          rr = 0;
+          live = 0;
+          done_ = false })
+  in
+  for b = kernel.blocks - 1 downto 0 do
+    let sm = sms.(b mod gpu.Config.num_sms) in
+    sm.pending <- b :: sm.pending
+  done;
+  let activate sm =
+    while sm.live < resident_limit && sm.pending <> [] do
+      match sm.pending with
+      | [] -> ()
+      | b :: rest ->
+          sm.pending <- rest;
+          let fresh =
+            Array.init kernel.warps_per_block (fun w ->
+                { gen = kernel.warp_of ~block:b ~warp:w;
+                  ready_at = sm.cycle;
+                  retired = false })
+          in
+          (* Compact out retired slots as we grow. *)
+          let keep =
+            Array.of_list
+              (List.filter (fun s -> not s.retired) (Array.to_list sm.resident))
+          in
+          sm.resident <- Array.append keep fresh;
+          sm.live <- sm.live + kernel.warps_per_block;
+          sm.rr <- 0
+    done
+  in
+  Array.iter activate sms;
+  (* One SM scheduling step: issue one op or advance time; returns false
+     when the SM has fully drained. *)
+  let step sm =
+    if sm.live = 0 && sm.pending = [] then false
+    else begin
+      let n = Array.length sm.resident in
+      (* Greedy-then-oldest approximation: scan from the round-robin
+         pointer for a ready, unretired warp. *)
+      let found = ref (-1) in
+      let i = ref 0 in
+      while !found < 0 && !i < n do
+        let idx = (sm.rr + !i) mod n in
+        let s = sm.resident.(idx) in
+        if (not s.retired) && s.ready_at <= sm.cycle then found := idx;
+        incr i
+      done;
+      if !found < 0 then begin
+        (* All stalled: jump to the earliest wakeup. *)
+        let next = ref max_int in
+        Array.iter
+          (fun s -> if (not s.retired) && s.ready_at < !next then next := s.ready_at)
+          sm.resident;
+        if !next = max_int then (
+          activate sm;
+          sm.live > 0 || sm.pending <> [])
+        else begin
+          sm.cycle <- !next;
+          true
+        end
+      end
+      else begin
+        let s = sm.resident.(!found) in
+        sm.rr <- (!found + 1) mod n;
+        (match s.gen () with
+        | None ->
+            s.retired <- true;
+            sm.live <- sm.live - 1;
+            activate sm
+        | Some op ->
+            incr instructions;
+            let cost, wake =
+              match op with
+              | Op.Alu { issue_cycles; active } ->
+                  active_lane_slots :=
+                    !active_lane_slots +. (float_of_int active /. warp_size);
+                  (max 1 issue_cycles, sm.cycle + max 1 issue_cycles)
+              | Op.Load { addrs } | Op.Store { addrs } ->
+                  let completion, txns =
+                    Memsys.access mem ~now:sm.cycle ~atomic:false addrs
+                  in
+                  active_lane_slots :=
+                    !active_lane_slots
+                    +. (float_of_int (Array.length addrs) /. warp_size);
+                  (max 1 txns, completion)
+              | Op.Atomic { addrs } ->
+                  let completion, txns =
+                    Memsys.access mem ~now:sm.cycle ~atomic:true addrs
+                  in
+                  active_lane_slots :=
+                    !active_lane_slots
+                    +. (float_of_int (Array.length addrs) /. warp_size);
+                  (max 1 txns, completion)
+            in
+            issue_slots := !issue_slots + cost;
+            sm.cycle <- sm.cycle + cost;
+            s.ready_at <- max wake sm.cycle);
+        true
+      end
+    end
+  in
+  (* Co-simulate SMs in bounded quanta so shared-memory-system contention
+     interleaves across SMs rather than serialising per SM. *)
+  let quantum_end = ref quantum in
+  let unfinished = ref gpu.Config.num_sms in
+  while !unfinished > 0 do
+    Array.iter
+      (fun sm ->
+        if not sm.done_ then begin
+          let continue_ = ref true in
+          while !continue_ && sm.cycle < !quantum_end do
+            if not (step sm) then begin
+              sm.done_ <- true;
+              decr unfinished;
+              continue_ := false
+            end
+          done
+        end)
+      sms;
+    quantum_end := !quantum_end + quantum
+  done;
+  let cycles = Array.fold_left (fun acc sm -> max acc sm.cycle) 0 sms in
+  let time_s = float_of_int cycles /. (gpu.Config.clock_ghz *. 1e9) in
+  let issue_utilization =
+    if cycles = 0 then 0.0
+    else
+      float_of_int !issue_slots
+      /. (float_of_int cycles *. float_of_int gpu.Config.num_sms)
+  in
+  let simd_utilization =
+    if !instructions = 0 then 0.0
+    else !active_lane_slots /. float_of_int !instructions
+  in
+  let power =
+    gpu.Config.idle_power_w
+    +. ((gpu.Config.board_power_w -. gpu.Config.idle_power_w)
+       *. issue_utilization)
+  in
+  { cycles;
+    time_s;
+    issue_slots = !issue_slots;
+    active_lane_slots = !active_lane_slots;
+    instructions = !instructions;
+    mem_transactions = Memsys.transactions mem;
+    l2_hit_rate = Memsys.l2_hit_rate mem;
+    dram_bytes = Memsys.dram_bytes mem;
+    occupancy = Config.occupancy gpu kernel.resources;
+    simd_utilization;
+    issue_utilization;
+    energy_j = power *. time_s }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>cycles=%d (%.3f ms)@ instructions=%d issue_slots=%d@ \
+     l2_hit=%.1f%% dram=%.1f MB txns=%d@ occupancy=%.0f%% simd=%.0f%% \
+     issue_util=%.0f%%@ energy=%.3f mJ@]"
+    r.cycles (r.time_s *. 1e3) r.instructions r.issue_slots
+    (100.0 *. r.l2_hit_rate)
+    (float_of_int r.dram_bytes /. 1e6)
+    r.mem_transactions (100.0 *. r.occupancy) (100.0 *. r.simd_utilization)
+    (100.0 *. r.issue_utilization)
+    (r.energy_j *. 1e3)

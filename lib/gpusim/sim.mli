@@ -1,0 +1,43 @@
+(** SIMT timing simulation.
+
+    A kernel launch is a grid of blocks; each block's warps are produced on
+    demand by [warp_of]. Blocks are distributed round-robin over the GPU's
+    SMs; each SM keeps at most its resource-limited number of blocks
+    resident, issues one warp operation per scan from ready warps
+    (loose greedy-then-oldest), and blocks warps on their outstanding
+    memory. SMs are co-simulated in bounded time quanta so that L2 and DRAM
+    contention interleaves realistically across SMs.
+
+    The model captures, at first order, everything the paper's GPU argument
+    relies on: occupancy-limited latency hiding, SIMD-lane divergence,
+    coalescing, L2 reuse, atomic conflicts and DRAM bandwidth
+    saturation. *)
+
+type kernel = {
+  name : string;
+  resources : Config.kernel_resources;
+  blocks : int;
+  warps_per_block : int;
+  warp_of : block:int -> warp:int -> Op.warp;
+      (** called once per (block, warp in block) *)
+}
+
+type result = {
+  cycles : int;  (** wall-clock cycles (max over SMs) *)
+  time_s : float;
+  issue_slots : int;  (** SM issue cycles consumed *)
+  active_lane_slots : float;  (** sum over issues of active/warp_size *)
+  instructions : int;
+  mem_transactions : int;
+  l2_hit_rate : float;
+  dram_bytes : int;
+  occupancy : float;  (** resource-limited occupancy, 0..1 *)
+  simd_utilization : float;  (** mean active-lane fraction per issue *)
+  issue_utilization : float;  (** issue slots / (cycles * num_sms) *)
+  energy_j : float;
+}
+
+val run : ?gpu:Config.gpu -> kernel -> result
+(** Simulate a launch to completion (default GPU: Titan Xp). *)
+
+val pp_result : Format.formatter -> result -> unit

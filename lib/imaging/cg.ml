@@ -1,0 +1,64 @@
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+
+type result = {
+  solution : Cvec.t;
+  iterations : int;
+  residual_norms : float list;
+  converged : bool;
+}
+
+let solve ?(max_iterations = 50) ?(tolerance = 1e-6) ~apply b =
+  let n = Cvec.length b in
+  let x = Cvec.create n in
+  let r = Cvec.copy b in
+  let p = Cvec.copy b in
+  let rr = ref (Cvec.norm2 r) in
+  let target = tolerance *. sqrt (Cvec.norm2 b) in
+  let history = ref [ sqrt !rr ] in
+  let k = ref 0 in
+  let converged = ref (sqrt !rr <= target) in
+  while (not !converged) && !k < max_iterations do
+    let ap = apply p in
+    let p_ap = (Cvec.dot p ap).C.re in
+    if p_ap <= 0.0 then
+      (* Numerically singular direction: stop (PSD operator with null
+         space, e.g. heavy undersampling). *)
+      k := max_iterations
+    else begin
+      let alpha = !rr /. p_ap in
+      for i = 0 to (2 * n) - 1 do
+        x.(i) <- x.(i) +. (alpha *. p.(i));
+        r.(i) <- r.(i) -. (alpha *. ap.(i))
+      done;
+      let rr' = Cvec.norm2 r in
+      history := sqrt rr' :: !history;
+      if sqrt rr' <= target then converged := true
+      else begin
+        let beta = rr' /. !rr in
+        for i = 0 to (2 * n) - 1 do
+          p.(i) <- r.(i) +. (beta *. p.(i))
+        done
+      end;
+      rr := rr';
+      incr k
+    end
+  done;
+  { solution = x;
+    iterations = !k;
+    residual_norms = List.rev !history;
+    converged = !converged }
+
+let normal_equations_rhs ~plan ?weights samples =
+  let m = Nufft.Sample.length samples in
+  let samples =
+    match weights with
+    | None -> samples
+    | Some w ->
+        if Array.length w <> m then
+          invalid_arg "Cg.normal_equations_rhs: weights length mismatch";
+        Nufft.Sample.with_values samples
+          (Cvec.init m (fun j ->
+               C.scale w.(j) (Cvec.get samples.Nufft.Sample.values j)))
+  in
+  Nufft.Plan.adjoint_2d plan samples

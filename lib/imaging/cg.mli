@@ -1,0 +1,34 @@
+(** Conjugate-gradient solver for Hermitian positive semi-definite systems.
+
+    Solves [T x = b] for complex vectors given only the operator
+    application — the inner loop of iterative ("model-based") MRI
+    reconstruction, whose rise is exactly why the paper cares about NuFFT
+    throughput: "millions of NuFFTs are taken iteratively to reconstruct a
+    single volume" (§I). Use with {!Toeplitz.apply} for a gridding-free
+    normal operator, or with an explicit forward/adjoint NuFFT pair. *)
+
+type result = {
+  solution : Numerics.Cvec.t;
+  iterations : int;
+  residual_norms : float list;  (** ||r_k|| per iteration, first to last *)
+  converged : bool;
+}
+
+val solve :
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  apply:(Numerics.Cvec.t -> Numerics.Cvec.t) ->
+  Numerics.Cvec.t ->
+  result
+(** [solve ~apply b] runs CG from a zero initial guess until
+    [||r|| <= tolerance * ||b||] (default 1e-6) or [max_iterations]
+    (default 50). [apply] must be Hermitian PSD; the solver does not
+    check. *)
+
+val normal_equations_rhs :
+  plan:Nufft.Plan.plan ->
+  ?weights:float array ->
+  Nufft.Sample.t2 ->
+  Numerics.Cvec.t
+(** [A^H W y]: the right-hand side of the normal equations for a sample
+    set [y] — one (density-weighted) adjoint NuFFT. *)

@@ -1,0 +1,44 @@
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+
+(* C w: spread the (real) weights, then interpolate back at the sample
+   locations; the result estimates the local gridded density. *)
+let apply_c ~table ~g ~gx ~gy w =
+  let m = Array.length gx in
+  let values = Cvec.init m (fun j -> C.of_float w.(j)) in
+  let grid = Nufft.Gridding_serial.grid_2d ~table ~g ~gx ~gy values in
+  let back = Nufft.Gridding_serial.interp_2d ~table ~g ~gx ~gy grid in
+  Array.init m (fun j -> (Cvec.get back j).C.re)
+
+let pipe_menon ?(iterations = 15) ~table ~g ~gx ~gy () =
+  let m = Array.length gx in
+  if Array.length gy <> m then
+    invalid_arg "Density.pipe_menon: coords length mismatch";
+  if iterations < 1 then invalid_arg "Density.pipe_menon: iterations < 1";
+  let w = Array.make m 1.0 in
+  for _ = 1 to iterations do
+    let cw = apply_c ~table ~g ~gx ~gy w in
+    for j = 0 to m - 1 do
+      if cw.(j) > 1e-12 then w.(j) <- w.(j) /. cw.(j)
+    done
+  done;
+  let sum = Array.fold_left ( +. ) 0.0 w in
+  if sum > 0.0 then
+    Array.map (fun x -> x *. float_of_int m /. sum) w
+  else w
+
+let flatness ~table ~g ~gx ~gy w =
+  let cw = apply_c ~table ~g ~gx ~gy w in
+  let m = Array.length cw in
+  if m = 0 then 0.0
+  else begin
+    let mean = Array.fold_left ( +. ) 0.0 cw /. float_of_int m in
+    if Float.abs mean < 1e-300 then infinity
+    else begin
+      let var =
+        Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 cw
+        /. float_of_int m
+      in
+      sqrt var /. Float.abs mean
+    end
+  end

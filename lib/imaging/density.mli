@@ -1,0 +1,31 @@
+(** Density compensation for non-Cartesian reconstruction.
+
+    The adjoint NuFFT weights each sample by the local sampling density
+    unless compensated. Analytic ramps exist only for special trajectories
+    ({!Trajectory.Radial.density_weights}); the Pipe-Menon fixed point
+    works for any pattern: iterate [w <- w / (C w)] where [C] is the
+    gridding-then-interpolation operator, until the gridded density is
+    flat. (Pipe & Menon 1999; ref [12] of the paper discusses the kernel
+    design for this style of sampling-density correction.) *)
+
+val pipe_menon :
+  ?iterations:int ->
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  gx:float array ->
+  gy:float array ->
+  unit ->
+  float array
+(** [pipe_menon ~table ~g ~gx ~gy ()] — density-compensation weights for
+    the given sample locations (default 15 iterations), normalised to sum
+    to the sample count. *)
+
+val flatness :
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  gx:float array ->
+  gy:float array ->
+  float array ->
+  float
+(** Coefficient of variation (std/mean) of [C w] at the sample locations —
+    0 means perfectly compensated; used by tests and diagnostics. *)

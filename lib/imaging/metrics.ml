@@ -1,0 +1,37 @@
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+
+let nrmsd ~reference v = Cvec.nrmsd ~reference v
+
+let nrmsd_percent ~reference v = 100.0 *. nrmsd ~reference v
+
+let nrmsd_scaled ~reference v =
+  if Cvec.length reference <> Cvec.length v then
+    invalid_arg "Metrics.nrmsd_scaled: length mismatch";
+  let xx = Cvec.norm2 v in
+  if xx = 0.0 then nrmsd ~reference v
+  else begin
+    let xr = Cvec.dot v reference in
+    let alpha = C.scale (1.0 /. xx) xr in
+    let scaled = Cvec.map (fun c -> C.mul alpha c) v in
+    nrmsd ~reference scaled
+  end
+
+let max_abs_error ~reference v = Cvec.max_abs_diff reference v
+
+let psnr ~reference v =
+  if Cvec.length reference <> Cvec.length v then
+    invalid_arg "Metrics.psnr: length mismatch";
+  let n = Cvec.length reference in
+  let peak = ref 0.0 and mse = ref 0.0 in
+  for k = 0 to n - 1 do
+    let r = Cvec.get reference k and x = Cvec.get v k in
+    let mag = C.norm r in
+    if mag > !peak then peak := mag;
+    mse := !mse +. C.norm2 (C.sub r x)
+  done;
+  let mse = !mse /. float_of_int n in
+  if mse = 0.0 then Float.infinity
+  else 10.0 *. Float.log10 (!peak *. !peak /. mse)
+
+let magnitude_image v = Array.init (Cvec.length v) (fun k -> C.norm (Cvec.get v k))

@@ -1,0 +1,27 @@
+(** Image quality metrics.
+
+    NRMSD is the paper's Fig 9 metric; PSNR and maximum error are included
+    for completeness. All metrics operate on complex vectors and compare
+    component-wise. *)
+
+val nrmsd : reference:Numerics.Cvec.t -> Numerics.Cvec.t -> float
+(** Normalised root-mean-square difference (fraction, not percent):
+    [sqrt (sum |x-r|^2 / sum |r|^2)]. *)
+
+val nrmsd_percent : reference:Numerics.Cvec.t -> Numerics.Cvec.t -> float
+(** [100 * nrmsd] — the unit the paper reports (e.g. 0.047%, 0.012%). *)
+
+val nrmsd_scaled : reference:Numerics.Cvec.t -> Numerics.Cvec.t -> float
+(** NRMSD after the candidate is rescaled by the least-squares-optimal
+    complex factor [alpha = <x, r> / <x, x>] — removes the arbitrary global
+    gain of a density-compensated gridding reconstruction so the metric
+    reflects structure, not scaling. *)
+
+val max_abs_error : reference:Numerics.Cvec.t -> Numerics.Cvec.t -> float
+
+val psnr : reference:Numerics.Cvec.t -> Numerics.Cvec.t -> float
+(** Peak signal-to-noise ratio in dB, with the peak taken as the largest
+    magnitude in the reference. Infinite for identical images. *)
+
+val magnitude_image : Numerics.Cvec.t -> float array
+(** Per-pixel magnitudes — what gets displayed/written as PGM. *)

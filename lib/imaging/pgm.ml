@@ -1,0 +1,24 @@
+let write ~path ~n ?lo ?hi values =
+  if Array.length values <> n * n then
+    invalid_arg "Pgm.write: values must be n*n long";
+  let lo =
+    match lo with Some v -> v | None -> Array.fold_left Float.min Float.infinity values
+  in
+  let hi =
+    match hi with Some v -> v | None -> Array.fold_left Float.max Float.neg_infinity values
+  in
+  let range = if hi -. lo <= 0.0 then 1.0 else hi -. lo in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "P5\n%d %d\n255\n" n n;
+      Array.iter
+        (fun v ->
+          let scaled = (v -. lo) /. range *. 255.0 in
+          let byte = int_of_float (Float.round scaled) in
+          output_char oc (Char.chr (max 0 (min 255 byte))))
+        values)
+
+let write_magnitude ~path ~n img =
+  write ~path ~n (Metrics.magnitude_image img)

@@ -1,0 +1,11 @@
+(** Minimal binary PGM (P5) image writer — enough to eyeball
+    reconstructions (the visual half of the paper's Fig 9). *)
+
+val write :
+  path:string -> n:int -> ?lo:float -> ?hi:float -> float array -> unit
+(** [write ~path ~n values] writes a [n x n] 8-bit grayscale image,
+    linearly mapping [[lo, hi]] (defaults: the data's min/max) to 0..255.
+    Raises [Invalid_argument] if [values] is not [n*n] long. *)
+
+val write_magnitude : path:string -> n:int -> Numerics.Cvec.t -> unit
+(** Convenience: write the magnitude of a complex image. *)

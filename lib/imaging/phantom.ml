@@ -1,0 +1,62 @@
+module Cvec = Numerics.Cvec
+
+(* (delta, a, b, x0, y0, theta_deg); geometry from the standard table. *)
+let base =
+  [| (0.0, 0.69, 0.92, 0.0, 0.0, 0.0);
+     (0.0, 0.6624, 0.874, 0.0, -0.0184, 0.0);
+     (0.0, 0.11, 0.31, 0.22, 0.0, -18.0);
+     (0.0, 0.16, 0.41, -0.22, 0.0, 18.0);
+     (0.0, 0.21, 0.25, 0.0, 0.35, 0.0);
+     (0.0, 0.046, 0.046, 0.0, 0.1, 0.0);
+     (0.0, 0.046, 0.046, 0.0, -0.1, 0.0);
+     (0.0, 0.046, 0.023, -0.08, -0.605, 0.0);
+     (0.0, 0.023, 0.023, 0.0, -0.606, 0.0);
+     (0.0, 0.023, 0.046, 0.06, -0.605, 0.0) |]
+
+let original_deltas =
+  [| 2.0; -0.98; -0.02; -0.02; 0.01; 0.01; 0.01; 0.01; 0.01; 0.01 |]
+
+let modified_deltas =
+  [| 1.0; -0.8; -0.2; -0.2; 0.1; 0.1; 0.1; 0.1; 0.1; 0.1 |]
+
+let with_deltas deltas =
+  Array.mapi
+    (fun i (_, a, b, x0, y0, th) -> (deltas.(i), a, b, x0, y0, th))
+    base
+
+let ellipses = with_deltas modified_deltas
+
+let make ?(modified = true) ~n () =
+  if n < 2 then invalid_arg "Phantom.make: n must be >= 2";
+  let shapes =
+    with_deltas (if modified then modified_deltas else original_deltas)
+  in
+  let img = Cvec.create (n * n) in
+  for iy = 0 to n - 1 do
+    for ix = 0 to n - 1 do
+      (* Pixel centre on [-1, 1]^2; y axis points up in the phantom table. *)
+      let x = (2.0 *. (float_of_int ix +. 0.5) /. float_of_int n) -. 1.0 in
+      let y = 1.0 -. (2.0 *. (float_of_int iy +. 0.5) /. float_of_int n) in
+      let v = ref 0.0 in
+      Array.iter
+        (fun (delta, a, b, x0, y0, th) ->
+          let phi = th *. Float.pi /. 180.0 in
+          let c = cos phi and s = sin phi in
+          let dx = x -. x0 and dy = y -. y0 in
+          let xr = (dx *. c) +. (dy *. s) and yr = (dy *. c) -. (dx *. s) in
+          if ((xr /. a) ** 2.0) +. ((yr /. b) ** 2.0) <= 1.0 then
+            v := !v +. delta)
+        shapes;
+      Cvec.set_parts img ((iy * n) + ix) !v 0.0
+    done
+  done;
+  img
+
+let intensity_bounds img =
+  let lo = ref Float.infinity and hi = ref Float.neg_infinity in
+  for k = 0 to Cvec.length img - 1 do
+    let v = Cvec.get_re img k in
+    if v < !lo then lo := v;
+    if v > !hi then hi := v
+  done;
+  (!lo, !hi)

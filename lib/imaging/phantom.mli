@@ -1,0 +1,22 @@
+(** The Shepp-Logan head phantom.
+
+    Substitutes for the 2D liver slices of Otazo et al. that the paper's
+    quality evaluation (Fig 9) uses — the standard synthetic test image of
+    the tomography/MRI literature, built from ten ellipses of prescribed
+    intensity. Quality comparisons (NRMSD between numeric variants) depend
+    on the reconstruction pipeline, not the anatomy, so any structured
+    image with sharp edges exercises the same behaviour. *)
+
+val ellipses : (float * float * float * float * float * float) array
+(** The ten canonical ellipses as
+    [(intensity_delta, a, b, x0, y0, theta_degrees)] with geometry on the
+    unit square [[-1, 1]^2]. *)
+
+val make : ?modified:bool -> n:int -> unit -> Numerics.Cvec.t
+(** [make ~n ()] renders the phantom on an [n x n] grid (row-major, real
+    values in the imaginary-zero complex vector). [modified] (default true)
+    uses the higher-contrast intensities of Toft's "modified Shepp-Logan";
+    [false] gives the 1974 original. *)
+
+val intensity_bounds : Numerics.Cvec.t -> float * float
+(** (min, max) of the real part — for display scaling. *)

@@ -1,0 +1,37 @@
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+module Sample = Nufft.Sample
+module Plan = Nufft.Plan
+
+let acquire plan traj image =
+  let g = plan.Plan.g in
+  let gx = Array.map (Sample.omega_to_grid ~g) traj.Trajectory.Traj.omega_x in
+  let gy = Array.map (Sample.omega_to_grid ~g) traj.Trajectory.Traj.omega_y in
+  let values = Plan.forward_2d plan ~gx ~gy image in
+  Sample.make_2d ~g ~gx ~gy ~values
+
+let reconstruct ?density plan samples =
+  let m = Sample.length samples in
+  let samples =
+    match density with
+    | None -> samples
+    | Some w ->
+        if Array.length w <> m then
+          invalid_arg "Recon.reconstruct: density weights length mismatch";
+        let values =
+          Cvec.init m (fun j -> C.scale w.(j) (Cvec.get samples.Sample.values j))
+        in
+        Sample.with_values samples values
+  in
+  let image = Plan.adjoint_2d plan samples in
+  (* Unit-gain normalisation: the adjoint of an m-sample uniform
+     acquisition scales the image by m (and the oversampled FFT pair by
+     nothing since forward/adjoint are unnormalised transposes); dividing
+     by m recovers the original scale for fully sampled data. *)
+  Cvec.scale_inplace (1.0 /. float_of_int m) image;
+  image
+
+let roundtrip ?density plan traj image =
+  let samples = acquire plan traj image in
+  let recon = reconstruct ?density plan samples in
+  (recon, Metrics.nrmsd ~reference:image recon)

@@ -1,0 +1,70 @@
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+
+type t = {
+  n : int;
+  q_hat : Cvec.t;  (* FFT of the wrapped Toeplitz kernel on the 2n grid *)
+}
+
+let make ?weights ~n ~omega_x ~omega_y () =
+  let m = Array.length omega_x in
+  if Array.length omega_y <> m then
+    invalid_arg "Toeplitz.make: omega length mismatch";
+  let w =
+    match weights with
+    | None -> Array.make m 1.0
+    | Some w ->
+        if Array.length w <> m then
+          invalid_arg "Toeplitz.make: weights length mismatch";
+        w
+  in
+  let n2 = 2 * n in
+  (* q(d) = sum_j w_j e^{i omega_j . d}, d in [-n, n)^2: one adjoint NuFFT
+     of the weights on the doubled grid. *)
+  let plan2 = Nufft.Plan.make ~n:n2 () in
+  let values = Cvec.init m (fun j -> C.of_float w.(j)) in
+  let samples =
+    Nufft.Sample.of_omega_2d ~g:plan2.Nufft.Plan.g ~omega_x ~omega_y ~values
+  in
+  let q = Nufft.Plan.adjoint_2d plan2 samples in
+  (* Wrap centred displacements d (array index d + n) onto the circulant
+     grid: k2[(d mod 2n, e mod 2n)] = q(d, e). *)
+  let k2 = Cvec.create (n2 * n2) in
+  for iy = 0 to n2 - 1 do
+    for ix = 0 to n2 - 1 do
+      let dx = ix - n and dy = iy - n in
+      let wx = Nufft.Coord.wrap ~g:n2 dx and wy = Nufft.Coord.wrap ~g:n2 dy in
+      Cvec.set k2 ((wy * n2) + wx) (Cvec.get q ((iy * n2) + ix))
+    done
+  done;
+  Fft.Fftnd.transform_2d Fft.Dft.Forward ~nx:n2 ~ny:n2 k2;
+  { n; q_hat = k2 }
+
+let n t = t.n
+let kernel_spectrum t = t.q_hat
+
+let apply t x =
+  let n = t.n in
+  if Cvec.length x <> n * n then invalid_arg "Toeplitz.apply: size mismatch";
+  let n2 = 2 * n in
+  (* Zero-pad: image position p in [-n/2, n/2) lives at circulant index
+     p mod 2n. *)
+  let pad = Cvec.create (n2 * n2) in
+  for iy = 0 to n - 1 do
+    for ix = 0 to n - 1 do
+      let px = Nufft.Coord.wrap ~g:n2 (ix - (n / 2)) in
+      let py = Nufft.Coord.wrap ~g:n2 (iy - (n / 2)) in
+      Cvec.set pad ((py * n2) + px) (Cvec.get x ((iy * n) + ix))
+    done
+  done;
+  Fft.Fftnd.transform_2d Fft.Dft.Forward ~nx:n2 ~ny:n2 pad;
+  for k = 0 to (n2 * n2) - 1 do
+    Cvec.set pad k (C.mul (Cvec.get pad k) (Cvec.get t.q_hat k))
+  done;
+  Fft.Fftnd.transform_2d Fft.Dft.Inverse ~nx:n2 ~ny:n2 pad;
+  Cvec.scale_inplace (1.0 /. float_of_int (n2 * n2)) pad;
+  Cvec.init (n * n) (fun idx ->
+      let ix = idx mod n and iy = idx / n in
+      let px = Nufft.Coord.wrap ~g:n2 (ix - (n / 2)) in
+      let py = Nufft.Coord.wrap ~g:n2 (iy - (n / 2)) in
+      Cvec.get pad ((py * n2) + px))

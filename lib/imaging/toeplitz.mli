@@ -1,0 +1,39 @@
+(** Toeplitz embedding of the NuFFT normal operator.
+
+    Iterative MRI reconstruction repeatedly applies the Gram (normal)
+    operator [T = A^H W A] of the forward NuFFT [A] with sample weights
+    [W]. Because the samples are fixed, [T] is block-Toeplitz and can be
+    applied with two [2N]-point FFTs and a precomputed spectrum — no
+    gridding at all after setup. This is the "Toeplitz-based strategy" of
+    the Impatient framework the paper compares against (Gai et al. 2013);
+    building it here both reproduces that baseline's structure and gives
+    the iterative solver a fast inner loop.
+
+    Construction: the generating kernel [q(d) = sum_j w_j e^{i omega_j . d}]
+    for displacements [d in [-N, N)^2] is computed with one adjoint NuFFT on
+    a [2N] grid; [T x] is then the central [N x N] crop of the circular
+    convolution of the zero-padded image with [q]. *)
+
+type t
+
+val make :
+  ?weights:float array ->
+  n:int ->
+  omega_x:float array ->
+  omega_y:float array ->
+  unit ->
+  t
+(** Precompute the operator for an [n x n] image sampled at the given
+    k-space frequencies with optional density weights (default 1). Uses a
+    dedicated internal [2n] NuFFT plan. *)
+
+val apply : t -> Numerics.Cvec.t -> Numerics.Cvec.t
+(** [apply t x] is [A^H W A x] for an [n x n] image [x] — two [2n x 2n]
+    FFTs. *)
+
+val n : t -> int
+
+val kernel_spectrum : t -> Numerics.Cvec.t
+(** The precomputed [2n x 2n] spectrum (mostly for tests: for [W >= 0] the
+    operator is PSD, so the spectrum of the underlying circulant is
+    ~real). *)

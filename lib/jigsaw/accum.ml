@@ -1,0 +1,39 @@
+module Fp = Numerics.Fixed_point
+
+type t = {
+  fmt : Fp.fmt;
+  data : int array;  (* interleaved re/im raw values *)
+  mutable saturations : int;
+}
+
+let create (cfg : Config.t) =
+  { fmt = cfg.Config.pipeline_fmt;
+    data = Array.make (2 * Config.tiles_total cfg) 0;
+    saturations = 0 }
+
+let entries t = Array.length t.data / 2
+
+let check t idx =
+  if idx < 0 || idx >= entries t then
+    invalid_arg "Jigsaw.Accum: tile index out of range"
+
+let accumulate t tile (v : Fp.Complex.t) =
+  check t tile;
+  let add slot x =
+    let exact = t.data.(slot) + x in
+    let sat = Fp.saturate t.fmt exact in
+    if sat <> exact then t.saturations <- t.saturations + 1;
+    t.data.(slot) <- sat
+  in
+  add (2 * tile) v.Fp.Complex.re;
+  add ((2 * tile) + 1) v.Fp.Complex.im
+
+let read t tile =
+  check t tile;
+  { Fp.Complex.re = t.data.(2 * tile); im = t.data.((2 * tile) + 1) }
+
+let saturation_events t = t.saturations
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) 0;
+  t.saturations <- 0

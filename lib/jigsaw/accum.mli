@@ -1,0 +1,21 @@
+(** Per-pipeline accumulation SRAM (paper §IV).
+
+    Each pipeline owns a private SRAM array holding the partial sums of its
+    dice column — one complex 32-bit fixed-point entry per virtual tile.
+    Adders are collocated with the SRAM; accumulation saturates like the
+    hardware ALU, and saturation events are counted so experiments can
+    verify their data stayed inside the numeric range. *)
+
+type t
+
+val create : Config.t -> t
+(** A zeroed column of [tiles_total cfg] entries. *)
+
+val accumulate : t -> int -> Numerics.Fixed_point.Complex.t -> unit
+(** [accumulate t tile v] adds [v] into entry [tile], saturating at the
+    pipeline format's range. *)
+
+val read : t -> int -> Numerics.Fixed_point.Complex.t
+val saturation_events : t -> int
+val entries : t -> int
+val clear : t -> unit

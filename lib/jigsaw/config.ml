@@ -1,0 +1,56 @@
+module Fp = Numerics.Fixed_point
+
+type t = {
+  n : int;
+  t : int;
+  w : int;
+  l : int;
+  coord_frac_bits : int;
+  pipeline_fmt : Fp.fmt;
+  weight_fmt : Fp.fmt;
+  clock_ghz : float;
+  pipeline_depth_2d : int;
+  pipeline_depth_3d : int;
+}
+
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let make ?(t = 8) ?(w = 6) ?(l = 32) ?(coord_frac_bits = 16) ~n () =
+  if n < 8 || n > 1024 then
+    invalid_arg "Jigsaw.Config.make: n must be in 8..1024 (Table I)";
+  if t < 1 then invalid_arg "Jigsaw.Config.make: t must be >= 1";
+  if n mod t <> 0 then invalid_arg "Jigsaw.Config.make: t must divide n";
+  if w < 1 || w > 8 then
+    invalid_arg "Jigsaw.Config.make: w must be in 1..8 (Table I)";
+  if w > t then invalid_arg "Jigsaw.Config.make: w must not exceed t";
+  if l < 1 || l > 64 || not (is_pow2 l) then
+    invalid_arg "Jigsaw.Config.make: l must be a power of two in 1..64";
+  if coord_frac_bits < 1 || coord_frac_bits > 20 then
+    invalid_arg "Jigsaw.Config.make: coord_frac_bits must be in 1..20";
+  { n;
+    t;
+    w;
+    l;
+    coord_frac_bits;
+    pipeline_fmt = Fp.fmt ~total_bits:32 ~frac_bits:23;
+    weight_fmt = Fp.q15;
+    clock_ghz = 1.0;
+    pipeline_depth_2d = 12;
+    pipeline_depth_3d = 15 }
+
+let pipelines c = c.t * c.t
+let tiles_per_side c = c.n / c.t
+let tiles_total c = tiles_per_side c * tiles_per_side c
+let weight_sram_entries c = (c.w * c.l / 2) + 1
+let accum_sram_bytes c = c.n * c.n * 8
+
+let to_float_coord c raw = float_of_int raw /. float_of_int (1 lsl c.coord_frac_bits)
+
+let of_float_coord c u =
+  let scaled = u *. float_of_int (1 lsl c.coord_frac_bits) in
+  let raw = int_of_float (Float.round scaled) in
+  (* The grid is a torus: rounding can push a coordinate just below n to
+     exactly n; wrap it (and any other out-of-range real) back. *)
+  let span = c.n lsl c.coord_frac_bits in
+  let m = raw mod span in
+  if m < 0 then m + span else m

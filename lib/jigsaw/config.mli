@@ -1,0 +1,53 @@
+(** JIGSAW system parameters (paper Table I).
+
+    {v
+    Target Grid Dimensions (N)           8 - 1024
+    Virtual Tile Dimensions (T)          8
+    Interpolation Window Dimensions (W)  1 - 8
+    Table Oversampling Factor (L)        1 - 64
+    Pipeline Bit Width                   32-bit
+    Interpolation Weight Bit Width       16-bit
+    v}
+
+    [n] here is the {e oversampled target grid} size the accelerator grids
+    onto (the paper's N); coordinates arrive as 32-bit fixed point with
+    [coord_frac_bits] fractional bits. [l] must be a power of two so the
+    select unit can form table addresses by shifting (paper §IV). *)
+
+type t = {
+  n : int;  (** target grid points per side, 8..1024, multiple of [t] *)
+  t : int;  (** virtual tile dimension; the paper's arrays use 8 *)
+  w : int;  (** interpolation window width, 1..8 *)
+  l : int;  (** table oversampling factor, power of two, 1..64 *)
+  coord_frac_bits : int;  (** fractional bits of input coordinates *)
+  pipeline_fmt : Numerics.Fixed_point.fmt;  (** 32-bit accumulate format *)
+  weight_fmt : Numerics.Fixed_point.fmt;  (** 16-bit weight format *)
+  clock_ghz : float;
+  pipeline_depth_2d : int;  (** 12 cycles (paper §VI-A) *)
+  pipeline_depth_3d : int;  (** 15 cycles *)
+}
+
+val make : ?t:int -> ?w:int -> ?l:int -> ?coord_frac_bits:int -> n:int -> unit -> t
+(** Defaults: [t = 8], [w = 6], [l = 32], [coord_frac_bits = 16],
+    Q9.23 pipeline (32-bit), Q1.15 weights, 1.0 GHz, depths 12/15.
+    Raises [Invalid_argument] when outside Table I's ranges. *)
+
+val pipelines : t -> int
+(** [t^2] — 64 for the paper's configuration. *)
+
+val tiles_per_side : t -> int
+val tiles_total : t -> int
+
+val weight_sram_entries : t -> int
+(** Half-window table entries per dimension, [w*l/2 + 1]; must fit the
+    257-entry SRAM budget (256 weights + centre) of §IV. *)
+
+val accum_sram_bytes : t -> int
+(** Total accumulation SRAM: [n^2] complex points at 8 bytes — ~8 MiB for
+    n = 1024. *)
+
+val to_float_coord : t -> int -> float
+val of_float_coord : t -> float -> int
+(** Convert between grid-unit float coordinates and the 32-bit fixed-point
+    raw representation the hardware receives; [of_float_coord] rounds to
+    the coordinate grid and wraps onto the torus [0, n). *)

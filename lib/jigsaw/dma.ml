@@ -1,0 +1,15 @@
+let sample_bytes = 16
+let point_bytes = 8
+
+let input_cycles ~m = m
+
+let readout_cycles (cfg : Config.t) = cfg.Config.n * cfg.Config.n / 2
+
+let end_to_end_cycles (cfg : Config.t) ~m =
+  input_cycles ~m + cfg.Config.pipeline_depth_2d + readout_cycles cfg
+
+let bandwidth_gb_s (cfg : Config.t) =
+  float_of_int sample_bytes *. cfg.Config.clock_ghz
+
+let end_to_end_time_s cfg ~m =
+  float_of_int (end_to_end_cycles cfg ~m) /. (cfg.Config.clock_ghz *. 1e9)

@@ -1,0 +1,29 @@
+(** Host <-> JIGSAW DMA stream model (paper §IV "System Integration").
+
+    Input data arrives over a 128-bit bus as one non-uniform sample (two
+    32-bit fixed-point coordinates + one 32+32-bit complex value) per cycle
+    at 1.0 GHz — matching DDR4-class bandwidth (~20 GB/s). After the stream
+    completes, the gridded data is read out at two 64-bit target points per
+    cycle. The accelerator is fully provisioned, so no gap is needed
+    between the host-to-device and device-to-host streams. *)
+
+val sample_bytes : int
+(** 16: two fixed-point coordinates + complex value. *)
+
+val point_bytes : int
+(** 8: one complex 32-bit fixed-point grid point. *)
+
+val input_cycles : m:int -> int
+(** One sample per cycle: [m]. *)
+
+val readout_cycles : Config.t -> int
+(** Two points per cycle over the 128-bit bus: [n^2 / 2]. *)
+
+val end_to_end_cycles : Config.t -> m:int -> int
+(** Input stream + pipeline drain + readout: the full device-side latency
+    of one 2D gridding. *)
+
+val bandwidth_gb_s : Config.t -> float
+(** Input bandwidth implied by one 16-byte sample per clock. *)
+
+val end_to_end_time_s : Config.t -> m:int -> float

@@ -1,0 +1,95 @@
+module Fp = Numerics.Fixed_point
+module Cvec = Numerics.Cvec
+
+type t = {
+  cfg : Config.t;
+  weights : Weight_unit.t;
+  columns : Accum.t array;  (** indexed by pipeline = ry * t + rx *)
+  mutable samples : int;
+}
+
+let create cfg ~table =
+  { cfg;
+    weights = Weight_unit.load cfg table;
+    columns = Array.init (Config.pipelines cfg) (fun _ -> Accum.create cfg);
+    samples = 0 }
+
+let config e = e.cfg
+
+let stream_sample e ~cx ~cy value =
+  let cfg = e.cfg in
+  let t = cfg.Config.t in
+  (* Broadcast: every pipeline T_{x,y} runs its select stage; affected
+     pipelines continue through weight lookup, interpolation (Knuth
+     complex multiplies) and accumulation. *)
+  for py = 0 to t - 1 do
+    match Select_unit.check cfg ~pipeline:py cy with
+    | None -> ()
+    | Some hy ->
+        for px = 0 to t - 1 do
+          match Select_unit.check cfg ~pipeline:px cx with
+          | None -> ()
+          | Some hx ->
+              let weight =
+                Weight_unit.combine e.weights
+                  ~addr_x:hx.Select_unit.table_addr
+                  ~addr_y:hy.Select_unit.table_addr
+              in
+              let contribution =
+                Fp.Complex.mul_knuth_mixed ~a_fmt:cfg.Config.weight_fmt
+                  ~b_fmt:cfg.Config.pipeline_fmt
+                  ~out_fmt:cfg.Config.pipeline_fmt weight value
+              in
+              let tile =
+                Select_unit.global_tile_address cfg
+                  ~tile_x:hx.Select_unit.tile ~tile_y:hy.Select_unit.tile
+              in
+              Accum.accumulate e.columns.((py * t) + px) tile contribution
+        done
+  done;
+  e.samples <- e.samples + 1
+
+let stream e ~gx ~gy values =
+  let m = Array.length gx in
+  if Array.length gy <> m || Cvec.length values <> m then
+    invalid_arg "Engine2d.stream: length mismatch";
+  for j = 0 to m - 1 do
+    stream_sample e
+      ~cx:(Config.of_float_coord e.cfg gx.(j))
+      ~cy:(Config.of_float_coord e.cfg gy.(j))
+      (Fp.Complex.of_complexd e.cfg.Config.pipeline_fmt (Cvec.get values j))
+  done
+
+let samples_streamed e = e.samples
+
+let gridding_cycles e = e.samples + e.cfg.Config.pipeline_depth_2d
+
+let gridding_time_s e =
+  float_of_int (gridding_cycles e) /. (e.cfg.Config.clock_ghz *. 1e9)
+
+let saturation_events e =
+  Array.fold_left (fun acc c -> acc + Accum.saturation_events c) 0 e.columns
+
+let readout e =
+  let cfg = e.cfg in
+  let n = cfg.Config.n and t = cfg.Config.t in
+  let n_tiles = Config.tiles_per_side cfg in
+  let out = Cvec.create (n * n) in
+  for py = 0 to t - 1 do
+    for px = 0 to t - 1 do
+      let column = e.columns.((py * t) + px) in
+      for ty = 0 to n_tiles - 1 do
+        for tx = 0 to n_tiles - 1 do
+          let v = Accum.read column ((ty * n_tiles) + tx) in
+          let gx = (tx * t) + px and gy = (ty * t) + py in
+          Cvec.set out ((gy * n) + gx)
+            (Fp.Complex.to_complexd cfg.Config.pipeline_fmt v)
+        done
+      done
+    done
+  done;
+  out
+
+let reset e =
+  Array.iter Accum.clear e.columns;
+  e.samples <- 0

@@ -1,0 +1,47 @@
+(** The JIGSAW 2D streaming gridding engine (paper §IV, Fig 5).
+
+    A [t x t] grid of identical 32-bit fixed-point pipelines (select ->
+    weight lookup -> interpolation -> accumulate) accepts one non-uniform
+    sample per cycle, broadcast to all pipelines in parallel; each pipeline
+    accumulates into its private column SRAM. The engine is stall-free:
+    gridding an [m]-sample stream takes exactly [m + pipeline_depth]
+    cycles, irrespective of sampling pattern, window width or grid size —
+    the headline property of the paper.
+
+    The model is functional (bit-exact fixed-point datapath) and
+    cycle-counting (the schedule is deterministic, so counting is exact). *)
+
+type t
+
+val create : Config.t -> table:Numerics.Weight_table.t -> t
+(** Instantiate pipelines and load the weight SRAMs. *)
+
+val config : t -> Config.t
+
+val stream_sample :
+  t -> cx:int -> cy:int -> Numerics.Fixed_point.Complex.t -> unit
+(** Feed one sample: raw fixed-point coordinates plus its complex value in
+    the pipeline format. All [t^2] pipelines process it in parallel (one
+    cycle of the streaming schedule). *)
+
+val stream :
+  t -> gx:float array -> gy:float array -> Numerics.Cvec.t -> unit
+(** Convenience: quantise float grid-unit coordinates and double values to
+    the hardware formats and stream them all. *)
+
+val samples_streamed : t -> int
+
+val gridding_cycles : t -> int
+(** [samples_streamed + pipeline_depth_2d] — the M+12 of §VI-A. *)
+
+val gridding_time_s : t -> float
+
+val saturation_events : t -> int
+(** Accumulator saturations across all pipelines (0 = the fixed-point range
+    was never exceeded). *)
+
+val readout : t -> Numerics.Cvec.t
+(** Drain the accumulation SRAMs tile by tile into a row-major [n x n]
+    double grid (values converted from the pipeline fixed point). *)
+
+val reset : t -> unit

@@ -1,0 +1,81 @@
+module Fp = Numerics.Fixed_point
+module Cvec = Numerics.Cvec
+
+type t = {
+  cfg : Config.t;
+  table : Numerics.Weight_table.t;
+  nz : int;
+  mutable saturations : int;
+}
+
+let create cfg ~table ~nz =
+  if nz < 1 then invalid_arg "Engine3d.create: nz must be >= 1";
+  (* Validate the table against the configuration once, up front. *)
+  ignore (Weight_unit.load cfg table);
+  { cfg; table; nz; saturations = 0 }
+
+(* z select check: is slice [z] inside the window of coordinate [uz]?
+   Same integer arithmetic as Select_unit but against a single plane. *)
+let z_hit (cfg : Config.t) ~z raw =
+  let f = cfg.Config.coord_frac_bits in
+  let w = cfg.Config.w in
+  let c_shift = raw + (w lsl (f - 1)) in
+  let kmax = c_shift asr f in
+  let start = kmax - w + 1 in
+  if z < start || z > kmax then None
+  else begin
+    let dist_raw = (z lsl f) - raw in
+    let log2l =
+      let rec go b v = if v = 1 then b else go (b + 1) (v / 2) in
+      go 0 cfg.Config.l
+    in
+    Some (((abs dist_raw lsl log2l) + (1 lsl (f - 1))) asr f)
+  end
+
+let grid_volume e ~gx ~gy ~gz values =
+  let m = Array.length gx in
+  if Array.length gy <> m || Array.length gz <> m || Cvec.length values <> m
+  then invalid_arg "Engine3d.grid_volume: length mismatch";
+  let cfg = e.cfg in
+  Array.iter
+    (fun z ->
+      if z < 0.0 || z >= float_of_int e.nz then
+        invalid_arg "Engine3d.grid_volume: z coordinate out of range")
+    gz;
+  let weights = Weight_unit.load cfg e.table in
+  let slices =
+    Array.init e.nz (fun z ->
+        (* One stall-free 2D pass per slice; only the z-affected samples
+           make it past the (3D) select stage. *)
+        let engine = Engine2d.create cfg ~table:e.table in
+        for j = 0 to m - 1 do
+          let craw = Config.of_float_coord cfg gz.(j) in
+          match z_hit cfg ~z craw with
+          | None -> ()
+          | Some addr_z ->
+              (* Fold the z weight into the sample value before the 2D
+                 stages — equivalent to the 3D weight product of §IV. *)
+              let wz = Weight_unit.read weights addr_z in
+              let v =
+                Fp.Complex.mul_knuth_mixed ~a_fmt:cfg.Config.weight_fmt
+                  ~b_fmt:cfg.Config.pipeline_fmt
+                  ~out_fmt:cfg.Config.pipeline_fmt wz
+                  (Fp.Complex.of_complexd cfg.Config.pipeline_fmt
+                     (Cvec.get values j))
+              in
+              Engine2d.stream_sample engine
+                ~cx:(Config.of_float_coord cfg gx.(j))
+                ~cy:(Config.of_float_coord cfg gy.(j))
+                v
+        done;
+        let out = Engine2d.readout engine in
+        e.saturations <- e.saturations + Engine2d.saturation_events engine;
+        out)
+  in
+  slices
+
+let unsorted_cycles e ~m = (m + e.cfg.Config.pipeline_depth_3d) * e.nz
+
+let z_sorted_cycles e ~m = (m + e.cfg.Config.pipeline_depth_3d) * e.cfg.Config.w
+
+let saturation_events e = e.saturations

@@ -1,0 +1,37 @@
+(** JIGSAW 3D Slice: gridding a 3D volume as a sequence of 2D slices
+    (paper §IV "Gridding in 2D and 3D", §VI-A).
+
+    On-chip SRAM holds one [n x n] slice (~8 MiB at n = 1024), so an
+    [n^3] volume is gridded in [nz] sequential passes: each pass streams
+    the whole (unsorted) sample set, the select stage additionally checks
+    the z distance, and affected samples contribute with a third weight
+    factor. Runtimes (paper formulas):
+
+    - unsorted input: [(m + 15) * nz] cycles;
+    - input pre-binned by z-slice: [(m + 15) * wz] cycles, since each
+      sample only needs to be streamed to the [wz] slices it affects. *)
+
+type t
+
+val create : Config.t -> table:Numerics.Weight_table.t -> nz:int -> t
+(** [nz] slices in the z dimension (coordinates [uz in [0, nz))). *)
+
+val grid_volume :
+  t ->
+  gx:float array ->
+  gy:float array ->
+  gz:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t array
+(** Functionally grid the whole volume slice by slice; element [z] of the
+    result is the [n x n] grid of slice [z]. Each pass re-streams all
+    samples (the unsorted schedule). *)
+
+val unsorted_cycles : t -> m:int -> int
+(** [(m + pipeline_depth_3d) * nz]. *)
+
+val z_sorted_cycles : t -> m:int -> int
+(** [(m + pipeline_depth_3d) * wz] — the z-binned schedule; [wz] is the
+    window width (same [w] in every dimension here). *)
+
+val saturation_events : t -> int

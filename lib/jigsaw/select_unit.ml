@@ -1,0 +1,57 @@
+type hit = {
+  k_wrapped : int;
+  tile : int;
+  dist_raw : int;
+  table_addr : int;
+  wrapped : bool;
+}
+
+let log2_exact x =
+  let rec go b v = if v = 1 then b else go (b + 1) (v / 2) in
+  go 0 x
+
+let check (cfg : Config.t) ~pipeline raw =
+  let f = cfg.Config.coord_frac_bits in
+  let t = cfg.Config.t and w = cfg.Config.w in
+  if raw < 0 || raw >= cfg.Config.n lsl f then
+    invalid_arg "Select_unit.check: coordinate out of range";
+  if pipeline < 0 || pipeline >= t then
+    invalid_arg "Select_unit.check: pipeline index out of range";
+  (* Window shift: kmax = floor(u + w/2), start = kmax - w + 1. *)
+  let c_shift = raw + (w lsl (f - 1)) in
+  let kmax = c_shift asr f in
+  let start = kmax - w + 1 in
+  (* Unique window point congruent to the pipeline index (mod t). *)
+  let j =
+    let m = (pipeline - start) mod t in
+    if m < 0 then m + t else m
+  in
+  if j >= w then None
+  else begin
+    let k = start + j in
+    let dist_raw = (k lsl f) - raw in
+    (* |dist| * l, rounded to the nearest integer: with l a power of two
+       the multiply is a left shift of log2 l. *)
+    let abs_dist = abs dist_raw in
+    let table_addr = ((abs_dist lsl log2_exact cfg.Config.l) + (1 lsl (f - 1))) asr f in
+    let n_tiles = cfg.Config.n / t in
+    let tile_unwrapped = if k >= 0 then k / t else ((k + 1) / t) - 1 in
+    let sample_tile = (raw asr f) / t in
+    let tile =
+      let m = tile_unwrapped mod n_tiles in
+      if m < 0 then m + n_tiles else m
+    in
+    let k_wrapped =
+      let m = k mod cfg.Config.n in
+      if m < 0 then m + cfg.Config.n else m
+    in
+    Some
+      { k_wrapped;
+        tile;
+        dist_raw;
+        table_addr;
+        wrapped = tile_unwrapped <> sample_tile }
+  end
+
+let global_tile_address (cfg : Config.t) ~tile_x ~tile_y =
+  (tile_y * Config.tiles_per_side cfg) + tile_x

@@ -1,0 +1,36 @@
+(** The JIGSAW select stage (paper §IV, Fig 4) — integer-exact.
+
+    For each arriving sample, every pipeline decides with pure integer
+    arithmetic whether the sample's interpolation window covers the one
+    grid point of its column, and if so computes the accumulation index
+    (wrapped tile coordinate) and the weight-table address:
+
+    + truncate the coordinate's upper bits -> relative coordinate; the
+      truncated bits are the tile coordinate;
+    + window-shift and subtract the pipeline index -> forward distance;
+    + compare against the window width -> affected?;
+    + relative coordinate < pipeline index -> the window wrapped into the
+      neighbouring tile: decrement the tile coordinate (mod grid);
+    + distance * L (a shift, since L is a power of two), rounded -> table
+      address.
+
+    The arithmetic is bit-faithful to a 32-bit fixed-point datapath and is
+    property-tested to agree exactly with the floating-point
+    {!Nufft.Coord.column_check} whenever the coordinate is representable. *)
+
+type hit = {
+  k_wrapped : int;  (** wrapped grid index of the affected point *)
+  tile : int;  (** wrapped tile coordinate — the SRAM depth index *)
+  dist_raw : int;  (** signed distance in coordinate fixed point *)
+  table_addr : int;  (** weight SRAM address *)
+  wrapped : bool;  (** window crossed into the neighbouring tile *)
+}
+
+val check : Config.t -> pipeline:int -> int -> hit option
+(** [check cfg ~pipeline raw] runs the select stage of 1D pipeline index
+    [pipeline] (in [0 .. t-1]) on raw fixed-point coordinate [raw]
+    (non-negative, < [n << coord_frac_bits]). *)
+
+val global_tile_address : Config.t -> tile_x:int -> tile_y:int -> int
+(** Combine per-dimension tile coordinates into the linear accumulation
+    index ("like calculating a total linear index in GPU programming"). *)

@@ -1,0 +1,33 @@
+type variant = Two_d | Three_d_slice
+
+type measurement = {
+  power_mw : float;
+  area_mm2 : float;
+}
+
+let with_accum_sram = function
+  | Two_d -> { power_mw = 216.86; area_mm2 = 12.20 }
+  | Three_d_slice -> { power_mw = 104.36; area_mm2 = 12.42 }
+
+let logic_only = function
+  | Two_d -> { power_mw = 94.22; area_mm2 = 0.42 }
+  | Three_d_slice -> { power_mw = 63.62; area_mm2 = 0.64 }
+
+let sram_contribution v =
+  let full = with_accum_sram v and logic = logic_only v in
+  { power_mw = full.power_mw -. logic.power_mw;
+    area_mm2 = full.area_mm2 -. logic.area_mm2 }
+
+let energy_j ?(variant = Two_d) ~cycles ~clock_ghz () =
+  let time_s = float_of_int cycles /. (clock_ghz *. 1e9) in
+  (with_accum_sram variant).power_mw *. 1e-3 *. time_s
+
+let variant_name = function
+  | Two_d -> "2D"
+  | Three_d_slice -> "3D Slice"
+
+let table =
+  [ ("2D (8MB SRAM)", with_accum_sram Two_d);
+    ("2D (no accum SRAM)", logic_only Two_d);
+    ("3D Slice (8MB SRAM)", with_accum_sram Three_d_slice);
+    ("3D Slice (no accum SRAM)", logic_only Three_d_slice) ]

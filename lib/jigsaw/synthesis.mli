@@ -1,0 +1,34 @@
+(** Synthesis results (paper Table II) as a power/area/energy model.
+
+    The paper synthesises JIGSAW in an industrial 16 nm node at 1.0 GHz and
+    reports, for each variant, figures with and without the ~8 MiB target
+    grid accumulation SRAM (which dominates both area and power). We encode
+    the published constants and derive energy as power x modelled runtime —
+    exactly how the paper's Fig 8 energies are produced. *)
+
+type variant = Two_d | Three_d_slice
+
+type measurement = {
+  power_mw : float;
+  area_mm2 : float;
+}
+
+val with_accum_sram : variant -> measurement
+(** 2D: 216.86 mW / 12.20 mm2; 3D Slice: 104.36 mW / 12.42 mm2. *)
+
+val logic_only : variant -> measurement
+(** Without accumulation SRAM — 2D: 94.22 mW / 0.42 mm2;
+    3D Slice: 63.62 mW / 0.64 mm2. *)
+
+val sram_contribution : variant -> measurement
+(** [with_accum_sram - logic_only]: what the 8 MiB grid storage costs. The
+    paper notes ~95% of area and >56% of 2D power is this SRAM. *)
+
+val energy_j : ?variant:variant -> cycles:int -> clock_ghz:float -> unit -> float
+(** Energy of a run of [cycles] at [clock_ghz] using the full (with-SRAM)
+    power. Default variant: [Two_d]. *)
+
+val variant_name : variant -> string
+
+val table : (string * measurement) list
+(** The four rows of Table II, labelled. *)

@@ -1,0 +1,30 @@
+module Fp = Numerics.Fixed_point
+module Wt = Numerics.Weight_table
+
+type t = { entries : Fp.Complex.t array }
+
+let sram_capacity = 257
+
+let load (cfg : Config.t) table =
+  if Wt.width table <> cfg.Config.w then
+    invalid_arg "Weight_unit.load: table width mismatch";
+  if Wt.oversampling table <> cfg.Config.l then
+    invalid_arg "Weight_unit.load: table oversampling mismatch";
+  let n = Wt.entries table in
+  if n > sram_capacity then
+    invalid_arg "Weight_unit.load: table exceeds SRAM capacity";
+  { entries =
+      Array.init n (fun a -> { Fp.Complex.re = Wt.get_q15 table a; im = 0 }) }
+
+let read t addr =
+  if addr < 0 || addr >= Array.length t.entries then
+    invalid_arg "Weight_unit.read: address out of range";
+  t.entries.(addr)
+
+let q15 = Fp.q15
+
+let combine t ~addr_x ~addr_y =
+  Fp.Complex.mul_knuth q15 (read t addr_x) (read t addr_y)
+
+let combine3 t ~addr_x ~addr_y ~addr_z =
+  Fp.Complex.mul_knuth q15 (combine t ~addr_x ~addr_y) (read t addr_z)

@@ -1,0 +1,29 @@
+(** The JIGSAW interpolation-weight lookup stage (paper §IV).
+
+    A dual-ported SRAM stores up to 257 complex weights of 16+16 bits
+    (window symmetry halves the storage: W = 8 at L = 64 fits); per sample
+    the unit reads one weight per dimension and multiplies them with
+    Knuth's 3-multiplication complex product to form the final
+    interpolation weight. Real windows (Kaiser-Bessel etc.) simply carry a
+    zero imaginary part — the datapath is complex to match the hardware. *)
+
+type t
+
+val sram_capacity : int
+(** 257 entries (256 weights + the window centre). *)
+
+val load : Config.t -> Numerics.Weight_table.t -> t
+(** Initialise the SRAM from a weight table; the table's width and
+    oversampling must match the configuration and fit the SRAM. Entries
+    are quantised to Q1.15 regardless of the table's own precision. *)
+
+val read : t -> int -> Numerics.Fixed_point.Complex.t
+(** Raw SRAM read. Raises [Invalid_argument] out of range. *)
+
+val combine : t -> addr_x:int -> addr_y:int -> Numerics.Fixed_point.Complex.t
+(** Final 2D weight: [sram[addr_x] * sram[addr_y]] (Knuth product, Q1.15
+    result). *)
+
+val combine3 :
+  t -> addr_x:int -> addr_y:int -> addr_z:int -> Numerics.Fixed_point.Complex.t
+(** 3D variant: product of three per-dimension weights. *)

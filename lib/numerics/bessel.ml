@@ -1,0 +1,11 @@
+let i0 x =
+  let h = 0.5 *. Float.abs x in
+  let h2 = h *. h in
+  let rec loop k term sum =
+    if term <= 1e-18 *. sum || k > 1000 then sum
+    else begin
+      let term = term *. h2 /. (float_of_int k *. float_of_int k) in
+      loop (k + 1) term (sum +. term)
+    end
+  in
+  loop 1 1.0 1.0

@@ -1,0 +1,10 @@
+(** Modified Bessel function of the first kind, order zero.
+
+    [i0] underlies the Kaiser-Bessel interpolation window used by MIRT,
+    Impatient and JIGSAW. Computed by the absolutely convergent power
+    series, accurate to double precision for the argument range that occurs
+    in gridding (beta <= ~40 for W <= 8). *)
+
+val i0 : float -> float
+(** [i0 x] = sum_{k>=0} ((x/2)^{2k} / (k!)^2). Defined for all finite [x];
+    even in [x]. *)

@@ -1,0 +1,42 @@
+type t = { re : float; im : float }
+
+let zero = { re = 0.0; im = 0.0 }
+let one = { re = 1.0; im = 0.0 }
+let i = { re = 0.0; im = 1.0 }
+let make re im = { re; im }
+let of_float x = { re = x; im = 0.0 }
+let add a b = { re = a.re +. b.re; im = a.im +. b.im }
+let sub a b = { re = a.re -. b.re; im = a.im -. b.im }
+let neg a = { re = -.a.re; im = -.a.im }
+let conj a = { re = a.re; im = -.a.im }
+
+let mul a b =
+  { re = (a.re *. b.re) -. (a.im *. b.im);
+    im = (a.re *. b.im) +. (a.im *. b.re) }
+
+(* (a+bi)(c+di) with t1 = c(a+b), t2 = a(d-c), t3 = b(c+d):
+   re = t1 - t3, im = t1 + t2.  Three real multiplications. *)
+let mul_knuth a b =
+  let t1 = b.re *. (a.re +. a.im) in
+  let t2 = a.re *. (b.im -. b.re) in
+  let t3 = a.im *. (b.re +. b.im) in
+  { re = t1 -. t3; im = t1 +. t2 }
+
+let scale s a = { re = s *. a.re; im = s *. a.im }
+
+let div a b =
+  let d = (b.re *. b.re) +. (b.im *. b.im) in
+  { re = ((a.re *. b.re) +. (a.im *. b.im)) /. d;
+    im = ((a.im *. b.re) -. (a.re *. b.im)) /. d }
+
+let inv a = div one a
+let exp_i theta = { re = cos theta; im = sin theta }
+let norm2 a = (a.re *. a.re) +. (a.im *. a.im)
+let norm a = Float.hypot a.re a.im
+let arg a = Float.atan2 a.im a.re
+
+let equal ?(eps = 0.0) a b =
+  Float.abs (a.re -. b.re) <= eps && Float.abs (a.im -. b.im) <= eps
+
+let pp ppf a = Format.fprintf ppf "(%g%+gi)" a.re a.im
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,53 @@
+(** Double-precision complex arithmetic.
+
+    A small, allocation-conscious complex number module used throughout the
+    reproduction. Values are immutable records of two floats. In addition to
+    the usual field-wise product, [mul_knuth] implements the 3-multiplication
+    complex product used by the JIGSAW weight-lookup and interpolation units
+    (Knuth, TAOCP vol. 1); both products agree up to floating-point rounding
+    and the tests check that. *)
+
+type t = { re : float; im : float }
+
+val zero : t
+val one : t
+val i : t
+
+val make : float -> float -> t
+(** [make re im] is the complex number [re + i*im]. *)
+
+val of_float : float -> t
+(** [of_float x] is [x + 0i]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val conj : t -> t
+
+val mul : t -> t -> t
+(** Field-wise product: 4 multiplications, 2 additions. *)
+
+val mul_knuth : t -> t -> t
+(** Knuth's product: 3 real multiplications and 5 additions/subtractions,
+    as implemented by the JIGSAW hardware. Algebraically equal to {!mul}. *)
+
+val scale : float -> t -> t
+val div : t -> t -> t
+val inv : t -> t
+
+val exp_i : float -> t
+(** [exp_i theta] is [e^{i theta}] = [cos theta + i sin theta]. *)
+
+val norm2 : t -> float
+(** Squared magnitude. *)
+
+val norm : t -> float
+(** Magnitude. *)
+
+val arg : t -> float
+
+val equal : ?eps:float -> t -> t -> bool
+(** Component-wise comparison with absolute tolerance [eps] (default 0). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,121 @@
+type t = float array
+
+let create n = Array.make (2 * n) 0.0
+
+let length v = Array.length v / 2
+
+let get v k = Complexd.make v.(2 * k) v.((2 * k) + 1)
+
+let set v k (c : Complexd.t) =
+  v.(2 * k) <- c.Complexd.re;
+  v.((2 * k) + 1) <- c.Complexd.im
+
+let get_re v k = v.(2 * k)
+let get_im v k = v.((2 * k) + 1)
+
+let set_parts v k re im =
+  v.(2 * k) <- re;
+  v.((2 * k) + 1) <- im
+
+let accumulate v k (c : Complexd.t) =
+  v.(2 * k) <- v.(2 * k) +. c.Complexd.re;
+  v.((2 * k) + 1) <- v.((2 * k) + 1) +. c.Complexd.im
+
+let fill_zero v = Array.fill v 0 (Array.length v) 0.0
+let copy = Array.copy
+
+let blit src dst =
+  if Array.length src <> Array.length dst then
+    invalid_arg "Cvec.blit: length mismatch";
+  Array.blit src 0 dst 0 (Array.length src)
+
+let of_complex_array a =
+  let v = create (Array.length a) in
+  Array.iteri (fun k c -> set v k c) a;
+  v
+
+let to_complex_array v = Array.init (length v) (get v)
+
+let init n f =
+  let v = create n in
+  for k = 0 to n - 1 do
+    set v k (f k)
+  done;
+  v
+
+let map f v = init (length v) (fun k -> f (get v k))
+
+let iteri f v =
+  for k = 0 to length v - 1 do
+    f k (get v k)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for k = 0 to length v - 1 do
+    acc := f !acc (get v k)
+  done;
+  !acc
+
+let scale_inplace s v =
+  for j = 0 to Array.length v - 1 do
+    v.(j) <- s *. v.(j)
+  done
+
+let add_inplace dst src =
+  if Array.length dst <> Array.length src then
+    invalid_arg "Cvec.add_inplace: length mismatch";
+  for j = 0 to Array.length dst - 1 do
+    dst.(j) <- dst.(j) +. src.(j)
+  done
+
+let dot a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Cvec.dot: length mismatch";
+  let re = ref 0.0 and im = ref 0.0 in
+  for k = 0 to length a - 1 do
+    let ar = a.(2 * k) and ai = a.((2 * k) + 1) in
+    let br = b.(2 * k) and bi = b.((2 * k) + 1) in
+    re := !re +. ((ar *. br) +. (ai *. bi));
+    im := !im +. ((ar *. bi) -. (ai *. br))
+  done;
+  Complexd.make !re !im
+
+let norm2 v =
+  let s = ref 0.0 in
+  for j = 0 to Array.length v - 1 do
+    s := !s +. (v.(j) *. v.(j))
+  done;
+  !s
+
+let max_abs_diff a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Cvec.max_abs_diff: length mismatch";
+  let m = ref 0.0 in
+  for j = 0 to Array.length a - 1 do
+    let d = Float.abs (a.(j) -. b.(j)) in
+    if d > !m then m := d
+  done;
+  !m
+
+let nrmsd ~reference v =
+  if Array.length reference <> Array.length v then
+    invalid_arg "Cvec.nrmsd: length mismatch";
+  let num = ref 0.0 and den = ref 0.0 in
+  for j = 0 to Array.length v - 1 do
+    let d = v.(j) -. reference.(j) in
+    num := !num +. (d *. d);
+    den := !den +. (reference.(j) *. reference.(j))
+  done;
+  if !den = 0.0 then invalid_arg "Cvec.nrmsd: zero reference";
+  sqrt (!num /. !den)
+
+let pp ppf v =
+  let n = min 8 (length v) in
+  Format.fprintf ppf "[|";
+  for k = 0 to n - 1 do
+    if k > 0 then Format.fprintf ppf "; ";
+    Complexd.pp ppf (get v k)
+  done;
+  if length v > n then Format.fprintf ppf "; ...";
+  Format.fprintf ppf "|](%d)" (length v)

@@ -1,0 +1,61 @@
+(** Dense complex vectors stored as interleaved [float array]s.
+
+    Layout: element [k] occupies indices [2k] (real) and [2k+1] (imaginary).
+    OCaml float arrays are unboxed, so this layout gives contiguous,
+    cache-friendly storage comparable to a C array of structs — the layout
+    the paper's gridding kernels operate on. All gridding engines, the FFT,
+    and the simulators exchange data in this format. *)
+
+type t = float array
+(** Interleaved storage; length is always even. *)
+
+val create : int -> t
+(** [create n] is a zeroed vector of [n] complex elements. *)
+
+val length : t -> int
+(** Number of complex elements. *)
+
+val get : t -> int -> Complexd.t
+val set : t -> int -> Complexd.t -> unit
+
+val get_re : t -> int -> float
+val get_im : t -> int -> float
+val set_parts : t -> int -> float -> float -> unit
+
+val accumulate : t -> int -> Complexd.t -> unit
+(** [accumulate v k c] adds [c] to element [k] in place — the fundamental
+    gridding update. *)
+
+val fill_zero : t -> unit
+val copy : t -> t
+val blit : t -> t -> unit
+
+val of_complex_array : Complexd.t array -> t
+val to_complex_array : t -> Complexd.t array
+
+val init : int -> (int -> Complexd.t) -> t
+val map : (Complexd.t -> Complexd.t) -> t -> t
+val iteri : (int -> Complexd.t -> unit) -> t -> unit
+val fold : ('a -> Complexd.t -> 'a) -> 'a -> t -> 'a
+
+val scale_inplace : float -> t -> unit
+val add_inplace : t -> t -> unit
+(** [add_inplace dst src] adds [src] into [dst] element-wise. *)
+
+val dot : t -> t -> Complexd.t
+(** Hermitian inner product [sum conj(a_k) * b_k]. *)
+
+val norm2 : t -> float
+(** Sum of squared magnitudes. *)
+
+val max_abs_diff : t -> t -> float
+(** Largest component-wise absolute difference (over both parts). *)
+
+val nrmsd : reference:t -> t -> float
+(** Normalised root-mean-square difference, as used for the paper's image
+    quality evaluation (Fig 9):
+    [sqrt (sum |x_k - r_k|^2 / sum |r_k|^2)]. Raises [Invalid_argument] on
+    length mismatch or a zero reference. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints at most the first 8 elements, for debugging. *)

@@ -1,0 +1,85 @@
+type fmt = { total_bits : int; frac_bits : int }
+
+let fmt ~total_bits ~frac_bits =
+  if total_bits <= 0 || total_bits > 48 then
+    invalid_arg "Fixed_point.fmt: total_bits must be in 1..48";
+  if frac_bits < 0 || frac_bits >= total_bits then
+    invalid_arg "Fixed_point.fmt: frac_bits must be in 0..total_bits-1";
+  { total_bits; frac_bits }
+
+let q31 = { total_bits = 32; frac_bits = 31 }
+let q15 = { total_bits = 16; frac_bits = 15 }
+let pipeline_fmt = { total_bits = 32; frac_bits = 23 }
+
+let max_raw f = (1 lsl (f.total_bits - 1)) - 1
+let min_raw f = -(1 lsl (f.total_bits - 1))
+let epsilon f = ldexp 1.0 (-f.frac_bits)
+
+let saturate f raw =
+  let hi = max_raw f and lo = min_raw f in
+  if raw > hi then hi else if raw < lo then lo else raw
+
+let of_float f x =
+  let scaled = x *. ldexp 1.0 f.frac_bits in
+  if Float.is_nan scaled then 0
+  else if scaled >= float_of_int (max_raw f) then max_raw f
+  else if scaled <= float_of_int (min_raw f) then min_raw f
+  else saturate f (int_of_float (Float.round scaled))
+
+let to_float f raw = float_of_int raw *. epsilon f
+
+let add f a b = saturate f (a + b)
+let sub f a b = saturate f (a - b)
+let neg f a = saturate f (-a)
+
+(* Shift right by [n] with round-to-nearest, ties away from zero. *)
+let round_shift x n =
+  if n = 0 then x
+  else begin
+    let half = 1 lsl (n - 1) in
+    if x >= 0 then (x + half) asr n else -((-x + half) asr n)
+  end
+
+let mul f a b = saturate f (round_shift (a * b) f.frac_bits)
+
+let mul_mixed ~a_fmt ~b_fmt ~out_fmt a b =
+  (* Exact product carries a_fmt.frac + b_fmt.frac fractional bits; shift to
+     the output format's fractional position. *)
+  let shift = a_fmt.frac_bits + b_fmt.frac_bits - out_fmt.frac_bits in
+  let p = a * b in
+  let raw = if shift >= 0 then round_shift p shift else p lsl -shift in
+  saturate out_fmt raw
+
+module Complex = struct
+  type t = { re : int; im : int }
+
+  let zero = { re = 0; im = 0 }
+
+  let of_complexd f (c : Complexd.t) =
+    { re = of_float f c.Complexd.re; im = of_float f c.Complexd.im }
+
+  let to_complexd f c = Complexd.make (to_float f c.re) (to_float f c.im)
+
+  let add f a b = { re = add f a.re b.re; im = add f a.im b.im }
+  let sub f a b = { re = sub f a.re b.re; im = sub f a.im b.im }
+
+  let mul_knuth f a b =
+    let t1 = b.re * (a.re + a.im) in
+    let t2 = a.re * (b.im - b.re) in
+    let t3 = a.im * (b.re + b.im) in
+    { re = saturate f (round_shift (t1 - t3) f.frac_bits);
+      im = saturate f (round_shift (t1 + t2) f.frac_bits) }
+
+  let mul_knuth_mixed ~a_fmt ~b_fmt ~out_fmt a b =
+    let shift = a_fmt.frac_bits + b_fmt.frac_bits - out_fmt.frac_bits in
+    let resize p =
+      if shift >= 0 then saturate out_fmt (round_shift p shift)
+      else saturate out_fmt (p lsl -shift)
+    in
+    let t1 = b.re * (a.re + a.im) in
+    let t2 = a.re * (b.im - b.re) in
+    let t3 = a.im * (b.re + b.im) in
+    { re = resize (t1 - t3); im = resize (t1 + t2) }
+end
+
+let quantization_error_bound f = 0.5 *. epsilon f

@@ -1,0 +1,78 @@
+(** Parametric signed fixed-point arithmetic.
+
+    JIGSAW performs all datapath operations in 32-bit signed fixed point,
+    with 16-bit interpolation weights. This module models two's-complement
+    Q-format values exactly: a format [fmt] with [total_bits] and
+    [frac_bits] represents the value [raw / 2^frac_bits] where [raw] is a
+    signed integer of [total_bits] bits. Raw values are carried in native
+    [int]s (63 usable bits — ample for any format up to 48 bits), and every
+    operation rounds to nearest (ties away from zero) and saturates to the
+    format's representable range, like a hardware ALU with saturation
+    logic. *)
+
+type fmt = private { total_bits : int; frac_bits : int }
+
+val fmt : total_bits:int -> frac_bits:int -> fmt
+(** Create a format. Raises [Invalid_argument] unless
+    [0 < total_bits <= 48] and [0 <= frac_bits < total_bits]. *)
+
+val q31 : fmt
+(** 32-bit, 1 integer (sign) bit, 31 fractional bits: the JIGSAW pipeline
+    format for normalised sample data. *)
+
+val q15 : fmt
+(** 16-bit, 15 fractional bits: the JIGSAW interpolation weight format. *)
+
+val pipeline_fmt : fmt
+(** 32-bit with 23 fractional bits — the accumulation format used by our
+    JIGSAW model: 8 integer bits of headroom so that thousands of
+    overlapping kernel contributions do not saturate. *)
+
+val max_raw : fmt -> int
+val min_raw : fmt -> int
+
+val epsilon : fmt -> float
+(** The value of one least-significant bit, [2^-frac_bits]. *)
+
+val of_float : fmt -> float -> int
+(** Quantise a real to raw representation: round to nearest, saturate. *)
+
+val to_float : fmt -> int -> float
+
+val saturate : fmt -> int -> int
+(** Clamp an arbitrary integer to the format's raw range. *)
+
+val add : fmt -> int -> int -> int
+val sub : fmt -> int -> int -> int
+val neg : fmt -> int -> int
+
+val mul : fmt -> int -> int -> int
+(** Product of two values of format [fmt]: the exact double-width product is
+    rounded back (shift with round-to-nearest) and saturated. *)
+
+val mul_mixed : a_fmt:fmt -> b_fmt:fmt -> out_fmt:fmt -> int -> int -> int
+(** Product of values in two different formats, rounded and saturated into
+    [out_fmt] — e.g. a Q1.15 weight times a Q8.23 sample. *)
+
+(** Complex fixed-point values and the Knuth 3-multiplication product used
+    by the JIGSAW weight-lookup and interpolation units. *)
+module Complex : sig
+  type t = { re : int; im : int }
+
+  val zero : t
+  val of_complexd : fmt -> Complexd.t -> t
+  val to_complexd : fmt -> t -> Complexd.t
+  val add : fmt -> t -> t -> t
+  val sub : fmt -> t -> t -> t
+
+  val mul_knuth : fmt -> t -> t -> t
+  (** Same-format Knuth complex product (3 real multiplies, 5 add/subs). *)
+
+  val mul_knuth_mixed : a_fmt:fmt -> b_fmt:fmt -> out_fmt:fmt -> t -> t -> t
+  (** Mixed-format Knuth complex product: cross terms are computed at full
+      precision and rounded once into [out_fmt], matching a hardware
+      implementation that keeps double-width partial products. *)
+end
+
+val quantization_error_bound : fmt -> float
+(** Half an LSB: the worst-case error of a single [of_float]. *)

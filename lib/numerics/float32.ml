@@ -1,0 +1,31 @@
+let round x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let add a b = round (a +. b)
+let sub a b = round (a -. b)
+let mul a b = round (a *. b)
+let div a b = round (a /. b)
+
+let cadd a b =
+  Complexd.make
+    (add a.Complexd.re b.Complexd.re)
+    (add a.Complexd.im b.Complexd.im)
+
+let csub a b =
+  Complexd.make
+    (sub a.Complexd.re b.Complexd.re)
+    (sub a.Complexd.im b.Complexd.im)
+
+let cmul (a : Complexd.t) (b : Complexd.t) =
+  Complexd.make
+    (sub (mul a.re b.re) (mul a.im b.im))
+    (add (mul a.re b.im) (mul a.im b.re))
+
+let cmul_knuth (a : Complexd.t) (b : Complexd.t) =
+  let t1 = mul b.re (add a.re a.im) in
+  let t2 = mul a.re (sub b.im b.re) in
+  let t3 = mul a.im (add b.re b.im) in
+  Complexd.make (sub t1 t3) (add t1 t2)
+
+let cround (c : Complexd.t) = Complexd.make (round c.re) (round c.im)
+
+let cvec_round v = Array.map round v

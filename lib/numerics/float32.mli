@@ -1,0 +1,31 @@
+(** Simulated IEEE-754 single precision.
+
+    OCaml floats are doubles; the paper's GPU implementations use single
+    precision "to closely match the prior work". We simulate binary32 by
+    rounding the double result of every operation through
+    [Int32.bits_of_float], which performs correct round-to-nearest-even
+    conversion. Each operation is computed in double and then rounded once;
+    for +, -, *, / on normal f32 inputs this equals direct binary32
+    arithmetic because the double intermediate holds the exact (or
+    sufficiently precise) result before the single rounding. *)
+
+val round : float -> float
+(** Round a double to the nearest representable binary32 value. *)
+
+val add : float -> float -> float
+val sub : float -> float -> float
+val mul : float -> float -> float
+val div : float -> float -> float
+
+val cadd : Complexd.t -> Complexd.t -> Complexd.t
+val csub : Complexd.t -> Complexd.t -> Complexd.t
+
+val cmul : Complexd.t -> Complexd.t -> Complexd.t
+(** Complex product with every intermediate rounded to f32 (4-mult form). *)
+
+val cmul_knuth : Complexd.t -> Complexd.t -> Complexd.t
+(** Knuth 3-mult complex product at f32 precision. *)
+
+val cround : Complexd.t -> Complexd.t
+val cvec_round : Cvec.t -> Cvec.t
+(** Round every component of a complex vector to f32. *)

@@ -1,0 +1,95 @@
+module C = Complexd
+
+type matrix = C.t array array
+
+let identity n =
+  Array.init n (fun i -> Array.init n (fun j -> if i = j then C.one else C.zero))
+
+let matvec a x =
+  let n = Array.length a in
+  Array.init n (fun i ->
+      let acc = ref C.zero in
+      for j = 0 to Array.length x - 1 do
+        acc := C.add !acc (C.mul a.(i).(j) x.(j))
+      done;
+      !acc)
+
+let transpose_conj a =
+  let n = Array.length a in
+  let m = if n = 0 then 0 else Array.length a.(0) in
+  Array.init m (fun i -> Array.init n (fun j -> C.conj a.(j).(i)))
+
+let solve a b =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    if Array.length b <> n then invalid_arg "Linalg.solve: size mismatch";
+    Array.iter
+      (fun row ->
+        if Array.length row <> n then invalid_arg "Linalg.solve: not square")
+      a;
+    (* Working copies. *)
+    let m = Array.map Array.copy a in
+    let x = Array.copy b in
+    for col = 0 to n - 1 do
+      (* Partial pivot. *)
+      let pivot = ref col in
+      for r = col + 1 to n - 1 do
+        if C.norm m.(r).(col) > C.norm m.(!pivot).(col) then pivot := r
+      done;
+      if C.norm m.(!pivot).(col) < 1e-300 then
+        failwith "Linalg.solve: singular matrix";
+      if !pivot <> col then begin
+        let tmp = m.(col) in
+        m.(col) <- m.(!pivot);
+        m.(!pivot) <- tmp;
+        let t = x.(col) in
+        x.(col) <- x.(!pivot);
+        x.(!pivot) <- t
+      end;
+      let inv_p = C.inv m.(col).(col) in
+      for r = col + 1 to n - 1 do
+        let factor = C.mul m.(r).(col) inv_p in
+        if factor <> C.zero then begin
+          for c = col to n - 1 do
+            m.(r).(c) <- C.sub m.(r).(c) (C.mul factor m.(col).(c))
+          done;
+          x.(r) <- C.sub x.(r) (C.mul factor x.(col))
+        end
+      done
+    done;
+    (* Back substitution. *)
+    for col = n - 1 downto 0 do
+      let acc = ref x.(col) in
+      for c = col + 1 to n - 1 do
+        acc := C.sub !acc (C.mul m.(col).(c) x.(c))
+      done;
+      x.(col) <- C.mul !acc (C.inv m.(col).(col))
+    done;
+    x
+  end
+
+let solve_regularized ?mu a b =
+  let n = Array.length a in
+  let max_diag =
+    Array.fold_left
+      (fun acc i -> Float.max acc (C.norm a.(i).(i)))
+      0.0
+      (Array.init n (fun i -> i))
+  in
+  let mu = match mu with Some m -> m | None -> 1e-12 *. Float.max 1.0 max_diag in
+  let a' =
+    Array.mapi
+      (fun i row ->
+        Array.mapi
+          (fun j v -> if i = j then C.add v (C.of_float mu) else v)
+          row)
+      a
+  in
+  solve a' b
+
+let residual_norm a x b =
+  let ax = matvec a x in
+  let acc = ref 0.0 in
+  Array.iteri (fun i v -> acc := !acc +. C.norm2 (C.sub v b.(i))) ax;
+  sqrt !acc

@@ -1,0 +1,25 @@
+(** Small dense complex linear algebra.
+
+    Just enough for the min-max interpolation kernel (Fessler & Sutton
+    2003): solving the [J x J] ([J <= 8]) Hermitian systems that yield the
+    optimal per-sample interpolation coefficients. Matrices are arrays of
+    rows of {!Complexd.t}. Gaussian elimination with partial pivoting —
+    entirely adequate at these sizes. *)
+
+type matrix = Complexd.t array array
+
+val identity : int -> matrix
+val matvec : matrix -> Complexd.t array -> Complexd.t array
+val transpose_conj : matrix -> matrix
+
+val solve : matrix -> Complexd.t array -> Complexd.t array
+(** [solve a b] solves [a x = b] (copies its inputs; [a] must be square and
+    nonsingular). Raises [Failure] on a (numerically) singular matrix. *)
+
+val solve_regularized : ?mu:float -> matrix -> Complexd.t array -> Complexd.t array
+(** [solve (a + mu I) x = b] — the tiny Tikhonov term ([mu] defaults to
+    [1e-12] times the largest diagonal magnitude) keeps nearly singular
+    min-max systems stable, as MIRT does. *)
+
+val residual_norm : matrix -> Complexd.t array -> Complexd.t array -> float
+(** [||a x - b||_2], for tests. *)

@@ -1,0 +1,64 @@
+type precision =
+  | Double
+  | Single
+  | Fixed16
+
+type t = {
+  kernel : Window.t;
+  width : int;
+  l : int;
+  precision : precision;
+  table : float array;  (* quantised weights, half window, step 1/L *)
+}
+
+let quantize precision x =
+  match precision with
+  | Double -> x
+  | Single -> Float32.round x
+  | Fixed16 ->
+      Fixed_point.to_float Fixed_point.q15 (Fixed_point.of_float Fixed_point.q15 x)
+
+let make ?(precision = Double) ~kernel ~width ~l () =
+  if width < 1 then invalid_arg "Weight_table.make: width < 1";
+  if l < 1 then invalid_arg "Weight_table.make: l < 1";
+  let entries = (width * l / 2) + 1 in
+  let table =
+    Array.init entries (fun a ->
+        quantize precision
+          (Window.eval kernel ~width (float_of_int a /. float_of_int l)))
+  in
+  { kernel; width; l; precision; table }
+
+let kernel t = t.kernel
+let width t = t.width
+let oversampling t = t.l
+let precision t = t.precision
+let entries t = Array.length t.table
+
+let address_of_distance t d =
+  let a = int_of_float (Float.round (Float.abs d *. float_of_int t.l)) in
+  if a >= Array.length t.table then None else Some a
+
+let get t a =
+  if a < 0 || a >= Array.length t.table then
+    invalid_arg "Weight_table.get: address out of range";
+  t.table.(a)
+
+let get_q15 t a = Fixed_point.of_float Fixed_point.q15 (get t a)
+
+let lookup t d =
+  match address_of_distance t d with None -> 0.0 | Some a -> t.table.(a)
+
+let lookup_exact t d = Window.eval t.kernel ~width:t.width d
+
+let max_table_error t =
+  (* Probe at 8 points between consecutive table addresses. *)
+  let probes = 8 * t.width * t.l / 2 in
+  let half = float_of_int t.width /. 2.0 in
+  let err = ref 0.0 in
+  for j = 0 to probes - 1 do
+    let d = float_of_int j /. float_of_int probes *. half in
+    let e = Float.abs (lookup t d -. lookup_exact t d) in
+    if e > !err then err := e
+  done;
+  !err

@@ -1,0 +1,59 @@
+(** Precomputed oversampled interpolation weight tables (LUTs).
+
+    The supported non-uniform coordinate granularity is defined by the table
+    oversampling factor [L]: there are [W*L] discrete weights across the
+    window in each dimension, and distances are rounded to the nearest
+    weight (paper §II-B). Because the window is symmetric about its centre,
+    only half the weights are stored ([W*L/2 + 1] entries covering distances
+    [0 .. W/2] in steps of [1/L]) — exactly the storage trick that lets the
+    JIGSAW weight SRAM hold W=8, L=64 in 256 entries (paper §IV).
+
+    Three numeric variants mirror the three evaluated systems:
+    double-precision (MIRT baseline), simulated single precision
+    (GPU implementations), and 16-bit fixed point (JIGSAW hardware). *)
+
+type precision =
+  | Double   (** MIRT-class reference *)
+  | Single   (** GPU implementations: every stored weight rounded to f32 *)
+  | Fixed16  (** JIGSAW: Q1.15 weights *)
+
+type t
+
+val make : ?precision:precision -> kernel:Window.t -> width:int -> l:int -> unit -> t
+(** Build a table for [kernel] of window width [width] with oversampling
+    factor [l]. Raises [Invalid_argument] if [width < 1] or [l < 1]. *)
+
+val kernel : t -> Window.t
+val width : t -> int
+val oversampling : t -> int
+val precision : t -> precision
+
+val entries : t -> int
+(** Number of stored (half-window) entries, [width*l/2 + 1]. *)
+
+val address_of_distance : t -> float -> int option
+(** [address_of_distance t d] is the table address for absolute distance
+    [d]: [round (|d| * L)], or [None] when the rounded address falls outside
+    the window (the sample does not affect the point). This mirrors the
+    JIGSAW select unit's table-address generation. *)
+
+val get : t -> int -> float
+(** Weight stored at a table address (already quantised to the table's
+    precision). Raises [Invalid_argument] if out of range. *)
+
+val get_q15 : t -> int -> int
+(** Raw Q1.15 representation of the entry — meaningful for any precision
+    (quantised on demand for Double/Single); used to initialise the JIGSAW
+    weight SRAMs. *)
+
+val lookup : t -> float -> float
+(** [lookup t d] is the tabulated weight for signed distance [d] (0 outside
+    the window): [get t a] for [address_of_distance t |d|] = [Some a]. *)
+
+val lookup_exact : t -> float -> float
+(** The kernel evaluated directly (no table quantisation) — the "L = inf"
+    reference against which table error is measured. *)
+
+val max_table_error : t -> float
+(** Max over a dense probe grid of |lookup - lookup_exact|: the rounding
+    error introduced by finite [L] and the storage precision. *)

@@ -1,0 +1,90 @@
+type t =
+  | Kaiser_bessel of float
+  | Gaussian of float
+  | Bspline
+  | Sinc
+
+let beatty_beta ~width ~sigma =
+  if sigma <= 1.0 then invalid_arg "Window.beatty_beta: sigma must be > 1";
+  let w = float_of_int width in
+  let x = (w /. sigma) *. (w /. sigma) *. (sigma -. 0.5) *. (sigma -. 0.5) in
+  let arg = x -. 0.8 in
+  if arg <= 0.0 then invalid_arg "Window.beatty_beta: W too small for sigma";
+  Float.pi *. sqrt arg
+
+let default_kaiser_bessel ~width ~sigma =
+  Kaiser_bessel (beatty_beta ~width ~sigma)
+
+(* sigma such that psi(W/2) = exp(-1/(2*0.33^2)) ~ 1%. *)
+let default_gaussian ~width = Gaussian (0.33 *. (float_of_int width /. 2.0))
+
+let sinc x = if x = 0.0 then 1.0 else sin (Float.pi *. x) /. (Float.pi *. x)
+
+(* Cubic B-spline on its natural support [-2, 2]. *)
+let bspline3 u =
+  let a = Float.abs u in
+  if a >= 2.0 then 0.0
+  else if a >= 1.0 then
+    let d = 2.0 -. a in
+    d *. d *. d /. 6.0
+  else (4.0 -. (6.0 *. a *. a) +. (3.0 *. a *. a *. a)) /. 6.0
+
+let eval kernel ~width t =
+  let half = float_of_int width /. 2.0 in
+  if Float.abs t >= half then 0.0
+  else
+    match kernel with
+    | Kaiser_bessel beta ->
+        let u = t /. half in
+        Bessel.i0 (beta *. sqrt (1.0 -. (u *. u))) /. Bessel.i0 beta
+    | Gaussian sigma -> exp (-.(t *. t) /. (2.0 *. sigma *. sigma))
+    | Bspline -> bspline3 (4.0 *. t /. float_of_int width)
+    | Sinc -> sinc t
+
+let ft_numeric kernel ~width f =
+  (* psi is even: FT = 2 * integral_0^{W/2} psi(t) cos(2 pi f t) dt,
+     composite Simpson with 2048 panels. *)
+  let half = float_of_int width /. 2.0 in
+  let n = 2048 in
+  let h = half /. float_of_int n in
+  let g t = eval kernel ~width t *. cos (2.0 *. Float.pi *. f *. t) in
+  let sum = ref (g 0.0 +. g half) in
+  for j = 1 to n - 1 do
+    let w = if j land 1 = 1 then 4.0 else 2.0 in
+    sum := !sum +. (w *. g (float_of_int j *. h))
+  done;
+  2.0 *. (!sum *. h /. 3.0)
+
+(* sinh(sqrt z)/sqrt z extended continuously through z = 0 to
+   sin(sqrt(-z))/sqrt(-z). *)
+let sinhc_ext z =
+  if Float.abs z < 1e-12 then 1.0 +. (z /. 6.0)
+  else if z > 0.0 then
+    let s = sqrt z in
+    sinh s /. s
+  else
+    let s = sqrt (-.z) in
+    sin s /. s
+
+let ft kernel ~width f =
+  let w = float_of_int width in
+  match kernel with
+  | Kaiser_bessel beta ->
+      (* Exact: the kernel is compactly supported so the classical pair
+         holds without truncation error. *)
+      let piwf = Float.pi *. w *. f in
+      w *. sinhc_ext ((beta *. beta) -. (piwf *. piwf)) /. Bessel.i0 beta
+  | Bspline ->
+      (* psi(t) = b3(4t/W): FT = (W/4) * sinc^4 (W f / 4), exact. *)
+      let s = sinc (w *. f /. 4.0) in
+      w /. 4.0 *. (s *. s *. s *. s)
+  | Gaussian _ | Sinc ->
+      (* Truncation breaks the closed forms; quadrature is exact for the
+         truncated kernel up to Simpson error. *)
+      ft_numeric kernel ~width f
+
+let pp ppf = function
+  | Kaiser_bessel beta -> Format.fprintf ppf "kaiser-bessel(beta=%g)" beta
+  | Gaussian sigma -> Format.fprintf ppf "gaussian(sigma=%g)" sigma
+  | Bspline -> Format.fprintf ppf "bspline3"
+  | Sinc -> Format.fprintf ppf "sinc"

@@ -1,0 +1,46 @@
+(** Interpolation window (kernel) functions for NuFFT gridding.
+
+    Each kernel is an even function [psi : float -> float] supported on
+    [-W/2, W/2] where [W] is the interpolation window width in (oversampled)
+    grid units. The continuous Fourier transform [psi_hat] is needed for
+    the NuFFT's apodization step; it is analytic (and exact) for
+    Kaiser-Bessel and B-spline, and computed by quadrature for Gaussian and
+    Sinc, whose truncation to the window support breaks the closed forms.
+
+    The choice of window is application-specific (paper, §II-B); all four
+    families mentioned in the paper are implemented. *)
+
+type t =
+  | Kaiser_bessel of float  (** shape parameter beta *)
+  | Gaussian of float       (** standard deviation sigma, in grid units *)
+  | Bspline                 (** cubic B-spline dilated to the window width *)
+  | Sinc                    (** truncated sinc *)
+
+val beatty_beta : width:int -> sigma:float -> float
+(** Kaiser-Bessel shape parameter from Beatty, Nishimura & Pauly (2005) for
+    oversampling factor [sigma] (1 < sigma <= 2) and window width [width]:
+    [pi * sqrt ((W/sigma)^2 * (sigma - 0.5)^2 - 0.8)]. This is the setting
+    that lets sigma < 2 retain accuracy by widening W (paper §II-B). *)
+
+val default_kaiser_bessel : width:int -> sigma:float -> t
+(** Kaiser-Bessel with the Beatty beta. *)
+
+val default_gaussian : width:int -> t
+(** Gaussian whose tail at the truncation edge [W/2] is ~1%. *)
+
+val eval : t -> width:int -> float -> float
+(** [eval kernel ~width t] is psi(t); zero for [|t| >= width/2]. The peak
+    value psi(0) is normalised to 1 for Kaiser-Bessel, Gaussian and Sinc;
+    the B-spline uses its conventional partition-of-unity normalisation. *)
+
+val ft : t -> width:int -> float -> float
+(** [ft kernel ~width f] is the continuous Fourier transform
+    [integral psi(t) e^{-2 pi i f t} dt] (real, since psi is even) at
+    frequency [f] in cycles per grid unit. *)
+
+val ft_numeric : t -> width:int -> float -> float
+(** Quadrature evaluation of the same transform (composite Simpson, 2048
+    panels) — used to cross-check the analytic forms in tests and as the
+    implementation for truncated Gaussian and Sinc. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+let make ~n =
+  if n < 1 then invalid_arg "Cartesian.make: n must be >= 1";
+  let m = n * n in
+  let omega_x = Array.make m 0.0 and omega_y = Array.make m 0.0 in
+  for ky = 0 to n - 1 do
+    for kx = 0 to n - 1 do
+      let j = (ky * n) + kx in
+      omega_x.(j) <- 2.0 *. Float.pi *. float_of_int (kx - (n / 2)) /. float_of_int n;
+      omega_y.(j) <- 2.0 *. Float.pi *. float_of_int (ky - (n / 2)) /. float_of_int n
+    done
+  done;
+  Traj.make ~omega_x ~omega_y

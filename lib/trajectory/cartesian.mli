@@ -1,0 +1,8 @@
+(** Fully sampled Cartesian "trajectory": every integer k-space location of
+    an [n x n] acquisition. On Cartesian data the adjoint NuFFT must agree
+    with a plain inverse DFT — the strongest end-to-end consistency check
+    available, used by the test suite. *)
+
+val make : n:int -> Traj.t
+(** [n^2] frequencies [2 pi k / n] for centred [k in [-n/2, n/2)^2], in
+    row-major order. *)

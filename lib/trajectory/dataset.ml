@@ -1,0 +1,53 @@
+type t = {
+  name : string;
+  n : int;
+  m : int;
+  description : string;
+  trajectory : unit -> Traj.t;
+}
+
+let radial_set ~name ~n ~spokes ~readout ~description =
+  { name;
+    n;
+    m = spokes * readout;
+    description;
+    trajectory = (fun () -> Radial.make ~spokes ~readout ()) }
+
+let spiral_set ~name ~n ~interleaves ~samples ~description =
+  { name;
+    n;
+    m = interleaves * samples;
+    description;
+    trajectory =
+      (fun () ->
+        Spiral.make ~interleaves ~samples_per_interleave:samples
+          ~turns:(float_of_int n /. 8.0) ()) }
+
+let all =
+  [ radial_set ~name:"Image 1" ~n:64 ~spokes:24 ~readout:128
+      ~description:"64x64, undersampled real-time radial (24 spokes x 128)";
+    spiral_set ~name:"Image 2" ~n:64 ~interleaves:32 ~samples:1024
+      ~description:"64x64, dense multi-shot spiral (32 x 1024)";
+    radial_set ~name:"Image 3" ~n:256 ~spokes:402 ~readout:512
+      ~description:"256x256, fully sampled radial (402 spokes x 512)";
+    spiral_set ~name:"Image 4" ~n:320 ~interleaves:48 ~samples:10417
+      ~description:"320x320, multi-shot spiral (48 x 10417)";
+    radial_set ~name:"Image 5" ~n:512 ~spokes:804 ~readout:1024
+      ~description:"512x512, fully sampled radial (804 spokes x 1024)" ]
+
+let by_name name = List.find (fun d -> d.name = name) all
+
+let small_variant d =
+  let factor = 16 in
+  let m = max 64 (d.m / factor) in
+  { d with
+    name = d.name ^ " (small)";
+    m;
+    description = d.description ^ Printf.sprintf " [reduced to %d samples]" m;
+    trajectory =
+      (fun () ->
+        let full = d.trajectory () in
+        let stride = max 1 (Traj.length full / m) in
+        let idx = Array.init m (fun i -> i * stride mod Traj.length full) in
+        { Traj.omega_x = Array.map (fun i -> full.Traj.omega_x.(i)) idx;
+          Traj.omega_y = Array.map (fun i -> full.Traj.omega_y.(i)) idx }) }

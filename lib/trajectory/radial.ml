@@ -1,0 +1,49 @@
+type angle_scheme = Uniform | Golden_angle
+
+let golden_angle = Float.pi *. (3.0 -. sqrt 5.0) /. 2.0 *. 2.0
+(* 2*pi*(1 - 1/phi) ~ 111.246 degrees, the golden-angle increment. *)
+
+let make ?(scheme = Uniform) ?(r_max = Float.pi) ~spokes ~readout () =
+  if spokes < 1 then invalid_arg "Radial.make: spokes must be >= 1";
+  if readout < 2 then invalid_arg "Radial.make: readout must be >= 2";
+  if r_max <= 0.0 || r_max > Float.pi then
+    invalid_arg "Radial.make: r_max must be in (0, pi]";
+  let m = spokes * readout in
+  let omega_x = Array.make m 0.0 and omega_y = Array.make m 0.0 in
+  for s = 0 to spokes - 1 do
+    let theta =
+      match scheme with
+      | Uniform -> Float.pi *. float_of_int s /. float_of_int spokes
+      | Golden_angle -> Float.rem (float_of_int s *. golden_angle) Float.pi
+    in
+    let ct = cos theta and st = sin theta in
+    for i = 0 to readout - 1 do
+      (* r from -r_max inclusive to +r_max exclusive. *)
+      let r =
+        r_max *. ((2.0 *. float_of_int i /. float_of_int readout) -. 1.0)
+      in
+      let j = (s * readout) + i in
+      omega_x.(j) <- r *. ct;
+      omega_y.(j) <- r *. st
+    done
+  done;
+  Traj.make ~omega_x ~omega_y
+
+let density_weights t =
+  let m = Traj.length t in
+  if m = 0 then [||]
+  else begin
+    (* Smallest non-zero radius defines the centre weight. *)
+    let min_nz = ref Float.infinity in
+    for j = 0 to m - 1 do
+      let r = Traj.radius t j in
+      if r > 1e-12 && r < !min_nz then min_nz := r
+    done;
+    let base = if Float.is_finite !min_nz then !min_nz /. 2.0 else 1.0 in
+    let w = Array.init m (fun j -> Float.max base (Traj.radius t j)) in
+    let sum = Array.fold_left ( +. ) 0.0 w in
+    Array.map (fun x -> x *. float_of_int m /. sum) w
+  end
+
+let fully_sampled_spokes ~n =
+  int_of_float (Float.ceil (Float.pi /. 2.0 *. float_of_int n))

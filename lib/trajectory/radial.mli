@@ -1,0 +1,26 @@
+(** Radial k-space trajectories ("projection acquisition").
+
+    Each spoke is a diameter through the k-space centre; [readout] samples
+    are spaced uniformly along it from [-r_max] to [+r_max) (exclusive of
+    the positive end so no sample duplicates the wrap point). Spoke angles
+    are either uniformly distributed over [0, pi) or follow the golden-angle
+    increment used by real-time MRI (paper ref [8]). *)
+
+type angle_scheme = Uniform | Golden_angle
+
+val make :
+  ?scheme:angle_scheme -> ?r_max:float -> spokes:int -> readout:int -> unit -> Traj.t
+(** [make ~spokes ~readout ()] — [spokes * readout] samples;
+    [r_max] defaults to [pi] (full Nyquist extent). Raises
+    [Invalid_argument] for non-positive counts or [r_max] outside
+    (0, pi]. *)
+
+val density_weights : Traj.t -> float array
+(** Ramp ("ram-lak") density compensation for radial data: weight
+    proportional to the sample's k-space radius with the centre samples
+    given the weight of half the innermost ring. Normalised so the weights
+    sum to the sample count. *)
+
+val fully_sampled_spokes : n:int -> int
+(** The spoke count that satisfies the radial Nyquist criterion for an
+    [n x n] image: [ceil (pi/2 * n)]. *)

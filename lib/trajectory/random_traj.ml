@@ -1,0 +1,20 @@
+let make ?(seed = 0) ~samples () =
+  if samples < 1 then invalid_arg "Random_traj.make: samples must be >= 1";
+  let rng = Random.State.make [| seed |] in
+  let freq () = Random.State.float rng (2.0 *. Float.pi) -. Float.pi in
+  Traj.make
+    ~omega_x:(Array.init samples (fun _ -> freq ()))
+    ~omega_y:(Array.init samples (fun _ -> freq ()))
+
+let shuffle ?(seed = 0) t =
+  let m = Traj.length t in
+  let perm = Array.init m (fun i -> i) in
+  let rng = Random.State.make [| seed |] in
+  for i = m - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  { Traj.omega_x = Array.map (fun i -> t.Traj.omega_x.(i)) perm;
+    Traj.omega_y = Array.map (fun i -> t.Traj.omega_y.(i)) perm }

@@ -1,0 +1,11 @@
+(** Uniformly random k-space sampling — the "effectively random order"
+    worst case for memory locality that the paper emphasises, and the
+    natural model for compressed-sensing acquisitions. *)
+
+val make : ?seed:int -> samples:int -> unit -> Traj.t
+(** [samples] frequencies i.i.d. uniform on [[-pi, pi)^2]. *)
+
+val shuffle : ?seed:int -> Traj.t -> Traj.t
+(** Random permutation of an existing trajectory's sample order — destroys
+    the sequential locality of spoke/spiral readouts without changing the
+    sampled set. *)

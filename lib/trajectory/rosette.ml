@@ -1,0 +1,12 @@
+let make ?(r_max = Float.pi) ?(w1 = 5.0) ?(w2 = 7.0) ~samples () =
+  if samples < 1 then invalid_arg "Rosette.make: samples must be >= 1";
+  if r_max <= 0.0 || r_max > Float.pi then
+    invalid_arg "Rosette.make: r_max must be in (0, pi]";
+  let omega_x = Array.make samples 0.0 and omega_y = Array.make samples 0.0 in
+  for j = 0 to samples - 1 do
+    let t = 2.0 *. Float.pi *. float_of_int j /. float_of_int samples in
+    let r = r_max *. Float.abs (sin (w1 *. t)) in
+    omega_x.(j) <- r *. cos (w2 *. t);
+    omega_y.(j) <- r *. sin (w2 *. t)
+  done;
+  Traj.make ~omega_x ~omega_y

@@ -1,0 +1,7 @@
+(** Rosette trajectories: [r(t) = r_max |sin(w1 t)|] rotating at [w2] —
+    petal-shaped curves that repeatedly re-cross the k-space centre, giving
+    a strongly non-monotonic sample order (a stress case for binning). *)
+
+val make :
+  ?r_max:float -> ?w1:float -> ?w2:float -> samples:int -> unit -> Traj.t
+(** Defaults: [r_max = pi], [w1 = 5], [w2 = 7] (coprime petal counts). *)

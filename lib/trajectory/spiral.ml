@@ -1,0 +1,37 @@
+let make ?(r_max = Float.pi) ?(turns = 16.0) ?(interleaves = 1)
+    ~samples_per_interleave () =
+  if samples_per_interleave < 1 then
+    invalid_arg "Spiral.make: samples_per_interleave must be >= 1";
+  if interleaves < 1 then invalid_arg "Spiral.make: interleaves must be >= 1";
+  if r_max <= 0.0 || r_max > Float.pi then
+    invalid_arg "Spiral.make: r_max must be in (0, pi]";
+  if turns <= 0.0 then invalid_arg "Spiral.make: turns must be > 0";
+  let m = samples_per_interleave * interleaves in
+  let omega_x = Array.make m 0.0 and omega_y = Array.make m 0.0 in
+  for i = 0 to interleaves - 1 do
+    let rot = 2.0 *. Float.pi *. float_of_int i /. float_of_int interleaves in
+    for s = 0 to samples_per_interleave - 1 do
+      let tau = float_of_int s /. float_of_int samples_per_interleave in
+      let r = r_max *. tau in
+      let theta = (2.0 *. Float.pi *. turns *. tau) +. rot in
+      let j = (i * samples_per_interleave) + s in
+      omega_x.(j) <- r *. cos theta;
+      omega_y.(j) <- r *. sin theta
+    done
+  done;
+  Traj.make ~omega_x ~omega_y
+
+let density_weights t =
+  let m = Traj.length t in
+  if m = 0 then [||]
+  else begin
+    let min_nz = ref Float.infinity in
+    for j = 0 to m - 1 do
+      let r = Traj.radius t j in
+      if r > 1e-12 && r < !min_nz then min_nz := r
+    done;
+    let base = if Float.is_finite !min_nz then !min_nz /. 2.0 else 1.0 in
+    let w = Array.init m (fun j -> Float.max base (Traj.radius t j)) in
+    let sum = Array.fold_left ( +. ) 0.0 w in
+    Array.map (fun x -> x *. float_of_int m /. sum) w
+  end

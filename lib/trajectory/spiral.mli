@@ -1,0 +1,20 @@
+(** Archimedean spiral trajectories.
+
+    A single interleave traces [r(tau) = r_max * tau],
+    [theta(tau) = 2 pi turns tau] for [tau in [0, 1)]; multiple interleaves
+    are rotations of the first by [2 pi / interleaves]. Spirals are the
+    canonical fast-imaging trajectory the paper's introduction motivates. *)
+
+val make :
+  ?r_max:float ->
+  ?turns:float ->
+  ?interleaves:int ->
+  samples_per_interleave:int ->
+  unit ->
+  Traj.t
+(** Defaults: [r_max = pi], [turns = 16], [interleaves = 1]. Raises
+    [Invalid_argument] on non-positive parameters. *)
+
+val density_weights : Traj.t -> float array
+(** Radius-proportional compensation (the analytic Archimedean density is
+    ~ 1/r away from the centre), normalised to sum to the sample count. *)

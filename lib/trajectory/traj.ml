@@ -1,0 +1,33 @@
+type t = { omega_x : float array; omega_y : float array }
+
+let length t = Array.length t.omega_x
+
+let wrap_frequency w =
+  let two_pi = 2.0 *. Float.pi in
+  let w = Float.rem (w +. Float.pi) two_pi in
+  let w = if w < 0.0 then w +. two_pi else w in
+  w -. Float.pi
+
+let make ~omega_x ~omega_y =
+  if Array.length omega_x <> Array.length omega_y then
+    invalid_arg "Traj.make: length mismatch";
+  { omega_x = Array.map wrap_frequency omega_x;
+    omega_y = Array.map wrap_frequency omega_y }
+
+let concat ts =
+  { omega_x = Array.concat (List.map (fun t -> t.omega_x) ts);
+    omega_y = Array.concat (List.map (fun t -> t.omega_y) ts) }
+
+let radius t j = Float.hypot t.omega_x.(j) t.omega_y.(j)
+
+let max_radius t =
+  let m = ref 0.0 in
+  for j = 0 to length t - 1 do
+    let r = radius t j in
+    if r > !m then m := r
+  done;
+  !m
+
+let bounds_ok t =
+  let ok w = w >= -.Float.pi && w < Float.pi in
+  Array.for_all ok t.omega_x && Array.for_all ok t.omega_y

@@ -1,0 +1,27 @@
+(** 2D k-space trajectories.
+
+    A trajectory is a set of angular sample frequencies
+    [omega in [-pi, pi)^2] — the non-uniform sampling patterns (spiral,
+    radial, ...) that MRI uses to reduce scan time (paper §I, §II). The
+    arrays are parallel; sample [j] is [(omega_x.(j), omega_y.(j))]. *)
+
+type t = { omega_x : float array; omega_y : float array }
+
+val length : t -> int
+
+val make : omega_x:float array -> omega_y:float array -> t
+(** Validates equal lengths and wraps every frequency into [[-pi, pi)]. *)
+
+val wrap_frequency : float -> float
+(** Wrap any real angular frequency into [[-pi, pi)]. *)
+
+val concat : t list -> t
+
+val radius : t -> int -> float
+(** Euclidean distance of sample [j] from the k-space centre. *)
+
+val max_radius : t -> float
+
+val bounds_ok : t -> bool
+(** All frequencies in [[-pi, pi)] — true for any value built with
+    {!make}. *)

@@ -1,0 +1,143 @@
+(* Tests for the cache and DRAM models. *)
+
+module Cache = Cachesim.Cache
+module Dram = Cachesim.Dram
+
+let small = { Cache.size_bytes = 1024; line_bytes = 64; ways = 2 }
+(* 1024 / (64*2) = 8 sets. *)
+
+let test_geometry () =
+  let c = Cache.create small in
+  Alcotest.(check int) "sets" 8 (Cache.sets c);
+  Alcotest.check_raises "bad line"
+    (Invalid_argument "Cache.create: line_bytes must be a power of two")
+    (fun () -> ignore (Cache.create { small with Cache.line_bytes = 48 }));
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Cache.create: size must be a multiple of line*ways")
+    (fun () -> ignore (Cache.create { small with Cache.size_bytes = 1000 }))
+
+let test_hit_miss () =
+  let c = Cache.create small in
+  Alcotest.(check bool) "cold miss" false (Cache.access c 0);
+  Alcotest.(check bool) "hit" true (Cache.access c 0);
+  Alcotest.(check bool) "same line" true (Cache.access c 63);
+  Alcotest.(check bool) "next line misses" false (Cache.access c 64);
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 2 s.Cache.hits;
+  Alcotest.(check int) "misses" 2 s.Cache.misses
+
+let test_lru_eviction () =
+  let c = Cache.create small in
+  (* Three lines mapping to set 0: line addresses 0, 8, 16 (8 sets). *)
+  let a = 0 and b = 8 * 64 and d = 16 * 64 in
+  ignore (Cache.access c a);
+  ignore (Cache.access c b);
+  (* Touch a so b is LRU. *)
+  ignore (Cache.access c a);
+  ignore (Cache.access c d);
+  (* b evicted *)
+  Alcotest.(check bool) "a survives" true (Cache.probe c a);
+  Alcotest.(check bool) "b evicted" false (Cache.probe c b);
+  Alcotest.(check bool) "d resident" true (Cache.probe c d);
+  Alcotest.(check int) "one eviction" 1 (Cache.stats c).Cache.evictions
+
+let test_hit_rate_and_reset () =
+  let c = Cache.create small in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 0);
+  Alcotest.(check (float 1e-9)) "rate" 0.75 (Cache.hit_rate c);
+  Cache.reset_stats c;
+  Alcotest.(check (float 1e-9)) "reset" 0.0 (Cache.hit_rate c);
+  Alcotest.(check bool) "contents survive" true (Cache.probe c 0);
+  Cache.flush c;
+  Alcotest.(check bool) "flushed" false (Cache.probe c 0)
+
+let test_working_set () =
+  (* A working set equal to capacity gets 100% hits after warmup; double
+     the capacity with LRU streaming gets ~0%. *)
+  let c = Cache.create small in
+  let lines = 1024 / 64 in
+  for _pass = 1 to 2 do
+    for l = 0 to lines - 1 do
+      ignore (Cache.access c (l * 64))
+    done
+  done;
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits = second pass" lines s.Cache.hits;
+  let c2 = Cache.create small in
+  for _pass = 1 to 3 do
+    for l = 0 to (2 * lines) - 1 do
+      ignore (Cache.access c2 (l * 64))
+    done
+  done;
+  Alcotest.(check int) "thrash: zero hits" 0 (Cache.stats c2).Cache.hits
+
+let prop_stats_consistent =
+  QCheck.Test.make ~name:"hits + misses = accesses" ~count:100
+    QCheck.(pair (int_range 1 500) (int_range 0 10000))
+    (fun (n, seed) ->
+      let c = Cache.create small in
+      let rng = Random.State.make [| seed |] in
+      for _ = 1 to n do
+        ignore (Cache.access c (Random.State.int rng 65536))
+      done;
+      let s = Cache.stats c in
+      s.Cache.hits + s.Cache.misses = n)
+
+let test_dram_latency () =
+  let d = Dram.create { Dram.latency_cycles = 100; bytes_per_cycle = 16.0 } in
+  (* 64 bytes = 4 transfer cycles + 100 latency. *)
+  Alcotest.(check int) "first" 104 (Dram.request d ~now:0 ~bytes:64);
+  (* A second request in the same bandwidth window shares the pipe. *)
+  Alcotest.(check int) "same window" 104 (Dram.request d ~now:0 ~bytes:64);
+  Alcotest.(check int) "bytes" 128 (Dram.total_bytes d)
+
+let test_dram_window_overflow () =
+  let d = Dram.create { Dram.latency_cycles = 100; bytes_per_cycle = 16.0 } in
+  (* Window capacity = 16 * 256 = 4096 bytes; fill it, then overflow. *)
+  ignore (Dram.request d ~now:0 ~bytes:4096);
+  Alcotest.(check int) "pushed to next window"
+    (Cachesim.Dram.epoch_cycles + 4 + 100)
+    (Dram.request d ~now:0 ~bytes:64);
+  Alcotest.(check bool) "busy until covers window 1" true
+    (Dram.busy_until d >= 2 * Cachesim.Dram.epoch_cycles)
+
+let test_dram_idle_gap () =
+  let d = Dram.create { Dram.latency_cycles = 10; bytes_per_cycle = 8.0 } in
+  ignore (Dram.request d ~now:0 ~bytes:8);
+  (* Pipe free at 1; a request at now=100 starts immediately. *)
+  Alcotest.(check int) "no stale queueing" 111 (Dram.request d ~now:100 ~bytes:8)
+
+let test_dram_bandwidth_saturation () =
+  let d = Dram.create Dram.titan_xp in
+  let completion = ref 0 in
+  for _ = 1 to 1000 do
+    completion := max !completion (Dram.request d ~now:0 ~bytes:128)
+  done;
+  (* 128000 bytes exceed one 256-cycle window (~88.6 kB at 346 B/cycle):
+     the tail spills into the next window. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "bandwidth-bound (%d)" !completion)
+    true
+    (!completion >= Cachesim.Dram.epoch_cycles + 400);
+  Alcotest.(check int) "accounted" 128000 (Dram.total_bytes d)
+
+let qtests = List.map QCheck_alcotest.to_alcotest [ prop_stats_consistent ]
+
+let () =
+  Alcotest.run "cachesim"
+    [ ("cache",
+       [ Alcotest.test_case "geometry" `Quick test_geometry;
+         Alcotest.test_case "hit/miss" `Quick test_hit_miss;
+         Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+         Alcotest.test_case "hit rate & reset" `Quick test_hit_rate_and_reset;
+         Alcotest.test_case "working set" `Quick test_working_set ]);
+      ("dram",
+       [ Alcotest.test_case "latency" `Quick test_dram_latency;
+         Alcotest.test_case "idle gap" `Quick test_dram_idle_gap;
+         Alcotest.test_case "window overflow" `Quick test_dram_window_overflow;
+         Alcotest.test_case "bandwidth saturation" `Quick
+           test_dram_bandwidth_saturation ]);
+      ("properties", qtests) ]

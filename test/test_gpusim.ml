@@ -1,0 +1,271 @@
+(* Tests for the GPU SIMT timing simulator and the gridding kernels. *)
+
+module Config = Gpusim.Config
+module Op = Gpusim.Op
+module Sim = Gpusim.Sim
+module Kernels = Gpusim.Kernels
+
+let gpu = Config.titan_xp
+
+let test_occupancy_model () =
+  (* Full occupancy with tiny blocks and few registers. *)
+  let light =
+    { Config.threads_per_block = 256;
+      registers_per_thread = 32;
+      shared_bytes_per_block = 0 }
+  in
+  Alcotest.(check (float 1e-9)) "light" 1.0 (Config.occupancy gpu light);
+  (* Register-heavy 64-thread blocks: 65536/(64*64) = 16 blocks = 32 warps
+     of 64 -> 50%, the Impatient-class occupancy. *)
+  let heavy =
+    { Config.threads_per_block = 64;
+      registers_per_thread = 64;
+      shared_bytes_per_block = 512 }
+  in
+  Alcotest.(check (float 1e-9)) "heavy" 0.5 (Config.occupancy gpu heavy);
+  (* The Slice-and-Dice resource point: 40 regs -> 25 blocks -> 50/64. *)
+  let slice =
+    { Config.threads_per_block = 64;
+      registers_per_thread = 40;
+      shared_bytes_per_block = 2048 }
+  in
+  let occ = Config.occupancy gpu slice in
+  Alcotest.(check bool) (Printf.sprintf "slice occ %.2f ~ 0.8" occ) true
+    (occ > 0.7 && occ <= 0.85)
+
+let test_op_generators () =
+  let w = Op.of_list [ Op.Alu { issue_cycles = 1; active = 32 } ] in
+  Alcotest.(check bool) "first" true (w () <> None);
+  Alcotest.(check bool) "exhausted" true (w () = None);
+  let gen =
+    Op.concat_gen (fun i ->
+        if i >= 3 then None
+        else Some (Op.of_list [ Op.Alu { issue_cycles = 1; active = i + 1 } ]))
+  in
+  let count = ref 0 in
+  let rec drain () =
+    match gen () with
+    | Some _ ->
+        incr count;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "three ops chained" 3 !count
+
+(* A trivial kernel: [blocks] blocks of one warp, each issuing [n] ALU
+   ops. *)
+let alu_kernel ~blocks ~n =
+  { Sim.name = "alu";
+    resources =
+      { Config.threads_per_block = 32;
+        registers_per_thread = 32;
+        shared_bytes_per_block = 0 };
+    blocks;
+    warps_per_block = 1;
+    warp_of =
+      (fun ~block:_ ~warp:_ ->
+        let i = ref 0 in
+        fun () ->
+          if !i >= n then None
+          else begin
+            incr i;
+            Some (Op.Alu { issue_cycles = 1; active = 32 })
+          end) }
+
+let test_sim_alu_only () =
+  let r = Sim.run ~gpu (alu_kernel ~blocks:30 ~n:1000) in
+  (* One block per SM, no memory: cycles = ops per SM (plus epsilon). *)
+  Alcotest.(check int) "instructions" 30000 r.Sim.instructions;
+  Alcotest.(check bool)
+    (Printf.sprintf "cycles %d ~ 1000" r.Sim.cycles)
+    true
+    (r.Sim.cycles >= 1000 && r.Sim.cycles < 1100);
+  Alcotest.(check (float 1e-9)) "simd" 1.0 r.Sim.simd_utilization;
+  Alcotest.(check bool) "energy positive" true (r.Sim.energy_j > 0.0)
+
+let test_sim_latency_hiding () =
+  (* A single warp blocked on DRAM round trips is latency-bound; many
+     warps on one SM overlap their misses. Compare 1 block vs 32 blocks
+     (all on the same amount of work per warp). *)
+  let mem_kernel ~blocks =
+    { Sim.name = "mem";
+      resources =
+        { Config.threads_per_block = 32;
+          registers_per_thread = 32;
+          shared_bytes_per_block = 0 };
+      blocks;
+      warps_per_block = 1;
+      warp_of =
+        (fun ~block ~warp:_ ->
+          let i = ref 0 in
+          fun () ->
+            if !i >= 50 then None
+            else begin
+              incr i;
+              (* Distinct lines per block & iteration: all cold misses. *)
+              let addr = (((block * 64) + !i) * 4096) + 7 in
+              Some (Op.Load { addrs = [| addr |] })
+            end) }
+  in
+  let one = Sim.run ~gpu (mem_kernel ~blocks:1) in
+  let many = Sim.run ~gpu (mem_kernel ~blocks:30) in
+  (* 30x the work in far less than 30x the time of the serial chain. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "hiding: %d vs %d" one.Sim.cycles many.Sim.cycles)
+    true
+    (many.Sim.cycles < 3 * one.Sim.cycles)
+
+let test_sim_l2_reuse () =
+  (* Two warps touching the same line: second access hits. *)
+  let k =
+    { Sim.name = "reuse";
+      resources =
+        { Config.threads_per_block = 32;
+          registers_per_thread = 32;
+          shared_bytes_per_block = 0 };
+      blocks = 1;
+      warps_per_block = 2;
+      warp_of =
+        (fun ~block:_ ~warp:_ ->
+          Op.of_list [ Op.Load { addrs = [| 4096 |] } ]) }
+  in
+  let r = Sim.run ~gpu k in
+  Alcotest.(check (float 1e-9)) "50% hit rate" 0.5 r.Sim.l2_hit_rate;
+  Alcotest.(check int) "two transactions" 2 r.Sim.mem_transactions
+
+let test_sim_divergence_stats () =
+  let k =
+    { (alu_kernel ~blocks:1 ~n:1) with
+      Sim.warp_of =
+        (fun ~block:_ ~warp:_ ->
+          Op.of_list [ Op.Alu { issue_cycles = 1; active = 8 } ]) }
+  in
+  let r = Sim.run ~gpu k in
+  Alcotest.(check (float 1e-9)) "simd 25%" 0.25 r.Sim.simd_utilization
+
+let test_atomic_conflicts () =
+  (* 32 lanes atomically updating the same word serialise. *)
+  let conflict =
+    { (alu_kernel ~blocks:1 ~n:1) with
+      Sim.warp_of =
+        (fun ~block:_ ~warp:_ ->
+          Op.of_list [ Op.Atomic { addrs = Array.make 32 4096 } ]) }
+  in
+  let spread =
+    { (alu_kernel ~blocks:1 ~n:1) with
+      Sim.warp_of =
+        (fun ~block:_ ~warp:_ ->
+          Op.of_list
+            [ Op.Atomic { addrs = Array.init 32 (fun l -> 4096 + (8 * l)) } ]) }
+  in
+  let rc = Sim.run ~gpu conflict and rs = Sim.run ~gpu spread in
+  Alcotest.(check bool)
+    (Printf.sprintf "conflicts slower: %d > %d" rc.Sim.cycles rs.Sim.cycles)
+    true (rc.Sim.cycles > rs.Sim.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Gridding kernels on a real dataset *)
+
+let problem () =
+  let traj = Trajectory.Radial.make ~spokes:32 ~readout:128 () in
+  let g = 128 in
+  let values = Numerics.Cvec.create (Trajectory.Traj.length traj) in
+  let s =
+    Nufft.Sample.of_omega_2d ~g ~omega_x:traj.Trajectory.Traj.omega_x
+      ~omega_y:traj.Trajectory.Traj.omega_y ~values
+  in
+  Kernels.problem_of_samples ~w:6 s
+
+let test_kernel_slice_runs () =
+  let p = problem () in
+  let r = Sim.run ~gpu (Kernels.slice_and_dice ~grid_blocks:1024 p) in
+  Alcotest.(check bool) "cycles > 0" true (r.Sim.cycles > 0);
+  Alcotest.(check bool) "instructions > samples" true
+    (r.Sim.instructions > Array.length p.Kernels.gx);
+  Alcotest.(check bool)
+    (Printf.sprintf "l2 %.2f high" r.Sim.l2_hit_rate)
+    true
+    (r.Sim.l2_hit_rate > 0.8)
+
+let test_kernel_binned_runs () =
+  let p = problem () in
+  let r = Sim.run ~gpu (Kernels.binned p) in
+  Alcotest.(check bool) "cycles > 0" true (r.Sim.cycles > 0);
+  Alcotest.(check (float 1e-9)) "occupancy 50%" 0.5 r.Sim.occupancy
+
+let test_slice_faster_than_binned () =
+  let p = problem () in
+  let slice = Sim.run ~gpu (Kernels.slice_and_dice p) in
+  let binned = Sim.run ~gpu (Kernels.binned p) in
+  let presort = Sim.run ~gpu (Kernels.binned_presort p) in
+  let binned_total = binned.Sim.time_s +. presort.Sim.time_s in
+  Alcotest.(check bool)
+    (Printf.sprintf "slice %.3e s < binned %.3e s" slice.Sim.time_s
+       binned_total)
+    true
+    (slice.Sim.time_s < binned_total)
+
+let test_sim_deterministic () =
+  let p = problem () in
+  let r1 = Sim.run ~gpu (Kernels.slice_and_dice ~grid_blocks:512 p) in
+  let r2 = Sim.run ~gpu (Kernels.slice_and_dice ~grid_blocks:512 p) in
+  Alcotest.(check int) "same cycles" r1.Sim.cycles r2.Sim.cycles;
+  Alcotest.(check int) "same instructions" r1.Sim.instructions r2.Sim.instructions;
+  Alcotest.(check int) "same transactions" r1.Sim.mem_transactions
+    r2.Sim.mem_transactions
+
+let test_presort_kernel () =
+  let p = problem () in
+  let r = Sim.run ~gpu (Kernels.binned_presort p) in
+  Alcotest.(check bool) "ran" true (r.Sim.instructions > 0);
+  Alcotest.(check (float 1e-9)) "full occupancy" 1.0 r.Sim.occupancy
+
+let test_naive_kernel_slower () =
+  let p = problem () in
+  let naive = Sim.run ~gpu (Kernels.naive_output p) in
+  let slice = Sim.run ~gpu (Kernels.slice_and_dice ~grid_blocks:1024 p) in
+  Alcotest.(check bool)
+    (Printf.sprintf "naive %d ≫ slice %d cycles" naive.Sim.cycles
+       slice.Sim.cycles)
+    true
+    (naive.Sim.time_s > 3.0 *. slice.Sim.time_s)
+
+let test_online_weights_slower () =
+  let p = problem () in
+  let lut = Sim.run ~gpu (Kernels.slice_and_dice ~grid_blocks:1024 p) in
+  let online =
+    Sim.run ~gpu
+      (Kernels.slice_and_dice ~grid_blocks:1024 ~online_weights:true p)
+  in
+  Alcotest.(check bool) "online slower" true
+    (online.Sim.time_s > lut.Sim.time_s)
+
+let test_kernel_validation () =
+  let p = problem () in
+  Alcotest.check_raises "bad bin"
+    (Invalid_argument "Kernels.binned: bin must divide g") (fun () ->
+      ignore (Kernels.binned ~bin:7 p))
+
+let () =
+  Alcotest.run "gpusim"
+    [ ("config", [ Alcotest.test_case "occupancy" `Quick test_occupancy_model ]);
+      ("op", [ Alcotest.test_case "generators" `Quick test_op_generators ]);
+      ("sim",
+       [ Alcotest.test_case "alu only" `Quick test_sim_alu_only;
+         Alcotest.test_case "latency hiding" `Quick test_sim_latency_hiding;
+         Alcotest.test_case "l2 reuse" `Quick test_sim_l2_reuse;
+         Alcotest.test_case "divergence stats" `Quick test_sim_divergence_stats;
+         Alcotest.test_case "atomic conflicts" `Quick test_atomic_conflicts ]);
+      ("kernels",
+       [ Alcotest.test_case "slice-and-dice runs" `Quick test_kernel_slice_runs;
+         Alcotest.test_case "binned runs" `Quick test_kernel_binned_runs;
+         Alcotest.test_case "slice beats binned" `Quick
+           test_slice_faster_than_binned;
+         Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+         Alcotest.test_case "presort kernel" `Quick test_presort_kernel;
+         Alcotest.test_case "naive kernel slower" `Quick
+           test_naive_kernel_slower;
+         Alcotest.test_case "online weights slower" `Quick
+           test_online_weights_slower;
+         Alcotest.test_case "validation" `Quick test_kernel_validation ]) ]

@@ -1,0 +1,432 @@
+(* Tests for the JIGSAW hardware model: Table I validation, select-unit
+   bit-exactness against the floating-point decomposition, functional
+   equivalence of the fixed-point engine with the double-precision
+   reference, the cycle/DMA models and the Table II constants. *)
+
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+module Fp = Numerics.Fixed_point
+module Wt = Numerics.Weight_table
+module Window = Numerics.Window
+module Coord = Nufft.Coord
+module Config = Jigsaw.Config
+
+let cfg ?(n = 32) ?(w = 6) ?(l = 32) () = Config.make ~n ~w ~l ()
+
+let table ?(w = 6) ?(l = 32) ?(precision = Wt.Fixed16) () =
+  Wt.make ~precision
+    ~kernel:(Window.default_kaiser_bessel ~width:w ~sigma:2.0)
+    ~width:w ~l ()
+
+(* ------------------------------------------------------------------ *)
+(* Config / Table I *)
+
+let test_config_ranges () =
+  Alcotest.check_raises "n too big"
+    (Invalid_argument "Jigsaw.Config.make: n must be in 8..1024 (Table I)")
+    (fun () -> ignore (Config.make ~n:2048 ()));
+  Alcotest.check_raises "w range"
+    (Invalid_argument "Jigsaw.Config.make: w must be in 1..8 (Table I)")
+    (fun () -> ignore (Config.make ~n:64 ~w:9 ()));
+  Alcotest.check_raises "l pow2"
+    (Invalid_argument "Jigsaw.Config.make: l must be a power of two in 1..64")
+    (fun () -> ignore (Config.make ~n:64 ~l:48 ()));
+  Alcotest.check_raises "t divides n"
+    (Invalid_argument "Jigsaw.Config.make: t must divide n") (fun () ->
+      ignore (Config.make ~n:60 ()))
+
+let test_config_derived () =
+  let c = Config.make ~n:1024 ~w:8 ~l:64 () in
+  Alcotest.(check int) "pipelines" 64 (Config.pipelines c);
+  Alcotest.(check int) "tiles/side" 128 (Config.tiles_per_side c);
+  Alcotest.(check int) "tiles" 16384 (Config.tiles_total c);
+  (* W=8, L=64: 257 entries, exactly the weight SRAM budget. *)
+  Alcotest.(check int) "weight sram" 257 (Config.weight_sram_entries c);
+  Alcotest.(check bool) "fits sram" true
+    (Config.weight_sram_entries c <= Jigsaw.Weight_unit.sram_capacity);
+  (* 1024^2 x 8 B = 8 MiB of accumulation SRAM, as in Table II. *)
+  Alcotest.(check int) "accum sram" (8 * 1024 * 1024) (Config.accum_sram_bytes c)
+
+let test_coord_conversion () =
+  let c = cfg () in
+  let u = 13.625 in
+  let raw = Config.of_float_coord c u in
+  Alcotest.(check (float 1e-12)) "roundtrip" u (Config.to_float_coord c raw)
+
+(* ------------------------------------------------------------------ *)
+(* Select unit vs floating-point oracle *)
+
+let prop_select_matches_coord =
+  QCheck.Test.make
+    ~name:"select unit = Coord.column_check (bit-exact on the coord grid)"
+    ~count:3000
+    QCheck.(
+      quad (int_range 1 8) (* w *) (int_range 0 7) (* pipeline *)
+        (int_range 1 8) (* n_tiles *) (int_range 0 ((1 lsl 24) - 1)))
+    (fun (w, pipeline, n_tiles, raw_seed) ->
+      let n = 8 * n_tiles in
+      let c = Config.make ~n ~w ~l:32 () in
+      let f = 16 in
+      let raw = raw_seed mod (n lsl f) in
+      let u = float_of_int raw /. float_of_int (1 lsl f) in
+      let hw = Jigsaw.Select_unit.check c ~pipeline raw in
+      let sw = Coord.column_check ~w ~t:8 ~g:n ~column:pipeline u in
+      match (hw, sw) with
+      | None, None -> true
+      | Some h, Some s ->
+          h.Jigsaw.Select_unit.k_wrapped = s.Coord.k_wrapped
+          && h.Jigsaw.Select_unit.tile = s.Coord.tile
+          && h.Jigsaw.Select_unit.wrapped = s.Coord.wrapped_tile
+          && Float.abs
+               ((float_of_int h.Jigsaw.Select_unit.dist_raw
+                /. float_of_int (1 lsl f))
+               -. s.Coord.dist)
+             < 1e-9
+      | _ -> false)
+
+let prop_select_table_addr =
+  QCheck.Test.make ~name:"select unit table address = LUT addressing"
+    ~count:2000
+    QCheck.(pair (int_range 0 7) (int_range 0 ((1 lsl 22) - 1)))
+    (fun (pipeline, raw_seed) ->
+      let c = cfg () in
+      let tbl = table () in
+      let raw = raw_seed mod (32 lsl 16) in
+      match Jigsaw.Select_unit.check c ~pipeline raw with
+      | None -> true
+      | Some h ->
+          let dist =
+            float_of_int h.Jigsaw.Select_unit.dist_raw /. float_of_int (1 lsl 16)
+          in
+          (match Wt.address_of_distance tbl dist with
+          | Some a -> a = h.Jigsaw.Select_unit.table_addr
+          | None ->
+              (* The hardware's one-sided window can land exactly on the
+                 last table entry. *)
+              h.Jigsaw.Select_unit.table_addr = Wt.entries tbl - 1))
+
+let test_select_validation () =
+  let c = cfg () in
+  Alcotest.check_raises "coordinate range"
+    (Invalid_argument "Select_unit.check: coordinate out of range") (fun () ->
+      ignore (Jigsaw.Select_unit.check c ~pipeline:0 (-1)));
+  Alcotest.check_raises "pipeline range"
+    (Invalid_argument "Select_unit.check: pipeline index out of range")
+    (fun () -> ignore (Jigsaw.Select_unit.check c ~pipeline:8 0))
+
+(* ------------------------------------------------------------------ *)
+(* Weight unit *)
+
+let test_weight_unit () =
+  let c = cfg () in
+  let tbl = table () in
+  let wu = Jigsaw.Weight_unit.load c tbl in
+  (* Entry 0 is the window centre: weight 1.0 -> q15 saturates at 32767. *)
+  let w0 = Jigsaw.Weight_unit.read wu 0 in
+  Alcotest.(check int) "centre weight" (Fp.max_raw Fp.q15) w0.Fp.Complex.re;
+  Alcotest.(check int) "real kernel" 0 w0.Fp.Complex.im;
+  (* combine(0,0) ~ 1.0 * 1.0 within q15 rounding. *)
+  let c00 = Jigsaw.Weight_unit.combine wu ~addr_x:0 ~addr_y:0 in
+  let v = Fp.to_float Fp.q15 c00.Fp.Complex.re in
+  Alcotest.(check bool) (Printf.sprintf "w00 %.5f ~ 1" v) true
+    (Float.abs (v -. 1.0) < 3e-4);
+  (* Monotone along the half-window (Kaiser-Bessel decreases). *)
+  let prev = ref max_int in
+  for a = 0 to Wt.entries tbl - 1 do
+    let e = (Jigsaw.Weight_unit.read wu a).Fp.Complex.re in
+    Alcotest.(check bool) "monotone" true (e <= !prev);
+    prev := e
+  done
+
+let test_weight_unit_mismatch () =
+  let c = cfg () in
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Weight_unit.load: table width mismatch") (fun () ->
+      ignore (Jigsaw.Weight_unit.load c (table ~w:4 ())))
+
+(* ------------------------------------------------------------------ *)
+(* Accumulator *)
+
+let test_accum () =
+  let c = cfg () in
+  let a = Jigsaw.Accum.create c in
+  Alcotest.(check int) "entries" (Config.tiles_total c) (Jigsaw.Accum.entries a);
+  Jigsaw.Accum.accumulate a 3 { Fp.Complex.re = 100; im = -50 };
+  Jigsaw.Accum.accumulate a 3 { Fp.Complex.re = 20; im = 5 };
+  let v = Jigsaw.Accum.read a 3 in
+  Alcotest.(check int) "re" 120 v.Fp.Complex.re;
+  Alcotest.(check int) "im" (-45) v.Fp.Complex.im;
+  Alcotest.(check int) "no saturation" 0 (Jigsaw.Accum.saturation_events a);
+  (* Force saturation. *)
+  let big = Fp.max_raw c.Config.pipeline_fmt in
+  Jigsaw.Accum.accumulate a 0 { Fp.Complex.re = big; im = 0 };
+  Jigsaw.Accum.accumulate a 0 { Fp.Complex.re = big; im = 0 };
+  Alcotest.(check int) "saturated" 1 (Jigsaw.Accum.saturation_events a);
+  Alcotest.(check int) "clamped" big (Jigsaw.Accum.read a 0).Fp.Complex.re
+
+(* ------------------------------------------------------------------ *)
+(* Engine 2D: functional equivalence and cycle model *)
+
+(* Random samples with coordinates quantised to the hardware's fixed-point
+   coordinate grid, so the CPU reference and the engine see identical
+   inputs (otherwise LUT-address rounding can flip at boundaries and the
+   comparison measures coordinate quantisation rather than the datapath). *)
+let random_samples ~g ~m ~seed =
+  let s = Nufft.Sample.random_2d ~seed ~g m in
+  let q u = Float.round (u *. 65536.0) /. 65536.0 in
+  Nufft.Sample.make_2d ~g ~gx:(Array.map q s.Nufft.Sample.gx)
+    ~gy:(Array.map q s.Nufft.Sample.gy) ~values:s.Nufft.Sample.values
+
+let test_engine_matches_reference () =
+  let g = 32 and m = 300 in
+  let c = cfg ~n:g () in
+  let tbl = table () in
+  let s = random_samples ~g ~m ~seed:42 in
+  let e = Jigsaw.Engine2d.create c ~table:tbl in
+  Jigsaw.Engine2d.stream e ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy
+    s.Nufft.Sample.values;
+  Alcotest.(check int) "samples" m (Jigsaw.Engine2d.samples_streamed e);
+  Alcotest.(check int) "no saturation" 0 (Jigsaw.Engine2d.saturation_events e);
+  let hw = Jigsaw.Engine2d.readout e in
+  (* Double-precision reference over the same (double) table. *)
+  let reference =
+    Nufft.Gridding_serial.grid_2d
+      ~table:(Wt.make ~kernel:(Wt.kernel tbl) ~width:6 ~l:32 ())
+      ~g ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy s.Nufft.Sample.values
+  in
+  let err = Cvec.nrmsd ~reference hw in
+  Alcotest.(check bool) (Printf.sprintf "nrmsd %.2e < 1e-3" err) true
+    (err < 1e-3)
+
+let test_engine_exactness_vs_fixed_reference () =
+  (* Against a CPU gridding that uses the same Fixed16 table, the only
+     differences are coordinate quantisation and fixed-point products:
+     still well under 1e-3 NRMSD. *)
+  let g = 32 and m = 200 in
+  let c = cfg ~n:g () in
+  let tbl = table () in
+  let s = random_samples ~g ~m ~seed:7 in
+  let e = Jigsaw.Engine2d.create c ~table:tbl in
+  Jigsaw.Engine2d.stream e ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy
+    s.Nufft.Sample.values;
+  let hw = Jigsaw.Engine2d.readout e in
+  let reference =
+    Nufft.Gridding_serial.grid_2d ~table:tbl ~g ~gx:s.Nufft.Sample.gx
+      ~gy:s.Nufft.Sample.gy s.Nufft.Sample.values
+  in
+  let err = Cvec.nrmsd ~reference hw in
+  Alcotest.(check bool) (Printf.sprintf "nrmsd %.2e" err) true (err < 1e-3)
+
+let test_engine_cycle_model () =
+  let c = cfg () in
+  let e = Jigsaw.Engine2d.create c ~table:(table ()) in
+  let s = random_samples ~g:32 ~m:100 ~seed:1 in
+  Jigsaw.Engine2d.stream e ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy
+    s.Nufft.Sample.values;
+  (* The headline property: M + 12 cycles, irrespective of pattern. *)
+  Alcotest.(check int) "M+12" 112 (Jigsaw.Engine2d.gridding_cycles e);
+  Alcotest.(check (float 1e-15)) "112 ns at 1 GHz" 112e-9
+    (Jigsaw.Engine2d.gridding_time_s e)
+
+let test_engine_pattern_independence () =
+  (* Same M, radically different orderings: identical cycle count and
+     identical grids (order cannot matter: integer adds commute only up to
+     saturation, which we verify is absent). *)
+  let g = 32 and m = 256 in
+  let c = cfg ~n:g () in
+  let tbl = table () in
+  let s = random_samples ~g ~m ~seed:3 in
+  let run gx gy values =
+    let e = Jigsaw.Engine2d.create c ~table:tbl in
+    Jigsaw.Engine2d.stream e ~gx ~gy values;
+    (Jigsaw.Engine2d.gridding_cycles e, Jigsaw.Engine2d.readout e,
+     Jigsaw.Engine2d.saturation_events e)
+  in
+  let cy1, grid1, sat1 = run s.Nufft.Sample.gx s.Nufft.Sample.gy s.Nufft.Sample.values in
+  (* Reverse the stream order. *)
+  let rev a = Array.init (Array.length a) (fun i -> a.(Array.length a - 1 - i)) in
+  let values_rev =
+    Cvec.init m (fun j -> Cvec.get s.Nufft.Sample.values (m - 1 - j))
+  in
+  let cy2, grid2, sat2 = run (rev s.Nufft.Sample.gx) (rev s.Nufft.Sample.gy) values_rev in
+  Alcotest.(check int) "same cycles" cy1 cy2;
+  Alcotest.(check int) "no saturation 1" 0 sat1;
+  Alcotest.(check int) "no saturation 2" 0 sat2;
+  Alcotest.(check (float 0.0)) "identical grids" 0.0
+    (Cvec.max_abs_diff grid1 grid2)
+
+let test_engine_reset () =
+  let c = cfg () in
+  let e = Jigsaw.Engine2d.create c ~table:(table ()) in
+  let s = random_samples ~g:32 ~m:10 ~seed:9 in
+  Jigsaw.Engine2d.stream e ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy
+    s.Nufft.Sample.values;
+  Jigsaw.Engine2d.reset e;
+  Alcotest.(check int) "samples cleared" 0 (Jigsaw.Engine2d.samples_streamed e);
+  let grid = Jigsaw.Engine2d.readout e in
+  Alcotest.(check (float 0.0)) "grid cleared" 0.0 (Cvec.norm2 grid)
+
+let test_engine_full_scale_config () =
+  (* The paper's maximum configuration: N = 1024, W = 8, L = 64 — the
+     exact point that fills the weight SRAM and the 8 MiB accumulation
+     SRAM. Smoke-stream a few hundred samples. *)
+  let cfg' = Config.make ~n:1024 ~w:8 ~l:64 () in
+  let tbl = table ~w:8 ~l:64 () in
+  let e = Jigsaw.Engine2d.create cfg' ~table:tbl in
+  let s = random_samples ~g:1024 ~m:300 ~seed:2026 in
+  Jigsaw.Engine2d.stream e ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy
+    s.Nufft.Sample.values;
+  Alcotest.(check int) "cycles" 312 (Jigsaw.Engine2d.gridding_cycles e);
+  Alcotest.(check int) "no saturation" 0 (Jigsaw.Engine2d.saturation_events e);
+  let grid = Jigsaw.Engine2d.readout e in
+  Alcotest.(check int) "readout size" (1024 * 1024) (Cvec.length grid);
+  Alcotest.(check bool) "nonzero mass" true (Cvec.norm2 grid > 0.0)
+
+let test_engine_deterministic () =
+  let c = cfg () in
+  let tbl = table () in
+  let run () =
+    let e = Jigsaw.Engine2d.create c ~table:tbl in
+    let s = random_samples ~g:32 ~m:64 ~seed:15 in
+    Jigsaw.Engine2d.stream e ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy
+      s.Nufft.Sample.values;
+    Jigsaw.Engine2d.readout e
+  in
+  Alcotest.(check (float 0.0)) "bitwise identical runs" 0.0
+    (Cvec.max_abs_diff (run ()) (run ()))
+
+let test_dma_monotonic () =
+  let c = Config.make ~n:256 () in
+  let t1 = Jigsaw.Dma.end_to_end_cycles c ~m:1000 in
+  let t2 = Jigsaw.Dma.end_to_end_cycles c ~m:2000 in
+  Alcotest.(check int) "exactly +1000 cycles" (t1 + 1000) t2;
+  Alcotest.(check bool) "time positive" true
+    (Jigsaw.Dma.end_to_end_time_s c ~m:1000 > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Engine 3D *)
+
+let test_engine3d_slices () =
+  let g = 16 and m = 60 and nz = 8 in
+  let c = Config.make ~n:g ~w:4 ~l:32 () in
+  let tbl = table ~w:4 () in
+  let e3 = Jigsaw.Engine3d.create c ~table:tbl ~nz in
+  let rng = Random.State.make [| 5 |] in
+  let gx = Array.init m (fun _ -> Random.State.float rng (float_of_int g)) in
+  let gy = Array.init m (fun _ -> Random.State.float rng (float_of_int g)) in
+  let gz = Array.init m (fun _ -> Random.State.float rng (float_of_int nz)) in
+  let values =
+    Cvec.init m (fun _ ->
+        C.make (Random.State.float rng 0.2) (Random.State.float rng 0.2))
+  in
+  let slices = Jigsaw.Engine3d.grid_volume e3 ~gx ~gy ~gz values in
+  Alcotest.(check int) "nz slices" nz (Array.length slices);
+  Array.iter
+    (fun s -> Alcotest.(check int) "slice size" (g * g) (Cvec.length s))
+    slices;
+  (* Total mass: every sample contributes its x-sum * y-sum * z-sum. *)
+  let total =
+    Array.fold_left
+      (fun acc s -> C.add acc (Cvec.fold (fun a v -> C.add a v) C.zero s))
+      C.zero slices
+  in
+  Alcotest.(check bool) "mass nonzero" true (C.norm total > 0.0);
+  Alcotest.(check int) "cycles unsorted" ((m + 15) * nz)
+    (Jigsaw.Engine3d.unsorted_cycles e3 ~m);
+  Alcotest.(check int) "cycles z-sorted" ((m + 15) * 4)
+    (Jigsaw.Engine3d.z_sorted_cycles e3 ~m);
+  Alcotest.(check int) "no saturation" 0 (Jigsaw.Engine3d.saturation_events e3)
+
+let test_engine3d_z_locality () =
+  (* A sample at z = 2.0 (w = 4): the canonical window covers slices 1..4
+     (kmax = floor(2+2) = 4, start = 1), but the slice at distance exactly
+     w/2 = 2 receives the window's edge weight, which is 0 — so only
+     slices 1..3 carry mass. *)
+  let g = 16 and nz = 8 in
+  let c = Config.make ~n:g ~w:4 ~l:32 () in
+  let e3 = Jigsaw.Engine3d.create c ~table:(table ~w:4 ()) ~nz in
+  let slices =
+    Jigsaw.Engine3d.grid_volume e3 ~gx:[| 8.0 |] ~gy:[| 8.0 |] ~gz:[| 2.0 |]
+      (Cvec.of_complex_array [| C.make 0.5 0.0 |])
+  in
+  Array.iteri
+    (fun z s ->
+      let mass = Cvec.norm2 s in
+      if z >= 1 && z <= 3 then
+        Alcotest.(check bool) (Printf.sprintf "slice %d touched" z) true
+          (mass > 0.0)
+      else
+        Alcotest.(check bool) (Printf.sprintf "slice %d empty" z) true
+          (mass = 0.0))
+    slices
+
+(* ------------------------------------------------------------------ *)
+(* DMA and synthesis models *)
+
+let test_dma_model () =
+  let c = Config.make ~n:1024 () in
+  Alcotest.(check int) "input" 50000 (Jigsaw.Dma.input_cycles ~m:50000);
+  Alcotest.(check int) "readout" (1024 * 1024 / 2) (Jigsaw.Dma.readout_cycles c);
+  Alcotest.(check int) "end to end"
+    (50000 + 12 + (1024 * 1024 / 2))
+    (Jigsaw.Dma.end_to_end_cycles c ~m:50000);
+  Alcotest.(check (float 1e-9)) "bandwidth 16 GB/s" 16.0
+    (Jigsaw.Dma.bandwidth_gb_s c)
+
+let test_synthesis_table () =
+  let m2d = Jigsaw.Synthesis.with_accum_sram Jigsaw.Synthesis.Two_d in
+  Alcotest.(check (float 1e-9)) "2d power" 216.86 m2d.Jigsaw.Synthesis.power_mw;
+  Alcotest.(check (float 1e-9)) "2d area" 12.20 m2d.Jigsaw.Synthesis.area_mm2;
+  let sram = Jigsaw.Synthesis.sram_contribution Jigsaw.Synthesis.Two_d in
+  (* ~95% of area and >56% of power is the accumulation SRAM (paper VI-B). *)
+  Alcotest.(check bool) "sram area share" true
+    (sram.Jigsaw.Synthesis.area_mm2 /. m2d.Jigsaw.Synthesis.area_mm2 > 0.95);
+  Alcotest.(check bool) "sram power share" true
+    (sram.Jigsaw.Synthesis.power_mw /. m2d.Jigsaw.Synthesis.power_mw > 0.56);
+  Alcotest.(check int) "four rows" 4 (List.length Jigsaw.Synthesis.table)
+
+let test_synthesis_energy () =
+  (* 1 M cycles at 1 GHz = 1 ms at 216.86 mW = 216.86 uJ. *)
+  let e =
+    Jigsaw.Synthesis.energy_j ~cycles:1_000_000 ~clock_ghz:1.0 ()
+  in
+  Alcotest.(check (float 1e-12)) "energy" 216.86e-6 e
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_select_matches_coord; prop_select_table_addr ]
+
+let () =
+  Alcotest.run "jigsaw"
+    [ ("config",
+       [ Alcotest.test_case "table I ranges" `Quick test_config_ranges;
+         Alcotest.test_case "derived sizes" `Quick test_config_derived;
+         Alcotest.test_case "coordinate conversion" `Quick test_coord_conversion ]);
+      ("select",
+       [ Alcotest.test_case "validation" `Quick test_select_validation ]);
+      ("weight",
+       [ Alcotest.test_case "sram" `Quick test_weight_unit;
+         Alcotest.test_case "mismatch" `Quick test_weight_unit_mismatch ]);
+      ("accum", [ Alcotest.test_case "accumulate/saturate" `Quick test_accum ]);
+      ("engine2d",
+       [ Alcotest.test_case "matches double reference" `Quick
+           test_engine_matches_reference;
+         Alcotest.test_case "matches fixed-table reference" `Quick
+           test_engine_exactness_vs_fixed_reference;
+         Alcotest.test_case "M+12 cycle model" `Quick test_engine_cycle_model;
+         Alcotest.test_case "pattern independence" `Quick
+           test_engine_pattern_independence;
+         Alcotest.test_case "reset" `Quick test_engine_reset;
+         Alcotest.test_case "full-scale config (N=1024,W=8,L=64)" `Quick
+           test_engine_full_scale_config;
+         Alcotest.test_case "deterministic" `Quick test_engine_deterministic ]);
+      ("engine3d",
+       [ Alcotest.test_case "slices" `Quick test_engine3d_slices;
+         Alcotest.test_case "z locality" `Quick test_engine3d_z_locality ]);
+      ("dma",
+       [ Alcotest.test_case "stream model" `Quick test_dma_model;
+         Alcotest.test_case "monotonic" `Quick test_dma_monotonic ]);
+      ("synthesis",
+       [ Alcotest.test_case "table II" `Quick test_synthesis_table;
+         Alcotest.test_case "energy" `Quick test_synthesis_energy ]);
+      ("properties", qtests) ]

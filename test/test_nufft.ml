@@ -1,0 +1,930 @@
+(* Validation of the core library: coordinate decomposition, the four
+   gridding engines, and the NuFFT pipelines against the exact NuDFT. *)
+
+module C = Numerics.Complexd
+module Cvec = Numerics.Cvec
+module Wt = Numerics.Weight_table
+module Window = Numerics.Window
+module Coord = Nufft.Coord
+module Sample = Nufft.Sample
+module Nudft = Nufft.Nudft
+module Gridding = Nufft.Gridding
+module Stats = Nufft.Gridding_stats
+
+let check_close ?(eps = 1e-12) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.17g, got %.17g" msg expected actual
+
+let check_vec ?(eps = 1e-9) msg expected actual =
+  let d = Cvec.max_abs_diff expected actual in
+  if d > eps then Alcotest.failf "%s: max diff %g > %g" msg d eps
+
+let table ?(precision = Wt.Double) ?(w = 6) ?(l = 512) ?(sigma = 2.0) () =
+  Wt.make ~precision ~kernel:(Window.default_kaiser_bessel ~width:w ~sigma)
+    ~width:w ~l ()
+
+(* ------------------------------------------------------------------ *)
+(* Coord *)
+
+let test_window_start () =
+  (* w=6, u=10.3: kmax = floor(13.3) = 13, start = 8. *)
+  Alcotest.(check int) "u=10.3" 8 (Coord.window_start ~w:6 10.3);
+  (* w=6, u=0.0: kmax = 3, start = -2. *)
+  Alcotest.(check int) "u=0" (-2) (Coord.window_start ~w:6 0.0);
+  (* w=4, u=5.5: kmax = floor(7.5) = 7, start = 4. *)
+  Alcotest.(check int) "u=5.5 w=4" 4 (Coord.window_start ~w:4 5.5)
+
+let test_wrap () =
+  Alcotest.(check int) "in range" 5 (Coord.wrap ~g:16 5);
+  Alcotest.(check int) "negative" 14 (Coord.wrap ~g:16 (-2));
+  Alcotest.(check int) "over" 1 (Coord.wrap ~g:16 17);
+  Alcotest.(check int) "far negative" 15 (Coord.wrap ~g:16 (-17))
+
+let test_iter_window () =
+  let w = 6 and g = 16 in
+  let pts = ref [] in
+  Coord.iter_window ~w ~g 10.3 (fun ~k ~dist -> pts := (k, dist) :: !pts);
+  let pts = List.rev !pts in
+  Alcotest.(check int) "count" w (List.length pts);
+  List.iter
+    (fun (k, dist) ->
+      Alcotest.(check bool) "k in range" true (k >= 0 && k < g);
+      Alcotest.(check bool)
+        (Printf.sprintf "dist %g in [-w/2, w/2)" dist)
+        true
+        (dist >= -3.0 && dist < 3.0))
+    pts;
+  (* Unwrapped points are start..start+5 = 8..13 with dists k - 10.3. *)
+  let ks = List.map fst pts in
+  Alcotest.(check (list int)) "points" [ 8; 9; 10; 11; 12; 13 ] ks;
+  check_close "first dist" (-2.3) (List.assoc 8 pts)
+
+let test_iter_window_wraps () =
+  let w = 6 and g = 16 in
+  let pts = ref [] in
+  Coord.iter_window ~w ~g 0.5 (fun ~k ~dist:_ -> pts := k :: !pts);
+  (* start = floor(3.5) - 5 = -2: points -2..3 wrap to 14,15,0,1,2,3. *)
+  Alcotest.(check (list int)) "wrapped" [ 14; 15; 0; 1; 2; 3 ]
+    (List.rev !pts)
+
+let test_decompose () =
+  let q, r = Coord.decompose ~t:8 19.25 in
+  Alcotest.(check int) "tile" 2 q;
+  check_close "relative" 3.25 r;
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Coord.decompose: negative coordinate") (fun () ->
+      ignore (Coord.decompose ~t:8 (-0.1)))
+
+let test_check_tiling () =
+  Coord.check_tiling ~t:8 ~g:64 ~w:6;
+  Alcotest.check_raises "w > t"
+    (Invalid_argument "Coord: window width must not exceed tile size")
+    (fun () -> Coord.check_tiling ~t:4 ~g:64 ~w:6);
+  Alcotest.check_raises "t !| g"
+    (Invalid_argument "Coord: tile size must divide grid size") (fun () ->
+      Coord.check_tiling ~t:8 ~g:60 ~w:6)
+
+(* Oracle: a column is hit iff some window point k has k mod t = column;
+   compare every field of the decomposition-based check against a direct
+   scan of the window. *)
+let column_check_oracle ~w ~t ~g ~column u =
+  let result = ref None in
+  Coord.iter_window ~w ~g:(max g (10 * t)) u (fun ~k:_ ~dist:_ -> ignore ());
+  (* scan unwrapped *)
+  let start = Coord.window_start ~w u in
+  for j = 0 to w - 1 do
+    let k = start + j in
+    let c = Coord.wrap ~g:t k in
+    if c = column then begin
+      let n_tiles = g / t in
+      let tile_unwrapped =
+        if k >= 0 then k / t else ((k + 1) / t) - 1
+      in
+      result :=
+        Some
+          ( Coord.wrap ~g k,
+            Coord.wrap ~g:n_tiles tile_unwrapped,
+            float_of_int k -. u )
+    end
+  done;
+  !result
+
+let prop_column_check =
+  QCheck.Test.make ~name:"column_check agrees with window-scan oracle"
+    ~count:2000
+    QCheck.(
+      quad (int_range 1 8) (* w *)
+        (int_range 0 7) (* column *)
+        (int_range 1 8) (* n_tiles *)
+        (float_range 0.0 0.9999))
+    (fun (w, column, n_tiles, frac) ->
+      let t = 8 in
+      let g = t * n_tiles in
+      let u = frac *. float_of_int g in
+      let got = Coord.column_check ~w ~t ~g ~column u in
+      let expected = column_check_oracle ~w ~t ~g ~column u in
+      match (got, expected) with
+      | None, None -> true
+      | Some h, Some (k, tile, dist) ->
+          h.Coord.k_wrapped = k && h.Coord.tile = tile
+          && Float.abs (h.Coord.dist -. dist) < 1e-9
+      | _ -> false)
+
+let test_affected_columns () =
+  let cols = Coord.affected_columns ~w:6 ~t:8 10.3 in
+  Alcotest.(check int) "count" 6 (List.length cols);
+  Alcotest.(check int) "distinct" 6
+    (List.length (List.sort_uniq compare cols));
+  (* points 8..13 -> columns 0..5 *)
+  Alcotest.(check (list int)) "values" [ 0; 1; 2; 3; 4; 5 ] cols
+
+let test_column_check_wrap_flag () =
+  (* Sample at u = 16.2 in tile 2 (t=8): window covers 14..19, so point 14
+     (column 6) lies in tile 1 — a wrap into the previous tile. *)
+  let u = 16.2 and t = 8 and g = 32 and w = 6 in
+  (match Coord.column_check ~w ~t ~g ~column:6 u with
+  | Some h ->
+      Alcotest.(check int) "k" 14 h.Coord.k_wrapped;
+      Alcotest.(check int) "tile" 1 h.Coord.tile;
+      Alcotest.(check bool) "wrapped" true h.Coord.wrapped_tile
+  | None -> Alcotest.fail "expected hit in column 6");
+  match Coord.column_check ~w ~t ~g ~column:0 u with
+  | Some h ->
+      Alcotest.(check int) "k" 16 h.Coord.k_wrapped;
+      Alcotest.(check int) "tile" 2 h.Coord.tile;
+      Alcotest.(check bool) "not wrapped" false h.Coord.wrapped_tile
+  | None -> Alcotest.fail "expected hit in column 0"
+
+(* ------------------------------------------------------------------ *)
+(* Engine agreement *)
+
+let engines g = Gridding.default_engines ~g ~w:6
+
+let test_engines_agree_1d () =
+  let g = 64 and m = 150 in
+  let tbl = table () in
+  let s = Sample.random_2d ~seed:5 ~g m in
+  let reference =
+    Gridding.grid_1d Gridding.Serial ~table:tbl ~g ~coords:s.Sample.gx
+      s.Sample.values
+  in
+  List.iter
+    (fun e ->
+      let got = Gridding.grid_1d e ~table:tbl ~g ~coords:s.Sample.gx
+          s.Sample.values in
+      check_vec ~eps:1e-11
+        (Printf.sprintf "1d %s" (Gridding.engine_name e))
+        reference got)
+    (engines g)
+
+let test_engines_agree_2d () =
+  let g = 32 and m = 200 in
+  let tbl = table () in
+  let s = Sample.random_2d ~seed:9 ~g m in
+  let reference =
+    Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
+      ~gy:s.Sample.gy s.Sample.values
+  in
+  List.iter
+    (fun e ->
+      let got =
+        Gridding.grid_2d e ~table:tbl ~g ~gx:s.Sample.gx ~gy:s.Sample.gy
+          s.Sample.values
+      in
+      check_vec ~eps:1e-11
+        (Printf.sprintf "2d %s" (Gridding.engine_name e))
+        reference got)
+    (engines g)
+
+let test_slice_fast_bitwise_equal_serial () =
+  let g = 64 and m = 300 in
+  let tbl = table () in
+  let s = Sample.random_2d ~seed:123 ~g m in
+  let serial =
+    Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
+      ~gy:s.Sample.gy s.Sample.values
+  in
+  let fast =
+    Nufft.Gridding_slice.grid_2d_fast ~table:tbl ~g ~t:8 ~gx:s.Sample.gx
+      ~gy:s.Sample.gy s.Sample.values
+  in
+  check_vec ~eps:0.0 "bitwise equal" serial fast
+
+let test_slice_faithful_agrees () =
+  let g = 32 and m = 100 in
+  let tbl = table () in
+  let s = Sample.random_2d ~seed:77 ~g m in
+  let serial =
+    Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
+      ~gy:s.Sample.gy s.Sample.values
+  in
+  let faithful =
+    Nufft.Gridding_slice.grid_2d ~table:tbl ~g ~t:8 ~gx:s.Sample.gx
+      ~gy:s.Sample.gy s.Sample.values
+  in
+  check_vec ~eps:1e-11 "column-outer schedule" serial faithful
+
+let test_slice_parallel_agrees () =
+  let g = 32 and m = 150 in
+  let tbl = table () in
+  let s = Sample.random_2d ~seed:88 ~g m in
+  let faithful =
+    Nufft.Gridding_slice.grid_2d ~table:tbl ~g ~t:8 ~gx:s.Sample.gx
+      ~gy:s.Sample.gy s.Sample.values
+  in
+  List.iter
+    (fun domains ->
+      let par =
+        Nufft.Gridding_slice.grid_2d_parallel ~domains ~table:tbl ~g ~t:8
+          ~gx:s.Sample.gx ~gy:s.Sample.gy s.Sample.values
+      in
+      (* Same per-column accumulation order as the column-outer schedule:
+         bitwise identical regardless of domain count. *)
+      check_vec ~eps:0.0
+        (Printf.sprintf "parallel(%d domains) = column-outer" domains)
+        faithful par)
+    [ 1; 2; 4 ];
+  Alcotest.check_raises "domains < 1"
+    (Invalid_argument "Gridding_slice.grid_2d_parallel: domains < 1")
+    (fun () ->
+      ignore
+        (Nufft.Gridding_slice.grid_2d_parallel ~domains:0 ~table:tbl ~g ~t:8
+           ~gx:s.Sample.gx ~gy:s.Sample.gy s.Sample.values))
+
+let test_mass_conservation () =
+  (* Sum over the grid of each sample's contributions = value * (sum of
+     window weights in x) * (sum in y); check total grid mass against a
+     direct evaluation. *)
+  let g = 32 and m = 50 in
+  let tbl = table () in
+  let s = Sample.random_2d ~seed:31 ~g m in
+  let grid =
+    Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
+      ~gy:s.Sample.gy s.Sample.values
+  in
+  let total = Cvec.fold (fun acc c -> C.add acc c) C.zero grid in
+  let expected = ref C.zero in
+  for j = 0 to m - 1 do
+    let sum1d u =
+      let acc = ref 0.0 in
+      Coord.iter_window ~w:6 ~g u (fun ~k:_ ~dist ->
+          acc := !acc +. Wt.lookup tbl dist);
+      !acc
+    in
+    expected :=
+      C.add !expected
+        (C.scale
+           (sum1d s.Sample.gx.(j) *. sum1d s.Sample.gy.(j))
+           (Cvec.get s.Sample.values j))
+  done;
+  check_close ~eps:1e-9 "mass re" (!expected).C.re total.C.re;
+  check_close ~eps:1e-9 "mass im" (!expected).C.im total.C.im
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"all engines produce the serial grid" ~count:25
+    QCheck.(triple (int_range 0 1000) (int_range 10 120) (int_range 2 6))
+    (fun (seed, m, w_half) ->
+      let w = 2 * w_half in
+      let g = 32 in
+      let tbl = table ~w () in
+      let s = Sample.random_2d ~seed ~g m in
+      let reference =
+        Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
+          ~gy:s.Sample.gy s.Sample.values
+      in
+      List.for_all
+        (fun e ->
+          let got =
+            Gridding.grid_2d e ~table:tbl ~g ~gx:s.Sample.gx ~gy:s.Sample.gy
+              s.Sample.values
+          in
+          Cvec.max_abs_diff reference got < 1e-10)
+        (Gridding.default_engines ~g ~w))
+
+let test_empty_sample_set () =
+  (* m = 0 must be handled by every engine (empty acquisition). *)
+  let g = 32 in
+  let tbl = table () in
+  let empty = [||] and no_values = Cvec.create 0 in
+  List.iter
+    (fun e ->
+      let grid =
+        Gridding.grid_2d e ~table:tbl ~g ~gx:empty ~gy:empty no_values
+      in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "%s zero grid" (Gridding.engine_name e))
+        0.0 (Cvec.norm2 grid))
+    (Gridding.default_engines ~g ~w:6);
+  let back = Gridding.interp_2d ~table:tbl ~g ~gx:empty ~gy:empty
+      (Cvec.create (g * g)) in
+  Alcotest.(check int) "empty interp" 0 (Cvec.length back)
+
+let test_window_equals_tile () =
+  (* w = t = 8: every column is hit by every sample exactly once. *)
+  let g = 32 and t = 8 and w = 8 in
+  let tbl = table ~w () in
+  let s = Sample.random_2d ~seed:14 ~g 60 in
+  let serial =
+    Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
+      ~gy:s.Sample.gy s.Sample.values
+  in
+  let slice =
+    Nufft.Gridding_slice.grid_2d ~table:tbl ~g ~t ~gx:s.Sample.gx
+      ~gy:s.Sample.gy s.Sample.values
+  in
+  check_vec ~eps:1e-11 "w = t" serial slice;
+  (* Every column check must hit. *)
+  for column = 0 to t - 1 do
+    for j = 0 to 9 do
+      match Coord.column_check ~w ~t ~g ~column s.Sample.gx.(j) with
+      | Some _ -> ()
+      | None -> Alcotest.failf "column %d missed sample %d with w = t" column j
+    done
+  done
+
+let test_w1_minimal_window () =
+  (* w = 1: nearest-neighbour gridding; each sample touches one point.
+     (Kaiser-Bessel's Beatty beta is undefined this narrow, so use a
+     Gaussian window.) *)
+  let g = 16 in
+  let tbl =
+    Wt.make ~kernel:(Window.default_gaussian ~width:1) ~width:1 ~l:64 ()
+  in
+  let s = Sample.random_2d ~seed:77 ~g 25 in
+  let st = Stats.create () in
+  let grid =
+    Gridding.grid_2d ~stats:st Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
+      ~gy:s.Sample.gy s.Sample.values
+  in
+  Alcotest.(check int) "one accumulate per sample" 25 st.Stats.grid_accumulates;
+  Alcotest.(check bool) "mass placed" true (Cvec.norm2 grid > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Stats accounting *)
+
+let test_stats_serial () =
+  let g = 32 and m = 40 and w = 6 in
+  let tbl = table ~w () in
+  let s = Sample.random_2d ~seed:1 ~g m in
+  let st = Stats.create () in
+  ignore
+    (Gridding.grid_2d ~stats:st Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
+       ~gy:s.Sample.gy s.Sample.values);
+  Alcotest.(check int) "samples" m st.Stats.samples_processed;
+  Alcotest.(check int) "no checks" 0 st.Stats.boundary_checks;
+  Alcotest.(check int) "accumulates" (m * w * w) st.Stats.grid_accumulates
+
+let test_stats_output_parallel () =
+  let g = 16 and m = 10 and w = 4 in
+  let tbl = table ~w () in
+  let s = Sample.random_2d ~seed:2 ~g m in
+  let st = Stats.create () in
+  ignore
+    (Gridding.grid_2d ~stats:st Gridding.Output_parallel ~table:tbl ~g
+       ~gx:s.Sample.gx ~gy:s.Sample.gy s.Sample.values);
+  (* One check per (grid point, sample) pair at least (x dim); hits check y
+     too but the dominant term M * G^2 must be present. *)
+  Alcotest.(check bool) "M*G^2 checks" true
+    (st.Stats.boundary_checks >= m * g * g);
+  Alcotest.(check int) "accumulates" (m * w * w) st.Stats.grid_accumulates
+
+let test_stats_slice () =
+  let g = 32 and m = 25 and w = 6 and t = 8 in
+  let tbl = table ~w () in
+  let s = Sample.random_2d ~seed:3 ~g m in
+  let st = Stats.create () in
+  ignore
+    (Nufft.Gridding_slice.grid_2d ~stats:st ~table:tbl ~g ~t ~gx:s.Sample.gx
+       ~gy:s.Sample.gy s.Sample.values);
+  Alcotest.(check int) "M*T^2 checks" (m * t * t) st.Stats.boundary_checks;
+  Alcotest.(check int) "accumulates" (m * w * w) st.Stats.grid_accumulates;
+  Alcotest.(check int) "no presort" 0 st.Stats.presort_ops
+
+let test_stats_binned_duplicates () =
+  let g = 32 and m = 60 and w = 6 and bin = 8 in
+  let tbl = table ~w () in
+  let s = Sample.random_2d ~seed:4 ~g m in
+  let st = Stats.create () in
+  ignore
+    (Gridding.grid_2d ~stats:st (Gridding.Binned bin) ~table:tbl ~g
+       ~gx:s.Sample.gx ~gy:s.Sample.gy s.Sample.values);
+  Alcotest.(check bool) "presort happened" true (st.Stats.presort_ops >= m);
+  Alcotest.(check bool) "duplicate visits" true
+    (st.Stats.samples_processed > m);
+  Alcotest.(check int) "presort = visits" st.Stats.samples_processed
+    st.Stats.presort_ops;
+  (* Every engine still performs exactly m*w^2 accumulations. *)
+  Alcotest.(check int) "accumulates" (m * w * w) st.Stats.grid_accumulates
+
+let test_duplication_factor () =
+  let g = 64 and w = 6 and bin = 8 in
+  (* With w=6 and bin=8 a 1D window spans >= 1 tile and <= 2. *)
+  let coords = Array.init 200 (fun i -> float_of_int (i mod 640) /. 10.0) in
+  let f = Nufft.Gridding_binned.duplication_factor ~w ~bin ~g ~coords in
+  Alcotest.(check bool) "between 1 and 2" true (f > 1.0 && f < 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Sample *)
+
+let test_omega_to_grid () =
+  check_close ~eps:1e-12 "omega=0 -> 0" 0.0 (Sample.omega_to_grid ~g:64 0.0);
+  check_close ~eps:1e-9 "omega=pi/2 -> g/4" 16.0
+    (Sample.omega_to_grid ~g:64 (Float.pi /. 2.0));
+  check_close ~eps:1e-9 "omega=-pi -> g/2" 32.0
+    (Sample.omega_to_grid ~g:64 (-.Float.pi));
+  let u = Sample.omega_to_grid ~g:64 (2.0 *. Float.pi -. 1e-9) in
+  Alcotest.(check bool) "wraps into range" true (u >= 0.0 && u < 64.0)
+
+let test_sample_validation () =
+  let values = Cvec.create 2 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Sample: coordinate 64 outside [0, 64)") (fun () ->
+      ignore
+        (Sample.make_2d ~g:64 ~gx:[| 0.0; 64.0 |] ~gy:[| 1.0; 2.0 |] ~values));
+  let s = Sample.random_2d ~seed:8 ~g:32 500 in
+  Sample.validate s;
+  Alcotest.(check int) "length" 500 (Sample.length s)
+
+(* ------------------------------------------------------------------ *)
+(* NuDFT *)
+
+let test_nudft_adjoint_1d_dc () =
+  (* A single sample at omega=0 with value 1 contributes 1 everywhere. *)
+  let x = Nudft.adjoint_1d ~n:8 ~omega:[| 0.0 |]
+      ~values:(Cvec.of_complex_array [| C.one |]) in
+  for i = 0 to 7 do
+    check_close "dc re" 1.0 (Cvec.get_re x i);
+    check_close "dc im" 0.0 (Cvec.get_im x i)
+  done
+
+let test_nudft_adjointness_2d () =
+  (* <A x, y> = <x, A^H y> exactly (both are exact sums). *)
+  let n = 8 and m = 20 in
+  let rng = Random.State.make [| 55 |] in
+  let omega_x = Array.init m (fun _ -> Random.State.float rng (2.0 *. Float.pi) -. Float.pi) in
+  let omega_y = Array.init m (fun _ -> Random.State.float rng (2.0 *. Float.pi) -. Float.pi) in
+  let x = Cvec.init (n * n) (fun _ ->
+      C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
+  let y = Cvec.init m (fun _ ->
+      C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
+  let ax = Nudft.forward_2d ~n ~omega_x ~omega_y ~image:x in
+  let ahy = Nudft.adjoint_2d ~n ~omega_x ~omega_y ~values:y in
+  let lhs = Cvec.dot ax y and rhs = Cvec.dot x ahy in
+  check_close ~eps:1e-9 "re" lhs.C.re rhs.C.re;
+  check_close ~eps:1e-9 "im" lhs.C.im rhs.C.im
+
+(* ------------------------------------------------------------------ *)
+(* NuFFT vs NuDFT *)
+
+let random_omega rng m =
+  Array.init m (fun _ -> Random.State.float rng (2.0 *. Float.pi) -. Float.pi)
+
+let nufft_vs_nudft_adjoint_2d ~engine ~n ~m ~seed =
+  let plan = Nufft.Plan.make ~n ~engine () in
+  let rng = Random.State.make [| seed |] in
+  let omega_x = random_omega rng m and omega_y = random_omega rng m in
+  let values = Cvec.init m (fun _ ->
+      C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
+  let samples =
+    Sample.of_omega_2d ~g:plan.Nufft.Plan.g ~omega_x ~omega_y ~values
+  in
+  let fast = Nufft.Plan.adjoint_2d plan samples in
+  let exact = Nudft.adjoint_2d ~n ~omega_x ~omega_y ~values in
+  Cvec.nrmsd ~reference:exact fast
+
+let test_nufft_adjoint_accuracy () =
+  let err = nufft_vs_nudft_adjoint_2d ~engine:Gridding.Serial ~n:16 ~m:100 ~seed:7 in
+  Alcotest.(check bool)
+    (Printf.sprintf "nrmsd %.2e < 2e-3" err)
+    true (err < 2e-3)
+
+let test_nufft_adjoint_accuracy_all_engines () =
+  List.iter
+    (fun engine ->
+      let err = nufft_vs_nudft_adjoint_2d ~engine ~n:16 ~m:80 ~seed:21 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s nrmsd %.2e" (Gridding.engine_name engine) err)
+        true (err < 2e-3))
+    (Gridding.default_engines ~g:32 ~w:6)
+
+let test_nufft_accuracy_improves_with_w () =
+  let run w =
+    let plan = Nufft.Plan.make ~n:16 ~w () in
+    let rng = Random.State.make [| 13 |] in
+    let m = 120 in
+    let omega_x = random_omega rng m and omega_y = random_omega rng m in
+    let values = Cvec.init m (fun _ ->
+        C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
+    let samples =
+      Sample.of_omega_2d ~g:plan.Nufft.Plan.g ~omega_x ~omega_y ~values
+    in
+    let fast = Nufft.Plan.adjoint_2d plan samples in
+    let exact = Nudft.adjoint_2d ~n:16 ~omega_x ~omega_y ~values in
+    Cvec.nrmsd ~reference:exact fast
+  in
+  let e2 = run 2 and e4 = run 4 and e6 = run 6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "w=2:%.1e > w=4:%.1e > w=6:%.1e" e2 e4 e6)
+    true
+    (e2 > e4 && e4 > e6 *. 0.999)
+
+let test_nufft_forward_accuracy () =
+  let n = 16 and m = 60 in
+  let plan = Nufft.Plan.make ~n () in
+  let rng = Random.State.make [| 99 |] in
+  let omega_x = random_omega rng m and omega_y = random_omega rng m in
+  let image = Cvec.init (n * n) (fun _ ->
+      C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
+  let gx = Array.map (Sample.omega_to_grid ~g:plan.Nufft.Plan.g) omega_x in
+  let gy = Array.map (Sample.omega_to_grid ~g:plan.Nufft.Plan.g) omega_y in
+  let fast = Nufft.Plan.forward_2d plan ~gx ~gy image in
+  let exact = Nudft.forward_2d ~n ~omega_x ~omega_y ~image in
+  let err = Cvec.nrmsd ~reference:exact fast in
+  Alcotest.(check bool) (Printf.sprintf "nrmsd %.2e" err) true (err < 2e-3)
+
+let test_nufft_adjoint_pair () =
+  (* The implemented forward/adjoint are exact transposes of each other:
+     <F x, y> = <x, A y> to rounding (same table, same window). *)
+  let n = 16 and m = 40 in
+  let plan = Nufft.Plan.make ~n () in
+  let g = plan.Nufft.Plan.g in
+  let rng = Random.State.make [| 17 |] in
+  let s = Sample.random_2d ~seed:71 ~g m in
+  let x = Cvec.init (n * n) (fun _ ->
+      C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
+  let y = Cvec.init m (fun _ ->
+      C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
+  let fx = Nufft.Plan.forward_2d plan ~gx:s.Sample.gx ~gy:s.Sample.gy x in
+  let ay = Nufft.Plan.adjoint_2d plan (Sample.with_values s y) in
+  let lhs = Cvec.dot fx y and rhs = Cvec.dot x ay in
+  let scale = C.norm lhs +. C.norm rhs +. 1.0 in
+  check_close ~eps:(1e-10 *. scale) "re" lhs.C.re rhs.C.re;
+  check_close ~eps:(1e-10 *. scale) "im" lhs.C.im rhs.C.im
+
+let test_nufft_adjoint_1d () =
+  let n = 32 and m = 80 in
+  let plan = Nufft.Plan.make ~n () in
+  let rng = Random.State.make [| 41 |] in
+  let omega = random_omega rng m in
+  let values = Cvec.init m (fun _ ->
+      C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
+  let coords = Array.map (Sample.omega_to_grid ~g:plan.Nufft.Plan.g) omega in
+  let fast = Nufft.Plan.adjoint_1d plan ~coords values in
+  let exact = Nudft.adjoint_1d ~n ~omega ~values in
+  let err = Cvec.nrmsd ~reference:exact fast in
+  Alcotest.(check bool) (Printf.sprintf "nrmsd %.2e" err) true (err < 2e-3)
+
+let test_nufft_timed () =
+  let n = 32 and m = 500 in
+  let plan = Nufft.Plan.make ~n () in
+  let s = Sample.random_2d ~seed:6 ~g:plan.Nufft.Plan.g m in
+  let image, t = Nufft.Plan.adjoint_2d_timed plan s in
+  Alcotest.(check int) "image size" (n * n) (Cvec.length image);
+  Alcotest.(check bool) "gridding time recorded" true (t.Nufft.Plan.gridding_s >= 0.0);
+  let f = Nufft.Plan.gridding_fraction t in
+  Alcotest.(check bool) "fraction in [0,1]" true (f >= 0.0 && f <= 1.0)
+
+let test_plan_validation () =
+  Alcotest.check_raises "n" (Invalid_argument "Plan.make: n must be >= 2")
+    (fun () -> ignore (Nufft.Plan.make ~n:1 ()));
+  Alcotest.check_raises "sigma" (Invalid_argument "Plan.make: sigma must be > 1")
+    (fun () -> ignore (Nufft.Plan.make ~n:16 ~sigma:0.5 ()));
+  Alcotest.check_raises "mismatched grid"
+    (Invalid_argument "Plan: sample set is for grid 16, plan uses 32")
+    (fun () ->
+      let plan = Nufft.Plan.make ~n:16 () in
+      let s = Sample.random_2d ~g:16 10 in
+      ignore (Nufft.Plan.adjoint_2d plan s))
+
+let test_nufft_non_pow2_sigma () =
+  (* sigma = 1.5 gives a non-power-of-two oversampled grid exercising the
+     Bluestein FFT inside the pipeline; wider window per Beatty. *)
+  let err =
+    let n = 16 and m = 60 in
+    let plan = Nufft.Plan.make ~n ~sigma:1.5 ~w:7 ~l:1024 () in
+    let rng = Random.State.make [| 61 |] in
+    let omega_x = random_omega rng m and omega_y = random_omega rng m in
+    let values = Cvec.init m (fun _ ->
+        C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
+    let samples =
+      Sample.of_omega_2d ~g:plan.Nufft.Plan.g ~omega_x ~omega_y ~values
+    in
+    let fast = Nufft.Plan.adjoint_2d plan samples in
+    let exact = Nudft.adjoint_2d ~n:16 ~omega_x ~omega_y ~values in
+    Cvec.nrmsd ~reference:exact fast
+  in
+  Alcotest.(check bool) (Printf.sprintf "sigma=1.5 nrmsd %.2e" err) true
+    (err < 5e-3)
+
+(* ------------------------------------------------------------------ *)
+(* 3D *)
+
+let random_coords rng m bound =
+  Array.init m (fun _ -> Random.State.float rng bound)
+
+let test_gridding3d_vs_sliced () =
+  let g = 16 and m = 80 in
+  let tbl = table ~w:4 () in
+  let rng = Random.State.make [| 91 |] in
+  let gx = random_coords rng m (float_of_int g)
+  and gy = random_coords rng m (float_of_int g)
+  and gz = random_coords rng m (float_of_int g) in
+  let values = Cvec.init m (fun _ ->
+      C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
+  let direct = Nufft.Gridding3d.grid_3d ~table:tbl ~g ~gx ~gy ~gz values in
+  let sliced = Nufft.Gridding3d.grid_3d_sliced ~table:tbl ~g ~gx ~gy ~gz values in
+  check_vec ~eps:1e-11 "direct = sliced schedule" direct sliced
+
+let test_gridding3d_mass () =
+  (* One sample in the interior: total grid mass = value * (window sum)^3. *)
+  let g = 16 and w = 4 in
+  let tbl = table ~w () in
+  let u = 8.3 in
+  let grid = Nufft.Gridding3d.grid_3d ~table:tbl ~g ~gx:[| u |] ~gy:[| u |]
+      ~gz:[| u |] (Cvec.of_complex_array [| C.one |]) in
+  let sum1d = ref 0.0 in
+  Coord.iter_window ~w ~g u (fun ~k:_ ~dist ->
+      sum1d := !sum1d +. Wt.lookup tbl dist);
+  let total = Cvec.fold (fun a c -> C.add a c) C.zero grid in
+  check_close ~eps:1e-12 "mass" (!sum1d ** 3.0) total.C.re;
+  check_close ~eps:1e-12 "imag" 0.0 total.C.im
+
+let test_nufft_3d_vs_nudft () =
+  let n = 8 and m = 40 in
+  let plan = Nufft.Plan.make ~n ~w:4 ~l:1024 () in
+  let g = plan.Nufft.Plan.g in
+  let rng = Random.State.make [| 53 |] in
+  let omega k = Array.init m (fun i -> ignore k; ignore i;
+      Random.State.float rng (2.0 *. Float.pi) -. Float.pi) in
+  let ox = omega 0 and oy = omega 1 and oz = omega 2 in
+  let values = Cvec.init m (fun _ ->
+      C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
+  let to_grid = Array.map (Sample.omega_to_grid ~g) in
+  let fast = Nufft.Plan.adjoint_3d plan ~gx:(to_grid ox) ~gy:(to_grid oy)
+      ~gz:(to_grid oz) values in
+  let exact = Nudft.adjoint_3d ~n ~omega_x:ox ~omega_y:oy ~omega_z:oz ~values in
+  let err = Cvec.nrmsd ~reference:exact fast in
+  Alcotest.(check bool) (Printf.sprintf "3d adjoint nrmsd %.2e" err) true
+    (err < 5e-3)
+
+let test_nufft_3d_adjoint_pair () =
+  let n = 8 and m = 25 in
+  let plan = Nufft.Plan.make ~n ~w:4 () in
+  let g = plan.Nufft.Plan.g in
+  let rng = Random.State.make [| 59 |] in
+  let coords () = Array.init m (fun _ -> Random.State.float rng (float_of_int g)) in
+  let gx = coords () and gy = coords () and gz = coords () in
+  let x = Cvec.init (n * n * n) (fun _ ->
+      C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
+  let y = Cvec.init m (fun _ ->
+      C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
+  let fx = Nufft.Plan.forward_3d plan ~gx ~gy ~gz x in
+  let ay = Nufft.Plan.adjoint_3d plan ~gx ~gy ~gz y in
+  let lhs = Cvec.dot fx y and rhs = Cvec.dot x ay in
+  let scale = C.norm lhs +. C.norm rhs +. 1.0 in
+  check_close ~eps:(1e-10 *. scale) "re" lhs.C.re rhs.C.re;
+  check_close ~eps:(1e-10 *. scale) "im" lhs.C.im rhs.C.im
+
+(* ------------------------------------------------------------------ *)
+(* Min-max interpolation *)
+
+let test_minmax_reproduces_on_grid_sample () =
+  (* A sample exactly on a grid point: the optimal coefficients are a
+     delta (reproduce the exponential exactly). *)
+  let n = 16 and g = 32 and w = 6 in
+  let u = 10.0 in
+  let c = Nufft.Minmax.coefficients ~n ~g ~w u in
+  (* Canonical window of u=10: kmax = 13, start = 8; u itself is index 2. *)
+  Array.iteri
+    (fun j cj ->
+      if j = 2 then begin
+        check_close ~eps:1e-8 "unit coeff re" 1.0 cj.C.re;
+        check_close ~eps:1e-8 "unit coeff im" 0.0 cj.C.im
+      end
+      else check_close ~eps:1e-8 (Printf.sprintf "zero coeff %d" j) 0.0
+          (C.norm cj))
+    c
+
+let test_minmax_worst_case_decreases_with_w () =
+  let n = 16 and g = 32 in
+  let u = 10.37 in
+  let errs =
+    List.map (fun w -> Nufft.Minmax.worst_case_error ~n ~g ~w u) [ 2; 4; 6 ]
+  in
+  (match errs with
+  | [ e2; e4; e6 ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "monotone %.1e > %.1e > %.1e" e2 e4 e6)
+        true
+        (e2 > e4 && e4 > e6)
+  | _ -> assert false)
+
+let test_minmax_scaled_beats_kb () =
+  (* The headline property of MIRT's interpolator: with good scaling
+     factors, exact min-max beats the tabulated Kaiser-Bessel window at
+     the same w. *)
+  let n = 16 and m = 120 and w = 6 in
+  let plan = Nufft.Plan.make ~n ~w ~l:2048 () in
+  let g = plan.Nufft.Plan.g in
+  let rng = Random.State.make [| 31 |] in
+  let omega () = random_omega rng m in
+  let ox = omega () and oy = omega () in
+  let values = Cvec.init m (fun _ ->
+      C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
+  let exact = Nudft.adjoint_2d ~n ~omega_x:ox ~omega_y:oy ~values in
+  let samples = Sample.of_omega_2d ~g ~omega_x:ox ~omega_y:oy ~values in
+  let kb_err =
+    Cvec.nrmsd ~reference:exact (Nufft.Plan.adjoint_2d plan samples)
+  in
+  let mm =
+    Nufft.Minmax.adjoint_2d ~scaling:Nufft.Minmax.Kaiser_bessel_scaling ~n ~g
+      ~w ~gx:samples.Sample.gx ~gy:samples.Sample.gy values
+  in
+  let mm_err = Cvec.nrmsd ~reference:exact mm in
+  Alcotest.(check bool)
+    (Printf.sprintf "minmax %.2e < kb %.2e" mm_err kb_err)
+    true (mm_err < kb_err)
+
+let test_minmax_scaling_helps () =
+  let n = 16 and g = 32 and w = 6 in
+  let u = 9.43 in
+  let uniform = Nufft.Minmax.worst_case_error ~n ~g ~w u in
+  let scaled =
+    Nufft.Minmax.worst_case_error ~scaling:Nufft.Minmax.Kaiser_bessel_scaling
+      ~n ~g ~w u
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "scaled %.2e < uniform %.2e" scaled uniform)
+    true (scaled < uniform)
+
+let test_minmax_validation () =
+  Alcotest.check_raises "w" (Invalid_argument "Minmax.coefficients: w < 1")
+    (fun () -> ignore (Nufft.Minmax.coefficients ~n:8 ~g:16 ~w:0 1.0));
+  Alcotest.check_raises "n > g"
+    (Invalid_argument "Minmax.coefficients: n must not exceed g") (fun () ->
+      ignore (Nufft.Minmax.coefficients ~n:32 ~g:16 ~w:4 1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Apodization *)
+
+let test_apodization_factors () =
+  let kernel = Window.default_kaiser_bessel ~width:6 ~sigma:2.0 in
+  let f = Nufft.Apodization.factors ~kernel ~width:6 ~n:16 ~g:32 in
+  Alcotest.(check int) "length" 16 (Array.length f);
+  Array.iter (fun v -> Alcotest.(check bool) "positive" true (v > 0.0)) f;
+  (* Symmetric around centre: f.(n/2 - k) = f.(n/2 + k). *)
+  check_close ~eps:1e-12 "symmetry" f.(8 - 3) f.(8 + 3)
+
+let test_dice_layout_roundtrip () =
+  let t = 8 and g = 32 in
+  let n_addr = g * g in
+  let seen = Hashtbl.create n_addr in
+  for addr = 0 to n_addr - 1 do
+    let idx = Nufft.Gridding_slice.grid_index_of_dice ~t ~g addr in
+    Alcotest.(check bool) "in range" true (idx >= 0 && idx < g * g);
+    if Hashtbl.mem seen idx then Alcotest.failf "duplicate grid index %d" idx;
+    Hashtbl.add seen idx ()
+  done;
+  Alcotest.(check int) "bijection" n_addr (Hashtbl.length seen)
+
+(* ------------------------------------------------------------------ *)
+
+(* Spreading and interpolation are exact transposes at the gridding level:
+   <spread(v), u> = <v, interp(u)> for any grid u and samples v. *)
+let prop_spread_interp_adjoint =
+  QCheck.Test.make ~name:"spread and interp are transposes" ~count:40
+    QCheck.(pair (int_range 0 10000) (int_range 5 60))
+    (fun (seed, m) ->
+      let g = 32 in
+      let tbl = table () in
+      let s = Sample.random_2d ~seed ~g m in
+      let rng = Random.State.make [| seed + 1 |] in
+      let u = Cvec.init (g * g) (fun _ ->
+          C.make (Random.State.float rng 2.0 -. 1.0)
+            (Random.State.float rng 2.0 -. 1.0)) in
+      let spread =
+        Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
+          ~gy:s.Sample.gy s.Sample.values
+      in
+      let back =
+        Gridding.interp_2d ~table:tbl ~g ~gx:s.Sample.gx ~gy:s.Sample.gy u
+      in
+      let lhs = Cvec.dot spread u and rhs = Cvec.dot s.Sample.values back in
+      let scale = C.norm lhs +. C.norm rhs +. 1.0 in
+      Float.abs (lhs.C.re -. rhs.C.re) <= 1e-10 *. scale
+      && Float.abs (lhs.C.im -. rhs.C.im) <= 1e-10 *. scale)
+
+(* Gridding is linear in the sample values. *)
+let prop_gridding_linear =
+  QCheck.Test.make ~name:"gridding is linear in values" ~count:40
+    QCheck.(pair (int_range 0 10000) (float_range (-3.0) 3.0))
+    (fun (seed, alpha) ->
+      let g = 32 and m = 40 in
+      let tbl = table () in
+      let s = Sample.random_2d ~seed ~g m in
+      let scaled =
+        Cvec.map (fun c -> C.scale alpha c) s.Sample.values
+      in
+      let base =
+        Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
+          ~gy:s.Sample.gy s.Sample.values
+      in
+      let got =
+        Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
+          ~gy:s.Sample.gy scaled
+      in
+      let expected = Cvec.copy base in
+      Cvec.scale_inplace alpha expected;
+      Cvec.max_abs_diff expected got <= 1e-9)
+
+(* iter_window always yields exactly w wrapped points for any coordinate. *)
+let prop_iter_window_total =
+  QCheck.Test.make ~name:"iter_window yields w in-range points" ~count:500
+    QCheck.(triple (int_range 1 8) (int_range 1 8) (float_range 0.0 0.99999))
+    (fun (w, n_tiles, frac) ->
+      let g = Float.max (float_of_int w) (float_of_int (8 * n_tiles)) in
+      let g = int_of_float g in
+      let u = frac *. float_of_int g in
+      let count = ref 0 and ok = ref true in
+      Coord.iter_window ~w ~g u (fun ~k ~dist ->
+          incr count;
+          if k < 0 || k >= g then ok := false;
+          if Float.abs dist > float_of_int w /. 2.0 +. 1e-9 then ok := false);
+      !ok && !count = w)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_column_check; prop_engines_agree; prop_spread_interp_adjoint;
+      prop_gridding_linear; prop_iter_window_total ]
+
+let () =
+  Alcotest.run "nufft"
+    [ ("coord",
+       [ Alcotest.test_case "window_start" `Quick test_window_start;
+         Alcotest.test_case "wrap" `Quick test_wrap;
+         Alcotest.test_case "iter_window" `Quick test_iter_window;
+         Alcotest.test_case "iter_window wraps" `Quick test_iter_window_wraps;
+         Alcotest.test_case "decompose" `Quick test_decompose;
+         Alcotest.test_case "check_tiling" `Quick test_check_tiling;
+         Alcotest.test_case "affected_columns" `Quick test_affected_columns;
+         Alcotest.test_case "column_check wrap flag" `Quick
+           test_column_check_wrap_flag ]);
+      ("engines",
+       [ Alcotest.test_case "agree 1d" `Quick test_engines_agree_1d;
+         Alcotest.test_case "agree 2d" `Quick test_engines_agree_2d;
+         Alcotest.test_case "slice fast = serial bitwise" `Quick
+           test_slice_fast_bitwise_equal_serial;
+         Alcotest.test_case "slice faithful schedule" `Quick
+           test_slice_faithful_agrees;
+         Alcotest.test_case "parallel domains agree" `Quick
+           test_slice_parallel_agrees;
+         Alcotest.test_case "mass conservation" `Quick test_mass_conservation;
+         Alcotest.test_case "empty sample set" `Quick test_empty_sample_set;
+         Alcotest.test_case "window = tile" `Quick test_window_equals_tile;
+         Alcotest.test_case "w = 1 nearest neighbour" `Quick
+           test_w1_minimal_window ]);
+      ("stats",
+       [ Alcotest.test_case "serial" `Quick test_stats_serial;
+         Alcotest.test_case "output-parallel" `Quick test_stats_output_parallel;
+         Alcotest.test_case "slice-and-dice" `Quick test_stats_slice;
+         Alcotest.test_case "binned duplicates" `Quick
+           test_stats_binned_duplicates;
+         Alcotest.test_case "duplication factor" `Quick test_duplication_factor ]);
+      ("sample",
+       [ Alcotest.test_case "omega mapping" `Quick test_omega_to_grid;
+         Alcotest.test_case "validation" `Quick test_sample_validation ]);
+      ("nudft",
+       [ Alcotest.test_case "adjoint dc" `Quick test_nudft_adjoint_1d_dc;
+         Alcotest.test_case "adjointness 2d" `Quick test_nudft_adjointness_2d ]);
+      ("nufft",
+       [ Alcotest.test_case "adjoint accuracy" `Quick test_nufft_adjoint_accuracy;
+         Alcotest.test_case "adjoint accuracy (all engines)" `Quick
+           test_nufft_adjoint_accuracy_all_engines;
+         Alcotest.test_case "accuracy improves with w" `Quick
+           test_nufft_accuracy_improves_with_w;
+         Alcotest.test_case "forward accuracy" `Quick test_nufft_forward_accuracy;
+         Alcotest.test_case "adjoint pair" `Quick test_nufft_adjoint_pair;
+         Alcotest.test_case "adjoint 1d" `Quick test_nufft_adjoint_1d;
+         Alcotest.test_case "timed decomposition" `Quick test_nufft_timed;
+         Alcotest.test_case "plan validation" `Quick test_plan_validation;
+         Alcotest.test_case "non-pow2 sigma (bluestein)" `Quick
+           test_nufft_non_pow2_sigma ]);
+      ("gridding3d",
+       [ Alcotest.test_case "direct = sliced" `Quick test_gridding3d_vs_sliced;
+         Alcotest.test_case "mass" `Quick test_gridding3d_mass;
+         Alcotest.test_case "3d adjoint vs nudft" `Quick test_nufft_3d_vs_nudft;
+         Alcotest.test_case "3d adjoint pair" `Quick test_nufft_3d_adjoint_pair ]);
+      ("minmax",
+       [ Alcotest.test_case "on-grid sample is a delta" `Quick
+           test_minmax_reproduces_on_grid_sample;
+         Alcotest.test_case "error decreases with w" `Quick
+           test_minmax_worst_case_decreases_with_w;
+         Alcotest.test_case "scaled beats kaiser-bessel" `Quick
+           test_minmax_scaled_beats_kb;
+         Alcotest.test_case "scaling helps" `Quick test_minmax_scaling_helps;
+         Alcotest.test_case "validation" `Quick test_minmax_validation ]);
+      ("apodization",
+       [ Alcotest.test_case "factors" `Quick test_apodization_factors;
+         Alcotest.test_case "dice layout bijection" `Quick
+           test_dice_layout_roundtrip ]);
+      ("properties", qtests) ]

@@ -1,0 +1,166 @@
+(* Tests for the k-space trajectory generators. *)
+
+module Traj = Trajectory.Traj
+module Radial = Trajectory.Radial
+module Spiral = Trajectory.Spiral
+
+let check_close ?(eps = 1e-12) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.17g, got %.17g" msg expected actual
+
+let test_wrap_frequency () =
+  check_close "identity" 1.0 (Traj.wrap_frequency 1.0);
+  check_close "-pi stays" (-.Float.pi) (Traj.wrap_frequency (-.Float.pi));
+  check_close "pi wraps to -pi" (-.Float.pi) (Traj.wrap_frequency Float.pi);
+  check_close ~eps:1e-12 "2pi+0.5" 0.5 (Traj.wrap_frequency ((2.0 *. Float.pi) +. 0.5))
+
+let test_make_validates () =
+  Alcotest.check_raises "length" (Invalid_argument "Traj.make: length mismatch")
+    (fun () -> ignore (Traj.make ~omega_x:[| 0.0 |] ~omega_y:[||]))
+
+let test_radial_structure () =
+  let spokes = 8 and readout = 32 in
+  let t = Radial.make ~spokes ~readout () in
+  Alcotest.(check int) "count" (spokes * readout) (Traj.length t);
+  Alcotest.(check bool) "bounds" true (Traj.bounds_ok t);
+  (* Spoke 0 is horizontal: all omega_y = 0. *)
+  for i = 0 to readout - 1 do
+    check_close ~eps:1e-12 "horizontal spoke" 0.0 t.Traj.omega_y.(i)
+  done;
+  (* Readout spans [-pi, pi): first sample at -pi. *)
+  check_close ~eps:1e-12 "start" (-.Float.pi) t.Traj.omega_x.(0);
+  Alcotest.(check bool) "end < pi" true
+    (t.Traj.omega_x.(readout - 1) < Float.pi)
+
+let test_radial_golden () =
+  let t = Radial.make ~scheme:Radial.Golden_angle ~spokes:16 ~readout:8 () in
+  Alcotest.(check int) "count" 128 (Traj.length t);
+  Alcotest.(check bool) "bounds" true (Traj.bounds_ok t)
+
+let test_radial_validation () =
+  Alcotest.check_raises "spokes"
+    (Invalid_argument "Radial.make: spokes must be >= 1") (fun () ->
+      ignore (Radial.make ~spokes:0 ~readout:8 ()));
+  Alcotest.check_raises "r_max"
+    (Invalid_argument "Radial.make: r_max must be in (0, pi]") (fun () ->
+      ignore (Radial.make ~r_max:4.0 ~spokes:4 ~readout:8 ()))
+
+let test_radial_density () =
+  let t = Radial.make ~spokes:8 ~readout:64 () in
+  let w = Radial.density_weights t in
+  Alcotest.(check int) "length" (Traj.length t) (Array.length w);
+  Array.iter (fun x -> Alcotest.(check bool) "positive" true (x > 0.0)) w;
+  let sum = Array.fold_left ( +. ) 0.0 w in
+  check_close ~eps:1e-6 "normalised" (float_of_int (Traj.length t)) sum;
+  (* Edge samples weigh more than centre samples. *)
+  Alcotest.(check bool) "ramp" true (w.(0) > w.(32))
+
+let test_fully_sampled_spokes () =
+  Alcotest.(check int) "n=64" 101 (Radial.fully_sampled_spokes ~n:64);
+  Alcotest.(check int) "n=256" 403 (Radial.fully_sampled_spokes ~n:256)
+
+let test_spiral_structure () =
+  let t = Spiral.make ~samples_per_interleave:256 ~interleaves:4 () in
+  Alcotest.(check int) "count" 1024 (Traj.length t);
+  Alcotest.(check bool) "bounds" true (Traj.bounds_ok t);
+  (* Radius grows monotonically along one interleave. *)
+  let grow = ref true in
+  for j = 1 to 255 do
+    if Traj.radius t j < Traj.radius t (j - 1) -. 1e-9 then grow := false
+  done;
+  Alcotest.(check bool) "monotone radius" true !grow;
+  check_close ~eps:1e-12 "starts at centre" 0.0 (Traj.radius t 0)
+
+let test_rosette () =
+  let t = Trajectory.Rosette.make ~samples:512 () in
+  Alcotest.(check int) "count" 512 (Traj.length t);
+  Alcotest.(check bool) "bounds" true (Traj.bounds_ok t);
+  (* Re-crosses the centre: some non-initial sample has tiny radius. *)
+  let crossings = ref 0 in
+  for j = 1 to 511 do
+    if Traj.radius t j < 0.1 then incr crossings
+  done;
+  Alcotest.(check bool) "centre recrossings" true (!crossings > 2)
+
+let test_random_traj () =
+  let t = Trajectory.Random_traj.make ~seed:3 ~samples:1000 () in
+  Alcotest.(check bool) "bounds" true (Traj.bounds_ok t);
+  let t2 = Trajectory.Random_traj.make ~seed:3 ~samples:1000 () in
+  check_close "deterministic" t.Traj.omega_x.(500) t2.Traj.omega_x.(500)
+
+let test_shuffle_preserves_set () =
+  let t = Radial.make ~spokes:4 ~readout:16 () in
+  let s = Trajectory.Random_traj.shuffle ~seed:1 t in
+  Alcotest.(check int) "count" (Traj.length t) (Traj.length s);
+  let key a b = List.sort compare (Array.to_list (Array.map2 (fun x y -> (x, y)) a b)) in
+  Alcotest.(check bool) "same multiset" true
+    (key t.Traj.omega_x t.Traj.omega_y = key s.Traj.omega_x s.Traj.omega_y);
+  Alcotest.(check bool) "actually permuted" true
+    (t.Traj.omega_x <> s.Traj.omega_x)
+
+let test_cartesian () =
+  let n = 8 in
+  let t = Trajectory.Cartesian.make ~n in
+  Alcotest.(check int) "count" (n * n) (Traj.length t);
+  Alcotest.(check bool) "bounds" true (Traj.bounds_ok t);
+  (* Centre sample (k = 0) is present. *)
+  let has_dc = ref false in
+  for j = 0 to Traj.length t - 1 do
+    if Traj.radius t j < 1e-12 then has_dc := true
+  done;
+  Alcotest.(check bool) "dc present" true !has_dc
+
+let test_datasets () =
+  let all = Trajectory.Dataset.all in
+  Alcotest.(check int) "five datasets" 5 (List.length all);
+  List.iter
+    (fun d ->
+      let t = d.Trajectory.Dataset.trajectory () in
+      Alcotest.(check int)
+        (d.Trajectory.Dataset.name ^ " sample count")
+        d.Trajectory.Dataset.m (Traj.length t);
+      Alcotest.(check bool)
+        (d.Trajectory.Dataset.name ^ " bounds")
+        true (Traj.bounds_ok t))
+    all;
+  (* Recovered dimensions from the paper. *)
+  Alcotest.(check (list int)) "dims" [ 64; 64; 256; 320; 512 ]
+    (List.map (fun d -> d.Trajectory.Dataset.n) all)
+
+let test_dataset_small_variant () =
+  let d = Trajectory.Dataset.by_name "Image 3" in
+  let s = Trajectory.Dataset.small_variant d in
+  Alcotest.(check bool) "smaller" true (s.Trajectory.Dataset.m < d.Trajectory.Dataset.m);
+  let t = s.Trajectory.Dataset.trajectory () in
+  Alcotest.(check int) "count" s.Trajectory.Dataset.m (Traj.length t)
+
+let prop_wrap_in_range =
+  QCheck.Test.make ~name:"wrap_frequency lands in [-pi, pi)" ~count:1000
+    QCheck.(float_range (-100.0) 100.0)
+    (fun w ->
+      let x = Traj.wrap_frequency w in
+      x >= -.Float.pi && x < Float.pi)
+
+let qtests = List.map QCheck_alcotest.to_alcotest [ prop_wrap_in_range ]
+
+let () =
+  Alcotest.run "trajectory"
+    [ ("traj",
+       [ Alcotest.test_case "wrap" `Quick test_wrap_frequency;
+         Alcotest.test_case "validation" `Quick test_make_validates ]);
+      ("radial",
+       [ Alcotest.test_case "structure" `Quick test_radial_structure;
+         Alcotest.test_case "golden angle" `Quick test_radial_golden;
+         Alcotest.test_case "validation" `Quick test_radial_validation;
+         Alcotest.test_case "density weights" `Quick test_radial_density;
+         Alcotest.test_case "nyquist spokes" `Quick test_fully_sampled_spokes ]);
+      ("spiral", [ Alcotest.test_case "structure" `Quick test_spiral_structure ]);
+      ("rosette", [ Alcotest.test_case "structure" `Quick test_rosette ]);
+      ("random",
+       [ Alcotest.test_case "uniform" `Quick test_random_traj;
+         Alcotest.test_case "shuffle" `Quick test_shuffle_preserves_set ]);
+      ("cartesian", [ Alcotest.test_case "grid" `Quick test_cartesian ]);
+      ("dataset",
+       [ Alcotest.test_case "five images" `Quick test_datasets;
+         Alcotest.test_case "small variant" `Quick test_dataset_small_variant ]);
+      ("properties", qtests) ]
