@@ -1,0 +1,149 @@
+(* Parallel scaling of the domain-pool runtime (lib/runtime/pool.ml).
+
+   Three workloads, each timed for pools of 1, 2, 4 and 8 domains against
+   its serial engine:
+
+   - 2D slice-and-dice gridding (g=256, t=8, M=65536 radial samples): the
+     t^2 dice columns are distributed over the pool, mirroring the paper's
+     T^2 parallel workers;
+   - 3D sliced gridding (g=64): one z-slice per work item;
+   - batched row/column FFT (256 x 256): the lines of each pass are
+     chunked over the pool.
+
+   All three are bit-identical to serial by construction (column-, slice-
+   and line-private writes), which the run re-verifies. Speedups above 1
+   require actual cores: on a single-core host every pool size degenerates
+   to roughly serial time plus coordination overhead, which this bench
+   then measures instead.
+
+   Usage: parallel_scaling.exe [--quick]  (quick: ~1/4 of the samples) *)
+
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+module Pool = Runtime.Pool
+
+let domain_counts = [ 1; 2; 4; 8 ]
+let reps = 3
+
+let time_best f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let max_dev ~reference v =
+  let m = ref 0.0 in
+  for i = 0 to Cvec.length v - 1 do
+    let d = C.norm (C.sub (Cvec.get v i) (Cvec.get reference i)) in
+    if d > !m then m := d
+  done;
+  !m
+
+(* One row per pool size: time, speedup vs the serial baseline, and the
+   worst element-wise deviation from the serial result. *)
+let scaling_table ~label ~serial_s ~reference run =
+  Printf.printf "  %-10s %12s %9s %12s\n" "domains" "time(ms)" "speedup"
+    "max|dev|";
+  List.iter
+    (fun d ->
+      let pool = Pool.create ~domains:d () in
+      let out, dt =
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pool)
+          (fun () -> time_best (fun () -> run pool))
+      in
+      let dev = max_dev ~reference out in
+      Printf.printf "  %-10d %12.3f %8.2fx %12.2e\n" d (dt *. 1000.0)
+        (serial_s /. dt) dev;
+      if dev > 1e-9 then
+        failwith (Printf.sprintf "%s: pool of %d deviates from serial" label d))
+    domain_counts
+
+let radial_samples ~g ~spokes ~readout =
+  let traj = Trajectory.Radial.make ~spokes ~readout () in
+  let m = Trajectory.Traj.length traj in
+  let rng = Random.State.make [| 2026 |] in
+  let values =
+    Cvec.init m (fun j ->
+        let r = Trajectory.Traj.radius traj j /. Float.pi in
+        let mag = 1.0 /. (1.0 +. (10.0 *. r *. r)) in
+        C.scale mag (C.exp_i (Random.State.float rng (2.0 *. Float.pi))))
+  in
+  Nufft.Sample.of_omega_2d ~g ~omega_x:traj.Trajectory.Traj.omega_x
+    ~omega_y:traj.Trajectory.Traj.omega_y ~values
+
+let bench_grid_2d ~quick table =
+  let g = 256 and t = 8 in
+  let readout = if quick then 128 else 256 in
+  let s = radial_samples ~g ~spokes:256 ~readout in
+  let gx = s.Nufft.Sample.gx
+  and gy = s.Nufft.Sample.gy
+  and values = s.Nufft.Sample.values in
+  Printf.printf "\n== 2D slice-and-dice gridding: g=%d, t=%d, M=%d ==\n" g t
+    (Nufft.Sample.length s);
+  let reference, serial_s =
+    time_best (fun () -> Nufft.Gridding_serial.grid_2d ~table ~g ~gx ~gy values)
+  in
+  Printf.printf "  serial: %.3f ms\n" (serial_s *. 1000.0);
+  scaling_table ~label:"grid_2d" ~serial_s ~reference (fun pool ->
+      Nufft.Gridding_slice.grid_2d_parallel ~pool ~table ~g ~t ~gx ~gy values)
+
+let bench_grid_3d ~quick table =
+  let g = 64 in
+  let m = if quick then 8_000 else 30_000 in
+  let rng = Random.State.make [| 41 |] in
+  let coord () = Array.init m (fun _ -> Random.State.float rng (float_of_int g)) in
+  let gx = coord () and gy = coord () and gz = coord () in
+  let values =
+    Cvec.init m (fun _ ->
+        C.make
+          (Random.State.float rng 2.0 -. 1.0)
+          (Random.State.float rng 2.0 -. 1.0))
+  in
+  Printf.printf "\n== 3D sliced gridding: g=%d, M=%d ==\n" g m;
+  let reference, serial_s =
+    time_best (fun () ->
+        Nufft.Gridding3d.grid_3d_sliced ~table ~g ~gx ~gy ~gz values)
+  in
+  Printf.printf "  serial (sliced): %.3f ms\n" (serial_s *. 1000.0);
+  scaling_table ~label:"grid_3d" ~serial_s ~reference (fun pool ->
+      Nufft.Gridding3d.grid_3d_parallel ~pool ~table ~g ~gx ~gy ~gz values)
+
+let bench_fft ~quick =
+  let n = if quick then 128 else 256 in
+  let rng = Random.State.make [| 7 |] in
+  let input =
+    Cvec.init (n * n) (fun _ ->
+        C.make
+          (Random.State.float rng 2.0 -. 1.0)
+          (Random.State.float rng 2.0 -. 1.0))
+  in
+  Printf.printf "\n== 2D FFT, line-batched: %d x %d ==\n" n n;
+  let reference, serial_s =
+    time_best (fun () ->
+        let v = Cvec.copy input in
+        Fft.Fftnd.transform_2d Fft.Dft.Forward ~nx:n ~ny:n v;
+        v)
+  in
+  Printf.printf "  serial: %.3f ms\n" (serial_s *. 1000.0);
+  scaling_table ~label:"fft_2d" ~serial_s ~reference (fun pool ->
+      let v = Cvec.copy input in
+      Fft.Fftnd.transform_2d ~pool Fft.Dft.Forward ~nx:n ~ny:n v;
+      v)
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  Printf.printf "domain-pool scaling (host reports %d recommended domain(s))\n"
+    (Domain.recommended_domain_count ());
+  let kernel = Numerics.Window.default_kaiser_bessel ~width:6 ~sigma:2.0 in
+  let table = Numerics.Weight_table.make ~kernel ~width:6 ~l:512 () in
+  bench_grid_2d ~quick table;
+  bench_grid_3d ~quick table;
+  bench_fft ~quick;
+  Printf.printf "\nall parallel results matched serial to <= 1e-9\n"

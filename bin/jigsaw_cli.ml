@@ -49,15 +49,36 @@ let parse_engine ~w s =
   | "output" -> `Cpu Nufft.Gridding.Output_parallel
   | "binned" -> `Cpu (Nufft.Gridding.Binned 8)
   | "slice" -> `Cpu (Nufft.Gridding.Slice_and_dice (max 8 w))
+  | "parallel" -> `Cpu (Nufft.Gridding.Slice_parallel (max 8 w))
   | "jigsaw" -> `Jigsaw
   | "gpu-slice" -> `Gpu `Slice
   | "gpu-binned" -> `Gpu `Binned
   | other -> failwith (Printf.sprintf "unknown backend %S" other)
 
+(* The slice engines need the tile to divide the oversampled grid; for odd
+   image sizes fall back to the always-valid tiling of Gridding.tile_for. *)
+let retile ~g ~w = function
+  | Nufft.Gridding.Slice_and_dice t when g mod t <> 0 ->
+      Nufft.Gridding.Slice_and_dice (Nufft.Gridding.tile_for ~g ~w)
+  | Nufft.Gridding.Slice_parallel t when g mod t <> 0 ->
+      Nufft.Gridding.Slice_parallel (Nufft.Gridding.tile_for ~g ~w)
+  | e -> e
+
+(* --domains D sizes the process-wide pool: D maps to the paper's T^d
+   workers in the sense that the t^2 dice columns (or g z-slices in 3D)
+   are distributed over D domains. *)
+let apply_domains = function
+  | None -> ()
+  | Some d when d >= 1 -> Runtime.Pool.set_global_domains d
+  | Some _ ->
+      prerr_endline "jigsaw_cli: --domains must be >= 1";
+      exit 1
+
 (* ------------------------------------------------------------------ *)
 (* grid subcommand *)
 
-let run_grid n traj_kind m backend w l seed validate =
+let run_grid n traj_kind m backend w l seed validate domains =
+  apply_domains domains;
   let g = 2 * n in
   let traj = make_trajectory traj_kind m n in
   let s = samples_of_traj ~g ~seed traj in
@@ -72,6 +93,7 @@ let run_grid n traj_kind m backend w l seed validate =
   in
   (match parse_engine ~w backend with
   | `Cpu engine ->
+      let engine = retile ~g ~w engine in
       let stats = Nufft.Gridding_stats.create () in
       let t0 = Unix.gettimeofday () in
       let grid =
@@ -79,9 +101,16 @@ let run_grid n traj_kind m backend w l seed validate =
           ~gy:s.Nufft.Sample.gy s.Nufft.Sample.values
       in
       let dt = Unix.gettimeofday () -. t0 in
-      Printf.printf "%s: %.3f ms (CPU, instrumented)\n"
-        (Nufft.Gridding.engine_name engine)
-        (1e3 *. dt);
+      (match engine with
+      | Nufft.Gridding.Slice_parallel _ ->
+          Printf.printf "%s: %.3f ms (CPU, instrumented, %d domains)\n"
+            (Nufft.Gridding.engine_name engine)
+            (1e3 *. dt)
+            (Runtime.Pool.size (Runtime.Pool.global ()))
+      | _ ->
+          Printf.printf "%s: %.3f ms (CPU, instrumented)\n"
+            (Nufft.Gridding.engine_name engine)
+            (1e3 *. dt));
       Format.printf "stats: %a@." Nufft.Gridding_stats.pp stats;
       if validate then
         Printf.printf "max deviation vs serial reference: %g\n"
@@ -123,8 +152,22 @@ let run_grid n traj_kind m backend w l seed validate =
 (* ------------------------------------------------------------------ *)
 (* recon subcommand *)
 
-let run_recon n spokes output =
-  let plan = Nufft.Plan.make ~n () in
+let run_recon n spokes output domains =
+  apply_domains domains;
+  let plan =
+    match domains with
+    | None -> Nufft.Plan.make ~n ()
+    | Some _ ->
+        (* Pool-backed plan: parallel FFT passes, and the pool-parallel
+           gridding engine when the tiling divides the oversampled grid. *)
+        let pool = Runtime.Pool.global () in
+        let g = 2 * n in
+        let engine =
+          if g mod 8 = 0 then Nufft.Gridding.Slice_parallel 8
+          else Nufft.Gridding.Serial
+        in
+        Nufft.Plan.make ~pool ~engine ~n ()
+  in
   let phantom = Imaging.Phantom.make ~n () in
   let spokes =
     match spokes with
@@ -241,13 +284,23 @@ let validate_arg =
     value & flag
     & info [ "validate" ] ~doc:"Compare against the serial double reference.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Size of the domain pool used by the parallel backend and \
+           pool-backed plans — the paper's \\$(i,T^d) workers multiplexed \
+           onto D OCaml domains (default: the runtime's recommended count).")
+
 let grid_cmd =
   let doc = "grid a non-uniform acquisition with a chosen backend" in
   Cmd.v (Cmd.info "grid" ~doc)
     Term.(
       ret
         (const run_grid $ n_arg $ traj_arg $ m_arg $ backend_arg $ w_arg
-       $ l_arg $ seed_arg $ validate_arg))
+       $ l_arg $ seed_arg $ validate_arg $ domains_arg))
 
 let recon_cmd =
   let doc = "reconstruct the Shepp-Logan phantom from radial k-space" in
@@ -263,7 +316,7 @@ let recon_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output PGM path.")
   in
   Cmd.v (Cmd.info "recon" ~doc)
-    Term.(ret (const run_recon $ n_arg $ spokes $ output))
+    Term.(ret (const run_recon $ n_arg $ spokes $ output $ domains_arg))
 
 let info_cmd =
   let doc = "print hardware-model parameters" in

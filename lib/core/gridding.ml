@@ -3,33 +3,44 @@ type engine =
   | Output_parallel
   | Binned of int
   | Slice_and_dice of int
+  | Slice_parallel of int
 
 let engine_name = function
   | Serial -> "serial"
   | Output_parallel -> "output-parallel"
   | Binned b -> Printf.sprintf "binned(%d)" b
   | Slice_and_dice t -> Printf.sprintf "slice-and-dice(%d)" t
+  | Slice_parallel t -> Printf.sprintf "slice-parallel(%d)" t
 
 let pp_engine ppf e = Format.pp_print_string ppf (engine_name e)
 
-let default_engines ~g ~w =
+let tile_for ~g ~w =
   let tile = max w 8 in
-  let tile = if g mod tile = 0 then tile else g in
+  if g mod tile = 0 then tile else g
+
+let default_engines ~g ~w =
+  let tile = tile_for ~g ~w in
   [ Serial; Output_parallel; Binned tile; Slice_and_dice tile ]
 
-let grid_1d ?stats engine ~table ~g ~coords values =
+let all_schemes ~g ~w = default_engines ~g ~w @ [ Slice_parallel (tile_for ~g ~w) ]
+
+let grid_1d ?stats ?pool:_ engine ~table ~g ~coords values =
   match engine with
   | Serial -> Gridding_serial.grid_1d ?stats ~table ~g ~coords values
   | Output_parallel -> Gridding_output.grid_1d ?stats ~table ~g ~coords values
   | Binned bin -> Gridding_binned.grid_1d ?stats ~table ~g ~bin ~coords values
-  | Slice_and_dice t -> Gridding_slice.grid_1d ?stats ~table ~g ~t ~coords values
+  | Slice_and_dice t | Slice_parallel t ->
+      (* 1D columns are too small to be worth distributing. *)
+      Gridding_slice.grid_1d ?stats ~table ~g ~t ~coords values
 
-let grid_2d ?stats engine ~table ~g ~gx ~gy values =
+let grid_2d ?stats ?pool engine ~table ~g ~gx ~gy values =
   match engine with
   | Serial -> Gridding_serial.grid_2d ?stats ~table ~g ~gx ~gy values
   | Output_parallel -> Gridding_output.grid_2d ?stats ~table ~g ~gx ~gy values
   | Binned bin -> Gridding_binned.grid_2d ?stats ~table ~g ~bin ~gx ~gy values
   | Slice_and_dice t ->
       Gridding_slice.grid_2d_fast ?stats ~table ~g ~t ~gx ~gy values
+  | Slice_parallel t ->
+      Gridding_slice.grid_2d_parallel ?stats ?pool ~table ~g ~t ~gx ~gy values
 
 let interp_2d = Gridding_serial.interp_2d

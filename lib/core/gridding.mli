@@ -26,16 +26,30 @@ type engine =
   | Output_parallel
   | Binned of int  (** tile/bin edge length in grid points *)
   | Slice_and_dice of int  (** virtual tile edge length [t], [w <= t] *)
+  | Slice_parallel of int
+      (** the column-outer Slice-and-Dice schedule executed on a
+          {!Runtime.Pool} of OCaml domains (tile edge [t], [w <= t]) *)
 
 val engine_name : engine -> string
 val pp_engine : Format.formatter -> engine -> unit
 
 val default_engines : g:int -> w:int -> engine list
-(** The four engines with sensible parameters for a [g]-point-per-side grid
-    and window width [w] (bin/tile sizes 8, per the paper). *)
+(** The four single-domain engines with sensible parameters for a
+    [g]-point-per-side grid and window width [w] (bin/tile sizes 8, per
+    the paper). *)
+
+val tile_for : g:int -> w:int -> int
+(** Default tile size for a [g]-point grid and width-[w] window: the
+    paper's [t = 8] (or [w] when wider) if it divides [g], else [g]
+    (a single tile — always valid). *)
+
+val all_schemes : g:int -> w:int -> engine list
+(** {!default_engines} plus the pool-parallel scheme — every way this
+    library can compute the same grid; differential tests iterate it. *)
 
 val grid_1d :
   ?stats:Gridding_stats.t ->
+  ?pool:Runtime.Pool.t ->
   engine ->
   table:Numerics.Weight_table.t ->
   g:int ->
@@ -43,10 +57,13 @@ val grid_1d :
   Numerics.Cvec.t ->
   Numerics.Cvec.t
 (** [grid_1d engine ~table ~g ~coords values] spreads [values.(j)] at
-    [coords.(j)] (grid units, [0 <= u < g]) onto a length-[g] grid. *)
+    [coords.(j)] (grid units, [0 <= u < g]) onto a length-[g] grid.
+    [pool] is ignored in 1D (columns are too small to distribute);
+    [Slice_parallel] falls back to the serial slice schedule. *)
 
 val grid_2d :
   ?stats:Gridding_stats.t ->
+  ?pool:Runtime.Pool.t ->
   engine ->
   table:Numerics.Weight_table.t ->
   g:int ->
@@ -56,7 +73,8 @@ val grid_2d :
   Numerics.Cvec.t
 (** Spread onto a [g] x [g] row-major grid (index [y*g + x]). The
     [Slice_and_dice] case uses the sample-outer CPU schedule
-    ({!Gridding_slice.grid_2d_fast}). *)
+    ({!Gridding_slice.grid_2d_fast}); [Slice_parallel] runs the
+    column-outer schedule on [pool] (default: the process-wide pool). *)
 
 val interp_2d :
   ?stats:Gridding_stats.t ->

@@ -34,45 +34,75 @@ let grid_3d ?stats ~table ~g ~gx ~gy ~gz values =
   done;
   out
 
+(* One pass over the whole (unsorted) stream for slice [z], like the JIGSAW
+   3D-Slice schedule: the z select stage admits only samples whose window
+   covers slice z. Writes touch slice [z] of [out] exclusively, so distinct
+   slices can be processed by distinct domains with no interaction. *)
+let spread_slice ?stats ~table ~w ~g ~gx ~gy ~gz ~m values out z =
+  for j = 0 to m - 1 do
+    bump stats (fun s ->
+        s.Gridding_stats.samples_processed <-
+          s.Gridding_stats.samples_processed + 1;
+        s.Gridding_stats.boundary_checks <-
+          s.Gridding_stats.boundary_checks + 1);
+    (* Does the sample's z window cover (possibly via wrap) slice z? *)
+    let start = Coord.window_start ~w gz.(j) in
+    let jj =
+      let r = (z - start) mod g in
+      if r < 0 then r + g else r
+    in
+    if jj < w then begin
+      let dz = float_of_int (start + jj) -. gz.(j) in
+      let wz = Wt.lookup table dz in
+      let v = C.scale wz (Cvec.get values j) in
+      Coord.iter_window ~w ~g gy.(j) (fun ~k:ky ~dist:dy ->
+          let wy = Wt.lookup table dy in
+          Coord.iter_window ~w ~g gx.(j) (fun ~k:kx ~dist:dx ->
+              let weight = wy *. Wt.lookup table dx in
+              bump stats (fun s ->
+                  s.Gridding_stats.window_evals <-
+                    s.Gridding_stats.window_evals + 3;
+                  s.Gridding_stats.grid_accumulates <-
+                    s.Gridding_stats.grid_accumulates + 1);
+              Cvec.accumulate out ((((z * g) + ky) * g) + kx)
+                (C.scale weight v)))
+    end
+  done
+
 let grid_3d_sliced ?stats ~table ~g ~gx ~gy ~gz values =
   let w = Wt.width table in
   let m = Array.length gx in
   check "Gridding3d.grid_3d_sliced" ~m ~gy ~gz values;
   let out = Cvec.create (g * g * g) in
-  (* One pass over the whole (unsorted) stream per slice, like the JIGSAW
-     3D-Slice schedule: the z select stage admits only samples whose window
-     covers slice z. *)
   for z = 0 to g - 1 do
-    for j = 0 to m - 1 do
-      bump stats (fun s ->
-          s.Gridding_stats.samples_processed <-
-            s.Gridding_stats.samples_processed + 1;
-          s.Gridding_stats.boundary_checks <-
-            s.Gridding_stats.boundary_checks + 1);
-      (* Does the sample's z window cover (possibly via wrap) slice z? *)
-      let start = Coord.window_start ~w gz.(j) in
-      let jj =
-        let r = (z - start) mod g in
-        if r < 0 then r + g else r
-      in
-      if jj < w then begin
-        let dz = float_of_int (start + jj) -. gz.(j) in
-        let wz = Wt.lookup table dz in
-        let v = C.scale wz (Cvec.get values j) in
-        Coord.iter_window ~w ~g gy.(j) (fun ~k:ky ~dist:dy ->
-            let wy = Wt.lookup table dy in
-            Coord.iter_window ~w ~g gx.(j) (fun ~k:kx ~dist:dx ->
-                let weight = wy *. Wt.lookup table dx in
-                bump stats (fun s ->
-                    s.Gridding_stats.window_evals <-
-                      s.Gridding_stats.window_evals + 3;
-                    s.Gridding_stats.grid_accumulates <-
-                      s.Gridding_stats.grid_accumulates + 1);
-                Cvec.accumulate out ((((z * g) + ky) * g) + kx)
-                  (C.scale weight v)))
-      end
-    done
+    spread_slice ?stats ~table ~w ~g ~gx ~gy ~gz ~m values out z
   done;
+  out
+
+let grid_3d_parallel ?stats ?pool ?domains ~table ~g ~gx ~gy ~gz values =
+  let w = Wt.width table in
+  let m = Array.length gx in
+  check "Gridding3d.grid_3d_parallel" ~m ~gy ~gz values;
+  let out = Cvec.create (g * g * g) in
+  let stats_mutex = Mutex.create () in
+  let process_slices ~lo ~hi =
+    let local =
+      match stats with None -> None | Some _ -> Some (Gridding_stats.create ())
+    in
+    for z = lo to hi - 1 do
+      spread_slice ?stats:local ~table ~w ~g ~gx ~gy ~gz ~m values out z
+    done;
+    match (stats, local) with
+    | Some acc, Some l ->
+        Mutex.lock stats_mutex;
+        Gridding_stats.add acc l;
+        Mutex.unlock stats_mutex
+    | _ -> ()
+  in
+  Gridding_slice.with_pool ~name:"Gridding3d.grid_3d_parallel" ?pool ?domains
+    (fun p ->
+      Runtime.Pool.parallel_for_ranges ~chunk:1 p ~start:0 ~stop:g
+        process_slices);
   out
 
 let interp_3d ?stats ~table ~g ~gx ~gy ~gz grid =

@@ -34,6 +34,26 @@ val grid_3d_sliced :
     demonstrate/test the slicing schedule; output equals {!grid_3d} up to
     accumulation order. *)
 
+val grid_3d_parallel :
+  ?stats:Gridding_stats.t ->
+  ?pool:Runtime.Pool.t ->
+  ?domains:int ->
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  gx:float array ->
+  gy:float array ->
+  gz:float array ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** Multicore 3D-Slice schedule: the [g] z-slices are distributed over a
+    {!Runtime.Pool} (explicit [pool], else a throwaway pool of [domains],
+    else the process-wide pool). Slice [z] of the output is written only
+    while processing slice [z] — the paper's column-private accumulation
+    argument lifted to slices, so the computation is race-free and
+    bit-identical to {!grid_3d_sliced} for every pool size (each slice
+    accumulates in sample order). Statistics are merged from per-domain
+    counters and equal those of {!grid_3d_sliced}. *)
+
 val interp_3d :
   ?stats:Gridding_stats.t ->
   table:Numerics.Weight_table.t ->

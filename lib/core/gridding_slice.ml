@@ -137,32 +137,48 @@ let grid_2d_fast ?stats ~table ~g ~t ~gx ~gy values =
   done;
   dice_to_row_major ~t ~g dice
 
-let grid_2d_parallel ?domains ~table ~g ~t ~gx ~gy values =
+(* Resolve the execution context for a pool-parallel engine: an explicit
+   pool wins; an explicit [domains] count gets a throwaway pool of that
+   size (the pre-pool API, still used to probe scaling); otherwise the
+   process-wide pool. *)
+let with_pool ~name ?pool ?domains f =
+  match (pool, domains) with
+  | Some p, _ -> f p
+  | None, Some d when d >= 1 ->
+      let p = Runtime.Pool.create ~domains:d () in
+      Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown p) (fun () -> f p)
+  | None, Some _ -> invalid_arg (name ^ ": domains < 1")
+  | None, None -> f (Runtime.Pool.global ())
+
+let grid_2d_parallel ?stats ?pool ?domains ~table ~g ~t ~gx ~gy values =
   let w = Wt.width table in
   Coord.check_tiling ~t ~g ~w;
   let m = Array.length gx in
   if Array.length gy <> m || Cvec.length values <> m then
     invalid_arg "Gridding_slice.grid_2d_parallel: coords/values length mismatch";
-  let n_domains =
-    match domains with
-    | Some d when d >= 1 -> d
-    | Some _ -> invalid_arg "Gridding_slice.grid_2d_parallel: domains < 1"
-    | None -> Domain.recommended_domain_count ()
-  in
   let n_tiles = g / t in
   let tiles_total = n_tiles * n_tiles in
   let columns_total = t * t in
-  (* One private accumulation array per column; a domain owns the columns
-     [d, d + n_domains, d + 2*n_domains, ...] and touches nothing else, so
-     the computation is race-free by construction. *)
+  (* One private accumulation array per column; whichever domain claims a
+     column writes that column's store and nothing else, so the computation
+     is race-free by construction, and the per-column accumulation order
+     (sample order) is fixed regardless of how columns are distributed —
+     results are bit-identical for every domain count. *)
   let column_store = Array.init columns_total (fun _ -> Cvec.create tiles_total) in
-  let work d =
-    let column = ref d in
-    while !column < columns_total do
-      let c = !column in
+  let stats_mutex = Mutex.create () in
+  let process_columns ~lo ~hi =
+    (* Per-chunk private counters, merged once; the shared [stats] record
+       is never touched inside the parallel region. *)
+    let local =
+      match stats with None -> None | Some _ -> Some (Gridding_stats.create ())
+    in
+    for c = lo to hi - 1 do
       let rx = c mod t and ry = c / t in
       let store = column_store.(c) in
       for j = 0 to m - 1 do
+        bump local (fun s ->
+            s.Gridding_stats.boundary_checks <-
+              s.Gridding_stats.boundary_checks + 1);
         match Coord.column_check ~w ~t ~g ~column:rx gx.(j) with
         | None -> ()
         | Some hx -> (
@@ -173,20 +189,28 @@ let grid_2d_parallel ?domains ~table ~g ~t ~gx ~gy values =
                   Wt.lookup table hx.Coord.dist *. Wt.lookup table hy.Coord.dist
                 in
                 let tile = (hy.Coord.tile * n_tiles) + hx.Coord.tile in
+                bump local (fun s ->
+                    s.Gridding_stats.window_evals <-
+                      s.Gridding_stats.window_evals + 2;
+                    s.Gridding_stats.grid_accumulates <-
+                      s.Gridding_stats.grid_accumulates + 1);
                 Cvec.accumulate store tile
                   (C.scale weight (Cvec.get values j)))
-      done;
-      column := !column + n_domains
-    done
+      done
+    done;
+    match (stats, local) with
+    | Some acc, Some l ->
+        Mutex.lock stats_mutex;
+        Gridding_stats.add acc l;
+        Mutex.unlock stats_mutex
+    | _ -> ()
   in
-  if n_domains = 1 then work 0
-  else begin
-    let workers =
-      Array.init (n_domains - 1) (fun i -> Domain.spawn (fun () -> work (i + 1)))
-    in
-    work 0;
-    Array.iter Domain.join workers
-  end;
+  with_pool ~name:"Gridding_slice.grid_2d_parallel" ?pool ?domains (fun p ->
+      Runtime.Pool.parallel_for_ranges ~chunk:1 p ~start:0 ~stop:columns_total
+        process_columns);
+  bump stats (fun s ->
+      s.Gridding_stats.samples_processed <-
+        s.Gridding_stats.samples_processed + m);
   (* Assemble the dice into the row-major grid. *)
   let out = Cvec.create (g * g) in
   for c = 0 to columns_total - 1 do

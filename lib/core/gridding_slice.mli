@@ -64,7 +64,21 @@ val grid_2d_fast :
   Numerics.Cvec.t
 (** Sample-outer schedule; bit-identical to the serial reference. *)
 
+val with_pool :
+  name:string ->
+  ?pool:Runtime.Pool.t ->
+  ?domains:int ->
+  (Runtime.Pool.t -> 'a) ->
+  'a
+(** Execution-context resolution shared by the pool-parallel engines: an
+    explicit [pool] is used as-is; [domains] (without a pool) runs on a
+    throwaway pool of that size, shut down afterwards; neither falls back
+    to {!Runtime.Pool.global}. Raises [Invalid_argument "<name>: domains
+    < 1"] on a non-positive [domains]. *)
+
 val grid_2d_parallel :
+  ?stats:Gridding_stats.t ->
+  ?pool:Runtime.Pool.t ->
   ?domains:int ->
   table:Numerics.Weight_table.t ->
   g:int ->
@@ -74,9 +88,12 @@ val grid_2d_parallel :
   Numerics.Cvec.t ->
   Numerics.Cvec.t
 (** True multicore execution of the column-outer schedule using OCaml 5
-    domains: the [t^2] columns are partitioned over [domains] (default:
-    [Domain.recommended_domain_count]), each domain scanning all samples
-    and writing only its own private columns — the interaction-free
+    domains: the [t^2] columns are distributed over a {!Runtime.Pool}
+    (an explicit [pool], else a throwaway pool of [domains], else the
+    process-wide pool), each domain scanning all samples and writing only
+    the private stores of the columns it claims — the interaction-free
     property of the Slice-and-Dice model realised on a real parallel
     machine rather than a simulated one. Produces the same grid as
-    {!grid_2d} (same per-column accumulation order). *)
+    {!grid_2d} (same per-column accumulation order), bit-identical for
+    every pool size, and reports the same [M * t^2] statistics, merged
+    from per-domain counters. *)

@@ -12,10 +12,11 @@ type plan = {
   table : Wt.t;
   deapod : float array;
   engine : Gridding.engine;
+  pool : Runtime.Pool.t option;
 }
 
 let make ?kernel ?(w = 6) ?(sigma = 2.0) ?(l = 512) ?(engine = Gridding.Serial)
-    ?(table_precision = Wt.Double) ~n () =
+    ?(table_precision = Wt.Double) ?pool ~n () =
   if n < 2 then invalid_arg "Plan.make: n must be >= 2";
   if sigma <= 1.0 then invalid_arg "Plan.make: sigma must be > 1";
   if w < 1 then invalid_arg "Plan.make: w must be >= 1";
@@ -29,7 +30,7 @@ let make ?kernel ?(w = 6) ?(sigma = 2.0) ?(l = 512) ?(engine = Gridding.Serial)
   in
   let table = Wt.make ~precision:table_precision ~kernel ~width:w ~l () in
   let deapod = Apodization.factors ~kernel ~width:w ~n ~g in
-  { n; sigma; g; w; l; kernel; table; deapod; engine }
+  { n; sigma; g; w; l; kernel; table; deapod; engine; pool }
 
 (* The adjoint evaluates x_n = (1 / psi_hat(n/G)) * B[n mod G] where
    B = unnormalised inverse-convention DFT of the spread grid; see the
@@ -76,11 +77,13 @@ let adjoint_2d_timed ?stats plan samples =
   check_samples plan samples;
   let t0 = now () in
   let grid =
-    Gridding.grid_2d ?stats plan.engine ~table:plan.table ~g:plan.g
-      ~gx:samples.Sample.gx ~gy:samples.Sample.gy samples.Sample.values
+    Gridding.grid_2d ?stats ?pool:plan.pool plan.engine ~table:plan.table
+      ~g:plan.g ~gx:samples.Sample.gx ~gy:samples.Sample.gy
+      samples.Sample.values
   in
   let t1 = now () in
-  Fft.Fftnd.transform_2d Fft.Dft.Inverse ~nx:plan.g ~ny:plan.g grid;
+  Fft.Fftnd.transform_2d ?pool:plan.pool Fft.Dft.Inverse ~nx:plan.g ~ny:plan.g
+    grid;
   let t2 = now () in
   let image = crop_deapodize_2d plan grid in
   let t3 = now () in
@@ -90,13 +93,14 @@ let adjoint_2d ?stats plan samples = fst (adjoint_2d_timed ?stats plan samples)
 
 let forward_2d ?stats plan ~gx ~gy image =
   let big = pad_apodize_2d plan image in
-  Fft.Fftnd.transform_2d Fft.Dft.Forward ~nx:plan.g ~ny:plan.g big;
+  Fft.Fftnd.transform_2d ?pool:plan.pool Fft.Dft.Forward ~nx:plan.g ~ny:plan.g
+    big;
   Gridding.interp_2d ?stats ~table:plan.table ~g:plan.g ~gx ~gy big
 
 let adjoint_1d ?stats plan ~coords values =
   let grid =
-    Gridding.grid_1d ?stats plan.engine ~table:plan.table ~g:plan.g ~coords
-      values
+    Gridding.grid_1d ?stats ?pool:plan.pool plan.engine ~table:plan.table
+      ~g:plan.g ~coords values
   in
   Fft.Fft1d.transform Fft.Dft.Inverse grid;
   let n = plan.n and g = plan.g in
@@ -106,9 +110,16 @@ let adjoint_1d ?stats plan ~coords values =
 
 let adjoint_3d ?stats plan ~gx ~gy ~gz values =
   let grid =
-    Gridding3d.grid_3d ?stats ~table:plan.table ~g:plan.g ~gx ~gy ~gz values
+    match plan.pool with
+    | Some pool ->
+        Gridding3d.grid_3d_parallel ?stats ~pool ~table:plan.table ~g:plan.g
+          ~gx ~gy ~gz values
+    | None ->
+        Gridding3d.grid_3d ?stats ~table:plan.table ~g:plan.g ~gx ~gy ~gz
+          values
   in
-  Fft.Fftnd.transform_3d Fft.Dft.Inverse ~nx:plan.g ~ny:plan.g ~nz:plan.g grid;
+  Fft.Fftnd.transform_3d ?pool:plan.pool Fft.Dft.Inverse ~nx:plan.g ~ny:plan.g
+    ~nz:plan.g grid;
   let n = plan.n and g = plan.g in
   Cvec.init (n * n * n) (fun idx ->
       let ix = idx mod n in
@@ -142,7 +153,7 @@ let forward_3d ?stats plan ~gx ~gy ~gz volume =
       done
     done
   done;
-  Fft.Fftnd.transform_3d Fft.Dft.Forward ~nx:g ~ny:g ~nz:g big;
+  Fft.Fftnd.transform_3d ?pool:plan.pool Fft.Dft.Forward ~nx:g ~ny:g ~nz:g big;
   Gridding3d.interp_3d ?stats ~table:plan.table ~g ~gx ~gy ~gz big
 
 let gridding_fraction t =

@@ -26,6 +26,8 @@ type plan = private {
   table : Numerics.Weight_table.t;
   deapod : float array;  (** per-dimension apodization factors, length n *)
   engine : Gridding.engine;
+  pool : Runtime.Pool.t option;
+      (** domain pool used by every transform of this plan *)
 }
 
 val make :
@@ -35,13 +37,23 @@ val make :
   ?l:int ->
   ?engine:Gridding.engine ->
   ?table_precision:Numerics.Weight_table.precision ->
+  ?pool:Runtime.Pool.t ->
   n:int ->
   unit ->
   plan
 (** Create a plan for an [n^d] image. Defaults: Kaiser-Bessel window with
     the Beatty beta, [w = 6], [sigma = 2.0], [l = 512], [engine = Serial].
     Raises [Invalid_argument] for inconsistent geometry ([n < 2], [w > g],
-    [sigma <= 1], ...). *)
+    [sigma <= 1], ...).
+
+    With [pool], every adjoint/forward application of the plan reuses that
+    domain pool: the row/column FFT passes are batched over it, the 3D
+    adjoint grids with {!Gridding3d.grid_3d_parallel}, and a
+    [Gridding.Slice_parallel] engine distributes its dice columns over it.
+    One pool amortises domain spawning across all iterations of a CG
+    reconstruction. Results are bit-identical to the pool-less plan except
+    for the 3D gridding schedule (sliced rather than sample-outer, equal to
+    within accumulation order). *)
 
 val adjoint_2d : ?stats:Gridding_stats.t -> plan -> Sample.t2 -> Numerics.Cvec.t
 (** Adjoint NuFFT of a 2D sample set (whose [g] must match the plan's) onto

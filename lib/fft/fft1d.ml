@@ -9,41 +9,50 @@ let next_pow2 n =
 
 (* Caches, keyed by (n, sign). The tables are tiny relative to the data and
    the cache makes repeated transforms of the same size (2D row/column
-   passes, iterative reconstruction) allocation-free. *)
+   passes, iterative reconstruction) allocation-free. A mutex guards the
+   hashtables so concurrent line transforms from a domain pool cannot
+   corrupt them; the tables themselves are immutable once published and the
+   lock is taken once per transform, not per butterfly. *)
+let cache_mutex = Mutex.create ()
 let twiddle_cache : (int * int, float array) Hashtbl.t = Hashtbl.create 16
 let bitrev_cache : (int, int array) Hashtbl.t = Hashtbl.create 16
 
+let cached cache key build =
+  Mutex.lock cache_mutex;
+  let t =
+    match Hashtbl.find_opt cache key with
+    | Some t -> t
+    | None ->
+        let t = build () in
+        Hashtbl.add cache key t;
+        t
+  in
+  Mutex.unlock cache_mutex;
+  t
+
 let twiddles n sgn =
-  match Hashtbl.find_opt twiddle_cache (n, sgn) with
-  | Some t -> t
-  | None ->
+  cached twiddle_cache (n, sgn) (fun () ->
       let t = Array.make n 0.0 in
       for j = 0 to (n / 2) - 1 do
         let theta = float_of_int sgn *. 2.0 *. Float.pi *. float_of_int j /. float_of_int n in
         t.(2 * j) <- cos theta;
         t.((2 * j) + 1) <- sin theta
       done;
-      Hashtbl.add twiddle_cache (n, sgn) t;
-      t
+      t)
 
 let bitrev_table n =
-  match Hashtbl.find_opt bitrev_cache n with
-  | Some t -> t
-  | None ->
+  cached bitrev_cache n (fun () ->
       let bits =
         let rec go b m = if m = 1 then b else go (b + 1) (m / 2) in
         go 0 n
       in
-      let t = Array.init n (fun i ->
+      Array.init n (fun i ->
           let r = ref 0 and x = ref i in
           for _ = 1 to bits do
             r := (!r lsl 1) lor (!x land 1);
             x := !x lsr 1
           done;
-          !r)
-      in
-      Hashtbl.add bitrev_cache n t;
-      t
+          !r))
 
 let radix2_inplace sgn v =
   let n = Cvec.length v in

@@ -1,4 +1,5 @@
 module Cvec = Numerics.Cvec
+module Pool = Runtime.Pool
 
 let check_size name n v =
   if Cvec.length v <> n then invalid_arg (name ^ ": size mismatch")
@@ -7,50 +8,64 @@ let check_size name n v =
    elements between consecutive points of a line; [line_start k] gives the
    linear index of line k's first element. A scratch buffer gathers each
    strided line so the 1D kernel always works on contiguous data. *)
-let transform_lines dir ~len ~count ~stride ~line_start v =
-  let scratch = Cvec.create len in
-  for k = 0 to count - 1 do
-    let base = line_start k in
-    if stride = 1 then begin
-      Array.blit v (2 * base) scratch 0 (2 * len);
-      Fft1d.transform dir scratch;
-      Array.blit scratch 0 v (2 * base) (2 * len)
-    end
-    else begin
-      for j = 0 to len - 1 do
-        let src = base + (j * stride) in
-        scratch.(2 * j) <- v.(2 * src);
-        scratch.((2 * j) + 1) <- v.((2 * src) + 1)
-      done;
-      Fft1d.transform dir scratch;
-      for j = 0 to len - 1 do
-        let dst = base + (j * stride) in
-        v.(2 * dst) <- scratch.(2 * j);
-        v.((2 * dst) + 1) <- scratch.((2 * j) + 1)
-      done
-    end
-  done
+let transform_line dir ~len ~stride scratch v base =
+  if stride = 1 then begin
+    Array.blit v (2 * base) scratch 0 (2 * len);
+    Fft1d.transform dir scratch;
+    Array.blit scratch 0 v (2 * base) (2 * len)
+  end
+  else begin
+    for j = 0 to len - 1 do
+      let src = base + (j * stride) in
+      scratch.(2 * j) <- v.(2 * src);
+      scratch.((2 * j) + 1) <- v.((2 * src) + 1)
+    done;
+    Fft1d.transform dir scratch;
+    for j = 0 to len - 1 do
+      let dst = base + (j * stride) in
+      v.(2 * dst) <- scratch.(2 * j);
+      v.((2 * dst) + 1) <- scratch.((2 * j) + 1)
+    done
+  end
 
-let transform_2d dir ~nx ~ny v =
+(* Distinct lines of one pass touch disjoint index sets, so the pass is
+   race-free when lines are distributed over domains; each chunk gets a
+   private scratch buffer. Without a pool the pass runs serially with a
+   single scratch, exactly as before. *)
+let transform_lines ?pool dir ~len ~count ~stride ~line_start v =
+  let run_range scratch lo hi =
+    for k = lo to hi - 1 do
+      transform_line dir ~len ~stride scratch v (line_start k)
+    done
+  in
+  match pool with
+  | Some p when Pool.size p > 1 && count > 1 ->
+      Pool.parallel_for_ranges p ~start:0 ~stop:count (fun ~lo ~hi ->
+          run_range (Cvec.create len) lo hi)
+  | _ -> run_range (Cvec.create len) 0 count
+
+let transform_2d ?pool dir ~nx ~ny v =
   check_size "Fftnd.transform_2d" (nx * ny) v;
-  transform_lines dir ~len:nx ~count:ny ~stride:1 ~line_start:(fun y -> y * nx) v;
-  transform_lines dir ~len:ny ~count:nx ~stride:nx ~line_start:(fun x -> x) v
+  transform_lines ?pool dir ~len:nx ~count:ny ~stride:1
+    ~line_start:(fun y -> y * nx) v;
+  transform_lines ?pool dir ~len:ny ~count:nx ~stride:nx
+    ~line_start:(fun x -> x) v
 
-let transform_3d dir ~nx ~ny ~nz v =
+let transform_3d ?pool dir ~nx ~ny ~nz v =
   check_size "Fftnd.transform_3d" (nx * ny * nz) v;
-  transform_lines dir ~len:nx ~count:(ny * nz) ~stride:1
+  transform_lines ?pool dir ~len:nx ~count:(ny * nz) ~stride:1
     ~line_start:(fun k -> k * nx) v;
-  transform_lines dir ~len:ny ~count:(nx * nz) ~stride:nx
+  transform_lines ?pool dir ~len:ny ~count:(nx * nz) ~stride:nx
     ~line_start:(fun k ->
       let x = k mod nx and z = k / nx in
       (z * ny * nx) + x)
     v;
-  transform_lines dir ~len:nz ~count:(nx * ny) ~stride:(nx * ny)
+  transform_lines ?pool dir ~len:nz ~count:(nx * ny) ~stride:(nx * ny)
     ~line_start:(fun k -> k) v
 
-let transformed_2d dir ~nx ~ny v =
+let transformed_2d ?pool dir ~nx ~ny v =
   let c = Cvec.copy v in
-  transform_2d dir ~nx ~ny c;
+  transform_2d ?pool dir ~nx ~ny c;
   c
 
 let fftshift_2d ~nx ~ny v =

@@ -5,13 +5,20 @@
     stores [(x, y, z)] at [(z*ny + y)*nx + x]. Any per-dimension length is
     supported (see {!Fft1d}). Transforms are unnormalised. *)
 
-val transform_2d : Dft.direction -> nx:int -> ny:int -> Numerics.Cvec.t -> unit
-(** In-place 2D FFT: 1D transforms along every row, then every column. *)
+val transform_2d :
+  ?pool:Runtime.Pool.t ->
+  Dft.direction -> nx:int -> ny:int -> Numerics.Cvec.t -> unit
+(** In-place 2D FFT: 1D transforms along every row, then every column.
+    With [pool], the independent lines of each pass are batched over the
+    pool's domains (they write disjoint index sets, so the pass is
+    race-free); the result is bit-identical to the serial transform. *)
 
 val transform_3d :
+  ?pool:Runtime.Pool.t ->
   Dft.direction -> nx:int -> ny:int -> nz:int -> Numerics.Cvec.t -> unit
 
 val transformed_2d :
+  ?pool:Runtime.Pool.t ->
   Dft.direction -> nx:int -> ny:int -> Numerics.Cvec.t -> Numerics.Cvec.t
 
 val fftshift_2d : nx:int -> ny:int -> Numerics.Cvec.t -> Numerics.Cvec.t

@@ -4,9 +4,10 @@ module C = Numerics.Complexd
 type t = {
   n : int;
   q_hat : Cvec.t;  (* FFT of the wrapped Toeplitz kernel on the 2n grid *)
+  pool : Runtime.Pool.t option;  (* reused by every apply *)
 }
 
-let make ?weights ~n ~omega_x ~omega_y () =
+let make ?weights ?pool ~n ~omega_x ~omega_y () =
   let m = Array.length omega_x in
   if Array.length omega_y <> m then
     invalid_arg "Toeplitz.make: omega length mismatch";
@@ -21,7 +22,7 @@ let make ?weights ~n ~omega_x ~omega_y () =
   let n2 = 2 * n in
   (* q(d) = sum_j w_j e^{i omega_j . d}, d in [-n, n)^2: one adjoint NuFFT
      of the weights on the doubled grid. *)
-  let plan2 = Nufft.Plan.make ~n:n2 () in
+  let plan2 = Nufft.Plan.make ?pool ~n:n2 () in
   let values = Cvec.init m (fun j -> C.of_float w.(j)) in
   let samples =
     Nufft.Sample.of_omega_2d ~g:plan2.Nufft.Plan.g ~omega_x ~omega_y ~values
@@ -37,8 +38,8 @@ let make ?weights ~n ~omega_x ~omega_y () =
       Cvec.set k2 ((wy * n2) + wx) (Cvec.get q ((iy * n2) + ix))
     done
   done;
-  Fft.Fftnd.transform_2d Fft.Dft.Forward ~nx:n2 ~ny:n2 k2;
-  { n; q_hat = k2 }
+  Fft.Fftnd.transform_2d ?pool Fft.Dft.Forward ~nx:n2 ~ny:n2 k2;
+  { n; q_hat = k2; pool }
 
 let n t = t.n
 let kernel_spectrum t = t.q_hat
@@ -57,11 +58,11 @@ let apply t x =
       Cvec.set pad ((py * n2) + px) (Cvec.get x ((iy * n) + ix))
     done
   done;
-  Fft.Fftnd.transform_2d Fft.Dft.Forward ~nx:n2 ~ny:n2 pad;
+  Fft.Fftnd.transform_2d ?pool:t.pool Fft.Dft.Forward ~nx:n2 ~ny:n2 pad;
   for k = 0 to (n2 * n2) - 1 do
     Cvec.set pad k (C.mul (Cvec.get pad k) (Cvec.get t.q_hat k))
   done;
-  Fft.Fftnd.transform_2d Fft.Dft.Inverse ~nx:n2 ~ny:n2 pad;
+  Fft.Fftnd.transform_2d ?pool:t.pool Fft.Dft.Inverse ~nx:n2 ~ny:n2 pad;
   Cvec.scale_inplace (1.0 /. float_of_int (n2 * n2)) pad;
   Cvec.init (n * n) (fun idx ->
       let ix = idx mod n and iy = idx / n in

@@ -18,6 +18,7 @@ type t
 
 val make :
   ?weights:float array ->
+  ?pool:Runtime.Pool.t ->
   n:int ->
   omega_x:float array ->
   omega_y:float array ->
@@ -25,11 +26,14 @@ val make :
   t
 (** Precompute the operator for an [n x n] image sampled at the given
     k-space frequencies with optional density weights (default 1). Uses a
-    dedicated internal [2n] NuFFT plan. *)
+    dedicated internal [2n] NuFFT plan. With [pool], setup and every
+    subsequent {!apply} batch their FFT lines over that domain pool — the
+    CG inner loop is two [2n x 2n] FFTs per iteration, so this is where a
+    reusable pool pays off most. *)
 
 val apply : t -> Numerics.Cvec.t -> Numerics.Cvec.t
 (** [apply t x] is [A^H W A x] for an [n x n] image [x] — two [2n x 2n]
-    FFTs. *)
+    FFTs (on the pool given at {!make}, if any). *)
 
 val n : t -> int
 

@@ -1,0 +1,71 @@
+(** Reusable domain pool for data-parallel index ranges.
+
+    The Slice-and-Dice decomposition makes gridding embarrassingly
+    parallel — one worker per dice column, zero shared writes — and the
+    row-column FFT has the same shape (independent lines). Spawning fresh
+    domains per call (as the first parallel driver did) costs hundreds of
+    microseconds each time, which dominates small problems and is paid on
+    every CG iteration. This pool spawns its domains once and reuses them
+    across any number of {!parallel_for} submissions until {!shutdown}.
+
+    Execution model: a pool of [size] participants — [size - 1] spawned
+    domains plus the caller of {!parallel_for}, which always takes part in
+    the work. A submission splits [start, stop) into fixed-size chunks;
+    participants claim chunks from a shared atomic counter (dynamic load
+    balancing), so an uneven trajectory cannot idle a worker for the whole
+    call. The caller returns only after every participant has finished,
+    which also establishes the happens-before edge making all worker
+    writes visible to the caller.
+
+    The work body must only write to locations private to its index range
+    (the pool provides mechanism, not a race detector). Nested submissions
+    to the same pool from inside a body are not supported and deadlock.
+
+    Exceptions raised by a body abort further chunk claims and the first
+    one (in completion order) is re-raised in the caller after all
+    participants have quiesced; the pool remains usable. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns a pool of [domains] total participants
+    ([domains - 1] worker domains). Default
+    [Domain.recommended_domain_count ()]. Raises [Invalid_argument] if
+    [domains < 1]. A pool of 1 spawns nothing and runs submissions
+    entirely in the caller. *)
+
+val size : t -> int
+(** Total participant count (spawned workers + the calling domain). *)
+
+val parallel_for :
+  ?chunk:int -> t -> start:int -> stop:int -> (int -> unit) -> unit
+(** [parallel_for pool ~start ~stop body] runs [body i] for every
+    [i] in [start, stop), distributed over the pool. [chunk] is the
+    number of consecutive indices claimed at a time (default: a value
+    giving each participant several chunks for load balancing). Raises
+    [Invalid_argument] if [chunk < 1]. Empty ranges return immediately.
+    After {!shutdown}, degrades to a serial loop in the caller. *)
+
+val parallel_for_ranges :
+  ?chunk:int -> t -> start:int -> stop:int -> (lo:int -> hi:int -> unit) -> unit
+(** Like {!parallel_for} but hands each claimed chunk [lo, hi) to the body
+    whole, so per-chunk state (scratch buffers, private statistics
+    counters) can be allocated once per chunk instead of once per index. *)
+
+val shutdown : t -> unit
+(** Joins all worker domains. Idempotent; safe to call on a pool that is
+    in use by no one. Subsequent submissions run serially in the caller. *)
+
+val is_shut_down : t -> bool
+
+val global : unit -> t
+(** A lazily-created process-wide pool (sized by {!set_global_domains} or
+    [Domain.recommended_domain_count ()]), shared by callers that do not
+    manage their own pool — e.g. {!Nufft.Gridding.grid_2d} dispatching the
+    pool-parallel engine without an explicit pool. Never shut down
+    automatically; its sleeping workers die with the process. *)
+
+val set_global_domains : int -> unit
+(** Fix the size used for the global pool (the CLI's [--domains]). If the
+    global pool already exists at a different size it is shut down and
+    recreated on next use. Raises [Invalid_argument] if [domains < 1]. *)

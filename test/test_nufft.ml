@@ -158,7 +158,9 @@ let test_column_check_wrap_flag () =
 (* ------------------------------------------------------------------ *)
 (* Engine agreement *)
 
-let engines g = Gridding.default_engines ~g ~w:6
+(* Every scheme, including the pool-parallel one (which runs on the global
+   domain pool when dispatched without an explicit pool). *)
+let engines g = Gridding.all_schemes ~g ~w:6
 
 let test_engines_agree_1d () =
   let g = 64 and m = 150 in
@@ -243,13 +245,39 @@ let test_slice_parallel_agrees () =
       check_vec ~eps:0.0
         (Printf.sprintf "parallel(%d domains) = column-outer" domains)
         faithful par)
-    [ 1; 2; 4 ];
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
   Alcotest.check_raises "domains < 1"
     (Invalid_argument "Gridding_slice.grid_2d_parallel: domains < 1")
     (fun () ->
       ignore
         (Nufft.Gridding_slice.grid_2d_parallel ~domains:0 ~table:tbl ~g ~t:8
            ~gx:s.Sample.gx ~gy:s.Sample.gy s.Sample.values))
+
+let test_slice_parallel_pool_reuse () =
+  (* One long-lived pool serving several submissions gives the same bits
+     as throwaway per-call pools, and an explicit pool overrides the
+     throwaway-[domains] path entirely. *)
+  let g = 32 and m = 150 in
+  let tbl = table () in
+  let pool = Runtime.Pool.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Runtime.Pool.shutdown pool)
+    (fun () ->
+      List.iter
+        (fun seed ->
+          let s = Sample.random_2d ~seed ~g m in
+          let faithful =
+            Nufft.Gridding_slice.grid_2d ~table:tbl ~g ~t:8 ~gx:s.Sample.gx
+              ~gy:s.Sample.gy s.Sample.values
+          in
+          let pooled =
+            Nufft.Gridding_slice.grid_2d_parallel ~pool ~table:tbl ~g ~t:8
+              ~gx:s.Sample.gx ~gy:s.Sample.gy s.Sample.values
+          in
+          check_vec ~eps:0.0
+            (Printf.sprintf "pooled seed %d" seed)
+            faithful pooled)
+        [ 10; 11; 12; 13 ])
 
 let test_mass_conservation () =
   (* Sum over the grid of each sample's contributions = value * (sum of
@@ -299,7 +327,7 @@ let prop_engines_agree =
               s.Sample.values
           in
           Cvec.max_abs_diff reference got < 1e-10)
-        (Gridding.default_engines ~g ~w))
+        (Gridding.all_schemes ~g ~w))
 
 let test_empty_sample_set () =
   (* m = 0 must be handled by every engine (empty acquisition). *)
@@ -399,6 +427,34 @@ let test_stats_slice () =
   Alcotest.(check int) "M*T^2 checks" (m * t * t) st.Stats.boundary_checks;
   Alcotest.(check int) "accumulates" (m * w * w) st.Stats.grid_accumulates;
   Alcotest.(check int) "no presort" 0 st.Stats.presort_ops
+
+let test_stats_slice_parallel () =
+  (* The pool-parallel driver accounts exactly like the faithful
+     column-outer schedule — M*T^2 boundary checks, M*w^2 accumulations —
+     whatever the pool size (per-chunk counters merged at the end). *)
+  let g = 32 and m = 25 and w = 6 and t = 8 in
+  let tbl = table ~w () in
+  let s = Sample.random_2d ~seed:3 ~g m in
+  let serial_st = Stats.create () in
+  ignore
+    (Nufft.Gridding_slice.grid_2d ~stats:serial_st ~table:tbl ~g ~t
+       ~gx:s.Sample.gx ~gy:s.Sample.gy s.Sample.values);
+  List.iter
+    (fun domains ->
+      let st = Stats.create () in
+      ignore
+        (Nufft.Gridding_slice.grid_2d_parallel ~stats:st ~domains ~table:tbl
+           ~g ~t ~gx:s.Sample.gx ~gy:s.Sample.gy s.Sample.values);
+      Alcotest.(check int) "M*T^2 checks" (m * t * t) st.Stats.boundary_checks;
+      Alcotest.(check int) "samples" m st.Stats.samples_processed;
+      Alcotest.(check int) "checks = column-outer" serial_st.Stats.boundary_checks
+        st.Stats.boundary_checks;
+      Alcotest.(check int) "lookups = column-outer" serial_st.Stats.window_evals
+        st.Stats.window_evals;
+      Alcotest.(check int) "accums = column-outer"
+        serial_st.Stats.grid_accumulates st.Stats.grid_accumulates;
+      Alcotest.(check int) "no presort" 0 st.Stats.presort_ops)
+    [ 1; 3 ]
 
 let test_stats_binned_duplicates () =
   let g = 32 and m = 60 and w = 6 and bin = 8 in
@@ -635,6 +691,50 @@ let test_gridding3d_vs_sliced () =
   let sliced = Nufft.Gridding3d.grid_3d_sliced ~table:tbl ~g ~gx ~gy ~gz values in
   check_vec ~eps:1e-11 "direct = sliced schedule" direct sliced
 
+let test_gridding3d_parallel () =
+  let g = 12 and m = 60 in
+  let tbl = table ~w:4 () in
+  let rng = Random.State.make [| 92 |] in
+  let gx = random_coords rng m (float_of_int g)
+  and gy = random_coords rng m (float_of_int g)
+  and gz = random_coords rng m (float_of_int g) in
+  let values = Cvec.init m (fun _ ->
+      C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
+  let direct = Nufft.Gridding3d.grid_3d ~table:tbl ~g ~gx ~gy ~gz values in
+  let sliced = Nufft.Gridding3d.grid_3d_sliced ~table:tbl ~g ~gx ~gy ~gz values in
+  List.iter
+    (fun domains ->
+      let par =
+        Nufft.Gridding3d.grid_3d_parallel ~domains ~table:tbl ~g ~gx ~gy ~gz
+          values
+      in
+      (* Slices are z-private, each accumulated in sample order: the
+         parallel schedule is bitwise the sliced one for any pool size. *)
+      check_vec ~eps:0.0
+        (Printf.sprintf "parallel(%d) = sliced bitwise" domains)
+        sliced par;
+      check_vec ~eps:1e-11
+        (Printf.sprintf "parallel(%d) = direct" domains)
+        direct par)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  (* Stats parity with the serial sliced schedule, merged across chunks. *)
+  let sliced_st = Stats.create () in
+  ignore
+    (Nufft.Gridding3d.grid_3d_sliced ~stats:sliced_st ~table:tbl ~g ~gx ~gy
+       ~gz values);
+  let par_st = Stats.create () in
+  ignore
+    (Nufft.Gridding3d.grid_3d_parallel ~stats:par_st ~domains:3 ~table:tbl ~g
+       ~gx ~gy ~gz values);
+  Alcotest.(check int) "checks" sliced_st.Stats.boundary_checks
+    par_st.Stats.boundary_checks;
+  Alcotest.(check int) "lookups" sliced_st.Stats.window_evals
+    par_st.Stats.window_evals;
+  Alcotest.(check int) "accums" sliced_st.Stats.grid_accumulates
+    par_st.Stats.grid_accumulates;
+  Alcotest.(check int) "samples" sliced_st.Stats.samples_processed
+    par_st.Stats.samples_processed
+
 let test_gridding3d_mass () =
   (* One sample in the interior: total grid mass = value * (window sum)^3. *)
   let g = 16 and w = 4 in
@@ -787,6 +887,31 @@ let test_dice_layout_roundtrip () =
   done;
   Alcotest.(check int) "bijection" n_addr (Hashtbl.length seen)
 
+(* [dice_address] and [grid_index_of_dice] are mutually inverse bijections
+   between dice layout and the row-major grid, for any tiling (t, g). *)
+let prop_dice_inverse =
+  QCheck.Test.make ~name:"dice_address inverts grid_index_of_dice" ~count:60
+    QCheck.(pair (int_range 1 8) (int_range 1 6))
+    (fun (t, n_tiles) ->
+      let g = t * n_tiles in
+      let tiles_total = n_tiles * n_tiles in
+      let ok = ref true in
+      for addr = 0 to (g * g) - 1 do
+        let idx = Nufft.Gridding_slice.grid_index_of_dice ~t ~g addr in
+        if idx < 0 || idx >= g * g then ok := false;
+        (* Recover the (column, tile) pair from the grid coordinates and
+           re-address it: must come back to [addr]. *)
+        let x = idx mod g and y = idx / g in
+        let column = ((y mod t) * t) + (x mod t) in
+        let tile = (y / t * n_tiles) + (x / t) in
+        if
+          Nufft.Gridding_slice.dice_address ~t ~g ~column ~tile <> addr
+          || column <> addr / tiles_total
+          || tile <> addr mod tiles_total
+        then ok := false
+      done;
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 
 (* Spreading and interpolation are exact transposes at the gridding level:
@@ -855,7 +980,7 @@ let prop_iter_window_total =
 let qtests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_column_check; prop_engines_agree; prop_spread_interp_adjoint;
-      prop_gridding_linear; prop_iter_window_total ]
+      prop_gridding_linear; prop_iter_window_total; prop_dice_inverse ]
 
 let () =
   Alcotest.run "nufft"
@@ -878,6 +1003,8 @@ let () =
            test_slice_faithful_agrees;
          Alcotest.test_case "parallel domains agree" `Quick
            test_slice_parallel_agrees;
+         Alcotest.test_case "parallel pool reuse" `Quick
+           test_slice_parallel_pool_reuse;
          Alcotest.test_case "mass conservation" `Quick test_mass_conservation;
          Alcotest.test_case "empty sample set" `Quick test_empty_sample_set;
          Alcotest.test_case "window = tile" `Quick test_window_equals_tile;
@@ -887,6 +1014,7 @@ let () =
        [ Alcotest.test_case "serial" `Quick test_stats_serial;
          Alcotest.test_case "output-parallel" `Quick test_stats_output_parallel;
          Alcotest.test_case "slice-and-dice" `Quick test_stats_slice;
+         Alcotest.test_case "slice-parallel" `Quick test_stats_slice_parallel;
          Alcotest.test_case "binned duplicates" `Quick
            test_stats_binned_duplicates;
          Alcotest.test_case "duplication factor" `Quick test_duplication_factor ]);
@@ -911,6 +1039,8 @@ let () =
            test_nufft_non_pow2_sigma ]);
       ("gridding3d",
        [ Alcotest.test_case "direct = sliced" `Quick test_gridding3d_vs_sliced;
+         Alcotest.test_case "parallel = sliced (all pool sizes)" `Quick
+           test_gridding3d_parallel;
          Alcotest.test_case "mass" `Quick test_gridding3d_mass;
          Alcotest.test_case "3d adjoint vs nudft" `Quick test_nufft_3d_vs_nudft;
          Alcotest.test_case "3d adjoint pair" `Quick test_nufft_3d_adjoint_pair ]);

@@ -1,0 +1,165 @@
+(* Tests for the domain-pool runtime: work conservation, chunk tiling,
+   exception propagation, reuse, shutdown semantics and the global pool. *)
+
+module Pool = Runtime.Pool
+
+let with_pool domains f =
+  let p = Pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+(* Every index in [start, stop) must be visited exactly once, whatever the
+   pool size or chunking. Distinct indices are distinct array cells, so
+   concurrent bodies never write the same location. *)
+let check_conservation ~domains ?chunk ~start ~stop () =
+  with_pool domains (fun p ->
+      let n = stop - start in
+      let visits = Array.make (max n 1) 0 in
+      Pool.parallel_for ?chunk p ~start ~stop (fun i ->
+          if i < start || i >= stop then
+            Alcotest.failf "index %d outside [%d, %d)" i start stop;
+          visits.(i - start) <- visits.(i - start) + 1);
+      Array.iteri
+        (fun off c ->
+          if off < n && c <> 1 then
+            Alcotest.failf
+              "index %d visited %d times (domains=%d chunk=%s)" (start + off)
+              c domains
+              (match chunk with Some c -> string_of_int c | None -> "auto"))
+        visits)
+
+let test_work_conservation () =
+  List.iter
+    (fun domains ->
+      check_conservation ~domains ~start:0 ~stop:1000 ();
+      check_conservation ~domains ~chunk:1 ~start:0 ~stop:97 ();
+      check_conservation ~domains ~chunk:1000 ~start:0 ~stop:64 ();
+      check_conservation ~domains ~chunk:7 ~start:(-13) ~stop:29 ();
+      check_conservation ~domains ~start:5 ~stop:6 ();
+      check_conservation ~domains ~start:3 ~stop:3 () (* empty *);
+      check_conservation ~domains ~start:3 ~stop:2 () (* backwards = empty *))
+    [ 1; 2; 4; 8 ]
+
+let test_ranges_tile_exactly () =
+  List.iter
+    (fun domains ->
+      with_pool domains (fun p ->
+          let mutex = Mutex.create () in
+          let seen = ref [] in
+          Pool.parallel_for_ranges ~chunk:6 p ~start:2 ~stop:51
+            (fun ~lo ~hi ->
+              Mutex.protect mutex (fun () -> seen := (lo, hi) :: !seen));
+          let ranges =
+            List.sort (fun (a, _) (b, _) -> compare a b) !seen
+          in
+          (* The sorted chunks must tile [2, 51) with no gap or overlap,
+             and none may exceed the requested chunk size. *)
+          let last =
+            List.fold_left
+              (fun expect (lo, hi) ->
+                Alcotest.(check int) "contiguous lo" expect lo;
+                if hi - lo > 6 || hi <= lo then
+                  Alcotest.failf "bad chunk [%d, %d)" lo hi;
+                hi)
+              2 ranges
+          in
+          Alcotest.(check int) "covers stop" 51 last))
+    [ 1; 3; 8 ]
+
+let test_exception_propagation () =
+  List.iter
+    (fun domains ->
+      with_pool domains (fun p ->
+          (match
+             Pool.parallel_for ~chunk:1 p ~start:0 ~stop:100 (fun i ->
+                 if i = 17 then failwith "body 17")
+           with
+          | () -> Alcotest.fail "expected the body's exception"
+          | exception Failure _ -> ());
+          (* The pool must have quiesced and remain usable. *)
+          check_conservation ~domains ~start:0 ~stop:50 ();
+          (* Several failing bodies: exactly one propagates. *)
+          match
+            Pool.parallel_for ~chunk:1 p ~start:0 ~stop:100 (fun i ->
+                if i mod 3 = 0 then failwith "multi")
+          with
+          | () -> Alcotest.fail "expected an exception"
+          | exception Failure m -> Alcotest.(check string) "first" "multi" m))
+    [ 1; 2; 4 ]
+
+let test_reuse_across_submissions () =
+  with_pool 4 (fun p ->
+      let n = 200 in
+      let acc = Array.make n 0 in
+      for _ = 1 to 100 do
+        Pool.parallel_for p ~start:0 ~stop:n (fun i -> acc.(i) <- acc.(i) + i)
+      done;
+      Array.iteri
+        (fun i v -> Alcotest.(check int) (Printf.sprintf "acc %d" i) (100 * i) v)
+        acc)
+
+let test_shutdown () =
+  let p = Pool.create ~domains:4 () in
+  Alcotest.(check int) "size" 4 (Pool.size p);
+  Alcotest.(check bool) "live" false (Pool.is_shut_down p);
+  Pool.shutdown p;
+  Alcotest.(check bool) "down" true (Pool.is_shut_down p);
+  Pool.shutdown p (* idempotent *);
+  Pool.shutdown p;
+  (* Post-shutdown submissions degrade to a serial loop, same results. *)
+  let visits = Array.make 64 0 in
+  Pool.parallel_for p ~start:0 ~stop:64 (fun i -> visits.(i) <- visits.(i) + 1);
+  Array.iteri (fun i c -> Alcotest.(check int) (string_of_int i) 1 c) visits
+
+let test_size_one_runs_in_caller () =
+  (* A pool of 1 spawns no domains: bodies run on the calling domain. *)
+  with_pool 1 (fun p ->
+      let self = (Domain.self () :> int) in
+      Pool.parallel_for p ~start:0 ~stop:16 (fun _ ->
+          Alcotest.(check int) "same domain" self ((Domain.self () :> int))))
+
+let test_invalid_args () =
+  Alcotest.check_raises "domains 0"
+    (Invalid_argument "Pool.create: domains < 1") (fun () ->
+      ignore (Pool.create ~domains:0 ()));
+  Alcotest.check_raises "negative domains"
+    (Invalid_argument "Pool.create: domains < 1") (fun () ->
+      ignore (Pool.create ~domains:(-3) ()));
+  with_pool 2 (fun p ->
+      Alcotest.check_raises "chunk 0"
+        (Invalid_argument "Pool.parallel_for: chunk < 1") (fun () ->
+          Pool.parallel_for ~chunk:0 p ~start:0 ~stop:10 ignore));
+  Alcotest.check_raises "global 0"
+    (Invalid_argument "Pool.set_global_domains: domains < 1") (fun () ->
+      Pool.set_global_domains 0)
+
+let test_global_pool () =
+  Pool.set_global_domains 3;
+  let p = Pool.global () in
+  Alcotest.(check int) "sized as configured" 3 (Pool.size p);
+  Alcotest.(check bool) "same instance" true (p == Pool.global ());
+  (* Resizing replaces the pool on next use. *)
+  Pool.set_global_domains 2;
+  let q = Pool.global () in
+  Alcotest.(check int) "resized" 2 (Pool.size q);
+  Alcotest.(check bool) "stale pool retired" true (Pool.is_shut_down p);
+  let visits = Array.make 40 0 in
+  Pool.parallel_for q ~start:0 ~stop:40 (fun i -> visits.(i) <- visits.(i) + 1);
+  Array.iteri (fun i c -> Alcotest.(check int) (string_of_int i) 1 c) visits;
+  (* Leave a small global pool behind for any later test. *)
+  Pool.set_global_domains 1
+
+let () =
+  Alcotest.run "runtime"
+    [ ("pool",
+       [ Alcotest.test_case "work conservation" `Quick test_work_conservation;
+         Alcotest.test_case "chunk tiling" `Quick test_ranges_tile_exactly;
+         Alcotest.test_case "exception propagation" `Quick
+           test_exception_propagation;
+         Alcotest.test_case "reuse across submissions" `Quick
+           test_reuse_across_submissions;
+         Alcotest.test_case "shutdown idempotent + serial fallback" `Quick
+           test_shutdown;
+         Alcotest.test_case "pool of one stays in caller" `Quick
+           test_size_one_runs_in_caller;
+         Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+         Alcotest.test_case "global pool sizing" `Quick test_global_pool ]) ]
