@@ -59,7 +59,7 @@ let a3_bin_size () =
       (* Duplication shrinks as tiles grow; parallelism shrinks too. *)
       let dup =
         Nufft.Gridding_binned.duplication_factor ~w:Bench_data.w ~bin
-          ~g:ds.Bench_data.g ~coords:ds.Bench_data.samples.Nufft.Sample.gx
+          ~g:ds.Bench_data.g ~coords:(Nufft.Sample.gx ds.Bench_data.samples)
       in
       Printf.printf
         "    bin=%2d: %8.3f ms (+%5.3f presort)  1D dup %.2fx  blocks %d\n"
@@ -189,8 +189,8 @@ let a7_multicore_cpu () =
       let dt =
         Perf_models.time_best ~repeats:2 (fun () ->
             Nufft.Gridding_slice.grid_2d_parallel ~domains ~table
-              ~g:ds.Bench_data.g ~t:8 ~gx:s.Nufft.Sample.gx
-              ~gy:s.Nufft.Sample.gy s.Nufft.Sample.values)
+              ~g:ds.Bench_data.g ~t:8 ~gx:(Nufft.Sample.gx s)
+              ~gy:(Nufft.Sample.gy s) s.Nufft.Sample.values)
       in
       Printf.printf "    %d domain(s): %8.2f ms\n" domains (1e3 *. dt))
     [ 1; 2; 4 ];

@@ -54,11 +54,11 @@ let dataset_accounting () =
       let binned = Stats.create () in
       ignore
         (Nufft.Gridding_binned.grid_2d ~stats:binned ~table ~g ~bin:8
-           ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy s.Nufft.Sample.values);
+           ~gx:(Nufft.Sample.gx s) ~gy:(Nufft.Sample.gy s) s.Nufft.Sample.values);
       let slice = Stats.create () in
       ignore
         (Nufft.Gridding_slice.grid_2d_fast ~stats:slice ~table ~g ~t:8
-           ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy s.Nufft.Sample.values);
+           ~gx:(Nufft.Sample.gx s) ~gy:(Nufft.Sample.gy s) s.Nufft.Sample.values);
       let m = ds.Bench_data.m in
       Printf.printf "  %-28s %14d %9.2fx %16.3e %14.3e %14.3e\n"
         (Bench_data.label ds) binned.Stats.samples_processed

@@ -66,7 +66,7 @@ let run () =
     Cvec.init m (fun j ->
         C.scale (dcf.(j) /. !peak) (Cvec.get samples.Nufft.Sample.values j))
   in
-  let gx = samples.Nufft.Sample.gx and gy = samples.Nufft.Sample.gy in
+  let gx = (Nufft.Sample.gx samples) and gy = (Nufft.Sample.gy samples) in
   (* Reference: double, L=1024. *)
   let table_ref = Wt.make ~kernel ~width:w ~l:1024 () in
   let grid_ref = Nufft.Gridding_serial.grid_2d ~table:table_ref ~g ~gx ~gy values in

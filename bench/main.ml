@@ -5,8 +5,9 @@
    Usage:
      main.exe                 run everything (full datasets)
      main.exe --quick [...]   use reduced datasets (~1/16 of the samples)
+     main.exe --json [...]    also emit BENCH_operators.json (operators)
      main.exe fig6|fig7|fig8|fig9|fig3|table1|table2|fraction|gpustats|
-              slice3d|ablation
+              slice3d|ablation|operators
      main.exe bechamel        only the Bechamel micro-benchmarks *)
 
 let experiments =
@@ -20,7 +21,8 @@ let experiments =
     ("fraction", Fraction.run);
     ("gpustats", Gpustats.run);
     ("slice3d", Slice3d.run);
-    ("ablation", Ablation.run) ]
+    ("ablation", Ablation.run);
+    ("operators", Operators_bench.run) ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment's measured
@@ -37,8 +39,8 @@ let bechamel_tests () =
   let g = small.Bench_data.g in
   let grid_with engine () =
     ignore
-      (Nufft.Gridding.grid_2d engine ~table ~g ~gx:s.Nufft.Sample.gx
-         ~gy:s.Nufft.Sample.gy s.Nufft.Sample.values)
+      (Nufft.Gridding.grid_2d engine ~table ~g ~gx:(Nufft.Sample.gx s)
+         ~gy:(Nufft.Sample.gy s) s.Nufft.Sample.values)
   in
   let fft_buf = Numerics.Cvec.create (256 * 256) in
   let jigsaw_cfg = Jigsaw.Config.make ~n:g ~w:Bench_data.w ~l:32 () in
@@ -59,20 +61,20 @@ let bechamel_tests () =
         (Staged.stage (fun () ->
              ignore
                (Nufft.Gridding_serial.grid_2d ~precision:`Single ~table ~g
-                  ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy
+                  ~gx:(Nufft.Sample.gx s) ~gy:(Nufft.Sample.gy s)
                   s.Nufft.Sample.values)));
       Test.make ~name:"fig9.jigsaw-fixed-point-model"
         (Staged.stage (fun () ->
              let e = Jigsaw.Engine2d.create jigsaw_cfg ~table:jigsaw_table in
-             Jigsaw.Engine2d.stream e ~gx:s.Nufft.Sample.gx
-               ~gy:s.Nufft.Sample.gy s.Nufft.Sample.values));
+             Jigsaw.Engine2d.stream e ~gx:(Nufft.Sample.gx s)
+               ~gy:(Nufft.Sample.gy s) s.Nufft.Sample.values));
       Test.make ~name:"fig3.boundary-check-decomposition"
         (Staged.stage (fun () ->
-             for j = 0 to Array.length s.Nufft.Sample.gx - 1 do
+             for j = 0 to Array.length (Nufft.Sample.gx s) - 1 do
                for column = 0 to 7 do
                  ignore
                    (Nufft.Coord.column_check ~w:Bench_data.w ~t:8 ~g ~column
-                      s.Nufft.Sample.gx.(j))
+                      (Nufft.Sample.gx s).(j))
                done
              done)) ]
 
@@ -105,6 +107,13 @@ let () =
     if List.mem "--quick" args then begin
       Bench_data.quick := true;
       List.filter (fun a -> a <> "--quick") args
+    end
+    else args
+  in
+  let args =
+    if List.mem "--json" args then begin
+      Operators_bench.json := true;
+      List.filter (fun a -> a <> "--json") args
     end
     else args
   in

@@ -82,8 +82,8 @@ let bench_grid_2d ~quick table =
   let g = 256 and t = 8 in
   let readout = if quick then 128 else 256 in
   let s = radial_samples ~g ~spokes:256 ~readout in
-  let gx = s.Nufft.Sample.gx
-  and gy = s.Nufft.Sample.gy
+  let gx = (Nufft.Sample.gx s)
+  and gy = (Nufft.Sample.gy s)
   and values = s.Nufft.Sample.values in
   Printf.printf "\n== 2D slice-and-dice gridding: g=%d, t=%d, M=%d ==\n" g t
     (Nufft.Sample.length s);

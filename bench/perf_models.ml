@@ -47,8 +47,8 @@ let cpu_serial_gridding_s (ds : Bench_data.t) =
   let table = table_for () in
   time_best (fun () ->
       Nufft.Gridding_serial.grid_2d ~table ~g:ds.Bench_data.g
-        ~gx:ds.Bench_data.samples.Nufft.Sample.gx
-        ~gy:ds.Bench_data.samples.Nufft.Sample.gy
+        ~gx:(Nufft.Sample.gx ds.Bench_data.samples)
+        ~gy:(Nufft.Sample.gy ds.Bench_data.samples)
         ds.Bench_data.samples.Nufft.Sample.values)
 
 let cpu_fft_2d_s ~g =

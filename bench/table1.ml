@@ -44,8 +44,8 @@ let run () =
   let g = 64 in
   let samples = Nufft.Sample.random_2d ~seed:404 ~g 400 in
   let q u = Float.round (u *. 65536.0) /. 65536.0 in
-  let gx = Array.map q samples.Nufft.Sample.gx
-  and gy = Array.map q samples.Nufft.Sample.gy in
+  let gx = Array.map q (Nufft.Sample.gx samples)
+  and gy = Array.map q (Nufft.Sample.gy samples) in
   let values =
     (* Keep magnitudes modest for the fixed-point accumulators. *)
     Cvec.map (fun c -> Numerics.Complexd.scale 0.25 c)

@@ -2,20 +2,30 @@
    reproduction.
 
    Subcommands:
-     grid    generate a trajectory, grid it with a chosen backend, report
-             timing/stats and optionally validate against the serial
-             reference
+     grid    generate a trajectory, run the adjoint NuFFT through a chosen
+             registered backend, report stage timings/stats and optionally
+             validate against the serial reference
      recon   reconstruct the Shepp-Logan phantom from a simulated
-             acquisition and write a PGM image
+             acquisition through any registered backend, write a PGM image
      accuracy  adjoint-NuFFT error vs the exact NuDFT (tabulated KB and
              exact min-max interpolation)
-     info    print the hardware models' parameters (Table I / Table II)   *)
+     info    print the hardware models' parameters (Table I / Table II)
+
+   Backends are looked up in the Nufft.Operator registry; --list-backends
+   prints every registered name. *)
 
 module Cvec = Numerics.Cvec
 module C = Numerics.Complexd
+module Op = Nufft.Operator
 
 (* ------------------------------------------------------------------ *)
 (* Shared helpers *)
+
+(* The hardware-model backends live outside lib/core; plug them into the
+   registry once at startup. *)
+let register_backends () =
+  Jigsaw.Operator_backend.register ();
+  Gpusim.Operator_backend.register ()
 
 let make_trajectory kind m n =
   match kind with
@@ -43,33 +53,47 @@ let samples_of_traj ~g ~seed traj =
   Nufft.Sample.of_omega_2d ~g ~omega_x:traj.Trajectory.Traj.omega_x
     ~omega_y:traj.Trajectory.Traj.omega_y ~values
 
-let parse_engine ~w s =
-  match String.lowercase_ascii s with
-  | "serial" -> `Cpu Nufft.Gridding.Serial
-  | "output" -> `Cpu Nufft.Gridding.Output_parallel
-  | "binned" -> `Cpu (Nufft.Gridding.Binned 8)
-  | "slice" -> `Cpu (Nufft.Gridding.Slice_and_dice (max 8 w))
-  | "parallel" -> `Cpu (Nufft.Gridding.Slice_parallel (max 8 w))
-  | "jigsaw" -> `Jigsaw
-  | "gpu-slice" -> `Gpu `Slice
-  | "gpu-binned" -> `Gpu `Binned
-  | other -> failwith (Printf.sprintf "unknown backend %S" other)
+(* Historical CLI spellings, mapped onto registry names. *)
+let canonical_backend name =
+  match String.lowercase_ascii name with
+  | "output" -> "output-parallel"
+  | "parallel" -> "slice-parallel"
+  | "jigsaw" -> "jigsaw-2d"
+  | "gpu-slice" -> "gpusim-slice"
+  | "gpu-binned" -> "gpusim-binned"
+  | other -> other
 
-(* The slice engines need the tile to divide the oversampled grid; for odd
-   image sizes fall back to the always-valid tiling of Gridding.tile_for. *)
-let retile ~g ~w = function
-  | Nufft.Gridding.Slice_and_dice t when g mod t <> 0 ->
-      Nufft.Gridding.Slice_and_dice (Nufft.Gridding.tile_for ~g ~w)
-  | Nufft.Gridding.Slice_parallel t when g mod t <> 0 ->
-      Nufft.Gridding.Slice_parallel (Nufft.Gridding.tile_for ~g ~w)
-  | e -> e
+(* Both subcommands drive 2D problems, so only 2D-capable backends are
+   usable (and listed) here; 3D-only entries like jigsaw-3d stay reachable
+   through the Operator API. *)
+let list_backends () =
+  register_backends ();
+  print_endline "registered backends (NAME [dims]  description):";
+  List.iter
+    (fun (e : Op.entry) ->
+      if List.mem 2 e.Op.dims then
+        Printf.printf "  %-15s %s  %s\n" e.Op.name
+          (String.concat ""
+             (List.map (fun d -> Printf.sprintf "[%dD]" d) e.Op.dims))
+          e.Op.doc)
+    (Op.entries ());
+  `Ok ()
+
+let make_operator ~backend ctx =
+  match Op.create (canonical_backend backend) ctx with
+  | op -> op
+  | exception Invalid_argument msg ->
+      prerr_endline ("jigsaw_cli: " ^ msg);
+      exit 1
 
 (* --domains D sizes the process-wide pool: D maps to the paper's T^d
    workers in the sense that the t^2 dice columns (or g z-slices in 3D)
    are distributed over D domains. *)
 let apply_domains = function
-  | None -> ()
-  | Some d when d >= 1 -> Runtime.Pool.set_global_domains d
+  | None -> None
+  | Some d when d >= 1 ->
+      Runtime.Pool.set_global_domains d;
+      Some (Runtime.Pool.global ())
   | Some _ ->
       prerr_endline "jigsaw_cli: --domains must be >= 1";
       exit 1
@@ -77,113 +101,73 @@ let apply_domains = function
 (* ------------------------------------------------------------------ *)
 (* grid subcommand *)
 
-let run_grid n traj_kind m backend w l seed validate domains =
-  apply_domains domains;
-  let g = 2 * n in
-  let traj = make_trajectory traj_kind m n in
-  let s = samples_of_traj ~g ~seed traj in
-  let m = Nufft.Sample.length s in
-  Printf.printf "gridding %d %s samples onto %dx%d (w=%d, l=%d)\n" m traj_kind
-    g g w l;
-  let kernel = Numerics.Window.default_kaiser_bessel ~width:w ~sigma:2.0 in
-  let table = Numerics.Weight_table.make ~kernel ~width:w ~l () in
-  let reference () =
-    Nufft.Gridding_serial.grid_2d ~table ~g ~gx:s.Nufft.Sample.gx
-      ~gy:s.Nufft.Sample.gy s.Nufft.Sample.values
-  in
-  (match parse_engine ~w backend with
-  | `Cpu engine ->
-      let engine = retile ~g ~w engine in
-      let stats = Nufft.Gridding_stats.create () in
-      let t0 = Unix.gettimeofday () in
-      let grid =
-        Nufft.Gridding.grid_2d ~stats engine ~table ~g ~gx:s.Nufft.Sample.gx
-          ~gy:s.Nufft.Sample.gy s.Nufft.Sample.values
-      in
-      let dt = Unix.gettimeofday () -. t0 in
-      (match engine with
-      | Nufft.Gridding.Slice_parallel _ ->
-          Printf.printf "%s: %.3f ms (CPU, instrumented, %d domains)\n"
-            (Nufft.Gridding.engine_name engine)
-            (1e3 *. dt)
-            (Runtime.Pool.size (Runtime.Pool.global ()))
-      | _ ->
-          Printf.printf "%s: %.3f ms (CPU, instrumented)\n"
-            (Nufft.Gridding.engine_name engine)
-            (1e3 *. dt));
-      Format.printf "stats: %a@." Nufft.Gridding_stats.pp stats;
-      if validate then
-        Printf.printf "max deviation vs serial reference: %g\n"
-          (Cvec.max_abs_diff (reference ()) grid)
-  | `Jigsaw ->
-      let l = min l 64 in
-      let cfg = Jigsaw.Config.make ~n:g ~w ~l () in
-      let jt =
-        Numerics.Weight_table.make ~precision:Numerics.Weight_table.Fixed16
-          ~kernel ~width:w ~l ()
-      in
-      let e = Jigsaw.Engine2d.create cfg ~table:jt in
-      Jigsaw.Engine2d.stream e ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy
-        s.Nufft.Sample.values;
-      Printf.printf
-        "jigsaw: %d cycles (M+12) = %.3f ms at 1 GHz; %.2f uJ; saturations %d\n"
-        (Jigsaw.Engine2d.gridding_cycles e)
-        (1e3 *. Jigsaw.Engine2d.gridding_time_s e)
-        (1e6
-        *. Jigsaw.Synthesis.energy_j
-             ~cycles:(Jigsaw.Engine2d.gridding_cycles e)
-             ~clock_ghz:1.0 ())
-        (Jigsaw.Engine2d.saturation_events e);
-      if validate then
-        Printf.printf "NRMSD vs serial double reference: %.3e\n"
-          (Cvec.nrmsd ~reference:(reference ()) (Jigsaw.Engine2d.readout e))
-  | `Gpu which ->
-      let p = Gpusim.Kernels.problem_of_samples ~w s in
-      let result =
-        match which with
-        | `Slice -> Gpusim.Sim.run (Gpusim.Kernels.slice_and_dice p)
-        | `Binned -> Gpusim.Sim.run (Gpusim.Kernels.binned p)
-      in
-      Format.printf "simulated Titan Xp (%s):@.%a@."
-        (match which with `Slice -> "slice-and-dice" | `Binned -> "binned")
-        Gpusim.Sim.pp_result result);
-  `Ok ()
+let run_grid n traj_kind m backend w l seed validate domains list =
+  if list then list_backends ()
+  else begin
+    register_backends ();
+    let pool = apply_domains domains in
+    let g = 2 * n in
+    let traj = make_trajectory traj_kind m n in
+    let s = samples_of_traj ~g ~seed traj in
+    let m = Nufft.Sample.length s in
+    Printf.printf "adjoint NuFFT of %d %s samples onto %dx%d (w=%d, l=%d)\n" m
+      traj_kind g g w l;
+    let ctx = Op.context ~w ~l ?pool ~n ~coords:s () in
+    let op = make_operator ~backend ctx in
+    let image = Op.apply_adjoint op s in
+    let st = Op.stats_of op in
+    Printf.printf
+      "%s: %.3f ms (gridding %.3f + fft %.3f + deapod %.3f)\n"
+      (Op.name_of op)
+      (1e3 *. st.Op.adjoint_s)
+      (1e3 *. st.Op.gridding_s)
+      (1e3 *. st.Op.fft_s)
+      (1e3 *. st.Op.deapod_s);
+    if st.Op.cycles > 0 then
+      Printf.printf "simulated cycles: %d\n" st.Op.cycles;
+    if Nufft.Gridding_stats.total_work st.Op.grid > 0 then
+      Format.printf "stats: %a@." Nufft.Gridding_stats.pp st.Op.grid;
+    if validate then begin
+      let reference = Op.apply_adjoint (make_operator ~backend:"serial" ctx) s in
+      Printf.printf "NRMSD vs serial reference: %.3e\n"
+        (Cvec.nrmsd ~reference image)
+    end;
+    `Ok ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* recon subcommand *)
 
-let run_recon n spokes output domains =
-  apply_domains domains;
-  let plan =
-    match domains with
-    | None -> Nufft.Plan.make ~n ()
-    | Some _ ->
-        (* Pool-backed plan: parallel FFT passes, and the pool-parallel
-           gridding engine when the tiling divides the oversampled grid. *)
-        let pool = Runtime.Pool.global () in
-        let g = 2 * n in
-        let engine =
-          if g mod 8 = 0 then Nufft.Gridding.Slice_parallel 8
-          else Nufft.Gridding.Serial
-        in
-        Nufft.Plan.make ~pool ~engine ~n ()
-  in
-  let phantom = Imaging.Phantom.make ~n () in
-  let spokes =
-    match spokes with
-    | Some s -> s
-    | None -> Trajectory.Radial.fully_sampled_spokes ~n
-  in
-  let traj = Trajectory.Radial.make ~spokes ~readout:(2 * n) () in
-  let density = Trajectory.Radial.density_weights traj in
-  let recon, _ = Imaging.Recon.roundtrip ~density plan traj phantom in
-  let err = Imaging.Metrics.nrmsd_scaled ~reference:phantom recon in
-  Imaging.Pgm.write_magnitude ~path:output ~n recon;
-  Printf.printf
-    "reconstructed %dx%d phantom from %d spokes (%d samples): scaled NRMSD \
-     %.3f -> %s\n"
-    n n spokes (Trajectory.Traj.length traj) err output;
-  `Ok ()
+let run_recon n spokes output backend domains list =
+  if list then list_backends ()
+  else begin
+    register_backends ();
+    let pool = apply_domains domains in
+    let phantom = Imaging.Phantom.make ~n () in
+    let spokes =
+      match spokes with
+      | Some s -> s
+      | None -> Trajectory.Radial.fully_sampled_spokes ~n
+    in
+    let traj = Trajectory.Radial.make ~spokes ~readout:(2 * n) () in
+    let density = Trajectory.Radial.density_weights traj in
+    let coords = Imaging.Recon.coords_of_traj ~g:(2 * n) traj in
+    let ctx = Op.context ?pool ~n ~coords () in
+    let op = make_operator ~backend ctx in
+    let recon, _ = Imaging.Recon.roundtrip_op ~density op phantom in
+    let err = Imaging.Metrics.nrmsd_scaled ~reference:phantom recon in
+    Imaging.Pgm.write_magnitude ~path:output ~n recon;
+    Printf.printf
+      "reconstructed %dx%d phantom through %s from %d spokes (%d samples): \
+       scaled NRMSD %.3f -> %s\n"
+      n n (Op.name_of op) spokes
+      (Trajectory.Traj.length traj)
+      err output;
+    let st = Op.stats_of op in
+    if st.Op.cycles > 0 then
+      Printf.printf "simulated gridding cycles: %d\n" st.Op.cycles;
+    `Ok ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* accuracy subcommand *)
@@ -214,7 +198,7 @@ let run_accuracy n m w sigma l seed =
     (Cvec.nrmsd ~reference:exact fast);
   let mm =
     Nufft.Minmax.adjoint_2d ~scaling:Nufft.Minmax.Kaiser_bessel_scaling ~n ~g
-      ~w ~gx:samples.Nufft.Sample.gx ~gy:samples.Nufft.Sample.gy values
+      ~w ~gx:(Nufft.Sample.gx samples) ~gy:(Nufft.Sample.gy samples) values
   in
   Printf.printf "  exact min-max:        NRMSD %.3e\n"
     (Cvec.nrmsd ~reference:exact mm);
@@ -266,8 +250,15 @@ let backend_arg =
     & opt string "slice"
     & info [ "b"; "backend" ] ~docv:"BACKEND"
         ~doc:
-          "Gridding backend: serial, output, binned, slice, jigsaw, \
-           gpu-slice, gpu-binned.")
+          "Registered operator backend (see $(b,--list-backends)): serial, \
+           output-parallel, binned, slice, slice-parallel, jigsaw-2d, \
+           gpusim-slice, gpusim-binned, ...")
+
+let list_backends_arg =
+  Arg.(
+    value & flag
+    & info [ "list-backends" ]
+        ~doc:"Print every registered operator backend and exit.")
 
 let w_arg = Arg.(value & opt int 6 & info [ "w" ] ~docv:"W" ~doc:"Window width.")
 
@@ -295,12 +286,12 @@ let domains_arg =
            onto D OCaml domains (default: the runtime's recommended count).")
 
 let grid_cmd =
-  let doc = "grid a non-uniform acquisition with a chosen backend" in
+  let doc = "run the adjoint NuFFT through a registered backend" in
   Cmd.v (Cmd.info "grid" ~doc)
     Term.(
       ret
         (const run_grid $ n_arg $ traj_arg $ m_arg $ backend_arg $ w_arg
-       $ l_arg $ seed_arg $ validate_arg $ domains_arg))
+       $ l_arg $ seed_arg $ validate_arg $ domains_arg $ list_backends_arg))
 
 let recon_cmd =
   let doc = "reconstruct the Shepp-Logan phantom from radial k-space" in
@@ -316,7 +307,10 @@ let recon_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output PGM path.")
   in
   Cmd.v (Cmd.info "recon" ~doc)
-    Term.(ret (const run_recon $ n_arg $ spokes $ output $ domains_arg))
+    Term.(
+      ret
+        (const run_recon $ n_arg $ spokes $ output $ backend_arg
+       $ domains_arg $ list_backends_arg))
 
 let info_cmd =
   let doc = "print hardware-model parameters" in

@@ -43,13 +43,13 @@ let () =
       let st = Stats.create () in
       (* Counters from an instrumented run; timing from a clean one. *)
       let grid =
-        Nufft.Gridding.grid_2d ~stats:st engine ~table ~g ~gx:s.Nufft.Sample.gx
-          ~gy:s.Nufft.Sample.gy s.Nufft.Sample.values
+        Nufft.Gridding.grid_2d ~stats:st engine ~table ~g ~gx:(Nufft.Sample.gx s)
+          ~gy:(Nufft.Sample.gy s) s.Nufft.Sample.values
       in
       let t0 = Unix.gettimeofday () in
       ignore
-        (Nufft.Gridding.grid_2d engine ~table ~g ~gx:s.Nufft.Sample.gx
-           ~gy:s.Nufft.Sample.gy s.Nufft.Sample.values);
+        (Nufft.Gridding.grid_2d engine ~table ~g ~gx:(Nufft.Sample.gx s)
+           ~gy:(Nufft.Sample.gy s) s.Nufft.Sample.values);
       let dt = Unix.gettimeofday () -. t0 in
       let dev =
         match !reference with
@@ -100,7 +100,7 @@ let () =
       ~width:w ~l:32 ()
   in
   let engine = Jigsaw.Engine2d.create cfg ~table:jt in
-  Jigsaw.Engine2d.stream engine ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy
+  Jigsaw.Engine2d.stream engine ~gx:(Nufft.Sample.gx s) ~gy:(Nufft.Sample.gy s)
     s.Nufft.Sample.values;
   let hw_grid = Jigsaw.Engine2d.readout engine in
   let ref_grid = Option.get !reference in

@@ -22,7 +22,7 @@ let () =
   let reference =
     Nufft.Gridding_serial.grid_2d
       ~table:(Wt.make ~kernel ~width:w ~l:1024 ())
-      ~g ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy values
+      ~g ~gx:(Nufft.Sample.gx s) ~gy:(Nufft.Sample.gy s) values
   in
   Printf.printf "Gridding %d samples onto %dx%d; reference: double, L=1024\n\n"
     (Nufft.Sample.length s) g g;
@@ -32,8 +32,8 @@ let () =
       let cfg = Jigsaw.Config.make ~n:g ~w ~l () in
       let table = Wt.make ~precision:Wt.Fixed16 ~kernel ~width:w ~l () in
       let engine = Jigsaw.Engine2d.create cfg ~table in
-      Jigsaw.Engine2d.stream engine ~gx:s.Nufft.Sample.gx
-        ~gy:s.Nufft.Sample.gy values;
+      Jigsaw.Engine2d.stream engine ~gx:(Nufft.Sample.gx s)
+        ~gy:(Nufft.Sample.gy s) values;
       Printf.printf "%-6d %18.3e %14d\n" l
         (Cvec.nrmsd ~reference (Jigsaw.Engine2d.readout engine))
         (Jigsaw.Engine2d.saturation_events engine))
@@ -46,7 +46,7 @@ let () =
   let table = Wt.make ~precision:Wt.Fixed16 ~kernel ~width:w ~l:32 () in
   let engine = Jigsaw.Engine2d.create cfg ~table in
   let loud = Cvec.map (fun c -> C.scale 2000.0 c) values in
-  Jigsaw.Engine2d.stream engine ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy
+  Jigsaw.Engine2d.stream engine ~gx:(Nufft.Sample.gx s) ~gy:(Nufft.Sample.gy s)
     loud;
   Printf.printf
     "Unnormalised input (2000x): %d accumulator saturation events — the \

@@ -30,6 +30,15 @@ let check_tiling ~t ~g ~w =
   if w > t then invalid_arg "Coord: window width must not exceed tile size";
   if g mod t <> 0 then invalid_arg "Coord: tile size must divide grid size"
 
+let tiling_ok ~t ~g ~w =
+  match check_tiling ~t ~g ~w with
+  | () -> true
+  | exception Invalid_argument _ -> false
+
+let fallback_tile ~g ~w =
+  let t = max w 8 in
+  if tiling_ok ~t ~g ~w then t else g
+
 let column_check ~w ~t ~g ~column u =
   let start = window_start ~w u in
   (* Unique window point congruent to [column] mod t (there is at most one

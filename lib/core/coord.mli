@@ -64,4 +64,14 @@ val affected_columns : w:int -> t:int -> float -> int list
 
 val check_tiling : t:int -> g:int -> w:int -> unit
 (** Validates [1 <= w <= t], [t >= 1], [t] divides [g]. Raises
-    [Invalid_argument] otherwise. *)
+    [Invalid_argument] otherwise. This is {e the} Slice-and-Dice tile
+    validity rule — {!Plan.make}, {!Gridding.tile_for} and the CLI all
+    defer to it rather than re-deriving the conditions. *)
+
+val tiling_ok : t:int -> g:int -> w:int -> bool
+(** [true] iff {!check_tiling} accepts the combination. *)
+
+val fallback_tile : g:int -> w:int -> int
+(** The default tile size for a [g]-point grid and width-[w] window: the
+    paper's [t = 8] (or [w] when the window is wider) whenever that
+    satisfies {!check_tiling}, else [g] — a single tile, always valid. *)

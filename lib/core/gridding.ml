@@ -14,9 +14,7 @@ let engine_name = function
 
 let pp_engine ppf e = Format.pp_print_string ppf (engine_name e)
 
-let tile_for ~g ~w =
-  let tile = max w 8 in
-  if g mod tile = 0 then tile else g
+let tile_for ~g ~w = Coord.fallback_tile ~g ~w
 
 let default_engines ~g ~w =
   let tile = tile_for ~g ~w in

@@ -15,4 +15,5 @@ module Minmax = Minmax
 module Apodization = Apodization
 module Nudft = Nudft
 module Plan = Plan
+module Operator = Operator
 include Plan

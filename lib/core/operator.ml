@@ -1,0 +1,201 @@
+module Cvec = Numerics.Cvec
+
+type stats = {
+  mutable adjoints : int;
+  mutable forwards : int;
+  mutable gridding_s : float;
+  mutable fft_s : float;
+  mutable deapod_s : float;
+  mutable adjoint_s : float;
+  mutable forward_s : float;
+  mutable cycles : int;
+  grid : Gridding_stats.t;
+}
+
+let create_stats () =
+  { adjoints = 0;
+    forwards = 0;
+    gridding_s = 0.0;
+    fft_s = 0.0;
+    deapod_s = 0.0;
+    adjoint_s = 0.0;
+    forward_s = 0.0;
+    cycles = 0;
+    grid = Gridding_stats.create () }
+
+let add_timings st (t : Plan.timings) =
+  st.gridding_s <- st.gridding_s +. t.Plan.gridding_s;
+  st.fft_s <- st.fft_s +. t.Plan.fft_s;
+  st.deapod_s <- st.deapod_s +. t.Plan.deapod_s
+
+let pp_stats ppf st =
+  Format.fprintf ppf
+    "@[<v>adjoints %d (gridding %.4fs, fft %.4fs, deapod %.4fs)@,\
+     forwards %d (%.4fs)" st.adjoints st.gridding_s st.fft_s st.deapod_s
+    st.forwards st.forward_s;
+  if st.cycles > 0 then Format.fprintf ppf "@,simulated cycles %d" st.cycles;
+  Format.fprintf ppf "@]"
+
+module type NUFFT_OP = sig
+  val name : string
+  val dims : int
+  val n : int
+  val g : int
+  val adjoint : Sample.t -> Cvec.t
+  val forward : Cvec.t -> Sample.t
+  val stats : unit -> stats
+end
+
+type op = (module NUFFT_OP)
+
+type ctx = {
+  n : int;
+  sigma : float;
+  w : int;
+  l : int;
+  coords : Sample.t;
+  pool : Runtime.Pool.t option;
+}
+
+type factory = ctx -> op
+
+let context ?(w = 6) ?(sigma = 2.0) ?(l = 512) ?pool ~n ~coords () =
+  if n < 2 then invalid_arg "Operator.context: n must be >= 2";
+  if sigma <= 1.0 then invalid_arg "Operator.context: sigma must be > 1";
+  let g = int_of_float (Float.round (sigma *. float_of_int n)) in
+  if coords.Sample.g <> g then
+    invalid_arg
+      (Printf.sprintf
+         "Operator.context: coords are on grid %d, but sigma * n rounds to \
+          %d"
+         coords.Sample.g g);
+  { n; sigma; w; l; coords; pool }
+
+let ctx_dims c = Sample.dims c.coords
+let ctx_grid c = c.coords.Sample.g
+
+(* Registry. *)
+
+type entry = {
+  name : string;
+  dims : int list;
+  doc : string;
+  factory : factory;
+}
+
+let registry : entry list ref = ref []
+
+let register ?(dims = [ 2; 3 ]) ?(doc = "") name factory =
+  if List.exists (fun e -> e.name = name) !registry then
+    invalid_arg (Printf.sprintf "Operator.register: duplicate backend %S" name);
+  registry := !registry @ [ { name; dims; doc; factory } ]
+
+let entries () = !registry
+let all () = List.map (fun e -> (e.name, e.factory)) !registry
+
+let names ?dims () =
+  List.filter_map
+    (fun e ->
+      match dims with
+      | Some d when not (List.mem d e.dims) -> None
+      | _ -> Some e.name)
+    !registry
+
+let find name = List.find_opt (fun e -> e.name = name) !registry
+
+let create name ctx =
+  match find name with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Operator: unknown backend %S (registered: %s)" name
+           (String.concat ", " (names ())))
+  | Some e ->
+      let d = ctx_dims ctx in
+      if not (List.mem d e.dims) then
+        invalid_arg
+          (Printf.sprintf "Operator: backend %S does not support %dD" name d);
+      e.factory ctx
+
+(* Generic helpers over a packed operator. *)
+
+let name_of (module O : NUFFT_OP) = O.name
+let dims_of (module O : NUFFT_OP) = O.dims
+
+let image_length (module O : NUFFT_OP) =
+  let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+  pow O.n O.dims
+let apply_adjoint (module O : NUFFT_OP) s = O.adjoint s
+let apply_forward (module O : NUFFT_OP) x = O.forward x
+let stats_of (module O : NUFFT_OP) = O.stats ()
+
+let normal (module O : NUFFT_OP) x = O.adjoint (O.forward x)
+
+let now () = Unix.gettimeofday ()
+
+let of_plan ?name (plan : Plan.plan) ~coords : op =
+  if coords.Sample.g <> plan.Plan.g then
+    invalid_arg
+      (Printf.sprintf "Operator.of_plan: coords are for grid %d, plan uses %d"
+         coords.Sample.g plan.Plan.g);
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Gridding.engine_name plan.Plan.engine
+  in
+  let st = create_stats () in
+  (module struct
+    let name = name
+    let dims = Sample.dims coords
+    let n = plan.Plan.n
+    let g = plan.Plan.g
+
+    let adjoint s =
+      let t0 = now () in
+      let image, tm = Plan.adjoint_timed ~stats:st.grid plan s in
+      st.adjoints <- st.adjoints + 1;
+      add_timings st tm;
+      st.adjoint_s <- st.adjoint_s +. (now () -. t0);
+      image
+
+    let forward image =
+      let t0 = now () in
+      let values = Plan.forward ~stats:st.grid plan ~coords image in
+      st.forwards <- st.forwards + 1;
+      st.forward_s <- st.forward_s +. (now () -. t0);
+      Sample.with_values coords values
+
+    let stats () = st
+  end : NUFFT_OP)
+
+(* CPU backends: one registry entry per gridding engine. The 3D adjoint
+   grids with the (pool-)sliced Gridding3d schedule whatever the 2D engine,
+   so in 3D the names differ only in the plan they carry. *)
+
+let cpu_backend name engine_of : factory =
+ fun c ->
+  let plan =
+    Plan.make ~w:c.w ~sigma:c.sigma ~l:c.l
+      ~engine:(engine_of ~g:(ctx_grid c) ~w:c.w)
+      ?pool:c.pool ~n:c.n ()
+  in
+  of_plan ~name plan ~coords:c.coords
+
+let () =
+  List.iter
+    (fun (name, doc, engine_of) ->
+      register ~doc name (cpu_backend name engine_of))
+    [ ( "serial",
+        "input-driven double-precision CPU reference (MIRT-class)",
+        fun ~g:_ ~w:_ -> Gridding.Serial );
+      ( "output-parallel",
+        "naive output-driven model, M*G^d boundary checks",
+        fun ~g:_ ~w:_ -> Gridding.Output_parallel );
+      ( "binned",
+        "Impatient-class presorted geometric bins",
+        fun ~g ~w -> Gridding.Binned (Coord.fallback_tile ~g ~w) );
+      ( "slice",
+        "Slice-and-Dice, sample-outer CPU schedule (bit-identical to serial)",
+        fun ~g ~w -> Gridding.Slice_and_dice (Coord.fallback_tile ~g ~w) );
+      ( "slice-parallel",
+        "Slice-and-Dice column-outer schedule on the domain pool",
+        fun ~g ~w -> Gridding.Slice_parallel (Coord.fallback_tile ~g ~w) ) ]

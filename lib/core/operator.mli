@@ -1,0 +1,146 @@
+(** First-class NuFFT operators and the backend registry.
+
+    The paper's evaluation (Fig 1, Fig 9) swaps interchangeable gridding
+    backends — CPU engines, GPU kernels, the JIGSAW ASIC — under one
+    reconstruction pipeline. This module is that seam in software: every
+    backend is packaged as a first-class module implementing {!NUFFT_OP}
+    (the plan-as-operator abstraction of FINUFFT/cuFINUFFT), and consumers
+    ({!Imaging.Recon}, CG, the CLI) are written against the interface
+    alone, so they are backend- and dimension-agnostic.
+
+    An operator is bound at creation to a {e context}: problem size [n],
+    oversampling, window, and — crucially — the sample {e coordinates}
+    (the "setpts" of FINUFFT). [adjoint] maps any sample set on the same
+    grid to an image; [forward] evaluates an image's spectrum at the bound
+    coordinates and returns them as a sample set.
+
+    The five CPU gridding engines self-register here at library load.
+    Hardware-model backends live in their own libraries to keep the
+    dependency graph acyclic — call [Jigsaw.Operator_backend.register ()]
+    and [Gpusim.Operator_backend.register ()] to add them. *)
+
+(** Cumulative per-operator instrumentation: application counts, stage
+    wall-clock (gridding / FFT / de-apodization, summed over adjoints),
+    simulated cycles for hardware-model backends (0 for CPU), and the
+    engine work counters. *)
+type stats = {
+  mutable adjoints : int;
+  mutable forwards : int;
+  mutable gridding_s : float;
+  mutable fft_s : float;
+  mutable deapod_s : float;
+  mutable adjoint_s : float;  (** total adjoint wall-clock *)
+  mutable forward_s : float;  (** total forward wall-clock *)
+  mutable cycles : int;  (** simulated hardware cycles (JIGSAW, GPU) *)
+  grid : Gridding_stats.t;
+}
+
+val create_stats : unit -> stats
+val add_timings : stats -> Plan.timings -> unit
+val pp_stats : Format.formatter -> stats -> unit
+
+(** One NuFFT backend, bound to a problem geometry and sample
+    coordinates. *)
+module type NUFFT_OP = sig
+  val name : string
+  val dims : int  (** 2 or 3 *)
+
+  val n : int  (** image size per dimension *)
+
+  val g : int  (** oversampled grid size *)
+
+  val adjoint : Sample.t -> Numerics.Cvec.t
+  (** k-space to image: gridding, FFT, de-apodization. Accepts any sample
+      set with matching [g] and dimensionality; returns the centred
+      row-major [n^dims] image. *)
+
+  val forward : Numerics.Cvec.t -> Sample.t
+  (** image to k-space at the {e bound} coordinates: apodization, FFT,
+      interpolation. Returns the bound coordinate set carrying the
+      evaluated values. *)
+
+  val stats : unit -> stats
+  (** Instrumentation accumulated over every application so far. *)
+end
+
+type op = (module NUFFT_OP)
+
+(** Everything a factory needs to build an operator: geometry parameters
+    plus the coordinates the operator is bound to ([g] is implied by
+    [coords.g = round (sigma * n)]). *)
+type ctx = {
+  n : int;
+  sigma : float;
+  w : int;
+  l : int;
+  coords : Sample.t;
+  pool : Runtime.Pool.t option;
+}
+
+type factory = ctx -> op
+
+val context :
+  ?w:int ->
+  ?sigma:float ->
+  ?l:int ->
+  ?pool:Runtime.Pool.t ->
+  n:int ->
+  coords:Sample.t ->
+  unit ->
+  ctx
+(** Smart constructor with the plan defaults ([w = 6], [sigma = 2.0],
+    [l = 512]); checks [coords.g = round (sigma * n)]. *)
+
+val ctx_dims : ctx -> int
+val ctx_grid : ctx -> int
+
+(** {2 Registry} *)
+
+type entry = {
+  name : string;
+  dims : int list;  (** dimensionalities the backend supports *)
+  doc : string;
+  factory : factory;
+}
+
+val register : ?dims:int list -> ?doc:string -> string -> factory -> unit
+(** Add a backend under a unique name (default [dims = [2; 3]]). Raises
+    [Invalid_argument] on a duplicate name. *)
+
+val all : unit -> (string * factory) list
+(** Every registered backend, in registration order. *)
+
+val entries : unit -> entry list
+
+val names : ?dims:int -> unit -> string list
+(** Registered names, optionally only those supporting [dims]-dimensional
+    problems (what the CLI's [--list-backends] prints). *)
+
+val find : string -> entry option
+
+val create : string -> ctx -> op
+(** Look up a backend by name and build it. Raises [Invalid_argument] for
+    an unknown name (the message lists the registered ones) or a
+    dimensionality the backend does not support. *)
+
+(** {2 Helpers} *)
+
+val name_of : op -> string
+val dims_of : op -> int
+
+val image_length : op -> int
+(** [n^dims] — length of the image vector the operator produces. *)
+
+val apply_adjoint : op -> Sample.t -> Numerics.Cvec.t
+val apply_forward : op -> Numerics.Cvec.t -> Sample.t
+val stats_of : op -> stats
+
+val normal : op -> Numerics.Cvec.t -> Numerics.Cvec.t
+(** [normal op x = adjoint (forward x)] — the Gram/normal map [A^H A]
+    iterative reconstruction needs. *)
+
+val of_plan : ?name:string -> Plan.plan -> coords:Sample.t -> op
+(** Wrap an existing CPU plan as an operator bound to [coords] (which must
+    live on the plan's grid). This is how every CPU registry entry is
+    implemented, and the escape hatch for custom plans (window, table
+    precision, ...). *)

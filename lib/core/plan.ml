@@ -23,6 +23,10 @@ let make ?kernel ?(w = 6) ?(sigma = 2.0) ?(l = 512) ?(engine = Gridding.Serial)
   if l < 1 then invalid_arg "Plan.make: l must be >= 1";
   let g = int_of_float (Float.round (sigma *. float_of_int n)) in
   if w > g then invalid_arg "Plan.make: window wider than oversampled grid";
+  (match engine with
+  | Gridding.Slice_and_dice t | Gridding.Slice_parallel t ->
+      Coord.check_tiling ~t ~g ~w
+  | Gridding.Serial | Gridding.Output_parallel | Gridding.Binned _ -> ());
   let kernel =
     match kernel with
     | Some k -> k
@@ -38,6 +42,8 @@ let make ?kernel ?(w = 6) ?(sigma = 2.0) ?(l = 512) ?(engine = Gridding.Serial)
 
 let crop_deapodize_2d plan big =
   let n = plan.n and g = plan.g in
+  if Cvec.length big <> g * g then
+    invalid_arg "Plan.crop_deapodize_2d: grid size mismatch";
   Cvec.init (n * n) (fun idx ->
       let ix = idx mod n and iy = idx / n in
       let cx = ix - (n / 2) and cy = iy - (n / 2) in
@@ -63,7 +69,45 @@ let pad_apodize_2d plan image =
   done;
   big
 
-let check_samples plan (s : Sample.t2) =
+let crop_deapodize_3d plan big =
+  let n = plan.n and g = plan.g in
+  if Cvec.length big <> g * g * g then
+    invalid_arg "Plan.crop_deapodize_3d: grid size mismatch";
+  Cvec.init (n * n * n) (fun idx ->
+      let ix = idx mod n in
+      let iy = idx / n mod n in
+      let iz = idx / (n * n) in
+      let cx = ix - (n / 2) and cy = iy - (n / 2) and cz = iz - (n / 2) in
+      let src =
+        (((Coord.wrap ~g cz * g) + Coord.wrap ~g cy) * g) + Coord.wrap ~g cx
+      in
+      C.scale
+        (1.0 /. (plan.deapod.(ix) *. plan.deapod.(iy) *. plan.deapod.(iz)))
+        (Cvec.get big src))
+
+let pad_apodize_3d plan volume =
+  let n = plan.n and g = plan.g in
+  if Cvec.length volume <> n * n * n then
+    invalid_arg "Plan.forward_3d: volume size mismatch";
+  let big = Cvec.create (g * g * g) in
+  for iz = 0 to n - 1 do
+    for iy = 0 to n - 1 do
+      for ix = 0 to n - 1 do
+        let cx = ix - (n / 2) and cy = iy - (n / 2) and cz = iz - (n / 2) in
+        let dst =
+          (((Coord.wrap ~g cz * g) + Coord.wrap ~g cy) * g) + Coord.wrap ~g cx
+        in
+        Cvec.set big dst
+          (C.scale
+             (1.0
+             /. (plan.deapod.(ix) *. plan.deapod.(iy) *. plan.deapod.(iz)))
+             (Cvec.get volume ((((iz * n) + iy) * n) + ix)))
+      done
+    done
+  done;
+  big
+
+let check_samples plan (s : Sample.t) =
   if s.Sample.g <> plan.g then
     invalid_arg
       (Printf.sprintf "Plan: sample set is for grid %d, plan uses %d"
@@ -78,7 +122,7 @@ let adjoint_2d_timed ?stats plan samples =
   let t0 = now () in
   let grid =
     Gridding.grid_2d ?stats ?pool:plan.pool plan.engine ~table:plan.table
-      ~g:plan.g ~gx:samples.Sample.gx ~gy:samples.Sample.gy
+      ~g:plan.g ~gx:(Sample.gx samples) ~gy:(Sample.gy samples)
       samples.Sample.values
   in
   let t1 = now () in
@@ -108,7 +152,13 @@ let adjoint_1d ?stats plan ~coords values =
       let c = i - (n / 2) in
       C.scale (1.0 /. plan.deapod.(i)) (Cvec.get grid (Coord.wrap ~g c)))
 
-let adjoint_3d ?stats plan ~gx ~gy ~gz values =
+let adjoint_3d_timed ?stats plan samples =
+  check_samples plan samples;
+  let gx = Sample.gx samples
+  and gy = Sample.gy samples
+  and gz = Sample.gz samples
+  and values = samples.Sample.values in
+  let t0 = now () in
   let grid =
     match plan.pool with
     | Some pool ->
@@ -118,43 +168,47 @@ let adjoint_3d ?stats plan ~gx ~gy ~gz values =
         Gridding3d.grid_3d ?stats ~table:plan.table ~g:plan.g ~gx ~gy ~gz
           values
   in
+  let t1 = now () in
   Fft.Fftnd.transform_3d ?pool:plan.pool Fft.Dft.Inverse ~nx:plan.g ~ny:plan.g
     ~nz:plan.g grid;
-  let n = plan.n and g = plan.g in
-  Cvec.init (n * n * n) (fun idx ->
-      let ix = idx mod n in
-      let iy = idx / n mod n in
-      let iz = idx / (n * n) in
-      let cx = ix - (n / 2) and cy = iy - (n / 2) and cz = iz - (n / 2) in
-      let src =
-        (((Coord.wrap ~g cz * g) + Coord.wrap ~g cy) * g) + Coord.wrap ~g cx
-      in
-      C.scale
-        (1.0 /. (plan.deapod.(ix) *. plan.deapod.(iy) *. plan.deapod.(iz)))
-        (Cvec.get grid src))
+  let t2 = now () in
+  let volume = crop_deapodize_3d plan grid in
+  let t3 = now () in
+  (volume, { gridding_s = t1 -. t0; fft_s = t2 -. t1; deapod_s = t3 -. t2 })
+
+let adjoint_3d ?stats plan ~gx ~gy ~gz values =
+  fst
+    (adjoint_3d_timed ?stats plan
+       (Sample.make_3d ~g:plan.g ~gx ~gy ~gz ~values))
 
 let forward_3d ?stats plan ~gx ~gy ~gz volume =
-  let n = plan.n and g = plan.g in
-  if Cvec.length volume <> n * n * n then
-    invalid_arg "Plan.forward_3d: volume size mismatch";
-  let big = Cvec.create (g * g * g) in
-  for iz = 0 to n - 1 do
-    for iy = 0 to n - 1 do
-      for ix = 0 to n - 1 do
-        let cx = ix - (n / 2) and cy = iy - (n / 2) and cz = iz - (n / 2) in
-        let dst =
-          (((Coord.wrap ~g cz * g) + Coord.wrap ~g cy) * g) + Coord.wrap ~g cx
-        in
-        Cvec.set big dst
-          (C.scale
-             (1.0
-             /. (plan.deapod.(ix) *. plan.deapod.(iy) *. plan.deapod.(iz)))
-             (Cvec.get volume ((((iz * n) + iy) * n) + ix)))
-      done
-    done
-  done;
+  let g = plan.g in
+  let big = pad_apodize_3d plan volume in
   Fft.Fftnd.transform_3d ?pool:plan.pool Fft.Dft.Forward ~nx:g ~ny:g ~nz:g big;
   Gridding3d.interp_3d ?stats ~table:plan.table ~g ~gx ~gy ~gz big
+
+let adjoint_timed ?stats plan samples =
+  match Sample.dims samples with
+  | 2 -> adjoint_2d_timed ?stats plan samples
+  | 3 -> adjoint_3d_timed ?stats plan samples
+  | d ->
+      invalid_arg
+        (Printf.sprintf "Plan.adjoint: unsupported dimensionality %d" d)
+
+let adjoint ?stats plan samples = fst (adjoint_timed ?stats plan samples)
+
+let forward ?stats plan ~coords image =
+  check_samples plan coords;
+  match Sample.dims coords with
+  | 2 ->
+      forward_2d ?stats plan ~gx:(Sample.gx coords) ~gy:(Sample.gy coords)
+        image
+  | 3 ->
+      forward_3d ?stats plan ~gx:(Sample.gx coords) ~gy:(Sample.gy coords)
+        ~gz:(Sample.gz coords) image
+  | d ->
+      invalid_arg
+        (Printf.sprintf "Plan.forward: unsupported dimensionality %d" d)
 
 let gridding_fraction t =
   let total = t.gridding_s +. t.fft_s +. t.deapod_s in

@@ -44,7 +44,9 @@ val make :
 (** Create a plan for an [n^d] image. Defaults: Kaiser-Bessel window with
     the Beatty beta, [w = 6], [sigma = 2.0], [l = 512], [engine = Serial].
     Raises [Invalid_argument] for inconsistent geometry ([n < 2], [w > g],
-    [sigma <= 1], ...).
+    [sigma <= 1], ...). A Slice-and-Dice engine's tile size is validated
+    here against {!Coord.check_tiling} ([w <= t], [t | g]) so an invalid
+    decomposition is rejected at plan time, not at first use.
 
     With [pool], every adjoint/forward application of the plan reuses that
     domain pool: the row/column FFT passes are batched over it, the 3D
@@ -103,6 +105,21 @@ val forward_3d :
 (** [forward_3d plan ~gx ~gy ~gz volume] — evaluate the [n^3] volume's
     spectrum at the sample coordinates. *)
 
+val adjoint :
+  ?stats:Gridding_stats.t -> plan -> Sample.t -> Numerics.Cvec.t
+(** Dimension-generic adjoint: dispatches on {!Sample.dims} to the 2D or
+    3D pipeline (an [n^2] image or [n^3] volume, row-major, centred). The
+    sample set's [g] must match the plan's. *)
+
+val forward :
+  ?stats:Gridding_stats.t ->
+  plan ->
+  coords:Sample.t ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** Dimension-generic forward NuFFT: evaluate the [n^dims] image's spectrum
+    at the coordinates of [coords] (whose values are ignored). *)
+
 (** Wall-clock decomposition of one adjoint application, for the
     gridding-dominance experiments (paper §I: gridding can be >99.6% of
     NuFFT time). *)
@@ -111,5 +128,35 @@ type timings = { gridding_s : float; fft_s : float; deapod_s : float }
 val adjoint_2d_timed :
   ?stats:Gridding_stats.t -> plan -> Sample.t2 -> Numerics.Cvec.t * timings
 
+val adjoint_3d_timed :
+  ?stats:Gridding_stats.t -> plan -> Sample.t -> Numerics.Cvec.t * timings
+
+val adjoint_timed :
+  ?stats:Gridding_stats.t -> plan -> Sample.t -> Numerics.Cvec.t * timings
+(** Timed variants of {!adjoint}; {!adjoint_timed} dispatches on
+    {!Sample.dims}. *)
+
 val gridding_fraction : timings -> float
 (** Gridding share of total time, in [0, 1]. *)
+
+(** {2 Pipeline stages}
+
+    The shared tail (and head) of every backend's NuFFT: external engines
+    (the JIGSAW fixed-point model, GPU kernels) produce an oversampled
+    spread grid by their own means and then borrow the plan's FFT +
+    de-apodization to become end-to-end operators. *)
+
+val crop_deapodize_2d : plan -> Numerics.Cvec.t -> Numerics.Cvec.t
+(** [crop_deapodize_2d plan big] — fold an inverse-FFT'd [g x g]
+    oversampled grid down to the centred, de-apodized [n x n] image
+    (adjoint steps 2.5–3). *)
+
+val crop_deapodize_3d : plan -> Numerics.Cvec.t -> Numerics.Cvec.t
+(** 3D counterpart: [g^3] grid to centred [n^3] volume. *)
+
+val pad_apodize_2d : plan -> Numerics.Cvec.t -> Numerics.Cvec.t
+(** [pad_apodize_2d plan image] — embed the centred [n x n] image into a
+    [g x g] zero-padded grid with apodization pre-division (forward
+    step 1). *)
+
+val pad_apodize_3d : plan -> Numerics.Cvec.t -> Numerics.Cvec.t

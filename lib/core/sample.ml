@@ -1,14 +1,35 @@
 module Cvec = Numerics.Cvec
 module C = Numerics.Complexd
 
-type t2 = {
-  gx : float array;
-  gy : float array;
+type t = {
+  coords : float array array;
   values : Cvec.t;
   g : int;
 }
 
-let length s = Array.length s.gx
+type t2 = t
+
+let dims s = Array.length s.coords
+let length s = Array.length s.coords.(0)
+
+let coord s d =
+  if d < 0 || d >= dims s then
+    invalid_arg
+      (Printf.sprintf "Sample.coord: axis %d of a %d-dimensional set" d
+         (dims s));
+  s.coords.(d)
+
+let gx s = s.coords.(0)
+
+let gy s =
+  if dims s < 2 then invalid_arg "Sample.gy: 1-dimensional sample set";
+  s.coords.(1)
+
+let gz s =
+  if dims s < 3 then
+    invalid_arg
+      (Printf.sprintf "Sample.gz: %d-dimensional sample set" (dims s));
+  s.coords.(2)
 
 let omega_to_grid ~g omega =
   let gf = float_of_int g in
@@ -18,16 +39,14 @@ let omega_to_grid ~g omega =
   (* Guard the open upper bound against rounding. *)
   if u >= gf then 0.0 else u
 
-let check_lengths name a b values =
-  if Array.length a <> Array.length b || Array.length a <> Cvec.length values
+let check_lengths name coords values =
+  if Array.length coords = 0 then
+    invalid_arg (name ^ ": at least one coordinate axis required");
+  let m = Array.length coords.(0) in
+  if
+    Array.exists (fun c -> Array.length c <> m) coords
+    || m <> Cvec.length values
   then invalid_arg (name ^ ": coordinate/value length mismatch")
-
-let of_omega_2d ~g ~omega_x ~omega_y ~values =
-  check_lengths "Sample.of_omega_2d" omega_x omega_y values;
-  { gx = Array.map (omega_to_grid ~g) omega_x;
-    gy = Array.map (omega_to_grid ~g) omega_y;
-    values;
-    g }
 
 let validate s =
   let gf = float_of_int s.g in
@@ -36,24 +55,56 @@ let validate s =
       invalid_arg
         (Printf.sprintf "Sample: coordinate %g outside [0, %d)" u s.g)
   in
-  Array.iter check s.gx;
-  Array.iter check s.gy
+  Array.iter (fun axis -> Array.iter check axis) s.coords
 
-let make_2d ~g ~gx ~gy ~values =
-  check_lengths "Sample.make_2d" gx gy values;
-  let s = { gx; gy; values; g } in
+let make ~g ~coords ~values =
+  check_lengths "Sample.make" coords values;
+  let s = { coords; values; g } in
   validate s;
   s
 
-let random_2d ?(seed = 0) ~g m =
+let of_omega ~g ~omega ~values =
+  check_lengths "Sample.of_omega" omega values;
+  { coords = Array.map (Array.map (omega_to_grid ~g)) omega; values; g }
+
+let of_omega_2d ~g ~omega_x ~omega_y ~values =
+  check_lengths "Sample.of_omega_2d" [| omega_x; omega_y |] values;
+  { coords =
+      [| Array.map (omega_to_grid ~g) omega_x;
+         Array.map (omega_to_grid ~g) omega_y |];
+    values;
+    g }
+
+let of_omega_3d ~g ~omega_x ~omega_y ~omega_z ~values =
+  check_lengths "Sample.of_omega_3d" [| omega_x; omega_y; omega_z |] values;
+  { coords =
+      [| Array.map (omega_to_grid ~g) omega_x;
+         Array.map (omega_to_grid ~g) omega_y;
+         Array.map (omega_to_grid ~g) omega_z |];
+    values;
+    g }
+
+let make_2d ~g ~gx ~gy ~values =
+  check_lengths "Sample.make_2d" [| gx; gy |] values;
+  let s = { coords = [| gx; gy |]; values; g } in
+  validate s;
+  s
+
+let make_3d ~g ~gx ~gy ~gz ~values =
+  check_lengths "Sample.make_3d" [| gx; gy; gz |] values;
+  let s = { coords = [| gx; gy; gz |]; values; g } in
+  validate s;
+  s
+
+let random ?(seed = 0) ?(dims = 2) ~g m =
+  if dims < 1 then invalid_arg "Sample.random: dims must be >= 1";
   let rng = Random.State.make [| seed |] in
   let gf = float_of_int g in
   let coord () =
     let u = Random.State.float rng gf in
     if u >= gf then 0.0 else u
   in
-  { gx = Array.init m (fun _ -> coord ());
-    gy = Array.init m (fun _ -> coord ());
+  { coords = Array.init dims (fun _ -> Array.init m (fun _ -> coord ()));
     values =
       Cvec.init m (fun _ ->
           C.make
@@ -61,7 +112,20 @@ let random_2d ?(seed = 0) ~g m =
             (Random.State.float rng 2.0 -. 1.0));
     g }
 
+let random_2d ?seed ~g m = random ?seed ~dims:2 ~g m
+let random_3d ?seed ~g m = random ?seed ~dims:3 ~g m
+
 let with_values s values =
   if Cvec.length values <> length s then
     invalid_arg "Sample.with_values: length mismatch";
   { s with values }
+
+let rescale ~g s =
+  if g < 1 then invalid_arg "Sample.rescale: g must be >= 1";
+  let scale = float_of_int g /. float_of_int s.g in
+  let gf = float_of_int g in
+  let map u =
+    let u = u *. scale in
+    if u >= gf then 0.0 else u
+  in
+  { s with coords = Array.map (Array.map map) s.coords; g }

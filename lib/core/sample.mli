@@ -1,4 +1,4 @@
-(** Non-uniform sample sets.
+(** Non-uniform sample sets, dimension-generic.
 
     Two coordinate domains are used in this library:
 
@@ -9,41 +9,98 @@
       JIGSAW hardware consume ([u = omega * G / 2pi] wrapped onto the torus,
       paper Fig 2).
 
-    A sample set couples coordinate arrays with a complex value vector. *)
+    A sample set couples one grid-unit coordinate array per dimension
+    (packed as [coords.(axis).(sample)]) with a complex value vector. The
+    number of axes is the dimensionality: the same representation carries
+    the 2D and 3D problems of the paper (and 1D test cases), so every
+    consumer that dispatches on {!dims} — plans, operators, reconstruction
+    — is dimension-agnostic. *)
 
-type t2 = {
-  gx : float array;  (** grid-unit x coordinates, each in [0, g) *)
-  gy : float array;  (** grid-unit y coordinates, each in [0, g) *)
+type t = {
+  coords : float array array;
+      (** [coords.(d).(j)] — grid-unit coordinate of sample [j] along axis
+          [d], each in [0, g); axis order x, y, z *)
   values : Numerics.Cvec.t;  (** one complex value per sample *)
   g : int;  (** the oversampled grid size the coordinates refer to *)
 }
 
-val length : t2 -> int
+type t2 = t
+(** Historical alias from the 2D-only days; [t] is dimension-generic. *)
+
+val dims : t -> int
+(** Number of coordinate axes (1, 2 or 3). *)
+
+val length : t -> int
+(** Number of samples. *)
+
+val coord : t -> int -> float array
+(** [coord s d] — the axis-[d] coordinate array. Raises on a missing
+    axis. *)
+
+val gx : t -> float array
+val gy : t -> float array
+
+val gz : t -> float array
+(** Named axis accessors; [gy]/[gz] raise [Invalid_argument] when the
+    sample set has fewer dimensions. *)
 
 val omega_to_grid : g:int -> float -> float
 (** Map one angular frequency in [[-pi, pi)] (any real is accepted and
     wrapped) to grid units in [[0, g)]. *)
+
+val make : g:int -> coords:float array array -> values:Numerics.Cvec.t -> t
+(** Build directly from grid-unit coordinate arrays, one per axis
+    (validated to lie in [0, g)). *)
+
+val of_omega :
+  g:int -> omega:float array array -> values:Numerics.Cvec.t -> t
+(** Build from k-space angular frequencies, one array per axis. Raises
+    [Invalid_argument] on length mismatch. *)
 
 val of_omega_2d :
   g:int ->
   omega_x:float array ->
   omega_y:float array ->
   values:Numerics.Cvec.t ->
-  t2
-(** Build a sample set from k-space angular frequencies. Raises
-    [Invalid_argument] on length mismatch. *)
+  t
+(** 2D convenience wrapper over {!of_omega}. *)
+
+val of_omega_3d :
+  g:int ->
+  omega_x:float array ->
+  omega_y:float array ->
+  omega_z:float array ->
+  values:Numerics.Cvec.t ->
+  t
 
 val make_2d :
-  g:int -> gx:float array -> gy:float array -> values:Numerics.Cvec.t -> t2
+  g:int -> gx:float array -> gy:float array -> values:Numerics.Cvec.t -> t
 (** Build directly from grid-unit coordinates (validated to lie in
     [0, g)). *)
 
-val random_2d : ?seed:int -> g:int -> int -> t2
-(** [random_2d ~g m] is [m] samples with uniformly random coordinates in [0, g)^2 and values in
-    the complex unit square — the "effectively random order" worst case the
-    paper emphasises. *)
+val make_3d :
+  g:int ->
+  gx:float array ->
+  gy:float array ->
+  gz:float array ->
+  values:Numerics.Cvec.t ->
+  t
 
-val with_values : t2 -> Numerics.Cvec.t -> t2
+val random : ?seed:int -> ?dims:int -> g:int -> int -> t
+(** [random ~dims ~g m] is [m] samples with uniformly random coordinates
+    in [0, g)^dims and values in the complex unit square — the
+    "effectively random order" worst case the paper emphasises. *)
 
-val validate : t2 -> unit
+val random_2d : ?seed:int -> g:int -> int -> t
+val random_3d : ?seed:int -> g:int -> int -> t
+
+val with_values : t -> Numerics.Cvec.t -> t
+(** Same coordinates, new value vector (length-checked). *)
+
+val rescale : g:int -> t -> t
+(** [rescale ~g s] — the same sampling pattern re-expressed on a [g]-point
+    grid (coordinates scaled by [g / s.g]); used by the Toeplitz embedding
+    to move a trajectory onto the doubled grid. *)
+
+val validate : t -> unit
 (** Check all coordinates lie in [0, g); raises [Invalid_argument]. *)

@@ -10,7 +10,7 @@ type problem = {
 }
 
 let problem_of_samples ~w (s : Nufft.Sample.t2) =
-  { g = s.Nufft.Sample.g; w; gx = s.Nufft.Sample.gx; gy = s.Nufft.Sample.gy }
+  { g = s.Nufft.Sample.g; w; gx = (Nufft.Sample.gx s); gy = (Nufft.Sample.gy s) }
 
 (* Synthetic device address map (bytes). *)
 let sample_base = 0

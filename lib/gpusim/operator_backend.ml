@@ -1,0 +1,105 @@
+(* End-to-end NuFFT operators backed by the SIMT timing simulator: the
+   numeric result is computed by the matching CPU engine (the GPU kernels
+   are memory/compute traces, not value-producing), while Sim.run replays
+   the kernel over the actual sample coordinates and the simulated cycle
+   count is accumulated into the operator's stats. *)
+
+module Op = Nufft.Operator
+module Sample = Nufft.Sample
+module Wt = Numerics.Weight_table
+
+let now () = Unix.gettimeofday ()
+
+(* The paper's launch geometry is 128 x 128 blocks; scale down for small
+   problems so a toy adjoint does not replay thousands of empty blocks,
+   converging to the paper's constant once m is bench-sized. *)
+let slice_blocks ~m = min 16384 (max 1 ((m + 3) / 4))
+
+type flavour = Slice | Binned
+
+let kernels_of flavour ~w (s : Sample.t) =
+  let p = Kernels.problem_of_samples ~w s in
+  match flavour with
+  | Slice ->
+      [ Kernels.slice_and_dice ~grid_blocks:(slice_blocks ~m:(Sample.length s)) p ]
+  | Binned ->
+      (* Impatient's presort pass is part of its gridding time (Fig 6). *)
+      [ Kernels.binned_presort p; Kernels.binned p ]
+
+let make flavour op_name (c : Op.ctx) : Op.op =
+  let g = Op.ctx_grid c in
+  let engine =
+    let tile = Nufft.Coord.fallback_tile ~g ~w:c.Op.w in
+    match flavour with
+    | Slice -> Nufft.Gridding.Slice_and_dice tile
+    | Binned -> Nufft.Gridding.Binned tile
+  in
+  (* Single-precision weight LUT, mirroring the GPU's f32 table. *)
+  let plan =
+    Nufft.Plan.make ~w:c.Op.w ~sigma:c.Op.sigma ~l:c.Op.l ~engine
+      ~table_precision:Wt.Single ?pool:c.Op.pool ~n:c.Op.n ()
+  in
+  let coords = c.Op.coords in
+  let st = Op.create_stats () in
+  (* One timing replay per distinct coordinate set: CG re-applies the
+     operator on identical coordinates every iteration. *)
+  let last_sim : float array array option ref = ref None in
+  let last_cycles = ref 0 in
+  let simulate (s : Sample.t) =
+    match !last_sim with
+    | Some c when c == s.Sample.coords -> !last_cycles
+    | _ ->
+        let cycles =
+          List.fold_left
+            (fun acc k -> acc + (Sim.run k).Sim.cycles)
+            0
+            (kernels_of flavour ~w:c.Op.w s)
+        in
+        last_sim := Some s.Sample.coords;
+        last_cycles := cycles;
+        cycles
+  in
+  (module struct
+    let name = op_name
+    let dims = 2
+    let n = c.Op.n
+    let g = g
+
+    let adjoint s =
+      let t0 = now () in
+      let image, tm = Nufft.Plan.adjoint_timed ~stats:st.Op.grid plan s in
+      st.Op.cycles <- st.Op.cycles + simulate s;
+      st.Op.adjoints <- st.Op.adjoints + 1;
+      Op.add_timings st tm;
+      st.Op.adjoint_s <- st.Op.adjoint_s +. (now () -. t0);
+      image
+
+    let forward image =
+      let t0 = now () in
+      let values = Nufft.Plan.forward ~stats:st.Op.grid plan ~coords image in
+      st.Op.forwards <- st.Op.forwards + 1;
+      st.Op.forward_s <- st.Op.forward_s +. (now () -. t0);
+      Sample.with_values coords values
+
+    let stats () = st
+  end : Op.NUFFT_OP)
+
+let make_slice c = make Slice "gpusim-slice" c
+let make_binned c = make Binned "gpusim-binned" c
+
+let registered = ref false
+
+let register () =
+  if not !registered then begin
+    registered := true;
+    Op.register ~dims:[ 2 ]
+      ~doc:
+        "Slice-and-Dice GPU kernel replayed on the Titan Xp timing \
+         simulator; numeric result from the CPU slice engine"
+      "gpusim-slice" make_slice;
+    Op.register ~dims:[ 2 ]
+      ~doc:
+        "Impatient-style binned GPU kernel (presort + gridding passes) on \
+         the timing simulator; numeric result from the CPU binned engine"
+      "gpusim-binned" make_binned
+  end

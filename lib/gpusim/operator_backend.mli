@@ -1,0 +1,24 @@
+(** {!Nufft.Operator} backends replayed on the SIMT timing simulator.
+
+    The GPU kernels of {!Kernels} are cycle-accurate memory/compute
+    traces, not value producers, so each operator pairs two things per
+    adjoint application:
+
+    - the {e numeric} result, computed by the matching CPU gridding
+      engine (Slice-and-Dice or binned) over a single-precision weight
+      table — the same arithmetic the GPU would perform in f32;
+    - the {e simulated cycle count} from {!Sim.run} over the actual
+      sample coordinates, accumulated into [stats.cycles] (for
+      [gpusim-binned] this includes Impatient's presort pass, as in the
+      paper's figures).
+
+    2D only (the GPU kernels are 2D). The replay is cached per
+    coordinate set, so CG iterations over fixed coordinates pay for one
+    simulation. Nothing is registered until {!register} is called. *)
+
+val register : unit -> unit
+(** Idempotently add [gpusim-slice] and [gpusim-binned] (dims 2) to the
+    {!Nufft.Operator} registry. *)
+
+val make_slice : Nufft.Operator.factory
+val make_binned : Nufft.Operator.factory

@@ -61,4 +61,25 @@ let normal_equations_rhs ~plan ?weights samples =
           (Cvec.init m (fun j ->
                C.scale w.(j) (Cvec.get samples.Nufft.Sample.values j)))
   in
-  Nufft.Plan.adjoint_2d plan samples
+  Nufft.Plan.adjoint plan samples
+
+(* Operator-interface counterparts: backend- and dimension-agnostic. *)
+
+let weighted ?weights name samples =
+  match weights with
+  | None -> samples
+  | Some w ->
+      let m = Nufft.Sample.length samples in
+      if Array.length w <> m then
+        invalid_arg (name ^ ": weights length mismatch");
+      Nufft.Sample.with_values samples
+        (Cvec.init m (fun j ->
+             C.scale w.(j) (Cvec.get samples.Nufft.Sample.values j)))
+
+let normal_equations_rhs_op ?weights op samples =
+  Nufft.Operator.apply_adjoint op
+    (weighted ?weights "Cg.normal_equations_rhs_op" samples)
+
+let normal_map ?weights op x =
+  let s = Nufft.Operator.apply_forward op x in
+  Nufft.Operator.apply_adjoint op (weighted ?weights "Cg.normal_map" s)

@@ -31,4 +31,23 @@ val normal_equations_rhs :
   Nufft.Sample.t2 ->
   Numerics.Cvec.t
 (** [A^H W y]: the right-hand side of the normal equations for a sample
-    set [y] — one (density-weighted) adjoint NuFFT. *)
+    set [y] — one (density-weighted) adjoint NuFFT. Dimension-generic
+    (dispatches on the sample set's dimensionality). *)
+
+val normal_equations_rhs_op :
+  ?weights:float array ->
+  Nufft.Operator.op ->
+  Nufft.Sample.t ->
+  Numerics.Cvec.t
+(** Same right-hand side through any registered backend. *)
+
+val normal_map :
+  ?weights:float array ->
+  Nufft.Operator.op ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** [A^H W A x] — the normal-equations operator built from one forward
+    and one adjoint application of [op]; pass
+    [~apply:(Cg.normal_map op)] to {!solve} for iterative reconstruction
+    through any backend and dimensionality (the gridding-based
+    alternative to {!Toeplitz.apply}). *)

@@ -1,34 +1,47 @@
 module Cvec = Numerics.Cvec
 module C = Numerics.Complexd
+module Sample = Nufft.Sample
 
 (* C w: spread the (real) weights, then interpolate back at the sample
-   locations; the result estimates the local gridded density. *)
-let apply_c ~table ~g ~gx ~gy w =
-  let m = Array.length gx in
+   locations; the result estimates the local gridded density.
+   Dimension-generic over the coordinate set (the values are ignored). *)
+let apply_c_s ~table (coords : Sample.t) w =
+  let m = Sample.length coords in
+  let g = coords.Sample.g in
   let values = Cvec.init m (fun j -> C.of_float w.(j)) in
-  let grid = Nufft.Gridding_serial.grid_2d ~table ~g ~gx ~gy values in
-  let back = Nufft.Gridding_serial.interp_2d ~table ~g ~gx ~gy grid in
+  let back =
+    match Sample.dims coords with
+    | 2 ->
+        let gx = Sample.gx coords and gy = Sample.gy coords in
+        let grid = Nufft.Gridding_serial.grid_2d ~table ~g ~gx ~gy values in
+        Nufft.Gridding_serial.interp_2d ~table ~g ~gx ~gy grid
+    | 3 ->
+        let gx = Sample.gx coords
+        and gy = Sample.gy coords
+        and gz = Sample.gz coords in
+        let grid = Nufft.Gridding3d.grid_3d ~table ~g ~gx ~gy ~gz values in
+        Nufft.Gridding3d.interp_3d ~table ~g ~gx ~gy ~gz grid
+    | d ->
+        invalid_arg
+          (Printf.sprintf "Density: unsupported dimensionality %d" d)
+  in
   Array.init m (fun j -> (Cvec.get back j).C.re)
 
-let pipe_menon ?(iterations = 15) ~table ~g ~gx ~gy () =
-  let m = Array.length gx in
-  if Array.length gy <> m then
-    invalid_arg "Density.pipe_menon: coords length mismatch";
+let pipe_menon_s ?(iterations = 15) ~table coords =
+  let m = Sample.length coords in
   if iterations < 1 then invalid_arg "Density.pipe_menon: iterations < 1";
   let w = Array.make m 1.0 in
   for _ = 1 to iterations do
-    let cw = apply_c ~table ~g ~gx ~gy w in
+    let cw = apply_c_s ~table coords w in
     for j = 0 to m - 1 do
       if cw.(j) > 1e-12 then w.(j) <- w.(j) /. cw.(j)
     done
   done;
   let sum = Array.fold_left ( +. ) 0.0 w in
-  if sum > 0.0 then
-    Array.map (fun x -> x *. float_of_int m /. sum) w
-  else w
+  if sum > 0.0 then Array.map (fun x -> x *. float_of_int m /. sum) w else w
 
-let flatness ~table ~g ~gx ~gy w =
-  let cw = apply_c ~table ~g ~gx ~gy w in
+let flatness_s ~table coords w =
+  let cw = apply_c_s ~table coords w in
   let m = Array.length cw in
   if m = 0 then 0.0
   else begin
@@ -42,3 +55,16 @@ let flatness ~table ~g ~gx ~gy w =
       sqrt var /. Float.abs mean
     end
   end
+
+(* Historical 2D coordinate-array API. *)
+
+let coords_2d ~g ~gx ~gy =
+  let m = Array.length gx in
+  Sample.make_2d ~g ~gx ~gy ~values:(Cvec.create m)
+
+let pipe_menon ?iterations ~table ~g ~gx ~gy () =
+  if Array.length gy <> Array.length gx then
+    invalid_arg "Density.pipe_menon: coords length mismatch";
+  pipe_menon_s ?iterations ~table (coords_2d ~g ~gx ~gy)
+
+let flatness ~table ~g ~gx ~gy w = flatness_s ~table (coords_2d ~g ~gx ~gy) w

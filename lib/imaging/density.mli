@@ -6,7 +6,25 @@
     works for any pattern: iterate [w <- w / (C w)] where [C] is the
     gridding-then-interpolation operator, until the gridded density is
     flat. (Pipe & Menon 1999; ref [12] of the paper discusses the kernel
-    design for this style of sampling-density correction.) *)
+    design for this style of sampling-density correction.)
+
+    The [_s] functions are dimension-generic over a {!Nufft.Sample.t}
+    coordinate set (2D or 3D; the values are ignored); the coordinate-
+    array functions are the historical 2D API. *)
+
+val pipe_menon_s :
+  ?iterations:int ->
+  table:Numerics.Weight_table.t ->
+  Nufft.Sample.t ->
+  float array
+(** [pipe_menon_s ~table coords] — density-compensation weights for the
+    given sample locations (default 15 iterations), normalised to sum to
+    the sample count. *)
+
+val flatness_s :
+  table:Numerics.Weight_table.t -> Nufft.Sample.t -> float array -> float
+(** Coefficient of variation (std/mean) of [C w] at the sample locations —
+    0 means perfectly compensated. *)
 
 val pipe_menon :
   ?iterations:int ->
@@ -16,9 +34,7 @@ val pipe_menon :
   gy:float array ->
   unit ->
   float array
-(** [pipe_menon ~table ~g ~gx ~gy ()] — density-compensation weights for
-    the given sample locations (default 15 iterations), normalised to sum
-    to the sample count. *)
+(** 2D wrapper over {!pipe_menon_s}. *)
 
 val flatness :
   table:Numerics.Weight_table.t ->
@@ -27,5 +43,4 @@ val flatness :
   gy:float array ->
   float array ->
   float
-(** Coefficient of variation (std/mean) of [C w] at the sample locations —
-    0 means perfectly compensated; used by tests and diagnostics. *)
+(** 2D wrapper over {!flatness_s}; used by tests and diagnostics. *)

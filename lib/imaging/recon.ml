@@ -2,28 +2,32 @@ module Cvec = Numerics.Cvec
 module C = Numerics.Complexd
 module Sample = Nufft.Sample
 module Plan = Nufft.Plan
+module Op = Nufft.Operator
 
-let acquire plan traj image =
-  let g = plan.Plan.g in
-  let gx = Array.map (Sample.omega_to_grid ~g) traj.Trajectory.Traj.omega_x in
-  let gy = Array.map (Sample.omega_to_grid ~g) traj.Trajectory.Traj.omega_y in
-  let values = Plan.forward_2d plan ~gx ~gy image in
-  Sample.make_2d ~g ~gx ~gy ~values
+let coords_of_traj ~g traj =
+  let m = Trajectory.Traj.length traj in
+  Sample.of_omega_2d ~g ~omega_x:traj.Trajectory.Traj.omega_x
+    ~omega_y:traj.Trajectory.Traj.omega_y ~values:(Cvec.create m)
 
-let reconstruct ?density plan samples =
+let apply_density ?density samples =
+  match density with
+  | None -> samples
+  | Some w ->
+      let m = Sample.length samples in
+      if Array.length w <> m then
+        invalid_arg "Recon.reconstruct: density weights length mismatch";
+      Sample.with_values samples
+        (Cvec.init m (fun j ->
+             C.scale w.(j) (Cvec.get samples.Sample.values j)))
+
+(* Operator-based pipeline: backend- and dimension-agnostic. *)
+
+let acquire_op op image = Op.apply_forward op image
+
+let reconstruct_op ?density op samples =
   let m = Sample.length samples in
-  let samples =
-    match density with
-    | None -> samples
-    | Some w ->
-        if Array.length w <> m then
-          invalid_arg "Recon.reconstruct: density weights length mismatch";
-        let values =
-          Cvec.init m (fun j -> C.scale w.(j) (Cvec.get samples.Sample.values j))
-        in
-        Sample.with_values samples values
-  in
-  let image = Plan.adjoint_2d plan samples in
+  let samples = apply_density ?density samples in
+  let image = Op.apply_adjoint op samples in
   (* Unit-gain normalisation: the adjoint of an m-sample uniform
      acquisition scales the image by m (and the oversampled FFT pair by
      nothing since forward/adjoint are unnormalised transposes); dividing
@@ -31,7 +35,20 @@ let reconstruct ?density plan samples =
   Cvec.scale_inplace (1.0 /. float_of_int m) image;
   image
 
-let roundtrip ?density plan traj image =
-  let samples = acquire plan traj image in
-  let recon = reconstruct ?density plan samples in
+let roundtrip_op ?density op image =
+  let samples = acquire_op op image in
+  let recon = reconstruct_op ?density op samples in
   (recon, Metrics.nrmsd ~reference:image recon)
+
+(* Plan-based wrappers (the historical 2D API) ride on the same path. *)
+
+let acquire plan traj image =
+  let coords = coords_of_traj ~g:plan.Plan.g traj in
+  acquire_op (Op.of_plan plan ~coords) image
+
+let reconstruct ?density plan samples =
+  reconstruct_op ?density (Op.of_plan plan ~coords:samples) samples
+
+let roundtrip ?density plan traj image =
+  let coords = coords_of_traj ~g:plan.Plan.g traj in
+  roundtrip_op ?density (Op.of_plan plan ~coords) image

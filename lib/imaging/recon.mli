@@ -1,7 +1,41 @@
 (** End-to-end MRI reconstruction driver: simulate a non-Cartesian
     acquisition of an image with the forward NuFFT, then reconstruct with
     density-compensated adjoint NuFFT (direct gridding reconstruction —
-    the pipeline of the paper's Fig 1 and Fig 9). *)
+    the pipeline of the paper's Fig 1 and Fig 9).
+
+    The driver is written against {!Nufft.Operator}, so it is backend-
+    and dimension-agnostic: hand it a [serial] CPU operator, the
+    [jigsaw-2d] fixed-point engine or a 3D operator over an [n^3] volume
+    and the same three functions apply. The plan-based functions are the
+    historical 2D API and delegate to the operator path. *)
+
+val coords_of_traj : g:int -> Trajectory.Traj.t -> Nufft.Sample.t
+(** Trajectory frequencies mapped to grid units on a [g]-point grid, as a
+    value-less sample set — the coordinate binding for an operator
+    context. *)
+
+val acquire_op : Nufft.Operator.op -> Numerics.Cvec.t -> Nufft.Sample.t
+(** [acquire_op op image] evaluates the image's spectrum at the operator's
+    bound coordinates (forward NuFFT) and returns the simulated k-space
+    sample set. *)
+
+val reconstruct_op :
+  ?density:float array ->
+  Nufft.Operator.op ->
+  Nufft.Sample.t ->
+  Numerics.Cvec.t
+(** Adjoint NuFFT of (optionally density-compensated) samples through any
+    backend, scaled by [1/m] for unit gain on uniform full sampling. *)
+
+val roundtrip_op :
+  ?density:float array ->
+  Nufft.Operator.op ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t * float
+(** [roundtrip_op op image] = (reconstruction, NRMSD vs the input): one
+    forward and one adjoint application of the same operator. Works for
+    any registered backend and dimensionality — this is the 3D
+    reconstruction path as much as the 2D one. *)
 
 val acquire :
   Nufft.Plan.plan -> Trajectory.Traj.t -> Numerics.Cvec.t -> Nufft.Sample.t2

@@ -1,71 +1,141 @@
 module Cvec = Numerics.Cvec
 module C = Numerics.Complexd
+module Sample = Nufft.Sample
+module Op = Nufft.Operator
 
 type t = {
   n : int;
+  dims : int;
   q_hat : Cvec.t;  (* FFT of the wrapped Toeplitz kernel on the 2n grid *)
   pool : Runtime.Pool.t option;  (* reused by every apply *)
 }
+
+(* Wrap centred displacements d (array index d + n) onto the circulant
+   grid: k2[(d mod 2n, ...)] = q(d, ...), then take its spectrum. *)
+let wrap_spectrum ?pool ~dims ~n q =
+  let n2 = 2 * n in
+  let wrap = Nufft.Coord.wrap ~g:n2 in
+  match dims with
+  | 2 ->
+      let k2 = Cvec.create (n2 * n2) in
+      for iy = 0 to n2 - 1 do
+        for ix = 0 to n2 - 1 do
+          let wx = wrap (ix - n) and wy = wrap (iy - n) in
+          Cvec.set k2 ((wy * n2) + wx) (Cvec.get q ((iy * n2) + ix))
+        done
+      done;
+      Fft.Fftnd.transform_2d ?pool Fft.Dft.Forward ~nx:n2 ~ny:n2 k2;
+      k2
+  | 3 ->
+      let k2 = Cvec.create (n2 * n2 * n2) in
+      for iz = 0 to n2 - 1 do
+        for iy = 0 to n2 - 1 do
+          for ix = 0 to n2 - 1 do
+            let wx = wrap (ix - n)
+            and wy = wrap (iy - n)
+            and wz = wrap (iz - n) in
+            Cvec.set k2
+              ((((wz * n2) + wy) * n2) + wx)
+              (Cvec.get q ((((iz * n2) + iy) * n2) + ix))
+          done
+        done
+      done;
+      Fft.Fftnd.transform_3d ?pool Fft.Dft.Forward ~nx:n2 ~ny:n2 ~nz:n2 k2;
+      k2
+  | d -> invalid_arg (Printf.sprintf "Toeplitz: unsupported dimensionality %d" d)
+
+let check_weights ~m = function
+  | None -> Array.make m 1.0
+  | Some w ->
+      if Array.length w <> m then
+        invalid_arg "Toeplitz.make: weights length mismatch";
+      w
+
+(* q(d) = sum_j w_j e^{i omega_j . d}, d in [-n, n)^dims: one adjoint
+   NuFFT of the weights on the doubled grid, through any backend. *)
+let make_op ?weights ?(backend = "serial") ?pool ~n ~coords () =
+  let dims = Sample.dims coords in
+  let m = Sample.length coords in
+  let w = check_weights ~m weights in
+  let n2 = 2 * n in
+  let g2 = 2 * n2 in
+  (* Same trajectory, re-expressed on the doubled grid (sigma = 2). *)
+  let coords2 = Sample.rescale ~g:g2 coords in
+  let values = Cvec.init m (fun j -> C.of_float w.(j)) in
+  let op = Op.create backend (Op.context ?pool ~n:n2 ~coords:coords2 ()) in
+  let q = Op.apply_adjoint op (Sample.with_values coords2 values) in
+  { n; dims; q_hat = wrap_spectrum ?pool ~dims ~n q; pool }
 
 let make ?weights ?pool ~n ~omega_x ~omega_y () =
   let m = Array.length omega_x in
   if Array.length omega_y <> m then
     invalid_arg "Toeplitz.make: omega length mismatch";
-  let w =
-    match weights with
-    | None -> Array.make m 1.0
-    | Some w ->
-        if Array.length w <> m then
-          invalid_arg "Toeplitz.make: weights length mismatch";
-        w
+  let coords =
+    Sample.of_omega_2d ~g:(4 * n) ~omega_x ~omega_y ~values:(Cvec.create m)
   in
-  let n2 = 2 * n in
-  (* q(d) = sum_j w_j e^{i omega_j . d}, d in [-n, n)^2: one adjoint NuFFT
-     of the weights on the doubled grid. *)
-  let plan2 = Nufft.Plan.make ?pool ~n:n2 () in
-  let values = Cvec.init m (fun j -> C.of_float w.(j)) in
-  let samples =
-    Nufft.Sample.of_omega_2d ~g:plan2.Nufft.Plan.g ~omega_x ~omega_y ~values
-  in
-  let q = Nufft.Plan.adjoint_2d plan2 samples in
-  (* Wrap centred displacements d (array index d + n) onto the circulant
-     grid: k2[(d mod 2n, e mod 2n)] = q(d, e). *)
-  let k2 = Cvec.create (n2 * n2) in
-  for iy = 0 to n2 - 1 do
-    for ix = 0 to n2 - 1 do
-      let dx = ix - n and dy = iy - n in
-      let wx = Nufft.Coord.wrap ~g:n2 dx and wy = Nufft.Coord.wrap ~g:n2 dy in
-      Cvec.set k2 ((wy * n2) + wx) (Cvec.get q ((iy * n2) + ix))
-    done
-  done;
-  Fft.Fftnd.transform_2d ?pool Fft.Dft.Forward ~nx:n2 ~ny:n2 k2;
-  { n; q_hat = k2; pool }
+  make_op ?weights ?pool ~n ~coords ()
 
 let n t = t.n
+let dims t = t.dims
 let kernel_spectrum t = t.q_hat
 
 let apply t x =
   let n = t.n in
-  if Cvec.length x <> n * n then invalid_arg "Toeplitz.apply: size mismatch";
   let n2 = 2 * n in
-  (* Zero-pad: image position p in [-n/2, n/2) lives at circulant index
-     p mod 2n. *)
-  let pad = Cvec.create (n2 * n2) in
-  for iy = 0 to n - 1 do
-    for ix = 0 to n - 1 do
-      let px = Nufft.Coord.wrap ~g:n2 (ix - (n / 2)) in
-      let py = Nufft.Coord.wrap ~g:n2 (iy - (n / 2)) in
-      Cvec.set pad ((py * n2) + px) (Cvec.get x ((iy * n) + ix))
-    done
-  done;
-  Fft.Fftnd.transform_2d ?pool:t.pool Fft.Dft.Forward ~nx:n2 ~ny:n2 pad;
-  for k = 0 to (n2 * n2) - 1 do
-    Cvec.set pad k (C.mul (Cvec.get pad k) (Cvec.get t.q_hat k))
-  done;
-  Fft.Fftnd.transform_2d ?pool:t.pool Fft.Dft.Inverse ~nx:n2 ~ny:n2 pad;
-  Cvec.scale_inplace (1.0 /. float_of_int (n2 * n2)) pad;
-  Cvec.init (n * n) (fun idx ->
-      let ix = idx mod n and iy = idx / n in
-      let px = Nufft.Coord.wrap ~g:n2 (ix - (n / 2)) in
-      let py = Nufft.Coord.wrap ~g:n2 (iy - (n / 2)) in
-      Cvec.get pad ((py * n2) + px))
+  let wrap = Nufft.Coord.wrap ~g:n2 in
+  match t.dims with
+  | 2 ->
+      if Cvec.length x <> n * n then
+        invalid_arg "Toeplitz.apply: size mismatch";
+      (* Zero-pad: image position p in [-n/2, n/2) lives at circulant index
+         p mod 2n. *)
+      let pad = Cvec.create (n2 * n2) in
+      for iy = 0 to n - 1 do
+        for ix = 0 to n - 1 do
+          let px = wrap (ix - (n / 2)) and py = wrap (iy - (n / 2)) in
+          Cvec.set pad ((py * n2) + px) (Cvec.get x ((iy * n) + ix))
+        done
+      done;
+      Fft.Fftnd.transform_2d ?pool:t.pool Fft.Dft.Forward ~nx:n2 ~ny:n2 pad;
+      for k = 0 to (n2 * n2) - 1 do
+        Cvec.set pad k (C.mul (Cvec.get pad k) (Cvec.get t.q_hat k))
+      done;
+      Fft.Fftnd.transform_2d ?pool:t.pool Fft.Dft.Inverse ~nx:n2 ~ny:n2 pad;
+      Cvec.scale_inplace (1.0 /. float_of_int (n2 * n2)) pad;
+      Cvec.init (n * n) (fun idx ->
+          let ix = idx mod n and iy = idx / n in
+          let px = wrap (ix - (n / 2)) and py = wrap (iy - (n / 2)) in
+          Cvec.get pad ((py * n2) + px))
+  | 3 ->
+      if Cvec.length x <> n * n * n then
+        invalid_arg "Toeplitz.apply: size mismatch";
+      let pad = Cvec.create (n2 * n2 * n2) in
+      for iz = 0 to n - 1 do
+        for iy = 0 to n - 1 do
+          for ix = 0 to n - 1 do
+            let px = wrap (ix - (n / 2))
+            and py = wrap (iy - (n / 2))
+            and pz = wrap (iz - (n / 2)) in
+            Cvec.set pad
+              ((((pz * n2) + py) * n2) + px)
+              (Cvec.get x ((((iz * n) + iy) * n) + ix))
+          done
+        done
+      done;
+      Fft.Fftnd.transform_3d ?pool:t.pool Fft.Dft.Forward ~nx:n2 ~ny:n2 ~nz:n2
+        pad;
+      for k = 0 to (n2 * n2 * n2) - 1 do
+        Cvec.set pad k (C.mul (Cvec.get pad k) (Cvec.get t.q_hat k))
+      done;
+      Fft.Fftnd.transform_3d ?pool:t.pool Fft.Dft.Inverse ~nx:n2 ~ny:n2 ~nz:n2
+        pad;
+      Cvec.scale_inplace (1.0 /. float_of_int (n2 * n2 * n2)) pad;
+      Cvec.init (n * n * n) (fun idx ->
+          let ix = idx mod n in
+          let iy = idx / n mod n in
+          let iz = idx / (n * n) in
+          let px = wrap (ix - (n / 2))
+          and py = wrap (iy - (n / 2))
+          and pz = wrap (iz - (n / 2)) in
+          Cvec.get pad ((((pz * n2) + py) * n2) + px))
+  | _ -> assert false

@@ -10,11 +10,26 @@
     the iterative solver a fast inner loop.
 
     Construction: the generating kernel [q(d) = sum_j w_j e^{i omega_j . d}]
-    for displacements [d in [-N, N)^2] is computed with one adjoint NuFFT on
-    a [2N] grid; [T x] is then the central [N x N] crop of the circular
-    convolution of the zero-padded image with [q]. *)
+    for displacements [d in [-N, N)^dims] is computed with one adjoint
+    NuFFT on a [2N] grid; [T x] is then the central [N^dims] crop of the
+    circular convolution of the zero-padded image with [q]. The setup
+    adjoint runs through {!Nufft.Operator}, so it works in 2D or 3D and
+    through any registered backend. *)
 
 type t
+
+val make_op :
+  ?weights:float array ->
+  ?backend:string ->
+  ?pool:Runtime.Pool.t ->
+  n:int ->
+  coords:Nufft.Sample.t ->
+  unit ->
+  t
+(** Precompute the operator for an [n^dims] image from a bound coordinate
+    set (2D or 3D, on any grid size — the trajectory is rescaled onto the
+    internal doubled grid). [backend] names the registered operator used
+    for the setup adjoint (default ["serial"]). *)
 
 val make :
   ?weights:float array ->
@@ -32,12 +47,13 @@ val make :
     reusable pool pays off most. *)
 
 val apply : t -> Numerics.Cvec.t -> Numerics.Cvec.t
-(** [apply t x] is [A^H W A x] for an [n x n] image [x] — two [2n x 2n]
-    FFTs (on the pool given at {!make}, if any). *)
+(** [apply t x] is [A^H W A x] for an [n^dims] image [x] — two [2n]-grid
+    FFTs (on the pool given at construction, if any). *)
 
 val n : t -> int
+val dims : t -> int
 
 val kernel_spectrum : t -> Numerics.Cvec.t
-(** The precomputed [2n x 2n] spectrum (mostly for tests: for [W >= 0] the
-    operator is PSD, so the spectrum of the underlying circulant is
+(** The precomputed [(2n)^dims] spectrum (mostly for tests: for [W >= 0]
+    the operator is PSD, so the spectrum of the underlying circulant is
     ~real). *)

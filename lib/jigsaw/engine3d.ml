@@ -15,16 +15,24 @@ let create cfg ~table ~nz =
   { cfg; table; nz; saturations = 0 }
 
 (* z select check: is slice [z] inside the window of coordinate [uz]?
-   Same integer arithmetic as Select_unit but against a single plane. *)
-let z_hit (cfg : Config.t) ~z raw =
+   Same integer arithmetic as Select_unit, against a single plane and
+   with the same periodic wrap: a window point past either z edge lands
+   on the aliased slice [k mod nz], exactly like the 2D unit's
+   [k_wrapped]. The window is narrower than the grid, so at most one
+   alias of [z] falls inside it. *)
+let z_hit (cfg : Config.t) ~nz ~z raw =
   let f = cfg.Config.coord_frac_bits in
   let w = cfg.Config.w in
   let c_shift = raw + (w lsl (f - 1)) in
   let kmax = c_shift asr f in
   let start = kmax - w + 1 in
-  if z < start || z > kmax then None
+  let k =
+    let d = (z - start) mod nz in
+    start + (if d < 0 then d + nz else d)
+  in
+  if k > kmax then None
   else begin
-    let dist_raw = (z lsl f) - raw in
+    let dist_raw = (k lsl f) - raw in
     let log2l =
       let rec go b v = if v = 1 then b else go (b + 1) (v / 2) in
       go 0 cfg.Config.l
@@ -50,7 +58,7 @@ let grid_volume e ~gx ~gy ~gz values =
         let engine = Engine2d.create cfg ~table:e.table in
         for j = 0 to m - 1 do
           let craw = Config.of_float_coord cfg gz.(j) in
-          match z_hit cfg ~z craw with
+          match z_hit cfg ~nz:e.nz ~z craw with
           | None -> ()
           | Some addr_z ->
               (* Fold the z weight into the sample value before the 2D

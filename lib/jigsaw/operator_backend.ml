@@ -1,0 +1,158 @@
+(* End-to-end NuFFT operators backed by the JIGSAW fixed-point engines:
+   the hardware model grids, then the plan's FFT + de-apodization finish
+   the adjoint, making the ASIC drivable from any Operator consumer. *)
+
+module Op = Nufft.Operator
+module Sample = Nufft.Sample
+module Cvec = Numerics.Cvec
+module Wt = Numerics.Weight_table
+
+let now () = Unix.gettimeofday ()
+
+(* Table I restricts the on-chip table oversampling to a power of two
+   <= 64; software callers routinely ask for L = 512. *)
+let hardware_l l =
+  let l = max 1 (min l 64) in
+  let rec pow2 p = if p * 2 > l then p else pow2 (p * 2) in
+  pow2 1
+
+(* Shared per-backend plumbing: hardware config, Q1.15 table, and a
+   double-precision plan built over the *same* kernel and table
+   oversampling, used for the forward direction and the de-apodization
+   factors. Sample coordinates are snapped to the hardware coordinate
+   grid so forward and adjoint see bit-identical geometry; the remaining
+   forward/adjoint asymmetry is pure fixed-point quantization. *)
+let setup (c : Op.ctx) =
+  let g = Op.ctx_grid c in
+  let l = hardware_l c.Op.l in
+  let cfg = Config.make ~n:g ~w:c.Op.w ~l () in
+  let kernel =
+    Numerics.Window.default_kaiser_bessel ~width:c.Op.w ~sigma:c.Op.sigma
+  in
+  let table = Wt.make ~precision:Wt.Fixed16 ~kernel ~width:c.Op.w ~l () in
+  let plan =
+    Nufft.Plan.make ~kernel ~w:c.Op.w ~sigma:c.Op.sigma ~l ?pool:c.Op.pool
+      ~n:c.Op.n ()
+  in
+  let snap u = Config.to_float_coord cfg (Config.of_float_coord cfg u) in
+  let coords =
+    Sample.make ~g
+      ~coords:(Array.map (Array.map snap) c.Op.coords.Sample.coords)
+      ~values:c.Op.coords.Sample.values
+  in
+  (cfg, table, plan, coords)
+
+let check_grid ~g (s : Sample.t) =
+  if s.Sample.g <> g then
+    invalid_arg
+      (Printf.sprintf "jigsaw operator: sample set is for grid %d, not %d"
+         s.Sample.g g)
+
+let make_2d (c : Op.ctx) : Op.op =
+  let g = Op.ctx_grid c in
+  let cfg, table, plan, coords = setup c in
+  let engine = Engine2d.create cfg ~table in
+  let st = Op.create_stats () in
+  (module struct
+    let name = "jigsaw-2d"
+    let dims = 2
+    let n = c.Op.n
+    let g = g
+
+    let adjoint s =
+      check_grid ~g s;
+      let t0 = now () in
+      Engine2d.reset engine;
+      Engine2d.stream engine ~gx:(Sample.gx s) ~gy:(Sample.gy s)
+        s.Sample.values;
+      let grid = Engine2d.readout engine in
+      st.Op.cycles <- st.Op.cycles + Engine2d.gridding_cycles engine;
+      let t1 = now () in
+      Fft.Fftnd.transform_2d ?pool:c.Op.pool Fft.Dft.Inverse ~nx:g ~ny:g grid;
+      let t2 = now () in
+      let image = Nufft.Plan.crop_deapodize_2d plan grid in
+      let t3 = now () in
+      st.Op.adjoints <- st.Op.adjoints + 1;
+      st.Op.gridding_s <- st.Op.gridding_s +. (t1 -. t0);
+      st.Op.fft_s <- st.Op.fft_s +. (t2 -. t1);
+      st.Op.deapod_s <- st.Op.deapod_s +. (t3 -. t2);
+      st.Op.adjoint_s <- st.Op.adjoint_s +. (t3 -. t0);
+      image
+
+    let forward image =
+      let t0 = now () in
+      let values = Nufft.Plan.forward ~stats:st.Op.grid plan ~coords image in
+      st.Op.forwards <- st.Op.forwards + 1;
+      st.Op.forward_s <- st.Op.forward_s +. (now () -. t0);
+      Sample.with_values coords values
+
+    let stats () = st
+  end : Op.NUFFT_OP)
+
+let make_3d (c : Op.ctx) : Op.op =
+  let g = Op.ctx_grid c in
+  let cfg, table, plan, coords = setup c in
+  let engine = Engine3d.create cfg ~table ~nz:g in
+  let st = Op.create_stats () in
+  (module struct
+    let name = "jigsaw-3d"
+    let dims = 3
+    let n = c.Op.n
+    let g = g
+
+    let adjoint s =
+      check_grid ~g s;
+      let m = Sample.length s in
+      let t0 = now () in
+      let slices =
+        Engine3d.grid_volume engine ~gx:(Sample.gx s) ~gy:(Sample.gy s)
+          ~gz:(Sample.gz s) s.Sample.values
+      in
+      let big = Cvec.create (g * g * g) in
+      Array.iteri
+        (fun z slice ->
+          let base = z * g * g in
+          for i = 0 to (g * g) - 1 do
+            Cvec.set big (base + i) (Cvec.get slice i)
+          done)
+        slices;
+      st.Op.cycles <- st.Op.cycles + Engine3d.unsorted_cycles engine ~m;
+      let t1 = now () in
+      Fft.Fftnd.transform_3d ?pool:c.Op.pool Fft.Dft.Inverse ~nx:g ~ny:g ~nz:g
+        big;
+      let t2 = now () in
+      let volume = Nufft.Plan.crop_deapodize_3d plan big in
+      let t3 = now () in
+      st.Op.adjoints <- st.Op.adjoints + 1;
+      st.Op.gridding_s <- st.Op.gridding_s +. (t1 -. t0);
+      st.Op.fft_s <- st.Op.fft_s +. (t2 -. t1);
+      st.Op.deapod_s <- st.Op.deapod_s +. (t3 -. t2);
+      st.Op.adjoint_s <- st.Op.adjoint_s +. (t3 -. t0);
+      volume
+
+    let forward image =
+      let t0 = now () in
+      let values = Nufft.Plan.forward ~stats:st.Op.grid plan ~coords image in
+      st.Op.forwards <- st.Op.forwards + 1;
+      st.Op.forward_s <- st.Op.forward_s +. (now () -. t0);
+      Sample.with_values coords values
+
+    let stats () = st
+  end : Op.NUFFT_OP)
+
+let registered = ref false
+
+let register () =
+  if not !registered then begin
+    registered := true;
+    Op.register ~dims:[ 2 ]
+      ~doc:
+        "JIGSAW 2D streaming fixed-point engine (M+12 cycles), FFT + \
+         de-apodization in software"
+      "jigsaw-2d" make_2d;
+    Op.register ~dims:[ 3 ]
+      ~doc:
+        "JIGSAW 3D-Slice engine: one 2D fixed-point pass per z-slice, \
+         unsorted schedule"
+      "jigsaw-3d" make_3d
+  end

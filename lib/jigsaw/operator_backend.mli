@@ -1,0 +1,30 @@
+(** {!Nufft.Operator} backends driven by the JIGSAW hardware model.
+
+    [jigsaw-2d] streams samples through the {!Engine2d} fixed-point
+    pipeline array (exactly [M + 12] gridding cycles, accumulated into
+    the operator's [stats.cycles]), then finishes the adjoint with the
+    software FFT and de-apodization of a plan built over the same kernel
+    and (hardware-clamped) table oversampling. [jigsaw-3d] does the same
+    through the {!Engine3d} z-slice schedule, [(M + 15) * G] cycles.
+
+    The forward direction runs in double precision through the companion
+    plan at coordinates {e snapped to the hardware coordinate grid}, so
+    forward and adjoint share bit-identical window geometry and their
+    adjointness mismatch is bounded by the fixed-point quantization of
+    weights (Q1.15) and accumulators (Q9.23) alone — the property the
+    operator test suite checks against {!Numerics.Fixed_point} bounds.
+
+    These backends live outside [lib/core] to keep the library graph
+    acyclic; nothing is registered until {!register} is called. *)
+
+val register : unit -> unit
+(** Idempotently add [jigsaw-2d] (dims 2) and [jigsaw-3d] (dims 3) to the
+    {!Nufft.Operator} registry. *)
+
+val hardware_l : int -> int
+(** Clamp a requested table oversampling to what the weight SRAM supports:
+    the largest power of two <= min(l, 64) (paper Table I). *)
+
+val make_2d : Nufft.Operator.factory
+val make_3d : Nufft.Operator.factory
+(** The factories behind the registry entries (exposed for direct use). *)

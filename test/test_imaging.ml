@@ -283,7 +283,7 @@ let test_pipe_menon_recon_quality () =
   let ramp = run (Trajectory.Radial.density_weights traj) in
   let pm = run (Imaging.Density.pipe_menon ~iterations:12
                   ~table:plan.Nufft.Plan.table ~g
-                  ~gx:samples.Nufft.Sample.gx ~gy:samples.Nufft.Sample.gy ()) in
+                  ~gx:(Nufft.Sample.gx samples) ~gy:(Nufft.Sample.gy samples) ()) in
   Alcotest.(check bool)
     (Printf.sprintf "pipe-menon %.4f <= 1.2 * ramp %.4f" pm ramp)
     true (pm <= 1.2 *. ramp)

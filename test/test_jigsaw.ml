@@ -174,8 +174,8 @@ let test_accum () =
 let random_samples ~g ~m ~seed =
   let s = Nufft.Sample.random_2d ~seed ~g m in
   let q u = Float.round (u *. 65536.0) /. 65536.0 in
-  Nufft.Sample.make_2d ~g ~gx:(Array.map q s.Nufft.Sample.gx)
-    ~gy:(Array.map q s.Nufft.Sample.gy) ~values:s.Nufft.Sample.values
+  Nufft.Sample.make_2d ~g ~gx:(Array.map q (Nufft.Sample.gx s))
+    ~gy:(Array.map q (Nufft.Sample.gy s)) ~values:s.Nufft.Sample.values
 
 let test_engine_matches_reference () =
   let g = 32 and m = 300 in
@@ -183,7 +183,7 @@ let test_engine_matches_reference () =
   let tbl = table () in
   let s = random_samples ~g ~m ~seed:42 in
   let e = Jigsaw.Engine2d.create c ~table:tbl in
-  Jigsaw.Engine2d.stream e ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy
+  Jigsaw.Engine2d.stream e ~gx:(Nufft.Sample.gx s) ~gy:(Nufft.Sample.gy s)
     s.Nufft.Sample.values;
   Alcotest.(check int) "samples" m (Jigsaw.Engine2d.samples_streamed e);
   Alcotest.(check int) "no saturation" 0 (Jigsaw.Engine2d.saturation_events e);
@@ -192,7 +192,7 @@ let test_engine_matches_reference () =
   let reference =
     Nufft.Gridding_serial.grid_2d
       ~table:(Wt.make ~kernel:(Wt.kernel tbl) ~width:6 ~l:32 ())
-      ~g ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy s.Nufft.Sample.values
+      ~g ~gx:(Nufft.Sample.gx s) ~gy:(Nufft.Sample.gy s) s.Nufft.Sample.values
   in
   let err = Cvec.nrmsd ~reference hw in
   Alcotest.(check bool) (Printf.sprintf "nrmsd %.2e < 1e-3" err) true
@@ -207,12 +207,12 @@ let test_engine_exactness_vs_fixed_reference () =
   let tbl = table () in
   let s = random_samples ~g ~m ~seed:7 in
   let e = Jigsaw.Engine2d.create c ~table:tbl in
-  Jigsaw.Engine2d.stream e ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy
+  Jigsaw.Engine2d.stream e ~gx:(Nufft.Sample.gx s) ~gy:(Nufft.Sample.gy s)
     s.Nufft.Sample.values;
   let hw = Jigsaw.Engine2d.readout e in
   let reference =
-    Nufft.Gridding_serial.grid_2d ~table:tbl ~g ~gx:s.Nufft.Sample.gx
-      ~gy:s.Nufft.Sample.gy s.Nufft.Sample.values
+    Nufft.Gridding_serial.grid_2d ~table:tbl ~g ~gx:(Nufft.Sample.gx s)
+      ~gy:(Nufft.Sample.gy s) s.Nufft.Sample.values
   in
   let err = Cvec.nrmsd ~reference hw in
   Alcotest.(check bool) (Printf.sprintf "nrmsd %.2e" err) true (err < 1e-3)
@@ -221,7 +221,7 @@ let test_engine_cycle_model () =
   let c = cfg () in
   let e = Jigsaw.Engine2d.create c ~table:(table ()) in
   let s = random_samples ~g:32 ~m:100 ~seed:1 in
-  Jigsaw.Engine2d.stream e ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy
+  Jigsaw.Engine2d.stream e ~gx:(Nufft.Sample.gx s) ~gy:(Nufft.Sample.gy s)
     s.Nufft.Sample.values;
   (* The headline property: M + 12 cycles, irrespective of pattern. *)
   Alcotest.(check int) "M+12" 112 (Jigsaw.Engine2d.gridding_cycles e);
@@ -242,13 +242,13 @@ let test_engine_pattern_independence () =
     (Jigsaw.Engine2d.gridding_cycles e, Jigsaw.Engine2d.readout e,
      Jigsaw.Engine2d.saturation_events e)
   in
-  let cy1, grid1, sat1 = run s.Nufft.Sample.gx s.Nufft.Sample.gy s.Nufft.Sample.values in
+  let cy1, grid1, sat1 = run (Nufft.Sample.gx s) (Nufft.Sample.gy s) s.Nufft.Sample.values in
   (* Reverse the stream order. *)
   let rev a = Array.init (Array.length a) (fun i -> a.(Array.length a - 1 - i)) in
   let values_rev =
     Cvec.init m (fun j -> Cvec.get s.Nufft.Sample.values (m - 1 - j))
   in
-  let cy2, grid2, sat2 = run (rev s.Nufft.Sample.gx) (rev s.Nufft.Sample.gy) values_rev in
+  let cy2, grid2, sat2 = run (rev (Nufft.Sample.gx s)) (rev (Nufft.Sample.gy s)) values_rev in
   Alcotest.(check int) "same cycles" cy1 cy2;
   Alcotest.(check int) "no saturation 1" 0 sat1;
   Alcotest.(check int) "no saturation 2" 0 sat2;
@@ -259,7 +259,7 @@ let test_engine_reset () =
   let c = cfg () in
   let e = Jigsaw.Engine2d.create c ~table:(table ()) in
   let s = random_samples ~g:32 ~m:10 ~seed:9 in
-  Jigsaw.Engine2d.stream e ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy
+  Jigsaw.Engine2d.stream e ~gx:(Nufft.Sample.gx s) ~gy:(Nufft.Sample.gy s)
     s.Nufft.Sample.values;
   Jigsaw.Engine2d.reset e;
   Alcotest.(check int) "samples cleared" 0 (Jigsaw.Engine2d.samples_streamed e);
@@ -274,7 +274,7 @@ let test_engine_full_scale_config () =
   let tbl = table ~w:8 ~l:64 () in
   let e = Jigsaw.Engine2d.create cfg' ~table:tbl in
   let s = random_samples ~g:1024 ~m:300 ~seed:2026 in
-  Jigsaw.Engine2d.stream e ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy
+  Jigsaw.Engine2d.stream e ~gx:(Nufft.Sample.gx s) ~gy:(Nufft.Sample.gy s)
     s.Nufft.Sample.values;
   Alcotest.(check int) "cycles" 312 (Jigsaw.Engine2d.gridding_cycles e);
   Alcotest.(check int) "no saturation" 0 (Jigsaw.Engine2d.saturation_events e);
@@ -288,7 +288,7 @@ let test_engine_deterministic () =
   let run () =
     let e = Jigsaw.Engine2d.create c ~table:tbl in
     let s = random_samples ~g:32 ~m:64 ~seed:15 in
-    Jigsaw.Engine2d.stream e ~gx:s.Nufft.Sample.gx ~gy:s.Nufft.Sample.gy
+    Jigsaw.Engine2d.stream e ~gx:(Nufft.Sample.gx s) ~gy:(Nufft.Sample.gy s)
       s.Nufft.Sample.values;
     Jigsaw.Engine2d.readout e
   in

@@ -167,12 +167,12 @@ let test_engines_agree_1d () =
   let tbl = table () in
   let s = Sample.random_2d ~seed:5 ~g m in
   let reference =
-    Gridding.grid_1d Gridding.Serial ~table:tbl ~g ~coords:s.Sample.gx
+    Gridding.grid_1d Gridding.Serial ~table:tbl ~g ~coords:(Sample.gx s)
       s.Sample.values
   in
   List.iter
     (fun e ->
-      let got = Gridding.grid_1d e ~table:tbl ~g ~coords:s.Sample.gx
+      let got = Gridding.grid_1d e ~table:tbl ~g ~coords:(Sample.gx s)
           s.Sample.values in
       check_vec ~eps:1e-11
         (Printf.sprintf "1d %s" (Gridding.engine_name e))
@@ -184,13 +184,13 @@ let test_engines_agree_2d () =
   let tbl = table () in
   let s = Sample.random_2d ~seed:9 ~g m in
   let reference =
-    Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
-      ~gy:s.Sample.gy s.Sample.values
+    Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:(Sample.gx s)
+      ~gy:(Sample.gy s) s.Sample.values
   in
   List.iter
     (fun e ->
       let got =
-        Gridding.grid_2d e ~table:tbl ~g ~gx:s.Sample.gx ~gy:s.Sample.gy
+        Gridding.grid_2d e ~table:tbl ~g ~gx:(Sample.gx s) ~gy:(Sample.gy s)
           s.Sample.values
       in
       check_vec ~eps:1e-11
@@ -203,12 +203,12 @@ let test_slice_fast_bitwise_equal_serial () =
   let tbl = table () in
   let s = Sample.random_2d ~seed:123 ~g m in
   let serial =
-    Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
-      ~gy:s.Sample.gy s.Sample.values
+    Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:(Sample.gx s)
+      ~gy:(Sample.gy s) s.Sample.values
   in
   let fast =
-    Nufft.Gridding_slice.grid_2d_fast ~table:tbl ~g ~t:8 ~gx:s.Sample.gx
-      ~gy:s.Sample.gy s.Sample.values
+    Nufft.Gridding_slice.grid_2d_fast ~table:tbl ~g ~t:8 ~gx:(Sample.gx s)
+      ~gy:(Sample.gy s) s.Sample.values
   in
   check_vec ~eps:0.0 "bitwise equal" serial fast
 
@@ -217,12 +217,12 @@ let test_slice_faithful_agrees () =
   let tbl = table () in
   let s = Sample.random_2d ~seed:77 ~g m in
   let serial =
-    Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
-      ~gy:s.Sample.gy s.Sample.values
+    Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:(Sample.gx s)
+      ~gy:(Sample.gy s) s.Sample.values
   in
   let faithful =
-    Nufft.Gridding_slice.grid_2d ~table:tbl ~g ~t:8 ~gx:s.Sample.gx
-      ~gy:s.Sample.gy s.Sample.values
+    Nufft.Gridding_slice.grid_2d ~table:tbl ~g ~t:8 ~gx:(Sample.gx s)
+      ~gy:(Sample.gy s) s.Sample.values
   in
   check_vec ~eps:1e-11 "column-outer schedule" serial faithful
 
@@ -231,14 +231,14 @@ let test_slice_parallel_agrees () =
   let tbl = table () in
   let s = Sample.random_2d ~seed:88 ~g m in
   let faithful =
-    Nufft.Gridding_slice.grid_2d ~table:tbl ~g ~t:8 ~gx:s.Sample.gx
-      ~gy:s.Sample.gy s.Sample.values
+    Nufft.Gridding_slice.grid_2d ~table:tbl ~g ~t:8 ~gx:(Sample.gx s)
+      ~gy:(Sample.gy s) s.Sample.values
   in
   List.iter
     (fun domains ->
       let par =
         Nufft.Gridding_slice.grid_2d_parallel ~domains ~table:tbl ~g ~t:8
-          ~gx:s.Sample.gx ~gy:s.Sample.gy s.Sample.values
+          ~gx:(Sample.gx s) ~gy:(Sample.gy s) s.Sample.values
       in
       (* Same per-column accumulation order as the column-outer schedule:
          bitwise identical regardless of domain count. *)
@@ -251,7 +251,7 @@ let test_slice_parallel_agrees () =
     (fun () ->
       ignore
         (Nufft.Gridding_slice.grid_2d_parallel ~domains:0 ~table:tbl ~g ~t:8
-           ~gx:s.Sample.gx ~gy:s.Sample.gy s.Sample.values))
+           ~gx:(Sample.gx s) ~gy:(Sample.gy s) s.Sample.values))
 
 let test_slice_parallel_pool_reuse () =
   (* One long-lived pool serving several submissions gives the same bits
@@ -267,12 +267,12 @@ let test_slice_parallel_pool_reuse () =
         (fun seed ->
           let s = Sample.random_2d ~seed ~g m in
           let faithful =
-            Nufft.Gridding_slice.grid_2d ~table:tbl ~g ~t:8 ~gx:s.Sample.gx
-              ~gy:s.Sample.gy s.Sample.values
+            Nufft.Gridding_slice.grid_2d ~table:tbl ~g ~t:8 ~gx:(Sample.gx s)
+              ~gy:(Sample.gy s) s.Sample.values
           in
           let pooled =
             Nufft.Gridding_slice.grid_2d_parallel ~pool ~table:tbl ~g ~t:8
-              ~gx:s.Sample.gx ~gy:s.Sample.gy s.Sample.values
+              ~gx:(Sample.gx s) ~gy:(Sample.gy s) s.Sample.values
           in
           check_vec ~eps:0.0
             (Printf.sprintf "pooled seed %d" seed)
@@ -287,8 +287,8 @@ let test_mass_conservation () =
   let tbl = table () in
   let s = Sample.random_2d ~seed:31 ~g m in
   let grid =
-    Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
-      ~gy:s.Sample.gy s.Sample.values
+    Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:(Sample.gx s)
+      ~gy:(Sample.gy s) s.Sample.values
   in
   let total = Cvec.fold (fun acc c -> C.add acc c) C.zero grid in
   let expected = ref C.zero in
@@ -302,7 +302,7 @@ let test_mass_conservation () =
     expected :=
       C.add !expected
         (C.scale
-           (sum1d s.Sample.gx.(j) *. sum1d s.Sample.gy.(j))
+           (sum1d (Sample.gx s).(j) *. sum1d (Sample.gy s).(j))
            (Cvec.get s.Sample.values j))
   done;
   check_close ~eps:1e-9 "mass re" (!expected).C.re total.C.re;
@@ -317,13 +317,13 @@ let prop_engines_agree =
       let tbl = table ~w () in
       let s = Sample.random_2d ~seed ~g m in
       let reference =
-        Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
-          ~gy:s.Sample.gy s.Sample.values
+        Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:(Sample.gx s)
+          ~gy:(Sample.gy s) s.Sample.values
       in
       List.for_all
         (fun e ->
           let got =
-            Gridding.grid_2d e ~table:tbl ~g ~gx:s.Sample.gx ~gy:s.Sample.gy
+            Gridding.grid_2d e ~table:tbl ~g ~gx:(Sample.gx s) ~gy:(Sample.gy s)
               s.Sample.values
           in
           Cvec.max_abs_diff reference got < 1e-10)
@@ -353,18 +353,18 @@ let test_window_equals_tile () =
   let tbl = table ~w () in
   let s = Sample.random_2d ~seed:14 ~g 60 in
   let serial =
-    Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
-      ~gy:s.Sample.gy s.Sample.values
+    Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:(Sample.gx s)
+      ~gy:(Sample.gy s) s.Sample.values
   in
   let slice =
-    Nufft.Gridding_slice.grid_2d ~table:tbl ~g ~t ~gx:s.Sample.gx
-      ~gy:s.Sample.gy s.Sample.values
+    Nufft.Gridding_slice.grid_2d ~table:tbl ~g ~t ~gx:(Sample.gx s)
+      ~gy:(Sample.gy s) s.Sample.values
   in
   check_vec ~eps:1e-11 "w = t" serial slice;
   (* Every column check must hit. *)
   for column = 0 to t - 1 do
     for j = 0 to 9 do
-      match Coord.column_check ~w ~t ~g ~column s.Sample.gx.(j) with
+      match Coord.column_check ~w ~t ~g ~column (Sample.gx s).(j) with
       | Some _ -> ()
       | None -> Alcotest.failf "column %d missed sample %d with w = t" column j
     done
@@ -381,8 +381,8 @@ let test_w1_minimal_window () =
   let s = Sample.random_2d ~seed:77 ~g 25 in
   let st = Stats.create () in
   let grid =
-    Gridding.grid_2d ~stats:st Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
-      ~gy:s.Sample.gy s.Sample.values
+    Gridding.grid_2d ~stats:st Gridding.Serial ~table:tbl ~g ~gx:(Sample.gx s)
+      ~gy:(Sample.gy s) s.Sample.values
   in
   Alcotest.(check int) "one accumulate per sample" 25 st.Stats.grid_accumulates;
   Alcotest.(check bool) "mass placed" true (Cvec.norm2 grid > 0.0)
@@ -396,8 +396,8 @@ let test_stats_serial () =
   let s = Sample.random_2d ~seed:1 ~g m in
   let st = Stats.create () in
   ignore
-    (Gridding.grid_2d ~stats:st Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
-       ~gy:s.Sample.gy s.Sample.values);
+    (Gridding.grid_2d ~stats:st Gridding.Serial ~table:tbl ~g ~gx:(Sample.gx s)
+       ~gy:(Sample.gy s) s.Sample.values);
   Alcotest.(check int) "samples" m st.Stats.samples_processed;
   Alcotest.(check int) "no checks" 0 st.Stats.boundary_checks;
   Alcotest.(check int) "accumulates" (m * w * w) st.Stats.grid_accumulates
@@ -409,7 +409,7 @@ let test_stats_output_parallel () =
   let st = Stats.create () in
   ignore
     (Gridding.grid_2d ~stats:st Gridding.Output_parallel ~table:tbl ~g
-       ~gx:s.Sample.gx ~gy:s.Sample.gy s.Sample.values);
+       ~gx:(Sample.gx s) ~gy:(Sample.gy s) s.Sample.values);
   (* One check per (grid point, sample) pair at least (x dim); hits check y
      too but the dominant term M * G^2 must be present. *)
   Alcotest.(check bool) "M*G^2 checks" true
@@ -422,8 +422,8 @@ let test_stats_slice () =
   let s = Sample.random_2d ~seed:3 ~g m in
   let st = Stats.create () in
   ignore
-    (Nufft.Gridding_slice.grid_2d ~stats:st ~table:tbl ~g ~t ~gx:s.Sample.gx
-       ~gy:s.Sample.gy s.Sample.values);
+    (Nufft.Gridding_slice.grid_2d ~stats:st ~table:tbl ~g ~t ~gx:(Sample.gx s)
+       ~gy:(Sample.gy s) s.Sample.values);
   Alcotest.(check int) "M*T^2 checks" (m * t * t) st.Stats.boundary_checks;
   Alcotest.(check int) "accumulates" (m * w * w) st.Stats.grid_accumulates;
   Alcotest.(check int) "no presort" 0 st.Stats.presort_ops
@@ -438,13 +438,13 @@ let test_stats_slice_parallel () =
   let serial_st = Stats.create () in
   ignore
     (Nufft.Gridding_slice.grid_2d ~stats:serial_st ~table:tbl ~g ~t
-       ~gx:s.Sample.gx ~gy:s.Sample.gy s.Sample.values);
+       ~gx:(Sample.gx s) ~gy:(Sample.gy s) s.Sample.values);
   List.iter
     (fun domains ->
       let st = Stats.create () in
       ignore
         (Nufft.Gridding_slice.grid_2d_parallel ~stats:st ~domains ~table:tbl
-           ~g ~t ~gx:s.Sample.gx ~gy:s.Sample.gy s.Sample.values);
+           ~g ~t ~gx:(Sample.gx s) ~gy:(Sample.gy s) s.Sample.values);
       Alcotest.(check int) "M*T^2 checks" (m * t * t) st.Stats.boundary_checks;
       Alcotest.(check int) "samples" m st.Stats.samples_processed;
       Alcotest.(check int) "checks = column-outer" serial_st.Stats.boundary_checks
@@ -463,7 +463,7 @@ let test_stats_binned_duplicates () =
   let st = Stats.create () in
   ignore
     (Gridding.grid_2d ~stats:st (Gridding.Binned bin) ~table:tbl ~g
-       ~gx:s.Sample.gx ~gy:s.Sample.gy s.Sample.values);
+       ~gx:(Sample.gx s) ~gy:(Sample.gy s) s.Sample.values);
   Alcotest.(check bool) "presort happened" true (st.Stats.presort_ops >= m);
   Alcotest.(check bool) "duplicate visits" true
     (st.Stats.samples_processed > m);
@@ -610,7 +610,7 @@ let test_nufft_adjoint_pair () =
       C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
   let y = Cvec.init m (fun _ ->
       C.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0)) in
-  let fx = Nufft.Plan.forward_2d plan ~gx:s.Sample.gx ~gy:s.Sample.gy x in
+  let fx = Nufft.Plan.forward_2d plan ~gx:(Sample.gx s) ~gy:(Sample.gy s) x in
   let ay = Nufft.Plan.adjoint_2d plan (Sample.with_values s y) in
   let lhs = Cvec.dot fx y and rhs = Cvec.dot x ay in
   let scale = C.norm lhs +. C.norm rhs +. 1.0 in
@@ -838,7 +838,7 @@ let test_minmax_scaled_beats_kb () =
   in
   let mm =
     Nufft.Minmax.adjoint_2d ~scaling:Nufft.Minmax.Kaiser_bessel_scaling ~n ~g
-      ~w ~gx:samples.Sample.gx ~gy:samples.Sample.gy values
+      ~w ~gx:(Sample.gx samples) ~gy:(Sample.gy samples) values
   in
   let mm_err = Cvec.nrmsd ~reference:exact mm in
   Alcotest.(check bool)
@@ -928,11 +928,11 @@ let prop_spread_interp_adjoint =
           C.make (Random.State.float rng 2.0 -. 1.0)
             (Random.State.float rng 2.0 -. 1.0)) in
       let spread =
-        Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
-          ~gy:s.Sample.gy s.Sample.values
+        Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:(Sample.gx s)
+          ~gy:(Sample.gy s) s.Sample.values
       in
       let back =
-        Gridding.interp_2d ~table:tbl ~g ~gx:s.Sample.gx ~gy:s.Sample.gy u
+        Gridding.interp_2d ~table:tbl ~g ~gx:(Sample.gx s) ~gy:(Sample.gy s) u
       in
       let lhs = Cvec.dot spread u and rhs = Cvec.dot s.Sample.values back in
       let scale = C.norm lhs +. C.norm rhs +. 1.0 in
@@ -951,12 +951,12 @@ let prop_gridding_linear =
         Cvec.map (fun c -> C.scale alpha c) s.Sample.values
       in
       let base =
-        Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
-          ~gy:s.Sample.gy s.Sample.values
+        Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:(Sample.gx s)
+          ~gy:(Sample.gy s) s.Sample.values
       in
       let got =
-        Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:s.Sample.gx
-          ~gy:s.Sample.gy scaled
+        Gridding.grid_2d Gridding.Serial ~table:tbl ~g ~gx:(Sample.gx s)
+          ~gy:(Sample.gy s) scaled
       in
       let expected = Cvec.copy base in
       Cvec.scale_inplace alpha expected;
