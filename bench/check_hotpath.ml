@@ -1,0 +1,82 @@
+(* Compare a freshly produced BENCH_hotpath.json against the checked-in
+   baseline and fail (exit 1) on a throughput regression beyond the
+   tolerance. Reads only the per-engine lines the hotpath harness writes
+   (one object per line), so no JSON library is needed.
+
+   Usage: check_hotpath.exe CURRENT BASELINE [--tolerance 0.30] *)
+
+let parse_engines path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match
+         Scanf.sscanf line
+           " { \"name\": %S, \"samples_per_sec\": %f, \
+            \"minor_words_per_sample\": %f"
+           (fun n s w -> (n, s, w))
+       with
+       | row -> rows := row :: !rows
+       | exception Scanf.Scan_failure _ -> ()
+       | exception End_of_file -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let tolerance = ref 0.30 in
+  let files = ref [] in
+  let rec scan = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest ->
+        tolerance := float_of_string v;
+        scan rest
+    | f :: rest ->
+        files := f :: !files;
+        scan rest
+  in
+  scan (List.tl args);
+  match List.rev !files with
+  | [ current_path; baseline_path ] ->
+      let current = parse_engines current_path in
+      let baseline = parse_engines baseline_path in
+      if baseline = [] then begin
+        Printf.eprintf "check_hotpath: no engine rows in %s\n" baseline_path;
+        exit 2
+      end;
+      if current = [] then begin
+        Printf.eprintf "check_hotpath: no engine rows in %s\n" current_path;
+        exit 2
+      end;
+      let failed = ref false in
+      Printf.printf "hot-path throughput vs baseline (tolerance %.0f%%):\n"
+        (100.0 *. !tolerance);
+      List.iter
+        (fun (name, base_sps, _) ->
+          match
+            List.find_opt (fun (n, _, _) -> n = name) current
+          with
+          | None ->
+              Printf.printf "  %-16s MISSING from current run\n" name;
+              failed := true
+          | Some (_, cur_sps, _) ->
+              let floor = (1.0 -. !tolerance) *. base_sps in
+              let ok = cur_sps >= floor in
+              Printf.printf "  %-16s %12.0f vs baseline %12.0f  %s\n" name
+                cur_sps base_sps
+                (if ok then "ok" else "REGRESSION");
+              if not ok then failed := true)
+        baseline;
+      if !failed then begin
+        Printf.eprintf
+          "check_hotpath: throughput regression beyond %.0f%% tolerance\n"
+          (100.0 *. !tolerance);
+        exit 1
+      end
+  | _ ->
+      Printf.eprintf
+        "usage: check_hotpath.exe CURRENT BASELINE [--tolerance 0.30]\n";
+      exit 2

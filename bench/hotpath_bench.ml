@@ -1,0 +1,146 @@
+(* Hot-path perf-regression harness.
+
+   Measures, on a fixed seeded workload: gridding throughput (samples/sec)
+   and allocation (minor words/sample) for each CPU engine plus the
+   compiled-plan replay path, and the wall time of a compiled-plan CG
+   reconstruction. With [json := true] the numbers are written to
+   BENCH_hotpath.json, one engine per line, so check_hotpath.exe (and the
+   CI perf smoke job) can diff them against the checked-in baseline with a
+   tolerance. *)
+
+module Cvec = Numerics.Cvec
+module Sample = Nufft.Sample
+module Op = Nufft.Operator
+
+let json = ref false
+let json_path = "BENCH_hotpath.json"
+
+type row = {
+  name : string;
+  samples_per_sec : float;
+  minor_words_per_sample : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* Run [f] repeatedly for >= 0.3 s (at least twice, after one warmup call)
+   and return (samples/sec, minor words/sample). *)
+let measure ~m f =
+  ignore (f ());
+  let t0 = now () in
+  let w0 = Gc.minor_words () in
+  let reps = ref 0 in
+  let elapsed = ref 0.0 in
+  while !reps < 2 || !elapsed < 0.3 do
+    ignore (f ());
+    incr reps;
+    elapsed := now () -. t0
+  done;
+  let words = Gc.minor_words () -. w0 in
+  let total = float_of_int (!reps * m) in
+  (total /. !elapsed, words /. total)
+
+let cg_case ~quick =
+  let n = if quick then 32 else 64 in
+  let g = 2 * n in
+  let m = if quick then 1500 else 6000 in
+  let tile = Nufft.Coord.fallback_tile ~g ~w:6 in
+  let plan =
+    Nufft.Plan.make ~engine:(Nufft.Gridding.Slice_and_dice tile) ~n ()
+  in
+  let coords = Sample.random_2d ~seed:7 ~g m in
+  let op = Op.of_plan plan ~coords in
+  let image =
+    Cvec.init (n * n) (fun idx ->
+        let ix = idx mod n and iy = idx / n in
+        let d2 c = (float_of_int c -. (float_of_int n /. 2.0)) ** 2.0 in
+        Numerics.Complexd.of_float (exp (-.(d2 ix +. d2 iy) /. 16.0)))
+  in
+  let data = Op.apply_forward op image in
+  let iterations = 8 in
+  let t0 = now () in
+  let b = Imaging.Cg.normal_equations_rhs_op op data in
+  let result =
+    Imaging.Cg.solve ~max_iterations:iterations ~tolerance:0.0
+      ~apply:(Imaging.Cg.normal_map op) b
+  in
+  let wall = now () -. t0 in
+  ignore result.Imaging.Cg.solution;
+  (n, m, result.Imaging.Cg.iterations, wall)
+
+let write_json ~quick ~g ~m ~tile rows (cg_n, cg_m, cg_iters, cg_wall) =
+  let oc = open_out json_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"hotpath-1\",\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"g\": %d,\n" g;
+  p "  \"m\": %d,\n" m;
+  p "  \"w\": %d,\n" Bench_data.w;
+  p "  \"tile\": %d,\n" tile;
+  p "  \"engines\": [\n";
+  List.iteri
+    (fun i r ->
+      p
+        "    { \"name\": %S, \"samples_per_sec\": %.1f, \
+         \"minor_words_per_sample\": %.4f }%s\n"
+        r.name r.samples_per_sec r.minor_words_per_sample
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  p "  ],\n";
+  p "  \"cg\": { \"n\": %d, \"m\": %d, \"iterations\": %d, \"wall_s\": %.6f }\n"
+    cg_n cg_m cg_iters cg_wall;
+  p "}\n";
+  close_out oc;
+  Printf.printf "  wrote %s\n" json_path
+
+let run () =
+  let quick = !Bench_data.quick in
+  let g = if quick then 128 else 256 in
+  let m = if quick then 4000 else 40000 in
+  let samples = Sample.random_2d ~seed:42 ~g m in
+  let gx = Sample.gx samples and gy = Sample.gy samples in
+  let values = samples.Sample.values in
+  let table = Perf_models.table_for () in
+  let tile = Nufft.Coord.fallback_tile ~g ~w:Bench_data.w in
+  Printf.printf
+    "\n=== Hot-path regression harness (g=%d, m=%d, w=%d, tile=%d) ===\n" g m
+    Bench_data.w tile;
+  (* output-parallel is O(M G^2): ~100x the work of the others at this
+     size, so it is deliberately not part of the hot-path suite. *)
+  Printf.printf "  (output-parallel engine excluded: O(M*G^2) scan)\n";
+  let engine name e =
+    let f () = Nufft.Gridding.grid_2d e ~table ~g ~gx ~gy values in
+    let sps, words = measure ~m f in
+    { name; samples_per_sec = sps; minor_words_per_sample = words }
+  in
+  let replay =
+    let plan =
+      Nufft.Plan.make ~engine:(Nufft.Gridding.Slice_and_dice tile)
+        ~n:(g / 2) ()
+    in
+    let sp = Nufft.Plan.compiled plan samples in
+    let f () = Nufft.Sample_plan.spread sp values in
+    let sps, words = measure ~m f in
+    { name = "compiled-replay";
+      samples_per_sec = sps;
+      minor_words_per_sample = words }
+  in
+  let rows =
+    [ engine "serial" Nufft.Gridding.Serial;
+      engine "slice" (Nufft.Gridding.Slice_and_dice tile);
+      engine "slice-parallel" (Nufft.Gridding.Slice_parallel tile);
+      engine "binned" (Nufft.Gridding.Binned tile);
+      replay ]
+  in
+  Printf.printf "  %-16s %14s %18s\n" "engine" "samples/sec"
+    "minor words/sample";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-16s %14.0f %18.4f\n" r.name r.samples_per_sec
+        r.minor_words_per_sample)
+    rows;
+  let ((_, _, cg_iters, cg_wall) as cg) = cg_case ~quick in
+  Printf.printf "  CG (compiled plan, %d iterations): %.3f s\n" cg_iters
+    cg_wall;
+  if !json then write_json ~quick ~g ~m ~tile rows cg

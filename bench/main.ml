@@ -5,9 +5,10 @@
    Usage:
      main.exe                 run everything (full datasets)
      main.exe --quick [...]   use reduced datasets (~1/16 of the samples)
-     main.exe --json [...]    also emit BENCH_operators.json (operators)
+     main.exe --json [...]    also emit BENCH_operators.json (operators) /
+                              BENCH_hotpath.json (hotpath)
      main.exe fig6|fig7|fig8|fig9|fig3|table1|table2|fraction|gpustats|
-              slice3d|ablation|operators
+              slice3d|ablation|operators|hotpath
      main.exe bechamel        only the Bechamel micro-benchmarks *)
 
 let experiments =
@@ -22,7 +23,8 @@ let experiments =
     ("gpustats", Gpustats.run);
     ("slice3d", Slice3d.run);
     ("ablation", Ablation.run);
-    ("operators", Operators_bench.run) ]
+    ("operators", Operators_bench.run);
+    ("hotpath", Hotpath_bench.run) ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment's measured
@@ -113,6 +115,7 @@ let () =
   let args =
     if List.mem "--json" args then begin
       Operators_bench.json := true;
+      Hotpath_bench.json := true;
       List.filter (fun a -> a <> "--json") args
     end
     else args

@@ -62,6 +62,48 @@ let column_check ~w ~t ~g ~column u =
         wrapped_tile = tile_unwrapped <> sample_tile }
   end
 
+(* Int-encoded column check. A miss is the sentinel [-1]; a hit packs the
+   wrapped tile coordinate and the quantized LUT distance (table address
+   [round (|dist| * l)]) into one immediate int:
+   [(tile lsl packed_addr_bits) lor addr]. The select stage is thereby
+   branch + integer arithmetic only — no option, no record, no float box. *)
+
+let packed_addr_bits = 20
+let packed_addr_mask = (1 lsl packed_addr_bits) - 1
+let packed_miss = -1
+
+let[@inline] packed_tile h = h lsr packed_addr_bits
+let[@inline] packed_addr h = h land packed_addr_mask
+
+let check_packing ~w ~l =
+  if (w * l / 2) + 1 > packed_addr_mask then
+    invalid_arg
+      (Printf.sprintf
+         "Coord: w*l/2+1 = %d exceeds the %d-bit packed address space"
+         ((w * l / 2) + 1)
+         packed_addr_bits)
+
+let[@inline] column_check_packed ~w ~t ~g ~l ~column u =
+  let start = window_start ~w u in
+  let j =
+    let m = (column - start) mod t in
+    if m < 0 then m + t else m
+  in
+  if j >= w then packed_miss
+  else begin
+    let k = start + j in
+    let n_tiles = g / t in
+    let tile_unwrapped =
+      if k >= 0 then k / t else ((k + 1) / t) - 1 (* floor division *)
+    in
+    let tile = wrap ~g:n_tiles tile_unwrapped in
+    let dist = float_of_int k -. u in
+    let addr =
+      int_of_float (Float.round (Float.abs dist *. float_of_int l))
+    in
+    (tile lsl packed_addr_bits) lor addr
+  end
+
 let affected_columns ~w ~t u =
   let start = window_start ~w u in
   List.init w (fun j ->

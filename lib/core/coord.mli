@@ -57,6 +57,41 @@ val column_check :
     [Some hit] iff the sample's window covers the (unique) point of that
     column; [None] otherwise. Requires [w <= t], [t] divides [g]. *)
 
+(** {2 Int-encoded column check}
+
+    The hot-path variant of {!column_check}: the result is a single
+    immediate int, so the Slice-and-Dice select stage performs no
+    allocation at all — a miss is the sentinel {!packed_miss} ([-1]); a hit
+    packs the wrapped tile coordinate (high bits) together with the
+    quantized LUT distance — the weight-table address
+    [round (|k - u| * l)] — in the low {!packed_addr_bits} bits. Feed the
+    address to {!Numerics.Weight_table.weight_at}; the window function is
+    symmetric, so the sign of the distance is not needed. *)
+
+val packed_addr_bits : int
+(** Number of low bits holding the quantized distance (20). *)
+
+val packed_miss : int
+(** The miss sentinel, [-1]. Every packed hit is [>= 0]. *)
+
+val packed_tile : int -> int
+(** Wrapped tile coordinate of a packed hit. *)
+
+val packed_addr : int -> int
+(** Quantized LUT distance (weight-table address) of a packed hit. *)
+
+val check_packing : w:int -> l:int -> unit
+(** Raises [Invalid_argument] when [w*l/2 + 1] addresses do not fit in
+    {!packed_addr_bits} bits. Call once before a packed-check loop. *)
+
+val column_check_packed :
+  w:int -> t:int -> g:int -> l:int -> column:int -> float -> int
+(** [column_check_packed ~w ~t ~g ~l ~column u] is the same boundary check
+    as {!column_check}, int-encoded: {!packed_miss} iff the window misses
+    the column. [l] is the weight-table oversampling factor used to
+    quantize the distance. Requires [w <= t], [t] divides [g], and
+    {!check_packing} [~w ~l]. *)
+
 val affected_columns : w:int -> t:int -> float -> int list
 (** The relative positions (columns) hit by the sample's window — [w]
     distinct columns when [w <= t]. Used by the sample-outer CPU

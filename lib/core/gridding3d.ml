@@ -1,37 +1,81 @@
 module Cvec = Numerics.Cvec
-module C = Numerics.Complexd
 module Wt = Numerics.Weight_table
 
-let bump stats f = match stats with None -> () | Some s -> f s
+let add_stats = Gridding_serial.add_grid_stats
 
 let check name ~m ~gy ~gz values =
   if Array.length gy <> m || Array.length gz <> m || Cvec.length values <> m
   then invalid_arg (name ^ ": coords/values length mismatch")
 
+(* Hot loops operate on raw re/im floats with manually enumerated windows;
+   stats totals for the input-driven 3D schedule are closed-form in [m] and
+   [w] and merged once per call (the slice schedule's data-dependent z-hit
+   counts are accumulated in local ints). Accessors and LUT arithmetic are
+   same-module [@inline] helpers; see {!Gridding_serial} for the [-opaque]
+   rationale. *)
+
+module A1 = Bigarray.Array1
+
+let[@inline] get_re (v : Cvec.t) k = A1.unsafe_get v (2 * k)
+let[@inline] get_im (v : Cvec.t) k = A1.unsafe_get v ((2 * k) + 1)
+
+let[@inline] set_parts (v : Cvec.t) k re im =
+  let j = 2 * k in
+  A1.unsafe_set v j re;
+  A1.unsafe_set v (j + 1) im
+
+let[@inline] acc_parts (v : Cvec.t) k re im =
+  let j = 2 * k in
+  A1.unsafe_set v j (A1.unsafe_get v j +. re);
+  A1.unsafe_set v (j + 1) (A1.unsafe_get v (j + 1) +. im)
+
+let[@inline] window_start w u =
+  int_of_float (Float.floor (u +. (float_of_int w /. 2.0))) - w + 1
+
+let[@inline] wrap g k =
+  let r = k mod g in
+  if r < 0 then r + g else r
+
+let[@inline] lut tbl tlen lf d =
+  let a = int_of_float (Float.round (Float.abs d *. lf)) in
+  if a >= tlen then 0.0 else Array.unsafe_get tbl a
+
 let grid_3d ?stats ~table ~g ~gx ~gy ~gz values =
   let w = Wt.width table in
   let m = Array.length gx in
   check "Gridding3d.grid_3d" ~m ~gy ~gz values;
+  let tbl = Wt.data table and lf = float_of_int (Wt.oversampling table) in
+  let tlen = Array.length tbl in
   let out = Cvec.create (g * g * g) in
   for j = 0 to m - 1 do
-    let v = Cvec.get values j in
-    bump stats (fun s ->
-        s.Gridding_stats.samples_processed <-
-          s.Gridding_stats.samples_processed + 1);
-    Coord.iter_window ~w ~g gz.(j) (fun ~k:kz ~dist:dz ->
-        let wz = Wt.lookup table dz in
-        Coord.iter_window ~w ~g gy.(j) (fun ~k:ky ~dist:dy ->
-            let wyz = wz *. Wt.lookup table dy in
-            Coord.iter_window ~w ~g gx.(j) (fun ~k:kx ~dist:dx ->
-                let weight = wyz *. Wt.lookup table dx in
-                bump stats (fun s ->
-                    s.Gridding_stats.window_evals <-
-                      s.Gridding_stats.window_evals + 3;
-                    s.Gridding_stats.grid_accumulates <-
-                      s.Gridding_stats.grid_accumulates + 1);
-                Cvec.accumulate out ((((kz * g) + ky) * g) + kx)
-                  (C.scale weight v))))
+    let vr = get_re values j and vi = get_im values j in
+    let uz = Array.unsafe_get gz j
+    and uy = Array.unsafe_get gy j
+    and ux = Array.unsafe_get gx j in
+    let sz = window_start w uz
+    and sy = window_start w uy
+    and sx = window_start w ux in
+    for iz = 0 to w - 1 do
+      let kzu = sz + iz in
+      let kz = wrap g kzu in
+      let wz = lut tbl tlen lf (float_of_int kzu -. uz) in
+      for iy = 0 to w - 1 do
+        let kyu = sy + iy in
+        let ky = wrap g kyu in
+        let wyz = wz *. lut tbl tlen lf (float_of_int kyu -. uy) in
+        let plane = ((kz * g) + ky) * g in
+        for ix = 0 to w - 1 do
+          let kxu = sx + ix in
+          let kx = wrap g kxu in
+          let weight = wyz *. lut tbl tlen lf (float_of_int kxu -. ux) in
+          acc_parts out (plane + kx) (weight *. vr) (weight *. vi)
+        done
+      done
+    done
   done;
+  add_stats stats ~samples:m ~checks:0
+    ~evals:(3 * m * w * w * w)
+    ~accums:(m * w * w * w);
   out
 
 (* One pass over the whole (unsorted) stream for slice [z], like the JIGSAW
@@ -39,35 +83,39 @@ let grid_3d ?stats ~table ~g ~gx ~gy ~gz values =
    covers slice z. Writes touch slice [z] of [out] exclusively, so distinct
    slices can be processed by distinct domains with no interaction. *)
 let spread_slice ?stats ~table ~w ~g ~gx ~gy ~gz ~m values out z =
+  let tbl = Wt.data table and lf = float_of_int (Wt.oversampling table) in
+  let tlen = Array.length tbl in
+  let hits = ref 0 in
   for j = 0 to m - 1 do
-    bump stats (fun s ->
-        s.Gridding_stats.samples_processed <-
-          s.Gridding_stats.samples_processed + 1;
-        s.Gridding_stats.boundary_checks <-
-          s.Gridding_stats.boundary_checks + 1);
     (* Does the sample's z window cover (possibly via wrap) slice z? *)
-    let start = Coord.window_start ~w gz.(j) in
+    let uz = Array.unsafe_get gz j in
+    let start = window_start w uz in
     let jj =
       let r = (z - start) mod g in
       if r < 0 then r + g else r
     in
     if jj < w then begin
-      let dz = float_of_int (start + jj) -. gz.(j) in
-      let wz = Wt.lookup table dz in
-      let v = C.scale wz (Cvec.get values j) in
-      Coord.iter_window ~w ~g gy.(j) (fun ~k:ky ~dist:dy ->
-          let wy = Wt.lookup table dy in
-          Coord.iter_window ~w ~g gx.(j) (fun ~k:kx ~dist:dx ->
-              let weight = wy *. Wt.lookup table dx in
-              bump stats (fun s ->
-                  s.Gridding_stats.window_evals <-
-                    s.Gridding_stats.window_evals + 3;
-                  s.Gridding_stats.grid_accumulates <-
-                    s.Gridding_stats.grid_accumulates + 1);
-              Cvec.accumulate out ((((z * g) + ky) * g) + kx)
-                (C.scale weight v)))
+      let dz = float_of_int (start + jj) -. uz in
+      let wz = lut tbl tlen lf dz in
+      let vr = wz *. get_re values j and vi = wz *. get_im values j in
+      let uy = Array.unsafe_get gy j and ux = Array.unsafe_get gx j in
+      let sy = window_start w uy and sx = window_start w ux in
+      for iy = 0 to w - 1 do
+        let kyu = sy + iy in
+        let ky = wrap g kyu in
+        let wy = lut tbl tlen lf (float_of_int kyu -. uy) in
+        let row = ((z * g) + ky) * g in
+        for ix = 0 to w - 1 do
+          let kxu = sx + ix in
+          let kx = wrap g kxu in
+          let weight = wy *. lut tbl tlen lf (float_of_int kxu -. ux) in
+          incr hits;
+          acc_parts out (row + kx) (weight *. vr) (weight *. vi)
+        done
+      done
     end
-  done
+  done;
+  add_stats stats ~samples:m ~checks:m ~evals:(3 * !hits) ~accums:!hits
 
 let grid_3d_sliced ?stats ~table ~g ~gx ~gy ~gz values =
   let w = Wt.width table in
@@ -112,25 +160,37 @@ let interp_3d ?stats ~table ~g ~gx ~gy ~gz grid =
     invalid_arg "Gridding3d.interp_3d: coords length mismatch";
   if Cvec.length grid <> g * g * g then
     invalid_arg "Gridding3d.interp_3d: grid size mismatch";
+  let tbl = Wt.data table and lf = float_of_int (Wt.oversampling table) in
+  let tlen = Array.length tbl in
   let out = Cvec.create m in
   for j = 0 to m - 1 do
-    bump stats (fun s ->
-        s.Gridding_stats.samples_processed <-
-          s.Gridding_stats.samples_processed + 1);
-    let acc = ref C.zero in
-    Coord.iter_window ~w ~g gz.(j) (fun ~k:kz ~dist:dz ->
-        let wz = Wt.lookup table dz in
-        Coord.iter_window ~w ~g gy.(j) (fun ~k:ky ~dist:dy ->
-            let wyz = wz *. Wt.lookup table dy in
-            Coord.iter_window ~w ~g gx.(j) (fun ~k:kx ~dist:dx ->
-                let weight = wyz *. Wt.lookup table dx in
-                bump stats (fun s ->
-                    s.Gridding_stats.window_evals <-
-                      s.Gridding_stats.window_evals + 3);
-                acc :=
-                  C.add !acc
-                    (C.scale weight
-                       (Cvec.get grid ((((kz * g) + ky) * g) + kx))))));
-    Cvec.set out j !acc
+    let uz = Array.unsafe_get gz j
+    and uy = Array.unsafe_get gy j
+    and ux = Array.unsafe_get gx j in
+    let sz = window_start w uz
+    and sy = window_start w uy
+    and sx = window_start w ux in
+    let acc_re = ref 0.0 and acc_im = ref 0.0 in
+    for iz = 0 to w - 1 do
+      let kzu = sz + iz in
+      let kz = wrap g kzu in
+      let wz = lut tbl tlen lf (float_of_int kzu -. uz) in
+      for iy = 0 to w - 1 do
+        let kyu = sy + iy in
+        let ky = wrap g kyu in
+        let wyz = wz *. lut tbl tlen lf (float_of_int kyu -. uy) in
+        let plane = ((kz * g) + ky) * g in
+        for ix = 0 to w - 1 do
+          let kxu = sx + ix in
+          let kx = wrap g kxu in
+          let weight = wyz *. lut tbl tlen lf (float_of_int kxu -. ux) in
+          let idx = plane + kx in
+          acc_re := !acc_re +. (weight *. get_re grid idx);
+          acc_im := !acc_im +. (weight *. get_im grid idx)
+        done
+      done
+    done;
+    set_parts out j !acc_re !acc_im
   done;
+  add_stats stats ~samples:m ~checks:0 ~evals:(3 * m * w * w * w) ~accums:0;
   out

@@ -1,8 +1,31 @@
 module Cvec = Numerics.Cvec
-module C = Numerics.Complexd
 module Wt = Numerics.Weight_table
 
-let bump stats f = match stats with None -> () | Some s -> f s
+let add_stats = Gridding_serial.add_grid_stats
+
+(* Same-module hot-path primitives; see {!Gridding_serial} for the
+   [-opaque] / cross-module-inlining rationale. *)
+
+module A1 = Bigarray.Array1
+
+let[@inline] get_re (v : Cvec.t) k = A1.unsafe_get v (2 * k)
+let[@inline] get_im (v : Cvec.t) k = A1.unsafe_get v ((2 * k) + 1)
+
+let[@inline] acc_parts (v : Cvec.t) k re im =
+  let j = 2 * k in
+  A1.unsafe_set v j (A1.unsafe_get v j +. re);
+  A1.unsafe_set v (j + 1) (A1.unsafe_get v (j + 1) +. im)
+
+let[@inline] window_start w u =
+  int_of_float (Float.floor (u +. (float_of_int w /. 2.0))) - w + 1
+
+let[@inline] wrap g k =
+  let r = k mod g in
+  if r < 0 then r + g else r
+
+let[@inline] lut tbl tlen lf d =
+  let a = int_of_float (Float.round (Float.abs d *. lf)) in
+  if a >= tlen then 0.0 else Array.unsafe_get tbl a
 
 let dedup_sorted l = List.sort_uniq compare l
 
@@ -41,46 +64,59 @@ let check_params name ~g ~bin ~w =
   if g mod bin <> 0 then invalid_arg (name ^ ": bin must divide g");
   if w > g then invalid_arg (name ^ ": window wider than grid")
 
+(* The presort pass necessarily allocates (the bins themselves are the
+   Impatient-class duplication cost the paper measures); the spreading pass
+   below is allocation-free per sample: raw re/im accumulates, inline
+   window enumeration, counters in locals. *)
+
 let grid_1d ?stats ~table ~g ~bin ~coords values =
   let w = Wt.width table in
   check_params "Gridding_binned.grid_1d" ~g ~bin ~w;
   let m = Array.length coords in
   if Cvec.length values <> m then
     invalid_arg "Gridding_binned.grid_1d: coords/values length mismatch";
+  let tbl = Wt.data table and lf = float_of_int (Wt.oversampling table) in
+  let tlen = Array.length tbl in
   let n_tiles = g / bin in
   let bins = Array.make n_tiles [] in
+  let presort = ref 0 in
   (* Presort pass: duplicate each sample into every bin it touches. *)
   for j = m - 1 downto 0 do
     List.iter
       (fun t ->
         bins.(t) <- j :: bins.(t);
-        bump stats (fun s ->
-            s.Gridding_stats.presort_ops <- s.Gridding_stats.presort_ops + 1))
+        incr presort)
       (tiles_of_coord ~w ~bin ~g coords.(j))
   done;
   let out = Cvec.create g in
+  let processed = ref 0 and hits = ref 0 in
   for t = 0 to n_tiles - 1 do
     List.iter
       (fun j ->
-        bump stats (fun s ->
-            s.Gridding_stats.samples_processed <-
-              s.Gridding_stats.samples_processed + 1;
-            (* Output-parallel model inside the tile: every tile point
-               checks this sample. *)
-            s.Gridding_stats.boundary_checks <-
-              s.Gridding_stats.boundary_checks + bin);
-        let u = coords.(j) and v = Cvec.get values j in
-        Coord.iter_window ~w ~g u (fun ~k ~dist ->
-            if k / bin = t then begin
-              bump stats (fun s ->
-                  s.Gridding_stats.window_evals <-
-                    s.Gridding_stats.window_evals + 1;
-                  s.Gridding_stats.grid_accumulates <-
-                    s.Gridding_stats.grid_accumulates + 1);
-              Cvec.accumulate out k (C.scale (Wt.lookup table dist) v)
-            end))
+        incr processed;
+        let u = Array.unsafe_get coords j in
+        let vr = get_re values j and vi = get_im values j in
+        let start = window_start w u in
+        for i = 0 to w - 1 do
+          let ku = start + i in
+          let k = wrap g ku in
+          if k / bin = t then begin
+            incr hits;
+            let weight = lut tbl tlen lf (float_of_int ku -. u) in
+            acc_parts out k (weight *. vr) (weight *. vi)
+          end
+        done)
       bins.(t)
   done;
+  (* Output-parallel model inside the tile: every tile point checks each
+     (duplicated) sample. *)
+  add_stats stats ~samples:!processed
+    ~checks:(bin * !processed)
+    ~evals:!hits ~accums:!hits;
+  (match stats with
+  | None -> ()
+  | Some s ->
+      s.Gridding_stats.presort_ops <- s.Gridding_stats.presort_ops + !presort);
   out
 
 let grid_2d ?stats ~table ~g ~bin ~gx ~gy values =
@@ -89,44 +125,55 @@ let grid_2d ?stats ~table ~g ~bin ~gx ~gy values =
   let m = Array.length gx in
   if Array.length gy <> m || Cvec.length values <> m then
     invalid_arg "Gridding_binned.grid_2d: coords/values length mismatch";
+  let tbl = Wt.data table and lf = float_of_int (Wt.oversampling table) in
+  let tlen = Array.length tbl in
   let n_tiles = g / bin in
   let bins = Array.make (n_tiles * n_tiles) [] in
+  let presort = ref 0 in
   for j = m - 1 downto 0 do
     List.iter
       (fun (tx, ty) ->
         let b = (ty * n_tiles) + tx in
         bins.(b) <- j :: bins.(b);
-        bump stats (fun s ->
-            s.Gridding_stats.presort_ops <- s.Gridding_stats.presort_ops + 1))
+        incr presort)
       (bins_of_sample_2d ~w ~bin ~g gx.(j) gy.(j))
   done;
   let out = Cvec.create (g * g) in
+  let processed = ref 0 and hits = ref 0 in
   for ty = 0 to n_tiles - 1 do
     for tx = 0 to n_tiles - 1 do
       List.iter
         (fun j ->
-          bump stats (fun s ->
-              s.Gridding_stats.samples_processed <-
-                s.Gridding_stats.samples_processed + 1;
-              s.Gridding_stats.boundary_checks <-
-                s.Gridding_stats.boundary_checks + (bin * bin));
-          let v = Cvec.get values j in
-          Coord.iter_window ~w ~g gy.(j) (fun ~k:ky ~dist:dy ->
-              if ky / bin = ty then begin
-                let wy = Wt.lookup table dy in
-                Coord.iter_window ~w ~g gx.(j) (fun ~k:kx ~dist:dx ->
-                    if kx / bin = tx then begin
-                      let wx = Wt.lookup table dx in
-                      bump stats (fun s ->
-                          s.Gridding_stats.window_evals <-
-                            s.Gridding_stats.window_evals + 2;
-                          s.Gridding_stats.grid_accumulates <-
-                            s.Gridding_stats.grid_accumulates + 1);
-                      Cvec.accumulate out ((ky * g) + kx)
-                        (C.scale (wx *. wy) v)
-                    end)
-              end))
+          incr processed;
+          let vr = get_re values j and vi = get_im values j in
+          let uy = Array.unsafe_get gy j and ux = Array.unsafe_get gx j in
+          let sy = window_start w uy and sx = window_start w ux in
+          for iy = 0 to w - 1 do
+            let kyu = sy + iy in
+            let ky = wrap g kyu in
+            if ky / bin = ty then begin
+              let wy = lut tbl tlen lf (float_of_int kyu -. uy) in
+              let row = ky * g in
+              for ix = 0 to w - 1 do
+                let kxu = sx + ix in
+                let kx = wrap g kxu in
+                if kx / bin = tx then begin
+                  incr hits;
+                  let wx = lut tbl tlen lf (float_of_int kxu -. ux) in
+                  let weight = wx *. wy in
+                  acc_parts out (row + kx) (weight *. vr) (weight *. vi)
+                end
+              done
+            end
+          done)
         bins.((ty * n_tiles) + tx)
     done
   done;
+  add_stats stats ~samples:!processed
+    ~checks:(bin * bin * !processed)
+    ~evals:(2 * !hits) ~accums:!hits;
+  (match stats with
+  | None -> ()
+  | Some s ->
+      s.Gridding_stats.presort_ops <- s.Gridding_stats.presort_ops + !presort);
   out

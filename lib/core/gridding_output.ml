@@ -1,41 +1,61 @@
 module Cvec = Numerics.Cvec
-module C = Numerics.Complexd
 module Wt = Numerics.Weight_table
 
-let bump stats f = match stats with None -> () | Some s -> f s
-
 (* Is grid point [k] covered by the window of a sample at [u]?  Same
-   arithmetic as Coord.iter_window: k is hit iff (k - start) mod g < w. *)
-let hit ~w ~g ~k u =
-  let start = Coord.window_start ~w u in
-  let j =
-    let m = (k - start) mod g in
-    if m < 0 then m + g else m
-  in
-  if j < w then Some (float_of_int (start + j) -. u) else None
+   arithmetic as Coord.iter_window: k is hit iff (k - start) mod g < w.
+   The check is written out inline in the scan loops as branch + integer
+   arithmetic (no option, no tuple, no float box), so the M * G^d scan
+   allocates nothing per check.
+
+   As in {!Gridding_serial}, the element accessors and the LUT arithmetic
+   are same-module [@inline] helpers over Bigarray externals: the dev
+   profile's [-opaque] disables cross-module inlining, so calling into
+   Cvec / Coord / Weight_table per element would box a float each. *)
+
+module A1 = Bigarray.Array1
+
+let[@inline] get_re (v : Cvec.t) k = A1.unsafe_get v (2 * k)
+let[@inline] get_im (v : Cvec.t) k = A1.unsafe_get v ((2 * k) + 1)
+
+let[@inline] acc_parts (v : Cvec.t) k re im =
+  let j = 2 * k in
+  A1.unsafe_set v j (A1.unsafe_get v j +. re);
+  A1.unsafe_set v (j + 1) (A1.unsafe_get v (j + 1) +. im)
+
+let[@inline] window_start w u =
+  int_of_float (Float.floor (u +. (float_of_int w /. 2.0))) - w + 1
+
+let[@inline] lut tbl tlen lf d =
+  let a = int_of_float (Float.round (Float.abs d *. lf)) in
+  if a >= tlen then 0.0 else Array.unsafe_get tbl a
 
 let grid_1d ?stats ~table ~g ~coords values =
   let w = Wt.width table in
   let m = Array.length coords in
   if Cvec.length values <> m then
     invalid_arg "Gridding_output.grid_1d: coords/values length mismatch";
+  let tbl = Wt.data table and lf = float_of_int (Wt.oversampling table) in
+  let tlen = Array.length tbl in
   let out = Cvec.create g in
+  let hits = ref 0 in
   for k = 0 to g - 1 do
     for j = 0 to m - 1 do
-      bump stats (fun s ->
-          s.Gridding_stats.boundary_checks <-
-            s.Gridding_stats.boundary_checks + 1);
-      match hit ~w ~g ~k coords.(j) with
-      | None -> ()
-      | Some dist ->
-          bump stats (fun s ->
-              s.Gridding_stats.window_evals <-
-                s.Gridding_stats.window_evals + 1;
-              s.Gridding_stats.grid_accumulates <-
-                s.Gridding_stats.grid_accumulates + 1);
-          Cvec.accumulate out k (C.scale (Wt.lookup table dist) (Cvec.get values j))
+      let u = Array.unsafe_get coords j in
+      let start = window_start w u in
+      let off =
+        let r = (k - start) mod g in
+        if r < 0 then r + g else r
+      in
+      if off < w then begin
+        incr hits;
+        let dist = float_of_int (start + off) -. u in
+        let weight = lut tbl tlen lf dist in
+        acc_parts out k (weight *. get_re values j) (weight *. get_im values j)
+      end
     done
   done;
+  Gridding_serial.add_grid_stats stats ~samples:0 ~checks:(g * m)
+    ~evals:!hits ~accums:!hits;
   out
 
 let grid_2d ?stats ~table ~g ~gx ~gy values =
@@ -43,28 +63,40 @@ let grid_2d ?stats ~table ~g ~gx ~gy values =
   let m = Array.length gx in
   if Array.length gy <> m || Cvec.length values <> m then
     invalid_arg "Gridding_output.grid_2d: coords/values length mismatch";
+  let tbl = Wt.data table and lf = float_of_int (Wt.oversampling table) in
+  let tlen = Array.length tbl in
   let out = Cvec.create (g * g) in
+  let hits = ref 0 in
   for ky = 0 to g - 1 do
     for kx = 0 to g - 1 do
       let idx = (ky * g) + kx in
       for j = 0 to m - 1 do
-        bump stats (fun s ->
-            s.Gridding_stats.boundary_checks <-
-              s.Gridding_stats.boundary_checks + 1);
-        match hit ~w ~g ~k:kx gx.(j) with
-        | None -> ()
-        | Some dx -> (
-            match hit ~w ~g ~k:ky gy.(j) with
-            | None -> ()
-            | Some dy ->
-                let weight = Wt.lookup table dx *. Wt.lookup table dy in
-                bump stats (fun s ->
-                    s.Gridding_stats.window_evals <-
-                      s.Gridding_stats.window_evals + 2;
-                    s.Gridding_stats.grid_accumulates <-
-                      s.Gridding_stats.grid_accumulates + 1);
-                Cvec.accumulate out idx (C.scale weight (Cvec.get values j)))
+        let ux = Array.unsafe_get gx j in
+        let sx = window_start w ux in
+        let offx =
+          let r = (kx - sx) mod g in
+          if r < 0 then r + g else r
+        in
+        if offx < w then begin
+          let uy = Array.unsafe_get gy j in
+          let sy = window_start w uy in
+          let offy =
+            let r = (ky - sy) mod g in
+            if r < 0 then r + g else r
+          in
+          if offy < w then begin
+            incr hits;
+            let dx = float_of_int (sx + offx) -. ux in
+            let dy = float_of_int (sy + offy) -. uy in
+            let weight = lut tbl tlen lf dx *. lut tbl tlen lf dy in
+            acc_parts out idx
+              (weight *. get_re values j)
+              (weight *. get_im values j)
+          end
+        end
       done
     done
   done;
+  Gridding_serial.add_grid_stats stats ~samples:0 ~checks:(g * g * m)
+    ~evals:(2 * !hits) ~accums:!hits;
   out

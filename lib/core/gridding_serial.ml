@@ -5,7 +5,57 @@ module Wt = Numerics.Weight_table
 
 type precision = [ `Double | `Single ]
 
-let bump stats f = match stats with None -> () | Some s -> f s
+(* Hot loops below are written against raw re/im floats and deterministic
+   work counters: the per-sample loop bodies allocate nothing (no
+   [Complexd.t], no closures, no [option]); stats — whose totals per call
+   are a closed-form function of [m] and [w] for the input-driven schedule —
+   are added once after the loop.
+
+   The helpers are deliberately local: dune's dev profile compiles with
+   [-opaque] (no cross-module inlining), so per-element calls into Cvec /
+   Coord / Weight_table would box a float each. Bigarray and float
+   externals always compile inline, and same-module [@inline] functions are
+   inlined in every profile. The arithmetic is identical to the canonical
+   [Coord.window_start] / [Coord.wrap] / [Weight_table.lookup], which the
+   differential tests pin down. *)
+
+module A1 = Bigarray.Array1
+
+let[@inline] get_re (v : Cvec.t) k = A1.unsafe_get v (2 * k)
+let[@inline] get_im (v : Cvec.t) k = A1.unsafe_get v ((2 * k) + 1)
+
+let[@inline] set_parts (v : Cvec.t) k re im =
+  let j = 2 * k in
+  A1.unsafe_set v j re;
+  A1.unsafe_set v (j + 1) im
+
+let[@inline] acc_parts (v : Cvec.t) k re im =
+  let j = 2 * k in
+  A1.unsafe_set v j (A1.unsafe_get v j +. re);
+  A1.unsafe_set v (j + 1) (A1.unsafe_get v (j + 1) +. im)
+
+let[@inline] window_start w u =
+  int_of_float (Float.floor (u +. (float_of_int w /. 2.0))) - w + 1
+
+let[@inline] wrap g k =
+  let r = k mod g in
+  if r < 0 then r + g else r
+
+let[@inline] lut tbl tlen lf d =
+  let a = int_of_float (Float.round (Float.abs d *. lf)) in
+  if a >= tlen then 0.0 else Array.unsafe_get tbl a
+
+let add_grid_stats stats ~samples ~checks ~evals ~accums =
+  match stats with
+  | None -> ()
+  | Some s ->
+      s.Gridding_stats.samples_processed <-
+        s.Gridding_stats.samples_processed + samples;
+      s.Gridding_stats.boundary_checks <-
+        s.Gridding_stats.boundary_checks + checks;
+      s.Gridding_stats.window_evals <- s.Gridding_stats.window_evals + evals;
+      s.Gridding_stats.grid_accumulates <-
+        s.Gridding_stats.grid_accumulates + accums
 
 let grid_1d ?stats ?(precision = `Double) ~table ~g ~coords values =
   let w = Wt.width table in
@@ -13,23 +63,30 @@ let grid_1d ?stats ?(precision = `Double) ~table ~g ~coords values =
   if Cvec.length values <> m then
     invalid_arg "Gridding_serial.grid_1d: coords/values length mismatch";
   let out = Cvec.create g in
-  for j = 0 to m - 1 do
-    let v = Cvec.get values j in
-    bump stats (fun s ->
-        s.Gridding_stats.samples_processed <-
-          s.Gridding_stats.samples_processed + 1);
-    Coord.iter_window ~w ~g coords.(j) (fun ~k ~dist ->
-        let weight = Wt.lookup table dist in
-        bump stats (fun s ->
-            s.Gridding_stats.window_evals <- s.Gridding_stats.window_evals + 1;
-            s.Gridding_stats.grid_accumulates <-
-              s.Gridding_stats.grid_accumulates + 1);
-        match precision with
-        | `Double -> Cvec.accumulate out k (C.scale weight v)
-        | `Single ->
+  (match precision with
+  | `Double ->
+      let tbl = Wt.data table and lf = float_of_int (Wt.oversampling table) in
+      let tlen = Array.length tbl in
+      for j = 0 to m - 1 do
+        let vr = get_re values j and vi = get_im values j in
+        let u = Array.unsafe_get coords j in
+        let start = window_start w u in
+        for i = 0 to w - 1 do
+          let ku = start + i in
+          let k = wrap g ku in
+          let weight = lut tbl tlen lf (float_of_int ku -. u) in
+          acc_parts out k (weight *. vr) (weight *. vi)
+        done
+      done
+  | `Single ->
+      for j = 0 to m - 1 do
+        let v = Cvec.get values j in
+        Coord.iter_window ~w ~g coords.(j) (fun ~k ~dist ->
+            let weight = Wt.lookup table dist in
             let c = F32.cmul (F32.cround v) (C.of_float (F32.round weight)) in
             Cvec.set out k (F32.cadd (Cvec.get out k) c))
-  done;
+      done);
+  add_grid_stats stats ~samples:m ~checks:0 ~evals:(m * w) ~accums:(m * w);
   out
 
 let grid_2d ?stats ?(precision = `Double) ~table ~g ~gx ~gy values =
@@ -38,30 +95,43 @@ let grid_2d ?stats ?(precision = `Double) ~table ~g ~gx ~gy values =
   if Array.length gy <> m || Cvec.length values <> m then
     invalid_arg "Gridding_serial.grid_2d: coords/values length mismatch";
   let out = Cvec.create (g * g) in
-  for j = 0 to m - 1 do
-    let v = Cvec.get values j in
-    bump stats (fun s ->
-        s.Gridding_stats.samples_processed <-
-          s.Gridding_stats.samples_processed + 1);
-    Coord.iter_window ~w ~g gy.(j) (fun ~k:ky ~dist:dy ->
-        let wy = Wt.lookup table dy in
-        bump stats (fun s ->
-            s.Gridding_stats.window_evals <- s.Gridding_stats.window_evals + 1);
-        Coord.iter_window ~w ~g gx.(j) (fun ~k:kx ~dist:dx ->
-            let wx = Wt.lookup table dx in
-            let idx = (ky * g) + kx in
-            bump stats (fun s ->
-                s.Gridding_stats.window_evals <-
-                  s.Gridding_stats.window_evals + 1;
-                s.Gridding_stats.grid_accumulates <-
-                  s.Gridding_stats.grid_accumulates + 1);
-            match precision with
-            | `Double -> Cvec.accumulate out idx (C.scale (wx *. wy) v)
-            | `Single ->
+  (match precision with
+  | `Double ->
+      let tbl = Wt.data table and lf = float_of_int (Wt.oversampling table) in
+      let tlen = Array.length tbl in
+      for j = 0 to m - 1 do
+        let vr = get_re values j and vi = get_im values j in
+        let uy = Array.unsafe_get gy j and ux = Array.unsafe_get gx j in
+        let sy = window_start w uy and sx = window_start w ux in
+        for iy = 0 to w - 1 do
+          let kyu = sy + iy in
+          let ky = wrap g kyu in
+          let wy = lut tbl tlen lf (float_of_int kyu -. uy) in
+          let row = ky * g in
+          for ix = 0 to w - 1 do
+            let kxu = sx + ix in
+            let kx = wrap g kxu in
+            let wx = lut tbl tlen lf (float_of_int kxu -. ux) in
+            let weight = wx *. wy in
+            acc_parts out (row + kx) (weight *. vr) (weight *. vi)
+          done
+        done
+      done
+  | `Single ->
+      for j = 0 to m - 1 do
+        let v = Cvec.get values j in
+        Coord.iter_window ~w ~g gy.(j) (fun ~k:ky ~dist:dy ->
+            let wy = Wt.lookup table dy in
+            Coord.iter_window ~w ~g gx.(j) (fun ~k:kx ~dist:dx ->
+                let wx = Wt.lookup table dx in
+                let idx = (ky * g) + kx in
                 let weight = F32.mul (F32.round wx) (F32.round wy) in
                 let c = F32.cmul (F32.cround v) (C.of_float weight) in
                 Cvec.set out idx (F32.cadd (Cvec.get out idx) c)))
-  done;
+      done);
+  add_grid_stats stats ~samples:m ~checks:0
+    ~evals:((m * w) + (m * w * w))
+    ~accums:(m * w * w);
   out
 
 let interp_2d ?stats ~table ~g ~gx ~gy grid =
@@ -71,21 +141,29 @@ let interp_2d ?stats ~table ~g ~gx ~gy grid =
     invalid_arg "Gridding_serial.interp_2d: coords length mismatch";
   if Cvec.length grid <> g * g then
     invalid_arg "Gridding_serial.interp_2d: grid size mismatch";
+  let tbl = Wt.data table and lf = float_of_int (Wt.oversampling table) in
+  let tlen = Array.length tbl in
   let out = Cvec.create m in
   for j = 0 to m - 1 do
-    bump stats (fun s ->
-        s.Gridding_stats.samples_processed <-
-          s.Gridding_stats.samples_processed + 1);
-    let acc = ref C.zero in
-    Coord.iter_window ~w ~g gy.(j) (fun ~k:ky ~dist:dy ->
-        let wy = Wt.lookup table dy in
-        Coord.iter_window ~w ~g gx.(j) (fun ~k:kx ~dist:dx ->
-            let wx = Wt.lookup table dx in
-            bump stats (fun s ->
-                s.Gridding_stats.window_evals <-
-                  s.Gridding_stats.window_evals + 2);
-            acc :=
-              C.add !acc (C.scale (wx *. wy) (Cvec.get grid ((ky * g) + kx)))));
-    Cvec.set out j !acc
+    let uy = Array.unsafe_get gy j and ux = Array.unsafe_get gx j in
+    let sy = window_start w uy and sx = window_start w ux in
+    let acc_re = ref 0.0 and acc_im = ref 0.0 in
+    for iy = 0 to w - 1 do
+      let kyu = sy + iy in
+      let ky = wrap g kyu in
+      let wy = lut tbl tlen lf (float_of_int kyu -. uy) in
+      let row = ky * g in
+      for ix = 0 to w - 1 do
+        let kxu = sx + ix in
+        let kx = wrap g kxu in
+        let wx = lut tbl tlen lf (float_of_int kxu -. ux) in
+        let weight = wx *. wy in
+        let idx = row + kx in
+        acc_re := !acc_re +. (weight *. get_re grid idx);
+        acc_im := !acc_im +. (weight *. get_im grid idx)
+      done
+    done;
+    set_parts out j !acc_re !acc_im
   done;
+  add_grid_stats stats ~samples:m ~checks:0 ~evals:(2 * m * w * w) ~accums:0;
   out

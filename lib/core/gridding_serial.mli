@@ -9,6 +9,18 @@
 
 type precision = [ `Double | `Single ]
 
+val add_grid_stats :
+  Gridding_stats.t option ->
+  samples:int ->
+  checks:int ->
+  evals:int ->
+  accums:int ->
+  unit
+(** Merge a batch of work counters into an optional stats record — shared
+    by every engine so the per-sample hot loops never construct closures
+    for counter bumps (counts are accumulated in locals and added once per
+    call). *)
+
 val grid_1d :
   ?stats:Gridding_stats.t ->
   ?precision:precision ->

@@ -1,8 +1,68 @@
 module Cvec = Numerics.Cvec
-module C = Numerics.Complexd
 module Wt = Numerics.Weight_table
 
-let bump stats f = match stats with None -> () | Some s -> f s
+let add_stats = Gridding_serial.add_grid_stats
+
+(* Same-module hot-path primitives (see {!Gridding_serial} for why these are
+   local: dune's dev profile compiles with [-opaque], so cross-module calls
+   into Cvec / Coord / Weight_table box a float per element). The packed
+   column check reproduces {!Coord.column_check_packed} bit for bit —
+   [Coord.check_packing] still guards the address width, and the packed
+   layout constants come from [Coord] so the encodings cannot drift. *)
+
+module A1 = Bigarray.Array1
+
+let[@inline] get_re (v : Cvec.t) k = A1.unsafe_get v (2 * k)
+let[@inline] get_im (v : Cvec.t) k = A1.unsafe_get v ((2 * k) + 1)
+
+let[@inline] set_parts (v : Cvec.t) k re im =
+  let j = 2 * k in
+  A1.unsafe_set v j re;
+  A1.unsafe_set v (j + 1) im
+
+let[@inline] acc_parts (v : Cvec.t) k re im =
+  let j = 2 * k in
+  A1.unsafe_set v j (A1.unsafe_get v j +. re);
+  A1.unsafe_set v (j + 1) (A1.unsafe_get v (j + 1) +. im)
+
+let[@inline] window_start w u =
+  int_of_float (Float.floor (u +. (float_of_int w /. 2.0))) - w + 1
+
+let[@inline] wrap g k =
+  let r = k mod g in
+  if r < 0 then r + g else r
+
+let[@inline] lut tbl tlen lf d =
+  let a = int_of_float (Float.round (Float.abs d *. lf)) in
+  if a >= tlen then 0.0 else Array.unsafe_get tbl a
+
+let addr_bits = Coord.packed_addr_bits
+
+let[@inline] weight_at tbl tlen a =
+  if a >= tlen then 0.0 else Array.unsafe_get tbl a
+
+(* Miss = Coord.packed_miss (-1); hit = (tile lsl addr_bits) lor addr. *)
+let[@inline] col_check w t g lf column u =
+  let start = window_start w u in
+  let j =
+    let m = (column - start) mod t in
+    if m < 0 then m + t else m
+  in
+  if j >= w then -1
+  else begin
+    let k = start + j in
+    let n_tiles = g / t in
+    let tile_unwrapped =
+      if k >= 0 then k / t else ((k + 1) / t) - 1 (* floor division *)
+    in
+    let tile = wrap n_tiles tile_unwrapped in
+    let dist = float_of_int k -. u in
+    let addr = int_of_float (Float.round (Float.abs dist *. lf)) in
+    (tile lsl addr_bits) lor addr
+  end
+
+let[@inline] hit_tile h = h lsr addr_bits
+let[@inline] hit_addr h = h land ((1 lsl addr_bits) - 1)
 
 let dice_address ~t ~g ~column ~tile =
   let tiles_total = g / t * (g / t) in
@@ -19,86 +79,89 @@ let grid_index_of_dice ~t ~g addr =
 let dice_to_row_major ~t ~g dice =
   let out = Cvec.create (g * g) in
   for addr = 0 to Cvec.length dice - 1 do
-    Cvec.set out (grid_index_of_dice ~t ~g addr) (Cvec.get dice addr)
+    set_parts out (grid_index_of_dice ~t ~g addr) (get_re dice addr)
+      (get_im dice addr)
   done;
   out
+
+(* All select stages below use the int-encoded column check: a miss is a
+   negative sentinel and a hit carries the tile index and the quantized LUT
+   distance in one immediate int, so the per-sample loop is branch +
+   arithmetic only — no option, no record, no boxed float. *)
 
 let grid_1d ?stats ~table ~g ~t ~coords values =
   let w = Wt.width table in
   Coord.check_tiling ~t ~g ~w;
+  let l = Wt.oversampling table in
+  Coord.check_packing ~w ~l;
   let m = Array.length coords in
   if Cvec.length values <> m then
     invalid_arg "Gridding_slice.grid_1d: coords/values length mismatch";
+  let tbl = Wt.data table and lf = float_of_int l in
+  let tlen = Array.length tbl in
   let n_tiles = g / t in
   let out = Cvec.create g in
+  let hits = ref 0 in
   (* Column-outer: worker [p] owns grid points {q*t + p}; its column in the
      1D dice is contiguous in a private array. *)
   for p = 0 to t - 1 do
     let column = Cvec.create n_tiles in
     for j = 0 to m - 1 do
-      bump stats (fun s ->
-          s.Gridding_stats.boundary_checks <-
-            s.Gridding_stats.boundary_checks + 1);
-      match Coord.column_check ~w ~t ~g ~column:p coords.(j) with
-      | None -> ()
-      | Some hit ->
-          bump stats (fun s ->
-              s.Gridding_stats.window_evals <-
-                s.Gridding_stats.window_evals + 1;
-              s.Gridding_stats.grid_accumulates <-
-                s.Gridding_stats.grid_accumulates + 1);
-          Cvec.accumulate column hit.Coord.tile
-            (C.scale (Wt.lookup table hit.Coord.dist) (Cvec.get values j))
+      let h = col_check w t g lf p (Array.unsafe_get coords j) in
+      if h >= 0 then begin
+        incr hits;
+        let weight = weight_at tbl tlen (hit_addr h) in
+        acc_parts column (hit_tile h)
+          (weight *. get_re values j)
+          (weight *. get_im values j)
+      end
     done;
     for q = 0 to n_tiles - 1 do
-      Cvec.set out ((q * t) + p) (Cvec.get column q)
+      set_parts out ((q * t) + p) (get_re column q) (get_im column q)
     done
   done;
-  bump stats (fun s ->
-      s.Gridding_stats.samples_processed <-
-        s.Gridding_stats.samples_processed + m);
+  add_stats stats ~samples:m ~checks:(t * m) ~evals:!hits ~accums:!hits;
   out
 
 let grid_2d ?stats ~table ~g ~t ~gx ~gy values =
   let w = Wt.width table in
   Coord.check_tiling ~t ~g ~w;
+  let l = Wt.oversampling table in
+  Coord.check_packing ~w ~l;
   let m = Array.length gx in
   if Array.length gy <> m || Cvec.length values <> m then
     invalid_arg "Gridding_slice.grid_2d: coords/values length mismatch";
+  let tbl = Wt.data table and lf = float_of_int l in
+  let tlen = Array.length tbl in
   let n_tiles = g / t in
   let tiles_total = n_tiles * n_tiles in
   let dice = Cvec.create (t * t * tiles_total) in
+  let hits = ref 0 in
   for ry = 0 to t - 1 do
     for rx = 0 to t - 1 do
       let column = (ry * t) + rx in
+      let col_base = column * tiles_total in
       for j = 0 to m - 1 do
-        bump stats (fun s ->
-            s.Gridding_stats.boundary_checks <-
-              s.Gridding_stats.boundary_checks + 1);
-        match Coord.column_check ~w ~t ~g ~column:rx gx.(j) with
-        | None -> ()
-        | Some hx -> (
-            match Coord.column_check ~w ~t ~g ~column:ry gy.(j) with
-            | None -> ()
-            | Some hy ->
-                let weight =
-                  Wt.lookup table hx.Coord.dist *. Wt.lookup table hy.Coord.dist
-                in
-                let tile = (hy.Coord.tile * n_tiles) + hx.Coord.tile in
-                bump stats (fun s ->
-                    s.Gridding_stats.window_evals <-
-                      s.Gridding_stats.window_evals + 2;
-                    s.Gridding_stats.grid_accumulates <-
-                      s.Gridding_stats.grid_accumulates + 1);
-                Cvec.accumulate dice
-                  (dice_address ~t ~g ~column ~tile)
-                  (C.scale weight (Cvec.get values j)))
+        let hx = col_check w t g lf rx (Array.unsafe_get gx j) in
+        if hx >= 0 then begin
+          let hy = col_check w t g lf ry (Array.unsafe_get gy j) in
+          if hy >= 0 then begin
+            incr hits;
+            let weight =
+              weight_at tbl tlen (hit_addr hx)
+              *. weight_at tbl tlen (hit_addr hy)
+            in
+            let tile = (hit_tile hy * n_tiles) + hit_tile hx in
+            acc_parts dice (col_base + tile)
+              (weight *. get_re values j)
+              (weight *. get_im values j)
+          end
+        end
       done
     done
   done;
-  bump stats (fun s ->
-      s.Gridding_stats.samples_processed <-
-        s.Gridding_stats.samples_processed + m);
+  add_stats stats ~samples:m ~checks:(t * t * m) ~evals:(2 * !hits)
+    ~accums:!hits;
   dice_to_row_major ~t ~g dice
 
 let grid_2d_fast ?stats ~table ~g ~t ~gx ~gy values =
@@ -107,34 +170,39 @@ let grid_2d_fast ?stats ~table ~g ~t ~gx ~gy values =
   let m = Array.length gx in
   if Array.length gy <> m || Cvec.length values <> m then
     invalid_arg "Gridding_slice.grid_2d_fast: coords/values length mismatch";
+  let tbl = Wt.data table and lf = float_of_int (Wt.oversampling table) in
+  let tlen = Array.length tbl in
   let n_tiles = g / t in
   let tiles_total = n_tiles * n_tiles in
   let dice = Cvec.create (t * t * tiles_total) in
   for j = 0 to m - 1 do
-    let v = Cvec.get values j in
-    bump stats (fun s ->
-        s.Gridding_stats.samples_processed <-
-          s.Gridding_stats.samples_processed + 1;
-        (* The parallel model still performs a check per column. *)
-        s.Gridding_stats.boundary_checks <-
-          s.Gridding_stats.boundary_checks + (t * t));
-    Coord.iter_window ~w ~g gy.(j) (fun ~k:ky ~dist:dy ->
-        let wy = Wt.lookup table dy in
-        let ry = ky mod t and qy = ky / t in
-        Coord.iter_window ~w ~g gx.(j) (fun ~k:kx ~dist:dx ->
-            let wx = Wt.lookup table dx in
-            let rx = kx mod t and qx = kx / t in
-            let column = (ry * t) + rx in
-            let tile = (qy * n_tiles) + qx in
-            bump stats (fun s ->
-                s.Gridding_stats.window_evals <-
-                  s.Gridding_stats.window_evals + 2;
-                s.Gridding_stats.grid_accumulates <-
-                  s.Gridding_stats.grid_accumulates + 1);
-            Cvec.accumulate dice
-              (dice_address ~t ~g ~column ~tile)
-              (C.scale (wx *. wy) v)))
+    let vr = get_re values j and vi = get_im values j in
+    let uy = Array.unsafe_get gy j and ux = Array.unsafe_get gx j in
+    let sy = window_start w uy and sx = window_start w ux in
+    for iy = 0 to w - 1 do
+      let kyu = sy + iy in
+      let ky = wrap g kyu in
+      let wy = lut tbl tlen lf (float_of_int kyu -. uy) in
+      let ry = ky mod t and qy = ky / t in
+      for ix = 0 to w - 1 do
+        let kxu = sx + ix in
+        let kx = wrap g kxu in
+        let wx = lut tbl tlen lf (float_of_int kxu -. ux) in
+        let rx = kx mod t and qx = kx / t in
+        let column = (ry * t) + rx in
+        let tile = (qy * n_tiles) + qx in
+        let weight = wx *. wy in
+        acc_parts dice
+          ((column * tiles_total) + tile)
+          (weight *. vr) (weight *. vi)
+      done
+    done
   done;
+  (* The parallel model still performs a check per column. *)
+  add_stats stats ~samples:m
+    ~checks:(m * t * t)
+    ~evals:(2 * m * w * w)
+    ~accums:(m * w * w);
   dice_to_row_major ~t ~g dice
 
 (* Resolve the execution context for a pool-parallel engine: an explicit
@@ -153,9 +221,13 @@ let with_pool ~name ?pool ?domains f =
 let grid_2d_parallel ?stats ?pool ?domains ~table ~g ~t ~gx ~gy values =
   let w = Wt.width table in
   Coord.check_tiling ~t ~g ~w;
+  let l = Wt.oversampling table in
+  Coord.check_packing ~w ~l;
   let m = Array.length gx in
   if Array.length gy <> m || Cvec.length values <> m then
     invalid_arg "Gridding_slice.grid_2d_parallel: coords/values length mismatch";
+  let tbl = Wt.data table and lf = float_of_int l in
+  let tlen = Array.length tbl in
   let n_tiles = g / t in
   let tiles_total = n_tiles * n_tiles in
   let columns_total = t * t in
@@ -169,48 +241,41 @@ let grid_2d_parallel ?stats ?pool ?domains ~table ~g ~t ~gx ~gy values =
   let process_columns ~lo ~hi =
     (* Per-chunk private counters, merged once; the shared [stats] record
        is never touched inside the parallel region. *)
-    let local =
-      match stats with None -> None | Some _ -> Some (Gridding_stats.create ())
-    in
+    let hits = ref 0 in
     for c = lo to hi - 1 do
       let rx = c mod t and ry = c / t in
-      let store = column_store.(c) in
+      let store = Array.unsafe_get column_store c in
       for j = 0 to m - 1 do
-        bump local (fun s ->
-            s.Gridding_stats.boundary_checks <-
-              s.Gridding_stats.boundary_checks + 1);
-        match Coord.column_check ~w ~t ~g ~column:rx gx.(j) with
-        | None -> ()
-        | Some hx -> (
-            match Coord.column_check ~w ~t ~g ~column:ry gy.(j) with
-            | None -> ()
-            | Some hy ->
-                let weight =
-                  Wt.lookup table hx.Coord.dist *. Wt.lookup table hy.Coord.dist
-                in
-                let tile = (hy.Coord.tile * n_tiles) + hx.Coord.tile in
-                bump local (fun s ->
-                    s.Gridding_stats.window_evals <-
-                      s.Gridding_stats.window_evals + 2;
-                    s.Gridding_stats.grid_accumulates <-
-                      s.Gridding_stats.grid_accumulates + 1);
-                Cvec.accumulate store tile
-                  (C.scale weight (Cvec.get values j)))
+        let hx = col_check w t g lf rx (Array.unsafe_get gx j) in
+        if hx >= 0 then begin
+          let hy = col_check w t g lf ry (Array.unsafe_get gy j) in
+          if hy >= 0 then begin
+            incr hits;
+            let weight =
+              weight_at tbl tlen (hit_addr hx)
+              *. weight_at tbl tlen (hit_addr hy)
+            in
+            let tile = (hit_tile hy * n_tiles) + hit_tile hx in
+            acc_parts store tile
+              (weight *. get_re values j)
+              (weight *. get_im values j)
+          end
+        end
       done
     done;
-    match (stats, local) with
-    | Some acc, Some l ->
+    match stats with
+    | None -> ()
+    | Some _ ->
         Mutex.lock stats_mutex;
-        Gridding_stats.add acc l;
+        add_stats stats ~samples:0
+          ~checks:((hi - lo) * m)
+          ~evals:(2 * !hits) ~accums:!hits;
         Mutex.unlock stats_mutex
-    | _ -> ()
   in
   with_pool ~name:"Gridding_slice.grid_2d_parallel" ?pool ?domains (fun p ->
       Runtime.Pool.parallel_for_ranges ~chunk:1 p ~start:0 ~stop:columns_total
         process_columns);
-  bump stats (fun s ->
-      s.Gridding_stats.samples_processed <-
-        s.Gridding_stats.samples_processed + m);
+  add_stats stats ~samples:m ~checks:0 ~evals:0 ~accums:0;
   (* Assemble the dice into the row-major grid. *)
   let out = Cvec.create (g * g) in
   for c = 0 to columns_total - 1 do
@@ -218,8 +283,9 @@ let grid_2d_parallel ?stats ?pool ?domains ~table ~g ~t ~gx ~gy values =
     let store = column_store.(c) in
     for tile = 0 to tiles_total - 1 do
       let tx = tile mod n_tiles and ty = tile / n_tiles in
-      Cvec.set out (((((ty * t) + ry) * g) + (tx * t)) + rx)
-        (Cvec.get store tile)
+      set_parts out
+        (((((ty * t) + ry) * g) + (tx * t)) + rx)
+        (get_re store tile) (get_im store tile)
     done
   done;
   out

@@ -14,6 +14,7 @@ module Gridding3d = Gridding3d
 module Minmax = Minmax
 module Apodization = Apodization
 module Nudft = Nudft
+module Sample_plan = Sample_plan
 module Plan = Plan
 module Operator = Operator
 include Plan

@@ -132,7 +132,7 @@ let normal (module O : NUFFT_OP) x = O.adjoint (O.forward x)
 
 let now () = Unix.gettimeofday ()
 
-let of_plan ?name (plan : Plan.plan) ~coords : op =
+let of_plan ?name ?(compile = true) (plan : Plan.plan) ~coords : op =
   if coords.Sample.g <> plan.Plan.g then
     invalid_arg
       (Printf.sprintf "Operator.of_plan: coords are for grid %d, plan uses %d"
@@ -149,9 +149,17 @@ let of_plan ?name (plan : Plan.plan) ~coords : op =
     let n = plan.Plan.n
     let g = plan.Plan.g
 
+    (* With [compile] (the default), forward/adjoint replay the plan's
+       compiled sample plan: the engine's decomposition is paid on the
+       first application and every subsequent CG iteration streams the
+       precomputed indices and weights. *)
+
     let adjoint s =
       let t0 = now () in
-      let image, tm = Plan.adjoint_timed ~stats:st.grid plan s in
+      let image, tm =
+        if compile then Plan.adjoint_compiled_timed ~stats:st.grid plan s
+        else Plan.adjoint_timed ~stats:st.grid plan s
+      in
       st.adjoints <- st.adjoints + 1;
       add_timings st tm;
       st.adjoint_s <- st.adjoint_s +. (now () -. t0);
@@ -159,7 +167,10 @@ let of_plan ?name (plan : Plan.plan) ~coords : op =
 
     let forward image =
       let t0 = now () in
-      let values = Plan.forward ~stats:st.grid plan ~coords image in
+      let values =
+        if compile then Plan.forward_compiled ~stats:st.grid plan ~coords image
+        else Plan.forward ~stats:st.grid plan ~coords image
+      in
       st.forwards <- st.forwards + 1;
       st.forward_s <- st.forward_s +. (now () -. t0);
       Sample.with_values coords values

@@ -139,8 +139,18 @@ val normal : op -> Numerics.Cvec.t -> Numerics.Cvec.t
 (** [normal op x = adjoint (forward x)] — the Gram/normal map [A^H A]
     iterative reconstruction needs. *)
 
-val of_plan : ?name:string -> Plan.plan -> coords:Sample.t -> op
+val of_plan :
+  ?name:string -> ?compile:bool -> Plan.plan -> coords:Sample.t -> op
 (** Wrap an existing CPU plan as an operator bound to [coords] (which must
     live on the plan's grid). This is how every CPU registry entry is
     implemented, and the escape hatch for custom plans (window, table
-    precision, ...). *)
+    precision, ...).
+
+    With [compile] (default [true]) forward/adjoint go through the plan's
+    compiled sample plan ({!Plan.compiled}): the engine's slice-and-dice
+    decomposition is performed once, on the first application, and every
+    later application — each iteration of a CG solve — replays the
+    precomputed window indices and weights, bit-identically to the serial
+    engine. Pass [~compile:false] to run the plan's gridding engine on
+    every application (e.g. to benchmark or differential-test the engines
+    themselves). *)

@@ -16,6 +16,10 @@
     which the property tests verify. Complexity is
     [O(M w^d + G^d log G^d)] versus the NuDFT's [O(M N^d)]. *)
 
+type cached
+(** One compiled decomposition: the coordinate arrays it was built for and
+    the {!Sample_plan.t} replaying them. *)
+
 type plan = private {
   n : int;  (** base (image) grid size per dimension *)
   sigma : float;  (** oversampling factor, 1 < sigma <= 2 typical *)
@@ -28,6 +32,9 @@ type plan = private {
   engine : Gridding.engine;
   pool : Runtime.Pool.t option;
       (** domain pool used by every transform of this plan *)
+  mutable cache : cached option;
+      (** most recently compiled sample plan, keyed on the physical
+          identity of the bound coordinate arrays *)
 }
 
 val make :
@@ -160,3 +167,40 @@ val pad_apodize_2d : plan -> Numerics.Cvec.t -> Numerics.Cvec.t
     step 1). *)
 
 val pad_apodize_3d : plan -> Numerics.Cvec.t -> Numerics.Cvec.t
+
+(** {2 Compiled sample plans}
+
+    Iterative reconstruction applies one (engine x trajectory) pair tens of
+    times. {!compiled} performs the engine's slice-and-dice decomposition
+    once — flat per-sample arrays of window indices and weights — and the
+    [_compiled] transforms replay it, bit-identically to the serial and
+    slice engines. The plan caches the most recent compilation keyed on the
+    {e physical identity} of the coordinate arrays ([Sample.with_values]
+    preserves them, so the CG forward/adjoint ping-pong always hits); a
+    sample set with different coordinate arrays transparently recompiles.
+    Stats: compilation charges the decomposition cost ([boundary_checks]
+    per the plan's engine model, plus [window_evals]); replay charges only
+    [samples_processed] / [grid_accumulates]. *)
+
+val compiled : ?stats:Gridding_stats.t -> plan -> Sample.t -> Sample_plan.t
+(** Compiled decomposition of the sample set's coordinates (built on first
+    use, cached thereafter). The sample set's [g] must match the plan's. *)
+
+val adjoint_compiled :
+  ?stats:Gridding_stats.t -> plan -> Sample.t -> Numerics.Cvec.t
+(** {!adjoint} through the compiled plan: replay-spread, FFT (on the
+    plan's pool if any), de-apodize. *)
+
+val adjoint_compiled_timed :
+  ?stats:Gridding_stats.t -> plan -> Sample.t -> Numerics.Cvec.t * timings
+(** Timed variant; compilation time (first call only) is accounted to the
+    gridding stage. *)
+
+val forward_compiled :
+  ?stats:Gridding_stats.t ->
+  plan ->
+  coords:Sample.t ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** {!forward} through the compiled plan: pad/apodize, FFT, replay-gather
+    at the compiled sample locations. *)

@@ -1,0 +1,182 @@
+module Cvec = Numerics.Cvec
+module Wt = Numerics.Weight_table
+
+type t = {
+  dims : int;
+  m : int;
+  g : int;
+  w : int;
+  points : int;
+  idx : int array;
+  wgt : float array;
+}
+
+let dims t = t.dims
+let length t = t.m
+let grid t = t.g
+let points_per_sample t = t.points
+
+let rec pow b e = if e = 0 then 1 else b * pow b (e - 1)
+let grid_length t = pow t.g t.dims
+
+let memory_words t = (2 * t.m * t.points) + 8
+
+let add_stats = Gridding_serial.add_grid_stats
+
+(* Same-module hot-path primitives; see {!Gridding_serial} for the
+   [-opaque] / cross-module-inlining rationale. *)
+
+module A1 = Bigarray.Array1
+
+let[@inline] get_re (v : Cvec.t) k = A1.unsafe_get v (2 * k)
+let[@inline] get_im (v : Cvec.t) k = A1.unsafe_get v ((2 * k) + 1)
+
+let[@inline] set_parts (v : Cvec.t) k re im =
+  let j = 2 * k in
+  A1.unsafe_set v j re;
+  A1.unsafe_set v (j + 1) im
+
+let[@inline] acc_parts (v : Cvec.t) k re im =
+  let j = 2 * k in
+  A1.unsafe_set v j (A1.unsafe_get v j +. re);
+  A1.unsafe_set v (j + 1) (A1.unsafe_get v (j + 1) +. im)
+
+let[@inline] window_start w u =
+  int_of_float (Float.floor (u +. (float_of_int w /. 2.0))) - w + 1
+
+let[@inline] wrap g k =
+  let r = k mod g in
+  if r < 0 then r + g else r
+
+let[@inline] lut tbl tlen lf d =
+  let a = int_of_float (Float.round (Float.abs d *. lf)) in
+  if a >= tlen then 0.0 else Array.unsafe_get tbl a
+
+(* Compilation enumerates each sample's interpolation window in exactly the
+   order the serial engine spreads it (y-outer then x, z-outer in 3D) and
+   records the flattened grid index and the finished scalar weight of every
+   window point. Replay then re-walks the arrays in that order, so the
+   accumulation order onto any given grid cell — and therefore the floating
+   point result — is bit-identical to the serial and slice engines.
+
+   Stats: compilation charges the select/eval cost (the decomposition: the
+   caller-supplied [select_checks] plus one [window_evals] per table lookup
+   actually performed); replay charges only the streaming cost
+   ([samples_processed] and [grid_accumulates]). Re-running a transform
+   from a compiled plan therefore leaves the decomposition counters
+   untouched — the property the CG amortization tests pin down. *)
+
+let compile_2d ?stats ?(select_checks = 0) ~table ~g ~gx ~gy () =
+  let w = Wt.width table in
+  let m = Array.length gx in
+  if Array.length gy <> m then
+    invalid_arg "Sample_plan.compile_2d: coords length mismatch";
+  let tbl = Wt.data table and lf = float_of_int (Wt.oversampling table) in
+  let tlen = Array.length tbl in
+  let points = w * w in
+  let idx = Array.make (m * points) 0 in
+  let wgt = Array.make (m * points) 0.0 in
+  for j = 0 to m - 1 do
+    let uy = Array.unsafe_get gy j and ux = Array.unsafe_get gx j in
+    let sy = window_start w uy and sx = window_start w ux in
+    let base = j * points in
+    for iy = 0 to w - 1 do
+      let kyu = sy + iy in
+      let ky = wrap g kyu in
+      let wy = lut tbl tlen lf (float_of_int kyu -. uy) in
+      let row = ky * g in
+      let rbase = base + (iy * w) in
+      for ix = 0 to w - 1 do
+        let kxu = sx + ix in
+        let kx = wrap g kxu in
+        let wx = lut tbl tlen lf (float_of_int kxu -. ux) in
+        Array.unsafe_set idx (rbase + ix) (row + kx);
+        Array.unsafe_set wgt (rbase + ix) (wx *. wy)
+      done
+    done
+  done;
+  add_stats stats ~samples:0 ~checks:select_checks
+    ~evals:((m * w) + (m * w * w))
+    ~accums:0;
+  { dims = 2; m; g; w; points; idx; wgt }
+
+let compile_3d ?stats ?(select_checks = 0) ~table ~g ~gx ~gy ~gz () =
+  let w = Wt.width table in
+  let m = Array.length gx in
+  if Array.length gy <> m || Array.length gz <> m then
+    invalid_arg "Sample_plan.compile_3d: coords length mismatch";
+  let tbl = Wt.data table and lf = float_of_int (Wt.oversampling table) in
+  let tlen = Array.length tbl in
+  let points = w * w * w in
+  let idx = Array.make (m * points) 0 in
+  let wgt = Array.make (m * points) 0.0 in
+  for j = 0 to m - 1 do
+    let uz = Array.unsafe_get gz j
+    and uy = Array.unsafe_get gy j
+    and ux = Array.unsafe_get gx j in
+    let sz = window_start w uz
+    and sy = window_start w uy
+    and sx = window_start w ux in
+    let base = j * points in
+    for iz = 0 to w - 1 do
+      let kzu = sz + iz in
+      let kz = wrap g kzu in
+      let wz = lut tbl tlen lf (float_of_int kzu -. uz) in
+      for iy = 0 to w - 1 do
+        let kyu = sy + iy in
+        let ky = wrap g kyu in
+        let wyz = wz *. lut tbl tlen lf (float_of_int kyu -. uy) in
+        let plane = ((kz * g) + ky) * g in
+        let rbase = base + (((iz * w) + iy) * w) in
+        for ix = 0 to w - 1 do
+          let kxu = sx + ix in
+          let kx = wrap g kxu in
+          let wx = lut tbl tlen lf (float_of_int kxu -. ux) in
+          Array.unsafe_set idx (rbase + ix) (plane + kx);
+          Array.unsafe_set wgt (rbase + ix) (wyz *. wx)
+        done
+      done
+    done
+  done;
+  add_stats stats ~samples:0 ~checks:select_checks
+    ~evals:((m * w) + (m * w * w) + (m * w * w * w))
+    ~accums:0;
+  { dims = 3; m; g; w; points; idx; wgt }
+
+let spread ?stats t values =
+  if Cvec.length values <> t.m then
+    invalid_arg "Sample_plan.spread: values length mismatch";
+  let out = Cvec.create (grid_length t) in
+  let p = t.points in
+  let idx = t.idx and wgt = t.wgt in
+  for j = 0 to t.m - 1 do
+    let vr = get_re values j and vi = get_im values j in
+    let base = j * p in
+    for i = 0 to p - 1 do
+      let k = Array.unsafe_get idx (base + i) in
+      let weight = Array.unsafe_get wgt (base + i) in
+      acc_parts out k (weight *. vr) (weight *. vi)
+    done
+  done;
+  add_stats stats ~samples:t.m ~checks:0 ~evals:0 ~accums:(t.m * p);
+  out
+
+let gather ?stats t grid =
+  if Cvec.length grid <> grid_length t then
+    invalid_arg "Sample_plan.gather: grid size mismatch";
+  let out = Cvec.create t.m in
+  let p = t.points in
+  let idx = t.idx and wgt = t.wgt in
+  for j = 0 to t.m - 1 do
+    let base = j * p in
+    let acc_re = ref 0.0 and acc_im = ref 0.0 in
+    for i = 0 to p - 1 do
+      let k = Array.unsafe_get idx (base + i) in
+      let weight = Array.unsafe_get wgt (base + i) in
+      acc_re := !acc_re +. (weight *. get_re grid k);
+      acc_im := !acc_im +. (weight *. get_im grid k)
+    done;
+    set_parts out j !acc_re !acc_im
+  done;
+  add_stats stats ~samples:t.m ~checks:0 ~evals:0 ~accums:0;
+  out

@@ -1,0 +1,75 @@
+(** Compiled sample plans: the slice-and-dice decomposition done once.
+
+    A compiled plan is the fixed part of gridding a particular trajectory —
+    for every sample, the flattened grid indices of its [w^dims]
+    interpolation-window points and the finished scalar weight at each —
+    precomputed into two flat arrays. {!spread} and {!gather} then replay
+    those arrays with a pure streaming multiply-accumulate loop: no
+    boundary checks, no window evaluation, no tile arithmetic.
+
+    Iterative reconstruction (CG, Toeplitz kernel construction) applies the
+    same operator on the same coordinates tens of times; compiling once and
+    replaying moves the whole decomposition cost out of the iteration loop.
+    The replay enumeration order matches the serial engine exactly, so
+    replayed transforms are bit-identical to the serial (and slice) engine
+    results.
+
+    Stats accounting splits along the same line: compilation charges
+    [boundary_checks] (the caller-supplied select cost of the engine whose
+    decomposition is being amortised) and [window_evals]; replay charges
+    only [samples_processed] and [grid_accumulates]. The decomposition
+    counters of a stats record therefore advance exactly once per compiled
+    plan no matter how many times it is replayed. *)
+
+type t
+
+val dims : t -> int
+val length : t -> int
+(** Number of samples the plan was compiled for. *)
+
+val grid : t -> int
+(** Oversampled grid size [g] per dimension. *)
+
+val points_per_sample : t -> int
+(** [w^dims]: window points recorded per sample. *)
+
+val grid_length : t -> int
+(** [g^dims]: flattened length of the grid {!spread} produces. *)
+
+val memory_words : t -> int
+(** Approximate footprint of the compiled arrays, in words. *)
+
+val compile_2d :
+  ?stats:Gridding_stats.t ->
+  ?select_checks:int ->
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  gx:float array ->
+  gy:float array ->
+  unit ->
+  t
+(** Compile the decomposition of a 2D trajectory. [select_checks] is the
+    number of boundary checks the amortised engine would have performed for
+    one gridding pass (e.g. [t^2 * m] for a slice engine with tile [t]);
+    it is charged to [stats] here, once. *)
+
+val compile_3d :
+  ?stats:Gridding_stats.t ->
+  ?select_checks:int ->
+  table:Numerics.Weight_table.t ->
+  g:int ->
+  gx:float array ->
+  gy:float array ->
+  gz:float array ->
+  unit ->
+  t
+
+val spread : ?stats:Gridding_stats.t -> t -> Numerics.Cvec.t -> Numerics.Cvec.t
+(** [spread t values] grids [values] (length {!length}) onto a fresh
+    [g^dims] grid by replaying the compiled arrays. Bit-identical to
+    {!Gridding_serial} on the same inputs. *)
+
+val gather : ?stats:Gridding_stats.t -> t -> Numerics.Cvec.t -> Numerics.Cvec.t
+(** [gather t grid] interpolates the [g^dims] grid at the compiled sample
+    locations (the forward-transform regridding step); adjoint of
+    {!spread} by construction, since both replay the same weights. *)

@@ -1,5 +1,19 @@
 module Cvec = Numerics.Cvec
 
+(* Same-module element accessors over the Bigarray externals: the dev
+   profile compiles with [-opaque] (no cross-module inlining), so calling
+   [Cvec.unsafe_get_re] etc. per butterfly would box a float each. These
+   compile to loads/stores in every profile. *)
+module A1 = Bigarray.Array1
+
+let[@inline] get_re (v : Cvec.t) k = A1.unsafe_get v (2 * k)
+let[@inline] get_im (v : Cvec.t) k = A1.unsafe_get v ((2 * k) + 1)
+
+let[@inline] set_parts (v : Cvec.t) k re im =
+  let j = 2 * k in
+  A1.unsafe_set v j re;
+  A1.unsafe_set v (j + 1) im
+
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
 let next_pow2 n =
@@ -11,24 +25,36 @@ let next_pow2 n =
    the cache makes repeated transforms of the same size (2D row/column
    passes, iterative reconstruction) allocation-free. A mutex guards the
    hashtables so concurrent line transforms from a domain pool cannot
-   corrupt them; the tables themselves are immutable once published and the
-   lock is taken once per transform, not per butterfly. *)
+   corrupt them; the tables themselves are immutable once published.
+
+   The build runs *outside* the lock: under the domain pool the first large
+   transform would otherwise serialize every worker behind one twiddle
+   build. Workers that miss concurrently each build a candidate table, then
+   re-check under the lock and all adopt whichever table was inserted
+   first (the tables are deterministic, so the losers' work is identical
+   and simply dropped). *)
 let cache_mutex = Mutex.create ()
 let twiddle_cache : (int * int, float array) Hashtbl.t = Hashtbl.create 16
 let bitrev_cache : (int, int array) Hashtbl.t = Hashtbl.create 16
 
 let cached cache key build =
   Mutex.lock cache_mutex;
-  let t =
-    match Hashtbl.find_opt cache key with
-    | Some t -> t
-    | None ->
-        let t = build () in
-        Hashtbl.add cache key t;
-        t
-  in
+  let found = Hashtbl.find_opt cache key in
   Mutex.unlock cache_mutex;
-  t
+  match found with
+  | Some t -> t
+  | None ->
+      let candidate = build () in
+      Mutex.lock cache_mutex;
+      let adopted =
+        match Hashtbl.find_opt cache key with
+        | Some winner -> winner
+        | None ->
+            Hashtbl.add cache key candidate;
+            candidate
+      in
+      Mutex.unlock cache_mutex;
+      adopted
 
 let twiddles n sgn =
   cached twiddle_cache (n, sgn) (fun () ->
@@ -58,13 +84,11 @@ let radix2_inplace sgn v =
   let n = Cvec.length v in
   let rev = bitrev_table n in
   for i = 0 to n - 1 do
-    let j = rev.(i) in
+    let j = Array.unsafe_get rev i in
     if j > i then begin
-      let tr = v.(2 * i) and ti = v.((2 * i) + 1) in
-      v.(2 * i) <- v.(2 * j);
-      v.((2 * i) + 1) <- v.((2 * j) + 1);
-      v.(2 * j) <- tr;
-      v.((2 * j) + 1) <- ti
+      let tr = get_re v i and ti = get_im v i in
+      set_parts v i (get_re v j) (get_im v j);
+      set_parts v j tr ti
     end
   done;
   let tw = twiddles n sgn in
@@ -76,16 +100,15 @@ let radix2_inplace sgn v =
     while !i < n do
       for j = 0 to half - 1 do
         let wi = j * step in
-        let wr = tw.(2 * wi) and wim = tw.((2 * wi) + 1) in
+        let wr = Array.unsafe_get tw (2 * wi)
+        and wim = Array.unsafe_get tw ((2 * wi) + 1) in
         let a = !i + j and b = !i + j + half in
-        let br = v.(2 * b) and bi = v.((2 * b) + 1) in
+        let br = get_re v b and bi = get_im v b in
         let tr = (wr *. br) -. (wim *. bi) in
         let ti = (wr *. bi) +. (wim *. br) in
-        let ar = v.(2 * a) and ai = v.((2 * a) + 1) in
-        v.(2 * a) <- ar +. tr;
-        v.((2 * a) + 1) <- ai +. ti;
-        v.(2 * b) <- ar -. tr;
-        v.((2 * b) + 1) <- ai -. ti
+        let ar = get_re v a and ai = get_im v a in
+        set_parts v a (ar +. tr) (ai +. ti);
+        set_parts v b (ar -. tr) (ai -. ti)
       done;
       i := !i + !len
     done;
@@ -100,41 +123,35 @@ let bluestein sgn v =
   let n = Cvec.length v in
   let m = next_pow2 ((2 * n) - 1) in
   let s = float_of_int sgn in
-  let chirp j =
-    (* j^2 mod 2n keeps the angle argument small and accurate. *)
+  (* cos/sin of the chirp angle for index j; j^2 mod 2n keeps the angle
+     argument small and accurate. *)
+  let chirp_theta j =
     let q = j * j mod (2 * n) in
-    let theta = s *. Float.pi *. float_of_int q /. float_of_int n in
-    (cos theta, sin theta)
+    s *. Float.pi *. float_of_int q /. float_of_int n
   in
   let u = Cvec.create m and w = Cvec.create m in
   for j = 0 to n - 1 do
-    let cr, ci = chirp j in
-    let xr = v.(2 * j) and xi = v.((2 * j) + 1) in
-    u.(2 * j) <- (xr *. cr) -. (xi *. ci);
-    u.((2 * j) + 1) <- (xr *. ci) +. (xi *. cr);
-    w.(2 * j) <- cr;
-    w.((2 * j) + 1) <- -.ci;
-    if j > 0 then begin
-      let k = m - j in
-      w.(2 * k) <- cr;
-      w.((2 * k) + 1) <- -.ci
-    end
+    let theta = chirp_theta j in
+    let cr = cos theta and ci = sin theta in
+    let xr = get_re v j and xi = get_im v j in
+    set_parts u j ((xr *. cr) -. (xi *. ci)) ((xr *. ci) +. (xi *. cr));
+    set_parts w j cr (-.ci);
+    if j > 0 then set_parts w (m - j) cr (-.ci)
   done;
   radix2_inplace (-1) u;
   radix2_inplace (-1) w;
   for j = 0 to m - 1 do
-    let ar = u.(2 * j) and ai = u.((2 * j) + 1) in
-    let br = w.(2 * j) and bi = w.((2 * j) + 1) in
-    u.(2 * j) <- (ar *. br) -. (ai *. bi);
-    u.((2 * j) + 1) <- (ar *. bi) +. (ai *. br)
+    let ar = get_re u j and ai = get_im u j in
+    let br = get_re w j and bi = get_im w j in
+    set_parts u j ((ar *. br) -. (ai *. bi)) ((ar *. bi) +. (ai *. br))
   done;
   radix2_inplace 1 u;
   let scale = 1.0 /. float_of_int m in
   for k = 0 to n - 1 do
-    let cr, ci = chirp k in
-    let ur = u.(2 * k) *. scale and ui = u.((2 * k) + 1) *. scale in
-    v.(2 * k) <- (ur *. cr) -. (ui *. ci);
-    v.((2 * k) + 1) <- (ur *. ci) +. (ui *. cr)
+    let theta = chirp_theta k in
+    let cr = cos theta and ci = sin theta in
+    let ur = get_re u k *. scale and ui = get_im u k *. scale in
+    set_parts v k ((ur *. cr) -. (ui *. ci)) ((ur *. ci) +. (ui *. cr))
   done
 
 let transform dir v =

@@ -1,6 +1,18 @@
 module Cvec = Numerics.Cvec
 module Pool = Runtime.Pool
 
+(* Same-module element accessors; see {!Fft1d} for the [-opaque] /
+   cross-module-inlining rationale. *)
+module A1 = Bigarray.Array1
+
+let[@inline] get_re (v : Cvec.t) k = A1.unsafe_get v (2 * k)
+let[@inline] get_im (v : Cvec.t) k = A1.unsafe_get v ((2 * k) + 1)
+
+let[@inline] set_parts (v : Cvec.t) k re im =
+  let j = 2 * k in
+  A1.unsafe_set v j re;
+  A1.unsafe_set v (j + 1) im
+
 let check_size name n v =
   if Cvec.length v <> n then invalid_arg (name ^ ": size mismatch")
 
@@ -10,21 +22,19 @@ let check_size name n v =
    strided line so the 1D kernel always works on contiguous data. *)
 let transform_line dir ~len ~stride scratch v base =
   if stride = 1 then begin
-    Array.blit v (2 * base) scratch 0 (2 * len);
+    Cvec.blit_complex ~src:v ~src_pos:base ~dst:scratch ~dst_pos:0 ~len;
     Fft1d.transform dir scratch;
-    Array.blit scratch 0 v (2 * base) (2 * len)
+    Cvec.blit_complex ~src:scratch ~src_pos:0 ~dst:v ~dst_pos:base ~len
   end
   else begin
     for j = 0 to len - 1 do
       let src = base + (j * stride) in
-      scratch.(2 * j) <- v.(2 * src);
-      scratch.((2 * j) + 1) <- v.((2 * src) + 1)
+      set_parts scratch j (get_re v src) (get_im v src)
     done;
     Fft1d.transform dir scratch;
     for j = 0 to len - 1 do
       let dst = base + (j * stride) in
-      v.(2 * dst) <- scratch.(2 * j);
-      v.((2 * dst) + 1) <- scratch.((2 * j) + 1)
+      set_parts v dst (get_re scratch j) (get_im scratch j)
     done
   end
 

@@ -27,18 +27,14 @@ let solve ?(max_iterations = 50) ?(tolerance = 1e-6) ~apply b =
       k := max_iterations
     else begin
       let alpha = !rr /. p_ap in
-      for i = 0 to (2 * n) - 1 do
-        x.(i) <- x.(i) +. (alpha *. p.(i));
-        r.(i) <- r.(i) -. (alpha *. ap.(i))
-      done;
+      Cvec.axpy_inplace alpha ~x:p x;
+      Cvec.axpy_inplace (-.alpha) ~x:ap r;
       let rr' = Cvec.norm2 r in
       history := sqrt rr' :: !history;
       if sqrt rr' <= target then converged := true
       else begin
         let beta = rr' /. !rr in
-        for i = 0 to (2 * n) - 1 do
-          p.(i) <- r.(i) +. (beta *. p.(i))
-        done
+        Cvec.xpay_inplace beta ~x:r p
       end;
       rr := rr';
       incr k

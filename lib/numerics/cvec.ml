@@ -1,33 +1,66 @@
-type t = float array
+module Ba = Bigarray
+module A1 = Bigarray.Array1
 
-let create n = Array.make (2 * n) 0.0
+type t = (float, Ba.float64_elt, Ba.c_layout) A1.t
 
-let length v = Array.length v / 2
+let create n =
+  let v = A1.create Ba.float64 Ba.c_layout (2 * n) in
+  A1.fill v 0.0;
+  v
 
-let get v k = Complexd.make v.(2 * k) v.((2 * k) + 1)
+let length v = A1.dim v / 2
 
-let set v k (c : Complexd.t) =
-  v.(2 * k) <- c.Complexd.re;
-  v.((2 * k) + 1) <- c.Complexd.im
+(* Raw interleaved-float accessors. The [unsafe_] variants skip the bounds
+   check entirely and are the only accessors the per-sample / per-butterfly
+   hot loops use; Bigarray float64 loads/stores compile to direct memory
+   operations with no boxing. *)
 
-let get_re v k = v.(2 * k)
-let get_im v k = v.((2 * k) + 1)
+let[@inline] unsafe_get_re v k = A1.unsafe_get v (2 * k)
+let[@inline] unsafe_get_im v k = A1.unsafe_get v ((2 * k) + 1)
 
-let set_parts v k re im =
-  v.(2 * k) <- re;
-  v.((2 * k) + 1) <- im
+let[@inline] unsafe_set_parts v k re im =
+  A1.unsafe_set v (2 * k) re;
+  A1.unsafe_set v ((2 * k) + 1) im
+
+let[@inline] unsafe_accumulate_parts v k re im =
+  let j = 2 * k in
+  A1.unsafe_set v j (A1.unsafe_get v j +. re);
+  A1.unsafe_set v (j + 1) (A1.unsafe_get v (j + 1) +. im)
+
+let[@inline] get_re v k = A1.get v (2 * k)
+let[@inline] get_im v k = A1.get v ((2 * k) + 1)
+
+let[@inline] set_parts v k re im =
+  A1.set v (2 * k) re;
+  A1.set v ((2 * k) + 1) im
+
+let[@inline] accumulate_parts v k re im =
+  let j = 2 * k in
+  A1.set v j (A1.get v j +. re);
+  A1.set v (j + 1) (A1.get v (j + 1) +. im)
+
+let get v k = Complexd.make (get_re v k) (get_im v k)
+
+let set v k (c : Complexd.t) = set_parts v k c.Complexd.re c.Complexd.im
 
 let accumulate v k (c : Complexd.t) =
-  v.(2 * k) <- v.(2 * k) +. c.Complexd.re;
-  v.((2 * k) + 1) <- v.((2 * k) + 1) +. c.Complexd.im
+  accumulate_parts v k c.Complexd.re c.Complexd.im
 
-let fill_zero v = Array.fill v 0 (Array.length v) 0.0
-let copy = Array.copy
+let fill_zero v = A1.fill v 0.0
+
+let copy v =
+  let c = A1.create Ba.float64 Ba.c_layout (A1.dim v) in
+  A1.blit v c;
+  c
 
 let blit src dst =
-  if Array.length src <> Array.length dst then
-    invalid_arg "Cvec.blit: length mismatch";
-  Array.blit src 0 dst 0 (Array.length src)
+  if A1.dim src <> A1.dim dst then invalid_arg "Cvec.blit: length mismatch";
+  A1.blit src dst
+
+let blit_complex ~src ~src_pos ~dst ~dst_pos ~len =
+  A1.blit
+    (A1.sub src (2 * src_pos) (2 * len))
+    (A1.sub dst (2 * dst_pos) (2 * len))
 
 let of_complex_array a =
   let v = create (Array.length a) in
@@ -58,24 +91,37 @@ let fold f acc v =
   !acc
 
 let scale_inplace s v =
-  for j = 0 to Array.length v - 1 do
-    v.(j) <- s *. v.(j)
+  for j = 0 to A1.dim v - 1 do
+    A1.unsafe_set v j (s *. A1.unsafe_get v j)
   done
 
 let add_inplace dst src =
-  if Array.length dst <> Array.length src then
+  if A1.dim dst <> A1.dim src then
     invalid_arg "Cvec.add_inplace: length mismatch";
-  for j = 0 to Array.length dst - 1 do
-    dst.(j) <- dst.(j) +. src.(j)
+  for j = 0 to A1.dim dst - 1 do
+    A1.unsafe_set dst j (A1.unsafe_get dst j +. A1.unsafe_get src j)
+  done
+
+(* y <- y + alpha * x and the CG update pair, fused so iterative solvers
+   never touch per-element boxed complex values. *)
+let axpy_inplace alpha ~x y =
+  if A1.dim x <> A1.dim y then invalid_arg "Cvec.axpy_inplace: length mismatch";
+  for j = 0 to A1.dim y - 1 do
+    A1.unsafe_set y j (A1.unsafe_get y j +. (alpha *. A1.unsafe_get x j))
+  done
+
+let xpay_inplace alpha ~x y =
+  if A1.dim x <> A1.dim y then invalid_arg "Cvec.xpay_inplace: length mismatch";
+  for j = 0 to A1.dim y - 1 do
+    A1.unsafe_set y j (A1.unsafe_get x j +. (alpha *. A1.unsafe_get y j))
   done
 
 let dot a b =
-  if Array.length a <> Array.length b then
-    invalid_arg "Cvec.dot: length mismatch";
+  if A1.dim a <> A1.dim b then invalid_arg "Cvec.dot: length mismatch";
   let re = ref 0.0 and im = ref 0.0 in
   for k = 0 to length a - 1 do
-    let ar = a.(2 * k) and ai = a.((2 * k) + 1) in
-    let br = b.(2 * k) and bi = b.((2 * k) + 1) in
+    let ar = unsafe_get_re a k and ai = unsafe_get_im a k in
+    let br = unsafe_get_re b k and bi = unsafe_get_im b k in
     re := !re +. ((ar *. br) +. (ai *. bi));
     im := !im +. ((ar *. bi) -. (ai *. br))
   done;
@@ -83,29 +129,29 @@ let dot a b =
 
 let norm2 v =
   let s = ref 0.0 in
-  for j = 0 to Array.length v - 1 do
-    s := !s +. (v.(j) *. v.(j))
+  for j = 0 to A1.dim v - 1 do
+    let x = A1.unsafe_get v j in
+    s := !s +. (x *. x)
   done;
   !s
 
 let max_abs_diff a b =
-  if Array.length a <> Array.length b then
-    invalid_arg "Cvec.max_abs_diff: length mismatch";
+  if A1.dim a <> A1.dim b then invalid_arg "Cvec.max_abs_diff: length mismatch";
   let m = ref 0.0 in
-  for j = 0 to Array.length a - 1 do
-    let d = Float.abs (a.(j) -. b.(j)) in
+  for j = 0 to A1.dim a - 1 do
+    let d = Float.abs (A1.unsafe_get a j -. A1.unsafe_get b j) in
     if d > !m then m := d
   done;
   !m
 
 let nrmsd ~reference v =
-  if Array.length reference <> Array.length v then
+  if A1.dim reference <> A1.dim v then
     invalid_arg "Cvec.nrmsd: length mismatch";
   let num = ref 0.0 and den = ref 0.0 in
-  for j = 0 to Array.length v - 1 do
-    let d = v.(j) -. reference.(j) in
+  for j = 0 to A1.dim v - 1 do
+    let d = A1.unsafe_get v j -. A1.unsafe_get reference j in
     num := !num +. (d *. d);
-    den := !den +. (reference.(j) *. reference.(j))
+    den := !den +. (A1.unsafe_get reference j *. A1.unsafe_get reference j)
   done;
   if !den = 0.0 then invalid_arg "Cvec.nrmsd: zero reference";
   sqrt (!num /. !den)

@@ -28,4 +28,10 @@ let cmul_knuth (a : Complexd.t) (b : Complexd.t) =
 
 let cround (c : Complexd.t) = Complexd.make (round c.re) (round c.im)
 
-let cvec_round v = Array.map round v
+let cvec_round v =
+  let n = Bigarray.Array1.dim v in
+  let out = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  for j = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set out j (round (Bigarray.Array1.unsafe_get v j))
+  done;
+  out

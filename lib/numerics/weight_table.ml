@@ -31,12 +31,18 @@ let make ?(precision = Double) ~kernel ~width ~l () =
 
 let kernel t = t.kernel
 let width t = t.width
+let data t = t.table
 let oversampling t = t.l
 let precision t = t.precision
 let entries t = Array.length t.table
 
+(* Raw quantised address: [round (|d| * L)]. Always >= 0; may fall past the
+   table end when the distance is outside the window. *)
+let[@inline] quantize_distance t d =
+  int_of_float (Float.round (Float.abs d *. float_of_int t.l))
+
 let address_of_distance t d =
-  let a = int_of_float (Float.round (Float.abs d *. float_of_int t.l)) in
+  let a = quantize_distance t d in
   if a >= Array.length t.table then None else Some a
 
 let get t a =
@@ -46,8 +52,12 @@ let get t a =
 
 let get_q15 t a = Fixed_point.of_float Fixed_point.q15 (get t a)
 
-let lookup t d =
-  match address_of_distance t d with None -> 0.0 | Some a -> t.table.(a)
+(* Hot-path lookups: branch + arithmetic only, no [option] allocation. *)
+
+let[@inline] weight_at t a =
+  if a >= Array.length t.table then 0.0 else Array.unsafe_get t.table a
+
+let[@inline] lookup t d = weight_at t (quantize_distance t d)
 
 let lookup_exact t d = Window.eval t.kernel ~width:t.width d
 

@@ -31,6 +31,15 @@ val precision : t -> precision
 val entries : t -> int
 (** Number of stored (half-window) entries, [width*l/2 + 1]. *)
 
+val data : t -> float array
+(** The raw (quantised) weight array itself, indexed by table address.
+    Hot-loop escape hatch: under the dev profile dune compiles with
+    [-opaque], which disables cross-module inlining, so per-lookup calls
+    into this module would box their float argument and result. Engines
+    hoist [data]/[oversampling] once per gridding call and perform the
+    {!lookup} arithmetic ([round (|d| * L)] + bounds check) locally.
+    Callers must not mutate the array. *)
+
 val address_of_distance : t -> float -> int option
 (** [address_of_distance t d] is the table address for absolute distance
     [d]: [round (|d| * L)], or [None] when the rounded address falls outside
@@ -46,9 +55,21 @@ val get_q15 : t -> int -> int
     (quantised on demand for Double/Single); used to initialise the JIGSAW
     weight SRAMs. *)
 
+val quantize_distance : t -> float -> int
+(** [quantize_distance t d] is the raw table address [round (|d| * L)]
+    without the range check — always [>= 0], possibly past the table end.
+    This is the "quantized LUT distance" the int-encoded column check
+    packs; feed it to {!weight_at}. *)
+
+val weight_at : t -> int -> float
+(** [weight_at t a] is the weight at raw address [a >= 0], or [0.0] when
+    [a] falls past the table end — the allocation-free counterpart of
+    {!get} used by the hot loops. *)
+
 val lookup : t -> float -> float
 (** [lookup t d] is the tabulated weight for signed distance [d] (0 outside
-    the window): [get t a] for [address_of_distance t |d|] = [Some a]. *)
+    the window); equal to [weight_at t (quantize_distance t d)].
+    Allocation-free. *)
 
 val lookup_exact : t -> float -> float
 (** The kernel evaluated directly (no table quantisation) — the "L = inf"
