@@ -1,7 +1,11 @@
 (* Compare a freshly produced BENCH_hotpath.json against the checked-in
    baseline and fail (exit 1) on a throughput regression beyond the
-   tolerance. Reads only the per-engine lines the hotpath harness writes
-   (one object per line), so no JSON library is needed.
+   tolerance, naming every metric that breached and by how much. When
+   the baseline file does not exist (fresh checkout, first run on a new
+   machine) the check is skipped with exit 0 so the bench harness stays
+   usable without a baseline. Reads only the per-engine lines the
+   hotpath harness writes (one object per line), so no JSON library is
+   needed.
 
    Usage: check_hotpath.exe CURRENT BASELINE [--tolerance 0.30] *)
 
@@ -41,6 +45,18 @@ let () =
   scan (List.tl args);
   match List.rev !files with
   | [ current_path; baseline_path ] ->
+      if not (Sys.file_exists baseline_path) then begin
+        Printf.printf
+          "check_hotpath: baseline %s absent; skipping regression check\n"
+          baseline_path;
+        exit 0
+      end;
+      if not (Sys.file_exists current_path) then begin
+        Printf.eprintf
+          "check_hotpath: current run %s absent (run hotpath --json first)\n"
+          current_path;
+        exit 2
+      end;
       let current = parse_engines current_path in
       let baseline = parse_engines baseline_path in
       if baseline = [] then begin
@@ -51,31 +67,48 @@ let () =
         Printf.eprintf "check_hotpath: no engine rows in %s\n" current_path;
         exit 2
       end;
-      let failed = ref false in
+      let breaches = ref [] in
       Printf.printf "hot-path throughput vs baseline (tolerance %.0f%%):\n"
         (100.0 *. !tolerance);
       List.iter
-        (fun (name, base_sps, _) ->
-          match
-            List.find_opt (fun (n, _, _) -> n = name) current
-          with
+        (fun (name, base_sps, base_words) ->
+          match List.find_opt (fun (n, _, _) -> n = name) current with
           | None ->
               Printf.printf "  %-16s MISSING from current run\n" name;
-              failed := true
-          | Some (_, cur_sps, _) ->
+              breaches :=
+                Printf.sprintf "%s: missing from current run" name
+                :: !breaches
+          | Some (_, cur_sps, cur_words) ->
+              let delta_pct = 100.0 *. ((cur_sps /. base_sps) -. 1.0) in
               let floor = (1.0 -. !tolerance) *. base_sps in
               let ok = cur_sps >= floor in
-              Printf.printf "  %-16s %12.0f vs baseline %12.0f  %s\n" name
-                cur_sps base_sps
+              Printf.printf
+                "  %-16s %12.0f vs baseline %12.0f  (%+.1f%%)  %s\n" name
+                cur_sps base_sps delta_pct
                 (if ok then "ok" else "REGRESSION");
-              if not ok then failed := true)
+              if not ok then
+                breaches :=
+                  Printf.sprintf
+                    "%s samples_per_sec: %.0f vs baseline %.0f (%+.1f%%, \
+                     floor -%.0f%%)"
+                    name cur_sps base_sps delta_pct (100.0 *. !tolerance)
+                  :: !breaches;
+              (* allocation is informational: the hot paths are meant to
+                 be allocation-free, so flag any new per-sample churn *)
+              if cur_words > base_words +. 0.5 then
+                Printf.printf
+                  "  %-16s note: minor words/sample rose %.4f -> %.4f\n"
+                  name base_words cur_words)
         baseline;
-      if !failed then begin
-        Printf.eprintf
-          "check_hotpath: throughput regression beyond %.0f%% tolerance\n"
-          (100.0 *. !tolerance);
-        exit 1
-      end
+      (match List.rev !breaches with
+      | [] -> ()
+      | l ->
+          Printf.eprintf
+            "check_hotpath: %d metric(s) breached the %.0f%% tolerance:\n"
+            (List.length l)
+            (100.0 *. !tolerance);
+          List.iter (fun b -> Printf.eprintf "  - %s\n" b) l;
+          exit 1)
   | _ ->
       Printf.eprintf
         "usage: check_hotpath.exe CURRENT BASELINE [--tolerance 0.30]\n";

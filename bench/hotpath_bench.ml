@@ -68,7 +68,8 @@ let cg_case ~quick =
   ignore result.Imaging.Cg.solution;
   (n, m, result.Imaging.Cg.iterations, wall)
 
-let write_json ~quick ~g ~m ~tile rows (cg_n, cg_m, cg_iters, cg_wall) =
+let write_json ~quick ~g ~m ~tile ~disabled_pct rows
+    (cg_n, cg_m, cg_iters, cg_wall) =
   let oc = open_out json_path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -88,6 +89,7 @@ let write_json ~quick ~g ~m ~tile rows (cg_n, cg_m, cg_iters, cg_wall) =
         (if i < List.length rows - 1 then "," else ""))
     rows;
   p "  ],\n";
+  p "  \"telemetry_disabled_overhead_pct\": %.2f,\n" disabled_pct;
   p "  \"cg\": { \"n\": %d, \"m\": %d, \"iterations\": %d, \"wall_s\": %.6f }\n"
     cg_n cg_m cg_iters cg_wall;
   p "}\n";
@@ -140,7 +142,34 @@ let run () =
       Printf.printf "  %-16s %14.0f %18.4f\n" r.name r.samples_per_sec
         r.minor_words_per_sample)
     rows;
+  (* Telemetry overhead: the dispatched serial engine passes through one
+     span wrapper (an Atomic read when disabled). The disabled run must
+     stay within the 5% overhead budget of a direct engine call; the
+     enabled run shows the cost of actually recording spans. *)
+  let direct () = Nufft.Gridding_serial.grid_2d ~table ~g ~gx ~gy values in
+  let dispatched () =
+    Nufft.Gridding.grid_2d Nufft.Gridding.Serial ~table ~g ~gx ~gy values
+  in
+  let sps_direct, _ = measure ~m direct in
+  Telemetry.set_enabled false;
+  let sps_disabled, _ = measure ~m dispatched in
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let sps_enabled, _ = measure ~m dispatched in
+  Telemetry.set_enabled false;
+  Telemetry.reset ();
+  let overhead ref_sps sps = 100.0 *. ((ref_sps /. sps) -. 1.0) in
+  let disabled_pct = overhead sps_direct sps_disabled in
+  Printf.printf "  telemetry overhead (serial engine):\n";
+  Printf.printf "  %-24s %14.0f samples/sec\n" "direct call" sps_direct;
+  Printf.printf "  %-24s %14.0f samples/sec  (%+.1f%% vs direct)\n"
+    "dispatched, disabled" sps_disabled disabled_pct;
+  Printf.printf "  %-24s %14.0f samples/sec  (%+.1f%% vs direct)\n"
+    "dispatched, enabled" sps_enabled
+    (overhead sps_direct sps_enabled);
+  Printf.printf "  disabled overhead %.1f%% (budget < 5%%)%s\n" disabled_pct
+    (if disabled_pct < 5.0 then "" else "  OVER BUDGET");
   let ((_, _, cg_iters, cg_wall) as cg) = cg_case ~quick in
   Printf.printf "  CG (compiled plan, %d iterations): %.3f s\n" cg_iters
     cg_wall;
-  if !json then write_json ~quick ~g ~m ~tile rows cg
+  if !json then write_json ~quick ~g ~m ~tile ~disabled_pct rows cg

@@ -86,6 +86,33 @@ let make_operator ~backend ctx =
       prerr_endline ("jigsaw_cli: " ^ msg);
       exit 1
 
+(* --trace FILE / --metrics switch the telemetry layer on for the run;
+   the chrome trace is written and the metrics + span-tree summaries
+   printed after the subcommand body finishes. *)
+let with_telemetry ~trace ~metrics f =
+  let on = trace <> None || metrics in
+  if on then begin
+    Telemetry.reset ();
+    Telemetry.set_enabled true
+  end;
+  let r = f () in
+  if on then begin
+    Telemetry.set_enabled false;
+    (match trace with
+    | Some path ->
+        Telemetry.write_chrome_trace path;
+        Printf.printf
+          "chrome trace written to %s (load in chrome://tracing or \
+           https://ui.perfetto.dev)\n"
+          path
+    | None -> ());
+    if metrics then begin
+      print_string (Telemetry.tree_summary ());
+      print_string (Telemetry.metrics_summary ())
+    end
+  end;
+  r
+
 (* --domains D sizes the process-wide pool: D maps to the paper's T^d
    workers in the sense that the t^2 dice columns (or g z-slices in 3D)
    are distributed over D domains. *)
@@ -101,9 +128,11 @@ let apply_domains = function
 (* ------------------------------------------------------------------ *)
 (* grid subcommand *)
 
-let run_grid n traj_kind m backend w l seed validate domains list =
+let run_grid n traj_kind m backend w l seed validate domains trace metrics
+    list =
   if list then list_backends ()
-  else begin
+  else
+    with_telemetry ~trace ~metrics @@ fun () ->
     register_backends ();
     let pool = apply_domains domains in
     let g = 2 * n in
@@ -133,14 +162,14 @@ let run_grid n traj_kind m backend w l seed validate domains list =
         (Cvec.nrmsd ~reference image)
     end;
     `Ok ()
-  end
 
 (* ------------------------------------------------------------------ *)
 (* recon subcommand *)
 
-let run_recon n spokes output backend domains list =
+let run_recon n spokes output backend domains cg trace metrics list =
   if list then list_backends ()
-  else begin
+  else
+    with_telemetry ~trace ~metrics @@ fun () ->
     register_backends ();
     let pool = apply_domains domains in
     let phantom = Imaging.Phantom.make ~n () in
@@ -154,20 +183,39 @@ let run_recon n spokes output backend domains list =
     let coords = Imaging.Recon.coords_of_traj ~g:(2 * n) traj in
     let ctx = Op.context ?pool ~n ~coords () in
     let op = make_operator ~backend ctx in
-    let recon, _ = Imaging.Recon.roundtrip_op ~density op phantom in
+    let recon, method_desc =
+      match cg with
+      | None ->
+          let recon, _ = Imaging.Recon.roundtrip_op ~density op phantom in
+          (recon, "adjoint")
+      | Some iters ->
+          (* Iterative reconstruction of the normal equations
+             A^H W A x = A^H W b, with the density compensation as W. *)
+          let samples = Imaging.Recon.acquire_op op phantom in
+          let rhs =
+            Imaging.Cg.normal_equations_rhs_op ~weights:density op samples
+          in
+          let res =
+            Imaging.Cg.solve ~max_iterations:iters
+              ~apply:(Imaging.Cg.normal_map ~weights:density op)
+              rhs
+          in
+          ( res.Imaging.Cg.solution,
+            Printf.sprintf "CG(%d iters%s)" res.Imaging.Cg.iterations
+              (if res.Imaging.Cg.converged then ", converged" else "") )
+    in
     let err = Imaging.Metrics.nrmsd_scaled ~reference:phantom recon in
     Imaging.Pgm.write_magnitude ~path:output ~n recon;
     Printf.printf
-      "reconstructed %dx%d phantom through %s from %d spokes (%d samples): \
-       scaled NRMSD %.3f -> %s\n"
-      n n (Op.name_of op) spokes
+      "reconstructed %dx%d phantom through %s (%s) from %d spokes (%d \
+       samples): scaled NRMSD %.3f -> %s\n"
+      n n (Op.name_of op) method_desc spokes
       (Trajectory.Traj.length traj)
       err output;
     let st = Op.stats_of op in
     if st.Op.cycles > 0 then
       Printf.printf "simulated gridding cycles: %d\n" st.Op.cycles;
     `Ok ()
-  end
 
 (* ------------------------------------------------------------------ *)
 (* accuracy subcommand *)
@@ -285,13 +333,32 @@ let domains_arg =
            pool-backed plans — the paper's \\$(i,T^d) workers multiplexed \
            onto D OCaml domains (default: the runtime's recommended count).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a Chrome trace_event JSON of the run (plan build, \
+           gridding, FFT, pool scheduling, CG iterations, hardware cycle \
+           models) to $(docv); open it in chrome://tracing or Perfetto.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the aggregated telemetry span tree and counter/histogram \
+           summary after the run.")
+
 let grid_cmd =
   let doc = "run the adjoint NuFFT through a registered backend" in
   Cmd.v (Cmd.info "grid" ~doc)
     Term.(
       ret
         (const run_grid $ n_arg $ traj_arg $ m_arg $ backend_arg $ w_arg
-       $ l_arg $ seed_arg $ validate_arg $ domains_arg $ list_backends_arg))
+       $ l_arg $ seed_arg $ validate_arg $ domains_arg $ trace_arg
+       $ metrics_arg $ list_backends_arg))
 
 let recon_cmd =
   let doc = "reconstruct the Shepp-Logan phantom from radial k-space" in
@@ -306,11 +373,21 @@ let recon_cmd =
       value & opt string "recon.pgm"
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output PGM path.")
   in
+  let cg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cg" ] ~docv:"ITERS"
+          ~doc:
+            "Reconstruct iteratively: conjugate gradient on the \
+             density-weighted normal equations, at most $(docv) \
+             iterations (default: single adjoint application).")
+  in
   Cmd.v (Cmd.info "recon" ~doc)
     Term.(
       ret
         (const run_recon $ n_arg $ spokes $ output $ backend_arg
-       $ domains_arg $ list_backends_arg))
+       $ domains_arg $ cg $ trace_arg $ metrics_arg $ list_backends_arg))
 
 let info_cmd =
   let doc = "print hardware-model parameters" in

@@ -22,23 +22,51 @@ let default_engines ~g ~w =
 
 let all_schemes ~g ~w = default_engines ~g ~w @ [ Slice_parallel (tile_for ~g ~w) ]
 
+(* Static span names per engine so the disabled path allocates nothing
+   (no string concatenation before the enabled check). *)
+let span_name = function
+  | Serial -> "grid.serial"
+  | Output_parallel -> "grid.output-parallel"
+  | Binned _ -> "grid.binned"
+  | Slice_and_dice _ -> "grid.slice"
+  | Slice_parallel _ -> "grid.slice-parallel"
+
 let grid_1d ?stats ?pool:_ engine ~table ~g ~coords values =
-  match engine with
-  | Serial -> Gridding_serial.grid_1d ?stats ~table ~g ~coords values
-  | Output_parallel -> Gridding_output.grid_1d ?stats ~table ~g ~coords values
-  | Binned bin -> Gridding_binned.grid_1d ?stats ~table ~g ~bin ~coords values
-  | Slice_and_dice t | Slice_parallel t ->
-      (* 1D columns are too small to be worth distributing. *)
-      Gridding_slice.grid_1d ?stats ~table ~g ~t ~coords values
+  let sp = Gridding_stats.grid_span (span_name engine) in
+  let out =
+    match engine with
+    | Serial -> Gridding_serial.grid_1d ?stats ~table ~g ~coords values
+    | Output_parallel ->
+        Gridding_output.grid_1d ?stats ~table ~g ~coords values
+    | Binned bin ->
+        Gridding_binned.grid_1d ?stats ~table ~g ~bin ~coords values
+    | Slice_and_dice t | Slice_parallel t ->
+        (* 1D columns are too small to be worth distributing. *)
+        Gridding_slice.grid_1d ?stats ~table ~g ~t ~coords values
+  in
+  Gridding_stats.end_span sp;
+  out
 
 let grid_2d ?stats ?pool engine ~table ~g ~gx ~gy values =
-  match engine with
-  | Serial -> Gridding_serial.grid_2d ?stats ~table ~g ~gx ~gy values
-  | Output_parallel -> Gridding_output.grid_2d ?stats ~table ~g ~gx ~gy values
-  | Binned bin -> Gridding_binned.grid_2d ?stats ~table ~g ~bin ~gx ~gy values
-  | Slice_and_dice t ->
-      Gridding_slice.grid_2d_fast ?stats ~table ~g ~t ~gx ~gy values
-  | Slice_parallel t ->
-      Gridding_slice.grid_2d_parallel ?stats ?pool ~table ~g ~t ~gx ~gy values
+  let sp = Gridding_stats.grid_span (span_name engine) in
+  let out =
+    match engine with
+    | Serial -> Gridding_serial.grid_2d ?stats ~table ~g ~gx ~gy values
+    | Output_parallel ->
+        Gridding_output.grid_2d ?stats ~table ~g ~gx ~gy values
+    | Binned bin ->
+        Gridding_binned.grid_2d ?stats ~table ~g ~bin ~gx ~gy values
+    | Slice_and_dice t ->
+        Gridding_slice.grid_2d_fast ?stats ~table ~g ~t ~gx ~gy values
+    | Slice_parallel t ->
+        Gridding_slice.grid_2d_parallel ?stats ?pool ~table ~g ~t ~gx ~gy
+          values
+  in
+  Gridding_stats.end_span sp;
+  out
 
-let interp_2d = Gridding_serial.interp_2d
+let interp_2d ?stats ~table ~g ~gx ~gy grid =
+  let sp = Gridding_stats.grid_span "grid.interp-2d" in
+  let out = Gridding_serial.interp_2d ?stats ~table ~g ~gx ~gy grid in
+  Gridding_stats.end_span sp;
+  out

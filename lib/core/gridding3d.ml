@@ -41,6 +41,7 @@ let[@inline] lut tbl tlen lf d =
   if a >= tlen then 0.0 else Array.unsafe_get tbl a
 
 let grid_3d ?stats ~table ~g ~gx ~gy ~gz values =
+  let sp = Gridding_stats.grid_span "grid.3d-serial" in
   let w = Wt.width table in
   let m = Array.length gx in
   check "Gridding3d.grid_3d" ~m ~gy ~gz values;
@@ -76,6 +77,7 @@ let grid_3d ?stats ~table ~g ~gx ~gy ~gz values =
   add_stats stats ~samples:m ~checks:0
     ~evals:(3 * m * w * w * w)
     ~accums:(m * w * w * w);
+  Gridding_stats.end_span sp;
   out
 
 (* One pass over the whole (unsorted) stream for slice [z], like the JIGSAW
@@ -118,6 +120,7 @@ let spread_slice ?stats ~table ~w ~g ~gx ~gy ~gz ~m values out z =
   add_stats stats ~samples:m ~checks:m ~evals:(3 * !hits) ~accums:!hits
 
 let grid_3d_sliced ?stats ~table ~g ~gx ~gy ~gz values =
+  let sp = Gridding_stats.grid_span "grid.3d-sliced" in
   let w = Wt.width table in
   let m = Array.length gx in
   check "Gridding3d.grid_3d_sliced" ~m ~gy ~gz values;
@@ -125,9 +128,11 @@ let grid_3d_sliced ?stats ~table ~g ~gx ~gy ~gz values =
   for z = 0 to g - 1 do
     spread_slice ?stats ~table ~w ~g ~gx ~gy ~gz ~m values out z
   done;
+  Gridding_stats.end_span sp;
   out
 
 let grid_3d_parallel ?stats ?pool ?domains ~table ~g ~gx ~gy ~gz values =
+  let sp = Gridding_stats.grid_span "grid.3d-parallel" in
   let w = Wt.width table in
   let m = Array.length gx in
   check "Gridding3d.grid_3d_parallel" ~m ~gy ~gz values;
@@ -151,9 +156,11 @@ let grid_3d_parallel ?stats ?pool ?domains ~table ~g ~gx ~gy ~gz values =
     (fun p ->
       Runtime.Pool.parallel_for_ranges ~chunk:1 p ~start:0 ~stop:g
         process_slices);
+  Gridding_stats.end_span sp;
   out
 
 let interp_3d ?stats ~table ~g ~gx ~gy ~gz grid =
+  let sp = Gridding_stats.grid_span "grid.interp-3d" in
   let w = Wt.width table in
   let m = Array.length gx in
   if Array.length gy <> m || Array.length gz <> m then
@@ -193,4 +200,5 @@ let interp_3d ?stats ~table ~g ~gx ~gy ~gz grid =
     set_parts out j !acc_re !acc_im
   done;
   add_stats stats ~samples:m ~checks:0 ~evals:(3 * m * w * w * w) ~accums:0;
+  Gridding_stats.end_span sp;
   out

@@ -1,8 +1,6 @@
 module Cvec = Numerics.Cvec
 module Wt = Numerics.Weight_table
 
-let add_stats = Gridding_serial.add_grid_stats
-
 (* Same-module hot-path primitives; see {!Gridding_serial} for the
    [-opaque] / cross-module-inlining rationale. *)
 
@@ -110,13 +108,9 @@ let grid_1d ?stats ~table ~g ~bin ~coords values =
   done;
   (* Output-parallel model inside the tile: every tile point checks each
      (duplicated) sample. *)
-  add_stats stats ~samples:!processed
+  Gridding_stats.record stats ~presort:!presort ~samples:!processed
     ~checks:(bin * !processed)
-    ~evals:!hits ~accums:!hits;
-  (match stats with
-  | None -> ()
-  | Some s ->
-      s.Gridding_stats.presort_ops <- s.Gridding_stats.presort_ops + !presort);
+    ~evals:!hits ~accums:!hits ();
   out
 
 let grid_2d ?stats ~table ~g ~bin ~gx ~gy values =
@@ -169,11 +163,7 @@ let grid_2d ?stats ~table ~g ~bin ~gx ~gy values =
         bins.((ty * n_tiles) + tx)
     done
   done;
-  add_stats stats ~samples:!processed
+  Gridding_stats.record stats ~presort:!presort ~samples:!processed
     ~checks:(bin * bin * !processed)
-    ~evals:(2 * !hits) ~accums:!hits;
-  (match stats with
-  | None -> ()
-  | Some s ->
-      s.Gridding_stats.presort_ops <- s.Gridding_stats.presort_ops + !presort);
+    ~evals:(2 * !hits) ~accums:!hits ();
   out

@@ -46,16 +46,7 @@ let[@inline] lut tbl tlen lf d =
   if a >= tlen then 0.0 else Array.unsafe_get tbl a
 
 let add_grid_stats stats ~samples ~checks ~evals ~accums =
-  match stats with
-  | None -> ()
-  | Some s ->
-      s.Gridding_stats.samples_processed <-
-        s.Gridding_stats.samples_processed + samples;
-      s.Gridding_stats.boundary_checks <-
-        s.Gridding_stats.boundary_checks + checks;
-      s.Gridding_stats.window_evals <- s.Gridding_stats.window_evals + evals;
-      s.Gridding_stats.grid_accumulates <-
-        s.Gridding_stats.grid_accumulates + accums
+  Gridding_stats.record stats ~samples ~checks ~evals ~accums ()
 
 let grid_1d ?stats ?(precision = `Double) ~table ~g ~coords values =
   let w = Wt.width table in

@@ -36,3 +36,38 @@ let pp ppf s =
     "@[samples=%d checks=%d lookups=%d accums=%d presort=%d@]"
     s.samples_processed s.boundary_checks s.window_evals s.grid_accumulates
     s.presort_ops
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry unification. Every engine funnels its per-pass totals
+   through [record] (via Gridding_serial.add_grid_stats), so mirroring
+   the same deltas into the process-wide counters here gives one global
+   view of gridding work without touching any per-sample loop; the
+   mirror costs a handful of atomic adds per *pass* and only when
+   telemetry is enabled. [grid_span] is the shared span hook the 2D and
+   3D dispatchers open around an engine invocation. *)
+
+let c_samples = Telemetry.Counter.make "grid.samples_processed"
+let c_checks = Telemetry.Counter.make "grid.boundary_checks"
+let c_evals = Telemetry.Counter.make "grid.window_evals"
+let c_accums = Telemetry.Counter.make "grid.grid_accumulates"
+let c_presort = Telemetry.Counter.make "grid.presort_ops"
+
+let record stats ?(presort = 0) ~samples ~checks ~evals ~accums () =
+  (match stats with
+  | None -> ()
+  | Some s ->
+      s.samples_processed <- s.samples_processed + samples;
+      s.boundary_checks <- s.boundary_checks + checks;
+      s.window_evals <- s.window_evals + evals;
+      s.grid_accumulates <- s.grid_accumulates + accums;
+      s.presort_ops <- s.presort_ops + presort);
+  if Telemetry.enabled () then begin
+    Telemetry.Counter.add c_samples samples;
+    Telemetry.Counter.add c_checks checks;
+    Telemetry.Counter.add c_evals evals;
+    Telemetry.Counter.add c_accums accums;
+    Telemetry.Counter.add c_presort presort
+  end
+
+let grid_span name = Telemetry.span_begin ~cat:"grid" name
+let end_span = Telemetry.span_end

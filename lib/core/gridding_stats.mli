@@ -22,3 +22,30 @@ val total_work : t -> int
 (** Sum of all counters — a crude single-number work metric. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Telemetry unification}
+
+    The counter record above stays the engines' public interface; the
+    functions below funnel the same per-pass deltas into the process-wide
+    {!Telemetry} registry so gridding work shows up next to spans,
+    FFT/pool metrics and backend cycle models in one exported view. *)
+
+val record :
+  t option ->
+  ?presort:int ->
+  samples:int ->
+  checks:int ->
+  evals:int ->
+  accums:int ->
+  unit ->
+  unit
+(** Accumulate one pass's totals into [stats] (when given) {e and}, when
+    telemetry is enabled, into the global [grid.*] counters. This is the
+    single chokepoint every engine reports through. *)
+
+val grid_span : string -> Telemetry.span
+(** Shared hook: open a [cat:"grid"] span named after the engine; the 2D
+    and 3D dispatchers wrap every engine invocation with it. Returns
+    {!Telemetry.null_span} when disabled. *)
+
+val end_span : Telemetry.span -> unit

@@ -28,6 +28,40 @@ let add_timings st (t : Plan.timings) =
   st.fft_s <- st.fft_s +. t.Plan.fft_s;
   st.deapod_s <- st.deapod_s +. t.Plan.deapod_s
 
+(* Telemetry unification: every backend (CPU, jigsaw, gpusim) funnels its
+   applications through the helpers below, which update the per-operator
+   [stats] record and mirror the same deltas into the process-wide
+   {!Telemetry} registry. The span names are static strings and the
+   backend arg list is only built once telemetry is known enabled, so the
+   disabled path costs one atomic read. *)
+
+let c_adjoints = Telemetry.Counter.make "op.adjoints"
+let c_forwards = Telemetry.Counter.make "op.forwards"
+let c_cycles = Telemetry.Counter.make "op.cycles"
+
+let op_span kind name =
+  if Telemetry.enabled () then
+    Telemetry.span_begin ~cat:"op" ~args:[ ("backend", name) ] kind
+  else Telemetry.null_span
+
+let adjoint_span name = op_span "op.adjoint" name
+let forward_span name = op_span "op.forward" name
+
+let record_adjoint ?timings ?(cycles = 0) st ~elapsed_s =
+  st.adjoints <- st.adjoints + 1;
+  (match timings with Some tm -> add_timings st tm | None -> ());
+  st.adjoint_s <- st.adjoint_s +. elapsed_s;
+  st.cycles <- st.cycles + cycles;
+  Telemetry.Counter.incr c_adjoints;
+  if cycles > 0 then Telemetry.Counter.add c_cycles cycles
+
+let record_forward ?(cycles = 0) st ~elapsed_s =
+  st.forwards <- st.forwards + 1;
+  st.forward_s <- st.forward_s +. elapsed_s;
+  st.cycles <- st.cycles + cycles;
+  Telemetry.Counter.incr c_forwards;
+  if cycles > 0 then Telemetry.Counter.add c_cycles cycles
+
 let pp_stats ppf st =
   Format.fprintf ppf
     "@[<v>adjoints %d (gridding %.4fs, fft %.4fs, deapod %.4fs)@,\
@@ -155,24 +189,25 @@ let of_plan ?name ?(compile = true) (plan : Plan.plan) ~coords : op =
        precomputed indices and weights. *)
 
     let adjoint s =
+      let sp = adjoint_span name in
       let t0 = now () in
       let image, tm =
         if compile then Plan.adjoint_compiled_timed ~stats:st.grid plan s
         else Plan.adjoint_timed ~stats:st.grid plan s
       in
-      st.adjoints <- st.adjoints + 1;
-      add_timings st tm;
-      st.adjoint_s <- st.adjoint_s +. (now () -. t0);
+      record_adjoint ~timings:tm st ~elapsed_s:(now () -. t0);
+      Telemetry.span_end sp;
       image
 
     let forward image =
+      let sp = forward_span name in
       let t0 = now () in
       let values =
         if compile then Plan.forward_compiled ~stats:st.grid plan ~coords image
         else Plan.forward ~stats:st.grid plan ~coords image
       in
-      st.forwards <- st.forwards + 1;
-      st.forward_s <- st.forward_s +. (now () -. t0);
+      record_forward st ~elapsed_s:(now () -. t0);
+      Telemetry.span_end sp;
       Sample.with_values coords values
 
     let stats () = st

@@ -39,6 +39,28 @@ val create_stats : unit -> stats
 val add_timings : stats -> Plan.timings -> unit
 val pp_stats : Format.formatter -> stats -> unit
 
+(** {2 Telemetry unification}
+
+    Shared application-recording hooks: all backends (CPU plans here,
+    hardware models in [Jigsaw.Operator_backend] / [Gpusim.Operator_backend])
+    report through these, which update the per-operator {!stats} record and
+    mirror the deltas into the process-wide {!Telemetry} registry
+    ([op.adjoints], [op.forwards], [op.cycles]). *)
+
+val adjoint_span : string -> Telemetry.span
+(** [adjoint_span backend] opens a [cat:"op"] ["op.adjoint"] span tagged
+    with the backend name; {!Telemetry.null_span} when disabled. *)
+
+val forward_span : string -> Telemetry.span
+
+val record_adjoint :
+  ?timings:Plan.timings -> ?cycles:int -> stats -> elapsed_s:float -> unit
+(** Count one adjoint application: bumps [adjoints], accumulates stage
+    [timings] and simulated [cycles] when given, adds [elapsed_s] to
+    [adjoint_s], and mirrors to telemetry counters. *)
+
+val record_forward : ?cycles:int -> stats -> elapsed_s:float -> unit
+
 (** One NuFFT backend, bound to a problem geometry and sample
     coordinates. *)
 module type NUFFT_OP = sig

@@ -4,6 +4,9 @@ module Wt = Numerics.Weight_table
 
 type cached = { caxes : float array array; splan : Sample_plan.t }
 
+let c_cache_hit = Telemetry.Counter.make "sample_plan.cache_hit"
+let c_cache_miss = Telemetry.Counter.make "sample_plan.cache_miss"
+
 type plan = {
   n : int;
   sigma : float;
@@ -35,8 +38,14 @@ let make ?kernel ?(w = 6) ?(sigma = 2.0) ?(l = 512) ?(engine = Gridding.Serial)
     | Some k -> k
     | None -> Numerics.Window.default_kaiser_bessel ~width:w ~sigma
   in
+  let sp = Telemetry.span_begin ~cat:"plan" "plan.make" in
+  let sp_table = Telemetry.span_begin ~cat:"plan" "plan.table" in
   let table = Wt.make ~precision:table_precision ~kernel ~width:w ~l () in
+  Telemetry.span_end sp_table;
+  let sp_deapod = Telemetry.span_begin ~cat:"plan" "plan.deapod" in
   let deapod = Apodization.factors ~kernel ~width:w ~n ~g in
+  Telemetry.span_end sp_deapod;
+  Telemetry.span_end sp;
   { n; sigma; g; w; l; kernel; table; deapod; engine; pool; cache = None }
 
 (* The adjoint evaluates x_n = (1 / psi_hat(n/G)) * B[n mod G] where
@@ -244,8 +253,12 @@ let coords_match caxes (coords : float array array) =
 let compiled ?stats plan (samples : Sample.t) =
   check_samples plan samples;
   match plan.cache with
-  | Some c when coords_match c.caxes samples.Sample.coords -> c.splan
+  | Some c when coords_match c.caxes samples.Sample.coords ->
+      Telemetry.Counter.incr c_cache_hit;
+      c.splan
   | _ ->
+      Telemetry.Counter.incr c_cache_miss;
+      let sp_compile = Telemetry.span_begin ~cat:"plan" "plan.compile" in
       let dims = Sample.dims samples in
       let m = Sample.length samples in
       let select_checks = select_checks plan ~dims ~m in
@@ -263,12 +276,15 @@ let compiled ?stats plan (samples : Sample.t) =
               (Printf.sprintf "Plan.compiled: unsupported dimensionality %d" d)
       in
       plan.cache <- Some { caxes = samples.Sample.coords; splan };
+      Telemetry.span_end sp_compile;
       splan
 
 let adjoint_compiled_timed ?stats plan samples =
   let t0 = now () in
   let sp = compiled ?stats plan samples in
+  let span = Gridding_stats.grid_span "grid.compiled-spread" in
   let grid = Sample_plan.spread ?stats sp samples.Sample.values in
+  Gridding_stats.end_span span;
   let t1 = now () in
   let dims = Sample.dims samples in
   (match dims with
@@ -305,4 +321,7 @@ let forward_compiled ?stats plan ~coords image =
           ~ny:plan.g ~nz:plan.g big;
         big
   in
-  Sample_plan.gather ?stats sp big
+  let span = Gridding_stats.grid_span "grid.compiled-gather" in
+  let out = Sample_plan.gather ?stats sp big in
+  Gridding_stats.end_span span;
+  out

@@ -154,9 +154,12 @@ let bluestein sgn v =
     set_parts v k ((ur *. cr) -. (ui *. ci)) ((ur *. ci) +. (ui *. cr))
   done
 
+let c_transforms = Telemetry.Counter.make "fft.1d_transforms"
+
 let transform dir v =
   let n = Cvec.length v in
   let sgn = int_of_float (Dft.sign dir) in
+  Telemetry.Counter.incr c_transforms;
   if n <= 1 then ()
   else if is_pow2 n then radix2_inplace sgn v
   else bluestein sgn v

@@ -16,6 +16,8 @@ let[@inline] set_parts (v : Cvec.t) k re im =
 let check_size name n v =
   if Cvec.length v <> n then invalid_arg (name ^ ": size mismatch")
 
+let c_lines = Telemetry.Counter.make "fft.lines"
+
 (* Transform [count] lines of [len] elements with stride [stride] complex
    elements between consecutive points of a line; [line_start k] gives the
    linear index of line k's first element. A scratch buffer gathers each
@@ -43,26 +45,32 @@ let transform_line dir ~len ~stride scratch v base =
    private scratch buffer. Without a pool the pass runs serially with a
    single scratch, exactly as before. *)
 let transform_lines ?pool dir ~len ~count ~stride ~line_start v =
+  let sp = Telemetry.span_begin ~cat:"fft" "fft.pass" in
+  Telemetry.Counter.add c_lines count;
   let run_range scratch lo hi =
     for k = lo to hi - 1 do
       transform_line dir ~len ~stride scratch v (line_start k)
     done
   in
-  match pool with
+  (match pool with
   | Some p when Pool.size p > 1 && count > 1 ->
       Pool.parallel_for_ranges p ~start:0 ~stop:count (fun ~lo ~hi ->
           run_range (Cvec.create len) lo hi)
-  | _ -> run_range (Cvec.create len) 0 count
+  | _ -> run_range (Cvec.create len) 0 count);
+  Telemetry.span_end sp
 
 let transform_2d ?pool dir ~nx ~ny v =
   check_size "Fftnd.transform_2d" (nx * ny) v;
+  let sp = Telemetry.span_begin ~cat:"fft" "fft.2d" in
   transform_lines ?pool dir ~len:nx ~count:ny ~stride:1
     ~line_start:(fun y -> y * nx) v;
   transform_lines ?pool dir ~len:ny ~count:nx ~stride:nx
-    ~line_start:(fun x -> x) v
+    ~line_start:(fun x -> x) v;
+  Telemetry.span_end sp
 
 let transform_3d ?pool dir ~nx ~ny ~nz v =
   check_size "Fftnd.transform_3d" (nx * ny * nz) v;
+  let sp = Telemetry.span_begin ~cat:"fft" "fft.3d" in
   transform_lines ?pool dir ~len:nx ~count:(ny * nz) ~stride:1
     ~line_start:(fun k -> k * nx) v;
   transform_lines ?pool dir ~len:ny ~count:(nx * nz) ~stride:nx
@@ -71,7 +79,8 @@ let transform_3d ?pool dir ~nx ~ny ~nz v =
       (z * ny * nx) + x)
     v;
   transform_lines ?pool dir ~len:nz ~count:(nx * ny) ~stride:(nx * ny)
-    ~line_start:(fun k -> k) v
+    ~line_start:(fun k -> k) v;
+  Telemetry.span_end sp
 
 let transformed_2d ?pool dir ~nx ~ny v =
   let c = Cvec.copy v in

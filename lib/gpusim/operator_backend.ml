@@ -10,6 +10,21 @@ module Wt = Numerics.Weight_table
 
 let now () = Unix.gettimeofday ()
 
+(* Synthetic span for the cycle model, mirroring the jigsaw backend: the
+   simulated kernel time lands on its own trace row (tid 901) with a
+   duration derived from the cycle count and the simulated GPU's clock. *)
+let model_tid = 901
+
+let emit_cycle_span ~cycles =
+  if Telemetry.enabled () && cycles > 0 then
+    Telemetry.emit_span ~cat:"model" ~tid:model_tid
+      ~args:[ ("cycles", string_of_int cycles) ]
+      ~name:"gpusim.cycles" ~ts_ns:(Telemetry.Clock.now_ns ())
+      ~dur_ns:
+        (int_of_float
+           (float_of_int cycles /. Config.titan_xp.Config.clock_ghz))
+      ()
+
 (* The paper's launch geometry is 128 x 128 blocks; scale down for small
    problems so a toy adjoint does not replay thousands of empty blocks,
    converging to the paper's constant once m is bench-sized. *)
@@ -66,19 +81,21 @@ let make flavour op_name (c : Op.ctx) : Op.op =
     let g = g
 
     let adjoint s =
+      let sp = Op.adjoint_span name in
       let t0 = now () in
       let image, tm = Nufft.Plan.adjoint_timed ~stats:st.Op.grid plan s in
-      st.Op.cycles <- st.Op.cycles + simulate s;
-      st.Op.adjoints <- st.Op.adjoints + 1;
-      Op.add_timings st tm;
-      st.Op.adjoint_s <- st.Op.adjoint_s +. (now () -. t0);
+      let cycles = simulate s in
+      emit_cycle_span ~cycles;
+      Op.record_adjoint ~timings:tm ~cycles st ~elapsed_s:(now () -. t0);
+      Telemetry.span_end sp;
       image
 
     let forward image =
+      let sp = Op.forward_span name in
       let t0 = now () in
       let values = Nufft.Plan.forward ~stats:st.Op.grid plan ~coords image in
-      st.Op.forwards <- st.Op.forwards + 1;
-      st.Op.forward_s <- st.Op.forward_s +. (now () -. t0);
+      Op.record_forward st ~elapsed_s:(now () -. t0);
+      Telemetry.span_end sp;
       Sample.with_values coords values
 
     let stats () = st

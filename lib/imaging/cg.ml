@@ -8,7 +8,10 @@ type result = {
   converged : bool;
 }
 
+let c_iterations = Telemetry.Counter.make "cg.iterations"
+
 let solve ?(max_iterations = 50) ?(tolerance = 1e-6) ~apply b =
+  let sp_solve = Telemetry.span_begin ~cat:"cg" "cg.solve" in
   let n = Cvec.length b in
   let x = Cvec.create n in
   let r = Cvec.copy b in
@@ -19,6 +22,8 @@ let solve ?(max_iterations = 50) ?(tolerance = 1e-6) ~apply b =
   let k = ref 0 in
   let converged = ref (sqrt !rr <= target) in
   while (not !converged) && !k < max_iterations do
+    let sp_iter = Telemetry.span_begin ~cat:"cg" "cg.iter" in
+    Telemetry.Counter.incr c_iterations;
     let ap = apply p in
     let p_ap = (Cvec.dot p ap).C.re in
     if p_ap <= 0.0 then
@@ -38,8 +43,10 @@ let solve ?(max_iterations = 50) ?(tolerance = 1e-6) ~apply b =
       end;
       rr := rr';
       incr k
-    end
+    end;
+    Telemetry.span_end sp_iter
   done;
+  Telemetry.span_end sp_solve;
   { solution = x;
     iterations = !k;
     residual_norms = List.rev !history;

@@ -9,6 +9,20 @@ module Wt = Numerics.Weight_table
 
 let now () = Unix.gettimeofday ()
 
+(* Synthetic span for the cycle model: the simulated gridding pass is
+   replayed on its own trace row (tid 900) with a duration derived from
+   the modelled cycle count and the configured clock, so hardware time
+   shows up in the same chrome trace as the software wall-clock spans. *)
+let model_tid = 900
+
+let emit_cycle_span (cfg : Config.t) ~cycles =
+  if Telemetry.enabled () && cycles > 0 then
+    Telemetry.emit_span ~cat:"model" ~tid:model_tid
+      ~args:[ ("cycles", string_of_int cycles) ]
+      ~name:"jigsaw.cycles" ~ts_ns:(Telemetry.Clock.now_ns ())
+      ~dur_ns:(int_of_float (float_of_int cycles /. cfg.Config.clock_ghz))
+      ()
+
 (* Table I restricts the on-chip table oversampling to a power of two
    <= 64; software callers routinely ask for L = 512. *)
 let hardware_l l =
@@ -61,29 +75,33 @@ let make_2d (c : Op.ctx) : Op.op =
 
     let adjoint s =
       check_grid ~g s;
+      let sp = Op.adjoint_span name in
       let t0 = now () in
       Engine2d.reset engine;
       Engine2d.stream engine ~gx:(Sample.gx s) ~gy:(Sample.gy s)
         s.Sample.values;
       let grid = Engine2d.readout engine in
-      st.Op.cycles <- st.Op.cycles + Engine2d.gridding_cycles engine;
+      let cycles = Engine2d.gridding_cycles engine in
+      emit_cycle_span cfg ~cycles;
       let t1 = now () in
       Fft.Fftnd.transform_2d ?pool:c.Op.pool Fft.Dft.Inverse ~nx:g ~ny:g grid;
       let t2 = now () in
       let image = Nufft.Plan.crop_deapodize_2d plan grid in
       let t3 = now () in
-      st.Op.adjoints <- st.Op.adjoints + 1;
-      st.Op.gridding_s <- st.Op.gridding_s +. (t1 -. t0);
-      st.Op.fft_s <- st.Op.fft_s +. (t2 -. t1);
-      st.Op.deapod_s <- st.Op.deapod_s +. (t3 -. t2);
-      st.Op.adjoint_s <- st.Op.adjoint_s +. (t3 -. t0);
+      Op.record_adjoint ~cycles st ~elapsed_s:(t3 -. t0)
+        ~timings:
+          { Nufft.Plan.gridding_s = t1 -. t0;
+            fft_s = t2 -. t1;
+            deapod_s = t3 -. t2 };
+      Telemetry.span_end sp;
       image
 
     let forward image =
+      let sp = Op.forward_span name in
       let t0 = now () in
       let values = Nufft.Plan.forward ~stats:st.Op.grid plan ~coords image in
-      st.Op.forwards <- st.Op.forwards + 1;
-      st.Op.forward_s <- st.Op.forward_s +. (now () -. t0);
+      Op.record_forward st ~elapsed_s:(now () -. t0);
+      Telemetry.span_end sp;
       Sample.with_values coords values
 
     let stats () = st
@@ -102,6 +120,7 @@ let make_3d (c : Op.ctx) : Op.op =
 
     let adjoint s =
       check_grid ~g s;
+      let sp = Op.adjoint_span name in
       let m = Sample.length s in
       let t0 = now () in
       let slices =
@@ -116,25 +135,28 @@ let make_3d (c : Op.ctx) : Op.op =
             Cvec.set big (base + i) (Cvec.get slice i)
           done)
         slices;
-      st.Op.cycles <- st.Op.cycles + Engine3d.unsorted_cycles engine ~m;
+      let cycles = Engine3d.unsorted_cycles engine ~m in
+      emit_cycle_span cfg ~cycles;
       let t1 = now () in
       Fft.Fftnd.transform_3d ?pool:c.Op.pool Fft.Dft.Inverse ~nx:g ~ny:g ~nz:g
         big;
       let t2 = now () in
       let volume = Nufft.Plan.crop_deapodize_3d plan big in
       let t3 = now () in
-      st.Op.adjoints <- st.Op.adjoints + 1;
-      st.Op.gridding_s <- st.Op.gridding_s +. (t1 -. t0);
-      st.Op.fft_s <- st.Op.fft_s +. (t2 -. t1);
-      st.Op.deapod_s <- st.Op.deapod_s +. (t3 -. t2);
-      st.Op.adjoint_s <- st.Op.adjoint_s +. (t3 -. t0);
+      Op.record_adjoint ~cycles st ~elapsed_s:(t3 -. t0)
+        ~timings:
+          { Nufft.Plan.gridding_s = t1 -. t0;
+            fft_s = t2 -. t1;
+            deapod_s = t3 -. t2 };
+      Telemetry.span_end sp;
       volume
 
     let forward image =
+      let sp = Op.forward_span name in
       let t0 = now () in
       let values = Nufft.Plan.forward ~stats:st.Op.grid plan ~coords image in
-      st.Op.forwards <- st.Op.forwards + 1;
-      st.Op.forward_s <- st.Op.forward_s +. (now () -. t0);
+      Op.record_forward st ~elapsed_s:(now () -. t0);
+      Telemetry.span_end sp;
       Sample.with_values coords values
 
     let stats () = st

@@ -7,9 +7,22 @@ type task = {
   t_stop : int;
   chunk : int;
   next : int Atomic.t;
+  t_submit : int;
+      (* monotonic ns at publish when telemetry is enabled, else 0; lets
+         every participant split its involvement into queue-wait vs run
+         time without extra synchronisation *)
   mutable unfinished : int;
   mutable failure : exn option;
 }
+
+(* Scheduling telemetry: one "pool.submit" span on the caller per
+   parallel_for, and per participant a synthetic "pool.wait" span
+   (publish -> first claim) followed by a real "pool.run" span, each on
+   the participant's own domain track. *)
+let c_tasks = Telemetry.Counter.make "pool.tasks"
+let c_chunks = Telemetry.Counter.make "pool.chunks"
+let h_wait = Telemetry.Histogram.make "pool.wait_us"
+let h_run = Telemetry.Histogram.make "pool.run_us"
 
 type t = {
   mutable workers : unit Domain.t array;
@@ -30,13 +43,18 @@ let size pool = pool.total
 let is_shut_down pool = pool.shut_down
 
 let run_task pool task =
+  let t_start = if task.t_submit > 0 then Telemetry.Clock.now_ns () else 0 in
+  let chunks = ref 0 in
   let failed =
     try
       let continue = ref true in
       while !continue do
         let lo = Atomic.fetch_and_add task.next task.chunk in
         if lo >= task.t_stop then continue := false
-        else task.ranges ~lo ~hi:(min task.t_stop (lo + task.chunk))
+        else begin
+          incr chunks;
+          task.ranges ~lo ~hi:(min task.t_stop (lo + task.chunk))
+        end
       done;
       None
     with e ->
@@ -45,6 +63,17 @@ let run_task pool task =
       Atomic.set task.next task.t_stop;
       Some e
   in
+  if task.t_submit > 0 then begin
+    let t_end = Telemetry.Clock.now_ns () in
+    Telemetry.emit_span ~cat:"pool" ~name:"pool.wait" ~ts_ns:task.t_submit
+      ~dur_ns:(t_start - task.t_submit) ();
+    Telemetry.emit_span ~cat:"pool" ~name:"pool.run" ~ts_ns:t_start
+      ~dur_ns:(t_end - t_start) ();
+    Telemetry.Histogram.observe h_wait
+      (float_of_int (t_start - task.t_submit) /. 1e3);
+    Telemetry.Histogram.observe h_run (float_of_int (t_end - t_start) /. 1e3);
+    Telemetry.Counter.add c_chunks !chunks
+  end;
   Mutex.lock pool.mutex;
   (match failed with
   | Some e when task.failure = None -> task.failure <- Some e
@@ -120,14 +149,20 @@ let parallel_for_ranges ?chunk pool ~start ~stop ranges =
     Mutex.lock pool.mutex;
     if pool.shut_down || pool.stopping || Array.length pool.workers = 0 then begin
       Mutex.unlock pool.mutex;
-      serial_chunked ranges ~start ~stop ~chunk
+      let sp = Telemetry.span_begin ~cat:"pool" "pool.serial" in
+      serial_chunked ranges ~start ~stop ~chunk;
+      Telemetry.span_end sp
     end
     else begin
+      let sp = Telemetry.span_begin ~cat:"pool" "pool.submit" in
+      Telemetry.Counter.incr c_tasks;
       let task =
         { ranges;
           t_stop = stop;
           chunk;
           next = Atomic.make start;
+          t_submit =
+            (if Telemetry.enabled () then Telemetry.Clock.now_ns () else 0);
           unfinished = Array.length pool.workers + 1;
           failure = None }
       in
@@ -142,6 +177,7 @@ let parallel_for_ranges ?chunk pool ~start ~stop ranges =
       done;
       pool.current <- None;
       Mutex.unlock pool.mutex;
+      Telemetry.span_end sp;
       match task.failure with None -> () | Some e -> raise e
     end
   end

@@ -1,0 +1,475 @@
+(* See telemetry.mli for the model. Implementation notes:
+
+   - The enabled flag is one Atomic.t bool; every entry point loads it
+     once. Disabled paths allocate nothing.
+   - Span events are appended to a per-domain growable buffer ("sink")
+     reached through Domain.DLS, so recording never contends between
+     domains; sinks register themselves in a mutex-guarded global list
+     the exporters walk.
+   - Counters are atomic ints in a global registry; histograms take a
+     per-histogram mutex (observation rates are per-task, not
+     per-sample). *)
+
+external now_ns_stub : unit -> int = "jigsaw_telemetry_now_ns" [@@noalloc]
+
+module Clock = struct
+  let now_ns = now_ns_stub
+end
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+type event = {
+  name : string;
+  cat : string;
+  tid : int;
+  ts_ns : int;
+  dur_ns : int;
+  args : (string * string) list;
+  seq : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain sinks *)
+
+type sink = {
+  tid : int;
+  mutable events : event array;
+  mutable len : int;
+  mutable seq : int;
+}
+
+let registry_mutex = Mutex.create ()
+let sinks : sink list ref = ref []
+
+let sink_key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        { tid = (Domain.self () :> int); events = [||]; len = 0; seq = 0 }
+      in
+      Mutex.lock registry_mutex;
+      sinks := s :: !sinks;
+      Mutex.unlock registry_mutex;
+      s)
+
+let push sink ev =
+  let cap = Array.length sink.events in
+  if sink.len = cap then begin
+    let grown = Array.make (max 64 (2 * cap)) ev in
+    Array.blit sink.events 0 grown 0 sink.len;
+    sink.events <- grown
+  end;
+  sink.events.(sink.len) <- ev;
+  sink.len <- sink.len + 1
+
+let record ~name ~cat ~tid ~ts_ns ~dur_ns ~args =
+  let sink = Domain.DLS.get sink_key in
+  let ev =
+    { name; cat; tid; ts_ns; dur_ns; args; seq = sink.seq }
+  in
+  sink.seq <- sink.seq + 1;
+  push sink ev
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+type span =
+  | Null
+  | Open of { name : string; cat : string; args : (string * string) list;
+              ts_ns : int }
+
+let null_span = Null
+
+let span_begin ?(cat = "misc") ?(args = []) name =
+  if not (Atomic.get enabled_flag) then Null
+  else Open { name; cat; args; ts_ns = Clock.now_ns () }
+
+let span_end = function
+  | Null -> ()
+  | Open { name; cat; args; ts_ns } ->
+      let dur_ns = Clock.now_ns () - ts_ns in
+      record ~name ~cat ~tid:(Domain.self () :> int) ~ts_ns ~dur_ns ~args
+
+let with_span ?cat name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let sp = span_begin ?cat name in
+    match f () with
+    | v ->
+        span_end sp;
+        v
+    | exception e ->
+        span_end sp;
+        raise e
+  end
+
+let emit_span ?(cat = "misc") ?tid ?(args = []) ~name ~ts_ns ~dur_ns () =
+  if Atomic.get enabled_flag then begin
+    let tid = match tid with Some t -> t | None -> (Domain.self () :> int) in
+    record ~name ~cat ~tid ~ts_ns ~dur_ns ~args
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+module Counter = struct
+  type t = { name : string; v : int Atomic.t }
+
+  let table : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    Mutex.lock registry_mutex;
+    let c =
+      match Hashtbl.find_opt table name with
+      | Some c -> c
+      | None ->
+          let c = { name; v = Atomic.make 0 } in
+          Hashtbl.add table name c;
+          c
+    in
+    Mutex.unlock registry_mutex;
+    c
+
+  let name c = c.name
+
+  let add c n =
+    if n < 0 then invalid_arg "Telemetry.Counter.add: negative increment";
+    if Atomic.get enabled_flag && n > 0 then
+      ignore (Atomic.fetch_and_add c.v n)
+
+  let incr c = add c 1
+  let value c = Atomic.get c.v
+
+  let all () =
+    Mutex.lock registry_mutex;
+    let l = Hashtbl.fold (fun n c acc -> (n, value c) :: acc) table [] in
+    Mutex.unlock registry_mutex;
+    List.sort compare l
+
+  let reset () =
+    Mutex.lock registry_mutex;
+    Hashtbl.iter (fun _ c -> Atomic.set c.v 0) table;
+    Mutex.unlock registry_mutex
+end
+
+(* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+module Histogram = struct
+  type t = {
+    name : string;
+    m : Mutex.t;
+    mutable count : int;
+    mutable sum : float;
+    mutable vmin : float;
+    mutable vmax : float;
+    buckets : int array;  (* log2 buckets: [0] for v < 1, then exponents *)
+  }
+
+  let table : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let make name =
+    Mutex.lock registry_mutex;
+    let h =
+      match Hashtbl.find_opt table name with
+      | Some h -> h
+      | None ->
+          let h =
+            { name; m = Mutex.create (); count = 0; sum = 0.0;
+              vmin = infinity; vmax = neg_infinity;
+              buckets = Array.make 64 0 }
+          in
+          Hashtbl.add table name h;
+          h
+    in
+    Mutex.unlock registry_mutex;
+    h
+
+  let name h = h.name
+
+  let bucket_of v =
+    if not (v >= 1.0) then 0
+    else min 63 (1 + int_of_float (Float.log2 v))
+
+  let observe h v =
+    if Atomic.get enabled_flag then begin
+      Mutex.lock h.m;
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      if v < h.vmin then h.vmin <- v;
+      if v > h.vmax then h.vmax <- v;
+      let b = bucket_of v in
+      h.buckets.(b) <- h.buckets.(b) + 1;
+      Mutex.unlock h.m
+    end
+
+  let count h = h.count
+  let sum h = h.sum
+  let mean h = if h.count = 0 then nan else h.sum /. float_of_int h.count
+  let min_value h = if h.count = 0 then nan else h.vmin
+  let max_value h = if h.count = 0 then nan else h.vmax
+
+  let all () =
+    Mutex.lock registry_mutex;
+    let l = Hashtbl.fold (fun _ h acc -> h :: acc) table [] in
+    Mutex.unlock registry_mutex;
+    List.sort (fun a b -> compare a.name b.name) l
+
+  let reset () =
+    Mutex.lock registry_mutex;
+    Hashtbl.iter
+      (fun _ h ->
+        Mutex.lock h.m;
+        h.count <- 0;
+        h.sum <- 0.0;
+        h.vmin <- infinity;
+        h.vmax <- neg_infinity;
+        Array.fill h.buckets 0 (Array.length h.buckets) 0;
+        Mutex.unlock h.m)
+      table;
+    Mutex.unlock registry_mutex
+end
+
+(* ------------------------------------------------------------------ *)
+(* Probes *)
+
+let probe_table : (string, unit -> float) Hashtbl.t = Hashtbl.create 16
+
+let register_probe name f =
+  Mutex.lock registry_mutex;
+  Hashtbl.replace probe_table name f;
+  Mutex.unlock registry_mutex
+
+let probes () =
+  Mutex.lock registry_mutex;
+  let l = Hashtbl.fold (fun n f acc -> (n, f) :: acc) probe_table [] in
+  Mutex.unlock registry_mutex;
+  List.sort compare (List.map (fun (n, f) -> (n, f ())) l)
+
+(* ------------------------------------------------------------------ *)
+(* Reset *)
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun s ->
+      s.len <- 0;
+      s.seq <- 0)
+    !sinks;
+  Hashtbl.reset probe_table;
+  Mutex.unlock registry_mutex;
+  Counter.reset ();
+  Histogram.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Export *)
+
+let events () =
+  Mutex.lock registry_mutex;
+  let collected =
+    List.concat_map
+      (fun s -> Array.to_list (Array.sub s.events 0 s.len))
+      !sinks
+  in
+  Mutex.unlock registry_mutex;
+  List.sort
+    (fun a b ->
+      let c = compare a.ts_ns b.ts_ns in
+      if c <> 0 then c
+      else
+        let c = compare a.tid b.tid in
+        if c <> 0 then c else compare a.seq b.seq)
+    collected
+
+(* Aggregated span tree. Per tid: sort by (ts asc, dur desc, seq asc) so a
+   parent precedes the children it contains, then walk with a stack where
+   event e is a child of the top while it lies inside the top's interval.
+   Trees from every tid are merged by name path. *)
+
+type node = {
+  mutable calls : int;
+  mutable total_ns : int;
+  mutable child_ns : int;
+  children : (string, node) Hashtbl.t;
+}
+
+let new_node () =
+  { calls = 0; total_ns = 0; child_ns = 0; children = Hashtbl.create 8 }
+
+let build_tree evs =
+  let root = new_node () in
+  let by_tid : (int, event list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : event) ->
+      let l = try Hashtbl.find by_tid e.tid with Not_found -> [] in
+      Hashtbl.replace by_tid e.tid (e :: l))
+    evs;
+  Hashtbl.iter
+    (fun _ l ->
+      let sorted =
+        List.sort
+          (fun a b ->
+            let c = compare a.ts_ns b.ts_ns in
+            if c <> 0 then c
+            else
+              let c = compare b.dur_ns a.dur_ns in
+              if c <> 0 then c else compare a.seq b.seq)
+          l
+      in
+      (* Stack of (event, node). *)
+      let stack = ref [] in
+      List.iter
+        (fun e ->
+          let rec unwind () =
+            match !stack with
+            | (p, _) :: rest
+              when e.ts_ns >= p.ts_ns + p.dur_ns
+                   || e.ts_ns + e.dur_ns > p.ts_ns + p.dur_ns ->
+                stack := rest;
+                unwind ()
+            | _ -> ()
+          in
+          unwind ();
+          let parent =
+            match !stack with [] -> root | (_, n) :: _ -> n
+          in
+          let node =
+            match Hashtbl.find_opt parent.children e.name with
+            | Some n -> n
+            | None ->
+                let n = new_node () in
+                Hashtbl.add parent.children e.name n;
+                n
+          in
+          node.calls <- node.calls + 1;
+          node.total_ns <- node.total_ns + e.dur_ns;
+          (match !stack with
+          | (_, p) :: _ -> p.child_ns <- p.child_ns + e.dur_ns
+          | [] -> ());
+          stack := (e, node) :: !stack)
+        sorted)
+    by_tid;
+  root
+
+let ms ns = float_of_int ns /. 1e6
+
+let pp_tree ppf () =
+  let root = build_tree (events ()) in
+  let rec render indent node =
+    let entries =
+      Hashtbl.fold (fun name n acc -> (name, n) :: acc) node.children []
+      |> List.sort (fun (_, a) (_, b) -> compare b.total_ns a.total_ns)
+    in
+    List.iter
+      (fun (name, n) ->
+        let self = n.total_ns - n.child_ns in
+        Format.fprintf ppf "%s%-*s %6d x %10.3f ms  (self %.3f ms)@,"
+          indent
+          (max 1 (32 - String.length indent))
+          name n.calls (ms n.total_ns) (ms self);
+        render (indent ^ "  ") n)
+      entries
+  in
+  Format.fprintf ppf "@[<v>";
+  render "" root;
+  Format.fprintf ppf "@]"
+
+let tree_summary () = Format.asprintf "%a" pp_tree ()
+
+let pp_metrics ppf () =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (n, v) -> Format.fprintf ppf "counter   %-40s %d@," n v)
+    (Counter.all ());
+  List.iter
+    (fun h ->
+      Format.fprintf ppf
+        "histogram %-40s count=%d mean=%.3f min=%.3f max=%.3f@,"
+        (Histogram.name h) (Histogram.count h) (Histogram.mean h)
+        (Histogram.min_value h) (Histogram.max_value h))
+    (Histogram.all ());
+  List.iter
+    (fun (n, v) -> Format.fprintf ppf "probe     %-40s %.3f@," n v)
+    (probes ());
+  Format.fprintf ppf "@]"
+
+let metrics_summary () = Format.asprintf "%a" pp_metrics ()
+
+(* Chrome trace_event JSON. Complete ("X") events carry microsecond
+   ts/dur rebased to the earliest span so the viewer opens at t=0. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let chrome_trace ?(counters = true) () =
+  let evs = events () in
+  let base = match evs with [] -> 0 | e :: _ -> e.ts_ns in
+  let us ns = float_of_int ns /. 1e3 in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string b ",\n"
+  in
+  List.iter
+    (fun e ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\
+            \"tid\":%d,\"ts\":%.3f,\"dur\":%.3f"
+           (json_escape e.name) (json_escape e.cat) e.tid
+           (us (e.ts_ns - base))
+           (us e.dur_ns));
+      (match e.args with
+      | [] -> ()
+      | args ->
+          Buffer.add_string b ",\"args\":{";
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char b ',';
+              Buffer.add_string b
+                (Printf.sprintf "\"%s\":\"%s\"" (json_escape k)
+                   (json_escape v)))
+            args;
+          Buffer.add_char b '}');
+      Buffer.add_char b '}')
+    evs;
+  if counters then begin
+    let last =
+      List.fold_left (fun acc e -> max acc (e.ts_ns + e.dur_ns)) base evs
+    in
+    List.iter
+      (fun (n, v) ->
+        if v > 0 then begin
+          sep ();
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\
+                \"ts\":%.3f,\"args\":{\"value\":%d}}"
+               (json_escape n)
+               (us (last - base))
+               v)
+        end)
+      (Counter.all ())
+  end;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let write_chrome_trace ?counters path =
+  let oc = open_out path in
+  output_string oc (chrome_trace ?counters ());
+  close_out oc

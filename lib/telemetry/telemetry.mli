@@ -1,0 +1,172 @@
+(** Unified telemetry: spans, counters, histograms, probes, exporters.
+
+    One process-wide view of where a reconstruction spends its time once
+    plans, gridding engines, FFT line batches, the domain pool and the
+    hardware-model backends interact — the per-stage accounting the
+    paper's evaluation (§4–5) is built on, in the style of the per-phase
+    breakdowns production NuFFT stacks expose (cuFINUFFT, FINUFFT).
+
+    {2 Model}
+
+    - {e Spans} are named, timed intervals on the {e monotonic} clock,
+      recorded into a per-domain sink (no cross-domain contention on the
+      hot path). Nesting is positional: a span opened while another is
+      open on the same domain is its child. Synthetic spans with caller
+      supplied timestamps model simulated hardware (cycle counts).
+    - {e Counters} are process-wide monotonic integers (atomic, shared by
+      all domains), registered by name.
+    - {e Histograms} aggregate float observations (count/sum/min/max and
+      log2 buckets) under a per-histogram mutex.
+    - {e Probes} are lazy gauges: a name plus a closure sampled only at
+      export time — how the existing [Gridding_stats] / operator stat
+      structs publish into the registry without changing their hot paths.
+
+    {2 Cost discipline}
+
+    The whole layer is a near-no-op until {!set_enabled}[ true]:
+    {!span_begin} checks one atomic flag and returns {!null_span} without
+    allocating; {!with_span} calls its thunk directly; counter adds and
+    histogram observations are skipped. Instrumentation call sites are
+    expected to keep the disabled path allocation-free (build span names
+    and args only after checking {!enabled}). *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Drop all recorded events, zero every counter, clear histograms and
+    probes. Intended for tests and between CLI runs; not thread-safe
+    with respect to concurrently recording domains. *)
+
+module Clock : sig
+  val now_ns : unit -> int
+  (** Monotonic nanoseconds since an arbitrary epoch ([CLOCK_MONOTONIC];
+      never decreases, allocation-free). *)
+end
+
+(** {2 Spans} *)
+
+type span
+(** Token returned by {!span_begin}; must be closed with {!span_end} on
+    the same domain. *)
+
+val null_span : span
+(** The disabled token: {!span_end} on it is a no-op. *)
+
+val span_begin : ?cat:string -> ?args:(string * string) list -> string -> span
+(** Open a span named [name] (category [cat], default ["misc"]) at the
+    current monotonic time. Returns {!null_span} without allocating when
+    telemetry is disabled. *)
+
+val span_end : span -> unit
+(** Close the span and record the event into the current domain's sink. *)
+
+val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span; the span is closed on
+    exceptions too. When disabled this is exactly [f ()]. *)
+
+val emit_span :
+  ?cat:string ->
+  ?tid:int ->
+  ?args:(string * string) list ->
+  name:string ->
+  ts_ns:int ->
+  dur_ns:int ->
+  unit ->
+  unit
+(** Record a complete span with caller-supplied timestamps — used for
+    {e synthetic} spans derived from simulated hardware cycle counts
+    ([tid] defaults to the current domain; pick a distinct id to give
+    models their own track in the trace viewer). No-op when disabled. *)
+
+(** {2 Counters} *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Create-or-get the process-wide counter [name] (idempotent). *)
+
+  val name : t -> string
+
+  val add : t -> int -> unit
+  (** Monotonic: raises [Invalid_argument] on a negative increment.
+      No-op while telemetry is disabled. *)
+
+  val incr : t -> unit
+  val value : t -> int
+
+  val all : unit -> (string * int) list
+  (** Registered counters sorted by name. *)
+end
+
+(** {2 Histograms} *)
+
+module Histogram : sig
+  type t
+
+  val make : string -> t
+  (** Create-or-get the process-wide histogram [name] (idempotent). *)
+
+  val name : t -> string
+
+  val observe : t -> float -> unit
+  (** No-op while telemetry is disabled. *)
+
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  val min_value : t -> float
+  (** [nan] when empty; likewise {!max_value}. *)
+
+  val max_value : t -> float
+
+  val all : unit -> t list
+end
+
+(** {2 Probes} *)
+
+val register_probe : string -> (unit -> float) -> unit
+(** Register a lazy gauge sampled at export time. Re-registering a name
+    replaces the previous closure. *)
+
+val probes : unit -> (string * float) list
+(** Sample every probe, sorted by name. *)
+
+(** {2 Export} *)
+
+type event = {
+  name : string;
+  cat : string;
+  tid : int;
+  ts_ns : int;
+  dur_ns : int;
+  args : (string * string) list;
+  seq : int;  (** per-sink sequence number, breaks timestamp ties *)
+}
+
+val events : unit -> event list
+(** Every recorded span, merged across domain sinks in the deterministic
+    order [(ts_ns, tid, seq)] — independent of sink registration order
+    and merge timing. *)
+
+val pp_tree : Format.formatter -> unit -> unit
+(** Human-readable aggregated span tree: nesting reconstructed from
+    interval containment per domain, merged across domains by span name,
+    with call counts, total and self time. *)
+
+val tree_summary : unit -> string
+
+val pp_metrics : Format.formatter -> unit -> unit
+(** Counters, histograms and sampled probes, sorted by name. *)
+
+val metrics_summary : unit -> string
+
+val chrome_trace : ?counters:bool -> unit -> string
+(** The recorded events as Chrome [trace_event] JSON (loadable in
+    [chrome://tracing] and Perfetto): one ["ph":"X"] complete event per
+    span with microsecond [ts]/[dur] rebased to the earliest event, plus
+    one ["ph":"C"] counter sample per registered counter (unless
+    [counters] is [false]). *)
+
+val write_chrome_trace : ?counters:bool -> string -> unit

@@ -1,0 +1,21 @@
+/* Monotonic clock for telemetry spans.
+ *
+ * Returns nanoseconds since an arbitrary epoch as a tagged OCaml int
+ * (63 bits hold ~146 years of nanoseconds), so the call allocates
+ * nothing and never goes backwards — wall-clock adjustments (NTP,
+ * suspend/resume steps) cannot produce negative span durations. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value jigsaw_telemetry_now_ns(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -124,7 +124,7 @@ let test_dram_bandwidth_saturation () =
     (!completion >= Cachesim.Dram.epoch_cycles + 400);
   Alcotest.(check int) "accounted" 128000 (Dram.total_bytes d)
 
-let qtests = List.map QCheck_alcotest.to_alcotest [ prop_stats_consistent ]
+let qtests = Qutil.to_alcotests [ prop_stats_consistent ]
 
 let () =
   Alcotest.run "cachesim"

@@ -1,0 +1,211 @@
+(* Metamorphic conformance suite: algebraic identities every NuFFT
+   backend must satisfy, checked property-based over random coordinate
+   sets for every registry entry in 2D and 3D.
+
+   - linearity      A(a x + b y) = a A x + b A y (forward and adjoint)
+   - adjointness    <A x, y> = <x, A^H y> (Hermitian inner product)
+   - phase ramp     evaluating at coordinates shifted by a constant
+                    delta equals evaluating the image modulated by the
+                    conjugate phase ramp: with the forward convention
+                    s(u) = sum_c x_c e^{-2 pi i u.c / g} (centred pixel
+                    index c), s(u + delta) = forward(x .* ramp) where
+                    ramp_c = e^{-2 pi i delta c_x / g}.
+
+   The CPU and gpusim backends compute in floating point, where the
+   identities hold to accumulation order (linearity, adjointness) or to
+   the window's approximation error (phase ramp — both sides approximate
+   the same trigonometric polynomial through different coordinate sets).
+   The jigsaw backends quantize sample values and weights to Q1.15 on
+   the adjoint path, which is *not* exactly linear, so their tolerance
+   is the quantization step scaled by the per-sample fan-out w^dims
+   (same derivation as test_operator.fixed_tol). The shift delta is kept
+   dyadic (0.5) so the hardware coordinate snapping commutes with it. *)
+
+module Op = Nufft.Operator
+module Sample = Nufft.Sample
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+module Fp = Numerics.Fixed_point
+
+let () =
+  Jigsaw.Operator_backend.register ();
+  Gpusim.Operator_backend.register ()
+
+let is_jigsaw name = String.length name >= 6 && String.sub name 0 6 = "jigsaw"
+
+let rec pow b e = if e = 0 then 1 else b * pow b (e - 1)
+
+let fixed_tol ~dims ~w = 8.0 *. Fp.quantization_error_bound Fp.q15
+                         *. float_of_int (pow w dims)
+
+let random_cvec ~seed ?(scale = 0.5) len =
+  let rng = Random.State.make [| seed |] in
+  Cvec.init len (fun _ ->
+      C.make
+        (scale *. (Random.State.float rng 2.0 -. 1.0))
+        (scale *. (Random.State.float rng 2.0 -. 1.0)))
+
+(* || a - b || / max(||a||, ||b||); 0 when both are ~0. *)
+let rel_err a b =
+  let n = Cvec.length a in
+  assert (Cvec.length b = n);
+  let d2 = ref 0.0 and a2 = ref 0.0 and b2 = ref 0.0 in
+  for i = 0 to n - 1 do
+    let da = Cvec.get a i and db = Cvec.get b i in
+    let d = C.sub da db in
+    d2 := !d2 +. (C.norm d ** 2.0);
+    a2 := !a2 +. (C.norm da ** 2.0);
+    b2 := !b2 +. (C.norm db ** 2.0)
+  done;
+  let denom = Float.max (sqrt !a2) (sqrt !b2) in
+  if denom <= 1e-300 then 0.0 else sqrt !d2 /. denom
+
+let geometry = function 2 -> (12, 72) | _ -> (8, 48)
+
+let mk_op name ~n coords = Op.create name (Op.context ~n ~coords ())
+
+let lincomb a x b y =
+  let len = Cvec.length x in
+  Cvec.init len (fun i ->
+      C.add (C.scale a (Cvec.get x i)) (C.scale b (Cvec.get y i)))
+
+(* ------------------------------------------------------------------ *)
+(* Linearity. The forward path is pure floating point for every backend
+   (jigsaw interpolates through its software plan), so it must be linear
+   to rounding; the adjoint tolerance widens to the quantization bound
+   for the fixed-point engines. *)
+
+let prop_linearity name dims =
+  let n, m = geometry dims in
+  let g = 2 * n in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "linearity: %s %dD" name dims)
+    ~count:5
+    QCheck.(
+      triple (int_range 0 100_000)
+        (float_range (-1.0) 1.0)
+        (float_range (-1.0) 1.0))
+    (fun (seed, a, b) ->
+      let coords = Sample.random ~seed ~dims ~g m in
+      let op = mk_op name ~n coords in
+      let len = Op.image_length op in
+      (* forward *)
+      let x = random_cvec ~seed:(seed + 1) len
+      and y = random_cvec ~seed:(seed + 2) len in
+      let lhs_f =
+        (Op.apply_forward op (lincomb a x b y)).Sample.values
+      in
+      let fx = (Op.apply_forward op x).Sample.values in
+      let fy = (Op.apply_forward op y).Sample.values in
+      let e_fwd = rel_err lhs_f (lincomb a fx b fy) in
+      (* adjoint *)
+      let u = random_cvec ~seed:(seed + 3) m
+      and v = random_cvec ~seed:(seed + 4) m in
+      let adj vals = Op.apply_adjoint op (Sample.with_values coords vals) in
+      let lhs_a = adj (lincomb a u b v) in
+      let e_adj = rel_err lhs_a (lincomb a (adj u) b (adj v)) in
+      let tol_adj = if is_jigsaw name then fixed_tol ~dims ~w:6 else 1e-9 in
+      if e_fwd >= 1e-9 then
+        QCheck.Test.fail_reportf "forward nonlinear: err %.3e" e_fwd
+      else if e_adj >= tol_adj then
+        QCheck.Test.fail_reportf "adjoint nonlinear: err %.3e tol %.3e"
+          e_adj tol_adj
+      else true)
+
+(* ------------------------------------------------------------------ *)
+(* Adjoint dot-test. *)
+
+let prop_adjointness name dims =
+  let n, m = geometry dims in
+  let g = 2 * n in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "adjointness: %s %dD" name dims)
+    ~count:5
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let coords = Sample.random ~seed ~dims ~g m in
+      let op = mk_op name ~n coords in
+      let x = random_cvec ~seed:(seed + 5) (Op.image_length op) in
+      let y = Sample.with_values coords (random_cvec ~seed:(seed + 6) m) in
+      let ax = Op.apply_forward op x in
+      let aty = Op.apply_adjoint op y in
+      let lhs = Cvec.dot ax.Sample.values y.Sample.values in
+      let rhs = Cvec.dot x aty in
+      let err =
+        C.norm (C.sub lhs rhs) /. Float.max (C.norm lhs) (C.norm rhs)
+      in
+      let tol = if is_jigsaw name then fixed_tol ~dims ~w:6 else 1e-10 in
+      if err >= tol then
+        QCheck.Test.fail_reportf "dot-test err %.3e tol %.3e" err tol
+      else true)
+
+(* ------------------------------------------------------------------ *)
+(* Phase-ramp shift equivalence. Both sides approximate the same
+   trigonometric polynomial through the NuFFT at different coordinate
+   sets, so the tolerance is the window approximation error, not machine
+   epsilon; the jigsaw backends interpolate from a coarser hardware
+   table (L <= 64), which widens it further. *)
+
+let shift_coords ~g ~delta (s : Sample.t) =
+  let coords =
+    Array.mapi
+      (fun axis c ->
+        if axis = 0 then
+          Array.map
+            (fun u ->
+              let u' = u +. delta in
+              if u' >= float_of_int g then u' -. float_of_int g else u')
+            c
+        else Array.copy c)
+      s.Sample.coords
+  in
+  Sample.make ~g ~coords ~values:s.Sample.values
+
+let ramp_image ~dims ~n ~g ~delta x =
+  let len = Cvec.length x in
+  Cvec.init len (fun idx ->
+      let ix = idx mod n in
+      ignore dims;
+      let cx = float_of_int (ix - (n / 2)) in
+      let theta = -2.0 *. Float.pi *. delta *. cx /. float_of_int g in
+      C.mul (Cvec.get x idx) (C.exp_i theta))
+
+let prop_phase_ramp name dims =
+  let n, m = geometry dims in
+  let g = 2 * n in
+  let delta = 0.5 in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "phase-ramp shift: %s %dD" name dims)
+    ~count:5
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let coords = Sample.random ~seed ~dims ~g m in
+      let op = mk_op name ~n coords in
+      let op_shifted = mk_op name ~n (shift_coords ~g ~delta coords) in
+      let x = random_cvec ~seed:(seed + 7) (Op.image_length op) in
+      let lhs = (Op.apply_forward op_shifted x).Sample.values in
+      let rhs =
+        (Op.apply_forward op (ramp_image ~dims ~n ~g ~delta x)).Sample.values
+      in
+      let err = rel_err lhs rhs in
+      let tol = if is_jigsaw name then 1e-2 else 1e-4 in
+      if err >= tol then
+        QCheck.Test.fail_reportf "phase-ramp err %.3e tol %.3e" err tol
+      else true)
+
+(* ------------------------------------------------------------------ *)
+
+let all_props =
+  List.concat_map
+    (fun dims ->
+      List.concat_map
+        (fun name ->
+          [ prop_linearity name dims;
+            prop_adjointness name dims;
+            prop_phase_ramp name dims ])
+        (Op.names ~dims ()))
+    [ 2; 3 ]
+
+let () =
+  Alcotest.run "conformance"
+    [ ("metamorphic", Qutil.to_alcotests all_props) ]

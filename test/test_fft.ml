@@ -219,7 +219,7 @@ let prop_roundtrip =
           (Fft.Fft1d.transformed Fft.Dft.Forward v) in
       Cvec.max_abs_diff v back <= 1e-8)
 
-let qtests = List.map QCheck_alcotest.to_alcotest [ prop_fft_dft_agree; prop_roundtrip ]
+let qtests = Qutil.to_alcotests [ prop_fft_dft_agree; prop_roundtrip ]
 
 let () =
   Alcotest.run "fft"

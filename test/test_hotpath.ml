@@ -233,7 +233,7 @@ let () =
           Alcotest.test_case "fft O(1) words per call" `Quick test_alloc_fft ]
       );
       ( "packed-check",
-        [ QCheck_alcotest.to_alcotest prop_packed_column_check ] );
+        [ Qutil.to_alcotest prop_packed_column_check ] );
       ( "cg-amortization",
         [ Alcotest.test_case "decomposition once per plan" `Quick
             test_cg_decomposition_once ] ) ]

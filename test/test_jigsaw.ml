@@ -393,7 +393,7 @@ let test_synthesis_energy () =
   Alcotest.(check (float 1e-12)) "energy" 216.86e-6 e
 
 let qtests =
-  List.map QCheck_alcotest.to_alcotest
+  Qutil.to_alcotests
     [ prop_select_matches_coord; prop_select_table_addr ]
 
 let () =

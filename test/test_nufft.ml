@@ -978,7 +978,7 @@ let prop_iter_window_total =
       !ok && !count = w)
 
 let qtests =
-  List.map QCheck_alcotest.to_alcotest
+  Qutil.to_alcotests
     [ prop_column_check; prop_engines_agree; prop_spread_interp_adjoint;
       prop_gridding_linear; prop_iter_window_total; prop_dice_inverse ]
 

@@ -411,7 +411,7 @@ let prop_linalg_solve =
 
 (* ------------------------------------------------------------------ *)
 
-let qtests = List.map QCheck_alcotest.to_alcotest
+let qtests = Qutil.to_alcotests
     [ prop_knuth_equals_mul; prop_f32_cmul_close; prop_fp_quantization_bound;
       prop_fp_complex_knuth; prop_window_even; prop_window_monotone_kb;
       prop_window_ft_even; prop_bessel_monotone; prop_q15_weights_in_range;

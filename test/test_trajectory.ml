@@ -141,7 +141,7 @@ let prop_wrap_in_range =
       let x = Traj.wrap_frequency w in
       x >= -.Float.pi && x < Float.pi)
 
-let qtests = List.map QCheck_alcotest.to_alcotest [ prop_wrap_in_range ]
+let qtests = Qutil.to_alcotests [ prop_wrap_in_range ]
 
 let () =
   Alcotest.run "trajectory"
