@@ -29,6 +29,29 @@ let parse_engines path =
   close_in ic;
   List.rev !rows
 
+(* The service line the hotpath harness writes (schema "service": {...}).
+   Older baselines predate the pipeline layer; [None] from the baseline
+   skips the service check so they keep working. *)
+let parse_service path =
+  let ic = open_in path in
+  let found = ref None in
+  (try
+     while true do
+       let line = input_line ic in
+       match
+         Scanf.sscanf line
+           " \"service\": { \"requests_per_sec\": %f, \"cold_plan_ms\": %f, \
+            \"warm_request_ms\": %f, \"minor_words_per_request\": %f"
+           (fun r c w mw -> (r, c, w, mw))
+       with
+       | row -> found := Some row
+       | exception Scanf.Scan_failure _ -> ()
+       | exception End_of_file -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !found
+
 let () =
   let args = Array.to_list Sys.argv in
   let tolerance = ref 0.30 in
@@ -100,6 +123,35 @@ let () =
                   "  %-16s note: minor words/sample rose %.4f -> %.4f\n"
                   name base_words cur_words)
         baseline;
+      (match (parse_service baseline_path, parse_service current_path) with
+      | None, _ ->
+          Printf.printf
+            "  %-16s baseline has no service metrics; skipping\n" "service"
+      | Some _, None ->
+          Printf.printf "  %-16s MISSING from current run\n" "service";
+          breaches :=
+            "service: requests_per_sec missing from current run" :: !breaches
+      | Some (base_rps, _, _, base_mw), Some (cur_rps, cold, warm, cur_mw) ->
+          let delta_pct = 100.0 *. ((cur_rps /. base_rps) -. 1.0) in
+          let ok = cur_rps >= (1.0 -. !tolerance) *. base_rps in
+          Printf.printf
+            "  %-16s %12.0f vs baseline %12.0f  (%+.1f%%)  %s\n"
+            "service req/s" cur_rps base_rps delta_pct
+            (if ok then "ok" else "REGRESSION");
+          Printf.printf
+            "  %-16s cold plan %.3f ms, warm request %.3f ms\n" "" cold warm;
+          if not ok then
+            breaches :=
+              Printf.sprintf
+                "service requests_per_sec: %.0f vs baseline %.0f (%+.1f%%, \
+                 floor -%.0f%%)"
+                cur_rps base_rps delta_pct
+                (100.0 *. !tolerance)
+              :: !breaches;
+          if cur_mw > base_mw +. 64.0 then
+            Printf.printf
+              "  %-16s note: minor words/request rose %.1f -> %.1f\n" ""
+              base_mw cur_mw);
       (match List.rev !breaches with
       | [] -> ()
       | l ->

@@ -40,6 +40,51 @@ let measure ~m f =
   let total = float_of_int (!reps * m) in
   (total /. !elapsed, words /. total)
 
+(* Steady-state serving through the pipeline layer: one cold request pays
+   the plan build, then identical-trajectory requests replay the cached
+   plan through pooled arenas. Reports cold/warm latency, warm
+   requests/sec, and warm minor words per request (the arena discipline
+   keeps the latter O(1), a few hundred words). *)
+let service_case ~quick =
+  let n = if quick then 32 else 64 in
+  let spokes = if quick then 16 else 48 in
+  let traj = Trajectory.Radial.make ~spokes ~readout:(2 * n) () in
+  let coords = Imaging.Recon.coords_of_traj ~g:(2 * n) traj in
+  let m = Sample.length coords in
+  let values =
+    Cvec.init m (fun j ->
+        Numerics.Complexd.make (sin (0.1 *. float_of_int j)) 0.25)
+  in
+  let module Svc = Pipeline.Recon_service in
+  let svc = Svc.create () in
+  let req =
+    { Svc.backend = "serial";
+      n;
+      coords;
+      values;
+      density = None;
+      method_ = Svc.Adjoint }
+  in
+  let ok = function
+    | Ok _ -> ()
+    | Error e -> failwith ("hotpath service bench: " ^ Svc.error_message e)
+  in
+  let t0 = now () in
+  ok (Svc.submit svc req);
+  let cold_ms = 1000.0 *. (now () -. t0) in
+  ok (Svc.submit svc req);
+  let t0 = now () in
+  let w0 = Gc.minor_words () in
+  let reps = ref 0 and elapsed = ref 0.0 in
+  while !reps < 2 || !elapsed < 0.3 do
+    ok (Svc.submit svc req);
+    incr reps;
+    elapsed := now () -. t0
+  done;
+  let words = Gc.minor_words () -. w0 in
+  let rps = float_of_int !reps /. !elapsed in
+  (rps, cold_ms, 1000.0 /. rps, words /. float_of_int !reps, m)
+
 let cg_case ~quick =
   let n = if quick then 32 else 64 in
   let g = 2 * n in
@@ -69,6 +114,7 @@ let cg_case ~quick =
   (n, m, result.Imaging.Cg.iterations, wall)
 
 let write_json ~quick ~g ~m ~tile ~disabled_pct rows
+    (svc_rps, svc_cold_ms, svc_warm_ms, svc_words, svc_m)
     (cg_n, cg_m, cg_iters, cg_wall) =
   let oc = open_out json_path in
   let p fmt = Printf.fprintf oc fmt in
@@ -90,6 +136,11 @@ let write_json ~quick ~g ~m ~tile ~disabled_pct rows
     rows;
   p "  ],\n";
   p "  \"telemetry_disabled_overhead_pct\": %.2f,\n" disabled_pct;
+  p
+    "  \"service\": { \"requests_per_sec\": %.1f, \"cold_plan_ms\": %.3f, \
+     \"warm_request_ms\": %.3f, \"minor_words_per_request\": %.1f, \"m\": \
+     %d },\n"
+    svc_rps svc_cold_ms svc_warm_ms svc_words svc_m;
   p "  \"cg\": { \"n\": %d, \"m\": %d, \"iterations\": %d, \"wall_s\": %.6f }\n"
     cg_n cg_m cg_iters cg_wall;
   p "}\n";
@@ -169,7 +220,14 @@ let run () =
     (overhead sps_direct sps_enabled);
   Printf.printf "  disabled overhead %.1f%% (budget < 5%%)%s\n" disabled_pct
     (if disabled_pct < 5.0 then "" else "  OVER BUDGET");
+  let ((svc_rps, svc_cold_ms, svc_warm_ms, svc_words, svc_m) as svc) =
+    service_case ~quick
+  in
+  Printf.printf
+    "  service (warm plan-cache serving, m=%d): %.0f req/s, cold %.3f ms, \
+     warm %.3f ms, %.0f minor words/request\n"
+    svc_m svc_rps svc_cold_ms svc_warm_ms svc_words;
   let ((_, _, cg_iters, cg_wall) as cg) = cg_case ~quick in
   Printf.printf "  CG (compiled plan, %d iterations): %.3f s\n" cg_iters
     cg_wall;
-  if !json then write_json ~quick ~g ~m ~tile ~disabled_pct rows cg
+  if !json then write_json ~quick ~g ~m ~tile ~disabled_pct rows svc cg

@@ -2,21 +2,30 @@
    reproduction.
 
    Subcommands:
-     grid    generate a trajectory, run the adjoint NuFFT through a chosen
-             registered backend, report stage timings/stats and optionally
-             validate against the serial reference
+     grid    generate a trajectory, run the adjoint NuFFT through the
+             reconstruction service (cold build + warm cached replay),
+             report latencies/stats and optionally validate against the
+             serial reference
      recon   reconstruct the Shepp-Logan phantom from a simulated
              acquisition through any registered backend, write a PGM image
+     batch   serve a batch of reconstruction requests across the domain
+             pool, amortising plans through the cache and buffers through
+             the workspace arenas
      accuracy  adjoint-NuFFT error vs the exact NuDFT (tabulated KB and
              exact min-max interpolation)
      info    print the hardware models' parameters (Table I / Table II)
 
    Backends are looked up in the Nufft.Operator registry; --list-backends
-   prints every registered name. *)
+   prints every registered name. All subcommands report failures as typed
+   errors through Cmdliner (clean exit code + one-line message), never as
+   escaped exceptions. *)
 
 module Cvec = Numerics.Cvec
 module C = Numerics.Complexd
 module Op = Nufft.Operator
+module Svc = Pipeline.Recon_service
+
+let ( let* ) = Result.bind
 
 (* ------------------------------------------------------------------ *)
 (* Shared helpers *)
@@ -32,14 +41,20 @@ let make_trajectory kind m n =
   | "radial" ->
       let readout = 2 * n in
       let spokes = max 1 (m / readout) in
-      Trajectory.Radial.make ~spokes ~readout ()
+      Ok (Trajectory.Radial.make ~spokes ~readout ())
   | "spiral" ->
-      Trajectory.Spiral.make ~samples_per_interleave:m
-        ~turns:(float_of_int n /. 8.0) ()
-  | "rosette" -> Trajectory.Rosette.make ~samples:m ()
-  | "random" -> Trajectory.Random_traj.make ~samples:m ()
-  | "cartesian" -> Trajectory.Cartesian.make ~n
-  | other -> failwith (Printf.sprintf "unknown trajectory %S" other)
+      Ok
+        (Trajectory.Spiral.make ~samples_per_interleave:m
+           ~turns:(float_of_int n /. 8.0) ())
+  | "rosette" -> Ok (Trajectory.Rosette.make ~samples:m ())
+  | "random" -> Ok (Trajectory.Random_traj.make ~samples:m ())
+  | "cartesian" -> Ok (Trajectory.Cartesian.make ~n)
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown trajectory %S (expected radial, spiral, rosette, random \
+            or cartesian)"
+           other)
 
 let samples_of_traj ~g ~seed traj =
   let m = Trajectory.Traj.length traj in
@@ -79,12 +94,11 @@ let list_backends () =
     (Op.entries ());
   `Ok ()
 
-let make_operator ~backend ctx =
-  match Op.create (canonical_backend backend) ctx with
-  | op -> op
-  | exception Invalid_argument msg ->
-      prerr_endline ("jigsaw_cli: " ^ msg);
-      exit 1
+(* Typed Result -> Cmdliner: a one-line error on stderr and a non-zero
+   exit, instead of an escaped exception. *)
+let to_ret = function Ok () -> `Ok () | Error msg -> `Error (false, msg)
+
+let svc_error r = Result.map_error Svc.error_message r
 
 (* --trace FILE / --metrics switch the telemetry layer on for the run;
    the chrome trace is written and the metrics + span-tree summaries
@@ -117,13 +131,32 @@ let with_telemetry ~trace ~metrics f =
    workers in the sense that the t^2 dice columns (or g z-slices in 3D)
    are distributed over D domains. *)
 let apply_domains = function
-  | None -> None
+  | None -> Ok None
   | Some d when d >= 1 ->
       Runtime.Pool.set_global_domains d;
-      Some (Runtime.Pool.global ())
-  | Some _ ->
-      prerr_endline "jigsaw_cli: --domains must be >= 1";
-      exit 1
+      Ok (Some (Runtime.Pool.global ()))
+  | Some _ -> Error "--domains must be >= 1"
+
+let print_cache_line svc =
+  let cs = Pipeline.Plan_cache.stats (Svc.cache svc) in
+  Printf.printf
+    "plan cache: %d hits / %d misses / %d evictions (%d entries, %.1f MiB)\n"
+    cs.Pipeline.Plan_cache.hits cs.Pipeline.Plan_cache.misses
+    cs.Pipeline.Plan_cache.evictions cs.Pipeline.Plan_cache.entries
+    (float_of_int cs.Pipeline.Plan_cache.bytes /. (1024.0 *. 1024.0))
+
+let print_backend_stats op =
+  let st = Op.stats_of op in
+  if st.Op.adjoint_s > 0.0 then
+    Printf.printf "%s: %.3f ms (gridding %.3f + fft %.3f + deapod %.3f)\n"
+      (Op.name_of op)
+      (1e3 *. st.Op.adjoint_s)
+      (1e3 *. st.Op.gridding_s)
+      (1e3 *. st.Op.fft_s)
+      (1e3 *. st.Op.deapod_s);
+  if st.Op.cycles > 0 then Printf.printf "simulated cycles: %d\n" st.Op.cycles;
+  if Nufft.Gridding_stats.total_work st.Op.grid > 0 then
+    Format.printf "stats: %a@." Nufft.Gridding_stats.pp st.Op.grid
 
 (* ------------------------------------------------------------------ *)
 (* grid subcommand *)
@@ -132,36 +165,49 @@ let run_grid n traj_kind m backend w l seed validate domains trace metrics
     list =
   if list then list_backends ()
   else
-    with_telemetry ~trace ~metrics @@ fun () ->
+    to_ret @@ with_telemetry ~trace ~metrics
+    @@ fun () ->
     register_backends ();
-    let pool = apply_domains domains in
+    let* pool = apply_domains domains in
     let g = 2 * n in
-    let traj = make_trajectory traj_kind m n in
+    let* traj = make_trajectory traj_kind m n in
     let s = samples_of_traj ~g ~seed traj in
     let m = Nufft.Sample.length s in
+    let backend = canonical_backend backend in
+    let svc = Svc.create ?pool ~w ~l () in
+    let req =
+      { Svc.backend;
+        n;
+        coords = s;
+        values = s.Nufft.Sample.values;
+        density = None;
+        method_ = Svc.Adjoint }
+    in
     Printf.printf "adjoint NuFFT of %d %s samples onto %dx%d (w=%d, l=%d)\n" m
       traj_kind g g w l;
-    let ctx = Op.context ~w ~l ?pool ~n ~coords:s () in
-    let op = make_operator ~backend ctx in
-    let image = Op.apply_adjoint op s in
-    let st = Op.stats_of op in
+    (* The cold request pays the plan build + trajectory decomposition;
+       the warm one replays the cached entry. *)
+    let* cold = svc_error (Svc.submit svc req) in
+    let* warm = svc_error (Svc.submit svc req) in
     Printf.printf
-      "%s: %.3f ms (gridding %.3f + fft %.3f + deapod %.3f)\n"
-      (Op.name_of op)
-      (1e3 *. st.Op.adjoint_s)
-      (1e3 *. st.Op.gridding_s)
-      (1e3 *. st.Op.fft_s)
-      (1e3 *. st.Op.deapod_s);
-    if st.Op.cycles > 0 then
-      Printf.printf "simulated cycles: %d\n" st.Op.cycles;
-    if Nufft.Gridding_stats.total_work st.Op.grid > 0 then
-      Format.printf "stats: %a@." Nufft.Gridding_stats.pp st.Op.grid;
-    if validate then begin
-      let reference = Op.apply_adjoint (make_operator ~backend:"serial" ctx) s in
-      Printf.printf "NRMSD vs serial reference: %.3e\n"
-        (Cvec.nrmsd ~reference image)
-    end;
-    `Ok ()
+      "%s: cold %.3f ms (plan build + transform), warm %.3f ms (cached plan)\n"
+      backend
+      (1e3 *. cold.Svc.elapsed_s)
+      (1e3 *. warm.Svc.elapsed_s);
+    let* op, _ = svc_error (Svc.operator svc ~backend ~n ~coords:s) in
+    print_backend_stats op;
+    let* () =
+      if not validate then Ok ()
+      else
+        let* reference =
+          svc_error (Svc.submit svc { req with Svc.backend = "serial" })
+        in
+        Printf.printf "NRMSD vs serial reference: %.3e\n"
+          (Cvec.nrmsd ~reference:reference.Svc.image cold.Svc.image);
+        Ok ()
+    in
+    print_cache_line svc;
+    Ok ()
 
 (* ------------------------------------------------------------------ *)
 (* recon subcommand *)
@@ -169,9 +215,13 @@ let run_grid n traj_kind m backend w l seed validate domains trace metrics
 let run_recon n spokes output backend domains cg trace metrics list =
   if list then list_backends ()
   else
-    with_telemetry ~trace ~metrics @@ fun () ->
+    to_ret @@ with_telemetry ~trace ~metrics
+    @@ fun () ->
     register_backends ();
-    let pool = apply_domains domains in
+    let* pool = apply_domains domains in
+    (* The phantom is built before the service sees a request, so the
+       image-size check must happen here to stay a typed error. *)
+    let* () = if n < 2 then Error "recon: n must be >= 2" else Ok () in
     let phantom = Imaging.Phantom.make ~n () in
     let spokes =
       match spokes with
@@ -181,29 +231,29 @@ let run_recon n spokes output backend domains cg trace metrics list =
     let traj = Trajectory.Radial.make ~spokes ~readout:(2 * n) () in
     let density = Trajectory.Radial.density_weights traj in
     let coords = Imaging.Recon.coords_of_traj ~g:(2 * n) traj in
-    let ctx = Op.context ?pool ~n ~coords () in
-    let op = make_operator ~backend ctx in
-    let recon, method_desc =
-      match cg with
-      | None ->
-          let recon, _ = Imaging.Recon.roundtrip_op ~density op phantom in
-          (recon, "adjoint")
-      | Some iters ->
-          (* Iterative reconstruction of the normal equations
-             A^H W A x = A^H W b, with the density compensation as W. *)
-          let samples = Imaging.Recon.acquire_op op phantom in
-          let rhs =
-            Imaging.Cg.normal_equations_rhs_op ~weights:density op samples
-          in
-          let res =
-            Imaging.Cg.solve ~max_iterations:iters
-              ~apply:(Imaging.Cg.normal_map ~weights:density op)
-              rhs
-          in
-          ( res.Imaging.Cg.solution,
-            Printf.sprintf "CG(%d iters%s)" res.Imaging.Cg.iterations
-              (if res.Imaging.Cg.converged then ", converged" else "") )
+    let backend = canonical_backend backend in
+    let svc = Svc.create ?pool () in
+    (* The acquisition needs the forward operator; taking it from the
+       service's cache means the reconstruction request below is a warm
+       hit on the same entry. *)
+    let* op, _ = svc_error (Svc.operator svc ~backend ~n ~coords) in
+    let samples = Imaging.Recon.acquire_op op phantom in
+    let method_ = match cg with None -> Svc.Adjoint | Some i -> Svc.Cg i in
+    let req =
+      { Svc.backend;
+        n;
+        coords;
+        values = samples.Nufft.Sample.values;
+        density = Some density;
+        method_ }
     in
+    let* resp = svc_error (Svc.submit svc req) in
+    let method_desc =
+      match method_ with
+      | Svc.Adjoint -> "adjoint"
+      | Svc.Cg _ -> Printf.sprintf "CG(%d iters)" resp.Svc.iterations
+    in
+    let recon = resp.Svc.image in
     let err = Imaging.Metrics.nrmsd_scaled ~reference:phantom recon in
     Imaging.Pgm.write_magnitude ~path:output ~n recon;
     Printf.printf
@@ -215,42 +265,126 @@ let run_recon n spokes output backend domains cg trace metrics list =
     let st = Op.stats_of op in
     if st.Op.cycles > 0 then
       Printf.printf "simulated gridding cycles: %d\n" st.Op.cycles;
-    `Ok ()
+    print_cache_line svc;
+    Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* batch subcommand *)
+
+(* N reconstruction requests served through one Recon_service: a --share
+   fraction repeat the same trajectory (rebuilt per request, so the
+   coordinate arrays are equal but physically distinct — the cache's
+   canonical-rebinding path), the rest use distinct spoke counts. With
+   --domains > 1 the requests overlap across the pool. *)
+let run_batch n requests share backend cg seed domains trace metrics list =
+  if list then list_backends ()
+  else
+    to_ret @@ with_telemetry ~trace ~metrics
+    @@ fun () ->
+    register_backends ();
+    let* () = if requests < 1 then Error "--requests must be >= 1" else Ok () in
+    let* () =
+      if share < 0.0 || share > 1.0 then Error "--share must be in [0, 1]"
+      else Ok ()
+    in
+    let* pool = apply_domains domains in
+    let svc = Svc.create ?pool () in
+    let g = 2 * n in
+    let backend = canonical_backend backend in
+    let base_spokes = Trajectory.Radial.fully_sampled_spokes ~n in
+    let shared = int_of_float ((share *. float_of_int requests) +. 0.5) in
+    let method_ = match cg with None -> Svc.Adjoint | Some i -> Svc.Cg i in
+    let spokes_of i =
+      if i < shared then base_spokes else base_spokes + (i - shared + 1)
+    in
+    let make_req i =
+      let traj = Trajectory.Radial.make ~spokes:(spokes_of i) ~readout:g () in
+      let density = Trajectory.Radial.density_weights traj in
+      let coords = Imaging.Recon.coords_of_traj ~g traj in
+      let m = Nufft.Sample.length coords in
+      let rng = Random.State.make [| seed; i |] in
+      let values =
+        Cvec.init m (fun _ ->
+            C.make
+              (0.2 *. (Random.State.float rng 2.0 -. 1.0))
+              (0.2 *. (Random.State.float rng 2.0 -. 1.0)))
+      in
+      { Svc.backend; n; coords; values; density = Some density; method_ }
+    in
+    let reqs = List.init requests make_req in
+    let t0 = Unix.gettimeofday () in
+    let results = Svc.submit_batch svc reqs in
+    let dt = Unix.gettimeofday () -. t0 in
+    let ok = ref 0 in
+    List.iteri
+      (fun i r ->
+        match r with
+        | Ok resp ->
+            incr ok;
+            Printf.printf "  request %2d (%3d spokes): ok %8.2f ms%s\n" i
+              (spokes_of i)
+              (1e3 *. resp.Svc.elapsed_s)
+              (if resp.Svc.iterations > 0 then
+                 Printf.sprintf " (%d CG iters)" resp.Svc.iterations
+               else "")
+        | Error e ->
+            Printf.printf "  request %2d (%3d spokes): error %s\n" i
+              (spokes_of i) (Svc.error_message e))
+      results;
+    let domains_used =
+      match pool with Some p -> Runtime.Pool.size p | None -> 1
+    in
+    Printf.printf "%d/%d requests ok in %.3f s (%.1f req/s, %d domain%s)\n" !ok
+      requests dt
+      (float_of_int requests /. dt)
+      domains_used
+      (if domains_used = 1 then "" else "s");
+    print_cache_line svc;
+    let ws = Pipeline.Workspace.stats (Svc.workspace svc) in
+    Printf.printf "arenas: %d checkouts (%d reused, %d grows, %d retained)\n"
+      ws.Pipeline.Workspace.checkouts ws.Pipeline.Workspace.reuses
+      ws.Pipeline.Workspace.grows ws.Pipeline.Workspace.retained;
+    if !ok = 0 then Error "batch: every request failed" else Ok ()
 
 (* ------------------------------------------------------------------ *)
 (* accuracy subcommand *)
 
 let run_accuracy n m w sigma l seed =
   if n > 48 then
-    failwith "accuracy: n must be <= 48 (the exact NuDFT reference is O(M n^2))";
-  let rng = Random.State.make [| seed |] in
-  let omega () =
-    Array.init m (fun _ -> Random.State.float rng (2.0 *. Float.pi) -. Float.pi)
-  in
-  let ox = omega () and oy = omega () in
-  let values =
-    Cvec.init m (fun _ ->
-        C.make
-          (Random.State.float rng 2.0 -. 1.0)
-          (Random.State.float rng 2.0 -. 1.0))
-  in
-  let exact = Nufft.Nudft.adjoint_2d ~n ~omega_x:ox ~omega_y:oy ~values in
-  let plan = Nufft.Plan.make ~n ~w ~sigma ~l () in
-  let g = plan.Nufft.Plan.g in
-  let samples = Nufft.Sample.of_omega_2d ~g ~omega_x:ox ~omega_y:oy ~values in
-  let fast = Nufft.Plan.adjoint_2d plan samples in
-  Printf.printf
-    "adjoint NuFFT vs exact NuDFT (n=%d, m=%d, w=%d, sigma=%g, L=%d, g=%d):\n"
-    n m w sigma l g;
-  Printf.printf "  kaiser-bessel table:  NRMSD %.3e\n"
-    (Cvec.nrmsd ~reference:exact fast);
-  let mm =
-    Nufft.Minmax.adjoint_2d ~scaling:Nufft.Minmax.Kaiser_bessel_scaling ~n ~g
-      ~w ~gx:(Nufft.Sample.gx samples) ~gy:(Nufft.Sample.gy samples) values
-  in
-  Printf.printf "  exact min-max:        NRMSD %.3e\n"
-    (Cvec.nrmsd ~reference:exact mm);
-  `Ok ()
+    `Error
+      ( false,
+        "accuracy: n must be <= 48 (the exact NuDFT reference is O(M n^2))" )
+  else begin
+    let rng = Random.State.make [| seed |] in
+    let omega () =
+      Array.init m (fun _ ->
+          Random.State.float rng (2.0 *. Float.pi) -. Float.pi)
+    in
+    let ox = omega () and oy = omega () in
+    let values =
+      Cvec.init m (fun _ ->
+          C.make
+            (Random.State.float rng 2.0 -. 1.0)
+            (Random.State.float rng 2.0 -. 1.0))
+    in
+    let exact = Nufft.Nudft.adjoint_2d ~n ~omega_x:ox ~omega_y:oy ~values in
+    let plan = Nufft.Plan.make ~n ~w ~sigma ~l () in
+    let g = plan.Nufft.Plan.g in
+    let samples = Nufft.Sample.of_omega_2d ~g ~omega_x:ox ~omega_y:oy ~values in
+    let fast = Nufft.Plan.adjoint_2d plan samples in
+    Printf.printf
+      "adjoint NuFFT vs exact NuDFT (n=%d, m=%d, w=%d, sigma=%g, L=%d, g=%d):\n"
+      n m w sigma l g;
+    Printf.printf "  kaiser-bessel table:  NRMSD %.3e\n"
+      (Cvec.nrmsd ~reference:exact fast);
+    let mm =
+      Nufft.Minmax.adjoint_2d ~scaling:Nufft.Minmax.Kaiser_bessel_scaling ~n ~g
+        ~w ~gx:(Nufft.Sample.gx samples) ~gy:(Nufft.Sample.gy samples) values
+    in
+    Printf.printf "  exact min-max:        NRMSD %.3e\n"
+      (Cvec.nrmsd ~reference:exact mm);
+    `Ok ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* info subcommand *)
@@ -351,6 +485,16 @@ let metrics_arg =
           "Print the aggregated telemetry span tree and counter/histogram \
            summary after the run.")
 
+let cg_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cg" ] ~docv:"ITERS"
+        ~doc:
+          "Reconstruct iteratively: conjugate gradient on the \
+           density-weighted normal equations, at most $(docv) iterations \
+           (default: single adjoint application).")
+
 let grid_cmd =
   let doc = "run the adjoint NuFFT through a registered backend" in
   Cmd.v (Cmd.info "grid" ~doc)
@@ -373,21 +517,36 @@ let recon_cmd =
       value & opt string "recon.pgm"
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output PGM path.")
   in
-  let cg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "cg" ] ~docv:"ITERS"
-          ~doc:
-            "Reconstruct iteratively: conjugate gradient on the \
-             density-weighted normal equations, at most $(docv) \
-             iterations (default: single adjoint application).")
-  in
   Cmd.v (Cmd.info "recon" ~doc)
     Term.(
       ret
         (const run_recon $ n_arg $ spokes $ output $ backend_arg
-       $ domains_arg $ cg $ trace_arg $ metrics_arg $ list_backends_arg))
+       $ domains_arg $ cg_arg $ trace_arg $ metrics_arg $ list_backends_arg))
+
+let batch_cmd =
+  let doc =
+    "serve a batch of reconstruction requests through the plan cache and \
+     workspace arenas"
+  in
+  let requests =
+    Arg.(
+      value & opt int 8
+      & info [ "requests" ] ~docv:"R" ~doc:"Number of requests in the batch.")
+  in
+  let share =
+    Arg.(
+      value & opt float 0.5
+      & info [ "share" ] ~docv:"F"
+          ~doc:
+            "Fraction of the batch repeating one trajectory (plan-cache \
+             hits); the rest use distinct spoke counts.")
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(
+      ret
+        (const run_batch $ n_arg $ requests $ share $ backend_arg $ cg_arg
+       $ seed_arg $ domains_arg $ trace_arg $ metrics_arg
+       $ list_backends_arg))
 
 let info_cmd =
   let doc = "print hardware-model parameters" in
@@ -412,6 +571,6 @@ let accuracy_cmd =
 let main_cmd =
   let doc = "Slice-and-Dice / JIGSAW NuFFT acceleration reproduction" in
   Cmd.group (Cmd.info "jigsaw_cli" ~doc)
-    [ grid_cmd; recon_cmd; accuracy_cmd; info_cmd ]
+    [ grid_cmd; recon_cmd; batch_cmd; accuracy_cmd; info_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

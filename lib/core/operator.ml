@@ -75,6 +75,7 @@ module type NUFFT_OP = sig
   val dims : int
   val n : int
   val g : int
+  val plan : Plan.plan option
   val adjoint : Sample.t -> Cvec.t
   val forward : Cvec.t -> Sample.t
   val stats : unit -> stats
@@ -161,6 +162,7 @@ let image_length (module O : NUFFT_OP) =
 let apply_adjoint (module O : NUFFT_OP) s = O.adjoint s
 let apply_forward (module O : NUFFT_OP) x = O.forward x
 let stats_of (module O : NUFFT_OP) = O.stats ()
+let plan_of (module O : NUFFT_OP) = O.plan
 
 let normal (module O : NUFFT_OP) x = O.adjoint (O.forward x)
 
@@ -177,11 +179,13 @@ let of_plan ?name ?(compile = true) (plan : Plan.plan) ~coords : op =
     | None -> Gridding.engine_name plan.Plan.engine
   in
   let st = create_stats () in
+  let p = plan in
   (module struct
     let name = name
     let dims = Sample.dims coords
-    let n = plan.Plan.n
-    let g = plan.Plan.g
+    let n = p.Plan.n
+    let g = p.Plan.g
+    let plan = Some p
 
     (* With [compile] (the default), forward/adjoint replay the plan's
        compiled sample plan: the engine's decomposition is paid on the
@@ -192,8 +196,8 @@ let of_plan ?name ?(compile = true) (plan : Plan.plan) ~coords : op =
       let sp = adjoint_span name in
       let t0 = now () in
       let image, tm =
-        if compile then Plan.adjoint_compiled_timed ~stats:st.grid plan s
-        else Plan.adjoint_timed ~stats:st.grid plan s
+        if compile then Plan.adjoint_compiled_timed ~stats:st.grid p s
+        else Plan.adjoint_timed ~stats:st.grid p s
       in
       record_adjoint ~timings:tm st ~elapsed_s:(now () -. t0);
       Telemetry.span_end sp;
@@ -203,8 +207,8 @@ let of_plan ?name ?(compile = true) (plan : Plan.plan) ~coords : op =
       let sp = forward_span name in
       let t0 = now () in
       let values =
-        if compile then Plan.forward_compiled ~stats:st.grid plan ~coords image
-        else Plan.forward ~stats:st.grid plan ~coords image
+        if compile then Plan.forward_compiled ~stats:st.grid p ~coords image
+        else Plan.forward ~stats:st.grid p ~coords image
       in
       record_forward st ~elapsed_s:(now () -. t0);
       Telemetry.span_end sp;

@@ -71,6 +71,14 @@ module type NUFFT_OP = sig
 
   val g : int  (** oversampled grid size *)
 
+  val plan : Plan.plan option
+  (** The CPU plan whose compiled replay path {e is} this operator's own
+      adjoint/forward ([Some] for every {!of_plan}-built backend), exposed
+      so a serving layer can pre-compile the trajectory decomposition
+      ({!Plan.compiled}) and reuse the plan's pipeline-stage helpers.
+      [None] for hardware-model backends (JIGSAW fixed-point, GPU f32
+      simulation), whose numerics a CPU plan must never substitute. *)
+
   val adjoint : Sample.t -> Numerics.Cvec.t
   (** k-space to image: gridding, FFT, de-apodization. Accepts any sample
       set with matching [g] and dimensionality; returns the centred
@@ -156,6 +164,10 @@ val image_length : op -> int
 val apply_adjoint : op -> Sample.t -> Numerics.Cvec.t
 val apply_forward : op -> Numerics.Cvec.t -> Sample.t
 val stats_of : op -> stats
+
+val plan_of : op -> Plan.plan option
+(** The operator's underlying CPU plan, if it has one (see
+    {!NUFFT_OP.plan}). *)
 
 val normal : op -> Numerics.Cvec.t -> Numerics.Cvec.t
 (** [normal op x = adjoint (forward x)] — the Gram/normal map [A^H A]

@@ -2,6 +2,18 @@ module Cvec = Numerics.Cvec
 module C = Numerics.Complexd
 module Wt = Numerics.Weight_table
 
+(* Same-module raw-float accessors; see {!Gridding_serial} for the
+   [-opaque] / cross-module-inlining rationale. *)
+module A1 = Bigarray.Array1
+
+let[@inline] vget_re (v : Cvec.t) k = A1.unsafe_get v (2 * k)
+let[@inline] vget_im (v : Cvec.t) k = A1.unsafe_get v ((2 * k) + 1)
+
+let[@inline] vset_parts (v : Cvec.t) k re im =
+  let j = 2 * k in
+  A1.unsafe_set v j re;
+  A1.unsafe_set v (j + 1) im
+
 type cached = { caxes : float array array; splan : Sample_plan.t }
 
 let c_cache_hit = Telemetry.Counter.make "sample_plan.cache_hit"
@@ -52,68 +64,103 @@ let make ?kernel ?(w = 6) ?(sigma = 2.0) ?(l = 512) ?(engine = Gridding.Serial)
    B = unnormalised inverse-convention DFT of the spread grid; see the
    derivation in the module documentation of {!Apodization}. *)
 
-let crop_deapodize_2d plan big =
+(* The crop/pad stages run once per transform over n^dims points; the
+   raw-float loops below keep them allocation-free (no boxed Complexd per
+   pixel) while performing bit-for-bit the arithmetic of the historical
+   [C.scale]-based versions. The [_into] variants additionally let the
+   pipeline layer reuse pooled output buffers. *)
+
+let crop_deapodize_2d_into plan big image =
   let n = plan.n and g = plan.g in
   if Cvec.length big <> g * g then
     invalid_arg "Plan.crop_deapodize_2d: grid size mismatch";
-  Cvec.init (n * n) (fun idx ->
-      let ix = idx mod n and iy = idx / n in
-      let cx = ix - (n / 2) and cy = iy - (n / 2) in
-      let src = (Coord.wrap ~g cy * g) + Coord.wrap ~g cx in
-      C.scale
-        (1.0 /. (plan.deapod.(ix) *. plan.deapod.(iy)))
-        (Cvec.get big src))
+  if Cvec.length image <> n * n then
+    invalid_arg "Plan.crop_deapodize_2d: image size mismatch";
+  let deapod = plan.deapod in
+  for iy = 0 to n - 1 do
+    let row = Coord.wrap ~g (iy - (n / 2)) * g in
+    let dy = Array.unsafe_get deapod iy in
+    for ix = 0 to n - 1 do
+      let src = row + Coord.wrap ~g (ix - (n / 2)) in
+      let s = 1.0 /. (Array.unsafe_get deapod ix *. dy) in
+      vset_parts image
+        ((iy * n) + ix)
+        (s *. vget_re big src)
+        (s *. vget_im big src)
+    done
+  done
+
+let crop_deapodize_2d plan big =
+  let n = plan.n in
+  let image = Cvec.create (n * n) in
+  crop_deapodize_2d_into plan big image;
+  image
 
 let pad_apodize_2d plan image =
   let n = plan.n and g = plan.g in
   if Cvec.length image <> n * n then
     invalid_arg "Plan: image size mismatch";
   let big = Cvec.create (g * g) in
+  let deapod = plan.deapod in
   for iy = 0 to n - 1 do
+    let row = Coord.wrap ~g (iy - (n / 2)) * g in
+    let dy = Array.unsafe_get deapod iy in
     for ix = 0 to n - 1 do
-      let cx = ix - (n / 2) and cy = iy - (n / 2) in
-      let dst = (Coord.wrap ~g cy * g) + Coord.wrap ~g cx in
-      Cvec.set big dst
-        (C.scale
-           (1.0 /. (plan.deapod.(ix) *. plan.deapod.(iy)))
-           (Cvec.get image ((iy * n) + ix)))
+      let dst = row + Coord.wrap ~g (ix - (n / 2)) in
+      let s = 1.0 /. (Array.unsafe_get deapod ix *. dy) in
+      let src = (iy * n) + ix in
+      vset_parts big dst (s *. vget_re image src) (s *. vget_im image src)
     done
   done;
   big
 
-let crop_deapodize_3d plan big =
+let crop_deapodize_3d_into plan big volume =
   let n = plan.n and g = plan.g in
   if Cvec.length big <> g * g * g then
     invalid_arg "Plan.crop_deapodize_3d: grid size mismatch";
-  Cvec.init (n * n * n) (fun idx ->
-      let ix = idx mod n in
-      let iy = idx / n mod n in
-      let iz = idx / (n * n) in
-      let cx = ix - (n / 2) and cy = iy - (n / 2) and cz = iz - (n / 2) in
-      let src =
-        (((Coord.wrap ~g cz * g) + Coord.wrap ~g cy) * g) + Coord.wrap ~g cx
-      in
-      C.scale
-        (1.0 /. (plan.deapod.(ix) *. plan.deapod.(iy) *. plan.deapod.(iz)))
-        (Cvec.get big src))
+  if Cvec.length volume <> n * n * n then
+    invalid_arg "Plan.crop_deapodize_3d: volume size mismatch";
+  let deapod = plan.deapod in
+  for iz = 0 to n - 1 do
+    let pz = Coord.wrap ~g (iz - (n / 2)) * g in
+    let dz = Array.unsafe_get deapod iz in
+    for iy = 0 to n - 1 do
+      let row = (pz + Coord.wrap ~g (iy - (n / 2))) * g in
+      let dy = Array.unsafe_get deapod iy in
+      for ix = 0 to n - 1 do
+        let src = row + Coord.wrap ~g (ix - (n / 2)) in
+        let s = 1.0 /. (Array.unsafe_get deapod ix *. dy *. dz) in
+        vset_parts volume
+          ((((iz * n) + iy) * n) + ix)
+          (s *. vget_re big src)
+          (s *. vget_im big src)
+      done
+    done
+  done
+
+let crop_deapodize_3d plan big =
+  let n = plan.n in
+  let volume = Cvec.create (n * n * n) in
+  crop_deapodize_3d_into plan big volume;
+  volume
 
 let pad_apodize_3d plan volume =
   let n = plan.n and g = plan.g in
   if Cvec.length volume <> n * n * n then
     invalid_arg "Plan.forward_3d: volume size mismatch";
   let big = Cvec.create (g * g * g) in
+  let deapod = plan.deapod in
   for iz = 0 to n - 1 do
+    let pz = Coord.wrap ~g (iz - (n / 2)) * g in
+    let dz = Array.unsafe_get deapod iz in
     for iy = 0 to n - 1 do
+      let row = (pz + Coord.wrap ~g (iy - (n / 2))) * g in
+      let dy = Array.unsafe_get deapod iy in
       for ix = 0 to n - 1 do
-        let cx = ix - (n / 2) and cy = iy - (n / 2) and cz = iz - (n / 2) in
-        let dst =
-          (((Coord.wrap ~g cz * g) + Coord.wrap ~g cy) * g) + Coord.wrap ~g cx
-        in
-        Cvec.set big dst
-          (C.scale
-             (1.0
-             /. (plan.deapod.(ix) *. plan.deapod.(iy) *. plan.deapod.(iz)))
-             (Cvec.get volume ((((iz * n) + iy) * n) + ix)))
+        let dst = row + Coord.wrap ~g (ix - (n / 2)) in
+        let s = 1.0 /. (Array.unsafe_get deapod ix *. dy *. dz) in
+        let src = (((iz * n) + iy) * n) + ix in
+        vset_parts big dst (s *. vget_re volume src) (s *. vget_im volume src)
       done
     done
   done;

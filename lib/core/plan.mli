@@ -161,6 +161,17 @@ val crop_deapodize_2d : plan -> Numerics.Cvec.t -> Numerics.Cvec.t
 val crop_deapodize_3d : plan -> Numerics.Cvec.t -> Numerics.Cvec.t
 (** 3D counterpart: [g^3] grid to centred [n^3] volume. *)
 
+val crop_deapodize_2d_into :
+  plan -> Numerics.Cvec.t -> Numerics.Cvec.t -> unit
+(** [crop_deapodize_2d_into plan big image] — {!crop_deapodize_2d} into a
+    caller-provided [n x n] buffer, so a serving loop can reuse one pooled
+    image vector across requests. Every element is overwritten; the result
+    is bitwise the same as the allocating variant. *)
+
+val crop_deapodize_3d_into :
+  plan -> Numerics.Cvec.t -> Numerics.Cvec.t -> unit
+(** 3D counterpart of {!crop_deapodize_2d_into} ([n^3] buffer). *)
+
 val pad_apodize_2d : plan -> Numerics.Cvec.t -> Numerics.Cvec.t
 (** [pad_apodize_2d plan image] — embed the centred [n x n] image into a
     [g x g] zero-padded grid with apodization pre-division (forward

@@ -143,10 +143,7 @@ let compile_3d ?stats ?(select_checks = 0) ~table ~g ~gx ~gy ~gz () =
     ~accums:0;
   { dims = 3; m; g; w; points; idx; wgt }
 
-let spread ?stats t values =
-  if Cvec.length values <> t.m then
-    invalid_arg "Sample_plan.spread: values length mismatch";
-  let out = Cvec.create (grid_length t) in
+let replay_spread t values out =
   let p = t.points in
   let idx = t.idx and wgt = t.wgt in
   for j = 0 to t.m - 1 do
@@ -157,9 +154,24 @@ let spread ?stats t values =
       let weight = Array.unsafe_get wgt (base + i) in
       acc_parts out k (weight *. vr) (weight *. vi)
     done
-  done;
-  add_stats stats ~samples:t.m ~checks:0 ~evals:0 ~accums:(t.m * p);
+  done
+
+let spread ?stats t values =
+  if Cvec.length values <> t.m then
+    invalid_arg "Sample_plan.spread: values length mismatch";
+  let out = Cvec.create (grid_length t) in
+  replay_spread t values out;
+  add_stats stats ~samples:t.m ~checks:0 ~evals:0 ~accums:(t.m * t.points);
   out
+
+let spread_into ?stats t values out =
+  if Cvec.length values <> t.m then
+    invalid_arg "Sample_plan.spread_into: values length mismatch";
+  if Cvec.length out <> grid_length t then
+    invalid_arg "Sample_plan.spread_into: grid size mismatch";
+  Cvec.fill_zero out;
+  replay_spread t values out;
+  add_stats stats ~samples:t.m ~checks:0 ~evals:0 ~accums:(t.m * t.points)
 
 let gather ?stats t grid =
   if Cvec.length grid <> grid_length t then

@@ -69,6 +69,13 @@ val spread : ?stats:Gridding_stats.t -> t -> Numerics.Cvec.t -> Numerics.Cvec.t
     [g^dims] grid by replaying the compiled arrays. Bit-identical to
     {!Gridding_serial} on the same inputs. *)
 
+val spread_into :
+  ?stats:Gridding_stats.t -> t -> Numerics.Cvec.t -> Numerics.Cvec.t -> unit
+(** [spread_into t values out] — {!spread} into a caller-provided [g^dims]
+    buffer ([out] is zeroed first), so a serving loop can reuse one pooled
+    oversampled grid across requests instead of allocating per transform.
+    Bitwise the same result as {!spread}. *)
+
 val gather : ?stats:Gridding_stats.t -> t -> Numerics.Cvec.t -> Numerics.Cvec.t
 (** [gather t grid] interpolates the [g^dims] grid at the compiled sample
     locations (the forward-transform regridding step); adjoint of

@@ -32,53 +32,73 @@ let next_pow2 n =
    build. Workers that miss concurrently each build a candidate table, then
    re-check under the lock and all adopt whichever table was inserted
    first (the tables are deterministic, so the losers' work is identical
-   and simply dropped). *)
+   and simply dropped).
+
+   The hit path allocates nothing: int-keyed tables (one twiddle table per
+   transform direction instead of an [(n, sign)] tuple key) looked up with
+   [Hashtbl.find] under an exception match, so a warm serving loop pays no
+   per-line closure, tuple or [Some] box. *)
 let cache_mutex = Mutex.create ()
-let twiddle_cache : (int * int, float array) Hashtbl.t = Hashtbl.create 16
+let twiddle_fwd : (int, float array) Hashtbl.t = Hashtbl.create 16
+let twiddle_inv : (int, float array) Hashtbl.t = Hashtbl.create 16
 let bitrev_cache : (int, int array) Hashtbl.t = Hashtbl.create 16
 
-let cached cache key build =
+let cache_adopt cache key candidate =
   Mutex.lock cache_mutex;
-  let found = Hashtbl.find_opt cache key in
+  let adopted =
+    match Hashtbl.find_opt cache key with
+    | Some winner -> winner
+    | None ->
+        Hashtbl.add cache key candidate;
+        candidate
+  in
   Mutex.unlock cache_mutex;
-  match found with
-  | Some t -> t
-  | None ->
-      let candidate = build () in
-      Mutex.lock cache_mutex;
-      let adopted =
-        match Hashtbl.find_opt cache key with
-        | Some winner -> winner
-        | None ->
-            Hashtbl.add cache key candidate;
-            candidate
-      in
-      Mutex.unlock cache_mutex;
-      adopted
+  adopted
+
+let build_twiddles n sgn =
+  let t = Array.make n 0.0 in
+  for j = 0 to (n / 2) - 1 do
+    let theta =
+      float_of_int sgn *. 2.0 *. Float.pi *. float_of_int j /. float_of_int n
+    in
+    t.(2 * j) <- cos theta;
+    t.((2 * j) + 1) <- sin theta
+  done;
+  t
 
 let twiddles n sgn =
-  cached twiddle_cache (n, sgn) (fun () ->
-      let t = Array.make n 0.0 in
-      for j = 0 to (n / 2) - 1 do
-        let theta = float_of_int sgn *. 2.0 *. Float.pi *. float_of_int j /. float_of_int n in
-        t.(2 * j) <- cos theta;
-        t.((2 * j) + 1) <- sin theta
+  let cache = if sgn < 0 then twiddle_fwd else twiddle_inv in
+  Mutex.lock cache_mutex;
+  match Hashtbl.find cache n with
+  | t ->
+      Mutex.unlock cache_mutex;
+      t
+  | exception Not_found ->
+      Mutex.unlock cache_mutex;
+      cache_adopt cache n (build_twiddles n sgn)
+
+let build_bitrev n =
+  let bits =
+    let rec go b m = if m = 1 then b else go (b + 1) (m / 2) in
+    go 0 n
+  in
+  Array.init n (fun i ->
+      let r = ref 0 and x = ref i in
+      for _ = 1 to bits do
+        r := (!r lsl 1) lor (!x land 1);
+        x := !x lsr 1
       done;
-      t)
+      !r)
 
 let bitrev_table n =
-  cached bitrev_cache n (fun () ->
-      let bits =
-        let rec go b m = if m = 1 then b else go (b + 1) (m / 2) in
-        go 0 n
-      in
-      Array.init n (fun i ->
-          let r = ref 0 and x = ref i in
-          for _ = 1 to bits do
-            r := (!r lsl 1) lor (!x land 1);
-            x := !x lsr 1
-          done;
-          !r))
+  Mutex.lock cache_mutex;
+  match Hashtbl.find bitrev_cache n with
+  | t ->
+      Mutex.unlock cache_mutex;
+      t
+  | exception Not_found ->
+      Mutex.unlock cache_mutex;
+      cache_adopt bitrev_cache n (build_bitrev n)
 
 let radix2_inplace sgn v =
   let n = Cvec.length v in

@@ -43,8 +43,18 @@ let transform_line dir ~len ~stride scratch v base =
 (* Distinct lines of one pass touch disjoint index sets, so the pass is
    race-free when lines are distributed over domains; each chunk gets a
    private scratch buffer. Without a pool the pass runs serially with a
-   single scratch, exactly as before. *)
-let transform_lines ?pool dir ~len ~count ~stride ~line_start v =
+   single scratch, exactly as before.
+
+   [scratch] lets a serving loop donate a preallocated line buffer so the
+   serial pass allocates nothing; it is used only when its length matches
+   [len] exactly ({!Fft1d.transform} transforms the whole buffer) and the
+   pass is serial (pooled chunks need private buffers). *)
+let line_scratch ?scratch ~len () =
+  match scratch with
+  | Some s when Cvec.length s = len -> s
+  | _ -> Cvec.create len
+
+let transform_lines ?pool ?scratch dir ~len ~count ~stride ~line_start v =
   let sp = Telemetry.span_begin ~cat:"fft" "fft.pass" in
   Telemetry.Counter.add c_lines count;
   let run_range scratch lo hi =
@@ -56,30 +66,30 @@ let transform_lines ?pool dir ~len ~count ~stride ~line_start v =
   | Some p when Pool.size p > 1 && count > 1 ->
       Pool.parallel_for_ranges p ~start:0 ~stop:count (fun ~lo ~hi ->
           run_range (Cvec.create len) lo hi)
-  | _ -> run_range (Cvec.create len) 0 count);
+  | _ -> run_range (line_scratch ?scratch ~len ()) 0 count);
   Telemetry.span_end sp
 
-let transform_2d ?pool dir ~nx ~ny v =
+let transform_2d ?pool ?scratch dir ~nx ~ny v =
   check_size "Fftnd.transform_2d" (nx * ny) v;
   let sp = Telemetry.span_begin ~cat:"fft" "fft.2d" in
-  transform_lines ?pool dir ~len:nx ~count:ny ~stride:1
+  transform_lines ?pool ?scratch dir ~len:nx ~count:ny ~stride:1
     ~line_start:(fun y -> y * nx) v;
-  transform_lines ?pool dir ~len:ny ~count:nx ~stride:nx
+  transform_lines ?pool ?scratch dir ~len:ny ~count:nx ~stride:nx
     ~line_start:(fun x -> x) v;
   Telemetry.span_end sp
 
-let transform_3d ?pool dir ~nx ~ny ~nz v =
+let transform_3d ?pool ?scratch dir ~nx ~ny ~nz v =
   check_size "Fftnd.transform_3d" (nx * ny * nz) v;
   let sp = Telemetry.span_begin ~cat:"fft" "fft.3d" in
-  transform_lines ?pool dir ~len:nx ~count:(ny * nz) ~stride:1
+  transform_lines ?pool ?scratch dir ~len:nx ~count:(ny * nz) ~stride:1
     ~line_start:(fun k -> k * nx) v;
-  transform_lines ?pool dir ~len:ny ~count:(nx * nz) ~stride:nx
+  transform_lines ?pool ?scratch dir ~len:ny ~count:(nx * nz) ~stride:nx
     ~line_start:(fun k ->
       let x = k mod nx and z = k / nx in
       (z * ny * nx) + x)
     v;
-  transform_lines ?pool dir ~len:nz ~count:(nx * ny) ~stride:(nx * ny)
-    ~line_start:(fun k -> k) v;
+  transform_lines ?pool ?scratch dir ~len:nz ~count:(nx * ny)
+    ~stride:(nx * ny) ~line_start:(fun k -> k) v;
   Telemetry.span_end sp
 
 let transformed_2d ?pool dir ~nx ~ny v =

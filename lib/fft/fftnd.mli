@@ -7,14 +7,20 @@
 
 val transform_2d :
   ?pool:Runtime.Pool.t ->
+  ?scratch:Numerics.Cvec.t ->
   Dft.direction -> nx:int -> ny:int -> Numerics.Cvec.t -> unit
 (** In-place 2D FFT: 1D transforms along every row, then every column.
     With [pool], the independent lines of each pass are batched over the
     pool's domains (they write disjoint index sets, so the pass is
-    race-free); the result is bit-identical to the serial transform. *)
+    race-free); the result is bit-identical to the serial transform.
+    With [scratch], serial passes whose line length equals
+    [Cvec.length scratch] gather lines into that caller-owned buffer
+    instead of allocating one — the pooled-workspace hook; any other
+    length (or a pooled pass) falls back to a fresh buffer. *)
 
 val transform_3d :
   ?pool:Runtime.Pool.t ->
+  ?scratch:Numerics.Cvec.t ->
   Dft.direction -> nx:int -> ny:int -> nz:int -> Numerics.Cvec.t -> unit
 
 val transformed_2d :

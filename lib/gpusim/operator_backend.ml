@@ -99,6 +99,10 @@ let make flavour op_name (c : Op.ctx) : Op.op =
       Sample.with_values coords values
 
     let stats () = st
+
+    (* f32-LUT numerics: a CPU double plan must never stand in for this
+       backend's own transforms. *)
+    let plan = None
   end : Op.NUFFT_OP)
 
 let make_slice c = make Slice "gpusim-slice" c

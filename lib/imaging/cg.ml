@@ -10,12 +10,35 @@ type result = {
 
 let c_iterations = Telemetry.Counter.make "cg.iterations"
 
-let solve ?(max_iterations = 50) ?(tolerance = 1e-6) ~apply b =
+type buffers = { bx : Cvec.t; br : Cvec.t; bp : Cvec.t }
+
+let make_buffers n = { bx = Cvec.create n; br = Cvec.create n; bp = Cvec.create n }
+
+let solve ?(max_iterations = 50) ?(tolerance = 1e-6) ?buffers ~apply b =
   let sp_solve = Telemetry.span_begin ~cat:"cg" "cg.solve" in
   let n = Cvec.length b in
-  let x = Cvec.create n in
-  let r = Cvec.copy b in
-  let p = Cvec.copy b in
+  (* With caller-donated [buffers] the solver's own state vectors come
+     from the pooled arena: zero/overwrite them instead of allocating, and
+     hand back a fresh copy of the solution so the arena can be reused. *)
+  let borrowed =
+    match buffers with
+    | Some bufs ->
+        if
+          Cvec.length bufs.bx <> n || Cvec.length bufs.br <> n
+          || Cvec.length bufs.bp <> n
+        then invalid_arg "Cg.solve: buffers length mismatch";
+        true
+    | None -> false
+  in
+  let x, r, p =
+    match buffers with
+    | Some { bx; br; bp } ->
+        Cvec.fill_zero bx;
+        Cvec.blit b br;
+        Cvec.blit b bp;
+        (bx, br, bp)
+    | None -> (Cvec.create n, Cvec.copy b, Cvec.copy b)
+  in
   let rr = ref (Cvec.norm2 r) in
   let target = tolerance *. sqrt (Cvec.norm2 b) in
   let history = ref [ sqrt !rr ] in
@@ -47,7 +70,7 @@ let solve ?(max_iterations = 50) ?(tolerance = 1e-6) ~apply b =
     Telemetry.span_end sp_iter
   done;
   Telemetry.span_end sp_solve;
-  { solution = x;
+  { solution = (if borrowed then Cvec.copy x else x);
     iterations = !k;
     residual_norms = List.rev !history;
     converged = !converged }

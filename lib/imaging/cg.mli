@@ -14,16 +14,34 @@ type result = {
   converged : bool;
 }
 
+type buffers = {
+  bx : Numerics.Cvec.t;
+  br : Numerics.Cvec.t;
+  bp : Numerics.Cvec.t;
+}
+(** The solver's three state vectors (iterate, residual, direction), all
+    of the system length — donate a set with {!solve}'s [?buffers] so
+    repeated solves reuse one pooled allocation. *)
+
+val make_buffers : int -> buffers
+(** Fresh buffer set for an [n]-long system. *)
+
 val solve :
   ?max_iterations:int ->
   ?tolerance:float ->
+  ?buffers:buffers ->
   apply:(Numerics.Cvec.t -> Numerics.Cvec.t) ->
   Numerics.Cvec.t ->
   result
 (** [solve ~apply b] runs CG from a zero initial guess until
     [||r|| <= tolerance * ||b||] (default 1e-6) or [max_iterations]
     (default 50). [apply] must be Hermitian PSD; the solver does not
-    check. *)
+    check.
+
+    With [buffers] (lengths must match [b]), the state vectors live in the
+    caller's arena instead of fresh allocations; the returned [solution]
+    is then a copy, so the arena can be immediately reused. Results are
+    bitwise identical either way. *)
 
 val normal_equations_rhs :
   plan:Nufft.Plan.plan ->

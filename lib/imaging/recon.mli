@@ -7,7 +7,23 @@
     and dimension-agnostic: hand it a [serial] CPU operator, the
     [jigsaw-2d] fixed-point engine or a 3D operator over an [n^3] volume
     and the same three functions apply. The plan-based functions are the
-    historical 2D API and delegate to the operator path. *)
+    historical 2D API and delegate to the operator path.
+
+    Reconstruction entry points return typed {!error}s rather than raising:
+    malformed inputs (mismatched density weights, empty sample sets) and
+    backend validation failures surface as [Error] values a serving layer
+    can report cleanly, never as escaped exceptions. *)
+
+type error =
+  | Density_length_mismatch of { expected : int; got : int }
+      (** [density] array length differs from the sample count. *)
+  | Empty_sample_set  (** zero samples: nothing to reconstruct. *)
+  | Backend_failure of string
+      (** a backend rejected the request (grid mismatch, unsupported
+          dimensionality, ...) — the carried string is its message. *)
+
+val error_message : error -> string
+(** Human-readable one-line rendering of an {!error}. *)
 
 val coords_of_traj : g:int -> Trajectory.Traj.t -> Nufft.Sample.t
 (** Trajectory frequencies mapped to grid units on a [g]-point grid, as a
@@ -23,7 +39,7 @@ val reconstruct_op :
   ?density:float array ->
   Nufft.Operator.op ->
   Nufft.Sample.t ->
-  Numerics.Cvec.t
+  (Numerics.Cvec.t, error) result
 (** Adjoint NuFFT of (optionally density-compensated) samples through any
     backend, scaled by [1/m] for unit gain on uniform full sampling. *)
 
@@ -31,7 +47,7 @@ val roundtrip_op :
   ?density:float array ->
   Nufft.Operator.op ->
   Numerics.Cvec.t ->
-  Numerics.Cvec.t * float
+  (Numerics.Cvec.t * float, error) result
 (** [roundtrip_op op image] = (reconstruction, NRMSD vs the input): one
     forward and one adjoint application of the same operator. Works for
     any registered backend and dimensionality — this is the 3D
@@ -47,7 +63,7 @@ val reconstruct :
   ?density:float array ->
   Nufft.Plan.plan ->
   Nufft.Sample.t2 ->
-  Numerics.Cvec.t
+  (Numerics.Cvec.t, error) result
 (** Adjoint NuFFT of (optionally density-compensated) samples, scaled by
     [1 / (m * sigma^2)] so a fully, uniformly sampled acquisition
     reconstructs at unit gain. *)
@@ -57,6 +73,6 @@ val roundtrip :
   Nufft.Plan.plan ->
   Trajectory.Traj.t ->
   Numerics.Cvec.t ->
-  Numerics.Cvec.t * float
+  (Numerics.Cvec.t * float, error) result
 (** [roundtrip plan traj image] = (reconstruction, NRMSD vs the input).
     Density defaults to uniform weights. *)

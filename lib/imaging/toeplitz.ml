@@ -52,8 +52,11 @@ let check_weights ~m = function
       w
 
 (* q(d) = sum_j w_j e^{i omega_j . d}, d in [-n, n)^dims: one adjoint
-   NuFFT of the weights on the doubled grid, through any backend. *)
-let make_op ?weights ?(backend = "serial") ?pool ~n ~coords () =
+   NuFFT of the weights on the doubled grid, through any backend.
+   [create] lets a serving layer interpose its own operator construction
+   (e.g. a plan cache) for the setup adjoint. *)
+let make_op ?weights ?(backend = "serial") ?pool ?(create = Op.create) ~n
+    ~coords () =
   let dims = Sample.dims coords in
   let m = Sample.length coords in
   let w = check_weights ~m weights in
@@ -62,7 +65,7 @@ let make_op ?weights ?(backend = "serial") ?pool ~n ~coords () =
   (* Same trajectory, re-expressed on the doubled grid (sigma = 2). *)
   let coords2 = Sample.rescale ~g:g2 coords in
   let values = Cvec.init m (fun j -> C.of_float w.(j)) in
-  let op = Op.create backend (Op.context ?pool ~n:n2 ~coords:coords2 ()) in
+  let op = create backend (Op.context ?pool ~n:n2 ~coords:coords2 ()) in
   let q = Op.apply_adjoint op (Sample.with_values coords2 values) in
   { n; dims; q_hat = wrap_spectrum ?pool ~dims ~n q; pool }
 

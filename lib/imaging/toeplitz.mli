@@ -22,6 +22,7 @@ val make_op :
   ?weights:float array ->
   ?backend:string ->
   ?pool:Runtime.Pool.t ->
+  ?create:(string -> Nufft.Operator.ctx -> Nufft.Operator.op) ->
   n:int ->
   coords:Nufft.Sample.t ->
   unit ->
@@ -29,7 +30,9 @@ val make_op :
 (** Precompute the operator for an [n^dims] image from a bound coordinate
     set (2D or 3D, on any grid size — the trajectory is rescaled onto the
     internal doubled grid). [backend] names the registered operator used
-    for the setup adjoint (default ["serial"]). *)
+    for the setup adjoint (default ["serial"]); [create] overrides how
+    that operator is built (default {!Nufft.Operator.create}) so a
+    serving layer can route the setup through its plan cache. *)
 
 val make :
   ?weights:float array ->

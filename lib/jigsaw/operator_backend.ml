@@ -105,6 +105,10 @@ let make_2d (c : Op.ctx) : Op.op =
       Sample.with_values coords values
 
     let stats () = st
+
+    (* Fixed-point numerics: a CPU plan must never stand in for this
+       backend's own transforms. *)
+    let plan = None
   end : Op.NUFFT_OP)
 
 let make_3d (c : Op.ctx) : Op.op =
@@ -160,6 +164,10 @@ let make_3d (c : Op.ctx) : Op.op =
       Sample.with_values coords values
 
     let stats () = st
+
+    (* Fixed-point numerics: a CPU plan must never stand in for this
+       backend's own transforms. *)
+    let plan = None
   end : Op.NUFFT_OP)
 
 let registered = ref false

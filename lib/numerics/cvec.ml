@@ -8,33 +8,33 @@ let create n =
   A1.fill v 0.0;
   v
 
-let length v = A1.dim v / 2
+let length (v : t) = A1.dim v / 2
 
 (* Raw interleaved-float accessors. The [unsafe_] variants skip the bounds
    check entirely and are the only accessors the per-sample / per-butterfly
    hot loops use; Bigarray float64 loads/stores compile to direct memory
    operations with no boxing. *)
 
-let[@inline] unsafe_get_re v k = A1.unsafe_get v (2 * k)
-let[@inline] unsafe_get_im v k = A1.unsafe_get v ((2 * k) + 1)
+let[@inline] unsafe_get_re (v : t) k = A1.unsafe_get v (2 * k)
+let[@inline] unsafe_get_im (v : t) k = A1.unsafe_get v ((2 * k) + 1)
 
-let[@inline] unsafe_set_parts v k re im =
+let[@inline] unsafe_set_parts (v : t) k re im =
   A1.unsafe_set v (2 * k) re;
   A1.unsafe_set v ((2 * k) + 1) im
 
-let[@inline] unsafe_accumulate_parts v k re im =
+let[@inline] unsafe_accumulate_parts (v : t) k re im =
   let j = 2 * k in
   A1.unsafe_set v j (A1.unsafe_get v j +. re);
   A1.unsafe_set v (j + 1) (A1.unsafe_get v (j + 1) +. im)
 
-let[@inline] get_re v k = A1.get v (2 * k)
-let[@inline] get_im v k = A1.get v ((2 * k) + 1)
+let[@inline] get_re (v : t) k = A1.get v (2 * k)
+let[@inline] get_im (v : t) k = A1.get v ((2 * k) + 1)
 
-let[@inline] set_parts v k re im =
+let[@inline] set_parts (v : t) k re im =
   A1.set v (2 * k) re;
   A1.set v ((2 * k) + 1) im
 
-let[@inline] accumulate_parts v k re im =
+let[@inline] accumulate_parts (v : t) k re im =
   let j = 2 * k in
   A1.set v j (A1.get v j +. re);
   A1.set v (j + 1) (A1.get v (j + 1) +. im)
@@ -46,21 +46,31 @@ let set v k (c : Complexd.t) = set_parts v k c.Complexd.re c.Complexd.im
 let accumulate v k (c : Complexd.t) =
   accumulate_parts v k c.Complexd.re c.Complexd.im
 
-let fill_zero v = A1.fill v 0.0
+let fill_zero (v : t) = A1.fill v 0.0
 
-let copy v =
+let copy (v : t) =
   let c = A1.create Ba.float64 Ba.c_layout (A1.dim v) in
   A1.blit v c;
   c
 
-let blit src dst =
+let blit (src : t) (dst : t) =
   if A1.dim src <> A1.dim dst then invalid_arg "Cvec.blit: length mismatch";
   A1.blit src dst
 
-let blit_complex ~src ~src_pos ~dst ~dst_pos ~len =
-  A1.blit
-    (A1.sub src (2 * src_pos) (2 * len))
-    (A1.sub dst (2 * dst_pos) (2 * len))
+(* Plain forward float loop rather than [A1.blit] over [A1.sub] views:
+   the sub proxies are two minor-heap allocations per call, and this runs
+   per grid line inside the FFT passes. Callers pass non-overlapping
+   ranges (distinct buffers, or a gather/scatter through a scratch). *)
+let blit_complex ~(src : t) ~src_pos ~(dst : t) ~dst_pos ~len =
+  if
+    src_pos < 0 || dst_pos < 0 || len < 0
+    || src_pos + len > length src
+    || dst_pos + len > length dst
+  then invalid_arg "Cvec.blit_complex: range out of bounds";
+  let s0 = 2 * src_pos and d0 = 2 * dst_pos in
+  for j = 0 to (2 * len) - 1 do
+    A1.unsafe_set dst (d0 + j) (A1.unsafe_get src (s0 + j))
+  done
 
 let of_complex_array a =
   let v = create (Array.length a) in
@@ -90,12 +100,12 @@ let fold f acc v =
   done;
   !acc
 
-let scale_inplace s v =
+let scale_inplace s (v : t) =
   for j = 0 to A1.dim v - 1 do
     A1.unsafe_set v j (s *. A1.unsafe_get v j)
   done
 
-let add_inplace dst src =
+let add_inplace (dst : t) (src : t) =
   if A1.dim dst <> A1.dim src then
     invalid_arg "Cvec.add_inplace: length mismatch";
   for j = 0 to A1.dim dst - 1 do
@@ -104,13 +114,13 @@ let add_inplace dst src =
 
 (* y <- y + alpha * x and the CG update pair, fused so iterative solvers
    never touch per-element boxed complex values. *)
-let axpy_inplace alpha ~x y =
+let axpy_inplace alpha ~(x : t) (y : t) =
   if A1.dim x <> A1.dim y then invalid_arg "Cvec.axpy_inplace: length mismatch";
   for j = 0 to A1.dim y - 1 do
     A1.unsafe_set y j (A1.unsafe_get y j +. (alpha *. A1.unsafe_get x j))
   done
 
-let xpay_inplace alpha ~x y =
+let xpay_inplace alpha ~(x : t) (y : t) =
   if A1.dim x <> A1.dim y then invalid_arg "Cvec.xpay_inplace: length mismatch";
   for j = 0 to A1.dim y - 1 do
     A1.unsafe_set y j (A1.unsafe_get x j +. (alpha *. A1.unsafe_get y j))
@@ -127,7 +137,7 @@ let dot a b =
   done;
   Complexd.make !re !im
 
-let norm2 v =
+let norm2 (v : t) =
   let s = ref 0.0 in
   for j = 0 to A1.dim v - 1 do
     let x = A1.unsafe_get v j in
@@ -135,7 +145,7 @@ let norm2 v =
   done;
   !s
 
-let max_abs_diff a b =
+let max_abs_diff (a : t) (b : t) =
   if A1.dim a <> A1.dim b then invalid_arg "Cvec.max_abs_diff: length mismatch";
   let m = ref 0.0 in
   for j = 0 to A1.dim a - 1 do
@@ -144,7 +154,7 @@ let max_abs_diff a b =
   done;
   !m
 
-let nrmsd ~reference v =
+let nrmsd ~(reference : t) (v : t) =
   if A1.dim reference <> A1.dim v then
     invalid_arg "Cvec.nrmsd: length mismatch";
   let num = ref 0.0 and den = ref 0.0 in

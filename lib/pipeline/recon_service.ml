@@ -1,0 +1,245 @@
+module Op = Nufft.Operator
+module Sample = Nufft.Sample
+module Plan = Nufft.Plan
+module Sample_plan = Nufft.Sample_plan
+module Cvec = Numerics.Cvec
+module Pool = Runtime.Pool
+
+let now () = Unix.gettimeofday ()
+
+let c_requests = Telemetry.Counter.make "svc.requests"
+let c_errors = Telemetry.Counter.make "svc.errors"
+let c_batches = Telemetry.Counter.make "svc.batches"
+
+type method_ = Adjoint | Cg of int
+
+type request = {
+  backend : string;
+  n : int;
+  coords : Sample.t;
+  values : Cvec.t;
+  density : float array option;
+  method_ : method_;
+}
+
+type response = { image : Cvec.t; iterations : int; elapsed_s : float }
+
+type error =
+  | Invalid_request of string
+  | Recon_error of Imaging.Recon.error
+  | Internal of string
+
+let error_message = function
+  | Invalid_request msg -> "invalid request: " ^ msg
+  | Recon_error e -> Imaging.Recon.error_message e
+  | Internal msg -> "internal error: " ^ msg
+
+type t = {
+  pool : Pool.t option;
+  cache : Plan_cache.t;
+  ws : Workspace.t;
+  w : int;
+  sigma : float;
+  l : int;
+}
+
+let create ?pool ?cache ?workspace ?(w = 6) ?(sigma = 2.0) ?(l = 512) () =
+  { pool;
+    cache = (match cache with Some c -> c | None -> Plan_cache.create ());
+    ws = (match workspace with Some w -> w | None -> Workspace.create ());
+    w;
+    sigma;
+    l }
+
+let cache t = t.cache
+let workspace t = t.ws
+
+let method_name = function
+  | Adjoint -> "adjoint"
+  | Cg k -> Printf.sprintf "cg-%d" k
+
+(* ------------------------------------------------------------------ *)
+(* Validation: every malformed request becomes a typed error before any
+   work is scheduled. *)
+
+let validate req =
+  let m = Sample.length req.coords in
+  if req.n < 2 then Error (Invalid_request "n must be >= 2")
+  else if m = 0 then Error (Recon_error Imaging.Recon.Empty_sample_set)
+  else if Cvec.length req.values <> m then
+    Error
+      (Invalid_request
+         (Printf.sprintf "values length %d does not match the %d-sample set"
+            (Cvec.length req.values) m))
+  else
+    match req.density with
+    | Some d when Array.length d <> m ->
+        Error
+          (Recon_error
+             (Imaging.Recon.Density_length_mismatch
+                { expected = m; got = Array.length d }))
+    | _ -> (
+        match req.method_ with
+        | Cg iters when iters < 1 ->
+            Error (Invalid_request "cg iterations must be >= 1")
+        | _ -> Ok ())
+
+(* Cached operators are always built pool-less: their applications run
+   inside the service pool's [parallel_for] during batch execution, and a
+   nested submission to the same pool deadlocks. The pool parallelises
+   across requests instead. *)
+let op_of t ~backend ~n ~coords =
+  match Op.context ~w:t.w ~sigma:t.sigma ~l:t.l ~n ~coords () with
+  | ctx -> (
+      match Plan_cache.operator t.cache ~backend ~ctx with
+      | pair -> Ok pair
+      | exception Invalid_argument msg -> Error (Invalid_request msg))
+  | exception Invalid_argument msg -> Error (Invalid_request msg)
+
+let operator t ~backend ~n ~coords = op_of t ~backend ~n ~coords
+
+(* ------------------------------------------------------------------ *)
+(* Fast direct path: for operators that expose their CPU plan, the whole
+   adjoint pipeline runs through the pooled arena — replay-spread into the
+   arena grid, in-place FFT with the arena line scratch, de-apodize into
+   the arena image — with arithmetic identical (operation order and all)
+   to [Recon.reconstruct_op], so results are bitwise the same while
+   steady-state allocation stays O(1) minor words. *)
+
+module A1 = Bigarray.Array1
+
+(* Same arithmetic as [Recon.apply_density]'s [C.scale]: w*re, w*im. *)
+let weight_into (w : float array) (values : Cvec.t) (out : Cvec.t) =
+  let m = Cvec.length values in
+  for j = 0 to m - 1 do
+    let s = Array.unsafe_get w j in
+    let re = A1.unsafe_get values (2 * j)
+    and im = A1.unsafe_get values ((2 * j) + 1) in
+    A1.unsafe_set out (2 * j) (s *. re);
+    A1.unsafe_set out ((2 * j) + 1) (s *. im)
+  done
+
+let rec pow b e = if e = 0 then 1 else b * pow b (e - 1)
+
+let fast_adjoint ?fft_pool t ~(plan : Plan.plan) ~canonical req =
+  let dims = Sample.dims req.coords in
+  let m = Cvec.length req.values in
+  let g = plan.Plan.g and n = plan.Plan.n in
+  let glen = pow g dims and ilen = pow n dims in
+  Workspace.with_arena t.ws ~grid:glen ~line:g ~image:ilen ~samples:m
+  @@ fun a ->
+  let vals =
+    match req.density with
+    | None -> req.values
+    | Some w ->
+        weight_into w req.values a.Workspace.vals;
+        a.Workspace.vals
+  in
+  (* Physical-identity hit on the decomposition compiled at cache-build
+     time: zero plan builds on the warm path. *)
+  let splan = Plan.compiled plan canonical in
+  Sample_plan.spread_into splan vals a.Workspace.grid;
+  (match dims with
+  | 2 ->
+      Fft.Fftnd.transform_2d ?pool:fft_pool ~scratch:a.Workspace.line
+        Fft.Dft.Inverse ~nx:g ~ny:g a.Workspace.grid;
+      Plan.crop_deapodize_2d_into plan a.Workspace.grid a.Workspace.image
+  | _ ->
+      Fft.Fftnd.transform_3d ?pool:fft_pool ~scratch:a.Workspace.line
+        Fft.Dft.Inverse ~nx:g ~ny:g ~nz:g a.Workspace.grid;
+      Plan.crop_deapodize_3d_into plan a.Workspace.grid a.Workspace.image);
+  Cvec.scale_inplace (1.0 /. float_of_int m) a.Workspace.image;
+  (* The response must outlive the arena: hand back a fresh copy (one
+     bigarray allocation — O(1) minor words). *)
+  Cvec.copy a.Workspace.image
+
+let run_cg t op req iters =
+  let ilen = Op.image_length op in
+  Workspace.with_arena t.ws ~grid:0 ~line:0 ~image:ilen ~samples:0
+  @@ fun a ->
+  let samples = Sample.with_values req.coords req.values in
+  let rhs = Imaging.Cg.normal_equations_rhs_op ?weights:req.density op samples in
+  let res =
+    Imaging.Cg.solve ~max_iterations:iters ~buffers:a.Workspace.cg
+      ~apply:(Imaging.Cg.normal_map ?weights:req.density op)
+      rhs
+  in
+  (res.Imaging.Cg.solution, res.Imaging.Cg.iterations)
+
+let execute ?fft_pool t req (op, canonical) =
+  match req.method_ with
+  | Adjoint -> (
+      match Op.plan_of op with
+      | Some plan -> Ok (fast_adjoint ?fft_pool t ~plan ~canonical req, 0)
+      | None -> (
+          (* Hardware-model backends (fixed-point, f32 simulation) own
+             their numerics: run them through the generic driver rather
+             than substituting a CPU plan. *)
+          let samples = Sample.with_values req.coords req.values in
+          match Imaging.Recon.reconstruct_op ?density:req.density op samples with
+          | Ok image -> Ok (image, 0)
+          | Error e -> Error (Recon_error e)))
+  | Cg iters -> Ok (run_cg t op req iters)
+
+(* One request, start to finish; never raises — the batch scheduler runs
+   this inside the domain pool, where an escaped exception would poison
+   the whole submission. *)
+let run_one ?fft_pool t req =
+  let sp =
+    if Telemetry.enabled () then
+      Telemetry.span_begin ~cat:"svc"
+        ~args:
+          [ ("backend", req.backend); ("method", method_name req.method_) ]
+        "svc.request"
+    else Telemetry.null_span
+  in
+  Telemetry.Counter.incr c_requests;
+  let t0 = now () in
+  let result =
+    match validate req with
+    | Error e -> Error e
+    | Ok () -> (
+        match op_of t ~backend:req.backend ~n:req.n ~coords:req.coords with
+        | Error e -> Error e
+        | Ok pair -> (
+            match execute ?fft_pool t req pair with
+            | r -> r
+            | exception Invalid_argument msg -> Error (Invalid_request msg)
+            | exception Failure msg -> Error (Internal msg)
+            | exception exn -> Error (Internal (Printexc.to_string exn))))
+  in
+  let elapsed_s = now () -. t0 in
+  Telemetry.span_end sp;
+  match result with
+  | Ok (image, iterations) -> Ok { image; iterations; elapsed_s }
+  | Error e ->
+      Telemetry.Counter.incr c_errors;
+      Error e
+
+(* Direct submissions run on the caller's thread, outside any pool body,
+   so the FFT passes of the fast path may use the service pool; batch
+   execution must not (nested submission to the pool deadlocks). *)
+let submit t req = run_one ?fft_pool:t.pool t req
+
+let submit_batch t reqs =
+  let sp =
+    if Telemetry.enabled () then
+      Telemetry.span_begin ~cat:"svc"
+        ~args:[ ("requests", string_of_int (List.length reqs)) ]
+        "svc.batch"
+    else Telemetry.null_span
+  in
+  Telemetry.Counter.incr c_batches;
+  let arr = Array.of_list reqs in
+  let nreq = Array.length arr in
+  let out = Array.make nreq (Error (Internal "request not executed")) in
+  (match t.pool with
+  | Some p when Pool.size p > 1 && nreq > 1 ->
+      (* chunk:1 so each request is one unit of dynamic load balancing:
+         independent requests overlap on different domains, heavy ones do
+         not serialise light ones behind them. *)
+      Pool.parallel_for ~chunk:1 p ~start:0 ~stop:nreq (fun i ->
+          out.(i) <- run_one t arr.(i))
+  | _ -> Array.iteri (fun i r -> out.(i) <- run_one t r) arr);
+  Telemetry.span_end sp;
+  Array.to_list out

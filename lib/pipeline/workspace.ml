@@ -1,0 +1,119 @@
+module Cvec = Numerics.Cvec
+module A1 = Bigarray.Array1
+
+let c_checkout = Telemetry.Counter.make "svc.arena_checkout"
+let c_reuse = Telemetry.Counter.make "svc.arena_reuse"
+let c_grow = Telemetry.Counter.make "svc.arena_grow"
+
+(* A slot owns capacity-grown backing buffers; an arena is a set of
+   exact-length views into one slot. Buffers only ever grow, so a
+   steady-state serving loop stops allocating backing storage after
+   warmup — each checkout then costs only the view wrappers and the arena
+   record, O(1) minor words. *)
+type slot = {
+  mutable grid_b : Cvec.t;
+  mutable line_b : Cvec.t;
+  mutable image_b : Cvec.t;
+  mutable x_b : Cvec.t;
+  mutable r_b : Cvec.t;
+  mutable p_b : Cvec.t;
+  mutable vals_b : Cvec.t;
+}
+
+type arena = {
+  grid : Cvec.t;
+  line : Cvec.t;
+  image : Cvec.t;
+  cg : Imaging.Cg.buffers;
+  vals : Cvec.t;
+  slot : slot;
+}
+
+type stats = { checkouts : int; reuses : int; grows : int; retained : int }
+
+type t = {
+  mutex : Mutex.t;
+  mutable free : slot list;
+  mutable checkouts : int;
+  mutable reuses : int;
+  mutable grows : int;
+}
+
+let create () =
+  { mutex = Mutex.create (); free = []; checkouts = 0; reuses = 0; grows = 0 }
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    { checkouts = t.checkouts;
+      reuses = t.reuses;
+      grows = t.grows;
+      retained = List.length t.free }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let empty_slot () =
+  let z () = Cvec.create 0 in
+  { grid_b = z ();
+    line_b = z ();
+    image_b = z ();
+    x_b = z ();
+    r_b = z ();
+    p_b = z ();
+    vals_b = z () }
+
+(* Contents of a grown or reused buffer are arbitrary: every consumer of
+   an arena view overwrites it fully (spread_into zeroes, the FFT scratch
+   is gather-before-use, crop/pad and the CG setup overwrite every
+   element), which is what makes reuse bitwise-identical to fresh
+   buffers. *)
+let ensure t get set slot len =
+  if Cvec.length (get slot) < len then begin
+    set slot (Cvec.create len);
+    t.grows <- t.grows + 1;
+    Telemetry.Counter.incr c_grow
+  end
+
+let view buf len =
+  if Cvec.length buf = len then buf else A1.sub buf 0 (2 * len)
+
+let checkout t ~grid ~line ~image ~samples =
+  Mutex.lock t.mutex;
+  t.checkouts <- t.checkouts + 1;
+  let slot, reused =
+    match t.free with
+    | s :: rest ->
+        t.free <- rest;
+        t.reuses <- t.reuses + 1;
+        (s, true)
+    | [] -> (empty_slot (), false)
+  in
+  Mutex.unlock t.mutex;
+  Telemetry.Counter.incr c_checkout;
+  if reused then Telemetry.Counter.incr c_reuse;
+  ensure t (fun s -> s.grid_b) (fun s v -> s.grid_b <- v) slot grid;
+  ensure t (fun s -> s.line_b) (fun s v -> s.line_b <- v) slot line;
+  ensure t (fun s -> s.image_b) (fun s v -> s.image_b <- v) slot image;
+  ensure t (fun s -> s.x_b) (fun s v -> s.x_b <- v) slot image;
+  ensure t (fun s -> s.r_b) (fun s v -> s.r_b <- v) slot image;
+  ensure t (fun s -> s.p_b) (fun s v -> s.p_b <- v) slot image;
+  ensure t (fun s -> s.vals_b) (fun s v -> s.vals_b <- v) slot samples;
+  { grid = view slot.grid_b grid;
+    line = view slot.line_b line;
+    image = view slot.image_b image;
+    cg =
+      { Imaging.Cg.bx = view slot.x_b image;
+        br = view slot.r_b image;
+        bp = view slot.p_b image };
+    vals = view slot.vals_b samples;
+    slot }
+
+let checkin t arena =
+  Mutex.lock t.mutex;
+  t.free <- arena.slot :: t.free;
+  Mutex.unlock t.mutex
+
+let with_arena t ~grid ~line ~image ~samples f =
+  let a = checkout t ~grid ~line ~image ~samples in
+  Fun.protect ~finally:(fun () -> checkin t a) (fun () -> f a)

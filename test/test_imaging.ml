@@ -10,6 +10,10 @@ let check_close ?(eps = 1e-12) msg expected actual =
   if Float.abs (expected -. actual) > eps then
     Alcotest.failf "%s: expected %.17g, got %.17g" msg expected actual
 
+let rok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "recon error: %s" (Imaging.Recon.error_message e)
+
 let test_phantom_basic () =
   let n = 64 in
   let img = Phantom.make ~n () in
@@ -89,7 +93,7 @@ let test_cartesian_consistency () =
   let plan = Nufft.Plan.make ~n () in
   let img = Phantom.make ~n () in
   let traj = Trajectory.Cartesian.make ~n in
-  let recon, err = Imaging.Recon.roundtrip plan traj img in
+  let recon, err = rok (Imaging.Recon.roundtrip plan traj img) in
   Alcotest.(check int) "size" (n * n) (Cvec.length recon);
   Alcotest.(check bool) (Printf.sprintf "nrmsd %.2e" err) true (err < 5e-3)
 
@@ -107,7 +111,7 @@ let test_radial_roundtrip () =
       ~readout:(2 * n) ()
   in
   let density = Trajectory.Radial.density_weights traj in
-  let recon, _abs_err = Imaging.Recon.roundtrip ~density plan traj img in
+  let recon, _abs_err = rok (Imaging.Recon.roundtrip ~density plan traj img) in
   (* Ramp compensation leaves an arbitrary global gain; judge structure
      with the scale-optimal NRMSD. *)
   let err = Metrics.nrmsd_scaled ~reference:img recon in
@@ -121,7 +125,7 @@ let test_undersampling_degrades () =
   let run spokes =
     let traj = Trajectory.Radial.make ~spokes ~readout:(2 * n) () in
     let density = Trajectory.Radial.density_weights traj in
-    let recon, _ = Imaging.Recon.roundtrip ~density plan traj img in
+    let recon, _ = rok (Imaging.Recon.roundtrip ~density plan traj img) in
     Metrics.nrmsd_scaled ~reference:img recon
   in
   let full = run (Trajectory.Radial.fully_sampled_spokes ~n) in
@@ -233,7 +237,7 @@ let test_iterative_beats_direct () =
       ~spokes:(Trajectory.Radial.fully_sampled_spokes ~n) ~readout:(2 * n) () in
   let samples = Imaging.Recon.acquire plan traj img in
   let density = Trajectory.Radial.density_weights traj in
-  let direct = Imaging.Recon.reconstruct ~density plan samples in
+  let direct = rok (Imaging.Recon.reconstruct ~density plan samples) in
   let direct_err = Metrics.nrmsd_scaled ~reference:img direct in
   let t = Imaging.Toeplitz.make ~n ~omega_x:traj.Trajectory.Traj.omega_x
       ~omega_y:traj.Trajectory.Traj.omega_y () in
@@ -277,7 +281,7 @@ let test_pipe_menon_recon_quality () =
       ~spokes:(Trajectory.Radial.fully_sampled_spokes ~n) ~readout:(2 * n) () in
   let samples = Imaging.Recon.acquire plan traj img in
   let run density =
-    let r = Imaging.Recon.reconstruct ~density plan samples in
+    let r = rok (Imaging.Recon.reconstruct ~density plan samples) in
     Metrics.nrmsd_scaled ~reference:img r
   in
   let ramp = run (Trajectory.Radial.density_weights traj) in

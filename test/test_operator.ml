@@ -15,6 +15,10 @@ let () =
   Jigsaw.Operator_backend.register ();
   Gpusim.Operator_backend.register ()
 
+let rok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "recon error: %s" (Imaging.Recon.error_message e)
+
 (* ------------------------------------------------------------------ *)
 (* Registry. *)
 
@@ -129,7 +133,7 @@ let test_roundtrip_differential () =
   let coords = Imaging.Recon.coords_of_traj ~g traj in
   let run name =
     let op = Op.create name (Op.context ~n ~coords ()) in
-    fst (Imaging.Recon.roundtrip_op ~density op image)
+    fst (rok (Imaging.Recon.roundtrip_op ~density op image))
   in
   let reference = run "serial" in
   List.iter
@@ -164,7 +168,7 @@ let test_recon_3d () =
   let op = Op.create "slice" (Op.context ~n ~coords ()) in
   let samples = Imaging.Recon.acquire_op op image in
   Alcotest.(check int) "acquired sample count" 600 (Sample.length samples);
-  let recon = Imaging.Recon.reconstruct_op op samples in
+  let recon = rok (Imaging.Recon.reconstruct_op op samples) in
   Alcotest.(check int) "volume length" (n * n * n) (Cvec.length recon);
   for i = 0 to Cvec.length recon - 1 do
     let v = Cvec.get recon i in
@@ -186,7 +190,7 @@ let test_roundtrip_3d_nrmsd () =
   in
   let coords = Sample.random ~seed:5 ~dims:3 ~g 2000 in
   let op = Op.create "serial" (Op.context ~n ~coords ()) in
-  let _, err = Imaging.Recon.roundtrip_op op image in
+  let _, err = rok (Imaging.Recon.roundtrip_op op image) in
   Alcotest.(check bool)
     (Printf.sprintf "3D roundtrip NRMSD %.3f bounded" err)
     true (Float.is_finite err && err < 2.0)

@@ -1,0 +1,496 @@
+(* Pipeline-layer tests: the plan cache (LRU eviction order, byte-budget
+   eviction, fingerprint-collision safety, concurrent single-build), the
+   workspace arenas (slot reuse, bitwise-identical results through reused
+   buffers for every registered backend, O(1) steady-state minor-word
+   allocation), and the reconstruction service (typed errors for every
+   malformed request, warm requests performing zero plan builds, batch
+   requests overlapping across the domain pool). *)
+
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+module Op = Nufft.Operator
+module Sample = Nufft.Sample
+module Pool = Runtime.Pool
+module Cache = Pipeline.Plan_cache
+module Ws = Pipeline.Workspace
+module Svc = Pipeline.Recon_service
+
+let () =
+  Jigsaw.Operator_backend.register ();
+  Gpusim.Operator_backend.register ()
+
+(* A backend that blocks inside its adjoint until two applications are
+   in flight (or a deadline passes) — the overlap probe for the batch
+   scheduler. Registered here, excluded from the all-backends sweeps. *)
+let latch_name = "pipeline-latch"
+let latch_entered = Atomic.make 0
+let latch_peak = Atomic.make 0
+let latch_inflight = Atomic.make 0
+
+let () =
+  Op.register ~dims:[ 2 ] ~doc:"test-only latch backend" latch_name
+    (fun ctx ->
+      let module M = struct
+        let name = latch_name
+        let dims = 2
+        let n = ctx.Op.n
+        let g = Op.ctx_grid ctx
+        let plan = None
+        let st = Op.create_stats ()
+
+        let adjoint (_ : Sample.t) =
+          let c = 1 + Atomic.fetch_and_add latch_inflight 1 in
+          let rec bump () =
+            let p = Atomic.get latch_peak in
+            if c > p && not (Atomic.compare_and_set latch_peak p c) then
+              bump ()
+          in
+          bump ();
+          Atomic.incr latch_entered;
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          while
+            Atomic.get latch_peak < 2 && Unix.gettimeofday () < deadline
+          do
+            Domain.cpu_relax ()
+          done;
+          ignore (Atomic.fetch_and_add latch_inflight (-1));
+          Cvec.create (n * n)
+
+        let forward (_ : Cvec.t) : Sample.t = failwith "latch: forward unused"
+        let stats () = st
+      end in
+      (module M : Op.NUFFT_OP))
+
+(* ------------------------------------------------------------------ *)
+(* Helpers *)
+
+let radial ~n =
+  let traj = Trajectory.Radial.make ~spokes:(max 4 (n / 4)) ~readout:(2 * n) () in
+  (traj, Imaging.Recon.coords_of_traj ~g:(2 * n) traj)
+
+let values_for coords =
+  let m = Sample.length coords in
+  Cvec.init m (fun k ->
+      C.make
+        (0.1 *. float_of_int ((k mod 17) - 8))
+        (0.05 *. float_of_int ((k mod 5) - 2)))
+
+let ctx_for n coords = Op.context ~n ~coords ()
+
+let lookup cache n coords =
+  ignore (Cache.operator cache ~backend:"serial" ~ctx:(ctx_for n coords))
+
+let sok = function
+  | Ok (v : Svc.response) -> v
+  | Error e -> Alcotest.failf "service error: %s" (Svc.error_message e)
+
+let check_bitwise name a b =
+  Alcotest.(check int) (name ^ " length") (Cvec.length a) (Cvec.length b);
+  for k = 0 to Cvec.length a - 1 do
+    if
+      Cvec.unsafe_get_re a k <> Cvec.unsafe_get_re b k
+      || Cvec.unsafe_get_im a k <> Cvec.unsafe_get_im b k
+    then
+      Alcotest.failf "%s: differs at %d: (%g,%g) vs (%g,%g)" name k
+        (Cvec.unsafe_get_re a k) (Cvec.unsafe_get_im a k)
+        (Cvec.unsafe_get_re b k) (Cvec.unsafe_get_im b k)
+  done
+
+let with_telemetry f =
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  Fun.protect ~finally:(fun () -> Telemetry.set_enabled false) f
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache *)
+
+let test_lru_eviction_order () =
+  let cache = Cache.create ~max_entries:2 () in
+  let _, c16 = radial ~n:16
+  and _, c20 = radial ~n:20
+  and _, c24 = radial ~n:24 in
+  lookup cache 16 c16;
+  (* miss *)
+  lookup cache 20 c20;
+  (* miss *)
+  lookup cache 16 c16;
+  (* hit: n=20 becomes least-recently-used *)
+  lookup cache 24 c24;
+  (* miss: evicts n=20, not n=16 *)
+  let s = Cache.stats cache in
+  Alcotest.(check int) "evictions after overflow" 1 s.Cache.evictions;
+  Alcotest.(check int) "entries at capacity" 2 s.Cache.entries;
+  Alcotest.(check int) "hits so far" 1 s.Cache.hits;
+  Alcotest.(check int) "misses so far" 3 s.Cache.misses;
+  lookup cache 16 c16;
+  (* the recently-used entry survived: hit *)
+  lookup cache 20 c20;
+  (* the LRU entry was evicted: miss again *)
+  let s = Cache.stats cache in
+  Alcotest.(check int) "n=16 survived the eviction" 2 s.Cache.hits;
+  Alcotest.(check int) "n=20 was the victim" 4 s.Cache.misses
+
+let test_byte_budget () =
+  let _, c16 = radial ~n:16 and _, c24 = radial ~n:24 in
+  (* Size one resident n=24 entry with a throwaway cache. *)
+  let probe = Cache.create () in
+  lookup probe 24 c24;
+  let b24 = (Cache.stats probe).Cache.bytes in
+  Alcotest.(check bool) "entry footprint is accounted" true (b24 > 0);
+  (* Budget fits the big entry plus change, but not both entries. *)
+  let cache = Cache.create ~max_bytes:(b24 + (b24 / 4)) () in
+  lookup cache 24 c24;
+  lookup cache 16 c16;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "byte budget evicted the older entry" 1
+    s.Cache.evictions;
+  Alcotest.(check int) "one resident entry" 1 s.Cache.entries;
+  Alcotest.(check bool) "resident bytes within budget" true
+    (s.Cache.bytes <= b24 + (b24 / 4));
+  (* The small recent entry is the survivor. *)
+  lookup cache 16 c16;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "survivor is the recent entry" 1 s.Cache.hits
+
+let test_fingerprint_collision () =
+  (* A constant fingerprint makes every trajectory collide; the
+     structural comparison must still keep distinct entries. *)
+  let cache = Cache.create ~fingerprint:(fun _ -> 42) () in
+  let _, a = radial ~n:16 in
+  let b = Sample.random_2d ~seed:9 ~g:32 64 in
+  let op_a, _ = Cache.operator cache ~backend:"serial" ~ctx:(ctx_for 16 a) in
+  let op_b, _ = Cache.operator cache ~backend:"serial" ~ctx:(ctx_for 16 b) in
+  Alcotest.(check bool) "colliding trajectories get distinct operators" true
+    (op_a != op_b);
+  let s = Cache.stats cache in
+  Alcotest.(check int) "two entries despite equal fingerprints" 2
+    s.Cache.entries;
+  Alcotest.(check int) "both lookups were misses" 2 s.Cache.misses;
+  let op_a', _ = Cache.operator cache ~backend:"serial" ~ctx:(ctx_for 16 a) in
+  Alcotest.(check bool) "re-lookup hits the right entry" true (op_a' == op_a);
+  Alcotest.(check int) "hit recorded" 1 (Cache.stats cache).Cache.hits
+
+let test_concurrent_single_build () =
+  with_telemetry @@ fun () ->
+  let c_miss = Telemetry.Counter.make "sample_plan.cache_miss" in
+  let before = Telemetry.Counter.value c_miss in
+  let _, coords = radial ~n:32 in
+  let ctx = ctx_for 32 coords in
+  let cache = Cache.create () in
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      Pool.parallel_for ~chunk:1 pool ~start:0 ~stop:8 (fun _ ->
+          ignore (Cache.operator cache ~backend:"serial" ~ctx)));
+  let s = Cache.stats cache in
+  Alcotest.(check int) "eight concurrent lookups, one build" 1 s.Cache.misses;
+  Alcotest.(check int) "the other seven were hits" 7 s.Cache.hits;
+  Alcotest.(check int) "decomposition compiled exactly once" 1
+    (Telemetry.Counter.value c_miss - before)
+
+let test_toeplitz_create_fn () =
+  let n = 12 in
+  let traj = Trajectory.Radial.make ~spokes:6 ~readout:(2 * n) () in
+  let coords = Imaging.Recon.coords_of_traj ~g:(2 * n) traj in
+  let cache = Cache.create () in
+  let make () =
+    Imaging.Toeplitz.make_op ~create:(Cache.create_fn cache) ~n ~coords ()
+  in
+  let t1 = make () in
+  let t2 = make () in
+  let s = Cache.stats cache in
+  Alcotest.(check int) "setup adjoint operator built once" 1 s.Cache.misses;
+  Alcotest.(check int) "second setup hit the cache" 1 s.Cache.hits;
+  check_bitwise "kernel spectrum identical across cached setups"
+    (Imaging.Toeplitz.kernel_spectrum t1)
+    (Imaging.Toeplitz.kernel_spectrum t2)
+
+(* ------------------------------------------------------------------ *)
+(* Workspace *)
+
+let test_workspace_reuse () =
+  let ws = Ws.create () in
+  let a1 = Ws.checkout ws ~grid:64 ~line:8 ~image:16 ~samples:10 in
+  Alcotest.(check int) "grid view length" 64 (Cvec.length a1.Ws.grid);
+  Alcotest.(check int) "line view length" 8 (Cvec.length a1.Ws.line);
+  Alcotest.(check int) "image view length" 16 (Cvec.length a1.Ws.image);
+  Alcotest.(check int) "vals view length" 10 (Cvec.length a1.Ws.vals);
+  Alcotest.(check int) "cg buffer length" 16
+    (Cvec.length a1.Ws.cg.Imaging.Cg.bx);
+  Ws.checkin ws a1;
+  (* Smaller request: the retained slot serves it without growing. *)
+  let a2 = Ws.checkout ws ~grid:32 ~line:8 ~image:16 ~samples:4 in
+  Alcotest.(check int) "smaller grid view" 32 (Cvec.length a2.Ws.grid);
+  Alcotest.(check bool) "slot was reused" true (a1.Ws.slot == a2.Ws.slot);
+  Ws.checkin ws a2;
+  let s = Ws.stats ws in
+  Alcotest.(check int) "checkouts" 2 s.Ws.checkouts;
+  Alcotest.(check int) "reuses" 1 s.Ws.reuses;
+  Alcotest.(check int) "grows only on first checkout" 7 s.Ws.grows;
+  Alcotest.(check int) "slot retained" 1 s.Ws.retained;
+  (* Concurrent checkouts get private slots. *)
+  let b1 = Ws.checkout ws ~grid:8 ~line:4 ~image:4 ~samples:2 in
+  let b2 = Ws.checkout ws ~grid:8 ~line:4 ~image:4 ~samples:2 in
+  Alcotest.(check bool) "concurrent checkouts are distinct slots" true
+    (b1.Ws.slot != b2.Ws.slot);
+  Ws.checkin ws b1;
+  Ws.checkin ws b2
+
+(* Every registered 2D backend, through the service twice (fresh arena,
+   then reused arena), against a fresh-buffer reference reconstruction:
+   all three images must be bitwise identical. *)
+let test_arena_bitwise_all_backends () =
+  let n = 16 in
+  let traj, coords = radial ~n in
+  let density = Trajectory.Radial.density_weights traj in
+  let values = values_for coords in
+  let svc = Svc.create () in
+  List.iter
+    (fun backend ->
+      let req =
+        { Svc.backend;
+          n;
+          coords;
+          values;
+          density = Some density;
+          method_ = Svc.Adjoint }
+      in
+      let r1 = sok (Svc.submit svc req) in
+      let r2 = sok (Svc.submit svc req) in
+      let op = Op.create backend (ctx_for n coords) in
+      let reference =
+        match
+          Imaging.Recon.reconstruct_op ~density op
+            (Sample.with_values coords values)
+        with
+        | Ok image -> image
+        | Error e ->
+            Alcotest.failf "%s reference: %s" backend
+              (Imaging.Recon.error_message e)
+      in
+      check_bitwise (backend ^ ": arena = fresh buffers") reference
+        r1.Svc.image;
+      check_bitwise (backend ^ ": reused arena = first arena") r1.Svc.image
+        r2.Svc.image)
+    (List.filter
+       (fun b -> b <> latch_name)
+       (Op.names ~dims:2 ()))
+
+let test_steady_state_allocation () =
+  Telemetry.set_enabled false;
+  let n = 32 in
+  let _, coords = radial ~n in
+  let values = values_for coords in
+  let svc = Svc.create () in
+  let req =
+    { Svc.backend = "serial";
+      n;
+      coords;
+      values;
+      density = None;
+      method_ = Svc.Adjoint }
+  in
+  (* Warm up: plan built, arena grown, FFT twiddles cached. *)
+  ignore (sok (Svc.submit svc req));
+  ignore (sok (Svc.submit svc req));
+  let rounds = 5 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to rounds do
+    ignore (sok (Svc.submit svc req))
+  done;
+  let per = (Gc.minor_words () -. w0) /. float_of_int rounds in
+  (* O(1): independent of the sample count (m = 512 here) and the grid
+     (64^2); per-sample or per-pixel allocation would be >= 10^4 words. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "steady-state minor words per request (%g) <= 2000" per)
+    true (per <= 2000.0)
+
+(* ------------------------------------------------------------------ *)
+(* Reconstruction service *)
+
+let test_warm_request_zero_plan_builds () =
+  with_telemetry @@ fun () ->
+  let c_miss = Telemetry.Counter.make "sample_plan.cache_miss" in
+  let n = 24 in
+  let traj = Trajectory.Radial.make ~spokes:8 ~readout:(2 * n) () in
+  (* Two structurally-equal but physically-distinct coordinate sets: the
+     warm request must rebind onto the canonical arrays, not recompile. *)
+  let coords1 = Imaging.Recon.coords_of_traj ~g:(2 * n) traj in
+  let coords2 = Imaging.Recon.coords_of_traj ~g:(2 * n) traj in
+  Alcotest.(check bool) "coordinate arrays are distinct" true
+    (coords1.Sample.coords.(0) != coords2.Sample.coords.(0));
+  let values = values_for coords1 in
+  let svc = Svc.create () in
+  let req coords =
+    { Svc.backend = "slice";
+      n;
+      coords;
+      values;
+      density = None;
+      method_ = Svc.Adjoint }
+  in
+  let before = Telemetry.Counter.value c_miss in
+  let r1 = sok (Svc.submit svc (req coords1)) in
+  Alcotest.(check int) "cold request compiles the decomposition once" 1
+    (Telemetry.Counter.value c_miss - before);
+  let after_cold = Telemetry.Counter.value c_miss in
+  let r2 = sok (Svc.submit svc (req coords2)) in
+  Alcotest.(check int) "warm request performs zero plan builds" 0
+    (Telemetry.Counter.value c_miss - after_cold);
+  let s = Cache.stats (Svc.cache svc) in
+  Alcotest.(check int) "warm request hit the operator cache" 1 s.Cache.hits;
+  check_bitwise "warm image = cold image" r1.Svc.image r2.Svc.image
+
+let test_typed_errors () =
+  let n = 16 in
+  let _, coords = radial ~n in
+  let m = Sample.length coords in
+  let values = values_for coords in
+  let svc = Svc.create () in
+  let base =
+    { Svc.backend = "serial";
+      n;
+      coords;
+      values;
+      density = None;
+      method_ = Svc.Adjoint }
+  in
+  let expect name pred req =
+    match Svc.submit svc req with
+    | Ok _ -> Alcotest.failf "%s: expected a typed error" name
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s -> %s" name (Svc.error_message e))
+          true (pred e)
+  in
+  let invalid = function Svc.Invalid_request _ -> true | _ -> false in
+  expect "unknown backend" invalid { base with Svc.backend = "no-such" };
+  expect "n too small" invalid { base with Svc.n = 1 };
+  expect "grid/coords mismatch" invalid { base with Svc.n = 20 };
+  expect "3D-only backend on 2D coords" invalid
+    { base with Svc.backend = "jigsaw-3d" };
+  expect "values length mismatch" invalid
+    { base with Svc.values = Cvec.create (m - 1) };
+  expect "cg iterations < 1" invalid { base with Svc.method_ = Svc.Cg 0 };
+  expect "empty sample set"
+    (function
+      | Svc.Recon_error Imaging.Recon.Empty_sample_set -> true | _ -> false)
+    { base with
+      Svc.coords = Sample.random_2d ~g:32 0;
+      values = Cvec.create 0 };
+  expect "density length mismatch"
+    (function
+      | Svc.Recon_error
+          (Imaging.Recon.Density_length_mismatch { expected; got }) ->
+          expected = m && got = 3
+      | _ -> false)
+    { base with Svc.density = Some (Array.make 3 1.0) };
+  (* Batch: per-request failure, in request order, no escaped exception. *)
+  match
+    Svc.submit_batch svc [ base; { base with Svc.backend = "no-such" }; base ]
+  with
+  | [ Ok _; Error (Svc.Invalid_request _); Ok _ ] -> ()
+  | results ->
+      Alcotest.failf "batch results misordered (%d results)"
+        (List.length results)
+
+let test_cg_through_service () =
+  let n = 16 in
+  let traj, coords = radial ~n in
+  let density = Trajectory.Radial.density_weights traj in
+  let phantom = Imaging.Phantom.make ~n () in
+  let svc = Svc.create () in
+  let op, _ =
+    match Svc.operator svc ~backend:"serial" ~n ~coords with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "operator: %s" (Svc.error_message e)
+  in
+  let samples = Imaging.Recon.acquire_op op phantom in
+  let req =
+    { Svc.backend = "serial";
+      n;
+      coords;
+      values = samples.Sample.values;
+      density = Some density;
+      method_ = Svc.Cg 8 }
+  in
+  let resp = sok (Svc.submit svc req) in
+  Alcotest.(check bool) "cg ran at least one iteration" true
+    (resp.Svc.iterations >= 1);
+  (* Pooled CG buffers must match the fresh-buffer solver bitwise. *)
+  let rhs = Imaging.Cg.normal_equations_rhs_op ~weights:density op samples in
+  let reference =
+    Imaging.Cg.solve ~max_iterations:8
+      ~apply:(Imaging.Cg.normal_map ~weights:density op)
+      rhs
+  in
+  check_bitwise "service CG = direct CG" reference.Imaging.Cg.solution
+    resp.Svc.image
+
+let test_batch_overlap () =
+  Atomic.set latch_entered 0;
+  Atomic.set latch_peak 0;
+  Atomic.set latch_inflight 0;
+  let n = 16 in
+  let _, coords = radial ~n in
+  let values = values_for coords in
+  let pool = Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let svc = Svc.create ~pool () in
+      let req =
+        { Svc.backend = latch_name;
+          n;
+          coords;
+          values;
+          density = None;
+          method_ = Svc.Adjoint }
+      in
+      let t0 = Unix.gettimeofday () in
+      let results = Svc.submit_batch svc [ req; req ] in
+      let dt = Unix.gettimeofday () -. t0 in
+      List.iter
+        (fun r ->
+          match r with
+          | Ok _ -> ()
+          | Error e ->
+              Alcotest.failf "latch request failed: %s" (Svc.error_message e))
+        results;
+      Alcotest.(check int) "both requests reached the backend" 2
+        (Atomic.get latch_entered);
+      Alcotest.(check int) "requests were in flight concurrently" 2
+        (Atomic.get latch_peak);
+      Alcotest.(check bool)
+        (Printf.sprintf "overlap released the latch promptly (%.1fs)" dt)
+        true (dt < 4.0))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "pipeline"
+    [ ( "plan_cache",
+        [ Alcotest.test_case "lru eviction order" `Quick
+            test_lru_eviction_order;
+          Alcotest.test_case "byte budget" `Quick test_byte_budget;
+          Alcotest.test_case "fingerprint collision" `Quick
+            test_fingerprint_collision;
+          Alcotest.test_case "concurrent single build" `Quick
+            test_concurrent_single_build;
+          Alcotest.test_case "toeplitz create hook" `Quick
+            test_toeplitz_create_fn ] );
+      ( "workspace",
+        [ Alcotest.test_case "slot reuse" `Quick test_workspace_reuse;
+          Alcotest.test_case "bitwise through arenas, all backends" `Quick
+            test_arena_bitwise_all_backends;
+          Alcotest.test_case "steady-state allocation" `Quick
+            test_steady_state_allocation ] );
+      ( "recon_service",
+        [ Alcotest.test_case "warm request zero plan builds" `Quick
+            test_warm_request_zero_plan_builds;
+          Alcotest.test_case "typed errors" `Quick test_typed_errors;
+          Alcotest.test_case "cg through the service" `Quick
+            test_cg_through_service;
+          Alcotest.test_case "batch overlap across the pool" `Quick
+            test_batch_overlap ] ) ]
