@@ -73,6 +73,7 @@ let canonical_backend name =
   match String.lowercase_ascii name with
   | "output" -> "output-parallel"
   | "parallel" -> "slice-parallel"
+  | "replay" -> "replay-parallel"
   | "jigsaw" -> "jigsaw-2d"
   | "gpu-slice" -> "gpusim-slice"
   | "gpu-binned" -> "gpusim-binned"

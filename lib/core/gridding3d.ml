@@ -154,7 +154,10 @@ let grid_3d_parallel ?stats ?pool ?domains ~table ~g ~gx ~gy ~gz values =
   in
   Gridding_slice.with_pool ~name:"Gridding3d.grid_3d_parallel" ?pool ?domains
     (fun p ->
-      Runtime.Pool.parallel_for_ranges ~chunk:1 p ~start:0 ~stop:g
+      (* Each z-slice scans all m samples; coarsen so small problems do
+         not pay g per-slice dispatches. *)
+      let chunk = Runtime.Pool.adaptive_chunk p ~items:g ~work_per_item:m in
+      Runtime.Pool.parallel_for_ranges ~chunk p ~start:0 ~stop:g
         process_slices);
   Gridding_stats.end_span sp;
   out

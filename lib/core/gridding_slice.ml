@@ -273,7 +273,11 @@ let grid_2d_parallel ?stats ?pool ?domains ~table ~g ~t ~gx ~gy values =
         Mutex.unlock stats_mutex
   in
   with_pool ~name:"Gridding_slice.grid_2d_parallel" ?pool ?domains (fun p ->
-      Runtime.Pool.parallel_for_ranges ~chunk:1 p ~start:0 ~stop:columns_total
+      (* Adaptive coarsening: each column scans all m samples, so a chunk
+         of c columns carries c*m checks. Small trajectories coalesce into
+         a handful of chunks instead of t^2 per-column dispatches. *)
+      let chunk = Runtime.Pool.adaptive_chunk p ~items:columns_total ~work_per_item:m in
+      Runtime.Pool.parallel_for_ranges ~chunk p ~start:0 ~stop:columns_total
         process_columns);
   add_stats stats ~samples:m ~checks:0 ~evals:0 ~accums:0;
   (* Assemble the dice into the row-major grid. *)

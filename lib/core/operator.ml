@@ -248,4 +248,8 @@ let () =
         fun ~g ~w -> Gridding.Slice_and_dice (Coord.fallback_tile ~g ~w) );
       ( "slice-parallel",
         "Slice-and-Dice column-outer schedule on the domain pool",
-        fun ~g ~w -> Gridding.Slice_parallel (Coord.fallback_tile ~g ~w) ) ]
+        fun ~g ~w -> Gridding.Slice_parallel (Coord.fallback_tile ~g ~w) );
+      ( "replay-parallel",
+        "compiled-plan replay sharded across domains by grid-region \
+         ownership (bit-identical to serial; serial without a pool)",
+        fun ~g:_ ~w:_ -> Gridding.Serial ) ]

@@ -326,11 +326,22 @@ let compiled ?stats plan (samples : Sample.t) =
       Telemetry.span_end sp_compile;
       splan
 
-let adjoint_compiled_timed ?stats plan samples =
+(* Replay pool resolution: an explicit [?pool] wins; otherwise the plan's
+   own pool. Callers that must avoid nested submission (a service request
+   already running inside the pool it would replay on) pass no pool and
+   build the plan pool-less — parallel replay never falls back to the
+   global pool implicitly. *)
+let replay_pool ?pool plan =
+  match pool with Some _ -> pool | None -> plan.pool
+
+let adjoint_compiled_timed ?stats ?pool plan samples =
+  let rpool = replay_pool ?pool plan in
   let t0 = now () in
   let sp = compiled ?stats plan samples in
   let span = Gridding_stats.grid_span "grid.compiled-spread" in
-  let grid = Sample_plan.spread ?stats sp samples.Sample.values in
+  let grid =
+    Sample_plan.spread_parallel ?stats ?pool:rpool sp samples.Sample.values
+  in
   Gridding_stats.end_span span;
   let t1 = now () in
   let dims = Sample.dims samples in
@@ -350,10 +361,11 @@ let adjoint_compiled_timed ?stats plan samples =
   let t3 = now () in
   (image, { gridding_s = t1 -. t0; fft_s = t2 -. t1; deapod_s = t3 -. t2 })
 
-let adjoint_compiled ?stats plan samples =
-  fst (adjoint_compiled_timed ?stats plan samples)
+let adjoint_compiled ?stats ?pool plan samples =
+  fst (adjoint_compiled_timed ?stats ?pool plan samples)
 
-let forward_compiled ?stats plan ~coords image =
+let forward_compiled ?stats ?pool plan ~coords image =
+  let rpool = replay_pool ?pool plan in
   let sp = compiled ?stats plan coords in
   let big =
     match Sample.dims coords with
@@ -369,6 +381,6 @@ let forward_compiled ?stats plan ~coords image =
         big
   in
   let span = Gridding_stats.grid_span "grid.compiled-gather" in
-  let out = Sample_plan.gather ?stats sp big in
+  let out = Sample_plan.gather_parallel ?stats ?pool:rpool sp big in
   Gridding_stats.end_span span;
   out

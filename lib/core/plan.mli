@@ -198,20 +198,35 @@ val compiled : ?stats:Gridding_stats.t -> plan -> Sample.t -> Sample_plan.t
     use, cached thereafter). The sample set's [g] must match the plan's. *)
 
 val adjoint_compiled :
-  ?stats:Gridding_stats.t -> plan -> Sample.t -> Numerics.Cvec.t
+  ?stats:Gridding_stats.t ->
+  ?pool:Runtime.Pool.t ->
+  plan ->
+  Sample.t ->
+  Numerics.Cvec.t
 (** {!adjoint} through the compiled plan: replay-spread, FFT (on the
-    plan's pool if any), de-apodize. *)
+    plan's pool if any), de-apodize. The replay pool is [?pool] if given,
+    else the plan's pool; with a pool the spread is region-sharded via
+    {!Sample_plan.spread_parallel} — bit-identical to serial replay for
+    every pool size. There is never an implicit global-pool fallback:
+    no pool anywhere means serial replay, so callers already running
+    inside a pool cannot deadlock on a nested submission. *)
 
 val adjoint_compiled_timed :
-  ?stats:Gridding_stats.t -> plan -> Sample.t -> Numerics.Cvec.t * timings
+  ?stats:Gridding_stats.t ->
+  ?pool:Runtime.Pool.t ->
+  plan ->
+  Sample.t ->
+  Numerics.Cvec.t * timings
 (** Timed variant; compilation time (first call only) is accounted to the
     gridding stage. *)
 
 val forward_compiled :
   ?stats:Gridding_stats.t ->
+  ?pool:Runtime.Pool.t ->
   plan ->
   coords:Sample.t ->
   Numerics.Cvec.t ->
   Numerics.Cvec.t
 (** {!forward} through the compiled plan: pad/apodize, FFT, replay-gather
-    at the compiled sample locations. *)
+    at the compiled sample locations ({!Sample_plan.gather_parallel} over
+    the same resolved pool as {!adjoint_compiled}). *)

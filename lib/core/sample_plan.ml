@@ -1,6 +1,26 @@
 module Cvec = Numerics.Cvec
 module Wt = Numerics.Weight_table
 
+(* A shard of a region partition: the plan's entries whose target grid
+   cell lies in the contiguous row band [row_lo, row_hi) — a "row" being
+   a run of [g] consecutive flattened cells (a y-row in 2D, a (z,y)-row
+   in 3D). Entries are stored in the plan's own (sample, window-point)
+   order, so replaying a shard accumulates onto each owned cell in
+   exactly the serial order. *)
+type shard = {
+  row_lo : int;
+  row_hi : int;
+  e_smp : int array;
+  e_idx : int array;
+  e_wgt : float array;
+}
+
+type partition = {
+  requested : int;
+  p_rows : int;
+  shards : shard array;
+}
+
 type t = {
   dims : int;
   m : int;
@@ -9,6 +29,8 @@ type t = {
   points : int;
   idx : int array;
   wgt : float array;
+  pmutex : Mutex.t;
+  mutable part : partition option;
 }
 
 let dims t = t.dims
@@ -98,7 +120,7 @@ let compile_2d ?stats ?(select_checks = 0) ~table ~g ~gx ~gy () =
   add_stats stats ~samples:0 ~checks:select_checks
     ~evals:((m * w) + (m * w * w))
     ~accums:0;
-  { dims = 2; m; g; w; points; idx; wgt }
+  { dims = 2; m; g; w; points; idx; wgt; pmutex = Mutex.create (); part = None }
 
 let compile_3d ?stats ?(select_checks = 0) ~table ~g ~gx ~gy ~gz () =
   let w = Wt.width table in
@@ -141,7 +163,7 @@ let compile_3d ?stats ?(select_checks = 0) ~table ~g ~gx ~gy ~gz () =
   add_stats stats ~samples:0 ~checks:select_checks
     ~evals:((m * w) + (m * w * w) + (m * w * w * w))
     ~accums:0;
-  { dims = 3; m; g; w; points; idx; wgt }
+  { dims = 3; m; g; w; points; idx; wgt; pmutex = Mutex.create (); part = None }
 
 let replay_spread t values out =
   let p = t.points in
@@ -173,13 +195,10 @@ let spread_into ?stats t values out =
   replay_spread t values out;
   add_stats stats ~samples:t.m ~checks:0 ~evals:0 ~accums:(t.m * t.points)
 
-let gather ?stats t grid =
-  if Cvec.length grid <> grid_length t then
-    invalid_arg "Sample_plan.gather: grid size mismatch";
-  let out = Cvec.create t.m in
+let gather_range t grid out ~lo ~hi =
   let p = t.points in
   let idx = t.idx and wgt = t.wgt in
-  for j = 0 to t.m - 1 do
+  for j = lo to hi - 1 do
     let base = j * p in
     let acc_re = ref 0.0 and acc_im = ref 0.0 in
     for i = 0 to p - 1 do
@@ -189,6 +208,185 @@ let gather ?stats t grid =
       acc_im := !acc_im +. (weight *. get_im grid k)
     done;
     set_parts out j !acc_re !acc_im
+  done
+
+let gather ?stats t grid =
+  if Cvec.length grid <> grid_length t then
+    invalid_arg "Sample_plan.gather: grid size mismatch";
+  let out = Cvec.create t.m in
+  gather_range t grid out ~lo:0 ~hi:t.m;
+  add_stats stats ~samples:t.m ~checks:0 ~evals:0 ~accums:0;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Region-sharded ownership partition.
+
+   Adjoint replay is a scatter: distinct samples hit overlapping grid
+   cells, so sample-range sharding would race. Instead the *grid* is
+   sharded: each shard exclusively owns a contiguous band of grid rows
+   (row = flattened index / g: a y-row in 2D, a (z,y)-row in 3D), and the
+   plan's (sample, window-point) entry stream is re-bucketed once so each
+   shard holds exactly the entries landing in its band, still in plan
+   order. Every grid cell then has exactly one writer — no atomics, no
+   per-domain grid copies to merge — and each cell receives its
+   contributions in serial order, so the parallel result is bit-identical
+   to serial replay for any shard count.
+
+   Band cuts are chosen by greedy entry-mass balancing over a per-row
+   entry histogram (cuFINUFFT-style load-balanced binning): dense
+   trajectory regions get narrow bands, empty regions are absorbed into
+   wide ones. Each shard is guaranteed at least one row; the shard count
+   is clamped to the row count. *)
+
+let build_partition t ~requested =
+  let sp = Gridding_stats.grid_span "plan.partition" in
+  let g = t.g in
+  let rows = pow g (t.dims - 1) in
+  let n = max 1 (min requested rows) in
+  let total = t.m * t.points in
+  let idx = t.idx and wgt = t.wgt in
+  let hist = Array.make rows 0 in
+  for e = 0 to total - 1 do
+    let r = Array.unsafe_get idx e / g in
+    Array.unsafe_set hist r (Array.unsafe_get hist r + 1)
   done;
+  (* Greedy cuts: shard s owns rows [cuts.(s), cuts.(s+1)). Advance each
+     cut until accumulated entry mass reaches the s-th balanced target,
+     but never past [rows - remaining_shards] so every later shard keeps
+     at least one row. *)
+  let cuts = Array.make (n + 1) 0 in
+  cuts.(n) <- rows;
+  let target = float_of_int total /. float_of_int n in
+  let row = ref 0 and acc = ref 0 in
+  for s = 0 to n - 2 do
+    cuts.(s) <- !row;
+    let goal = float_of_int (s + 1) *. target in
+    let limit = rows - (n - 1 - s) in
+    acc := !acc + hist.(!row);
+    incr row;
+    while !row < limit && float_of_int !acc < goal do
+      acc := !acc + hist.(!row);
+      incr row
+    done
+  done;
+  cuts.(n - 1) <- !row;
+  let owner = Array.make rows 0 in
+  let counts = Array.make n 0 in
+  for s = 0 to n - 1 do
+    let c = ref 0 in
+    for r = cuts.(s) to cuts.(s + 1) - 1 do
+      Array.unsafe_set owner r s;
+      c := !c + Array.unsafe_get hist r
+    done;
+    counts.(s) <- !c
+  done;
+  let shards =
+    Array.init n (fun s ->
+        { row_lo = cuts.(s);
+          row_hi = cuts.(s + 1);
+          e_smp = Array.make counts.(s) 0;
+          e_idx = Array.make counts.(s) 0;
+          e_wgt = Array.make counts.(s) 0.0 })
+  in
+  (* Bucket the entry stream in plan order, so each shard's entries stay
+     sample-monotonic (the bit-identity invariant). *)
+  let fill = Array.make n 0 in
+  let p = t.points in
+  for j = 0 to t.m - 1 do
+    let base = j * p in
+    for i = 0 to p - 1 do
+      let e = base + i in
+      let k = Array.unsafe_get idx e in
+      let s = Array.unsafe_get owner (k / g) in
+      let sh = Array.unsafe_get shards s in
+      let f = Array.unsafe_get fill s in
+      Array.unsafe_set sh.e_smp f j;
+      Array.unsafe_set sh.e_idx f k;
+      Array.unsafe_set sh.e_wgt f (Array.unsafe_get wgt e);
+      Array.unsafe_set fill s (f + 1)
+    done
+  done;
+  Gridding_stats.end_span sp;
+  { requested; p_rows = rows; shards }
+
+(* The partition is built lazily on first parallel spread and cached in
+   the plan (single slot, keyed on the requested shard count). All access
+   goes through [pmutex]: plans are shared across domains by the plan
+   cache, and an unsynchronised mutable read of [part] would race with a
+   concurrent build under the OCaml memory model. *)
+let partition t ~shards =
+  if shards < 1 then invalid_arg "Sample_plan.partition: shards < 1";
+  Mutex.lock t.pmutex;
+  let p =
+    match t.part with
+    | Some p when p.requested = shards -> p
+    | _ ->
+        let p = build_partition t ~requested:shards in
+        t.part <- Some p;
+        p
+  in
+  Mutex.unlock t.pmutex;
+  p
+
+let partition_requested p = p.requested
+let partition_rows p = p.p_rows
+let partition_shards p = Array.length p.shards
+let shard_rows p s = (p.shards.(s).row_lo, p.shards.(s).row_hi)
+let shard_length p s = Array.length p.shards.(s).e_idx
+
+let shard_entry p s e =
+  let sh = p.shards.(s) in
+  (sh.e_smp.(e), sh.e_idx.(e), sh.e_wgt.(e))
+
+let replay_shard sh values out =
+  let n = Array.length sh.e_idx in
+  let e_smp = sh.e_smp and e_idx = sh.e_idx and e_wgt = sh.e_wgt in
+  for e = 0 to n - 1 do
+    let j = Array.unsafe_get e_smp e in
+    let k = Array.unsafe_get e_idx e in
+    let weight = Array.unsafe_get e_wgt e in
+    acc_parts out k (weight *. get_re values j) (weight *. get_im values j)
+  done
+
+let[@inline] pool_is_parallel pool =
+  Runtime.Pool.size pool > 1 && not (Runtime.Pool.is_shut_down pool)
+
+let spread_parallel_into ?stats ?pool t values out =
+  if Cvec.length values <> t.m then
+    invalid_arg "Sample_plan.spread_parallel_into: values length mismatch";
+  if Cvec.length out <> grid_length t then
+    invalid_arg "Sample_plan.spread_parallel_into: grid size mismatch";
+  Cvec.fill_zero out;
+  (match pool with
+  | Some p when pool_is_parallel p ->
+      let part = partition t ~shards:(Runtime.Pool.size p) in
+      (* Each shard is one coarse work unit (entry-mass balanced at build
+         time), so per-shard dispatch is the right granularity. *)
+      Runtime.Pool.parallel_for ~chunk:1 p ~start:0
+        ~stop:(Array.length part.shards) (fun s ->
+          replay_shard (Array.unsafe_get part.shards s) values out)
+  | _ -> replay_spread t values out);
+  add_stats stats ~samples:t.m ~checks:0 ~evals:0 ~accums:(t.m * t.points)
+
+let spread_parallel ?stats ?pool t values =
+  let out = Cvec.create (grid_length t) in
+  spread_parallel_into ?stats ?pool t values out;
+  out
+
+let gather_parallel ?stats ?pool t grid =
+  if Cvec.length grid <> grid_length t then
+    invalid_arg "Sample_plan.gather_parallel: grid size mismatch";
+  let out = Cvec.create t.m in
+  (match pool with
+  | Some p when pool_is_parallel p ->
+      (* Gather writes one private output slot per sample — sample-range
+         sharding is race-free, and per-sample accumulation order is the
+         serial order, so any chunking is bit-identical. *)
+      let chunk =
+        Runtime.Pool.adaptive_chunk p ~items:t.m ~work_per_item:(2 * t.points)
+      in
+      Runtime.Pool.parallel_for_ranges ~chunk p ~start:0 ~stop:t.m
+        (fun ~lo ~hi -> gather_range t grid out ~lo ~hi)
+  | _ -> gather_range t grid out ~lo:0 ~hi:t.m);
   add_stats stats ~samples:t.m ~checks:0 ~evals:0 ~accums:0;
   out

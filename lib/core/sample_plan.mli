@@ -80,3 +80,84 @@ val gather : ?stats:Gridding_stats.t -> t -> Numerics.Cvec.t -> Numerics.Cvec.t
 (** [gather t grid] interpolates the [g^dims] grid at the compiled sample
     locations (the forward-transform regridding step); adjoint of
     {!spread} by construction, since both replay the same weights. *)
+
+(** {1 Region-sharded parallel replay}
+
+    Adjoint replay is a scatter, so sample-range sharding would race on
+    shared grid cells. {!partition} instead shards the {e grid}: the
+    [g^(dims-1)] grid rows (a row is [g] consecutive flattened cells — a
+    y-row in 2D, a (z,y)-row in 3D) are cut into contiguous bands, one
+    per shard, with cuts placed by greedy entry-mass balancing over a
+    per-row histogram. Each shard holds exactly the plan entries landing
+    in its band, in plan (sample, window-point) order; every grid cell
+    has one exclusive writer and receives its contributions in serial
+    order, so parallel replay is bit-identical to {!spread} for every
+    shard count — no atomics, no privatized grids to merge.
+
+    The partition is built once per (plan, shard count) and cached inside
+    the plan under a mutex, so repeated parallel replays (CG iterations,
+    service requests on a cached plan) pay the bucketing pass once. *)
+
+type partition
+(** A region-ownership decomposition of a plan's entry stream. *)
+
+val partition : t -> shards:int -> partition
+(** [partition t ~shards] returns the cached partition for [shards]
+    (clamped to the row count), building and caching it on first use.
+    Thread-safe: callers on different domains sharing one plan get the
+    same partition. Raises [Invalid_argument] if [shards < 1]. *)
+
+val partition_requested : partition -> int
+(** The shard count the partition was requested with (pre-clamping). *)
+
+val partition_shards : partition -> int
+(** Actual shard count: [min requested rows], at least 1. *)
+
+val partition_rows : partition -> int
+(** Total grid rows partitioned: [g^(dims-1)]. *)
+
+val shard_rows : partition -> int -> int * int
+(** [shard_rows p s] is shard [s]'s owned row band [(lo, hi)), with
+    [hi] exclusive. Bands tile [0, rows) in order. *)
+
+val shard_length : partition -> int -> int
+(** Number of plan entries bucketed into shard [s]; shard lengths sum to
+    [length t * points_per_sample t]. *)
+
+val shard_entry : partition -> int -> int -> int * int * float
+(** [shard_entry p s e] is entry [e] of shard [s] as
+    [(sample, flat grid index, weight)] — introspection for the
+    coverage/ownership property tests. *)
+
+val spread_parallel :
+  ?stats:Gridding_stats.t ->
+  ?pool:Runtime.Pool.t ->
+  t ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** [spread_parallel ?pool t values] — {!spread} with the shards of the
+    cached partition replayed across [pool]'s domains. Bit-identical to
+    {!spread} for every pool size. Without a pool (or with a pool of
+    size 1, or a shut-down pool) replays serially without building a
+    partition. *)
+
+val spread_parallel_into :
+  ?stats:Gridding_stats.t ->
+  ?pool:Runtime.Pool.t ->
+  t ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t ->
+  unit
+(** {!spread_parallel} into a caller-provided buffer (zeroed first), the
+    parallel analogue of {!spread_into}. *)
+
+val gather_parallel :
+  ?stats:Gridding_stats.t ->
+  ?pool:Runtime.Pool.t ->
+  t ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** [gather_parallel ?pool t grid] — {!gather} with the sample range
+    chunked across [pool] ({!Runtime.Pool.adaptive_chunk} granularity).
+    Each sample owns its output slot, so this is race-free and
+    bit-identical to {!gather} by construction. *)

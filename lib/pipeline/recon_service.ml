@@ -136,9 +136,13 @@ let fast_adjoint ?fft_pool t ~(plan : Plan.plan) ~canonical req =
         a.Workspace.vals
   in
   (* Physical-identity hit on the decomposition compiled at cache-build
-     time: zero plan builds on the warm path. *)
+     time: zero plan builds on the warm path. [fft_pool] (present only on
+     direct, caller-thread submissions) also drives region-sharded replay:
+     the partition is cached in the compiled plan, so the warm path pays
+     only the per-shard dispatch. Batch execution passes no pool and
+     replays serially — bitwise the same image either way. *)
   let splan = Plan.compiled plan canonical in
-  Sample_plan.spread_into splan vals a.Workspace.grid;
+  Sample_plan.spread_parallel_into ?pool:fft_pool splan vals a.Workspace.grid;
   (match dims with
   | 2 ->
       Fft.Fftnd.transform_2d ?pool:fft_pool ~scratch:a.Workspace.line

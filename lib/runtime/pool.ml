@@ -130,6 +130,24 @@ let create ?domains () =
    tail of the submission. *)
 let default_chunk total ~start ~stop = max 1 ((stop - start) / (total * 8))
 
+(* Adaptive work coarsening. The per-chunk cost of a submission (atomic
+   claim, cache traffic on the task record, the closure call) is fixed, so
+   a chunk must carry enough elementary operations to amortise it; but a
+   chunk must also stay small enough that the pool keeps several chunks
+   per participant for dynamic load balancing. [min_chunk_work] is the
+   amortisation floor in caller-declared work units (one unit ~ one
+   boundary check or one multiply-accumulate). *)
+let min_chunk_work = 16_384
+
+let adaptive_chunk pool ~items ~work_per_item =
+  if work_per_item < 1 then
+    invalid_arg "Pool.adaptive_chunk: work_per_item < 1";
+  if items <= 0 then 1
+  else
+    let balance = items / (pool.total * 8) in
+    let amortize = (min_chunk_work + work_per_item - 1) / work_per_item in
+    max 1 (min items (max balance amortize))
+
 let serial_chunked ranges ~start ~stop ~chunk =
   let lo = ref start in
   while !lo < stop do

@@ -52,6 +52,20 @@ val parallel_for_ranges :
     whole, so per-chunk state (scratch buffers, private statistics
     counters) can be allocated once per chunk instead of once per index. *)
 
+val adaptive_chunk : t -> items:int -> work_per_item:int -> int
+(** [adaptive_chunk pool ~items ~work_per_item] — the coarsened chunk size
+    for a submission of [items] indices, each costing [work_per_item]
+    elementary operations (one boundary check, one multiply-accumulate):
+    exactly [max 1 (min items (max (items / (8 * size)) (ceil (16384 /
+    work_per_item))))]. The first term keeps several chunks per
+    participant for load balancing; the second guarantees every chunk
+    carries at least ~16k operations so the per-chunk scheduling overhead
+    (atomic claim + closure call) is amortised — fine-grained work on a
+    large pool coarsens into fewer, bigger chunks rather than drowning in
+    dispatch. When [items] is smaller than the amortisation floor the
+    whole range becomes one chunk (a degenerate, effectively serial
+    submission). Raises [Invalid_argument] if [work_per_item < 1]. *)
+
 val shutdown : t -> unit
 (** Joins all worker domains. Idempotent; safe to call on a pool that is
     in use by no one. Subsequent submissions run serially in the caller. *)

@@ -132,6 +132,66 @@ let test_invalid_args () =
     (Invalid_argument "Pool.set_global_domains: domains < 1") (fun () ->
       Pool.set_global_domains 0)
 
+(* Adaptive work coarsening: the documented formula is
+   max 1 (min items (max (items / (8 * size)) (ceil (16384 / work)))).
+   The boundary cases are what the schedulers rely on: tiny item counts
+   (fewer items than domains) coalesce into one chunk instead of one
+   dispatch per item, cheap per-item work is amortised up to the 16k-op
+   floor, and expensive per-item work falls back to the load-balance
+   term. *)
+let test_adaptive_chunk_boundaries () =
+  with_pool 4 (fun p ->
+      (* items below the amortisation floor: the whole range is one chunk *)
+      Alcotest.(check int) "3 items, cheap work (< domains)" 3
+        (Pool.adaptive_chunk p ~items:3 ~work_per_item:1);
+      Alcotest.(check int) "1 item" 1
+        (Pool.adaptive_chunk p ~items:1 ~work_per_item:1);
+      (* cheap work: the 16384-op floor dominates the balance term *)
+      Alcotest.(check int) "cheap work amortises to the floor" 16384
+        (Pool.adaptive_chunk p ~items:100_000 ~work_per_item:1);
+      Alcotest.(check int) "ceil division of the floor" 5462
+        (Pool.adaptive_chunk p ~items:100_000 ~work_per_item:3);
+      (* expensive work: the balance term (items / 32) dominates *)
+      Alcotest.(check int) "expensive work load-balances" 3125
+        (Pool.adaptive_chunk p ~items:100_000 ~work_per_item:100_000);
+      (* chunk at least 1 even when both terms round to 0 *)
+      Alcotest.(check int) "both terms zero" 1
+        (Pool.adaptive_chunk p ~items:10 ~work_per_item:100_000);
+      (* degenerate ranges *)
+      Alcotest.(check int) "zero items" 1
+        (Pool.adaptive_chunk p ~items:0 ~work_per_item:7);
+      Alcotest.check_raises "work_per_item 0"
+        (Invalid_argument "Pool.adaptive_chunk: work_per_item < 1") (fun () ->
+          ignore (Pool.adaptive_chunk p ~items:10 ~work_per_item:0)));
+  (* single-domain pool: chunk still valid, submission runs serially in
+     the caller (no workers to balance across) *)
+  with_pool 1 (fun p ->
+      Alcotest.(check int) "pool of 1, cheap work" 16384
+        (Pool.adaptive_chunk p ~items:100_000 ~work_per_item:1);
+      let c = Pool.adaptive_chunk p ~items:50 ~work_per_item:9 in
+      Alcotest.(check int) "pool of 1, small range is one chunk" 50 c)
+
+(* Work conservation under adaptive chunks, including item counts smaller
+   than the domain count and counts not divisible by the chunk. *)
+let test_adaptive_chunk_conservation () =
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun (items, work) ->
+          with_pool domains (fun p ->
+              let chunk = Pool.adaptive_chunk p ~items ~work_per_item:work in
+              if chunk < 1 || chunk > max items 1 then
+                Alcotest.failf "chunk %d outside [1, %d]" chunk items);
+          check_conservation ~domains
+            ~chunk:
+              (let p = Pool.create ~domains () in
+               Fun.protect
+                 ~finally:(fun () -> Pool.shutdown p)
+                 (fun () -> Pool.adaptive_chunk p ~items ~work_per_item:work))
+            ~start:0 ~stop:items ())
+        [ (1, 1); (2, 40_000); (3, 1); (97, 171); (1000, 64); (4096, 5) ])
+    [ 1; 2; 3; 4; 7 ]
+
 let test_global_pool () =
   Pool.set_global_domains 3;
   let p = Pool.global () in
@@ -162,4 +222,8 @@ let () =
          Alcotest.test_case "pool of one stays in caller" `Quick
            test_size_one_runs_in_caller;
          Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+         Alcotest.test_case "adaptive chunk boundaries" `Quick
+           test_adaptive_chunk_boundaries;
+         Alcotest.test_case "adaptive chunk work conservation" `Quick
+           test_adaptive_chunk_conservation;
          Alcotest.test_case "global pool sizing" `Quick test_global_pool ]) ]
