@@ -63,7 +63,9 @@ let service_case ~quick =
       coords;
       values;
       density = None;
-      method_ = Svc.Adjoint }
+      method_ = Svc.Adjoint;
+      tol = None;
+      family = None }
   in
   let ok = function
     | Ok _ -> ()

@@ -17,6 +17,7 @@ type row = {
   fft_s : float;
   deapod_s : float;
   cycles : int;
+  rel_l2_err : float;
 }
 
 let measure_backend ds name =
@@ -27,12 +28,17 @@ let measure_backend ds name =
   let op = Op.create name ctx in
   ignore (Op.apply_adjoint op ds.Bench_data.samples);
   let st = Op.stats_of op in
+  (* The bench dataset is far beyond the exact NuDFT's O(M n^2) reach, so
+     the accuracy column is measured on Accuracy's small canonical
+     problem with the same backend (and the default plan geometry). *)
+  let rel_l2_err = Imaging.Accuracy.backend_rel_l2_err name in
   { backend = name;
     adjoint_s = st.Op.adjoint_s;
     gridding_s = st.Op.gridding_s;
     fft_s = st.Op.fft_s;
     deapod_s = st.Op.deapod_s;
-    cycles = st.Op.cycles }
+    cycles = st.Op.cycles;
+    rel_l2_err }
 
 let write_json ds rows =
   let oc = open_out json_path in
@@ -47,8 +53,9 @@ let write_json ds rows =
     (fun i r ->
       p "    { \"name\": %S, \"adjoint_s\": %.6f, \"gridding_s\": %.6f,\n"
         r.backend r.adjoint_s r.gridding_s;
-      p "      \"fft_s\": %.6f, \"deapod_s\": %.6f, \"cycles\": %d }%s\n"
-        r.fft_s r.deapod_s r.cycles
+      p "      \"fft_s\": %.6f, \"deapod_s\": %.6f, \"cycles\": %d,\n" r.fft_s
+        r.deapod_s r.cycles;
+      p "      \"rel_l2_err\": %.6e }%s\n" r.rel_l2_err
         (if i < List.length rows - 1 then "," else ""))
     rows;
   p "  ]\n";
@@ -66,16 +73,17 @@ let run () =
   in
   Printf.printf "\n=== Operator backends: one adjoint on %s ===\n"
     (Bench_data.label ds);
-  Printf.printf "  %-16s %10s %10s %8s %8s %12s\n" "backend" "adjoint ms"
-    "gridding" "fft" "deapod" "cycles";
+  Printf.printf "  %-16s %10s %10s %8s %8s %12s %11s\n" "backend" "adjoint ms"
+    "gridding" "fft" "deapod" "cycles" "rel_l2_err";
   let rows =
     List.map
       (fun name ->
         let r = measure_backend ds name in
-        Printf.printf "  %-16s %10.3f %10.3f %8.3f %8.3f %12s\n" r.backend
-          (1e3 *. r.adjoint_s) (1e3 *. r.gridding_s) (1e3 *. r.fft_s)
-          (1e3 *. r.deapod_s)
-          (if r.cycles > 0 then string_of_int r.cycles else "-");
+        Printf.printf "  %-16s %10.3f %10.3f %8.3f %8.3f %12s %11.2e\n"
+          r.backend (1e3 *. r.adjoint_s) (1e3 *. r.gridding_s)
+          (1e3 *. r.fft_s) (1e3 *. r.deapod_s)
+          (if r.cycles > 0 then string_of_int r.cycles else "-")
+          r.rel_l2_err;
         r)
       (Op.names ~dims:2 ())
   in

@@ -68,6 +68,17 @@ let samples_of_traj ~g ~seed traj =
   Nufft.Sample.of_omega_2d ~g ~omega_x:traj.Trajectory.Traj.omega_x
     ~omega_y:traj.Trajectory.Traj.omega_y ~values
 
+(* --kernel NAME -> Window.family, as a typed error. *)
+let family_of_flag = function
+  | None -> Ok None
+  | Some s -> (
+      match Numerics.Window.family_of_string s with
+      | Some f -> Ok (Some f)
+      | None ->
+          Error
+            (Printf.sprintf "unknown kernel %S (expected es or kaiser-bessel)"
+               s))
+
 (* Historical CLI spellings, mapped onto registry names. *)
 let canonical_backend name =
   match String.lowercase_ascii name with
@@ -162,14 +173,15 @@ let print_backend_stats op =
 (* ------------------------------------------------------------------ *)
 (* grid subcommand *)
 
-let run_grid n traj_kind m backend w l seed validate domains trace metrics
-    list =
+let run_grid n traj_kind m backend w l tol kernel seed validate domains trace
+    metrics list =
   if list then list_backends ()
   else
     to_ret @@ with_telemetry ~trace ~metrics
     @@ fun () ->
     register_backends ();
     let* pool = apply_domains domains in
+    let* family = family_of_flag kernel in
     let g = 2 * n in
     let* traj = make_trajectory traj_kind m n in
     let s = samples_of_traj ~g ~seed traj in
@@ -182,10 +194,20 @@ let run_grid n traj_kind m backend w l seed validate domains trace metrics
         coords = s;
         values = s.Nufft.Sample.values;
         density = None;
-        method_ = Svc.Adjoint }
+        method_ = Svc.Adjoint;
+        tol;
+        family }
     in
-    Printf.printf "adjoint NuFFT of %d %s samples onto %dx%d (w=%d, l=%d)\n" m
-      traj_kind g g w l;
+    (match tol with
+    | Some t ->
+        Printf.printf
+          "adjoint NuFFT of %d %s samples onto %dx%d (tol=%g, kernel=%s)\n" m
+          traj_kind g g t
+          (Numerics.Window.family_name
+             (Option.value family ~default:Numerics.Window.ES))
+    | None ->
+        Printf.printf "adjoint NuFFT of %d %s samples onto %dx%d (w=%d, l=%d)\n"
+          m traj_kind g g w l);
     (* The cold request pays the plan build + trajectory decomposition;
        the warm one replays the cached entry. *)
     let* cold = svc_error (Svc.submit svc req) in
@@ -195,7 +217,9 @@ let run_grid n traj_kind m backend w l seed validate domains trace metrics
       backend
       (1e3 *. cold.Svc.elapsed_s)
       (1e3 *. warm.Svc.elapsed_s);
-    let* op, _ = svc_error (Svc.operator svc ~backend ~n ~coords:s) in
+    let* op, _ =
+      svc_error (Svc.operator ?tol ?family svc ~backend ~n ~coords:s)
+    in
     print_backend_stats op;
     let* () =
       if not validate then Ok ()
@@ -213,13 +237,15 @@ let run_grid n traj_kind m backend w l seed validate domains trace metrics
 (* ------------------------------------------------------------------ *)
 (* recon subcommand *)
 
-let run_recon n spokes output backend domains cg trace metrics list =
+let run_recon n spokes output backend tol kernel domains cg trace metrics list
+    =
   if list then list_backends ()
   else
     to_ret @@ with_telemetry ~trace ~metrics
     @@ fun () ->
     register_backends ();
     let* pool = apply_domains domains in
+    let* family = family_of_flag kernel in
     (* The phantom is built before the service sees a request, so the
        image-size check must happen here to stay a typed error. *)
     let* () = if n < 2 then Error "recon: n must be >= 2" else Ok () in
@@ -237,7 +263,7 @@ let run_recon n spokes output backend domains cg trace metrics list =
     (* The acquisition needs the forward operator; taking it from the
        service's cache means the reconstruction request below is a warm
        hit on the same entry. *)
-    let* op, _ = svc_error (Svc.operator svc ~backend ~n ~coords) in
+    let* op, _ = svc_error (Svc.operator ?tol ?family svc ~backend ~n ~coords) in
     let samples = Imaging.Recon.acquire_op op phantom in
     let method_ = match cg with None -> Svc.Adjoint | Some i -> Svc.Cg i in
     let req =
@@ -246,7 +272,9 @@ let run_recon n spokes output backend domains cg trace metrics list =
         coords;
         values = samples.Nufft.Sample.values;
         density = Some density;
-        method_ }
+        method_;
+        tol;
+        family }
     in
     let* resp = svc_error (Svc.submit svc req) in
     let method_desc =
@@ -277,7 +305,8 @@ let run_recon n spokes output backend domains cg trace metrics list =
    coordinate arrays are equal but physically distinct — the cache's
    canonical-rebinding path), the rest use distinct spoke counts. With
    --domains > 1 the requests overlap across the pool. *)
-let run_batch n requests share backend cg seed domains trace metrics list =
+let run_batch n requests share backend tol kernel cg seed domains trace
+    metrics list =
   if list then list_backends ()
   else
     to_ret @@ with_telemetry ~trace ~metrics
@@ -289,6 +318,7 @@ let run_batch n requests share backend cg seed domains trace metrics list =
       else Ok ()
     in
     let* pool = apply_domains domains in
+    let* family = family_of_flag kernel in
     let svc = Svc.create ?pool () in
     let g = 2 * n in
     let backend = canonical_backend backend in
@@ -310,7 +340,14 @@ let run_batch n requests share backend cg seed domains trace metrics list =
               (0.2 *. (Random.State.float rng 2.0 -. 1.0))
               (0.2 *. (Random.State.float rng 2.0 -. 1.0)))
       in
-      { Svc.backend; n; coords; values; density = Some density; method_ }
+      { Svc.backend;
+        n;
+        coords;
+        values;
+        density = Some density;
+        method_;
+        tol;
+        family }
     in
     let reqs = List.init requests make_req in
     let t0 = Unix.gettimeofday () in
@@ -350,8 +387,39 @@ let run_batch n requests share backend cg seed domains trace metrics list =
 (* ------------------------------------------------------------------ *)
 (* accuracy subcommand *)
 
-let run_accuracy n m w sigma l seed =
-  if n > 48 then
+(* --contract: run the tolerance sweep of Imaging.Accuracy (both kernel
+   families unless --kernel narrows it, all trajectories, 2D+3D) and fail
+   with a non-zero exit when any cell breaches the 10x accuracy contract —
+   the CI accuracy-smoke gate. *)
+let run_contract tols kernel seed =
+  register_backends ();
+  match family_of_flag kernel with
+  | Error msg -> `Error (false, msg)
+  | Ok family ->
+      let families =
+        match family with
+        | Some f -> [ f ]
+        | None -> [ Numerics.Window.ES; Numerics.Window.KB ]
+      in
+      let tols =
+        match tols with [] -> Imaging.Accuracy.default_tols | ts -> ts
+      in
+      let rows = Imaging.Accuracy.sweep ~seed ~families ~tols () in
+      List.iter (fun r -> Format.printf "%a@." Imaging.Accuracy.pp_row r) rows;
+      let failed = Imaging.Accuracy.failures rows in
+      Printf.printf "accuracy contract: %d/%d cells within %gx of request\n"
+        (List.length rows - List.length failed)
+        (List.length rows) Imaging.Accuracy.contract_slack;
+      if failed = [] then `Ok ()
+      else
+        `Error
+          ( false,
+            Printf.sprintf "accuracy contract breached in %d cell(s)"
+              (List.length failed) )
+
+let run_accuracy n m w sigma l tols kernel contract seed =
+  if contract then run_contract tols kernel seed
+  else if n > 48 then
     `Error
       ( false,
         "accuracy: n must be <= 48 (the exact NuDFT reference is O(M n^2))" )
@@ -369,14 +437,23 @@ let run_accuracy n m w sigma l seed =
             (Random.State.float rng 2.0 -. 1.0))
     in
     let exact = Nufft.Nudft.adjoint_2d ~n ~omega_x:ox ~omega_y:oy ~values in
-    let plan = Nufft.Plan.make ~n ~w ~sigma ~l () in
+    match family_of_flag kernel with
+    | Error msg -> `Error (false, msg)
+    | Ok family ->
+    let plan =
+      match tols with
+      | t :: _ -> Nufft.Plan.make ~n ~tol:t ?family ~sigma ()
+      | [] -> Nufft.Plan.make ~n ?family ~w ~sigma ~l ()
+    in
+    let w = plan.Nufft.Plan.w and l = plan.Nufft.Plan.l in
     let g = plan.Nufft.Plan.g in
     let samples = Nufft.Sample.of_omega_2d ~g ~omega_x:ox ~omega_y:oy ~values in
     let fast = Nufft.Plan.adjoint_2d plan samples in
     Printf.printf
       "adjoint NuFFT vs exact NuDFT (n=%d, m=%d, w=%d, sigma=%g, L=%d, g=%d):\n"
       n m w sigma l g;
-    Printf.printf "  kaiser-bessel table:  NRMSD %.3e\n"
+    Printf.printf "  %-20s  NRMSD %.3e\n"
+      (Numerics.Window.name plan.Nufft.Plan.kernel ^ " table:")
       (Cvec.nrmsd ~reference:exact fast);
     let mm =
       Nufft.Minmax.adjoint_2d ~scaling:Nufft.Minmax.Kaiser_bessel_scaling ~n ~g
@@ -450,6 +527,27 @@ let l_arg =
     value & opt int 512
     & info [ "l" ] ~docv:"L" ~doc:"Table oversampling factor.")
 
+let tol_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "tol" ] ~docv:"TOL"
+        ~doc:
+          "Requested relative accuracy, e.g. $(b,1e-5): kernel, window \
+           width and table oversampling are derived from it (overriding \
+           $(b,-w)/$(b,-l)); the measured error vs the exact NuDFT stays \
+           within 10x the request.")
+
+let kernel_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "kernel" ] ~docv:"KIND"
+        ~doc:
+          "Interpolation kernel family: $(b,es) (exponential of \
+           semicircle) or $(b,kb) (Kaiser-Bessel). Default: ES with \
+           $(b,--tol), Kaiser-Bessel otherwise.")
+
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Value RNG seed.")
 
@@ -502,8 +600,8 @@ let grid_cmd =
     Term.(
       ret
         (const run_grid $ n_arg $ traj_arg $ m_arg $ backend_arg $ w_arg
-       $ l_arg $ seed_arg $ validate_arg $ domains_arg $ trace_arg
-       $ metrics_arg $ list_backends_arg))
+       $ l_arg $ tol_arg $ kernel_arg $ seed_arg $ validate_arg $ domains_arg
+       $ trace_arg $ metrics_arg $ list_backends_arg))
 
 let recon_cmd =
   let doc = "reconstruct the Shepp-Logan phantom from radial k-space" in
@@ -521,8 +619,9 @@ let recon_cmd =
   Cmd.v (Cmd.info "recon" ~doc)
     Term.(
       ret
-        (const run_recon $ n_arg $ spokes $ output $ backend_arg
-       $ domains_arg $ cg_arg $ trace_arg $ metrics_arg $ list_backends_arg))
+        (const run_recon $ n_arg $ spokes $ output $ backend_arg $ tol_arg
+       $ kernel_arg $ domains_arg $ cg_arg $ trace_arg $ metrics_arg
+       $ list_backends_arg))
 
 let batch_cmd =
   let doc =
@@ -545,9 +644,9 @@ let batch_cmd =
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
       ret
-        (const run_batch $ n_arg $ requests $ share $ backend_arg $ cg_arg
-       $ seed_arg $ domains_arg $ trace_arg $ metrics_arg
-       $ list_backends_arg))
+        (const run_batch $ n_arg $ requests $ share $ backend_arg $ tol_arg
+       $ kernel_arg $ cg_arg $ seed_arg $ domains_arg $ trace_arg
+       $ metrics_arg $ list_backends_arg))
 
 let info_cmd =
   let doc = "print hardware-model parameters" in
@@ -566,8 +665,31 @@ let accuracy_cmd =
       value & opt float 2.0
       & info [ "sigma" ] ~docv:"S" ~doc:"Oversampling factor.")
   in
+  let tols =
+    Arg.(
+      value & opt_all float []
+      & info [ "tol" ] ~docv:"TOL"
+          ~doc:
+            "Requested tolerance (repeatable). Without $(b,--contract): \
+             derive the plan geometry from the first value instead of \
+             $(b,-w)/$(b,-l). With $(b,--contract): the tolerances to \
+             sweep (default 1e-2 .. 1e-6).")
+  in
+  let contract =
+    Arg.(
+      value & flag
+      & info [ "contract" ]
+          ~doc:
+            "Run the measured accuracy-contract sweep (ES + Kaiser-Bessel \
+             unless $(b,--kernel) narrows it, radial/spiral/random, \
+             2D+3D) and exit non-zero if any cell exceeds 10x its \
+             requested tolerance.")
+  in
   Cmd.v (Cmd.info "accuracy" ~doc)
-    Term.(ret (const run_accuracy $ n $ m $ w_arg $ sigma $ l_arg $ seed_arg))
+    Term.(
+      ret
+        (const run_accuracy $ n $ m $ w_arg $ sigma $ l_arg $ tols
+       $ kernel_arg $ contract $ seed_arg))
 
 let main_cmd =
   let doc = "Slice-and-Dice / JIGSAW NuFFT acceleration reproduction" in

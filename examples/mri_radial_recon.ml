@@ -48,7 +48,9 @@ let () =
             coords;
             values = samples.Nufft.Sample.values;
             density = Some density;
-            method_ = Svc.Adjoint } ))
+            method_ = Svc.Adjoint;
+      tol = None;
+      family = None } ))
       levels
   in
   let results = Svc.submit_batch svc (List.map snd prepared) in

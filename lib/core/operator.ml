@@ -88,13 +88,16 @@ type ctx = {
   sigma : float;
   w : int;
   l : int;
+  tol : float option;
+  family : Numerics.Window.family option;
+  kernel : Numerics.Window.t;
   coords : Sample.t;
   pool : Runtime.Pool.t option;
 }
 
 type factory = ctx -> op
 
-let context ?(w = 6) ?(sigma = 2.0) ?(l = 512) ?pool ~n ~coords () =
+let context ?tol ?family ?kernel ?w ?(sigma = 2.0) ?l ?pool ~n ~coords () =
   if n < 2 then invalid_arg "Operator.context: n must be >= 2";
   if sigma <= 1.0 then invalid_arg "Operator.context: sigma must be > 1";
   let g = int_of_float (Float.round (sigma *. float_of_int n)) in
@@ -104,7 +107,13 @@ let context ?(w = 6) ?(sigma = 2.0) ?(l = 512) ?pool ~n ~coords () =
          "Operator.context: coords are on grid %d, but sigma * n rounds to \
           %d"
          coords.Sample.g g);
-  { n; sigma; w; l; coords; pool }
+  (* Same derivation as the plan the factory will build, so [c.w]/[c.l]
+     (which the hardware-model backends read directly) always equal the
+     CPU plan's geometry. *)
+  let tol, kernel, w, l =
+    Plan.resolve_geometry ?tol ?family ?kernel ?w ?l ~sigma ()
+  in
+  { n; sigma; w; l; tol; family; kernel; coords; pool }
 
 let ctx_dims c = Sample.dims c.coords
 let ctx_grid c = c.coords.Sample.g
@@ -223,10 +232,18 @@ let of_plan ?name ?(compile = true) (plan : Plan.plan) ~coords : op =
 
 let cpu_backend name engine_of : factory =
  fun c ->
+  let engine = engine_of ~g:(ctx_grid c) ~w:c.w in
   let plan =
-    Plan.make ~w:c.w ~sigma:c.sigma ~l:c.l
-      ~engine:(engine_of ~g:(ctx_grid c) ~w:c.w)
-      ?pool:c.pool ~n:c.n ()
+    match c.tol with
+    | Some t ->
+        (* Re-deriving from [tol] records the request in the plan; the
+           deterministic shared derivation guarantees the result matches
+           the context's (kernel, w, l). *)
+        Plan.make ~tol:t ?family:c.family ~sigma:c.sigma ~l:c.l ~engine
+          ?pool:c.pool ~n:c.n ()
+    | None ->
+        Plan.make ~kernel:c.kernel ~w:c.w ~sigma:c.sigma ~l:c.l ~engine
+          ?pool:c.pool ~n:c.n ()
   in
   of_plan ~name plan ~coords:c.coords
 

@@ -101,8 +101,13 @@ type op = (module NUFFT_OP)
 type ctx = {
   n : int;
   sigma : float;
-  w : int;
-  l : int;
+  w : int;  (** resolved window width (derived from [tol] when set) *)
+  l : int;  (** resolved table oversampling *)
+  tol : float option;  (** requested relative tolerance, if any *)
+  family : Numerics.Window.family option;
+  kernel : Numerics.Window.t;
+      (** resolved kernel — what every backend's weight tables must be
+          built from (hardware models included) *)
   coords : Sample.t;
   pool : Runtime.Pool.t option;
 }
@@ -110,6 +115,9 @@ type ctx = {
 type factory = ctx -> op
 
 val context :
+  ?tol:float ->
+  ?family:Numerics.Window.family ->
+  ?kernel:Numerics.Window.t ->
   ?w:int ->
   ?sigma:float ->
   ?l:int ->
@@ -118,8 +126,13 @@ val context :
   coords:Sample.t ->
   unit ->
   ctx
-(** Smart constructor with the plan defaults ([w = 6], [sigma = 2.0],
-    [l = 512]); checks [coords.g = round (sigma * n)]. *)
+(** Smart constructor sharing {!Plan.resolve_geometry} with {!Plan.make}:
+    same defaults ([sigma = 2.0], [w = Window.default_width ~sigma],
+    [l = 512], Kaiser-Bessel/Beatty kernel), same tolerance-driven path
+    ([tol] derives kernel + [w] + [l]; mutually exclusive with explicit
+    [kernel]/[w]), so [ctx.w]/[ctx.l]/[ctx.kernel] always equal the
+    geometry of the plan a CPU factory builds. Checks
+    [coords.g = round (sigma * n)]. *)
 
 val ctx_dims : ctx -> int
 val ctx_grid : ctx -> int

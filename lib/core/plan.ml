@@ -25,6 +25,7 @@ type plan = {
   g : int;
   w : int;
   l : int;
+  tol : float option;
   kernel : Numerics.Window.t;
   table : Wt.t;
   deapod : float array;
@@ -33,11 +34,45 @@ type plan = {
   mutable cache : cached option;
 }
 
-let make ?kernel ?(w = 6) ?(sigma = 2.0) ?(l = 512) ?(engine = Gridding.Serial)
+module W = Numerics.Window
+
+(* Geometry resolution shared with {!Operator.context} so an operator
+   context and the plan it builds always agree on (kernel, w, l). With
+   [tol], kernel + width follow the family's width<->accuracy law and the
+   LUT oversampling scales so table rounding stays below the request;
+   otherwise explicit knobs win, with [w] defaulting to the Beatty-derived
+   {!Numerics.Window.default_width} (= 6 at sigma = 2) rather than a
+   constant that silently loses accuracy as sigma drops. *)
+let resolve_geometry ?tol ?family ?kernel ?w ?l ~sigma () =
+  if sigma <= 1.0 then invalid_arg "Plan.make: sigma must be > 1";
+  match tol with
+  | Some t ->
+      if kernel <> None then
+        invalid_arg "Plan.make: tol and kernel are mutually exclusive";
+      if w <> None then invalid_arg "Plan.make: tol and w are mutually exclusive";
+      let kernel, w = W.for_tolerance ?family ~tol:t ~sigma () in
+      let l =
+        match l with Some l -> l | None -> W.lut_for_tolerance ~tol:t
+      in
+      (Some t, kernel, w, l)
+  | None ->
+      let w = match w with Some w -> w | None -> W.default_width ~sigma in
+      if w < 2 then invalid_arg "Plan.make: w must be >= 2";
+      let kernel =
+        match kernel with
+        | Some k -> k
+        | None -> (
+            match family with
+            | Some W.ES -> W.default_exp_semicircle ~width:w ~sigma
+            | Some W.KB | None -> W.default_kaiser_bessel ~width:w ~sigma)
+      in
+      (None, kernel, w, Option.value l ~default:512)
+
+let make ?tol ?family ?kernel ?w ?(sigma = 2.0) ?l ?(engine = Gridding.Serial)
     ?(table_precision = Wt.Double) ?pool ~n () =
   if n < 2 then invalid_arg "Plan.make: n must be >= 2";
   if sigma <= 1.0 then invalid_arg "Plan.make: sigma must be > 1";
-  if w < 1 then invalid_arg "Plan.make: w must be >= 1";
+  let tol, kernel, w, l = resolve_geometry ?tol ?family ?kernel ?w ?l ~sigma () in
   if l < 1 then invalid_arg "Plan.make: l must be >= 1";
   let g = int_of_float (Float.round (sigma *. float_of_int n)) in
   if w > g then invalid_arg "Plan.make: window wider than oversampled grid";
@@ -45,11 +80,6 @@ let make ?kernel ?(w = 6) ?(sigma = 2.0) ?(l = 512) ?(engine = Gridding.Serial)
   | Gridding.Slice_and_dice t | Gridding.Slice_parallel t ->
       Coord.check_tiling ~t ~g ~w
   | Gridding.Serial | Gridding.Output_parallel | Gridding.Binned _ -> ());
-  let kernel =
-    match kernel with
-    | Some k -> k
-    | None -> Numerics.Window.default_kaiser_bessel ~width:w ~sigma
-  in
   let sp = Telemetry.span_begin ~cat:"plan" "plan.make" in
   let sp_table = Telemetry.span_begin ~cat:"plan" "plan.table" in
   let table = Wt.make ~precision:table_precision ~kernel ~width:w ~l () in
@@ -58,7 +88,7 @@ let make ?kernel ?(w = 6) ?(sigma = 2.0) ?(l = 512) ?(engine = Gridding.Serial)
   let deapod = Apodization.factors ~kernel ~width:w ~n ~g in
   Telemetry.span_end sp_deapod;
   Telemetry.span_end sp;
-  { n; sigma; g; w; l; kernel; table; deapod; engine; pool; cache = None }
+  { n; sigma; g; w; l; tol; kernel; table; deapod; engine; pool; cache = None }
 
 (* The adjoint evaluates x_n = (1 / psi_hat(n/G)) * B[n mod G] where
    B = unnormalised inverse-convention DFT of the spread grid; see the

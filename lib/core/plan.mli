@@ -26,6 +26,9 @@ type plan = private {
   g : int;  (** oversampled grid size, [round (sigma * n)] *)
   w : int;  (** interpolation window width *)
   l : int;  (** table oversampling factor *)
+  tol : float option;
+      (** requested relative tolerance when the plan was built via [?tol];
+          [None] for explicit-knob plans *)
   kernel : Numerics.Window.t;
   table : Numerics.Weight_table.t;
   deapod : float array;  (** per-dimension apodization factors, length n *)
@@ -38,6 +41,8 @@ type plan = private {
 }
 
 val make :
+  ?tol:float ->
+  ?family:Numerics.Window.family ->
   ?kernel:Numerics.Window.t ->
   ?w:int ->
   ?sigma:float ->
@@ -49,11 +54,24 @@ val make :
   unit ->
   plan
 (** Create a plan for an [n^d] image. Defaults: Kaiser-Bessel window with
-    the Beatty beta, [w = 6], [sigma = 2.0], [l = 512], [engine = Serial].
-    Raises [Invalid_argument] for inconsistent geometry ([n < 2], [w > g],
-    [sigma <= 1], ...). A Slice-and-Dice engine's tile size is validated
-    here against {!Coord.check_tiling} ([w <= t], [t | g]) so an invalid
-    decomposition is rejected at plan time, not at first use.
+    the Beatty beta, [w = Window.default_width ~sigma] (6 at the default
+    [sigma = 2.0]), [l = 512], [engine = Serial].
+
+    [tol] switches the plan to tolerance-driven geometry: kernel + width
+    come from {!Numerics.Window.for_tolerance} (family ES unless
+    [~family:KB]) and the table oversampling from
+    {!Numerics.Window.lut_for_tolerance}, so the measured relative-L2
+    error of the transforms vs the exact NuDFT stays within 10x the
+    request (asserted by the accuracy sweep in [dune runtest]). [tol] is
+    mutually exclusive with explicit [kernel] or [w] — mixing them raises
+    [Invalid_argument]; an explicit [l] still wins over the derived one.
+    Without [tol], [family] merely selects which default kernel family is
+    built at the explicit/default width.
+
+    Raises [Invalid_argument] for inconsistent geometry ([n < 2], [w < 2],
+    [w > g], [sigma <= 1], ...). A Slice-and-Dice engine's tile size is
+    validated here against {!Coord.check_tiling} ([w <= t], [t | g]) so an
+    invalid decomposition is rejected at plan time, not at first use.
 
     With [pool], every adjoint/forward application of the plan reuses that
     domain pool: the row/column FFT passes are batched over it, the 3D
@@ -63,6 +81,20 @@ val make :
     reconstruction. Results are bit-identical to the pool-less plan except
     for the 3D gridding schedule (sliced rather than sample-outer, equal to
     within accumulation order). *)
+
+val resolve_geometry :
+  ?tol:float ->
+  ?family:Numerics.Window.family ->
+  ?kernel:Numerics.Window.t ->
+  ?w:int ->
+  ?l:int ->
+  sigma:float ->
+  unit ->
+  float option * Numerics.Window.t * int * int
+(** [(tol, kernel, w, l)] after applying {!make}'s derivation rules —
+    exported so {!Operator.context} resolves the identical geometry the
+    plan its factory builds will carry. Raises on the same invalid
+    combinations as {!make}. *)
 
 val adjoint_2d : ?stats:Gridding_stats.t -> plan -> Sample.t2 -> Numerics.Cvec.t
 (** Adjoint NuFFT of a 2D sample set (whose [g] must match the plan's) onto

@@ -49,10 +49,12 @@ let make flavour op_name (c : Op.ctx) : Op.op =
     | Slice -> Nufft.Gridding.Slice_and_dice tile
     | Binned -> Nufft.Gridding.Binned tile
   in
-  (* Single-precision weight LUT, mirroring the GPU's f32 table. *)
+  (* Single-precision weight LUT, mirroring the GPU's f32 table; the
+     context's resolved kernel so tolerance-driven (ES) contexts carry
+     through. *)
   let plan =
-    Nufft.Plan.make ~w:c.Op.w ~sigma:c.Op.sigma ~l:c.Op.l ~engine
-      ~table_precision:Wt.Single ?pool:c.Op.pool ~n:c.Op.n ()
+    Nufft.Plan.make ~kernel:c.Op.kernel ~w:c.Op.w ~sigma:c.Op.sigma ~l:c.Op.l
+      ~engine ~table_precision:Wt.Single ?pool:c.Op.pool ~n:c.Op.n ()
   in
   let coords = c.Op.coords in
   let st = Op.create_stats () in

@@ -1,0 +1,170 @@
+module W = Numerics.Window
+module Cvec = Numerics.Cvec
+module C = Numerics.Complexd
+module Plan = Nufft.Plan
+module Sample = Nufft.Sample
+module Nudft = Nufft.Nudft
+module Op = Nufft.Operator
+
+type traj = Radial | Spiral | Random
+
+let traj_name = function
+  | Radial -> "radial"
+  | Spiral -> "spiral"
+  | Random -> "random"
+
+let traj_of_string s =
+  match String.lowercase_ascii s with
+  | "radial" -> Some Radial
+  | "spiral" -> Some Spiral
+  | "random" -> Some Random
+  | _ -> None
+
+let all_trajs = [ Radial; Spiral; Random ]
+let default_tols = [ 1e-2; 1e-3; 1e-4; 1e-5; 1e-6 ]
+
+type row = {
+  family : W.family;
+  tol : float;
+  dims : int;
+  traj : traj;
+  width : int;
+  l : int;
+  adjoint_err : float;
+  forward_err : float;
+}
+
+let contract_slack = 10.0
+let worst r = Float.max r.adjoint_err r.forward_err
+
+let row_ok ?(slack = contract_slack) r = worst r <= slack *. r.tol
+
+let failures ?slack rows = List.filter (fun r -> not (row_ok ?slack r)) rows
+
+(* Problem sizes: the NuDFT reference is O(M n^dims), so the sweep runs on
+   the largest problems where exactness is still cheap. The measured error
+   is dominated by the kernel/LUT approximation, not by n, well before
+   these sizes. *)
+let default_n = function 2 -> 18 | _ -> 10
+let default_m = function 2 -> 384 | _ -> 320
+
+(* 3D lifts of the 2D trajectories: stack-of-stars / stack-of-spirals
+   (uniform kz plateaus, the standard 3D extension of both acquisitions),
+   i.i.d. uniform for Random. *)
+let z_levels = 5
+
+let omega_of ~seed ~dims ~m traj =
+  let two_d =
+    match traj with
+    | Radial ->
+        (* spokes * readout = m; keep readout ~1.5x spokes. *)
+        let spokes = max 1 (int_of_float (sqrt (float_of_int m /. 1.5))) in
+        let readout = max 1 (m / spokes) in
+        Trajectory.Radial.make ~spokes ~readout ()
+    | Spiral -> Trajectory.Spiral.make ~samples_per_interleave:m ()
+    | Random -> Trajectory.Random_traj.make ~seed ~samples:m ()
+  in
+  let ox = two_d.Trajectory.Traj.omega_x
+  and oy = two_d.Trajectory.Traj.omega_y in
+  let m = Array.length ox in
+  if dims = 2 then (ox, oy, [||])
+  else
+    let oz =
+      match traj with
+      | Random ->
+          let rng = Random.State.make [| seed; 0x5a |] in
+          Array.init m (fun _ -> Random.State.float rng (2.0 *. Float.pi) -. Float.pi)
+      | Radial | Spiral ->
+          Array.init m (fun j ->
+              let k = j mod z_levels in
+              -.Float.pi
+              +. (2.0 *. Float.pi *. (float_of_int k +. 0.5)
+                  /. float_of_int z_levels))
+    in
+    (ox, oy, oz)
+
+let random_cvec rng len =
+  Cvec.init len (fun _ ->
+      C.make
+        (Random.State.float rng 2.0 -. 1.0)
+        (Random.State.float rng 2.0 -. 1.0))
+
+let measure ?(seed = 7) ?n ?m ~family ~tol ~dims ~traj () =
+  if dims <> 2 && dims <> 3 then
+    invalid_arg "Accuracy.measure: dims must be 2 or 3";
+  let n = match n with Some n -> n | None -> default_n dims in
+  let m = match m with Some m -> m | None -> default_m dims in
+  let plan = Plan.make ~tol ~family ~n () in
+  let g = plan.Plan.g in
+  let ox, oy, oz = omega_of ~seed ~dims ~m traj in
+  let m = Array.length ox in
+  let rng = Random.State.make [| seed; dims; Hashtbl.hash (traj_name traj) |] in
+  let values = random_cvec rng m in
+  let samples =
+    if dims = 2 then Sample.of_omega_2d ~g ~omega_x:ox ~omega_y:oy ~values
+    else Sample.of_omega_3d ~g ~omega_x:ox ~omega_y:oy ~omega_z:oz ~values
+  in
+  let adjoint_err =
+    let fast = Plan.adjoint plan samples in
+    let exact =
+      if dims = 2 then Nudft.adjoint_2d ~n ~omega_x:ox ~omega_y:oy ~values
+      else Nudft.adjoint_3d ~n ~omega_x:ox ~omega_y:oy ~omega_z:oz ~values
+    in
+    Cvec.nrmsd ~reference:exact fast
+  in
+  let forward_err =
+    let len = if dims = 2 then n * n else n * n * n in
+    let image = random_cvec rng len in
+    let fast = Plan.forward plan ~coords:samples image in
+    let exact =
+      if dims = 2 then Nudft.forward_2d ~n ~omega_x:ox ~omega_y:oy ~image
+      else Nudft.forward_3d ~n ~omega_x:ox ~omega_y:oy ~omega_z:oz ~image
+    in
+    Cvec.nrmsd ~reference:exact fast
+  in
+  { family;
+    tol;
+    dims;
+    traj;
+    width = plan.Plan.w;
+    l = plan.Plan.l;
+    adjoint_err;
+    forward_err }
+
+let sweep ?(seed = 7) ?(families = [ W.ES; W.KB ]) ?(tols = default_tols)
+    ?(dims = [ 2; 3 ]) ?(trajs = all_trajs) () =
+  List.concat_map
+    (fun family ->
+      List.concat_map
+        (fun tol ->
+          List.concat_map
+            (fun d ->
+              List.map
+                (fun traj -> measure ~seed ~family ~tol ~dims:d ~traj ())
+                trajs)
+            dims)
+        tols)
+    families
+
+let pp_row ppf r =
+  Format.fprintf ppf "%-13s tol %.0e %dD %-6s w=%-2d l=%-6d adj %.2e fwd %.2e%s"
+    (W.family_name r.family) r.tol r.dims (traj_name r.traj) r.width r.l
+    r.adjoint_err r.forward_err
+    (if row_ok r then "" else "  CONTRACT BREACH")
+
+(* Per-backend error on a small canonical problem (the bench datasets are
+   far beyond NuDFT reach): n = 16, m = 256 uniform-random 2D samples.
+   Hardware-model backends (fixed-point / f32 tables) legitimately sit
+   orders of magnitude above the double-precision CPU engines — this is a
+   reported column, not a contract. *)
+let backend_rel_l2_err ?(seed = 11) ?tol name =
+  let n = 16 and m = 256 in
+  let t = Trajectory.Random_traj.make ~seed ~samples:m () in
+  let ox = t.Trajectory.Traj.omega_x and oy = t.Trajectory.Traj.omega_y in
+  let rng = Random.State.make [| seed; 0x6b |] in
+  let values = random_cvec rng m in
+  let coords = Sample.of_omega_2d ~g:(2 * n) ~omega_x:ox ~omega_y:oy ~values in
+  let op = Op.create name (Op.context ?tol ~n ~coords ()) in
+  let fast = Op.apply_adjoint op coords in
+  let exact = Nudft.adjoint_2d ~n ~omega_x:ox ~omega_y:oy ~values in
+  Cvec.nrmsd ~reference:exact fast

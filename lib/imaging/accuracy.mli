@@ -1,0 +1,78 @@
+(** Measured accuracy of the tolerance-driven NuFFT vs the exact NuDFT.
+
+    The [?tol] plan path ({!Nufft.Plan.make}) promises geometry whose
+    relative-L2 error against {!Nufft.Nudft} stays within
+    {!contract_slack} (10x) of the request. This module {e measures} that
+    promise: one {!row} per (kernel family, tolerance, dimensionality,
+    trajectory) cell, on problems small enough for the O(M n^dims)
+    reference. [test_accuracy.ml] asserts the full sweep in
+    [dune runtest]; the CLI [accuracy --contract] subcommand runs it as a
+    CI smoke gate; the operators bench reports {!backend_rel_l2_err} per
+    backend. *)
+
+type traj = Radial | Spiral | Random
+
+val traj_name : traj -> string
+val traj_of_string : string -> traj option
+
+val all_trajs : traj list
+(** [[Radial; Spiral; Random]] — in 3D, radial/spiral are lifted to
+    stack-of-stars / stack-of-spirals (uniform kz plateaus). *)
+
+val default_tols : float list
+(** [1e-2 .. 1e-6], the acceptance-criteria sweep. *)
+
+(** One measured cell: the derived geometry and the observed adjoint +
+    forward relative-L2 errors. *)
+type row = {
+  family : Numerics.Window.family;
+  tol : float;  (** requested *)
+  dims : int;
+  traj : traj;
+  width : int;  (** derived window width *)
+  l : int;  (** derived table oversampling *)
+  adjoint_err : float;
+  forward_err : float;
+}
+
+val contract_slack : float
+(** 10.0 — measured error must stay within [slack * tol]. *)
+
+val worst : row -> float
+(** max of adjoint and forward error. *)
+
+val row_ok : ?slack:float -> row -> bool
+val failures : ?slack:float -> row list -> row list
+
+val measure :
+  ?seed:int ->
+  ?n:int ->
+  ?m:int ->
+  family:Numerics.Window.family ->
+  tol:float ->
+  dims:int ->
+  traj:traj ->
+  unit ->
+  row
+(** Build a [?tol] plan, apply adjoint + forward on a seeded random
+    problem ([n = 18, m = 384] in 2D; [n = 10, m = 320] in 3D by
+    default), and compare against the exact NuDFT. *)
+
+val sweep :
+  ?seed:int ->
+  ?families:Numerics.Window.family list ->
+  ?tols:float list ->
+  ?dims:int list ->
+  ?trajs:traj list ->
+  unit ->
+  row list
+(** The full grid of {!measure} calls (defaults: both families, all five
+    tolerances, 2D+3D, all trajectories — 60 cells). *)
+
+val pp_row : Format.formatter -> row -> unit
+
+val backend_rel_l2_err : ?seed:int -> ?tol:float -> string -> float
+(** Adjoint relative-L2 error of the named registry backend on a small
+    canonical 2D problem (n = 16, m = 256 random samples), optionally
+    through a tolerance-driven context. Raises like {!Nufft.Operator.create}
+    for unknown names. *)

@@ -40,9 +40,10 @@ let setup (c : Op.ctx) =
   let g = Op.ctx_grid c in
   let l = hardware_l c.Op.l in
   let cfg = Config.make ~n:g ~w:c.Op.w ~l () in
-  let kernel =
-    Numerics.Window.default_kaiser_bessel ~width:c.Op.w ~sigma:c.Op.sigma
-  in
+  (* The context's resolved kernel (Kaiser-Bessel by default, ES for
+     tolerance-driven plans) — both engines' tables and the companion
+     double plan must agree on it. *)
+  let kernel = c.Op.kernel in
   let table = Wt.make ~precision:Wt.Fixed16 ~kernel ~width:c.Op.w ~l () in
   let plan =
     Nufft.Plan.make ~kernel ~w:c.Op.w ~sigma:c.Op.sigma ~l ?pool:c.Op.pool

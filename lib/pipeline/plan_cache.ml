@@ -20,7 +20,10 @@ type stats = {
 
 (* Geometry part of the key; the trajectory part is [fp] plus a structural
    coordinate comparison on fingerprint match (collisions on distinct
-   coordinates must never alias). *)
+   coordinates must never alias). The resolved kernel and the requested
+   tolerance are part of the geometry: tenants asking for tol = 1e-3 and
+   tol = 1e-6 (or ES vs Kaiser-Bessel at equal width) must never share a
+   plan. *)
 type key = {
   backend : string;
   n : int;
@@ -28,6 +31,8 @@ type key = {
   w : int;
   l : int;
   g : int;
+  tol : float option;
+  kernel : Numerics.Window.t;
   fp : int;
 }
 
@@ -111,6 +116,8 @@ let key_of t ~backend (ctx : Op.ctx) =
     w = ctx.Op.w;
     l = ctx.Op.l;
     g = Op.ctx_grid ctx;
+    tol = ctx.Op.tol;
+    kernel = ctx.Op.kernel;
     fp = t.fingerprint ctx.Op.coords }
 
 (* Structural coordinate equality guards against fingerprint collisions:
@@ -133,6 +140,8 @@ let geometry_matches ~backend (ctx : Op.ctx) e =
   e.key.backend = backend && e.key.n = ctx.Op.n
   && e.key.sigma = ctx.Op.sigma && e.key.w = ctx.Op.w && e.key.l = ctx.Op.l
   && e.key.g = Op.ctx_grid ctx
+  && e.key.tol = ctx.Op.tol
+  && e.key.kernel = ctx.Op.kernel
 
 let find_physical t ~backend (ctx : Op.ctx) =
   List.find_opt

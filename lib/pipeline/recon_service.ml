@@ -20,6 +20,8 @@ type request = {
   values : Cvec.t;
   density : float array option;
   method_ : method_;
+  tol : float option;
+  family : Numerics.Window.family option;
 }
 
 type response = { image : Cvec.t; iterations : int; elapsed_s : float }
@@ -88,15 +90,24 @@ let validate req =
    inside the service pool's [parallel_for] during batch execution, and a
    nested submission to the same pool deadlocks. The pool parallelises
    across requests instead. *)
-let op_of t ~backend ~n ~coords =
-  match Op.context ~w:t.w ~sigma:t.sigma ~l:t.l ~n ~coords () with
+let op_of ?tol ?family t ~backend ~n ~coords =
+  match
+    (* A per-request tolerance overrides the service geometry entirely —
+       kernel, width and table oversampling are all derived from it, so a
+       tenant at 1e-6 never rides a 1e-3 tenant's plan (distinct cache
+       keys by construction). *)
+    match tol with
+    | Some tol -> Op.context ~tol ?family ~sigma:t.sigma ~n ~coords ()
+    | None -> Op.context ?family ~w:t.w ~sigma:t.sigma ~l:t.l ~n ~coords ()
+  with
   | ctx -> (
       match Plan_cache.operator t.cache ~backend ~ctx with
       | pair -> Ok pair
       | exception Invalid_argument msg -> Error (Invalid_request msg))
   | exception Invalid_argument msg -> Error (Invalid_request msg)
 
-let operator t ~backend ~n ~coords = op_of t ~backend ~n ~coords
+let operator ?tol ?family t ~backend ~n ~coords =
+  op_of ?tol ?family t ~backend ~n ~coords
 
 (* ------------------------------------------------------------------ *)
 (* Fast direct path: for operators that expose their CPU plan, the whole
@@ -203,7 +214,10 @@ let run_one ?fft_pool t req =
     match validate req with
     | Error e -> Error e
     | Ok () -> (
-        match op_of t ~backend:req.backend ~n:req.n ~coords:req.coords with
+        match
+          op_of ?tol:req.tol ?family:req.family t ~backend:req.backend
+            ~n:req.n ~coords:req.coords
+        with
         | Error e -> Error e
         | Ok pair -> (
             match execute ?fft_pool t req pair with

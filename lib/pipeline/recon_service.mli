@@ -40,6 +40,14 @@ type request = {
   values : Numerics.Cvec.t;  (** k-space data, one value per sample *)
   density : float array option;  (** optional density-compensation weights *)
   method_ : method_;
+  tol : float option;
+      (** requested relative accuracy; overrides the service's [w]/[l]
+          geometry with tolerance-derived kernel + width + table (see
+          {!Nufft.Plan.make}). Requests at different tolerances never
+          share a cached plan. *)
+  family : Numerics.Window.family option;
+      (** kernel family for [tol]-driven requests (default ES); without
+          [tol], selects the default kernel family at the service width *)
 }
 
 type response = {
@@ -76,16 +84,19 @@ val cache : t -> Plan_cache.t
 val workspace : t -> Workspace.t
 
 val operator :
+  ?tol:float ->
+  ?family:Numerics.Window.family ->
   t ->
   backend:string ->
   n:int ->
   coords:Nufft.Sample.t ->
   (Nufft.Operator.op * Nufft.Sample.t, error) result
 (** The cached operator (and canonical coordinates) this service would
-    use for requests with this backend, size and trajectory — built with
-    the service's geometry and the same cache key as {!submit}, so a
-    caller that needs the raw operator (forward acquisition, backend
-    stats) shares the entry with subsequent requests. *)
+    use for requests with this backend, size, trajectory and tolerance —
+    built with the service's geometry (or the [tol]-derived one) and the
+    same cache key as {!submit}, so a caller that needs the raw operator
+    (forward acquisition, backend stats) shares the entry with subsequent
+    requests. *)
 
 val submit : t -> request -> (response, error) result
 (** Execute one request synchronously. Warm-cache requests on a

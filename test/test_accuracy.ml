@@ -1,0 +1,160 @@
+(* The acceptance sweep for the tolerance-driven plan path: for both
+   kernel families (ES and Kaiser-Bessel), both dimensionalities, and
+   every trajectory shape, every requested tolerance in 1e-2 .. 1e-6
+   must yield a measured relative-L2 error against the exact NuDFT
+   within the 10x contract. The sweep is 60 NuDFT-referenced cells, so
+   it is computed once and shared by the assertions below. *)
+
+module Acc = Imaging.Accuracy
+module Window = Numerics.Window
+
+let rows = lazy (Acc.sweep ~seed:7 ())
+
+let by (p : Acc.row -> bool) = List.filter p (Lazy.force rows)
+
+let test_sweep_holds_contract () =
+  let rows = Lazy.force rows in
+  Alcotest.(check int) "full grid: 2 families x 5 tols x 2 dims x 3 trajs"
+    60 (List.length rows);
+  match Acc.failures rows with
+  | [] -> ()
+  | bad ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun r -> Buffer.add_string buf (Format.asprintf "%a@." Acc.pp_row r))
+        bad;
+      Alcotest.failf "%d/60 cells breach the %gx contract:\n%s"
+        (List.length bad) Acc.contract_slack (Buffer.contents buf)
+
+let test_every_cell_present () =
+  (* No silent truncation: each (family, tol, dims, traj) combination
+     appears exactly once. *)
+  List.iter
+    (fun family ->
+      List.iter
+        (fun tol ->
+          List.iter
+            (fun dims ->
+              List.iter
+                (fun traj ->
+                  let n =
+                    List.length
+                      (by (fun r ->
+                           r.Acc.family = family
+                           && r.Acc.tol = tol && r.Acc.dims = dims
+                           && r.Acc.traj = traj))
+                  in
+                  if n <> 1 then
+                    Alcotest.failf "%s tol %.0e %dD %s: %d rows"
+                      (Window.family_name family)
+                      tol dims (Acc.traj_name traj) n)
+                Acc.all_trajs)
+            [ 2; 3 ])
+        Acc.default_tols)
+    [ Window.ES; Window.KB ]
+
+let test_accuracy_improves_with_tol () =
+  (* Tightening the request by four decades must actually buy accuracy:
+     for every (family, dims, traj) column, the measured error at 1e-6
+     beats the one at 1e-2. *)
+  List.iter
+    (fun family ->
+      List.iter
+        (fun dims ->
+          List.iter
+            (fun traj ->
+              let cell tol =
+                match
+                  by (fun r ->
+                      r.Acc.family = family && r.Acc.tol = tol
+                      && r.Acc.dims = dims && r.Acc.traj = traj)
+                with
+                | [ r ] -> Acc.worst r
+                | _ -> Alcotest.fail "missing sweep cell"
+              in
+              let loose = cell 1e-2 and tight = cell 1e-6 in
+              if not (tight < loose) then
+                Alcotest.failf "%s %dD %s: err(1e-6)=%.3e >= err(1e-2)=%.3e"
+                  (Window.family_name family)
+                  dims (Acc.traj_name traj) tight loose)
+            Acc.all_trajs)
+        [ 2; 3 ])
+    [ Window.ES; Window.KB ]
+
+let test_derived_geometry_monotone () =
+  (* Tighter requests never narrow the window or coarsen the table. *)
+  List.iter
+    (fun family ->
+      let cells =
+        by (fun r ->
+            r.Acc.family = family && r.Acc.dims = 2 && r.Acc.traj = Acc.Radial)
+      in
+      let sorted =
+        List.sort (fun a b -> compare b.Acc.tol a.Acc.tol) cells
+      in
+      ignore
+        (List.fold_left
+           (fun (pw, pl) r ->
+             if r.Acc.width < pw || r.Acc.l < pl then
+               Alcotest.failf "%s tol %.0e: w=%d l=%d shrank below (%d, %d)"
+                 (Window.family_name family)
+                 r.Acc.tol r.Acc.width r.Acc.l pw pl;
+             (r.Acc.width, r.Acc.l))
+           (0, 0) sorted))
+    [ Window.ES; Window.KB ]
+
+let test_traj_names_roundtrip () =
+  List.iter
+    (fun t ->
+      match Acc.traj_of_string (Acc.traj_name t) with
+      | Some t' when t' = t -> ()
+      | _ -> Alcotest.failf "%s does not roundtrip" (Acc.traj_name t))
+    Acc.all_trajs;
+  Alcotest.(check bool) "unknown name rejected" true
+    (Acc.traj_of_string "cartesian" = None)
+
+let test_row_ok_slack () =
+  match Lazy.force rows with
+  | r :: _ ->
+      Alcotest.(check bool) "zero slack always fails" false
+        (Acc.row_ok ~slack:0.0 r);
+      Alcotest.(check bool) "contract slack passes" true (Acc.row_ok r)
+  | [] -> Alcotest.fail "empty sweep"
+
+let test_backend_rel_l2_err () =
+  Jigsaw.Operator_backend.register ();
+  Gpusim.Operator_backend.register ();
+  (* Tolerance-driven context: the bench accuracy column must honour the
+     contract for a plan-backed backend. *)
+  let e = Acc.backend_rel_l2_err ~tol:1e-4 "serial" in
+  Alcotest.(check bool) (Printf.sprintf "serial @1e-4: %.2e" e) true (e <= 1e-3);
+  (* Default geometry (w = 6, l = 512): the documented LUT floor. *)
+  let e_dflt = Acc.backend_rel_l2_err "serial" in
+  Alcotest.(check bool)
+    (Printf.sprintf "serial default: %.2e" e_dflt)
+    true
+    (e_dflt < 5e-3);
+  (* The fixed-point hardware model is less accurate but bounded. *)
+  let e_hw = Acc.backend_rel_l2_err "jigsaw-2d" in
+  Alcotest.(check bool)
+    (Printf.sprintf "jigsaw-2d: %.2e" e_hw)
+    true
+    (e_hw > e_dflt && e_hw < 5e-2)
+
+let () =
+  Alcotest.run "accuracy"
+    [ ("sweep",
+       [ Alcotest.test_case "10x contract holds on the full grid" `Slow
+           test_sweep_holds_contract;
+         Alcotest.test_case "every cell present exactly once" `Slow
+           test_every_cell_present;
+         Alcotest.test_case "tighter tol buys accuracy" `Slow
+           test_accuracy_improves_with_tol;
+         Alcotest.test_case "derived geometry monotone in tol" `Slow
+           test_derived_geometry_monotone ]);
+      ("api",
+       [ Alcotest.test_case "trajectory names roundtrip" `Quick
+           test_traj_names_roundtrip;
+         Alcotest.test_case "row_ok slack" `Slow test_row_ok_slack;
+         Alcotest.test_case "per-backend rel_l2_err" `Quick
+           test_backend_rel_l2_err ]) ]

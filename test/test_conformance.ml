@@ -62,7 +62,22 @@ let rel_err a b =
 
 let geometry = function 2 -> (12, 72) | _ -> (8, 48)
 
-let mk_op name ~n coords = Op.create name (Op.context ~n ~coords ())
+(* Plan-geometry modes the whole suite runs under: the default explicit
+   geometry (Kaiser-Bessel, w = 6, l = 512) and a tolerance-driven ES
+   plan (tol = 1e-4 derives w = 6, l = 8192 — the same width, so the
+   fixed-point tolerance derivation applies unchanged). Every registered
+   backend must satisfy the identities under both. *)
+type mode = Default | Es_tol
+
+let mode_name = function Default -> "" | Es_tol -> " [es tol=1e-4]"
+let all_modes = [ Default; Es_tol ]
+
+let mk_op mode name ~n coords =
+  match mode with
+  | Default -> Op.create name (Op.context ~n ~coords ())
+  | Es_tol ->
+      Op.create name
+        (Op.context ~tol:1e-4 ~family:Numerics.Window.ES ~n ~coords ())
 
 let lincomb a x b y =
   let len = Cvec.length x in
@@ -75,11 +90,11 @@ let lincomb a x b y =
    to rounding; the adjoint tolerance widens to the quantization bound
    for the fixed-point engines. *)
 
-let prop_linearity name dims =
+let prop_linearity mode name dims =
   let n, m = geometry dims in
   let g = 2 * n in
   QCheck.Test.make
-    ~name:(Printf.sprintf "linearity: %s %dD" name dims)
+    ~name:(Printf.sprintf "linearity: %s %dD%s" name dims (mode_name mode))
     ~count:5
     QCheck.(
       triple (int_range 0 100_000)
@@ -87,7 +102,7 @@ let prop_linearity name dims =
         (float_range (-1.0) 1.0))
     (fun (seed, a, b) ->
       let coords = Sample.random ~seed ~dims ~g m in
-      let op = mk_op name ~n coords in
+      let op = mk_op mode name ~n coords in
       let len = Op.image_length op in
       (* forward *)
       let x = random_cvec ~seed:(seed + 1) len
@@ -115,16 +130,16 @@ let prop_linearity name dims =
 (* ------------------------------------------------------------------ *)
 (* Adjoint dot-test. *)
 
-let prop_adjointness name dims =
+let prop_adjointness mode name dims =
   let n, m = geometry dims in
   let g = 2 * n in
   QCheck.Test.make
-    ~name:(Printf.sprintf "adjointness: %s %dD" name dims)
+    ~name:(Printf.sprintf "adjointness: %s %dD%s" name dims (mode_name mode))
     ~count:5
     QCheck.(int_range 0 100_000)
     (fun seed ->
       let coords = Sample.random ~seed ~dims ~g m in
-      let op = mk_op name ~n coords in
+      let op = mk_op mode name ~n coords in
       let x = random_cvec ~seed:(seed + 5) (Op.image_length op) in
       let y = Sample.with_values coords (random_cvec ~seed:(seed + 6) m) in
       let ax = Op.apply_forward op x in
@@ -170,18 +185,19 @@ let ramp_image ~dims ~n ~g ~delta x =
       let theta = -2.0 *. Float.pi *. delta *. cx /. float_of_int g in
       C.mul (Cvec.get x idx) (C.exp_i theta))
 
-let prop_phase_ramp name dims =
+let prop_phase_ramp mode name dims =
   let n, m = geometry dims in
   let g = 2 * n in
   let delta = 0.5 in
   QCheck.Test.make
-    ~name:(Printf.sprintf "phase-ramp shift: %s %dD" name dims)
+    ~name:(Printf.sprintf "phase-ramp shift: %s %dD%s" name dims
+             (mode_name mode))
     ~count:5
     QCheck.(int_range 0 100_000)
     (fun seed ->
       let coords = Sample.random ~seed ~dims ~g m in
-      let op = mk_op name ~n coords in
-      let op_shifted = mk_op name ~n (shift_coords ~g ~delta coords) in
+      let op = mk_op mode name ~n coords in
+      let op_shifted = mk_op mode name ~n (shift_coords ~g ~delta coords) in
       let x = random_cvec ~seed:(seed + 7) (Op.image_length op) in
       let lhs = (Op.apply_forward op_shifted x).Sample.values in
       let rhs =
@@ -197,14 +213,17 @@ let prop_phase_ramp name dims =
 
 let all_props =
   List.concat_map
-    (fun dims ->
+    (fun mode ->
       List.concat_map
-        (fun name ->
-          [ prop_linearity name dims;
-            prop_adjointness name dims;
-            prop_phase_ramp name dims ])
-        (Op.names ~dims ()))
-    [ 2; 3 ]
+        (fun dims ->
+          List.concat_map
+            (fun name ->
+              [ prop_linearity mode name dims;
+                prop_adjointness mode name dims;
+                prop_phase_ramp mode name dims ])
+            (Op.names ~dims ()))
+        [ 2; 3 ])
+    all_modes
 
 let () =
   Alcotest.run "conformance"

@@ -652,6 +652,142 @@ let test_plan_validation () =
       let s = Sample.random_2d ~g:16 10 in
       ignore (Nufft.Plan.adjoint_2d plan s))
 
+(* ------------------------------------------------------------------ *)
+(* Tolerance-driven plans *)
+
+let test_plan_tol_geometry () =
+  (* tol derives kernel family, width and table oversampling: the width
+     law w = ceil(ln(1/tol) / (pi sqrt(1 - 1/sigma))) + 1 and the LUT law
+     l = next_pow2(0.5 / tol), both clamped (see DESIGN.md section 14). *)
+  let p = Nufft.Plan.make ~n:16 ~tol:1e-5 () in
+  Alcotest.(check int) "w at 1e-5" 7 p.Nufft.Plan.w;
+  Alcotest.(check int) "l at 1e-5" 65536 p.Nufft.Plan.l;
+  (match p.Nufft.Plan.tol with
+  | Some t -> check_close "tol recorded" 1e-5 t
+  | None -> Alcotest.fail "plan did not record the requested tol");
+  (match p.Nufft.Plan.kernel with
+  | Window.Exp_semicircle _ -> ()
+  | k -> Alcotest.failf "expected ES kernel, got %s" (Window.name k));
+  let p2 = Nufft.Plan.make ~n:16 ~tol:1e-2 () in
+  Alcotest.(check int) "w at 1e-2" 4 p2.Nufft.Plan.w;
+  Alcotest.(check int) "l at 1e-2" 512 p2.Nufft.Plan.l;
+  (* Both families share the width law (calibrated at the Beatty beta). *)
+  let kb, w_kb = Window.for_tolerance ~family:Window.KB ~tol:1e-4 ~sigma:2.0 () in
+  Alcotest.(check int) "KB width at 1e-4" 6 w_kb;
+  (match kb with
+  | Window.Kaiser_bessel _ -> ()
+  | k -> Alcotest.failf "expected KB kernel, got %s" (Window.name k));
+  let p3 = Nufft.Plan.make ~n:16 ~tol:1e-4 ~family:Window.KB () in
+  Alcotest.(check int) "plan KB width" 6 p3.Nufft.Plan.w;
+  Alcotest.(check int) "plan KB l" 8192 p3.Nufft.Plan.l
+
+let test_plan_tol_validation () =
+  Alcotest.check_raises "tol + w"
+    (Invalid_argument "Plan.make: tol and w are mutually exclusive")
+    (fun () -> ignore (Nufft.Plan.make ~n:16 ~tol:1e-4 ~w:6 ()));
+  Alcotest.check_raises "tol + kernel"
+    (Invalid_argument "Plan.make: tol and kernel are mutually exclusive")
+    (fun () ->
+      ignore
+        (Nufft.Plan.make ~n:16 ~tol:1e-4
+           ~kernel:(Window.default_kaiser_bessel ~width:6 ~sigma:2.0)
+           ()));
+  Alcotest.check_raises "w < 2"
+    (Invalid_argument "Plan.make: w must be >= 2")
+    (fun () -> ignore (Nufft.Plan.make ~n:16 ~w:1 ()))
+
+let test_plan_default_width_tracks_sigma () =
+  (* The default width holds the Beatty shape argument at its (w = 6,
+     sigma = 2) reference; narrower oversampling must widen the window
+     rather than silently degrade accuracy. *)
+  Alcotest.(check int) "sigma = 2" 6 (Window.default_width ~sigma:2.0);
+  Alcotest.(check int) "sigma = 1.5" 7 (Window.default_width ~sigma:1.5);
+  Alcotest.(check int) "sigma = 1.25" 8 (Window.default_width ~sigma:1.25);
+  let p = Nufft.Plan.make ~n:16 ~sigma:1.5 () in
+  Alcotest.(check int) "plan inherits sigma-derived width" 7 p.Nufft.Plan.w;
+  let p2 = Nufft.Plan.make ~n:16 () in
+  Alcotest.(check int) "sigma = 2 default unchanged" 6 p2.Nufft.Plan.w
+
+let test_ft_numeric_panels () =
+  (* The default composite-Simpson panel count (256 per unit of width,
+     floor 2048) must already be converged: a deliberately oversampled
+     quadrature at the widest supported window may not move the result.
+     (ES and Kaiser-Bessel both decay to ~1e-16 at the truncation edge,
+     so the endpoint clamp to zero costs nothing; a kernel with a fat
+     edge value, like the 1%-tail Gaussian, would converge only O(h)
+     there and is excluded deliberately.) *)
+  let w = 16 in
+  List.iter
+    (fun kernel ->
+      List.iter
+        (fun x ->
+          let dflt = Window.ft_numeric kernel ~width:w x in
+          let dense = Window.ft_numeric ~panels:65536 kernel ~width:w x in
+          check_close
+            ~eps:(1e-10 *. (Float.abs dense +. 1.0))
+            (Printf.sprintf "%s x=%g" (Window.name kernel) x)
+            dense dflt)
+        [ 0.0; 0.05; 0.125; 0.25; 0.45 ])
+    [ Window.default_exp_semicircle ~width:w ~sigma:2.0;
+      Window.default_kaiser_bessel ~width:w ~sigma:2.0 ]
+
+(* A tolerance-built plan is (a) an exact forward/adjoint transpose pair
+   and (b) within the 10x accuracy contract of the request, for random
+   trajectories, random tolerances across the supported range, and both
+   kernel families. *)
+let prop_tol_plan_adjoint_pair =
+  QCheck.Test.make
+    ~name:"tol-driven plan: exact adjoint pair, meets accuracy contract"
+    ~count:6
+    QCheck.(
+      triple (int_range 0 100_000) (int_range 30 90) (float_range 2.0 6.0))
+    (fun (seed, m, neg_log_tol) ->
+      let tol = 10.0 ** -.neg_log_tol in
+      let family = if seed land 1 = 0 then Window.ES else Window.KB in
+      let n = 12 in
+      let plan = Nufft.Plan.make ~n ~tol ~family () in
+      let g = plan.Nufft.Plan.g in
+      let rng = Random.State.make [| seed |] in
+      let omega_x = random_omega rng m and omega_y = random_omega rng m in
+      let values =
+        Cvec.init m (fun _ ->
+            C.make
+              (Random.State.float rng 2.0 -. 1.0)
+              (Random.State.float rng 2.0 -. 1.0))
+      in
+      let samples = Sample.of_omega_2d ~g ~omega_x ~omega_y ~values in
+      let x =
+        Cvec.init (n * n) (fun _ ->
+            C.make
+              (Random.State.float rng 2.0 -. 1.0)
+              (Random.State.float rng 2.0 -. 1.0))
+      in
+      let fx =
+        Nufft.Plan.forward_2d plan ~gx:(Sample.gx samples)
+          ~gy:(Sample.gy samples) x
+      in
+      let ay = Nufft.Plan.adjoint_2d plan samples in
+      let lhs = Cvec.dot fx values and rhs = Cvec.dot x ay in
+      let scale = C.norm lhs +. C.norm rhs +. 1.0 in
+      let pair_ok =
+        Float.abs (lhs.C.re -. rhs.C.re) <= 1e-10 *. scale
+        && Float.abs (lhs.C.im -. rhs.C.im) <= 1e-10 *. scale
+      in
+      if not pair_ok then
+        QCheck.Test.fail_reportf
+          "dot-test failed at tol %.2e (%s): <Fx,y>=%g%+gi <x,Ay>=%g%+gi"
+          tol (Window.family_name family) lhs.C.re lhs.C.im rhs.C.re rhs.C.im
+      else begin
+        let exact = Nudft.adjoint_2d ~n ~omega_x ~omega_y ~values in
+        let err = Cvec.nrmsd ~reference:exact ay in
+        if err > 10.0 *. tol then
+          QCheck.Test.fail_reportf
+            "accuracy contract breached: tol %.2e (%s, w=%d l=%d) measured %.3e"
+            tol (Window.family_name family) plan.Nufft.Plan.w
+            plan.Nufft.Plan.l err
+        else true
+      end)
+
 let test_nufft_non_pow2_sigma () =
   (* sigma = 1.5 gives a non-power-of-two oversampled grid exercising the
      Bluestein FFT inside the pipeline; wider window per Beatty. *)
@@ -980,7 +1116,8 @@ let prop_iter_window_total =
 let qtests =
   Qutil.to_alcotests
     [ prop_column_check; prop_engines_agree; prop_spread_interp_adjoint;
-      prop_gridding_linear; prop_iter_window_total; prop_dice_inverse ]
+      prop_gridding_linear; prop_iter_window_total; prop_dice_inverse;
+      prop_tol_plan_adjoint_pair ]
 
 let () =
   Alcotest.run "nufft"
@@ -1035,6 +1172,12 @@ let () =
          Alcotest.test_case "adjoint 1d" `Quick test_nufft_adjoint_1d;
          Alcotest.test_case "timed decomposition" `Quick test_nufft_timed;
          Alcotest.test_case "plan validation" `Quick test_plan_validation;
+         Alcotest.test_case "tol-derived geometry" `Quick test_plan_tol_geometry;
+         Alcotest.test_case "tol validation" `Quick test_plan_tol_validation;
+         Alcotest.test_case "default width tracks sigma" `Quick
+           test_plan_default_width_tracks_sigma;
+         Alcotest.test_case "ft_numeric panel convergence" `Quick
+           test_ft_numeric_panels;
          Alcotest.test_case "non-pow2 sigma (bluestein)" `Quick
            test_nufft_non_pow2_sigma ]);
       ("gridding3d",

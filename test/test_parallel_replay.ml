@@ -260,7 +260,9 @@ let test_determinism_stress () =
       coords;
       values;
       density = None;
-      method_ = Svc.Adjoint }
+      method_ = Svc.Adjoint;
+      tol = None;
+      family = None }
   in
   let image = function
     | Ok r -> r.Svc.image

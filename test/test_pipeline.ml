@@ -254,7 +254,9 @@ let test_arena_bitwise_all_backends () =
           coords;
           values;
           density = Some density;
-          method_ = Svc.Adjoint }
+          method_ = Svc.Adjoint;
+      tol = None;
+      family = None }
       in
       let r1 = sok (Svc.submit svc req) in
       let r2 = sok (Svc.submit svc req) in
@@ -289,7 +291,9 @@ let test_steady_state_allocation () =
       coords;
       values;
       density = None;
-      method_ = Svc.Adjoint }
+      method_ = Svc.Adjoint;
+      tol = None;
+      family = None }
   in
   (* Warm up: plan built, arena grown, FFT twiddles cached. *)
   ignore (sok (Svc.submit svc req));
@@ -328,7 +332,9 @@ let test_warm_request_zero_plan_builds () =
       coords;
       values;
       density = None;
-      method_ = Svc.Adjoint }
+      method_ = Svc.Adjoint;
+      tol = None;
+      family = None }
   in
   let before = Telemetry.Counter.value c_miss in
   let r1 = sok (Svc.submit svc (req coords1)) in
@@ -354,7 +360,9 @@ let test_typed_errors () =
       coords;
       values;
       density = None;
-      method_ = Svc.Adjoint }
+      method_ = Svc.Adjoint;
+      tol = None;
+      family = None }
   in
   let expect name pred req =
     match Svc.submit svc req with
@@ -413,7 +421,9 @@ let test_cg_through_service () =
       coords;
       values = samples.Sample.values;
       density = Some density;
-      method_ = Svc.Cg 8 }
+      method_ = Svc.Cg 8;
+      tol = None;
+      family = None }
   in
   let resp = sok (Svc.submit svc req) in
   Alcotest.(check bool) "cg ran at least one iteration" true
@@ -446,7 +456,9 @@ let test_batch_overlap () =
           coords;
           values;
           density = None;
-          method_ = Svc.Adjoint }
+          method_ = Svc.Adjoint;
+      tol = None;
+      family = None }
       in
       let t0 = Unix.gettimeofday () in
       let results = Svc.submit_batch svc [ req; req ] in
