@@ -135,6 +135,30 @@ let parse_replay path =
       | exception _ -> found)
     None
 
+let parse_simd path =
+  fold_lines path
+    (fun found line ->
+      match
+        Scanf.sscanf line
+          " \"simd\": { \"impl\": %S, \"scalar_sps\": %f, \"simd_sps\": %f, \
+           \"speedup\": %f, \"required_speedup\": %f"
+          (fun i s v sp req -> (i, s, v, sp, req))
+      with
+      | row -> Some row
+      | exception _ -> found)
+    None
+
+let parse_telemetry_pct path =
+  fold_lines path
+    (fun found line ->
+      match
+        Scanf.sscanf line " \"telemetry_disabled_overhead_pct\": %f"
+          (fun p -> p)
+      with
+      | p -> Some p
+      | exception _ -> found)
+    None
+
 let () =
   let args = Array.to_list Sys.argv in
   let tolerance = ref 0.30 in
@@ -248,6 +272,14 @@ let () =
       | None ->
           Printf.printf
             "  %-24s current run has no replay metrics; skipping\n" "replay"
+      | Some (_, _, domains, speedup, required) when required <= 0.0 ->
+          (* The harness records required_speedup 0.0 when it measured on a
+             single domain: the ratio is then serial-vs-serial noise and
+             asserting on it would be vacuous either way. *)
+          Printf.printf
+            "  %-24s %.2fx on %d domain(s) — SKIPPED (single domain; run \
+             with JIGSAW_BENCH_DOMAINS>=2 for a meaningful gate)\n"
+            "parallel replay" speedup domains
       | Some (serial_sps, parallel_sps, domains, speedup, required) ->
           let ok = speedup >= required in
           Printf.printf
@@ -261,6 +293,44 @@ let () =
               Printf.sprintf
                 "replay speedup: %.2fx on %d domains, required >= %.2fx"
                 speedup domains required
+              :: !breaches);
+      (match parse_simd current_path with
+      | None ->
+          Printf.printf
+            "  %-24s current run has no simd metrics; skipping\n" "simd"
+      | Some (impl, _, _, speedup, required) when required <= 0.0 ->
+          Printf.printf
+            "  %-24s %.2fx scalar replay (impl %s) — SKIPPED (no vector \
+             unit dispatched on this host)\n"
+            "simd replay" speedup impl
+      | Some (impl, scalar_sps, simd_sps, speedup, required) ->
+          let ok = speedup >= required in
+          Printf.printf
+            "  %-24s %.2fx scalar replay (impl %s, %.0f vs %.0f sps, \
+             required >= %.2fx)  %s\n"
+            "simd replay" speedup impl simd_sps scalar_sps required
+            (if ok then "ok" else "BELOW REQUIREMENT");
+          if not ok then
+            breaches :=
+              Printf.sprintf
+                "simd replay speedup: %.2fx (impl %s), required >= %.2fx"
+                speedup impl required
+              :: !breaches);
+      (match parse_telemetry_pct current_path with
+      | None ->
+          Printf.printf
+            "  %-24s current run has no telemetry metric; skipping\n"
+            "telemetry"
+      | Some pct ->
+          let ok = pct < 5.0 in
+          Printf.printf
+            "  %-24s disabled-dispatch overhead %+.2f%% (budget < 5%%)  %s\n"
+            "telemetry" pct
+            (if ok then "ok" else "OVER BUDGET");
+          if not ok then
+            breaches :=
+              Printf.sprintf
+                "telemetry disabled overhead: %.2f%%, budget < 5%%" pct
               :: !breaches);
       (match List.rev !breaches with
       | [] -> ()

@@ -15,6 +15,27 @@ val factors :
     are checked to be bounded away from zero (the oversampling margin
     guarantees this for sane kernels); raises [Failure] otherwise. *)
 
+val scale_row_into :
+  dst:Numerics.Cvec.t ->
+  dst_off:int ->
+  src:Numerics.Cvec.t ->
+  src_off:int ->
+  f:float array ->
+  f_off:int ->
+  len:int ->
+  fy:float ->
+  fz:float ->
+  unit
+(** [scale_row_into ~dst ~dst_off ~src ~src_off ~f ~f_off ~len ~fy ~fz]
+    sets [dst.(dst_off+i) <- src.(src_off+i) / ((f.(f_off+i) *. fy) *. fz)]
+    for [i] in [[0, len)) — the row primitive every deapodization and
+    pre-apodization stage is built from. 2D callers pass [fz = 1.0]
+    (exact multiply, so the historical two-factor rounding is preserved
+    bit for bit). Dispatches to the {!Simd} kernel when SIMD is active;
+    results agree with the OCaml loop within 4 ULP (bitwise in practice).
+    [dst] and [src] may alias when the ranges coincide. Raises
+    [Invalid_argument] on out-of-range spans. *)
+
 val deapodize_2d :
   factors:float array -> n:int -> Numerics.Cvec.t -> Numerics.Cvec.t
 (** Divide an [n x n] image by the separable factor product

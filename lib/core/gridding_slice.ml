@@ -231,12 +231,17 @@ let grid_2d_parallel ?stats ?pool ?domains ~table ~g ~t ~gx ~gy values =
   let n_tiles = g / t in
   let tiles_total = n_tiles * n_tiles in
   let columns_total = t * t in
-  (* One private accumulation array per column; whichever domain claims a
-     column writes that column's store and nothing else, so the computation
-     is race-free by construction, and the per-column accumulation order
+  (* One flat dice buffer in column-major dice order (the {!dice_address}
+     layout): column [c] owns the contiguous complex range
+     [[c * tiles_total, (c+1) * tiles_total)). Whichever domain claims a
+     column writes that range and nothing else, so the computation is
+     race-free by construction, and the per-column accumulation order
      (sample order) is fixed regardless of how columns are distributed —
-     results are bit-identical for every domain count. *)
-  let column_store = Array.init columns_total (fun _ -> Cvec.create tiles_total) in
+     results are bit-identical for every domain count. A single g^2
+     allocation replaces the former t^2 per-column vectors, whose
+     creation and assembly dominated the pass at realistic tile sizes
+     (hundreds of small bigarrays per call). *)
+  let dice = Cvec.create (columns_total * tiles_total) in
   let stats_mutex = Mutex.create () in
   let process_columns ~lo ~hi =
     (* Per-chunk private counters, merged once; the shared [stats] record
@@ -244,7 +249,7 @@ let grid_2d_parallel ?stats ?pool ?domains ~table ~g ~t ~gx ~gy values =
     let hits = ref 0 in
     for c = lo to hi - 1 do
       let rx = c mod t and ry = c / t in
-      let store = Array.unsafe_get column_store c in
+      let col_base = c * tiles_total in
       for j = 0 to m - 1 do
         let hx = col_check w t g lf rx (Array.unsafe_get gx j) in
         if hx >= 0 then begin
@@ -256,7 +261,7 @@ let grid_2d_parallel ?stats ?pool ?domains ~table ~g ~t ~gx ~gy values =
               *. weight_at tbl tlen (hit_addr hy)
             in
             let tile = (hit_tile hy * n_tiles) + hit_tile hx in
-            acc_parts store tile
+            acc_parts dice (col_base + tile)
               (weight *. get_re values j)
               (weight *. get_im values j)
           end
@@ -280,16 +285,4 @@ let grid_2d_parallel ?stats ?pool ?domains ~table ~g ~t ~gx ~gy values =
       Runtime.Pool.parallel_for_ranges ~chunk p ~start:0 ~stop:columns_total
         process_columns);
   add_stats stats ~samples:m ~checks:0 ~evals:0 ~accums:0;
-  (* Assemble the dice into the row-major grid. *)
-  let out = Cvec.create (g * g) in
-  for c = 0 to columns_total - 1 do
-    let rx = c mod t and ry = c / t in
-    let store = column_store.(c) in
-    for tile = 0 to tiles_total - 1 do
-      let tx = tile mod n_tiles and ty = tile / n_tiles in
-      set_parts out
-        (((((ty * t) + ry) * g) + (tx * t)) + rx)
-        (get_re store tile) (get_im store tile)
-    done
-  done;
-  out
+  dice_to_row_major ~t ~g dice

@@ -230,7 +230,7 @@ let of_plan ?name ?(compile = true) (plan : Plan.plan) ~coords : op =
    grids with the (pool-)sliced Gridding3d schedule whatever the 2D engine,
    so in 3D the names differ only in the plan they carry. *)
 
-let cpu_backend name engine_of : factory =
+let cpu_backend ?(simd = false) name engine_of : factory =
  fun c ->
   let engine = engine_of ~g:(ctx_grid c) ~w:c.w in
   let plan =
@@ -240,10 +240,10 @@ let cpu_backend name engine_of : factory =
            deterministic shared derivation guarantees the result matches
            the context's (kernel, w, l). *)
         Plan.make ~tol:t ?family:c.family ~sigma:c.sigma ~l:c.l ~engine
-          ?pool:c.pool ~n:c.n ()
+          ?pool:c.pool ~simd ~n:c.n ()
     | None ->
         Plan.make ~kernel:c.kernel ~w:c.w ~sigma:c.sigma ~l:c.l ~engine
-          ?pool:c.pool ~n:c.n ()
+          ?pool:c.pool ~simd ~n:c.n ()
   in
   of_plan ~name plan ~coords:c.coords
 
@@ -269,4 +269,15 @@ let () =
       ( "replay-parallel",
         "compiled-plan replay sharded across domains by grid-region \
          ownership (bit-identical to serial; serial without a pool)",
-        fun ~g:_ ~w:_ -> Gridding.Serial ) ]
+        fun ~g:_ ~w:_ -> Gridding.Serial ) ];
+  (* Same replay pipeline with the plan's SIMD flag set: spread/gather run
+     through the runtime-dispatched C kernels (scalar when the host has no
+     vector unit or JIGSAW_SIMD=off|scalar). Registered separately so the
+     conformance suite exercises the SIMD path against every reference,
+     and so plan-cache keys (by backend name) never mix the two. *)
+  register
+    ~doc:
+      "compiled-plan replay through the runtime-dispatched SIMD kernels \
+       (4-ULP contract vs serial; honours JIGSAW_SIMD)"
+    "replay-simd"
+    (cpu_backend ~simd:true "replay-simd" (fun ~g:_ ~w:_ -> Gridding.Serial))

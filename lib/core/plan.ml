@@ -2,18 +2,6 @@ module Cvec = Numerics.Cvec
 module C = Numerics.Complexd
 module Wt = Numerics.Weight_table
 
-(* Same-module raw-float accessors; see {!Gridding_serial} for the
-   [-opaque] / cross-module-inlining rationale. *)
-module A1 = Bigarray.Array1
-
-let[@inline] vget_re (v : Cvec.t) k = A1.unsafe_get v (2 * k)
-let[@inline] vget_im (v : Cvec.t) k = A1.unsafe_get v ((2 * k) + 1)
-
-let[@inline] vset_parts (v : Cvec.t) k re im =
-  let j = 2 * k in
-  A1.unsafe_set v j re;
-  A1.unsafe_set v (j + 1) im
-
 type cached = { caxes : float array array; splan : Sample_plan.t }
 
 let c_cache_hit = Telemetry.Counter.make "sample_plan.cache_hit"
@@ -31,6 +19,7 @@ type plan = {
   deapod : float array;
   engine : Gridding.engine;
   pool : Runtime.Pool.t option;
+  simd : bool;
   mutable cache : cached option;
 }
 
@@ -69,7 +58,7 @@ let resolve_geometry ?tol ?family ?kernel ?w ?l ~sigma () =
       (None, kernel, w, Option.value l ~default:512)
 
 let make ?tol ?family ?kernel ?w ?(sigma = 2.0) ?l ?(engine = Gridding.Serial)
-    ?(table_precision = Wt.Double) ?pool ~n () =
+    ?(table_precision = Wt.Double) ?pool ?(simd = false) ~n () =
   if n < 2 then invalid_arg "Plan.make: n must be >= 2";
   if sigma <= 1.0 then invalid_arg "Plan.make: sigma must be > 1";
   let tol, kernel, w, l = resolve_geometry ?tol ?family ?kernel ?w ?l ~sigma () in
@@ -88,17 +77,23 @@ let make ?tol ?family ?kernel ?w ?(sigma = 2.0) ?l ?(engine = Gridding.Serial)
   let deapod = Apodization.factors ~kernel ~width:w ~n ~g in
   Telemetry.span_end sp_deapod;
   Telemetry.span_end sp;
-  { n; sigma; g; w; l; tol; kernel; table; deapod; engine; pool; cache = None }
+  { n; sigma; g; w; l; tol; kernel; table; deapod; engine; pool; simd;
+    cache = None }
 
 (* The adjoint evaluates x_n = (1 / psi_hat(n/G)) * B[n mod G] where
    B = unnormalised inverse-convention DFT of the spread grid; see the
    derivation in the module documentation of {!Apodization}. *)
 
-(* The crop/pad stages run once per transform over n^dims points; the
-   raw-float loops below keep them allocation-free (no boxed Complexd per
-   pixel) while performing bit-for-bit the arithmetic of the historical
-   [C.scale]-based versions. The [_into] variants additionally let the
-   pipeline layer reuse pooled output buffers. *)
+(* The crop/pad stages run once per transform over n^dims points. Along
+   the fastest axis the wrap [Coord.wrap ~g (ix - n/2)] splits each image
+   row into exactly two contiguous grid segments (g >= n always holds:
+   sigma > 1): ix in [0, n/2) maps to [row + g - n/2, row + g) and
+   ix in [n/2, n) maps to [row, row + n - n/2). Each segment is one
+   {!Apodization.scale_row_into} call — the same arithmetic in the same
+   order as the historical per-pixel loops (2D passes [fz = 1.0], an
+   exact multiply), now SIMD-dispatchable and still allocation-free. The
+   [_into] variants additionally let the pipeline layer reuse pooled
+   output buffers. *)
 
 let crop_deapodize_2d_into plan big image =
   let n = plan.n and g = plan.g in
@@ -107,17 +102,15 @@ let crop_deapodize_2d_into plan big image =
   if Cvec.length image <> n * n then
     invalid_arg "Plan.crop_deapodize_2d: image size mismatch";
   let deapod = plan.deapod in
+  let h = n / 2 in
   for iy = 0 to n - 1 do
-    let row = Coord.wrap ~g (iy - (n / 2)) * g in
+    let row = Coord.wrap ~g (iy - h) * g in
     let dy = Array.unsafe_get deapod iy in
-    for ix = 0 to n - 1 do
-      let src = row + Coord.wrap ~g (ix - (n / 2)) in
-      let s = 1.0 /. (Array.unsafe_get deapod ix *. dy) in
-      vset_parts image
-        ((iy * n) + ix)
-        (s *. vget_re big src)
-        (s *. vget_im big src)
-    done
+    Apodization.scale_row_into ~dst:image ~dst_off:(iy * n) ~src:big
+      ~src_off:(row + g - h) ~f:deapod ~f_off:0 ~len:h ~fy:dy ~fz:1.0;
+    Apodization.scale_row_into ~dst:image
+      ~dst_off:((iy * n) + h)
+      ~src:big ~src_off:row ~f:deapod ~f_off:h ~len:(n - h) ~fy:dy ~fz:1.0
   done
 
 let crop_deapodize_2d plan big =
@@ -132,15 +125,15 @@ let pad_apodize_2d plan image =
     invalid_arg "Plan: image size mismatch";
   let big = Cvec.create (g * g) in
   let deapod = plan.deapod in
+  let h = n / 2 in
   for iy = 0 to n - 1 do
-    let row = Coord.wrap ~g (iy - (n / 2)) * g in
+    let row = Coord.wrap ~g (iy - h) * g in
     let dy = Array.unsafe_get deapod iy in
-    for ix = 0 to n - 1 do
-      let dst = row + Coord.wrap ~g (ix - (n / 2)) in
-      let s = 1.0 /. (Array.unsafe_get deapod ix *. dy) in
-      let src = (iy * n) + ix in
-      vset_parts big dst (s *. vget_re image src) (s *. vget_im image src)
-    done
+    Apodization.scale_row_into ~dst:big ~dst_off:(row + g - h) ~src:image
+      ~src_off:(iy * n) ~f:deapod ~f_off:0 ~len:h ~fy:dy ~fz:1.0;
+    Apodization.scale_row_into ~dst:big ~dst_off:row ~src:image
+      ~src_off:((iy * n) + h)
+      ~f:deapod ~f_off:h ~len:(n - h) ~fy:dy ~fz:1.0
   done;
   big
 
@@ -151,20 +144,18 @@ let crop_deapodize_3d_into plan big volume =
   if Cvec.length volume <> n * n * n then
     invalid_arg "Plan.crop_deapodize_3d: volume size mismatch";
   let deapod = plan.deapod in
+  let h = n / 2 in
   for iz = 0 to n - 1 do
-    let pz = Coord.wrap ~g (iz - (n / 2)) * g in
+    let pz = Coord.wrap ~g (iz - h) * g in
     let dz = Array.unsafe_get deapod iz in
     for iy = 0 to n - 1 do
-      let row = (pz + Coord.wrap ~g (iy - (n / 2))) * g in
+      let row = (pz + Coord.wrap ~g (iy - h)) * g in
       let dy = Array.unsafe_get deapod iy in
-      for ix = 0 to n - 1 do
-        let src = row + Coord.wrap ~g (ix - (n / 2)) in
-        let s = 1.0 /. (Array.unsafe_get deapod ix *. dy *. dz) in
-        vset_parts volume
-          ((((iz * n) + iy) * n) + ix)
-          (s *. vget_re big src)
-          (s *. vget_im big src)
-      done
+      let dst = ((iz * n) + iy) * n in
+      Apodization.scale_row_into ~dst:volume ~dst_off:dst ~src:big
+        ~src_off:(row + g - h) ~f:deapod ~f_off:0 ~len:h ~fy:dy ~fz:dz;
+      Apodization.scale_row_into ~dst:volume ~dst_off:(dst + h) ~src:big
+        ~src_off:row ~f:deapod ~f_off:h ~len:(n - h) ~fy:dy ~fz:dz
     done
   done
 
@@ -180,18 +171,18 @@ let pad_apodize_3d plan volume =
     invalid_arg "Plan.forward_3d: volume size mismatch";
   let big = Cvec.create (g * g * g) in
   let deapod = plan.deapod in
+  let h = n / 2 in
   for iz = 0 to n - 1 do
-    let pz = Coord.wrap ~g (iz - (n / 2)) * g in
+    let pz = Coord.wrap ~g (iz - h) * g in
     let dz = Array.unsafe_get deapod iz in
     for iy = 0 to n - 1 do
-      let row = (pz + Coord.wrap ~g (iy - (n / 2))) * g in
+      let row = (pz + Coord.wrap ~g (iy - h)) * g in
       let dy = Array.unsafe_get deapod iy in
-      for ix = 0 to n - 1 do
-        let dst = row + Coord.wrap ~g (ix - (n / 2)) in
-        let s = 1.0 /. (Array.unsafe_get deapod ix *. dy *. dz) in
-        let src = (((iz * n) + iy) * n) + ix in
-        vset_parts big dst (s *. vget_re volume src) (s *. vget_im volume src)
-      done
+      let src = ((iz * n) + iy) * n in
+      Apodization.scale_row_into ~dst:big ~dst_off:(row + g - h) ~src:volume
+        ~src_off:src ~f:deapod ~f_off:0 ~len:h ~fy:dy ~fz:dz;
+      Apodization.scale_row_into ~dst:big ~dst_off:row ~src:volume
+        ~src_off:(src + h) ~f:deapod ~f_off:h ~len:(n - h) ~fy:dy ~fz:dz
     done
   done;
   big
@@ -364,13 +355,15 @@ let compiled ?stats plan (samples : Sample.t) =
 let replay_pool ?pool plan =
   match pool with Some _ -> pool | None -> plan.pool
 
-let adjoint_compiled_timed ?stats ?pool plan samples =
+let adjoint_compiled_timed ?stats ?pool ?simd plan samples =
   let rpool = replay_pool ?pool plan in
+  let simd = match simd with Some s -> s | None -> plan.simd in
   let t0 = now () in
   let sp = compiled ?stats plan samples in
   let span = Gridding_stats.grid_span "grid.compiled-spread" in
   let grid =
-    Sample_plan.spread_parallel ?stats ?pool:rpool sp samples.Sample.values
+    Sample_plan.spread_parallel ?stats ?pool:rpool ~simd sp
+      samples.Sample.values
   in
   Gridding_stats.end_span span;
   let t1 = now () in
@@ -391,11 +384,12 @@ let adjoint_compiled_timed ?stats ?pool plan samples =
   let t3 = now () in
   (image, { gridding_s = t1 -. t0; fft_s = t2 -. t1; deapod_s = t3 -. t2 })
 
-let adjoint_compiled ?stats ?pool plan samples =
-  fst (adjoint_compiled_timed ?stats ?pool plan samples)
+let adjoint_compiled ?stats ?pool ?simd plan samples =
+  fst (adjoint_compiled_timed ?stats ?pool ?simd plan samples)
 
-let forward_compiled ?stats ?pool plan ~coords image =
+let forward_compiled ?stats ?pool ?simd plan ~coords image =
   let rpool = replay_pool ?pool plan in
+  let simd = match simd with Some s -> s | None -> plan.simd in
   let sp = compiled ?stats plan coords in
   let big =
     match Sample.dims coords with
@@ -411,6 +405,6 @@ let forward_compiled ?stats ?pool plan ~coords image =
         big
   in
   let span = Gridding_stats.grid_span "grid.compiled-gather" in
-  let out = Sample_plan.gather_parallel ?stats ?pool:rpool sp big in
+  let out = Sample_plan.gather_parallel ?stats ?pool:rpool ~simd sp big in
   Gridding_stats.end_span span;
   out

@@ -35,6 +35,11 @@ type plan = private {
   engine : Gridding.engine;
   pool : Runtime.Pool.t option;
       (** domain pool used by every transform of this plan *)
+  simd : bool;
+      (** default SIMD flag for the compiled replay paths: when true (and
+          {!Simd.enabled}), [_compiled] spread/gather replay through the
+          C kernels; the FFT and deapodization stages dispatch on
+          {!Simd.enabled} alone regardless of this flag *)
   mutable cache : cached option;
       (** most recently compiled sample plan, keyed on the physical
           identity of the bound coordinate arrays *)
@@ -50,6 +55,7 @@ val make :
   ?engine:Gridding.engine ->
   ?table_precision:Numerics.Weight_table.precision ->
   ?pool:Runtime.Pool.t ->
+  ?simd:bool ->
   n:int ->
   unit ->
   plan
@@ -80,7 +86,12 @@ val make :
     One pool amortises domain spawning across all iterations of a CG
     reconstruction. Results are bit-identical to the pool-less plan except
     for the 3D gridding schedule (sliced rather than sample-outer, equal to
-    within accumulation order). *)
+    within accumulation order).
+
+    [simd] (default false) makes the [_compiled] transforms replay their
+    spread/gather streams through the {!Simd} C kernels by default (the
+    per-call [?simd] argument overrides it); it is a no-op when SIMD
+    dispatch is off ([JIGSAW_SIMD=off]). *)
 
 val resolve_geometry :
   ?tol:float ->
@@ -232,6 +243,7 @@ val compiled : ?stats:Gridding_stats.t -> plan -> Sample.t -> Sample_plan.t
 val adjoint_compiled :
   ?stats:Gridding_stats.t ->
   ?pool:Runtime.Pool.t ->
+  ?simd:bool ->
   plan ->
   Sample.t ->
   Numerics.Cvec.t
@@ -241,11 +253,16 @@ val adjoint_compiled :
     {!Sample_plan.spread_parallel} — bit-identical to serial replay for
     every pool size. There is never an implicit global-pool fallback:
     no pool anywhere means serial replay, so callers already running
-    inside a pool cannot deadlock on a nested submission. *)
+    inside a pool cannot deadlock on a nested submission.
+
+    [simd] overrides the plan's default replay-SIMD flag for this call
+    (see {!make}); it affects only the spread/gather replay — FFT and
+    deapodization stages dispatch on {!Simd.enabled} globally. *)
 
 val adjoint_compiled_timed :
   ?stats:Gridding_stats.t ->
   ?pool:Runtime.Pool.t ->
+  ?simd:bool ->
   plan ->
   Sample.t ->
   Numerics.Cvec.t * timings
@@ -255,6 +272,7 @@ val adjoint_compiled_timed :
 val forward_compiled :
   ?stats:Gridding_stats.t ->
   ?pool:Runtime.Pool.t ->
+  ?simd:bool ->
   plan ->
   coords:Sample.t ->
   Numerics.Cvec.t ->

@@ -165,56 +165,69 @@ let compile_3d ?stats ?(select_checks = 0) ~table ~g ~gx ~gy ~gz () =
     ~accums:0;
   { dims = 3; m; g; w; points; idx; wgt; pmutex = Mutex.create (); part = None }
 
-let replay_spread t values out =
-  let p = t.points in
-  let idx = t.idx and wgt = t.wgt in
-  for j = 0 to t.m - 1 do
-    let vr = get_re values j and vi = get_im values j in
-    let base = j * p in
-    for i = 0 to p - 1 do
-      let k = Array.unsafe_get idx (base + i) in
-      let weight = Array.unsafe_get wgt (base + i) in
-      acc_parts out k (weight *. vr) (weight *. vi)
-    done
-  done
+(* [simd] selects the C kernels from {!Simd} when dispatch is active;
+   they mirror these loops operation for operation (128-bit (re,im)
+   lanes, broadcast real weight, no FMA contraction), so the result is
+   the same within the documented 4-ULP contract — bitwise in practice
+   on the spread path, whose op order is preserved exactly. *)
+let[@inline] use_simd simd = simd && Simd.enabled ()
 
-let spread ?stats t values =
+let replay_spread ~simd t values out =
+  if use_simd simd then Simd.spread values t.idx t.wgt out
+  else begin
+    let p = t.points in
+    let idx = t.idx and wgt = t.wgt in
+    for j = 0 to t.m - 1 do
+      let vr = get_re values j and vi = get_im values j in
+      let base = j * p in
+      for i = 0 to p - 1 do
+        let k = Array.unsafe_get idx (base + i) in
+        let weight = Array.unsafe_get wgt (base + i) in
+        acc_parts out k (weight *. vr) (weight *. vi)
+      done
+    done
+  end
+
+let spread ?stats ?(simd = false) t values =
   if Cvec.length values <> t.m then
     invalid_arg "Sample_plan.spread: values length mismatch";
   let out = Cvec.create (grid_length t) in
-  replay_spread t values out;
+  replay_spread ~simd t values out;
   add_stats stats ~samples:t.m ~checks:0 ~evals:0 ~accums:(t.m * t.points);
   out
 
-let spread_into ?stats t values out =
+let spread_into ?stats ?(simd = false) t values out =
   if Cvec.length values <> t.m then
     invalid_arg "Sample_plan.spread_into: values length mismatch";
   if Cvec.length out <> grid_length t then
     invalid_arg "Sample_plan.spread_into: grid size mismatch";
   Cvec.fill_zero out;
-  replay_spread t values out;
+  replay_spread ~simd t values out;
   add_stats stats ~samples:t.m ~checks:0 ~evals:0 ~accums:(t.m * t.points)
 
-let gather_range t grid out ~lo ~hi =
-  let p = t.points in
-  let idx = t.idx and wgt = t.wgt in
-  for j = lo to hi - 1 do
-    let base = j * p in
-    let acc_re = ref 0.0 and acc_im = ref 0.0 in
-    for i = 0 to p - 1 do
-      let k = Array.unsafe_get idx (base + i) in
-      let weight = Array.unsafe_get wgt (base + i) in
-      acc_re := !acc_re +. (weight *. get_re grid k);
-      acc_im := !acc_im +. (weight *. get_im grid k)
-    done;
-    set_parts out j !acc_re !acc_im
-  done
+let gather_range ~simd t grid out ~lo ~hi =
+  if use_simd simd then Simd.gather grid t.idx t.wgt out lo hi
+  else begin
+    let p = t.points in
+    let idx = t.idx and wgt = t.wgt in
+    for j = lo to hi - 1 do
+      let base = j * p in
+      let acc_re = ref 0.0 and acc_im = ref 0.0 in
+      for i = 0 to p - 1 do
+        let k = Array.unsafe_get idx (base + i) in
+        let weight = Array.unsafe_get wgt (base + i) in
+        acc_re := !acc_re +. (weight *. get_re grid k);
+        acc_im := !acc_im +. (weight *. get_im grid k)
+      done;
+      set_parts out j !acc_re !acc_im
+    done
+  end
 
-let gather ?stats t grid =
+let gather ?stats ?(simd = false) t grid =
   if Cvec.length grid <> grid_length t then
     invalid_arg "Sample_plan.gather: grid size mismatch";
   let out = Cvec.create t.m in
-  gather_range t grid out ~lo:0 ~hi:t.m;
+  gather_range ~simd t grid out ~lo:0 ~hi:t.m;
   add_stats stats ~samples:t.m ~checks:0 ~evals:0 ~accums:0;
   out
 
@@ -338,20 +351,23 @@ let shard_entry p s e =
   let sh = p.shards.(s) in
   (sh.e_smp.(e), sh.e_idx.(e), sh.e_wgt.(e))
 
-let replay_shard sh values out =
-  let n = Array.length sh.e_idx in
-  let e_smp = sh.e_smp and e_idx = sh.e_idx and e_wgt = sh.e_wgt in
-  for e = 0 to n - 1 do
-    let j = Array.unsafe_get e_smp e in
-    let k = Array.unsafe_get e_idx e in
-    let weight = Array.unsafe_get e_wgt e in
-    acc_parts out k (weight *. get_re values j) (weight *. get_im values j)
-  done
+let replay_shard ~simd sh values out =
+  if use_simd simd then Simd.spread_shard values sh.e_smp sh.e_idx sh.e_wgt out
+  else begin
+    let n = Array.length sh.e_idx in
+    let e_smp = sh.e_smp and e_idx = sh.e_idx and e_wgt = sh.e_wgt in
+    for e = 0 to n - 1 do
+      let j = Array.unsafe_get e_smp e in
+      let k = Array.unsafe_get e_idx e in
+      let weight = Array.unsafe_get e_wgt e in
+      acc_parts out k (weight *. get_re values j) (weight *. get_im values j)
+    done
+  end
 
 let[@inline] pool_is_parallel pool =
   Runtime.Pool.size pool > 1 && not (Runtime.Pool.is_shut_down pool)
 
-let spread_parallel_into ?stats ?pool t values out =
+let spread_parallel_into ?stats ?pool ?(simd = false) t values out =
   if Cvec.length values <> t.m then
     invalid_arg "Sample_plan.spread_parallel_into: values length mismatch";
   if Cvec.length out <> grid_length t then
@@ -364,16 +380,16 @@ let spread_parallel_into ?stats ?pool t values out =
          time), so per-shard dispatch is the right granularity. *)
       Runtime.Pool.parallel_for ~chunk:1 p ~start:0
         ~stop:(Array.length part.shards) (fun s ->
-          replay_shard (Array.unsafe_get part.shards s) values out)
-  | _ -> replay_spread t values out);
+          replay_shard ~simd (Array.unsafe_get part.shards s) values out)
+  | _ -> replay_spread ~simd t values out);
   add_stats stats ~samples:t.m ~checks:0 ~evals:0 ~accums:(t.m * t.points)
 
-let spread_parallel ?stats ?pool t values =
+let spread_parallel ?stats ?pool ?simd t values =
   let out = Cvec.create (grid_length t) in
-  spread_parallel_into ?stats ?pool t values out;
+  spread_parallel_into ?stats ?pool ?simd t values out;
   out
 
-let gather_parallel ?stats ?pool t grid =
+let gather_parallel ?stats ?pool ?(simd = false) t grid =
   if Cvec.length grid <> grid_length t then
     invalid_arg "Sample_plan.gather_parallel: grid size mismatch";
   let out = Cvec.create t.m in
@@ -386,7 +402,7 @@ let gather_parallel ?stats ?pool t grid =
         Runtime.Pool.adaptive_chunk p ~items:t.m ~work_per_item:(2 * t.points)
       in
       Runtime.Pool.parallel_for_ranges ~chunk p ~start:0 ~stop:t.m
-        (fun ~lo ~hi -> gather_range t grid out ~lo ~hi)
-  | _ -> gather_range t grid out ~lo:0 ~hi:t.m);
+        (fun ~lo ~hi -> gather_range ~simd t grid out ~lo ~hi)
+  | _ -> gather_range ~simd t grid out ~lo:0 ~hi:t.m);
   add_stats stats ~samples:t.m ~checks:0 ~evals:0 ~accums:0;
   out

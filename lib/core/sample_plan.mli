@@ -64,22 +64,44 @@ val compile_3d :
   unit ->
   t
 
-val spread : ?stats:Gridding_stats.t -> t -> Numerics.Cvec.t -> Numerics.Cvec.t
+val spread :
+  ?stats:Gridding_stats.t ->
+  ?simd:bool ->
+  t ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
 (** [spread t values] grids [values] (length {!length}) onto a fresh
     [g^dims] grid by replaying the compiled arrays. Bit-identical to
-    {!Gridding_serial} on the same inputs. *)
+    {!Gridding_serial} on the same inputs.
+
+    [simd] (default [false]) replays through the {!Simd} C kernel when
+    SIMD dispatch is active; the kernel preserves the scalar op order, so
+    the result stays bit-identical on this path (documented contract:
+    4 ULP). The flag is a no-op when [Simd.enabled ()] is false. *)
 
 val spread_into :
-  ?stats:Gridding_stats.t -> t -> Numerics.Cvec.t -> Numerics.Cvec.t -> unit
+  ?stats:Gridding_stats.t ->
+  ?simd:bool ->
+  t ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t ->
+  unit
 (** [spread_into t values out] — {!spread} into a caller-provided [g^dims]
     buffer ([out] is zeroed first), so a serving loop can reuse one pooled
     oversampled grid across requests instead of allocating per transform.
     Bitwise the same result as {!spread}. *)
 
-val gather : ?stats:Gridding_stats.t -> t -> Numerics.Cvec.t -> Numerics.Cvec.t
+val gather :
+  ?stats:Gridding_stats.t ->
+  ?simd:bool ->
+  t ->
+  Numerics.Cvec.t ->
+  Numerics.Cvec.t
 (** [gather t grid] interpolates the [g^dims] grid at the compiled sample
     locations (the forward-transform regridding step); adjoint of
-    {!spread} by construction, since both replay the same weights. *)
+    {!spread} by construction, since both replay the same weights.
+    [simd] as in {!spread} (per-sample accumulation order preserved;
+    4-ULP contract). *)
 
 (** {1 Region-sharded parallel replay}
 
@@ -132,6 +154,7 @@ val shard_entry : partition -> int -> int -> int * int * float
 val spread_parallel :
   ?stats:Gridding_stats.t ->
   ?pool:Runtime.Pool.t ->
+  ?simd:bool ->
   t ->
   Numerics.Cvec.t ->
   Numerics.Cvec.t
@@ -139,11 +162,14 @@ val spread_parallel :
     cached partition replayed across [pool]'s domains. Bit-identical to
     {!spread} for every pool size. Without a pool (or with a pool of
     size 1, or a shut-down pool) replays serially without building a
-    partition. *)
+    partition. [simd] replays each shard's entry stream through the
+    {!Simd.spread_shard} kernel (strictly sequential per entry, so the
+    single-writer bit-identity argument is untouched). *)
 
 val spread_parallel_into :
   ?stats:Gridding_stats.t ->
   ?pool:Runtime.Pool.t ->
+  ?simd:bool ->
   t ->
   Numerics.Cvec.t ->
   Numerics.Cvec.t ->
@@ -154,6 +180,7 @@ val spread_parallel_into :
 val gather_parallel :
   ?stats:Gridding_stats.t ->
   ?pool:Runtime.Pool.t ->
+  ?simd:bool ->
   t ->
   Numerics.Cvec.t ->
   Numerics.Cvec.t

@@ -100,18 +100,18 @@ let bitrev_table n =
       Mutex.unlock cache_mutex;
       cache_adopt bitrev_cache n (build_bitrev n)
 
-let radix2_inplace sgn v =
-  let n = Cvec.length v in
-  let rev = bitrev_table n in
+(* One radix-2 line at complex offset [off] of a larger buffer, with the
+   tables passed in (the batched callers look them up once per batch). *)
+let radix2_at v rev tw ~off ~n =
   for i = 0 to n - 1 do
     let j = Array.unsafe_get rev i in
     if j > i then begin
-      let tr = get_re v i and ti = get_im v i in
-      set_parts v i (get_re v j) (get_im v j);
-      set_parts v j tr ti
+      let a = off + i and b = off + j in
+      let tr = get_re v a and ti = get_im v a in
+      set_parts v a (get_re v b) (get_im v b);
+      set_parts v b tr ti
     end
   done;
-  let tw = twiddles n sgn in
   let len = ref 2 in
   while !len <= n do
     let half = !len / 2 in
@@ -122,7 +122,8 @@ let radix2_inplace sgn v =
         let wi = j * step in
         let wr = Array.unsafe_get tw (2 * wi)
         and wim = Array.unsafe_get tw ((2 * wi) + 1) in
-        let a = !i + j and b = !i + j + half in
+        let a = off + !i + j in
+        let b = a + half in
         let br = get_re v b and bi = get_im v b in
         let tr = (wr *. br) -. (wim *. bi) in
         let ti = (wr *. bi) +. (wim *. br) in
@@ -134,6 +135,25 @@ let radix2_inplace sgn v =
     done;
     len := !len * 2
   done
+
+(* [count] contiguous power-of-two lines starting at complex offset
+   [off]. When SIMD dispatch is on the whole batch goes through one C
+   call ({!Simd.fft_batch} mirrors the butterfly loop exactly, so the
+   result is bit-identical); otherwise each line runs the OCaml
+   butterflies in place. *)
+let radix2_lines sgn v ~off ~count ~n =
+  if n > 1 && count > 0 then begin
+    let rev = bitrev_table n in
+    let tw = twiddles n sgn in
+    if Simd.enabled () then Simd.fft_batch v rev tw off count
+    else
+      for l = 0 to count - 1 do
+        radix2_at v rev tw ~off:(off + (l * n)) ~n
+      done
+  end
+
+let radix2_inplace sgn v =
+  radix2_lines sgn v ~off:0 ~count:1 ~n:(Cvec.length v)
 
 (* Bluestein chirp-z: X_k = c_k * circular-convolution(u, v)_k with
    u_j = x_j c_j,
@@ -183,6 +203,15 @@ let transform dir v =
   if n <= 1 then ()
   else if is_pow2 n then radix2_inplace sgn v
   else bluestein sgn v
+
+let transform_batch dir v ~off ~count ~len =
+  if len < 1 then invalid_arg "Fft1d.transform_batch: len < 1";
+  if not (is_pow2 len) then
+    invalid_arg "Fft1d.transform_batch: len must be a power of two";
+  if count < 0 || off < 0 || off + (count * len) > Cvec.length v then
+    invalid_arg "Fft1d.transform_batch: line range out of bounds";
+  Telemetry.Counter.add c_transforms count;
+  radix2_lines (int_of_float (Dft.sign dir)) v ~off ~count ~n:len
 
 let transformed dir v =
   let c = Cvec.copy v in

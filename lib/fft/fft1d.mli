@@ -15,7 +15,19 @@ val next_pow2 : int -> int
 (** Smallest power of two >= the argument (argument must be >= 1). *)
 
 val transform : Dft.direction -> Numerics.Cvec.t -> unit
-(** In-place FFT of the whole vector. Any length >= 1. *)
+(** In-place FFT of the whole vector. Any length >= 1. Power-of-two
+    lengths dispatch through the {!Simd} butterfly kernel when SIMD is
+    active (bit-identical to the OCaml butterflies). *)
+
+val transform_batch :
+  Dft.direction -> Numerics.Cvec.t -> off:int -> count:int -> len:int -> unit
+(** [transform_batch dir v ~off ~count ~len] — in-place FFT of [count]
+    contiguous complex lines of length [len] (a power of two) starting at
+    complex offset [off]: line [k] occupies [[off + k*len, off +
+    (k+1)*len)). This is the batched entry point {!Fftnd} uses for its
+    contiguous row passes; with SIMD active the whole batch is one C
+    call. Raises [Invalid_argument] on a non-power-of-two [len] or an
+    out-of-bounds range. *)
 
 val transformed : Dft.direction -> Numerics.Cvec.t -> Numerics.Cvec.t
 (** Copying variant of {!transform}. *)

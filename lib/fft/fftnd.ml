@@ -54,6 +54,23 @@ let line_scratch ?scratch ~len () =
   | Some s when Cvec.length s = len -> s
   | _ -> Cvec.create len
 
+(* A stride-1 pass whose lines sit back to back ([line_start k = s0 +
+   k*len], the layout of every contiguous row pass) and whose length is
+   a power of two can skip the scratch blits entirely and run through
+   {!Fft1d.transform_batch} — in place, and one C call per batch when
+   SIMD dispatch is on. The affinity check is O(count) integer work,
+   negligible against the transforms themselves. *)
+let batched_base ~len ~count ~stride ~line_start =
+  if stride = 1 && len > 1 && count > 0 && Fft1d.is_pow2 len then begin
+    let s0 = line_start 0 in
+    let ok = ref true in
+    for k = 1 to count - 1 do
+      if line_start k <> s0 + (k * len) then ok := false
+    done;
+    if !ok then Some s0 else None
+  end
+  else None
+
 let transform_lines ?pool ?scratch dir ~len ~count ~stride ~line_start v =
   let sp = Telemetry.span_begin ~cat:"fft" "fft.pass" in
   Telemetry.Counter.add c_lines count;
@@ -62,11 +79,21 @@ let transform_lines ?pool ?scratch dir ~len ~count ~stride ~line_start v =
       transform_line dir ~len ~stride scratch v (line_start k)
     done
   in
-  (match pool with
-  | Some p when Pool.size p > 1 && count > 1 ->
-      Pool.parallel_for_ranges p ~start:0 ~stop:count (fun ~lo ~hi ->
-          run_range (Cvec.create len) lo hi)
-  | _ -> run_range (line_scratch ?scratch ~len ()) 0 count);
+  (match batched_base ~len ~count ~stride ~line_start with
+  | Some s0 -> (
+      match pool with
+      | Some p when Pool.size p > 1 && count > 1 ->
+          Pool.parallel_for_ranges p ~start:0 ~stop:count (fun ~lo ~hi ->
+              Fft1d.transform_batch dir v
+                ~off:(s0 + (lo * len))
+                ~count:(hi - lo) ~len)
+      | _ -> Fft1d.transform_batch dir v ~off:s0 ~count ~len)
+  | None -> (
+      match pool with
+      | Some p when Pool.size p > 1 && count > 1 ->
+          Pool.parallel_for_ranges p ~start:0 ~stop:count (fun ~lo ~hi ->
+              run_range (Cvec.create len) lo hi)
+      | _ -> run_range (line_scratch ?scratch ~len ()) 0 count));
   Telemetry.span_end sp
 
 let transform_2d ?pool ?scratch dir ~nx ~ny v =

@@ -153,7 +153,8 @@ let fast_adjoint ?fft_pool t ~(plan : Plan.plan) ~canonical req =
      only the per-shard dispatch. Batch execution passes no pool and
      replays serially — bitwise the same image either way. *)
   let splan = Plan.compiled plan canonical in
-  Sample_plan.spread_parallel_into ?pool:fft_pool splan vals a.Workspace.grid;
+  Sample_plan.spread_parallel_into ?pool:fft_pool ~simd:plan.Plan.simd splan
+    vals a.Workspace.grid;
   (match dims with
   | 2 ->
       Fft.Fftnd.transform_2d ?pool:fft_pool ~scratch:a.Workspace.line

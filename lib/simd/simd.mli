@@ -1,0 +1,106 @@
+(** Runtime-dispatched SIMD kernels for the hot flat loops.
+
+    One C translation unit carries three implementations of each kernel —
+    portable scalar C, AVX2 (x86-64, compiled with a per-function target
+    attribute so no special compile flags are needed), and NEON
+    (aarch64) — and the widest one the host supports is selected once at
+    startup ([__builtin_cpu_supports("avx2")] on x86-64; NEON is baseline
+    on aarch64). The [JIGSAW_SIMD] environment variable overrides the
+    choice: [off] (OCaml loops only), [scalar], [avx2], [neon], or [auto]
+    (the default). An implementation the host cannot run clamps to
+    scalar C rather than faulting.
+
+    Numerics: every kernel preserves the scalar operation order — the
+    interleaved (re, im) pair rides in the two lanes of a 128-bit
+    register, real weights/twiddles are broadcast, and no FMA contraction
+    is permitted — so SIMD results are bit-identical to the scalar loops
+    in practice; the documented (and tested) contract is agreement within
+    4 ULP per element.
+
+    Thread-safety: {!active}/{!enabled} are atomic reads and safe from
+    any domain. {!set_active}/{!with_impl} switch a process-global and
+    must not race with in-flight kernels on other domains — they are
+    meant for tests and startup configuration. *)
+
+type impl = Off | Scalar | Avx2 | Neon
+
+val available : impl
+(** Widest implementation the host CPU supports (never [Off]). *)
+
+val active : unit -> impl
+(** Currently dispatched implementation (startup: [JIGSAW_SIMD] override,
+    else {!available}). *)
+
+val enabled : unit -> bool
+(** [active () <> Off] — callers must check this before invoking any
+    kernel below and fall back to their OCaml loop when false. *)
+
+val impl_name : impl -> string
+(** ["off" | "scalar" | "avx2" | "neon"]. *)
+
+val set_active : impl -> impl
+(** Switch dispatch; returns the implementation actually installed after
+    clamping to {!available} (requesting a vector ISA the host lacks
+    installs [Scalar]). *)
+
+val with_impl : impl -> (unit -> 'a) -> 'a
+(** [with_impl i f] runs [f] with dispatch switched to [i] (clamped),
+    restoring the previous implementation afterwards — the differential
+    tests use it to compare implementations inside one process. *)
+
+(** {1 Kernels}
+
+    No bounds checks — callers validate. Only call when {!enabled}. *)
+
+external spread : Numerics.Cvec.t -> int array -> float array -> Numerics.Cvec.t -> unit
+  = "jigsaw_simd_spread"
+[@@noalloc]
+(** [spread values idx wgt out]: for each sample [j] of [values] and each
+    of its [p = Array.length idx / m] window points [i],
+    [out.(idx.(j*p+i)) <- out.(idx.(j*p+i)) + wgt.(j*p+i] * values.(j)]
+    (complex += real * complex), in entry order. [out] is not zeroed. *)
+
+external spread_shard :
+  Numerics.Cvec.t -> int array -> int array -> float array -> Numerics.Cvec.t -> unit
+  = "jigsaw_simd_spread_shard"
+[@@noalloc]
+(** [spread_shard values smp idx wgt out] — the region-sharded replay
+    stream: entry [e] accumulates [wgt.(e) * values.(smp.(e))] onto
+    [out.(idx.(e))], strictly one entry at a time (adjacent entries may
+    target the same cell; serial order is the bit-identity contract). *)
+
+external gather :
+  Numerics.Cvec.t -> int array -> float array -> Numerics.Cvec.t -> int -> int -> unit
+  = "jigsaw_simd_gather_bc" "jigsaw_simd_gather"
+[@@noalloc]
+(** [gather grid idx wgt out lo hi]: for each sample [j] in [[lo, hi)),
+    [out.(j) <- sum_i wgt.(j*p+i) * grid.(idx.(j*p+i))] with
+    [p = Array.length idx / Cvec.length out], accumulated in entry
+    order from zero. *)
+
+external fft_batch : Numerics.Cvec.t -> int array -> float array -> int -> int -> unit
+  = "jigsaw_simd_fft_batch"
+[@@noalloc]
+(** [fft_batch v rev tw off count] — radix-2 DIT butterflies over [count]
+    contiguous complex lines of length [n = Array.length rev] starting at
+    complex offset [off] of [v], using {!Fft.Fft1d}'s bit-reversal table
+    [rev] and interleaved twiddle table [tw] (whose sign encodes the
+    direction). Identical loop structure to the OCaml butterflies. *)
+
+external deapod_row :
+  Numerics.Cvec.t ->
+  (int[@untagged]) ->
+  Numerics.Cvec.t ->
+  (int[@untagged]) ->
+  float array ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  unit = "jigsaw_simd_deapod_row_bc" "jigsaw_simd_deapod_row"
+[@@noalloc]
+(** [deapod_row dst doff src soff f foff len fy fz]:
+    [dst.(doff+i) <- src.(soff+i) / ((f.(foff+i) *. fy) *. fz)] for
+    [i] in [[0, len)) — the pointwise complex-by-real deapodization
+    scale. [fz = 1.0] in 2D preserves the 3D left-associated product
+    rounding bit for bit. *)

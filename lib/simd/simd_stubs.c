@@ -1,0 +1,595 @@
+/* SIMD kernels for the hot flat loops: compiled-plan replay spread and
+ * gather (indexed scatter/gather multiply-accumulate), radix-2 FFT
+ * butterfly lines over interleaved complex data, and deapodization rows
+ * (pointwise complex-by-real scale).
+ *
+ * Numerics contract: every vector body performs, per output element,
+ * exactly the operation sequence of the scalar loop it replaces — the
+ * interleaved (re, im) pair rides in the two lanes of a 128-bit register
+ * (or one 128-bit half of a 256-bit register), the real weight/twiddle is
+ * broadcast to both lanes, and no fused multiply-add is ever emitted
+ * (intrinsics are not contracted; the scalar C fallback is compiled with
+ * -ffp-contract=off). Per-lane IEEE mul/add/div round exactly like their
+ * scalar counterparts, so SIMD and scalar results are bit-identical; the
+ * OCaml test suite still only asserts the documented <= 4 ULP contract.
+ *
+ * Ordering constraints honoured here:
+ *  - spread within one sample may process window points two at a time
+ *    (the read-modify-writes stay in entry order, so even a repeated
+ *    target cell accumulates in the scalar order);
+ *  - shard replay streams entries strictly one at a time: adjacent
+ *    entries of a shard can come from different samples yet target the
+ *    same cell, and the region-ownership bit-identity guarantee needs
+ *    serial accumulation order per cell;
+ *  - gather accumulates each sample's window points in entry order into
+ *    one (re, im) register pair;
+ *  - a butterfly pass pairs j and j+1 of the same block, which touch
+ *    disjoint elements, so two butterflies per iteration is exact.
+ *
+ * None of these functions allocate, raise, or call back into the
+ * runtime, so the OCaml externals are [@@noalloc] and plain arrays can
+ * be accessed in place (no GC can move them mid-call).
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/bigarray.h>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define JIGSAW_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#define JIGSAW_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+/* Implementation selector mirrored from the OCaml side:
+ * 1 = scalar C, 2 = AVX2, 3 = NEON. (0/"off" never reaches C: the OCaml
+ * wrappers fall back to the OCaml loops.) */
+#define IMPL_SCALAR 1
+#define IMPL_AVX2 2
+#define IMPL_NEON 3
+
+static int jigsaw_simd_impl = IMPL_SCALAR;
+
+CAMLprim value jigsaw_simd_probe(value unit)
+{
+  (void)unit;
+#if defined(JIGSAW_SIMD_X86) && defined(__GNUC__)
+  return Val_long(__builtin_cpu_supports("avx2") ? IMPL_AVX2 : IMPL_SCALAR);
+#elif defined(JIGSAW_SIMD_NEON)
+  return Val_long(IMPL_NEON);
+#else
+  return Val_long(IMPL_SCALAR);
+#endif
+}
+
+CAMLprim value jigsaw_simd_set(value impl)
+{
+  jigsaw_simd_impl = (int)Long_val(impl);
+  return Val_unit;
+}
+
+/* Float arrays are flat double payloads; int arrays are tagged words. */
+#define FLOATS(v) ((const double *)(v))
+#define IDX(v, i) Long_val(Field((v), (i)))
+
+/* ------------------------------------------------------------------ */
+/* Replay spread: out[idx[e]] += wgt[e] * values[e / points].          */
+
+static void spread_scalar(const double *vals, value idx, const double *wgt,
+                          double *out, long m, long p)
+{
+  for (long j = 0; j < m; j++) {
+    double vr = vals[2 * j], vi = vals[2 * j + 1];
+    long base = j * p;
+    for (long i = 0; i < p; i++) {
+      long k = IDX(idx, base + i);
+      double w = wgt[base + i];
+      out[2 * k] += w * vr;
+      out[2 * k + 1] += w * vi;
+    }
+  }
+}
+
+#ifdef JIGSAW_SIMD_X86
+__attribute__((target("avx2"))) static void
+spread_avx2(const double *vals, value idx, const double *wgt, double *out,
+            long m, long p)
+{
+  for (long j = 0; j < m; j++) {
+    __m128d v = _mm_loadu_pd(vals + 2 * j); /* (vr, vi) */
+    __m256d vv = _mm256_broadcast_pd((const __m128d *)(vals + 2 * j));
+    long base = j * p;
+    long i = 0;
+    /* Four window points per iteration: one 256-bit weight load fanned
+     * out to (w0,w0,w1,w1) / (w2,w2,w3,w3) by in-register permutes, two
+     * 256-bit multiplies, then four 128-bit read-modify-writes in entry
+     * order (within one sample all window cells are distinct, so each
+     * cell still accumulates exactly once per pass, in scalar order). */
+    for (; i + 4 <= p; i += 4) {
+      long k0 = IDX(idx, base + i);
+      long k1 = IDX(idx, base + i + 1);
+      long k2 = IDX(idx, base + i + 2);
+      long k3 = IDX(idx, base + i + 3);
+      __m256d w = _mm256_loadu_pd(wgt + base + i); /* (w0,w1,w2,w3) */
+      __m256d wl = _mm256_permute4x64_pd(w, 0x50); /* (w0,w0,w1,w1) */
+      __m256d wh = _mm256_permute4x64_pd(w, 0xfa); /* (w2,w2,w3,w3) */
+      __m256d t0 = _mm256_mul_pd(wl, vv);
+      __m256d t1 = _mm256_mul_pd(wh, vv);
+      if (k1 == k0 + 1 && k2 == k1 + 1 && k3 == k2 + 1) {
+        /* Window x-rows are grid-contiguous except at the wrap seam, so
+         * most quads land on four consecutive cells: two 256-bit
+         * read-modify-writes perform the identical per-lane adds. */
+        _mm256_storeu_pd(out + 2 * k0,
+                         _mm256_add_pd(_mm256_loadu_pd(out + 2 * k0), t0));
+        _mm256_storeu_pd(out + 2 * k2,
+                         _mm256_add_pd(_mm256_loadu_pd(out + 2 * k2), t1));
+      } else {
+        /* A quad that straddles a window-row boundary still splits into
+         * two within-row pairs; keep each contiguous pair as one 256-bit
+         * read-modify-write and only degrade to 128-bit at a wrap seam. */
+        if (k1 == k0 + 1)
+          _mm256_storeu_pd(out + 2 * k0,
+                           _mm256_add_pd(_mm256_loadu_pd(out + 2 * k0), t0));
+        else {
+          _mm_storeu_pd(out + 2 * k0,
+                        _mm_add_pd(_mm_loadu_pd(out + 2 * k0),
+                                   _mm256_castpd256_pd128(t0)));
+          _mm_storeu_pd(out + 2 * k1,
+                        _mm_add_pd(_mm_loadu_pd(out + 2 * k1),
+                                   _mm256_extractf128_pd(t0, 1)));
+        }
+        if (k3 == k2 + 1)
+          _mm256_storeu_pd(out + 2 * k2,
+                           _mm256_add_pd(_mm256_loadu_pd(out + 2 * k2), t1));
+        else {
+          _mm_storeu_pd(out + 2 * k2,
+                        _mm_add_pd(_mm_loadu_pd(out + 2 * k2),
+                                   _mm256_castpd256_pd128(t1)));
+          _mm_storeu_pd(out + 2 * k3,
+                        _mm_add_pd(_mm_loadu_pd(out + 2 * k3),
+                                   _mm256_extractf128_pd(t1, 1)));
+        }
+      }
+    }
+    for (; i < p; i++) {
+      long k = IDX(idx, base + i);
+      __m128d w = _mm_loaddup_pd(wgt + base + i);
+      _mm_storeu_pd(out + 2 * k,
+                    _mm_add_pd(_mm_loadu_pd(out + 2 * k), _mm_mul_pd(w, v)));
+    }
+  }
+}
+#endif
+
+#ifdef JIGSAW_SIMD_NEON
+static void spread_neon(const double *vals, value idx, const double *wgt,
+                        double *out, long m, long p)
+{
+  for (long j = 0; j < m; j++) {
+    float64x2_t v = vld1q_f64(vals + 2 * j);
+    long base = j * p;
+    for (long i = 0; i < p; i++) {
+      long k = IDX(idx, base + i);
+      float64x2_t w = vdupq_n_f64(wgt[base + i]);
+      vst1q_f64(out + 2 * k,
+                vaddq_f64(vld1q_f64(out + 2 * k), vmulq_f64(w, v)));
+    }
+  }
+}
+#endif
+
+CAMLprim value jigsaw_simd_spread(value values, value idx, value wgt,
+                                  value out)
+{
+  long m = (long)Caml_ba_array_val(values)->dim[0] / 2;
+  if (m == 0) return Val_unit;
+  long p = (long)Wosize_val(idx) / m;
+  const double *vals = (const double *)Caml_ba_data_val(values);
+  double *o = (double *)Caml_ba_data_val(out);
+  switch (jigsaw_simd_impl) {
+#ifdef JIGSAW_SIMD_X86
+  case IMPL_AVX2: spread_avx2(vals, idx, FLOATS(wgt), o, m, p); break;
+#endif
+#ifdef JIGSAW_SIMD_NEON
+  case IMPL_NEON: spread_neon(vals, idx, FLOATS(wgt), o, m, p); break;
+#endif
+  default: spread_scalar(vals, idx, FLOATS(wgt), o, m, p); break;
+  }
+  return Val_unit;
+}
+
+/* ------------------------------------------------------------------ */
+/* Shard replay: the region-sharded entry stream (sample, index,
+ * weight). Entries are processed strictly one at a time — adjacent
+ * entries from different samples may target the same cell, and the
+ * bit-identity contract requires serial accumulation order per cell. */
+
+static void shard_scalar(const double *vals, value smp, value idx,
+                         const double *wgt, double *out, long n)
+{
+  for (long e = 0; e < n; e++) {
+    long j = IDX(smp, e);
+    long k = IDX(idx, e);
+    double w = wgt[e];
+    out[2 * k] += w * vals[2 * j];
+    out[2 * k + 1] += w * vals[2 * j + 1];
+  }
+}
+
+#ifdef JIGSAW_SIMD_X86
+__attribute__((target("avx2"))) static void
+shard_avx2(const double *vals, value smp, value idx, const double *wgt,
+           double *out, long n)
+{
+  for (long e = 0; e < n; e++) {
+    long j = IDX(smp, e);
+    long k = IDX(idx, e);
+    __m128d w = _mm_loaddup_pd(wgt + e);
+    __m128d v = _mm_loadu_pd(vals + 2 * j);
+    _mm_storeu_pd(out + 2 * k,
+                  _mm_add_pd(_mm_loadu_pd(out + 2 * k), _mm_mul_pd(w, v)));
+  }
+}
+#endif
+
+#ifdef JIGSAW_SIMD_NEON
+static void shard_neon(const double *vals, value smp, value idx,
+                       const double *wgt, double *out, long n)
+{
+  for (long e = 0; e < n; e++) {
+    long j = IDX(smp, e);
+    long k = IDX(idx, e);
+    float64x2_t w = vdupq_n_f64(wgt[e]);
+    float64x2_t v = vld1q_f64(vals + 2 * j);
+    vst1q_f64(out + 2 * k, vaddq_f64(vld1q_f64(out + 2 * k), vmulq_f64(w, v)));
+  }
+}
+#endif
+
+CAMLprim value jigsaw_simd_spread_shard(value values, value smp, value idx,
+                                        value wgt, value out)
+{
+  long n = (long)Wosize_val(idx);
+  const double *vals = (const double *)Caml_ba_data_val(values);
+  double *o = (double *)Caml_ba_data_val(out);
+  switch (jigsaw_simd_impl) {
+#ifdef JIGSAW_SIMD_X86
+  case IMPL_AVX2: shard_avx2(vals, smp, idx, FLOATS(wgt), o, n); break;
+#endif
+#ifdef JIGSAW_SIMD_NEON
+  case IMPL_NEON: shard_neon(vals, smp, idx, FLOATS(wgt), o, n); break;
+#endif
+  default: shard_scalar(vals, smp, idx, FLOATS(wgt), o, n); break;
+  }
+  return Val_unit;
+}
+
+/* ------------------------------------------------------------------ */
+/* Replay gather over the sample range [lo, hi):
+ * out[j] = sum_i wgt[j*p+i] * grid[idx[j*p+i]], accumulated in entry
+ * order from (0, 0) exactly like the scalar loop. */
+
+static void gather_scalar(const double *grid, value idx, const double *wgt,
+                          double *out, long p, long lo, long hi)
+{
+  for (long j = lo; j < hi; j++) {
+    long base = j * p;
+    double ar = 0.0, ai = 0.0;
+    for (long i = 0; i < p; i++) {
+      long k = IDX(idx, base + i);
+      double w = wgt[base + i];
+      ar += w * grid[2 * k];
+      ai += w * grid[2 * k + 1];
+    }
+    out[2 * j] = ar;
+    out[2 * j + 1] = ai;
+  }
+}
+
+#ifdef JIGSAW_SIMD_X86
+__attribute__((target("avx2"))) static void
+gather_avx2(const double *grid, value idx, const double *wgt, double *out,
+            long p, long lo, long hi)
+{
+  for (long j = lo; j < hi; j++) {
+    long base = j * p;
+    __m128d acc = _mm_setzero_pd();
+    for (long i = 0; i < p; i++) {
+      long k = IDX(idx, base + i);
+      __m128d w = _mm_loaddup_pd(wgt + base + i);
+      acc = _mm_add_pd(acc, _mm_mul_pd(w, _mm_loadu_pd(grid + 2 * k)));
+    }
+    _mm_storeu_pd(out + 2 * j, acc);
+  }
+}
+#endif
+
+#ifdef JIGSAW_SIMD_NEON
+static void gather_neon(const double *grid, value idx, const double *wgt,
+                        double *out, long p, long lo, long hi)
+{
+  for (long j = lo; j < hi; j++) {
+    long base = j * p;
+    float64x2_t acc = vdupq_n_f64(0.0);
+    for (long i = 0; i < p; i++) {
+      long k = IDX(idx, base + i);
+      float64x2_t w = vdupq_n_f64(wgt[base + i]);
+      acc = vaddq_f64(acc, vmulq_f64(w, vld1q_f64(grid + 2 * k)));
+    }
+    vst1q_f64(out + 2 * j, acc);
+  }
+}
+#endif
+
+CAMLprim value jigsaw_simd_gather(value grid, value idx, value wgt, value out,
+                                  value lo, value hi)
+{
+  long m = (long)Caml_ba_array_val(out)->dim[0] / 2;
+  if (m == 0) return Val_unit;
+  long p = (long)Wosize_val(idx) / m;
+  const double *g = (const double *)Caml_ba_data_val(grid);
+  double *o = (double *)Caml_ba_data_val(out);
+  long l = Long_val(lo), h = Long_val(hi);
+  switch (jigsaw_simd_impl) {
+#ifdef JIGSAW_SIMD_X86
+  case IMPL_AVX2: gather_avx2(g, idx, FLOATS(wgt), o, p, l, h); break;
+#endif
+#ifdef JIGSAW_SIMD_NEON
+  case IMPL_NEON: gather_neon(g, idx, FLOATS(wgt), o, p, l, h); break;
+#endif
+  default: gather_scalar(g, idx, FLOATS(wgt), o, p, l, h); break;
+  }
+  return Val_unit;
+}
+
+CAMLprim value jigsaw_simd_gather_bc(value *argv, int argn)
+{
+  (void)argn;
+  return jigsaw_simd_gather(argv[0], argv[1], argv[2], argv[3], argv[4],
+                            argv[5]);
+}
+
+/* ------------------------------------------------------------------ */
+/* Radix-2 DIT butterfly lines over interleaved complex data: the exact
+ * loop structure of Fft1d.radix2_inplace (bit-reversal permutation, then
+ * log2 n passes reading the precomputed interleaved twiddle table). */
+
+static void fft_line_scalar(double *v, value rev, const double *tw, long n)
+{
+  for (long i = 0; i < n; i++) {
+    long j = IDX(rev, i);
+    if (j > i) {
+      double tr = v[2 * i], ti = v[2 * i + 1];
+      v[2 * i] = v[2 * j];
+      v[2 * i + 1] = v[2 * j + 1];
+      v[2 * j] = tr;
+      v[2 * j + 1] = ti;
+    }
+  }
+  for (long len = 2; len <= n; len <<= 1) {
+    long half = len >> 1;
+    long step = n / len;
+    for (long i0 = 0; i0 < n; i0 += len) {
+      for (long j = 0; j < half; j++) {
+        long wi = 2 * (j * step);
+        double wr = tw[wi], wim = tw[wi + 1];
+        double *a = v + 2 * (i0 + j);
+        double *b = a + 2 * half;
+        double br = b[0], bi = b[1];
+        double tr = wr * br - wim * bi;
+        double ti = wr * bi + wim * br;
+        double ar = a[0], ai = a[1];
+        a[0] = ar + tr;
+        a[1] = ai + ti;
+        b[0] = ar - tr;
+        b[1] = ai - ti;
+      }
+    }
+  }
+}
+
+#ifdef JIGSAW_SIMD_X86
+/* Complex multiply via addsub keeps per-lane operation order scalar:
+ * t = addsub(w_re * (br, bi), w_im * (bi, br))
+ *   = (wr*br - wim*bi, wr*bi + wim*br). */
+__attribute__((target("avx2"))) static void
+fft_line_avx2(double *v, value rev, const double *tw, long n)
+{
+  for (long i = 0; i < n; i++) {
+    long j = IDX(rev, i);
+    if (j > i) {
+      __m128d a = _mm_loadu_pd(v + 2 * i), b = _mm_loadu_pd(v + 2 * j);
+      _mm_storeu_pd(v + 2 * i, b);
+      _mm_storeu_pd(v + 2 * j, a);
+    }
+  }
+  for (long len = 2; len <= n; len <<= 1) {
+    long half = len >> 1;
+    long step = n / len;
+    for (long i0 = 0; i0 < n; i0 += len) {
+      long j = 0;
+      /* Two butterflies per iteration: j and j+1 touch disjoint
+       * elements of the same block, so pairing them is exact. */
+      for (; j + 2 <= half; j += 2) {
+        long w0 = 2 * (j * step), w1 = 2 * ((j + 1) * step);
+        __m256d wre = _mm256_setr_pd(tw[w0], tw[w0], tw[w1], tw[w1]);
+        __m256d wim =
+            _mm256_setr_pd(tw[w0 + 1], tw[w0 + 1], tw[w1 + 1], tw[w1 + 1]);
+        double *ap = v + 2 * (i0 + j);
+        double *bp = ap + 2 * half;
+        __m256d b = _mm256_loadu_pd(bp);
+        __m256d bsw = _mm256_shuffle_pd(b, b, 0x5);
+        __m256d t = _mm256_addsub_pd(_mm256_mul_pd(wre, b),
+                                     _mm256_mul_pd(wim, bsw));
+        __m256d a = _mm256_loadu_pd(ap);
+        _mm256_storeu_pd(ap, _mm256_add_pd(a, t));
+        _mm256_storeu_pd(bp, _mm256_sub_pd(a, t));
+      }
+      for (; j < half; j++) {
+        long w0 = 2 * (j * step);
+        __m128d wre = _mm_loaddup_pd(tw + w0);
+        __m128d wim = _mm_loaddup_pd(tw + w0 + 1);
+        double *ap = v + 2 * (i0 + j);
+        double *bp = ap + 2 * half;
+        __m128d b = _mm_loadu_pd(bp);
+        __m128d bsw = _mm_shuffle_pd(b, b, 0x1);
+        __m128d t =
+            _mm_addsub_pd(_mm_mul_pd(wre, b), _mm_mul_pd(wim, bsw));
+        __m128d a = _mm_loadu_pd(ap);
+        _mm_storeu_pd(ap, _mm_add_pd(a, t));
+        _mm_storeu_pd(bp, _mm_sub_pd(a, t));
+      }
+    }
+  }
+}
+#endif
+
+#ifdef JIGSAW_SIMD_NEON
+static void fft_line_neon(double *v, value rev, const double *tw, long n)
+{
+  /* addsub is emulated by multiplying the odd product with (-1, 1):
+   * x * -1.0 is exact, so lane 0 computes p0 + (-q0) = p0 - q0 with
+   * scalar rounding. */
+  const float64x2_t sgn = vcombine_f64(vdup_n_f64(-1.0), vdup_n_f64(1.0));
+  for (long i = 0; i < n; i++) {
+    long j = IDX(rev, i);
+    if (j > i) {
+      float64x2_t a = vld1q_f64(v + 2 * i), b = vld1q_f64(v + 2 * j);
+      vst1q_f64(v + 2 * i, b);
+      vst1q_f64(v + 2 * j, a);
+    }
+  }
+  for (long len = 2; len <= n; len <<= 1) {
+    long half = len >> 1;
+    long step = n / len;
+    for (long i0 = 0; i0 < n; i0 += len) {
+      for (long j = 0; j < half; j++) {
+        long wi = 2 * (j * step);
+        float64x2_t wre = vdupq_n_f64(tw[wi]);
+        float64x2_t wim = vdupq_n_f64(tw[wi + 1]);
+        double *ap = v + 2 * (i0 + j);
+        double *bp = ap + 2 * half;
+        float64x2_t b = vld1q_f64(bp);
+        float64x2_t bsw = vextq_f64(b, b, 1);
+        float64x2_t t =
+            vaddq_f64(vmulq_f64(wre, b), vmulq_f64(vmulq_f64(wim, bsw), sgn));
+        float64x2_t a = vld1q_f64(ap);
+        vst1q_f64(ap, vaddq_f64(a, t));
+        vst1q_f64(bp, vsubq_f64(a, t));
+      }
+    }
+  }
+}
+#endif
+
+CAMLprim value jigsaw_simd_fft_batch(value v, value rev, value tw, value off,
+                                     value count)
+{
+  long n = (long)Wosize_val(rev);
+  long c = Long_val(count);
+  double *data = (double *)Caml_ba_data_val(v) + 2 * Long_val(off);
+  const double *twd = FLOATS(tw);
+  for (long l = 0; l < c; l++) {
+    double *line = data + 2 * l * n;
+    switch (jigsaw_simd_impl) {
+#ifdef JIGSAW_SIMD_X86
+    case IMPL_AVX2: fft_line_avx2(line, rev, twd, n); break;
+#endif
+#ifdef JIGSAW_SIMD_NEON
+    case IMPL_NEON: fft_line_neon(line, rev, twd, n); break;
+#endif
+    default: fft_line_scalar(line, rev, twd, n); break;
+    }
+  }
+  return Val_unit;
+}
+
+/* ------------------------------------------------------------------ */
+/* Deapodization row: dst[doff+i] = src[soff+i] / ((f[foff+i]*fy)*fz)
+ * for i in [0, len). fz = 1.0 in 2D preserves the left-associated
+ * rounding of the 3D (f*dy)*dz product bit for bit. */
+
+static void deapod_scalar(double *dst, long doff, const double *src,
+                          long soff, const double *f, long foff, long len,
+                          double fy, double fz)
+{
+  for (long i = 0; i < len; i++) {
+    double s = 1.0 / ((f[foff + i] * fy) * fz);
+    dst[2 * (doff + i)] = s * src[2 * (soff + i)];
+    dst[2 * (doff + i) + 1] = s * src[2 * (soff + i) + 1];
+  }
+}
+
+#ifdef JIGSAW_SIMD_X86
+__attribute__((target("avx2"))) static void
+deapod_avx2(double *dst, long doff, const double *src, long soff,
+            const double *f, long foff, long len, double fy, double fz)
+{
+  __m128d one = _mm_set1_pd(1.0);
+  __m128d vfy = _mm_set1_pd(fy), vfz = _mm_set1_pd(fz);
+  long i = 0;
+  for (; i + 2 <= len; i += 2) {
+    __m128d ff = _mm_loadu_pd(f + foff + i);
+    __m128d s =
+        _mm_div_pd(one, _mm_mul_pd(_mm_mul_pd(ff, vfy), vfz));
+    /* (s0, s0, s1, s1) against two interleaved complex pixels. */
+    __m256d ss = _mm256_permute4x64_pd(_mm256_castpd128_pd256(s), 0x50);
+    __m256d x = _mm256_loadu_pd(src + 2 * (soff + i));
+    _mm256_storeu_pd(dst + 2 * (doff + i), _mm256_mul_pd(ss, x));
+  }
+  for (; i < len; i++) {
+    double s = 1.0 / ((f[foff + i] * fy) * fz);
+    __m128d ss = _mm_set1_pd(s);
+    __m128d x = _mm_loadu_pd(src + 2 * (soff + i));
+    _mm_storeu_pd(dst + 2 * (doff + i), _mm_mul_pd(ss, x));
+  }
+}
+#endif
+
+#ifdef JIGSAW_SIMD_NEON
+static void deapod_neon(double *dst, long doff, const double *src, long soff,
+                        const double *f, long foff, long len, double fy,
+                        double fz)
+{
+  for (long i = 0; i < len; i++) {
+    float64x2_t s = vdupq_n_f64(1.0 / ((f[foff + i] * fy) * fz));
+    vst1q_f64(dst + 2 * (doff + i),
+              vmulq_f64(s, vld1q_f64(src + 2 * (soff + i))));
+  }
+}
+#endif
+
+CAMLprim value jigsaw_simd_deapod_row(value dst, intnat doff, value src,
+                                      intnat soff, value f, intnat foff,
+                                      intnat len, double fy, double fz)
+{
+  double *d = (double *)Caml_ba_data_val(dst);
+  const double *s = (const double *)Caml_ba_data_val(src);
+  switch (jigsaw_simd_impl) {
+#ifdef JIGSAW_SIMD_X86
+  case IMPL_AVX2:
+    deapod_avx2(d, doff, s, soff, FLOATS(f), foff, len, fy, fz);
+    break;
+#endif
+#ifdef JIGSAW_SIMD_NEON
+  case IMPL_NEON:
+    deapod_neon(d, doff, s, soff, FLOATS(f), foff, len, fy, fz);
+    break;
+#endif
+  default:
+    deapod_scalar(d, doff, s, soff, FLOATS(f), foff, len, fy, fz);
+    break;
+  }
+  return Val_unit;
+}
+
+CAMLprim value jigsaw_simd_deapod_row_bc(value *argv, int argn)
+{
+  (void)argn;
+  return jigsaw_simd_deapod_row(argv[0], Long_val(argv[1]), argv[2],
+                                Long_val(argv[3]), argv[4], Long_val(argv[5]),
+                                Long_val(argv[6]), Double_val(argv[7]),
+                                Double_val(argv[8]));
+}

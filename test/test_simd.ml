@@ -1,0 +1,297 @@
+(* Differential suite for the SIMD kernel layer.
+
+   Contract under test: every C kernel (scalar, and whichever vector ISA
+   the host exposes) agrees with its OCaml twin within 4 ULP per element
+   — the kernels preserve the scalar operation order, so in practice the
+   results are bitwise equal, and the ULP budget is headroom, not
+   licence. Both the forced-scalar leg and the auto-detected leg run in
+   this one binary via [Simd.with_impl]; on a host without a vector ISA
+   the implementation list collapses to scalar C alone.
+
+   Levels exercised: raw kernel edge cases (empty streams), Sample_plan
+   spread/gather replay on random plans, region-sharded parallel replay
+   across pool sizes, Fft1d batched butterfly lines at random offsets and
+   counts, Apodization row scaling (including in-place aliasing), and a
+   full compiled adjoint in 2D and 3D. *)
+
+module C = Numerics.Complexd
+module Cvec = Numerics.Cvec
+module Sample = Nufft.Sample
+module Sample_plan = Nufft.Sample_plan
+module Plan = Nufft.Plan
+module Apodization = Nufft.Apodization
+module Pool = Runtime.Pool
+
+(* Forced scalar C plus whatever startup detection found; deduplicated so
+   a scalar-only host does not run the same leg twice. *)
+let impls = List.sort_uniq compare [ Simd.Scalar; Simd.available ]
+
+let ulp_budget = 4L
+
+(* Map the IEEE bit pattern onto a monotonic integer line so that the
+   difference counts representable doubles between the two values,
+   across the zero crossing included. *)
+let ordered_bits x =
+  let b = Int64.bits_of_float x in
+  if Int64.compare b 0L >= 0 then b else Int64.sub Int64.min_int b
+
+let ulp_diff a b =
+  if a = b then 0L
+  else Int64.abs (Int64.sub (ordered_bits a) (ordered_bits b))
+
+let check_float_ulp name k part reference actual =
+  if Int64.compare (ulp_diff reference actual) ulp_budget > 0 then
+    Alcotest.failf "%s: %s[%d] differs by > %Ld ULP: %.17g vs %.17g" name part
+      k ulp_budget reference actual
+
+let check_cvec_ulp name reference actual =
+  if Cvec.length reference <> Cvec.length actual then
+    Alcotest.failf "%s: length %d vs %d" name (Cvec.length reference)
+      (Cvec.length actual);
+  for k = 0 to Cvec.length reference - 1 do
+    check_float_ulp name k "re"
+      (Cvec.unsafe_get_re reference k)
+      (Cvec.unsafe_get_re actual k);
+    check_float_ulp name k "im"
+      (Cvec.unsafe_get_im reference k)
+      (Cvec.unsafe_get_im actual k)
+  done
+
+let rand_cvec rng n =
+  Cvec.init n (fun _ ->
+      C.make
+        (Random.State.float rng 2.0 -. 1.0)
+        (Random.State.float rng 2.0 -. 1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Raw kernel edge cases: empty streams and zero-length rows must be
+   no-ops under every implementation (the C side guards the p = len/m
+   divisions). *)
+
+let test_empty_streams () =
+  List.iter
+    (fun impl ->
+      Simd.with_impl impl (fun () ->
+          if Simd.enabled () then begin
+            let nm = Simd.impl_name impl in
+            let out = Cvec.create 4 in
+            Simd.spread (Cvec.create 0) [||] [||] out;
+            Simd.spread_shard (Cvec.create 0) [||] [||] [||] out;
+            Simd.deapod_row out 0 out 0 [||] 0 0 1.0 1.0;
+            check_cvec_ulp (nm ^ " empty spread/shard/deapod")
+              (Cvec.create 4) out;
+            let acc = Cvec.create 0 in
+            Simd.gather (Cvec.create 4) [||] [||] acc 0 0
+          end))
+    impls
+
+(* ------------------------------------------------------------------ *)
+(* Sample_plan replay: spread and gather on random plans (random window
+   width, dimensionality, sample count including zero) against the OCaml
+   replay loops. *)
+
+let prop_spread_gather =
+  QCheck.Test.make
+    ~name:"spread/gather replay: every impl within 4 ULP of the OCaml loop"
+    ~count:40
+    QCheck.(
+      quad (int_range 0 10_000) (* seed *)
+        (int_range 0 80) (* m *)
+        (int_range 2 3) (* dims *)
+        (int_range 2 6) (* w *))
+    (fun (seed, m, dims, w) ->
+      let n = if dims = 2 then 12 else 5 in
+      let g = 2 * n in
+      let plan = Plan.make ~w ~n () in
+      let s = Sample.random ~seed ~dims ~g m in
+      let sp = Plan.compiled plan s in
+      let values = s.Sample.values in
+      let reference = Sample_plan.spread sp values in
+      let grid =
+        Cvec.init (Sample_plan.grid_length sp) (fun k ->
+            C.make (cos (0.01 *. float_of_int k)) (sin (0.03 *. float_of_int k)))
+      in
+      let gather_ref = Sample_plan.gather sp grid in
+      List.iter
+        (fun impl ->
+          let nm = Simd.impl_name impl in
+          Simd.with_impl impl (fun () ->
+              check_cvec_ulp
+                (Printf.sprintf "spread %s m=%d dims=%d w=%d" nm m dims w)
+                reference
+                (Sample_plan.spread ~simd:true sp values);
+              check_cvec_ulp
+                (Printf.sprintf "gather %s m=%d dims=%d w=%d" nm m dims w)
+                gather_ref
+                (Sample_plan.gather ~simd:true sp grid)))
+        impls;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Region-sharded replay: the shard kernel streams entries strictly one
+   at a time, so every pool size must stay within the ULP budget of the
+   serial OCaml spread (in practice: bitwise). *)
+
+let pool_sizes = [ 1; 2; 3; 4; 7 ]
+
+let test_shard_replay () =
+  let plan = Plan.make ~n:16 () in
+  let s = Sample.random ~seed:77 ~dims:2 ~g:32 300 in
+  let sp = Plan.compiled plan s in
+  let reference = Sample_plan.spread sp s.Sample.values in
+  List.iter
+    (fun impl ->
+      Simd.with_impl impl (fun () ->
+          List.iter
+            (fun d ->
+              let pool = Pool.create ~domains:d () in
+              Fun.protect
+                ~finally:(fun () -> Pool.shutdown pool)
+                (fun () ->
+                  check_cvec_ulp
+                    (Printf.sprintf "shard replay %s pool=%d"
+                       (Simd.impl_name impl) d)
+                    reference
+                    (Sample_plan.spread_parallel ~pool ~simd:true sp
+                       s.Sample.values)))
+            pool_sizes))
+    impls
+
+(* ------------------------------------------------------------------ *)
+(* Batched butterfly lines: random power-of-two lengths (including 1 and
+   2), random line counts, random leading offset, both directions; the
+   untouched prefix and tail are part of the comparison, so an
+   out-of-range vector store fails the test. *)
+
+let prop_fft_batch =
+  QCheck.Test.make
+    ~name:"fft_batch lines: every impl within 4 ULP of the OCaml butterflies"
+    ~count:60
+    QCheck.(
+      quad (int_range 0 10_000) (* seed *)
+        (int_range 0 7) (* log2 len *)
+        (int_range 1 5) (* count *)
+        (pair (int_range 0 9) bool) (* leading offset, direction *))
+    (fun (seed, logn, count, (off, fwd)) ->
+      let len = 1 lsl logn in
+      let dir = if fwd then Fft.Dft.Forward else Fft.Dft.Inverse in
+      let rng = Random.State.make [| seed |] in
+      let base = rand_cvec rng (off + (count * len) + 3) in
+      let run impl =
+        let v = Cvec.copy base in
+        Simd.with_impl impl (fun () ->
+            Fft.Fft1d.transform_batch dir v ~off ~count ~len);
+        v
+      in
+      let reference = run Simd.Off in
+      List.iter
+        (fun impl ->
+          check_cvec_ulp
+            (Printf.sprintf "fft_batch %s len=%d count=%d off=%d"
+               (Simd.impl_name impl) len count off)
+            reference (run impl))
+        impls;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Deapodization row scaling: random lengths (including 0 and 1) and
+   offsets, 2D (fz = 1.0) and 3D factor shapes, against the OCaml loop;
+   a separate case checks the in-place aliasing pattern used by
+   [Apodization.divide_2d]. *)
+
+let prop_deapod_row =
+  QCheck.Test.make
+    ~name:"deapod row: every impl within 4 ULP of the OCaml loop" ~count:100
+    QCheck.(pair (int_range 0 10_000) (int_range 0 50))
+    (fun (seed, len) ->
+      let rng = Random.State.make [| seed |] in
+      let doff = Random.State.int rng 4
+      and soff = Random.State.int rng 4
+      and foff = Random.State.int rng 4 in
+      let fy = 0.5 +. Random.State.float rng 1.5 in
+      let fz =
+        if Random.State.bool rng then 1.0
+        else 0.5 +. Random.State.float rng 1.5
+      in
+      let f =
+        Array.init (foff + len) (fun _ ->
+            0.5 +. Random.State.float rng 1.5)
+      in
+      let src = rand_cvec rng (soff + len) in
+      let dst0 = rand_cvec rng (doff + len + 2) in
+      let run impl =
+        let dst = Cvec.copy dst0 in
+        Simd.with_impl impl (fun () ->
+            Apodization.scale_row_into ~dst ~dst_off:doff ~src ~src_off:soff
+              ~f ~f_off:foff ~len ~fy ~fz);
+        dst
+      in
+      let reference = run Simd.Off in
+      List.iter
+        (fun impl ->
+          check_cvec_ulp
+            (Printf.sprintf "deapod %s len=%d doff=%d soff=%d foff=%d"
+               (Simd.impl_name impl) len doff soff foff)
+            reference (run impl))
+        impls;
+      true)
+
+let test_deapod_in_place () =
+  let rng = Random.State.make [| 4242 |] in
+  let len = 33 in
+  let f = Array.init len (fun _ -> 0.5 +. Random.State.float rng 1.5) in
+  let base = rand_cvec rng len in
+  let run impl =
+    let v = Cvec.copy base in
+    Simd.with_impl impl (fun () ->
+        Apodization.scale_row_into ~dst:v ~dst_off:0 ~src:v ~src_off:0 ~f
+          ~f_off:0 ~len ~fy:1.25 ~fz:1.0);
+    v
+  in
+  let reference = run Simd.Off in
+  List.iter
+    (fun impl ->
+      check_cvec_ulp
+        ("in-place deapod " ^ Simd.impl_name impl)
+        reference (run impl))
+    impls
+
+(* ------------------------------------------------------------------ *)
+(* End to end: a full compiled adjoint (spread + FFT passes + crop with
+   deapodization) with every stage dispatched through the kernels, vs
+   the same plan with dispatch off. *)
+
+let test_adjoint_end_to_end () =
+  List.iter
+    (fun dims ->
+      let n = if dims = 2 then 16 else 6 in
+      let g = 2 * n in
+      let plan = Plan.make ~n () in
+      let s = Sample.random ~seed:(50 + dims) ~dims ~g 200 in
+      let reference =
+        Simd.with_impl Simd.Off (fun () -> Plan.adjoint_compiled plan s)
+      in
+      List.iter
+        (fun impl ->
+          Simd.with_impl impl (fun () ->
+              check_cvec_ulp
+                (Printf.sprintf "%dd adjoint %s" dims (Simd.impl_name impl))
+                reference
+                (Plan.adjoint_compiled ~simd:true plan s)))
+        impls)
+    [ 2; 3 ]
+
+let () =
+  let quick f = List.map (fun (name, g) -> (name, `Quick, g)) f in
+  Alcotest.run "simd"
+    [ ("kernels", quick [ ("empty streams", test_empty_streams) ]);
+      ( "replay",
+        Qutil.to_alcotests [ prop_spread_gather ]
+        @ quick [ ("sharded replay across pools", test_shard_replay) ] );
+      ("fft", Qutil.to_alcotests [ prop_fft_batch ]);
+      ( "deapod",
+        Qutil.to_alcotests [ prop_deapod_row ]
+        @ quick [ ("in-place row", test_deapod_in_place) ] );
+      ( "end-to-end",
+        quick [ ("compiled adjoint 2d/3d", test_adjoint_end_to_end) ] )
+    ]
