@@ -148,6 +148,20 @@ let parse_simd path =
       | exception _ -> found)
     None
 
+let parse_slice_dispatch path =
+  fold_lines path
+    (fun found line ->
+      match
+        Scanf.sscanf line
+          " \"slice_dispatch\": { \"serial_sps\": %f, \"dispatched_sps\": \
+           %f, \"pool_size\": %d, \"profitable\": %B, \"ratio\": %f, \
+           \"required_ratio\": %f"
+          (fun s d p prof r req -> (s, d, p, prof, r, req))
+      with
+      | row -> Some row
+      | exception _ -> found)
+    None
+
 let parse_telemetry_pct path =
   fold_lines path
     (fun found line ->
@@ -315,6 +329,31 @@ let () =
               Printf.sprintf
                 "simd replay speedup: %.2fx (impl %s), required >= %.2fx"
                 speedup impl required
+              :: !breaches);
+      (* Self-asserting like replay/simd: the dispatched slice-parallel
+         engine demotes to the serial schedule when unprofitable, so the
+         chosen path must never be slower than serial beyond noise. *)
+      (match parse_slice_dispatch current_path with
+      | None ->
+          Printf.printf
+            "  %-24s current run has no dispatch metrics; skipping\n"
+            "slice dispatch"
+      | Some (serial_sps, dispatched_sps, pool, profitable, ratio, required)
+        ->
+          let ok = ratio >= required in
+          Printf.printf
+            "  %-24s %.2fx serial (pool %d, %s, %.0f vs %.0f sps, required \
+             >= %.2fx)  %s\n"
+            "slice dispatch" ratio pool
+            (if profitable then "column-scan" else "demoted")
+            dispatched_sps serial_sps required
+            (if ok then "ok" else "BELOW REQUIREMENT");
+          if not ok then
+            breaches :=
+              Printf.sprintf
+                "slice dispatch ratio: %.2fx serial on pool %d, required >= \
+                 %.2fx (cliff: chosen path slower than serial)"
+                ratio pool required
               :: !breaches);
       (match parse_telemetry_pct current_path with
       | None ->

@@ -1,0 +1,194 @@
+(* Validate a BENCH_serve.json produced by load_bench.exe. Entirely
+   self-asserting — serving-tier throughput depends on the measuring
+   machine, so there is no cross-machine baseline; what must hold
+   everywhere are the structural invariants of a correct admission
+   controller:
+
+     - the rate sweep ran and every rung is internally consistent
+       (completions happened, p50 <= p99, no untyped errors on rungs
+       that kept up),
+     - a saturation point was found (the ladder did not end before the
+       server was ever pushed),
+     - the overload leg was answered with typed sheds, not stalls or
+       errors (load shedding works),
+     - the Prometheus exposition scraped during overload parsed and
+       validated (observability survives overload),
+     - when the bench owned the server, the drain completed, every
+       in-flight request was answered, and a late connection was turned
+       away (graceful drain works).
+
+   Reads the file line-by-line with Scanf like check_hotpath.exe — no
+   JSON library.
+
+   Usage: check_serve.exe BENCH_serve.json *)
+
+let fold_lines path f init =
+  let ic = open_in path in
+  let acc = ref init in
+  (try
+     while true do
+       acc := f !acc (input_line ic)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !acc
+
+type rate_row = {
+  offered : float;
+  completed : float;
+  ok : int;
+  shed : int;
+  errors : int;
+  p50_ms : float;
+  p99_ms : float;
+}
+
+let parse_rate_row line =
+  match
+    Scanf.sscanf line
+      " { \"offered_rps\": %f, \"completed_rps\": %f, \"ok\": %d, \
+       \"shed\": %d, \"errors\": %d, \"p50_ms\": %f, \"p99_ms\": %f"
+      (fun offered completed ok shed errors p50_ms p99_ms ->
+        { offered; completed; ok; shed; errors; p50_ms; p99_ms })
+  with
+  | row -> Some row
+  | exception _ -> None
+
+let parse_one path fmt k =
+  fold_lines path
+    (fun found line ->
+      match Scanf.sscanf line fmt k with
+      | v -> Some v
+      | exception _ -> found)
+    None
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; path ] ->
+      if not (Sys.file_exists path) then begin
+        Printf.eprintf "check_serve: %s absent (run load_bench first)\n"
+          path;
+        exit 2
+      end;
+      let schema = parse_one path " \"schema\": %S" (fun s -> s) in
+      if schema <> Some "serve-1" then begin
+        Printf.eprintf "check_serve: %s is not a serve-1 bench file\n" path;
+        exit 2
+      end;
+      let mode =
+        match parse_one path " \"mode\": %S" (fun s -> s) with
+        | Some m -> m
+        | None -> "unknown"
+      in
+      let rows =
+        List.rev
+          (fold_lines path
+             (fun rows line ->
+               match parse_rate_row line with
+               | Some r -> r :: rows
+               | None -> rows)
+             [])
+      in
+      let saturation =
+        parse_one path " \"saturation_rps\": %f" (fun s -> s)
+      in
+      let overload =
+        parse_one path
+          " \"overload\": { \"offered_rps\": %f, \"ok\": %d, \"shed\": %d, \
+           \"errors\": %d, \"shed_pct\": %f"
+          (fun rps ok shed errors pct -> (rps, ok, shed, errors, pct))
+      in
+      let drain =
+        parse_one path
+          " \"drain\": { \"drained\": %B, \"inflight\": %d, \"completed\": \
+           %d, \"rejected\": %d, \"drain_ms\": %f, \"new_conn_rejected\": \
+           %B"
+          (fun drained inflight completed rejected ms rej ->
+            (drained, inflight, completed, rejected, ms, rej))
+      in
+      let metrics_valid =
+        parse_one path " \"metrics_valid\": %B" (fun b -> b)
+      in
+      let breaches = ref [] in
+      let breach fmt =
+        Printf.ksprintf (fun s -> breaches := s :: !breaches) fmt
+      in
+      Printf.printf "serving-tier invariants (%s, mode %s):\n" path mode;
+      if rows = [] then breach "no rate rows recorded"
+      else begin
+        Printf.printf "  %d rate rung(s), %.0f..%.0f offered req/s\n"
+          (List.length rows)
+          (List.hd rows).offered
+          (List.nth rows (List.length rows - 1)).offered;
+        List.iter
+          (fun r ->
+            if r.ok + r.shed + r.errors = 0 then
+              breach "rung %.0f req/s: no requests completed" r.offered;
+            if r.ok > 0 && r.p50_ms > r.p99_ms +. 1e-9 then
+              breach "rung %.0f req/s: p50 %.3f ms > p99 %.3f ms" r.offered
+                r.p50_ms r.p99_ms;
+            if r.ok > 0 && r.completed <= 0.0 then
+              breach "rung %.0f req/s: ok > 0 but completed_rps = 0"
+                r.offered)
+          rows
+      end;
+      (match saturation with
+      | None -> breach "saturation_rps missing"
+      | Some s ->
+          Printf.printf "  saturation %.0f req/s\n" s;
+          if s <= 0.0 then
+            breach
+              "saturation_rps is %.0f — the server never kept up with the \
+               lowest offered rate"
+              s);
+      (match overload with
+      | None -> breach "overload leg missing"
+      | Some (rps, ok, shed, errors, pct) ->
+          Printf.printf
+            "  overload %.0f attempts/s: %d ok, %d shed (%.1f%%), %d \
+             errors\n"
+            rps ok shed pct errors;
+          if shed <= 0 then
+            breach
+              "overload leg recorded no sheds — admission control never \
+               engaged";
+          if ok <= 0 then
+            breach "overload leg completed no requests — server stalled";
+          if errors > 0 then
+            breach
+              "overload leg hit %d untyped errors — overflow must be shed, \
+               not dropped"
+              errors);
+      (match metrics_valid with
+      | None -> breach "metrics_valid missing"
+      | Some true -> Printf.printf "  metrics exposition valid\n"
+      | Some false ->
+          breach "metrics exposition failed to parse/validate under load");
+      (match drain with
+      | None when mode = "inprocess" ->
+          breach "drain leg missing from an inprocess run"
+      | None -> Printf.printf "  drain leg skipped (external server)\n"
+      | Some (drained, inflight, completed, rejected, ms, new_rej) ->
+          Printf.printf
+            "  drain %.2f ms: %d/%d in-flight completed, %d rejected \
+             typed, new connection %s\n"
+            ms completed inflight rejected
+            (if new_rej then "rejected" else "accepted");
+          if not drained then breach "drain timed out";
+          if completed + rejected <> inflight then
+            breach
+              "drain answered %d of %d in-flight requests (typed or \
+               completed)"
+              (completed + rejected) inflight;
+          if not new_rej then
+            breach "a connection opened during drain was admitted");
+      (match List.rev !breaches with
+      | [] -> Printf.printf "  all serving invariants hold\n"
+      | l ->
+          Printf.eprintf "check_serve: %d invariant(s) breached:\n"
+            (List.length l);
+          List.iter (fun b -> Printf.eprintf "  - %s\n" b) l;
+          exit 1)
+  | _ ->
+      Printf.eprintf "usage: check_serve.exe BENCH_serve.json\n";
+      exit 2

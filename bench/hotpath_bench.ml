@@ -116,7 +116,8 @@ let cg_case ~quick =
   (n, m, result.Imaging.Cg.iterations, wall)
 
 let write_json ~quick ~g ~m ~tile ~disabled_pct ~replay:(rsps, psps, domains)
-    ~simd:(simd_name, scalar_sps, simd_sps, simd_required) rows
+    ~simd:(simd_name, scalar_sps, simd_sps, simd_required)
+    ~dispatch:(d_serial, d_sps, d_pool, d_profitable) rows
     (svc_rps, svc_cold_ms, svc_warm_ms, svc_words, svc_m)
     (cg_n, cg_m, cg_iters, cg_wall) =
   let oc = open_out json_path in
@@ -153,6 +154,16 @@ let write_json ~quick ~g ~m ~tile ~disabled_pct ~replay:(rsps, psps, domains)
     simd_name scalar_sps simd_sps
     (simd_sps /. scalar_sps)
     simd_required;
+  (* Self-asserting dispatch gate: the Slice_parallel engine demotes to
+     the bit-identical serial schedule when the profitability model says
+     the pool cannot win, so the dispatched path must never be slower
+     than serial beyond measurement noise (the 0.90 floor). *)
+  p
+    "  \"slice_dispatch\": { \"serial_sps\": %.1f, \"dispatched_sps\": \
+     %.1f, \"pool_size\": %d, \"profitable\": %b, \"ratio\": %.3f, \
+     \"required_ratio\": 0.900 },\n"
+    d_serial d_sps d_pool d_profitable
+    (d_sps /. d_serial);
   p
     "  \"service\": { \"requests_per_sec\": %.1f, \"cold_plan_ms\": %.3f, \
      \"warm_request_ms\": %.3f, \"minor_words_per_request\": %.1f, \"m\": \
@@ -333,6 +344,28 @@ let run () =
       "  simd replay (%s): %.2fx scalar replay — speedup gate SKIPPED (no \
        vector unit dispatched)\n"
       simd_name (simd_sps /. scalar_sps);
+  (* Dispatch-demotion gate for the slice-parallel cliff: the dispatched
+     Slice_parallel engine (which demotes to the bit-identical serial
+     schedule when [slice_parallel_profitable] says the pool cannot
+     win) must never be slower than the serial engine beyond noise. *)
+  let dispatch_info =
+    let find name = List.find (fun r -> r.name = name) rows in
+    let serial_sps = (find "serial").samples_per_sec in
+    let dispatched_sps = (find "slice-parallel").samples_per_sec in
+    let pool_size = Runtime.Pool.global_size () in
+    let profitable =
+      Nufft.Gridding.slice_parallel_profitable ~pool_size ~t:tile
+        ~w:Bench_data.w ~m
+    in
+    Printf.printf
+      "  slice-parallel dispatch: %.2fx serial (pool %d, %s; required >= \
+       0.90x)%s\n"
+      (dispatched_sps /. serial_sps)
+      pool_size
+      (if profitable then "column-scan path" else "demoted to serial")
+      (if dispatched_sps /. serial_sps >= 0.9 then "" else "  BELOW FLOOR");
+    (serial_sps, dispatched_sps, pool_size, profitable)
+  in
   let ((svc_rps, svc_cold_ms, svc_warm_ms, svc_words, svc_m) as svc) =
     service_case ~quick
   in
@@ -345,4 +378,4 @@ let run () =
     cg_wall;
   if !json then
     write_json ~quick ~g ~m ~tile ~disabled_pct ~replay:replay_info
-      ~simd:simd_info rows svc cg
+      ~simd:simd_info ~dispatch:dispatch_info rows svc cg

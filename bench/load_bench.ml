@@ -1,0 +1,445 @@
+(* Closed-loop load bench for the serving tier with open-loop arrival
+   accounting.
+
+   Each client thread owns one persistent connection and a deterministic
+   arrival schedule: request [k] (globally interleaved across threads)
+   is due at [start + k / rate]. A thread sleeps until the next arrival
+   is due, then sends and blocks for the response — but latency is
+   measured from the *scheduled* arrival, not the send, so when the
+   server falls behind the queueing delay is charged to the server
+   rather than silently absorbed by the generator (no coordinated
+   omission).
+
+   The harness sweeps a geometric ladder of offered rates until goodput
+   stops keeping up (completions below 90% of offered, or the server
+   starts shedding); the last keeping-up rung is the saturation point.
+   It then runs an overload leg — back-to-back requests from twice the
+   client count, the closed-loop limit of demand — and asserts the
+   admission queue answers the overflow with typed [Shed] statuses
+   rather than stalls or disconnects. Finally (self-hosted mode only) it
+   drains the server under in-flight load and times the drain.
+
+   Results go to BENCH_serve.json (schema "serve-1", one object per
+   line, same no-JSON-library convention as BENCH_hotpath.json);
+   check_serve.exe re-reads the file and enforces the structural
+   invariants, so CI fails when the serving tier stops shedding or
+   draining cleanly.
+
+   Default is fully self-hosted: an in-process server on an ephemeral
+   loopback port with a deliberately small admission queue. [--port]
+   targets an already-running [jigsaw serve] instead (the CI smoke job
+   does this); the drain leg is skipped there since the bench does not
+   own the server's lifecycle. *)
+
+module P = Serving.Protocol
+module C = Serving.Client
+module S = Serving.Server
+module Prom = Serving.Prometheus
+
+let now = Unix.gettimeofday
+
+(* ------------------------------------------------------------------ *)
+(* Workload: a small but real 2-D adjoint reconstruction, round-robined
+   over a handful of tenants so the plan-cache sharding is exercised.  *)
+
+let tenants = [| "alice"; "bob"; "carol"; "dave" |]
+
+let recon_n = 16
+
+let make_request ~m k =
+  let tenant = tenants.(k mod Array.length tenants) in
+  { P.tenant;
+    backend = "";
+    n = recon_n;
+    dims = 2;
+    method_ = P.Adjoint;
+    tol = None;
+    family = None;
+    omega =
+      [| Array.init m (fun j ->
+             -3.0 +. (6.0 *. float_of_int j /. float_of_int m));
+         Array.init m (fun j ->
+             3.0 -. (6.0 *. float_of_int j /. float_of_int m)) |];
+    values = Array.init (2 * m) (fun j -> float_of_int ((j mod 13) + 1));
+    density = None }
+
+(* ------------------------------------------------------------------ *)
+(* Per-leg tallies *)
+
+type tally = {
+  mutable ok : int;
+  mutable shed : int;
+  mutable errors : int;
+  mutable latencies : float list;  (** seconds, successful requests *)
+  mutable last_finish : float;
+}
+
+let new_tally () =
+  { ok = 0; shed = 0; errors = 0; latencies = []; last_finish = 0.0 }
+
+let merge ts =
+  let t = new_tally () in
+  Array.iter
+    (fun s ->
+      t.ok <- t.ok + s.ok;
+      t.shed <- t.shed + s.shed;
+      t.errors <- t.errors + s.errors;
+      t.latencies <- List.rev_append s.latencies t.latencies;
+      if s.last_finish > t.last_finish then t.last_finish <- s.last_finish)
+    ts;
+  t
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+    sorted.(max 0 (min (n - 1) idx))
+
+let classify t ~scheduled = function
+  | Ok (P.Recon_ok _) ->
+      let fin = now () in
+      t.ok <- t.ok + 1;
+      t.latencies <- (fin -. scheduled) :: t.latencies;
+      t.last_finish <- fin;
+      true
+  | Ok (P.Err (P.Shed, _)) ->
+      t.shed <- t.shed + 1;
+      t.last_finish <- now ();
+      true
+  | Ok _ ->
+      t.errors <- t.errors + 1;
+      true
+  | Error _ ->
+      t.errors <- t.errors + 1;
+      false (* connection no longer trustworthy *)
+
+(* One open-loop leg at a fixed offered rate. *)
+let run_rate ~host ~port ~clients ~m ~rate ~duration =
+  let start = now () +. 0.05 in
+  let tallies = Array.init clients (fun _ -> new_tally ()) in
+  let threads =
+    Array.init clients (fun c ->
+        Thread.create
+          (fun () ->
+            let t = tallies.(c) in
+            let conn = ref (Some (C.connect ~host ~port ())) in
+            let k = ref c in
+            let deadline = start +. duration in
+            (try
+               while start +. (float_of_int !k /. rate) < deadline do
+                 let scheduled = start +. (float_of_int !k /. rate) in
+                 let wait = scheduled -. now () in
+                 if wait > 0.0 then Thread.delay wait;
+                 (match !conn with
+                 | None -> conn := Some (C.connect ~host ~port ())
+                 | Some _ -> ());
+                 (match !conn with
+                 | Some cn ->
+                     let req = P.Recon (make_request ~m !k) in
+                     if not (classify t ~scheduled (C.call cn req)) then begin
+                       C.close cn;
+                       conn := None
+                     end
+                 | None -> ());
+                 k := !k + clients
+               done
+             with Unix.Unix_error _ -> t.errors <- t.errors + 1);
+            match !conn with Some cn -> C.close cn | None -> ())
+          ())
+  in
+  Array.iter Thread.join threads;
+  let t = merge tallies in
+  let elapsed = Float.max duration (t.last_finish -. start) in
+  let lat = Array.of_list t.latencies in
+  Array.sort compare lat;
+  ( t,
+    float_of_int t.ok /. elapsed,
+    1000.0 *. percentile lat 0.50,
+    1000.0 *. percentile lat 0.99 )
+
+(* Overload leg: back-to-back, no schedule — the closed-loop demand
+   ceiling from [clients] concurrent connections. *)
+let run_overload ~host ~port ~clients ~m ~duration =
+  let start = now () in
+  let tallies = Array.init clients (fun _ -> new_tally ()) in
+  let sent = Array.make clients 0 in
+  let threads =
+    Array.init clients (fun c ->
+        Thread.create
+          (fun () ->
+            let t = tallies.(c) in
+            let conn = ref (Some (C.connect ~host ~port ())) in
+            let k = ref c in
+            (try
+               while now () -. start < duration do
+                 (match !conn with
+                 | None -> conn := Some (C.connect ~host ~port ())
+                 | Some _ -> ());
+                 (match !conn with
+                 | Some cn ->
+                     sent.(c) <- sent.(c) + 1;
+                     let req = P.Recon (make_request ~m !k) in
+                     if
+                       not (classify t ~scheduled:(now ()) (C.call cn req))
+                     then begin
+                       C.close cn;
+                       conn := None
+                     end
+                 | None -> ());
+                 k := !k + clients
+               done
+             with Unix.Unix_error _ -> t.errors <- t.errors + 1);
+            match !conn with Some cn -> C.close cn | None -> ())
+          ())
+  in
+  Array.iter Thread.join threads;
+  let t = merge tallies in
+  let attempts = Array.fold_left ( + ) 0 sent in
+  (t, float_of_int attempts /. duration)
+
+(* Drain leg (self-hosted only): fire [inflight] concurrent requests,
+   immediately begin the drain, and check that every in-flight request
+   is answered (completed or typed [Draining] if it lost the admission
+   race) while a fresh connection is turned away. *)
+let run_drain server ~host ~port ~m ~inflight =
+  let results = Array.make inflight None in
+  let threads =
+    Array.init inflight (fun i ->
+        Thread.create
+          (fun () ->
+            let c = C.connect ~host ~port () in
+            Fun.protect
+              ~finally:(fun () -> C.close c)
+              (fun () ->
+                results.(i) <- Some (C.call c (P.Recon (make_request ~m i)))))
+          ())
+  in
+  Thread.delay 0.02;
+  let t0 = now () in
+  S.drain server;
+  let drained = S.await_drained ~timeout_s:30.0 server in
+  let drain_ms = 1000.0 *. (now () -. t0) in
+  Array.iter Thread.join threads;
+  let completed = ref 0 and rejected = ref 0 in
+  Array.iter
+    (fun r ->
+      match r with
+      | Some (Ok (P.Recon_ok _)) -> incr completed
+      | Some (Ok (P.Err (P.Draining, _))) -> incr rejected
+      | _ -> ())
+    results;
+  let new_conn_rejected =
+    match C.connect ~host ~port () with
+    | c ->
+        let r =
+          match C.call c (P.Recon (make_request ~m 0)) with
+          | Ok (P.Err (P.Draining, _)) -> true
+          | Ok (P.Err (P.Shed, _)) -> true
+          | _ -> false
+          | exception _ -> true
+        in
+        C.close c;
+        r
+    | exception Unix.Unix_error _ -> true
+  in
+  (drained, !completed, !rejected, drain_ms, new_conn_rejected)
+
+(* ------------------------------------------------------------------ *)
+
+type rate_row = {
+  offered : float;
+  completed : float;
+  r_ok : int;
+  r_shed : int;
+  r_errors : int;
+  p50_ms : float;
+  p99_ms : float;
+}
+
+let write_json ~path ~quick ~mode ~clients ~m ~rows ~saturation
+    ~overload:(ov_rps, ov : float * tally)
+    ~drain ~metrics_valid =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"serve-1\",\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"mode\": %S,\n" mode;
+  p "  \"clients\": %d,\n" clients;
+  p "  \"n\": %d,\n" recon_n;
+  p "  \"m\": %d,\n" m;
+  p "  \"rates\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      p
+        "    { \"offered_rps\": %.1f, \"completed_rps\": %.1f, \"ok\": %d, \
+         \"shed\": %d, \"errors\": %d, \"p50_ms\": %.3f, \"p99_ms\": %.3f \
+         }%s\n"
+        r.offered r.completed r.r_ok r.r_shed r.r_errors r.p50_ms r.p99_ms
+        (if i = last then "" else ","))
+    rows;
+  p "  ],\n";
+  p "  \"saturation_rps\": %.1f,\n" saturation;
+  let ov_total = ov.ok + ov.shed + ov.errors in
+  p
+    "  \"overload\": { \"offered_rps\": %.1f, \"ok\": %d, \"shed\": %d, \
+     \"errors\": %d, \"shed_pct\": %.1f },\n"
+    ov_rps ov.ok ov.shed ov.errors
+    (if ov_total = 0 then 0.0
+     else 100.0 *. float_of_int ov.shed /. float_of_int ov_total);
+  (match drain with
+  | None -> ()
+  | Some (drained, completed, rejected, drain_ms, new_conn_rejected) ->
+      p
+        "  \"drain\": { \"drained\": %b, \"inflight\": %d, \"completed\": \
+         %d, \"rejected\": %d, \"drain_ms\": %.2f, \"new_conn_rejected\": \
+         %b },\n"
+        drained (completed + rejected) completed rejected drain_ms
+        new_conn_rejected);
+  p "  \"metrics_valid\": %b\n" metrics_valid;
+  p "}\n";
+  close_out oc
+
+let () =
+  let quick = ref false in
+  let json_path = ref "BENCH_serve.json" in
+  let ext_port = ref 0 in
+  let host = ref "127.0.0.1" in
+  let clients = ref 8 in
+  let rec scan = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        scan rest
+    | "--json" :: v :: rest ->
+        json_path := v;
+        scan rest
+    | "--port" :: v :: rest ->
+        ext_port := int_of_string v;
+        scan rest
+    | "--host" :: v :: rest ->
+        host := v;
+        scan rest
+    | "--clients" :: v :: rest ->
+        clients := int_of_string v;
+        scan rest
+    | a :: _ ->
+        Printf.eprintf
+          "usage: load_bench.exe [--quick] [--json FILE] [--port P] \
+           [--host H] [--clients N]  (unknown arg %s)\n"
+          a;
+        exit 2
+  in
+  scan (List.tl (Array.to_list Sys.argv));
+  let quick = !quick in
+  let clients = !clients in
+  let m = if quick then 64 else 256 in
+  let duration = if quick then 0.5 else 2.0 in
+  let max_rungs = if quick then 7 else 9 in
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let server, port, mode =
+    if !ext_port > 0 then (None, !ext_port, "external")
+    else begin
+      (* deliberately small queue: the overload leg must overflow it *)
+      let config =
+        { S.default_config with
+          queue_capacity = 4;
+          workers = 2;
+          read_timeout_s = 10.0;
+          tenants =
+            { Serving.Tenants.default_config with cache_entries = 4 } }
+      in
+      let t = S.create ~config () in
+      S.start t;
+      (Some t, S.port t, "inprocess")
+    end
+  in
+  let host = !host in
+  Printf.printf
+    "=== Serving-tier load bench (%s, %s:%d, %d clients, m=%d, %.1fs per \
+     rung) ===\n"
+    mode host port clients m duration;
+  Printf.printf "  %12s %14s %8s %8s %8s %10s %10s\n" "offered/s"
+    "completed/s" "ok" "shed" "errors" "p50 ms" "p99 ms";
+  (* geometric rate ladder until goodput stops keeping up *)
+  let rows = ref [] in
+  let saturation = ref 0.0 in
+  let rate = ref 100.0 in
+  let keep_going = ref true in
+  let rung = ref 0 in
+  while !keep_going && !rung < max_rungs do
+    let t, completed_rps, p50_ms, p99_ms =
+      run_rate ~host ~port ~clients ~m ~rate:!rate ~duration
+    in
+    let row =
+      { offered = !rate; completed = completed_rps; r_ok = t.ok;
+        r_shed = t.shed; r_errors = t.errors; p50_ms; p99_ms }
+    in
+    rows := row :: !rows;
+    let keeping_up =
+      t.errors = 0 && t.shed = 0 && completed_rps >= 0.9 *. !rate
+    in
+    Printf.printf "  %12.0f %14.1f %8d %8d %8d %10.3f %10.3f  %s\n" !rate
+      completed_rps t.ok t.shed t.errors p50_ms p99_ms
+      (if keeping_up then "ok" else "saturated");
+    if keeping_up then begin
+      saturation := !rate;
+      rate := !rate *. 2.0
+    end
+    else keep_going := false;
+    incr rung
+  done;
+  let rows = List.rev !rows in
+  (* overload: closed-loop ceiling from twice the client count; the
+     admission queue must answer the overflow with typed sheds *)
+  let ov, ov_rps =
+    run_overload ~host ~port ~clients:(2 * clients) ~m ~duration
+  in
+  Printf.printf
+    "  overload (%d back-to-back clients): %.0f attempts/s, %d ok, %d \
+     shed, %d errors\n"
+    (2 * clients) ov_rps ov.ok ov.shed ov.errors;
+  (* the observability plane must survive the overload it just served *)
+  let metrics_valid =
+    let c = C.connect ~host ~port () in
+    Fun.protect
+      ~finally:(fun () -> C.close c)
+      (fun () ->
+        match C.metrics c with
+        | Ok text -> (
+            match Prom.validate text with
+            | Ok (samples, _types) ->
+                Prom.find samples "srv_requests_total" <> None
+            | Error e ->
+                Printf.printf "  metrics INVALID: %s\n" e;
+                false)
+        | Error e ->
+            Printf.printf "  metrics scrape failed: %s\n"
+              (C.call_error_message e);
+            false)
+  in
+  Printf.printf "  metrics exposition: %s\n"
+    (if metrics_valid then "valid" else "INVALID");
+  let drain =
+    match server with
+    | None -> None
+    | Some t ->
+        let ((drained, completed, rejected, drain_ms, new_rej) as d) =
+          run_drain t ~host ~port ~m ~inflight:4
+        in
+        Printf.printf
+          "  drain: %s in %.2f ms (%d completed, %d rejected typed, new \
+           connection %s)\n"
+          (if drained then "clean" else "TIMED OUT")
+          drain_ms completed rejected
+          (if new_rej then "rejected" else "ACCEPTED");
+        ignore (S.stop ~timeout_s:30.0 t);
+        Some d
+  in
+  Printf.printf "  saturation: %.0f req/s\n" !saturation;
+  write_json ~path:!json_path ~quick ~mode ~clients ~m ~rows
+    ~saturation:!saturation ~overload:(ov_rps, ov) ~drain ~metrics_valid;
+  Printf.printf "  wrote %s\n" !json_path

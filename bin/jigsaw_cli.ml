@@ -652,6 +652,142 @@ let info_cmd =
   let doc = "print hardware-model parameters" in
   Cmd.v (Cmd.info "info" ~doc) Term.(ret (const run_info $ const ()))
 
+(* ------------------------------------------------------------------ *)
+(* serve subcommand *)
+
+let run_serve host port workers queue_capacity read_timeout max_connections
+    max_tenants cache_entries print_metrics =
+  register_backends ();
+  (* Counters and histograms feed /metrics; span recording stays off so a
+     long-running server's per-domain sinks cannot grow without bound. *)
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  Telemetry.set_span_recording false;
+  let config =
+    { Serving.Server.default_config with
+      host;
+      port;
+      workers;
+      queue_capacity;
+      read_timeout_s = read_timeout;
+      max_connections;
+      tenants =
+        { Serving.Tenants.default_config with max_tenants; cache_entries } }
+  in
+  let srv = Serving.Server.create ~config () in
+  match Serving.Server.start srv with
+  | exception Unix.Unix_error (e, _, _) ->
+      to_ret
+        (Error
+           (Printf.sprintf "cannot listen on %s:%d: %s" host port
+              (Unix.error_message e)))
+  | () ->
+      Printf.printf
+        "jigsaw serve: listening on %s:%d (%d workers, queue %d)\n\
+         metrics: curl http://%s:%d/metrics — stop with SIGINT/SIGTERM \
+         (graceful drain)\n\
+         %!"
+        host (Serving.Server.port srv) workers queue_capacity host
+        (Serving.Server.port srv);
+      (* The handler only flips a flag: running drain() from inside a
+         signal handler could deadlock against a lock the interrupted
+         code holds. The main loop below does the actual work. *)
+      let stop_requested = Atomic.make false in
+      let request_stop _ = Atomic.set stop_requested true in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+      while not (Atomic.get stop_requested) do
+        try Thread.delay 0.2
+        with Unix.Unix_error (EINTR, _, _) -> ()
+      done;
+      print_endline "jigsaw serve: draining (in-flight requests finish)...";
+      let drained = Serving.Server.stop ~timeout_s:30.0 srv in
+      let s = Serving.Server.stats srv in
+      Printf.printf
+        "jigsaw serve: %s — %d requests (%d responses, %d shed, %d timeouts, \
+         %d protocol errors, %d disconnects) across %d tenants\n"
+        (if drained then "drained" else "drain timed out")
+        s.Serving.Server.s_requests s.Serving.Server.s_responses
+        s.Serving.Server.s_shed s.Serving.Server.s_timeouts
+        s.Serving.Server.s_protocol_errors s.Serving.Server.s_disconnects
+        s.Serving.Server.s_tenants;
+      List.iter
+        (fun (tenant, cs) ->
+          Printf.printf
+            "  tenant %-12s plan cache: %d hits / %d misses (%d entries)\n"
+            tenant cs.Pipeline.Plan_cache.hits cs.Pipeline.Plan_cache.misses
+            cs.Pipeline.Plan_cache.entries)
+        (Serving.Tenants.cache_stats (Serving.Server.tenants srv));
+      if print_metrics then print_string (Serving.Server.metrics_text srv);
+      Telemetry.set_enabled false;
+      if drained then `Ok () else `Error (false, "graceful drain timed out")
+
+let serve_cmd =
+  let doc =
+    "serve reconstruction requests over the JGS1 binary protocol (with \
+     /metrics over HTTP on the same port)"
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Listen address.")
+  in
+  let port =
+    Arg.(
+      value & opt int 7411
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Listen port (0 picks an ephemeral port).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"W"
+          ~doc:"Reconstruction worker domains.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 32
+      & info [ "queue" ] ~docv:"Q"
+          ~doc:
+            "Admission queue capacity; requests beyond it are shed with a \
+             typed error.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "read-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-connection read timeout (slow-loris defence).")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int 128
+      & info [ "max-connections" ] ~docv:"C"
+          ~doc:"Concurrent connection cap.")
+  in
+  let max_tenants =
+    Arg.(
+      value & opt int 64
+      & info [ "max-tenants" ] ~docv:"T"
+          ~doc:"Tenant cap; new tenants past it get a typed quota error.")
+  in
+  let cache_entries =
+    Arg.(
+      value & opt int 8
+      & info [ "cache-entries" ] ~docv:"E"
+          ~doc:"Per-tenant plan-cache entry quota.")
+  in
+  let print_metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the final Prometheus exposition on exit.")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run_serve $ host $ port $ workers $ queue $ timeout $ max_conns
+       $ max_tenants $ cache_entries $ print_metrics))
+
 let accuracy_cmd =
   let doc = "measure adjoint-NuFFT accuracy against the exact NuDFT" in
   let n =
@@ -694,6 +830,6 @@ let accuracy_cmd =
 let main_cmd =
   let doc = "Slice-and-Dice / JIGSAW NuFFT acceleration reproduction" in
   Cmd.group (Cmd.info "jigsaw_cli" ~doc)
-    [ grid_cmd; recon_cmd; batch_cmd; accuracy_cmd; info_cmd ]
+    [ grid_cmd; recon_cmd; batch_cmd; accuracy_cmd; info_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

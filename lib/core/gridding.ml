@@ -47,6 +47,25 @@ let grid_1d ?stats ?pool:_ engine ~table ~g ~coords values =
   Gridding_stats.end_span sp;
   out
 
+(* Measured profitability crossover for the pool-parallel slice engine.
+
+   The column-scan schedule costs ~[t^2 * m] boundary checks split over
+   [p] domains, against the serial engine's ~[w^2 * m] accumulations; a
+   boundary check (two mods, a floor, a compare) measures ~3x the cost of
+   one serial accumulate (LUT load + fused RMW) on the hot-path bench, so
+   the parallel scan only beats serial when [p * w^2 >= 3 * t^2]. Below
+   that — including every single-domain run — the engine is demoted to
+   the serial schedule, which is bitwise identical (per-cell accumulation
+   is in sample order on both paths; pinned by test_hotpath /
+   test_parallel_replay). The last clause keeps each domain's share of
+   the scan above the pool's ~16k-op dispatch amortisation floor so tiny
+   trajectories never pay a pool wake-up. check_hotpath.exe asserts the
+   dispatched engine is never slower than serial. *)
+let slice_parallel_profitable ~pool_size ~t ~w ~m =
+  pool_size > 1
+  && pool_size * w * w >= 3 * t * t
+  && t * t * m >= 16384 * pool_size
+
 let grid_2d ?stats ?pool engine ~table ~g ~gx ~gy values =
   let sp = Gridding_stats.grid_span (span_name engine) in
   let out =
@@ -59,8 +78,17 @@ let grid_2d ?stats ?pool engine ~table ~g ~gx ~gy values =
     | Slice_and_dice t ->
         Gridding_slice.grid_2d_fast ?stats ~table ~g ~t ~gx ~gy values
     | Slice_parallel t ->
-        Gridding_slice.grid_2d_parallel ?stats ?pool ~table ~g ~t ~gx ~gy
-          values
+        let pool_size =
+          match pool with
+          | Some p -> Runtime.Pool.size p
+          | None -> Runtime.Pool.global_size ()
+        in
+        let w = Numerics.Weight_table.width table in
+        if slice_parallel_profitable ~pool_size ~t ~w ~m:(Array.length gx)
+        then
+          Gridding_slice.grid_2d_parallel ?stats ?pool ~table ~g ~t ~gx ~gy
+            values
+        else Gridding_serial.grid_2d ?stats ~table ~g ~gx ~gy values
   in
   Gridding_stats.end_span sp;
   out

@@ -47,6 +47,18 @@ val all_schemes : g:int -> w:int -> engine list
 (** {!default_engines} plus the pool-parallel scheme — every way this
     library can compute the same grid; differential tests iterate it. *)
 
+val slice_parallel_profitable : pool_size:int -> t:int -> w:int -> m:int -> bool
+(** The measured crossover {!grid_2d} applies to the [Slice_parallel]
+    engine: [true] iff distributing the [t^2 * m]-check column scan over
+    [pool_size] domains is expected to beat the serial engine's
+    [w^2 * m] accumulations ([pool_size * w^2 >= 3 * t^2], the 3x being
+    the measured check-to-accumulate cost ratio) {e and} each domain's
+    share clears the pool's dispatch amortisation floor. When [false]
+    the dispatch demotes to the bit-identical serial schedule, so the
+    engine is never slower than serial — asserted by the hot-path bench
+    gate. Exposed so the bench and tests can predict which path a
+    dispatch took. *)
+
 val grid_1d :
   ?stats:Gridding_stats.t ->
   ?pool:Runtime.Pool.t ->

@@ -29,7 +29,13 @@ type arena = {
   slot : slot;
 }
 
-type stats = { checkouts : int; reuses : int; grows : int; retained : int }
+type stats = {
+  checkouts : int;
+  reuses : int;
+  grows : int;
+  retained : int;
+  in_use : int;
+}
 
 type t = {
   mutex : Mutex.t;
@@ -37,10 +43,16 @@ type t = {
   mutable checkouts : int;
   mutable reuses : int;
   mutable grows : int;
+  mutable in_use : int;
 }
 
 let create () =
-  { mutex = Mutex.create (); free = []; checkouts = 0; reuses = 0; grows = 0 }
+  { mutex = Mutex.create ();
+    free = [];
+    checkouts = 0;
+    reuses = 0;
+    grows = 0;
+    in_use = 0 }
 
 let stats t =
   Mutex.lock t.mutex;
@@ -48,7 +60,8 @@ let stats t =
     { checkouts = t.checkouts;
       reuses = t.reuses;
       grows = t.grows;
-      retained = List.length t.free }
+      retained = List.length t.free;
+      in_use = t.in_use }
   in
   Mutex.unlock t.mutex;
   s
@@ -81,6 +94,7 @@ let view buf len =
 let checkout t ~grid ~line ~image ~samples =
   Mutex.lock t.mutex;
   t.checkouts <- t.checkouts + 1;
+  t.in_use <- t.in_use + 1;
   let slot, reused =
     match t.free with
     | s :: rest ->
@@ -112,6 +126,7 @@ let checkout t ~grid ~line ~image ~samples =
 let checkin t arena =
   Mutex.lock t.mutex;
   t.free <- arena.slot :: t.free;
+  t.in_use <- t.in_use - 1;
   Mutex.unlock t.mutex
 
 let with_arena t ~grid ~line ~image ~samples f =

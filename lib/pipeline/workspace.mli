@@ -40,6 +40,10 @@ type stats = {
   reuses : int;  (** checkouts served by a retained slot *)
   grows : int;  (** backing-buffer reallocations (warmup only) *)
   retained : int;  (** free slots currently pooled *)
+  in_use : int;
+      (** arenas checked out and not yet returned — 0 in any quiescent
+          state; the serving tier's fault-injection tests assert this to
+          prove no request path leaks its arena *)
 }
 
 val create : unit -> t

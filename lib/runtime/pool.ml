@@ -240,6 +240,19 @@ let global () =
   Mutex.unlock global_mutex;
   p
 
+let global_size () =
+  Mutex.lock global_mutex;
+  let n =
+    match !global_pool with
+    | Some p when not p.shut_down -> p.total
+    | _ -> (
+        match !global_domains with
+        | Some d -> d
+        | None -> Domain.recommended_domain_count ())
+  in
+  Mutex.unlock global_mutex;
+  n
+
 let set_global_domains d =
   if d < 1 then invalid_arg "Pool.set_global_domains: domains < 1";
   Mutex.lock global_mutex;

@@ -79,6 +79,13 @@ val global : unit -> t
     pool-parallel engine without an explicit pool. Never shut down
     automatically; its sleeping workers die with the process. *)
 
+val global_size : unit -> int
+(** The size {!global} has — or would have, were it created now — without
+    forcing the pool into existence: the live pool's size, else the
+    {!set_global_domains} setting, else [Domain.recommended_domain_count].
+    Lets engine dispatch decide whether pool-parallel execution is worth
+    it before paying for domain spawns. *)
+
 val set_global_domains : int -> unit
 (** Fix the size used for the global pool (the CLI's [--domains]). If the
     global pool already exists at a different size it is shut down and

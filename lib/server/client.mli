@@ -1,0 +1,31 @@
+(** Blocking JGS1 protocol client — one outstanding request per
+    connection. Used by the CLI, the load bench and the tests; not a
+    production SDK. *)
+
+type call_error =
+  | Closed  (** connection closed before a complete response arrived *)
+  | Protocol_error of Protocol.error
+  | Io_error of string
+
+val call_error_message : call_error -> string
+
+type t
+
+val connect :
+  ?host:string -> ?limits:Protocol.limits -> port:int -> unit -> t
+(** Raises [Unix.Unix_error] when the server is unreachable. *)
+
+val close : t -> unit
+
+val call : t -> Protocol.request -> (Protocol.response, call_error) result
+(** Send one request and block for its response. Server-side typed
+    errors arrive as [Ok (Err _)] — they are successful protocol
+    exchanges; [Error _] means the exchange itself failed. *)
+
+val send_raw : t -> string -> (unit, call_error) result
+(** Write raw bytes (fault-injection tests: torn frames, garbage). *)
+
+val recv_response : t -> (Protocol.response, call_error) result
+
+val ping : t -> (unit, call_error) result
+val metrics : t -> (string, call_error) result

@@ -1,0 +1,207 @@
+(* Prometheus text exposition (version 0.0.4) over the Telemetry
+   registry, plus a small parser so tests can assert on what a scrape
+   actually says rather than on substring matches. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+(* %.17g is enough digits to round-trip a float; Prometheus accepts
+   scientific notation. *)
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let render_counters buf =
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name ^ "_total" in
+      Printf.bprintf buf "# TYPE %s counter\n%s %d\n" n n v)
+    (Telemetry.Counter.all ())
+
+let render_histograms buf =
+  List.iter
+    (fun h ->
+      let n = sanitize (Telemetry.Histogram.name h) in
+      Printf.bprintf buf "# TYPE %s histogram\n" n;
+      (* Telemetry buckets are per-bucket counts; Prometheus buckets are
+         cumulative and must end with +Inf == _count. *)
+      let cum = ref 0 in
+      List.iter
+        (fun (le, c) ->
+          cum := !cum + c;
+          Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" n (float_str le) !cum)
+        (Telemetry.Histogram.buckets h);
+      Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" n
+        (Telemetry.Histogram.count h);
+      Printf.bprintf buf "%s_sum %s\n" n (float_str (Telemetry.Histogram.sum h));
+      Printf.bprintf buf "%s_count %d\n" n (Telemetry.Histogram.count h))
+    (List.sort
+       (fun a b ->
+         compare (Telemetry.Histogram.name a) (Telemetry.Histogram.name b))
+       (Telemetry.Histogram.all ()))
+
+let render_gauges buf extra =
+  let probes = Telemetry.probes () @ extra in
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      Printf.bprintf buf "# TYPE %s gauge\n%s %s\n" n n (float_str v))
+    (List.sort compare probes)
+
+let render ?(extra_gauges = []) () =
+  let buf = Buffer.create 1024 in
+  render_counters buf;
+  render_histograms buf;
+  render_gauges buf extra_gauges;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+type sample = {
+  metric : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+let parse_labels s =
+  (* s is the text between '{' and '}': k="v"(,k="v")* — values have no
+     escapes in anything we emit. *)
+  let parts = if s = "" then [] else String.split_on_char ',' s in
+  List.map
+    (fun part ->
+      match String.index_opt part '=' with
+      | None -> failwith ("label without '=': " ^ part)
+      | Some i ->
+          let k = String.sub part 0 i in
+          let v = String.sub part (i + 1) (String.length part - i - 1) in
+          let v =
+            if String.length v >= 2 && v.[0] = '"' && v.[String.length v - 1] = '"'
+            then String.sub v 1 (String.length v - 2)
+            else failwith ("unquoted label value: " ^ part)
+          in
+          (k, v))
+    parts
+
+let parse_value s =
+  match String.trim s with
+  | "+Inf" -> Float.infinity
+  | "-Inf" -> Float.neg_infinity
+  | v -> float_of_string v
+
+let parse_line line =
+  (* name{labels} value | name value *)
+  match String.index_opt line '{' with
+  | Some i ->
+      let metric = String.sub line 0 i in
+      let close =
+        match String.index_opt line '}' with
+        | Some c when c > i -> c
+        | _ -> failwith ("unterminated label set: " ^ line)
+      in
+      let labels = parse_labels (String.sub line (i + 1) (close - i - 1)) in
+      let rest = String.sub line (close + 1) (String.length line - close - 1) in
+      { metric; labels; value = parse_value rest }
+  | None -> (
+      match String.index_opt line ' ' with
+      | None -> failwith ("sample without value: " ^ line)
+      | Some i ->
+          let metric = String.sub line 0 i in
+          let rest = String.sub line (i + 1) (String.length line - i - 1) in
+          { metric; labels = []; value = parse_value rest })
+
+let parse text =
+  try
+    let samples = ref [] in
+    let types = ref [] in
+    String.split_on_char '\n' text
+    |> List.iter (fun line ->
+           let line = String.trim line in
+           if line = "" then ()
+           else if String.length line > 0 && line.[0] = '#' then begin
+             (* Only validate the directives we emit: "# TYPE name t" *)
+             match String.split_on_char ' ' line with
+             | [ "#"; "TYPE"; name; ty ] ->
+                 if ty <> "counter" && ty <> "gauge" && ty <> "histogram" then
+                   failwith ("unknown metric type: " ^ ty);
+                 types := (name, ty) :: !types
+             | "#" :: _ -> ()
+             | _ -> failwith ("bad comment line: " ^ line)
+           end
+           else samples := parse_line line :: !samples);
+    Ok (List.rev !samples, List.rev !types)
+  with
+  | Failure msg -> Error msg
+  | _ -> Error "unparseable exposition"
+
+let find samples metric =
+  List.find_opt (fun s -> s.metric = metric && s.labels = []) samples
+  |> Option.map (fun s -> s.value)
+
+let validate text =
+  match parse text with
+  | Error _ as e -> e
+  | Ok (samples, types) ->
+      let err = ref None in
+      let fail msg = if !err = None then err := Some msg in
+      (* Every sample belongs to a declared family; histogram buckets are
+         cumulative and +Inf-terminated with _bucket == _count. *)
+      List.iter
+        (fun (name, ty) ->
+          if ty = "histogram" then begin
+            let buckets =
+              List.filter
+                (fun s -> s.metric = name ^ "_bucket")
+                samples
+            in
+            let count = find samples (name ^ "_count") in
+            (match count with
+            | None -> fail (name ^ ": histogram without _count")
+            | Some c -> (
+                match List.rev buckets with
+                | [] -> fail (name ^ ": histogram without buckets")
+                | last :: _ ->
+                    if List.assoc_opt "le" last.labels <> Some "+Inf" then
+                      fail (name ^ ": last bucket is not +Inf")
+                    else if last.value <> c then
+                      fail (name ^ ": +Inf bucket differs from _count")));
+            let prev = ref Float.neg_infinity in
+            List.iter
+              (fun s ->
+                if s.value < !prev then
+                  fail (name ^ ": buckets are not cumulative");
+                prev := s.value)
+              buckets
+          end)
+        types;
+      List.iter
+        (fun s ->
+          let base =
+            List.fold_left
+              (fun acc suffix ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    let sl = String.length suffix and ml = String.length s.metric in
+                    if
+                      ml > sl
+                      && String.sub s.metric (ml - sl) sl = suffix
+                      && List.mem_assoc
+                           (String.sub s.metric 0 (ml - sl))
+                           types
+                    then Some (String.sub s.metric 0 (ml - sl))
+                    else None)
+              None
+              [ "_bucket"; "_sum"; "_count" ]
+          in
+          let name = match base with Some b -> b | None -> s.metric in
+          if not (List.mem_assoc name types) then
+            fail (s.metric ^ ": sample without a # TYPE declaration"))
+        samples;
+      (match !err with Some msg -> Error msg | None -> Ok (samples, types))

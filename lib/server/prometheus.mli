@@ -1,0 +1,40 @@
+(** Prometheus text exposition (format 0.0.4) over the {!Telemetry}
+    registry — what the serving tier returns for [GET /metrics] and the
+    binary [Metrics] request.
+
+    Rendering rules: metric names are sanitised ([[^a-zA-Z0-9_:]] maps to
+    ['_']); counters gain the conventional [_total] suffix; telemetry's
+    per-bucket log2 histogram counts are re-emitted as the cumulative
+    [le]-labelled buckets Prometheus requires, terminated by [+Inf] equal
+    to [_count]; probes (and any [extra_gauges]) render as gauges.
+
+    The module also {e parses} the exposition so tests assert on decoded
+    samples — counter monotonicity across scrapes, bucket cumulativity —
+    instead of substring matching. *)
+
+val sanitize : string -> string
+
+val render : ?extra_gauges:(string * float) list -> unit -> string
+(** Snapshot the telemetry registry as an exposition document. The
+    snapshot is per-metric consistent (each histogram is read under its
+    own mutex), not globally atomic — fine for monitoring. *)
+
+(** {1 Parsing} *)
+
+type sample = {
+  metric : string;  (** full sample name, e.g. ["srv_request_us_bucket"] *)
+  labels : (string * string) list;
+  value : float;
+}
+
+val parse : string -> (sample list * (string * string) list, string) result
+(** [Ok (samples, types)] where [types] is the [(name, type)] list from
+    [# TYPE] directives, in document order. *)
+
+val validate : string -> (sample list * (string * string) list, string) result
+(** {!parse} plus structural checks: every sample is covered by a
+    [# TYPE] declaration, histogram buckets are cumulative, and the
+    [+Inf] bucket equals [_count]. *)
+
+val find : sample list -> string -> float option
+(** Value of the unlabelled sample [metric], if present. *)

@@ -20,6 +20,15 @@ let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
 
+(* Span recording has its own flag so a long-running process (the serving
+   tier) can keep counters and histograms live while the per-domain span
+   sinks stay empty — spans accumulate without bound until [reset], which
+   is fine for a bounded CLI run and fatal for a server. Both flags must
+   be set for a span to record. *)
+let spans_flag = Atomic.make true
+let span_recording () = Atomic.get spans_flag
+let set_span_recording b = Atomic.set spans_flag b
+
 type event = {
   name : string;
   cat : string;
@@ -82,7 +91,7 @@ type span =
 let null_span = Null
 
 let span_begin ?(cat = "misc") ?(args = []) name =
-  if not (Atomic.get enabled_flag) then Null
+  if not (Atomic.get enabled_flag && Atomic.get spans_flag) then Null
   else Open { name; cat; args; ts_ns = Clock.now_ns () }
 
 let span_end = function
@@ -92,7 +101,7 @@ let span_end = function
       record ~name ~cat ~tid:(Domain.self () :> int) ~ts_ns ~dur_ns ~args
 
 let with_span ?cat name f =
-  if not (Atomic.get enabled_flag) then f ()
+  if not (Atomic.get enabled_flag && Atomic.get spans_flag) then f ()
   else begin
     let sp = span_begin ?cat name in
     match f () with
@@ -105,7 +114,7 @@ let with_span ?cat name f =
   end
 
 let emit_span ?(cat = "misc") ?tid ?(args = []) ~name ~ts_ns ~dur_ns () =
-  if Atomic.get enabled_flag then begin
+  if Atomic.get enabled_flag && Atomic.get spans_flag then begin
     let tid = match tid with Some t -> t | None -> (Domain.self () :> int) in
     record ~name ~cat ~tid ~ts_ns ~dur_ns ~args
   end
@@ -206,6 +215,22 @@ module Histogram = struct
 
   let count h = h.count
   let sum h = h.sum
+
+  (* Observation counts per log2 bucket, as (inclusive upper bound, count)
+     pairs up to the last populated bucket: bucket 0 covers v < 1, bucket
+     k covers [2^(k-1), 2^k). Non-cumulative — a Prometheus exporter sums
+     them into le-cumulative form. Snapshot under the histogram mutex so
+     count/sum/buckets are mutually consistent. *)
+  let buckets h =
+    Mutex.lock h.m;
+    let last = ref (-1) in
+    Array.iteri (fun i c -> if c > 0 then last := i) h.buckets;
+    let out =
+      List.init (!last + 1) (fun i ->
+          (Float.pow 2.0 (float_of_int i), h.buckets.(i)))
+    in
+    Mutex.unlock h.m;
+    out
   let mean h = if h.count = 0 then nan else h.sum /. float_of_int h.count
   let min_value h = if h.count = 0 then nan else h.vmin
   let max_value h = if h.count = 0 then nan else h.vmax

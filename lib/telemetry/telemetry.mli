@@ -33,6 +33,15 @@
 val enabled : unit -> bool
 val set_enabled : bool -> unit
 
+val span_recording : unit -> bool
+
+val set_span_recording : bool -> unit
+(** Gate span recording independently of {!set_enabled} (default [true]).
+    With spans off and telemetry on, counters and histograms keep
+    recording while {!span_begin} returns {!null_span} — the configuration
+    for a long-running server, whose per-domain span sinks would otherwise
+    grow without bound between {!reset}s. *)
+
 val reset : unit -> unit
 (** Drop all recorded events, zero every counter, clear histograms and
     probes. Intended for tests and between CLI runs; not thread-safe
@@ -120,6 +129,13 @@ module Histogram : sig
   (** [nan] when empty; likewise {!max_value}. *)
 
   val max_value : t -> float
+
+  val buckets : t -> (float * int) list
+  (** Per-bucket observation counts as [(upper_bound, count)] pairs, one
+      per log2 bucket up to the last populated one (bucket with bound
+      [2^k] covers [[2^(k-1), 2^k)]; the first covers [v < 1]). Counts
+      are {e not} cumulative. Consistent snapshot (taken under the
+      histogram's mutex); empty list for an empty histogram. *)
 
   val all : unit -> t list
 end

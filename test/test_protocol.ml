@@ -1,0 +1,369 @@
+(* Wire-protocol battery for the serving tier: encode/decode round-trips
+   under arbitrary fragmentation (torn reads at every byte boundary),
+   oversized and malformed input rejected with typed errors, and no
+   partial-state leakage across keep-alive requests on one decoder. *)
+
+module P = Serving.Protocol
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let gen_name =
+  QCheck.Gen.(
+    let* n = int_range 0 12 in
+    string_size ~gen:(char_range 'a' 'z') (return n))
+
+let gen_float = QCheck.Gen.float
+
+let gen_omega_axis m =
+  QCheck.Gen.(
+    array_repeat m (float_range (-.Float.pi) (Float.pi -. 1e-9)))
+
+let gen_recon_request =
+  QCheck.Gen.(
+    let* tenant = gen_name in
+    let* backend = gen_name in
+    let* n = int_range 2 64 in
+    let* dims = int_range 1 3 in
+    let* m = int_range 1 24 in
+    let* method_ =
+      oneof [ return P.Adjoint; map (fun k -> P.Cg k) (int_range 1 50) ]
+    in
+    let* tol = opt (float_range 1e-12 1e-1) in
+    let* family =
+      oneofl
+        [ None; Some Numerics.Window.KB; Some Numerics.Window.ES ]
+    in
+    let* omega = array_repeat dims (gen_omega_axis m) in
+    let* values = array_size (return (2 * m)) gen_float in
+    let* density = opt (array_size (return m) gen_float) in
+    return
+      { P.tenant; backend; n; dims; method_; tol; family; omega; values;
+        density })
+
+let gen_request =
+  QCheck.Gen.(
+    frequency
+      [ (1, return P.Ping);
+        (1, return P.Metrics);
+        (1, return P.Stats);
+        (5, map (fun r -> P.Recon r) gen_recon_request) ])
+
+let arb_request = QCheck.make gen_request
+
+let decode_all bytes ~chunks =
+  (* Feed [bytes] split at the given cut points; collect every frame. *)
+  let dec = P.Decoder.create () in
+  let frames = ref [] in
+  let feed_piece s =
+    P.Decoder.feed_string dec s;
+    let rec pull () =
+      match P.Decoder.next dec with
+      | Ok (Some f) ->
+          frames := f :: !frames;
+          pull ()
+      | Ok None -> ()
+      | Error e -> Alcotest.failf "decoder error: %s" (P.error_message e)
+    in
+    pull ()
+  in
+  List.iter feed_piece chunks;
+  ignore bytes;
+  (List.rev !frames, P.Decoder.pending_bytes dec)
+
+let split_at_points s points =
+  let points = List.sort_uniq compare (0 :: String.length s :: points) in
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> String.sub s a (b - a) :: pairs rest
+    | _ -> []
+  in
+  pairs points
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"request round-trips bit-exactly" ~count:200
+    arb_request (fun req ->
+      let bytes = P.encode_request req in
+      let frames, pending = decode_all bytes ~chunks:[ bytes ] in
+      match frames with
+      | [ f ] -> (
+          match P.decode_request f with
+          | Ok req' -> pending = 0 && P.request_equal req req'
+          | Error e -> QCheck.Test.fail_report (P.error_message e))
+      | l -> QCheck.Test.fail_reportf "%d frames from one request" (List.length l))
+
+let prop_fragmentation =
+  (* A stream of several requests, torn at random byte positions, decodes
+     to exactly the original sequence with an empty buffer at the end. *)
+  QCheck.Test.make ~name:"arbitrary fragmentation preserves the stream"
+    ~count:100
+    QCheck.(
+      make
+        Gen.(
+          let* reqs = list_size (int_range 1 5) gen_request in
+          let bytes = String.concat "" (List.map P.encode_request reqs) in
+          let* cuts =
+            list_size (int_range 0 20) (int_range 0 (String.length bytes))
+          in
+          return (reqs, bytes, cuts)))
+    (fun (reqs, bytes, cuts) ->
+      let frames, pending = decode_all bytes ~chunks:(split_at_points bytes cuts) in
+      pending = 0
+      && List.length frames = List.length reqs
+      && List.for_all2
+           (fun req f ->
+             match P.decode_request f with
+             | Ok req' -> P.request_equal req req'
+             | Error _ -> false)
+           reqs frames)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"response round-trips bit-exactly" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          frequency
+            [ (1, return P.Pong);
+              (2, map (fun s -> P.Text s) (string_size (int_range 0 64)));
+              ( 2,
+                let* st =
+                  oneofl
+                    [ P.Bad_request; P.Too_large; P.Shed; P.Draining;
+                      P.Timeout; P.Quota; P.Internal_error ]
+                in
+                let* msg = string_size (int_range 0 40) in
+                return (P.Err (st, msg)) );
+              ( 3,
+                let* iterations = int_range 0 100 in
+                let* elapsed_s = gen_float in
+                let* image_n = int_range 2 32 in
+                let* image =
+                  array_size (int_range 0 64) gen_float
+                in
+                return
+                  (P.Recon_ok
+                     { P.iterations; elapsed_s; image_n; image_dims = 2;
+                       image }) ) ]))
+    (fun resp ->
+      let bytes = P.encode_response resp in
+      let dec = P.Decoder.create () in
+      P.Decoder.feed_string dec bytes;
+      match P.Decoder.next dec with
+      | Ok (Some f) -> (
+          match (P.decode_response f, resp) with
+          | Ok P.Pong, P.Pong -> true
+          | Ok (P.Text a), P.Text b -> a = b
+          | Ok (P.Err (sa, ma)), P.Err (sb, mb) -> sa = sb && ma = mb
+          | Ok (P.Recon_ok a), P.Recon_ok b ->
+              a.P.iterations = b.P.iterations
+              && Int64.bits_of_float a.P.elapsed_s
+                 = Int64.bits_of_float b.P.elapsed_s
+              && a.P.image_n = b.P.image_n
+              && a.P.image_dims = b.P.image_dims
+              && Array.length a.P.image = Array.length b.P.image
+              && Array.for_all2
+                   (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+                   a.P.image b.P.image
+          | _ -> false)
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic torn-read coverage: every byte boundary *)
+
+let test_every_byte_boundary () =
+  let req =
+    P.Recon
+      { P.tenant = "t"; backend = ""; n = 8; dims = 2; method_ = P.Adjoint;
+        tol = Some 1e-6; family = Some Numerics.Window.ES;
+        omega = [| [| 0.5; -1.0 |]; [| 1.5; -2.0 |] |];
+        values = [| 1.0; 2.0; 3.0; 4.0 |]; density = None }
+  in
+  let bytes = P.encode_request req in
+  let dec = P.Decoder.create () in
+  (* one byte at a time; no frame may appear before the last byte *)
+  for i = 0 to String.length bytes - 1 do
+    (match P.Decoder.next dec with
+    | Ok None -> ()
+    | Ok (Some _) -> Alcotest.fail "frame completed early"
+    | Error e -> Alcotest.failf "decoder error: %s" (P.error_message e));
+    P.Decoder.feed dec bytes i 1
+  done;
+  (match P.Decoder.next dec with
+  | Ok (Some f) -> (
+      match P.decode_request f with
+      | Ok req' -> checkb "byte-at-a-time round-trip" true (P.request_equal req req')
+      | Error e -> Alcotest.failf "decode: %s" (P.error_message e))
+  | _ -> Alcotest.fail "no frame after all bytes");
+  check Alcotest.int "empty buffer" 0 (P.Decoder.pending_bytes dec)
+
+(* ------------------------------------------------------------------ *)
+(* Typed rejection *)
+
+let expect_error name got =
+  match got with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: expected a typed error" name
+
+let test_bad_magic () =
+  let dec = P.Decoder.create () in
+  P.Decoder.feed_string dec "NOPE\x01\x00\x00\x00\x00\x00";
+  (match P.Decoder.next dec with
+  | Error P.Bad_magic -> ()
+  | _ -> Alcotest.fail "expected Bad_magic");
+  (* poisoned: same error forever, feeding more changes nothing *)
+  P.Decoder.feed_string dec (P.encode_request P.Ping);
+  match P.Decoder.next dec with
+  | Error P.Bad_magic -> ()
+  | _ -> Alcotest.fail "decoder must stay poisoned"
+
+let test_bad_kind () =
+  let dec = P.Decoder.create () in
+  P.Decoder.feed_string dec (P.encode_frame ~kind:0x7f "");
+  match P.Decoder.next dec with
+  | Error (P.Bad_kind 0x7f) -> ()
+  | _ -> Alcotest.fail "expected Bad_kind 0x7f"
+
+let test_oversized_header () =
+  let limits = { P.default_limits with max_payload = 1024 } in
+  let dec = P.Decoder.create ~limits () in
+  (* header declares 1 MiB: rejected from the header alone, before any
+     payload is buffered *)
+  let b = Buffer.create 16 in
+  Buffer.add_string b P.magic;
+  Buffer.add_char b '\x02';
+  Buffer.add_char b '\x00';
+  Buffer.add_int32_be b 1_048_576l;
+  P.Decoder.feed_string dec (Buffer.contents b);
+  (match P.Decoder.next dec with
+  | Error (P.Oversized { declared = 1_048_576; limit = 1024 }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (P.error_message e)
+  | Ok _ -> Alcotest.fail "oversized frame accepted");
+  check Alcotest.string "maps to Too_large" "too-large"
+    (P.status_name (P.status_of_error (P.Oversized { declared = 0; limit = 0 })))
+
+let test_oversized_strings_and_counts () =
+  (* a tenant name longer than max_string is rejected by the payload
+     decoder with a typed Malformed *)
+  let long = String.make 300 'a' in
+  let req =
+    { P.tenant = long; backend = ""; n = 8; dims = 1; method_ = P.Adjoint;
+      tol = None; family = None; omega = [| [| 0.0 |] |];
+      values = [| 1.0; 0.0 |]; density = None }
+  in
+  let bytes = P.encode_request (P.Recon req) in
+  let dec = P.Decoder.create () in
+  P.Decoder.feed_string dec bytes;
+  (match P.Decoder.next dec with
+  | Ok (Some f) -> expect_error "long tenant" (P.decode_request f)
+  | _ -> Alcotest.fail "frame expected");
+  (* a declared sample count past max_samples is rejected before its
+     arrays are materialised *)
+  let limits = { P.default_limits with max_samples = 4 } in
+  let req8 = { req with tenant = "t"; omega = [| Array.make 8 0.0 |];
+               values = Array.make 16 0.0 } in
+  let bytes = P.encode_request (P.Recon req8) in
+  let dec = P.Decoder.create () in
+  P.Decoder.feed_string dec bytes;
+  match P.Decoder.next dec with
+  | Ok (Some f) -> expect_error "m over limit" (P.decode_request ~limits f)
+  | _ -> Alcotest.fail "frame expected"
+
+let test_truncated_and_trailing () =
+  let req =
+    { P.tenant = "t"; backend = ""; n = 8; dims = 1; method_ = P.Cg 3;
+      tol = None; family = None; omega = [| [| 1.0; 2.0 |] |];
+      values = [| 1.0; 0.0; 2.0; 0.0 |]; density = None }
+  in
+  let bytes = P.encode_request (P.Recon req) in
+  let payload = String.sub bytes P.header_len (String.length bytes - P.header_len) in
+  (* truncate the payload but declare the shorter length honestly: the
+     frame parses, the payload decoder reports a typed Malformed *)
+  let cut = String.sub payload 0 (String.length payload - 3) in
+  expect_error "truncated payload"
+    (P.decode_request { P.kind = 0x02; payload = cut });
+  (* trailing garbage after a complete payload is equally typed *)
+  expect_error "trailing bytes"
+    (P.decode_request { P.kind = 0x02; payload = payload ^ "xyz" })
+
+let test_keepalive_no_state_leakage () =
+  (* A half-fed second request must not perturb the first, and a decoder
+     never hands back bytes from a previous frame: run three distinct
+     requests through one decoder with a deliberately split middle
+     request. *)
+  let reqs =
+    [ P.Ping;
+      P.Recon
+        { P.tenant = "a"; backend = "serial"; n = 16; dims = 2;
+          method_ = P.Adjoint; tol = None; family = None;
+          omega = [| [| 0.1; 0.2; 0.3 |]; [| -0.1; -0.2; -0.3 |] |];
+          values = [| 1.; 0.; 2.; 0.; 3.; 0. |]; density = Some [| 1.; 1.; 1. |] };
+      P.Metrics ]
+  in
+  let encoded = List.map P.encode_request reqs in
+  let dec = P.Decoder.create () in
+  let decoded = ref [] in
+  let pull () =
+    let rec go () =
+      match P.Decoder.next dec with
+      | Ok (Some f) ->
+          (match P.decode_request f with
+          | Ok r -> decoded := r :: !decoded
+          | Error e -> Alcotest.failf "decode: %s" (P.error_message e));
+          go ()
+      | Ok None -> ()
+      | Error e -> Alcotest.failf "decoder: %s" (P.error_message e)
+    in
+    go ()
+  in
+  (match encoded with
+  | [ a; b; c ] ->
+      P.Decoder.feed_string dec a;
+      pull ();
+      check Alcotest.int "first frame decoded alone" 1 (List.length !decoded);
+      check Alcotest.int "no residue" 0 (P.Decoder.pending_bytes dec);
+      (* split the second request across two feeds, interleaved with pulls *)
+      let half = String.length b / 2 in
+      P.Decoder.feed_string dec (String.sub b 0 half);
+      pull ();
+      check Alcotest.int "half a frame yields nothing" 1 (List.length !decoded);
+      P.Decoder.feed_string dec (String.sub b half (String.length b - half));
+      P.Decoder.feed_string dec c;
+      pull ()
+  | _ -> assert false);
+  check Alcotest.int "all frames decoded" 3 (List.length !decoded);
+  check Alcotest.int "empty at end" 0 (P.Decoder.pending_bytes dec);
+  List.iter2
+    (fun want got ->
+      checkb "keep-alive round-trip" true (P.request_equal want got))
+    reqs (List.rev !decoded)
+
+let test_http_sniff () =
+  checkb "GET" true (P.looks_like_http "GET /metrics HTTP/1.1\r\n");
+  checkb "jgs1 frame" false (P.looks_like_http (P.encode_request P.Ping));
+  checkb "short" false (P.looks_like_http "GE")
+
+let () =
+  Alcotest.run "protocol"
+    [ ( "roundtrip",
+        Qutil.to_alcotests
+          [ prop_roundtrip; prop_fragmentation; prop_response_roundtrip ] );
+      ( "torn-reads",
+        [ Alcotest.test_case "every byte boundary" `Quick
+            test_every_byte_boundary ] );
+      ( "rejection",
+        [ Alcotest.test_case "bad magic poisons" `Quick test_bad_magic;
+          Alcotest.test_case "bad kind" `Quick test_bad_kind;
+          Alcotest.test_case "oversized header" `Quick test_oversized_header;
+          Alcotest.test_case "oversized strings/counts" `Quick
+            test_oversized_strings_and_counts;
+          Alcotest.test_case "truncated and trailing" `Quick
+            test_truncated_and_trailing ] );
+      ( "keep-alive",
+        [ Alcotest.test_case "no state leakage" `Quick
+            test_keepalive_no_state_leakage;
+          Alcotest.test_case "http sniff" `Quick test_http_sniff ] ) ]
