@@ -23,7 +23,16 @@
    the requirement scales with the domain count of the measuring
    machine.
 
-   Usage: check_hotpath.exe CURRENT BASELINE [--tolerance 0.30] *)
+   The [--tuner FILE] flag adds the auto-tuner self-assertion from
+   BENCH_tuner.json (emitted by [main.exe --json tuner]): per tuned key,
+   the chosen engine's measured throughput must be within 5% of the best
+   candidate measured in the same run (ratio >= required_ratio, 0.95 in
+   auto mode). Rows with required_ratio 0.0 (JIGSAW_TUNE=off, or a
+   user-forced engine) print SKIPPED and never breach. The flag works
+   alone (tuner gate only) or alongside the two positional files.
+
+   Usage: check_hotpath.exe [CURRENT BASELINE] [--tolerance 0.30]
+                            [--tuner BENCH_tuner.json] *)
 
 type engine_row = {
   name : string;
@@ -173,22 +182,102 @@ let parse_telemetry_pct path =
       | exception _ -> found)
     None
 
+(* One tuned-key row of BENCH_tuner.json. *)
+let parse_tuner_rows path =
+  List.rev
+    (fold_lines path
+       (fun acc line ->
+         match
+           Scanf.sscanf line
+             " { \"tuner\": { \"dims\": %d, \"n\": %d, \"m\": %d, \
+              \"chosen\": %S, \"chosen_sps\": %f, \"best\": %S, \
+              \"best_sps\": %f, \"ratio\": %f, \"required_ratio\": %f"
+             (fun dims n m chosen csps best bsps ratio req ->
+               (dims, n, m, chosen, csps, best, bsps, ratio, req))
+         with
+         | row -> row :: acc
+         | exception _ -> acc)
+       [])
+
+let parse_tuner_mode path =
+  fold_lines path
+    (fun found line ->
+      match Scanf.sscanf line " \"mode\": %S" (fun m -> m) with
+      | m -> Some m
+      | exception _ -> found)
+    None
+
 let () =
   let args = Array.to_list Sys.argv in
   let tolerance = ref 0.30 in
+  let tuner = ref None in
   let files = ref [] in
   let rec scan = function
     | [] -> ()
     | "--tolerance" :: v :: rest ->
         tolerance := float_of_string v;
         scan rest
+    | "--tuner" :: v :: rest ->
+        tuner := Some v;
+        scan rest
     | f :: rest ->
         files := f :: !files;
         scan rest
   in
   scan (List.tl args);
-  match List.rev !files with
-  | [ current_path; baseline_path ] ->
+  let breaches = ref [] in
+  let report () =
+    match List.rev !breaches with
+    | [] -> ()
+    | l ->
+        Printf.eprintf "check_hotpath: %d metric(s) breached:\n"
+          (List.length l);
+        List.iter (fun b -> Printf.eprintf "  - %s\n" b) l;
+        exit 1
+  in
+  (* Self-asserting like replay/simd: the tuned choice is compared to the
+     best candidate measured in the same run on the same machine, so no
+     baseline is consulted. *)
+  let check_tuner path =
+    if not (Sys.file_exists path) then begin
+      Printf.eprintf
+        "check_hotpath: tuner report %s absent (run tuner --json first)\n"
+        path;
+      exit 2
+    end;
+    let rows = parse_tuner_rows path in
+    if rows = [] then begin
+      Printf.eprintf "check_hotpath: no tuner rows in %s\n" path;
+      exit 2
+    end;
+    Printf.printf "auto-tuner gate (JIGSAW_TUNE=%s):\n"
+      (match parse_tuner_mode path with Some m -> m | None -> "?");
+    List.iter
+      (fun (dims, n, m, chosen, csps, best, bsps, ratio, req) ->
+        let label = Printf.sprintf "tuner %dD n=%d m=%d" dims n m in
+        if req <= 0.0 then
+          Printf.printf "  %-24s SKIPPED (not tuning in this mode)\n" label
+        else begin
+          let ok = ratio >= req in
+          Printf.printf
+            "  %-24s chose %s at %.2fx of best %s (%.0f vs %.0f sps, \
+             required >= %.2fx)  %s\n"
+            label chosen ratio best csps bsps req
+            (if ok then "ok" else "BELOW REQUIREMENT");
+          if not ok then
+            breaches :=
+              Printf.sprintf
+                "%s: chose %s at %.2fx of best %s, required >= %.2fx" label
+                chosen ratio best req
+              :: !breaches
+        end)
+      rows
+  in
+  match (List.rev !files, !tuner) with
+  | [], Some tuner_path ->
+      check_tuner tuner_path;
+      report ()
+  | [ current_path; baseline_path ], _ ->
       if not (Sys.file_exists baseline_path) then begin
         Printf.printf
           "check_hotpath: baseline %s absent; skipping regression check\n"
@@ -211,7 +300,6 @@ let () =
         Printf.eprintf "check_hotpath: no engine rows in %s\n" current_path;
         exit 2
       end;
-      let breaches = ref [] in
       Printf.printf
         "hot-path throughput vs baseline (default tolerance %.0f%%):\n"
         (100.0 *. !tolerance);
@@ -371,14 +459,10 @@ let () =
               Printf.sprintf
                 "telemetry disabled overhead: %.2f%%, budget < 5%%" pct
               :: !breaches);
-      (match List.rev !breaches with
-      | [] -> ()
-      | l ->
-          Printf.eprintf "check_hotpath: %d metric(s) breached:\n"
-            (List.length l);
-          List.iter (fun b -> Printf.eprintf "  - %s\n" b) l;
-          exit 1)
+      Option.iter check_tuner !tuner;
+      report ()
   | _ ->
       Printf.eprintf
-        "usage: check_hotpath.exe CURRENT BASELINE [--tolerance 0.30]\n";
+        "usage: check_hotpath.exe [CURRENT BASELINE] [--tolerance 0.30] \
+         [--tuner BENCH_tuner.json]\n";
       exit 2

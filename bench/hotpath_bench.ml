@@ -59,6 +59,7 @@ let service_case ~quick =
   let svc = Svc.create () in
   let req =
     { Svc.backend = "serial";
+      transform = Nufft.Transform.Type1;
       n;
       coords;
       values;

@@ -50,6 +50,7 @@ let make_request ~m k =
   let tenant = tenants.(k mod Array.length tenants) in
   { P.tenant;
     backend = "";
+    transform = Nufft.Transform.Type1;
     n = recon_n;
     dims = 2;
     method_ = P.Adjoint;

@@ -1,0 +1,130 @@
+(* Auto-tuner measurement: run the tuner's trial battery on a 2D and a 3D
+   problem, report every candidate's measured throughput and the tuner's
+   choice, and (with --json) emit BENCH_tuner.json for the
+   check_hotpath.exe --tuner gate.
+
+   The gate asserts self-consistency, not a cross-machine baseline: in
+   auto mode the tuned choice must be within 5% of the best candidate
+   measured in the same run (required_ratio 0.95). With JIGSAW_TUNE=off
+   the tuner never measures, so rows carry required_ratio 0.0 and the
+   gate prints SKIPPED; a forced engine is the user's decision and is
+   likewise not gated. *)
+
+module Sample = Nufft.Sample
+module Tuner = Nufft.Tuner
+
+let json = ref false
+let json_path = "BENCH_tuner.json"
+
+type row = {
+  dims : int;
+  n : int;
+  m : int;
+  chosen : string;
+  chosen_sps : float;
+  best : string;
+  best_sps : float;
+  required : float;
+}
+
+let measured_row ?pool ~n ~coords () =
+  let dims = Sample.dims coords and m = Sample.length coords in
+  let c = Tuner.choose ?pool ~n ~coords () in
+  (* The resolved name honours JIGSAW_TUNE (a forced engine differs from
+     the trial winner); ratio is computed against the forced engine's own
+     trial when it was measured, so the gate stays meaningful in auto
+     mode and is skipped otherwise. *)
+  let chosen = Tuner.resolve ?pool ~default:"serial" ~n ~coords () in
+  let chosen_sps =
+    match
+      List.find_opt (fun (t : Tuner.trial) -> t.Tuner.engine = chosen) c.Tuner.trials
+    with
+    | Some t -> t.Tuner.samples_per_sec
+    | None -> 0.0
+  in
+  let required = match Tuner.mode () with Tuner.Auto -> 0.95 | _ -> 0.0 in
+  { dims;
+    n;
+    m;
+    chosen;
+    chosen_sps;
+    best = c.Tuner.backend;
+    best_sps = c.Tuner.sps;
+    required }
+
+let off_row ~n ~coords =
+  { dims = Sample.dims coords;
+    n;
+    m = Sample.length coords;
+    chosen = "serial";
+    chosen_sps = 0.0;
+    best = "serial";
+    best_sps = 0.0;
+    required = 0.0 }
+
+let write_json ~mode rows =
+  let oc = open_out json_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"tuner-1\",\n";
+  p "  \"mode\": %S,\n" mode;
+  p "  \"keys\": [\n";
+  List.iteri
+    (fun i r ->
+      p
+        "    { \"tuner\": { \"dims\": %d, \"n\": %d, \"m\": %d, \"chosen\": \
+         %S, \"chosen_sps\": %.1f, \"best\": %S, \"best_sps\": %.1f, \
+         \"ratio\": %.3f, \"required_ratio\": %.3f } }%s\n"
+        r.dims r.n r.m r.chosen r.chosen_sps r.best r.best_sps
+        (if r.best_sps > 0.0 then r.chosen_sps /. r.best_sps else 1.0)
+        r.required
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Printf.printf "  wrote %s\n" json_path
+
+let run () =
+  let quick = !Bench_data.quick in
+  Printf.printf "\n=== auto-tuner trials (JIGSAW_TUNE=%s) ===\n%!"
+    (Tuner.mode_name ());
+  let n2 = if quick then 32 else 64 in
+  let m2 = if quick then 4000 else 40000 in
+  let n3 = if quick then 12 else 24 in
+  let m3 = if quick then 3000 else 20000 in
+  let coords2 = Sample.random_2d ~seed:42 ~g:(2 * n2) m2 in
+  let coords3 = Sample.random_3d ~seed:43 ~g:(2 * n3) m3 in
+  let off = Tuner.mode () = Tuner.Off in
+  let rows =
+    if off then [ off_row ~n:n2 ~coords:coords2; off_row ~n:n3 ~coords:coords3 ]
+    else begin
+      Tuner.reset ();
+      [ measured_row ~n:n2 ~coords:coords2 ();
+        measured_row ~n:n3 ~coords:coords3 () ]
+    end
+  in
+  List.iter
+    (fun r ->
+      if r.required <= 0.0 then
+        Printf.printf "  %dD n=%d m=%d: not tuning (mode %s)\n" r.dims r.n r.m
+          (Tuner.mode_name ())
+      else
+        Printf.printf "  %dD n=%d m=%d: chose %s (%.2e sps; best %s %.2e)\n"
+          r.dims r.n r.m r.chosen r.chosen_sps r.best r.best_sps)
+    rows;
+  if (not off) && Tuner.mode () = Tuner.Auto then begin
+    (* Second sight of each key must hit the cache, not re-trial.
+       Counters only tick while telemetry is enabled, so flip it on for
+       the check and restore. *)
+    let was = Telemetry.enabled () in
+    Telemetry.set_enabled true;
+    let hits = Telemetry.Counter.make "tuner.hit" in
+    let hits0 = Telemetry.Counter.value hits in
+    ignore (Tuner.choose ~n:n2 ~coords:coords2 ());
+    let hits1 = Telemetry.Counter.value hits in
+    Telemetry.set_enabled was;
+    Printf.printf "  cache: repeat lookup %s\n"
+      (if hits1 > hits0 then "hit (no re-trial)" else "MISSED - unexpected")
+  end;
+  if !json then write_json ~mode:(Tuner.mode_name ()) rows

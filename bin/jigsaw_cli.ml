@@ -79,6 +79,43 @@ let family_of_flag = function
             (Printf.sprintf "unknown kernel %S (expected es or kaiser-bessel)"
                s))
 
+(* --transform NAME -> Transform.t; type-2 is not a reconstruction, so
+   the CLI rejects it with a pointer at the API that serves it. *)
+let transform_of_flag s =
+  match Nufft.Transform.of_string s with
+  | Some Nufft.Transform.Type2 ->
+      Error
+        "--transform type2 is a forward evaluation, not a reconstruction; \
+         use the Recon_service/Operator API for forward projections"
+  | Some t -> Ok t
+  | None ->
+      Error
+        (Printf.sprintf "unknown transform %S (expected type1 or type3)" s)
+
+(* --tune: hand the backend choice to the auto-tuner, unless
+   JIGSAW_TUNE=off — then the explicit backend stands, so an off-mode run
+   is bit-identical to one without --tune. *)
+let apply_tune tune backend =
+  if tune && Nufft.Tuner.mode () <> Nufft.Tuner.Off then "auto" else backend
+
+let print_tuner_line tune =
+  if tune then
+    match Nufft.Tuner.mode () with
+    | Nufft.Tuner.Off -> print_endline "tuner: JIGSAW_TUNE=off (not tuning)"
+    | _ ->
+        List.iter
+          (fun ((k : Nufft.Tuner.key), (c : Nufft.Tuner.choice)) ->
+            Printf.printf
+              "tuner: %dD n=%d -> %s (%.2e samples/s; %s)\n" k.Nufft.Tuner.dims
+              k.Nufft.Tuner.n c.Nufft.Tuner.backend c.Nufft.Tuner.sps
+              (String.concat ", "
+                 (List.map
+                    (fun (t : Nufft.Tuner.trial) ->
+                      Printf.sprintf "%s %.2e" t.Nufft.Tuner.engine
+                        t.Nufft.Tuner.samples_per_sec)
+                    c.Nufft.Tuner.trials)))
+          (Nufft.Tuner.cached ())
+
 (* Historical CLI spellings, mapped onto registry names. *)
 let canonical_backend name =
   match String.lowercase_ascii name with
@@ -95,15 +132,19 @@ let canonical_backend name =
    through the Operator API. *)
 let list_backends () =
   register_backends ();
-  print_endline "registered backends (NAME [dims]  description):";
+  print_endline "registered backends (NAME [dims] types  description):";
   List.iter
     (fun (e : Op.entry) ->
       if List.mem 2 e.Op.dims then
-        Printf.printf "  %-15s %s  %s\n" e.Op.name
+        Printf.printf "  %-15s %s %-8s  %s\n" e.Op.name
           (String.concat ""
              (List.map (fun d -> Printf.sprintf "[%dD]" d) e.Op.dims))
+          (Nufft.Transform.list_to_string e.Op.transforms)
           e.Op.doc)
     (Op.entries ());
+  print_endline
+    "  (types: t1 = adjoint/recon, t2 = forward, t3 = nonuniform-to-\n\
+    \   nonuniform; the jigsaw/gpusim hardware models support t1/t2 only)";
   `Ok ()
 
 (* Typed Result -> Cmdliner: a one-line error on stderr and a non-zero
@@ -173,8 +214,8 @@ let print_backend_stats op =
 (* ------------------------------------------------------------------ *)
 (* grid subcommand *)
 
-let run_grid n traj_kind m backend w l tol kernel seed validate domains trace
-    metrics list =
+let run_grid n traj_kind m backend w l tol kernel transform tune seed validate
+    domains trace metrics list =
   if list then list_backends ()
   else
     to_ret @@ with_telemetry ~trace ~metrics
@@ -182,14 +223,16 @@ let run_grid n traj_kind m backend w l tol kernel seed validate domains trace
     register_backends ();
     let* pool = apply_domains domains in
     let* family = family_of_flag kernel in
+    let* transform = transform_of_flag transform in
     let g = 2 * n in
     let* traj = make_trajectory traj_kind m n in
     let s = samples_of_traj ~g ~seed traj in
     let m = Nufft.Sample.length s in
-    let backend = canonical_backend backend in
+    let backend = apply_tune tune (canonical_backend backend) in
     let svc = Svc.create ?pool ~w ~l () in
     let req =
       { Svc.backend;
+        transform;
         n;
         coords = s;
         values = s.Nufft.Sample.values;
@@ -217,8 +260,16 @@ let run_grid n traj_kind m backend w l tol kernel seed validate domains trace
       backend
       (1e3 *. cold.Svc.elapsed_s)
       (1e3 *. warm.Svc.elapsed_s);
+    print_tuner_line tune;
+    (* The stats/validate lookups need a concrete registry name; resolve
+       "auto" the same way the service just did (a tuner cache hit). *)
+    let backend =
+      if backend = "auto" then
+        Nufft.Tuner.resolve ?tol ?family ~default:"serial" ~n ~coords:s ()
+      else backend
+    in
     let* op, _ =
-      svc_error (Svc.operator ?tol ?family svc ~backend ~n ~coords:s)
+      svc_error (Svc.operator ?tol ?family ~transform svc ~backend ~n ~coords:s)
     in
     print_backend_stats op;
     let* () =
@@ -237,8 +288,8 @@ let run_grid n traj_kind m backend w l tol kernel seed validate domains trace
 (* ------------------------------------------------------------------ *)
 (* recon subcommand *)
 
-let run_recon n spokes output backend tol kernel domains cg trace metrics list
-    =
+let run_recon n spokes output backend tol kernel transform tune domains cg
+    trace metrics list =
   if list then list_backends ()
   else
     to_ret @@ with_telemetry ~trace ~metrics
@@ -246,6 +297,13 @@ let run_recon n spokes output backend tol kernel domains cg trace metrics list
     register_backends ();
     let* pool = apply_domains domains in
     let* family = family_of_flag kernel in
+    let* transform = transform_of_flag transform in
+    let* () =
+      match (transform, cg) with
+      | Nufft.Transform.Type3, Some _ ->
+          Error "--cg applies to type-1 reconstructions only"
+      | _ -> Ok ()
+    in
     (* The phantom is built before the service sees a request, so the
        image-size check must happen here to stay a typed error. *)
     let* () = if n < 2 then Error "recon: n must be >= 2" else Ok () in
@@ -259,15 +317,30 @@ let run_recon n spokes output backend tol kernel domains cg trace metrics list
     let density = Trajectory.Radial.density_weights traj in
     let coords = Imaging.Recon.coords_of_traj ~g:(2 * n) traj in
     let backend = canonical_backend backend in
+    (* --tune (or an explicit --backend auto) resolves here, before the
+       operator is built, so acquisition and reconstruction share the
+       tuned backend's cache entry. *)
+    let backend =
+      if tune || backend = "auto" then
+        let default = if backend = "auto" then "serial" else backend in
+        match Nufft.Tuner.mode () with
+        | Nufft.Tuner.Off -> default
+        | _ -> Nufft.Tuner.resolve ?tol ?family ~default ~n ~coords ()
+      else backend
+    in
     let svc = Svc.create ?pool () in
     (* The acquisition needs the forward operator; taking it from the
        service's cache means the reconstruction request below is a warm
-       hit on the same entry. *)
-    let* op, _ = svc_error (Svc.operator ?tol ?family svc ~backend ~n ~coords) in
+       hit on the same entry. A type-3 context still provides the forward
+       (type-2) direction — CPU operators carry all three legs. *)
+    let* op, _ =
+      svc_error (Svc.operator ?tol ?family ~transform svc ~backend ~n ~coords)
+    in
     let samples = Imaging.Recon.acquire_op op phantom in
     let method_ = match cg with None -> Svc.Adjoint | Some i -> Svc.Cg i in
     let req =
       { Svc.backend;
+        transform;
         n;
         coords;
         values = samples.Nufft.Sample.values;
@@ -277,10 +350,12 @@ let run_recon n spokes output backend tol kernel domains cg trace metrics list
         family }
     in
     let* resp = svc_error (Svc.submit svc req) in
+    print_tuner_line tune;
     let method_desc =
-      match method_ with
-      | Svc.Adjoint -> "adjoint"
-      | Svc.Cg _ -> Printf.sprintf "CG(%d iters)" resp.Svc.iterations
+      match (transform, method_) with
+      | Nufft.Transform.Type3, _ -> "type-3 adjoint"
+      | _, Svc.Adjoint -> "adjoint"
+      | _, Svc.Cg _ -> Printf.sprintf "CG(%d iters)" resp.Svc.iterations
     in
     let recon = resp.Svc.image in
     let err = Imaging.Metrics.nrmsd_scaled ~reference:phantom recon in
@@ -305,7 +380,7 @@ let run_recon n spokes output backend tol kernel domains cg trace metrics list
    coordinate arrays are equal but physically distinct — the cache's
    canonical-rebinding path), the rest use distinct spoke counts. With
    --domains > 1 the requests overlap across the pool. *)
-let run_batch n requests share backend tol kernel cg seed domains trace
+let run_batch n requests share backend tol kernel tune cg seed domains trace
     metrics list =
   if list then list_backends ()
   else
@@ -321,7 +396,7 @@ let run_batch n requests share backend tol kernel cg seed domains trace
     let* family = family_of_flag kernel in
     let svc = Svc.create ?pool () in
     let g = 2 * n in
-    let backend = canonical_backend backend in
+    let backend = apply_tune tune (canonical_backend backend) in
     let base_spokes = Trajectory.Radial.fully_sampled_spokes ~n in
     let shared = int_of_float ((share *. float_of_int requests) +. 0.5) in
     let method_ = match cg with None -> Svc.Adjoint | Some i -> Svc.Cg i in
@@ -341,6 +416,7 @@ let run_batch n requests share backend tol kernel cg seed domains trace
               (0.2 *. (Random.State.float rng 2.0 -. 1.0)))
       in
       { Svc.backend;
+        transform = Nufft.Transform.Type1;
         n;
         coords;
         values;
@@ -377,6 +453,7 @@ let run_batch n requests share backend tol kernel cg seed domains trace
       (float_of_int requests /. dt)
       domains_used
       (if domains_used = 1 then "" else "s");
+    print_tuner_line tune;
     print_cache_line svc;
     let ws = Pipeline.Workspace.stats (Svc.workspace svc) in
     Printf.printf "arenas: %d checkouts (%d reused, %d grows, %d retained)\n"
@@ -391,7 +468,7 @@ let run_batch n requests share backend tol kernel cg seed domains trace
    families unless --kernel narrows it, all trajectories, 2D+3D) and fail
    with a non-zero exit when any cell breaches the 10x accuracy contract —
    the CI accuracy-smoke gate. *)
-let run_contract tols kernel seed =
+let run_contract tols kernel type3 seed =
   register_backends ();
   match family_of_flag kernel with
   | Error msg -> `Error (false, msg)
@@ -405,6 +482,11 @@ let run_contract tols kernel seed =
         match tols with [] -> Imaging.Accuracy.default_tols | ts -> ts
       in
       let rows = Imaging.Accuracy.sweep ~seed ~families ~tols () in
+      let rows =
+        if type3 then
+          rows @ Imaging.Accuracy.sweep_type3 ~seed ~families ~tols ()
+        else rows
+      in
       List.iter (fun r -> Format.printf "%a@." Imaging.Accuracy.pp_row r) rows;
       let failed = Imaging.Accuracy.failures rows in
       Printf.printf "accuracy contract: %d/%d cells within %gx of request\n"
@@ -417,8 +499,8 @@ let run_contract tols kernel seed =
             Printf.sprintf "accuracy contract breached in %d cell(s)"
               (List.length failed) )
 
-let run_accuracy n m w sigma l tols kernel contract seed =
-  if contract then run_contract tols kernel seed
+let run_accuracy n m w sigma l tols kernel contract type3 seed =
+  if contract then run_contract tols kernel type3 seed
   else if n > 48 then
     `Error
       ( false,
@@ -548,6 +630,29 @@ let kernel_arg =
            semicircle) or $(b,kb) (Kaiser-Bessel). Default: ES with \
            $(b,--tol), Kaiser-Bessel otherwise.")
 
+let transform_arg =
+  Arg.(
+    value
+    & opt string "type1"
+    & info [ "transform" ] ~docv:"TYPE"
+        ~doc:
+          "Transform type: $(b,type1) (classic adjoint reconstruction) or \
+           $(b,type3) (treat the trajectory as arbitrary source \
+           frequencies and reconstruct on the centred lattice via the \
+           scale/shift decomposition). Type-2 forward evaluation is \
+           API-only.")
+
+let tune_arg =
+  Arg.(
+    value & flag
+    & info [ "tune" ]
+        ~doc:
+          "Let the auto-tuner pick the backend from measured trials over \
+           this trajectory (overriding $(b,--backend)). Controlled by \
+           $(b,JIGSAW_TUNE): $(b,off) disables tuning (the explicit \
+           backend stands, bit-identically), $(b,auto) or unset measures, \
+           any other value forces that backend.")
+
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Value RNG seed.")
 
@@ -600,8 +705,9 @@ let grid_cmd =
     Term.(
       ret
         (const run_grid $ n_arg $ traj_arg $ m_arg $ backend_arg $ w_arg
-       $ l_arg $ tol_arg $ kernel_arg $ seed_arg $ validate_arg $ domains_arg
-       $ trace_arg $ metrics_arg $ list_backends_arg))
+       $ l_arg $ tol_arg $ kernel_arg $ transform_arg $ tune_arg $ seed_arg
+       $ validate_arg $ domains_arg $ trace_arg $ metrics_arg
+       $ list_backends_arg))
 
 let recon_cmd =
   let doc = "reconstruct the Shepp-Logan phantom from radial k-space" in
@@ -620,8 +726,8 @@ let recon_cmd =
     Term.(
       ret
         (const run_recon $ n_arg $ spokes $ output $ backend_arg $ tol_arg
-       $ kernel_arg $ domains_arg $ cg_arg $ trace_arg $ metrics_arg
-       $ list_backends_arg))
+       $ kernel_arg $ transform_arg $ tune_arg $ domains_arg $ cg_arg
+       $ trace_arg $ metrics_arg $ list_backends_arg))
 
 let batch_cmd =
   let doc =
@@ -645,7 +751,7 @@ let batch_cmd =
     Term.(
       ret
         (const run_batch $ n_arg $ requests $ share $ backend_arg $ tol_arg
-       $ kernel_arg $ cg_arg $ seed_arg $ domains_arg $ trace_arg
+       $ kernel_arg $ tune_arg $ cg_arg $ seed_arg $ domains_arg $ trace_arg
        $ metrics_arg $ list_backends_arg))
 
 let info_cmd =
@@ -821,11 +927,21 @@ let accuracy_cmd =
              2D+3D) and exit non-zero if any cell exceeds 10x its \
              requested tolerance.")
   in
+  let type3 =
+    Arg.(
+      value & flag
+      & info [ "type3" ]
+          ~doc:
+            "With $(b,--contract): also sweep the type-3 \
+             (nonuniform-to-nonuniform) transform against the direct \
+             NuDFT oracle at every tolerance, 2D+3D, under the same 10x \
+             contract.")
+  in
   Cmd.v (Cmd.info "accuracy" ~doc)
     Term.(
       ret
         (const run_accuracy $ n $ m $ w_arg $ sigma $ l_arg $ tols
-       $ kernel_arg $ contract $ seed_arg))
+       $ kernel_arg $ contract $ type3 $ seed_arg))
 
 let main_cmd =
   let doc = "Slice-and-Dice / JIGSAW NuFFT acceleration reproduction" in

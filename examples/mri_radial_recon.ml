@@ -44,13 +44,14 @@ let () =
         let samples = Imaging.Recon.acquire_op op phantom in
         ( (tag, spokes, Trajectory.Traj.length traj),
           { Svc.backend = "serial";
+            transform = Nufft.Transform.Type1;
             n;
             coords;
             values = samples.Nufft.Sample.values;
             density = Some density;
             method_ = Svc.Adjoint;
-      tol = None;
-      family = None } ))
+            tol = None;
+            family = None } ))
       levels
   in
   let results = Svc.submit_batch svc (List.map snd prepared) in

@@ -90,6 +90,36 @@ let forward_3d ~n ~omega_x ~omega_y ~omega_z ~image =
       done;
       !acc)
 
+let type3 ~sources ~targets ~values =
+  let dims = Array.length sources in
+  if dims < 1 || dims > 3 then invalid_arg "Nudft.type3: dims must be 1..3";
+  if Array.length targets <> dims then
+    invalid_arg "Nudft.type3: source/target dims mismatch";
+  let m_in = Array.length sources.(0) in
+  let m_out = Array.length targets.(0) in
+  Array.iter
+    (fun a ->
+      if Array.length a <> m_in then
+        invalid_arg "Nudft.type3: ragged source axes")
+    sources;
+  Array.iter
+    (fun a ->
+      if Array.length a <> m_out then
+        invalid_arg "Nudft.type3: ragged target axes")
+    targets;
+  if Cvec.length values <> m_in then
+    invalid_arg "Nudft.type3: values size mismatch";
+  Cvec.init m_out (fun k ->
+      let acc = ref C.zero in
+      for j = 0 to m_in - 1 do
+        let phase = ref 0.0 in
+        for d = 0 to dims - 1 do
+          phase := !phase +. (targets.(d).(k) *. sources.(d).(j))
+        done;
+        acc := C.add !acc (C.mul (Cvec.get values j) (C.exp_i !phase))
+      done;
+      !acc)
+
 let adjoint_3d ~n ~omega_x ~omega_y ~omega_z ~values =
   let m = Array.length omega_x in
   if Array.length omega_y <> m || Array.length omega_z <> m

@@ -52,3 +52,16 @@ val forward_1d :
 
 val adjoint_1d :
   n:int -> omega:float array -> values:Numerics.Cvec.t -> Numerics.Cvec.t
+
+val type3 :
+  sources:float array array ->
+  targets:float array array ->
+  values:Numerics.Cvec.t ->
+  Numerics.Cvec.t
+(** Direct type-3 (nonuniform-to-nonuniform) transform:
+    [f_k = sum_j c_j e^{+i s_k . x_j}] for arbitrary real source points
+    [x_j] ([sources], one axis array per dimension, 1–3 dims) and target
+    frequencies [s_k] ([targets], same dims). With [targets] the centred
+    integer lattice and [sources = omega], this reduces to the adjoint
+    (type-1) transform. O(M_in * M_out) — the exact oracle the fast
+    {!Plan.make_type3} path is validated against. *)

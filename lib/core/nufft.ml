@@ -14,6 +14,8 @@ module Gridding3d = Gridding3d
 module Minmax = Minmax
 module Apodization = Apodization
 module Nudft = Nudft
+module Transform = Transform
+module Tuner = Tuner
 module Sample_plan = Sample_plan
 module Plan = Plan
 module Operator = Operator

@@ -3,11 +3,13 @@ module Cvec = Numerics.Cvec
 type stats = {
   mutable adjoints : int;
   mutable forwards : int;
+  mutable type3s : int;
   mutable gridding_s : float;
   mutable fft_s : float;
   mutable deapod_s : float;
   mutable adjoint_s : float;
   mutable forward_s : float;
+  mutable type3_s : float;
   mutable cycles : int;
   grid : Gridding_stats.t;
 }
@@ -15,11 +17,13 @@ type stats = {
 let create_stats () =
   { adjoints = 0;
     forwards = 0;
+    type3s = 0;
     gridding_s = 0.0;
     fft_s = 0.0;
     deapod_s = 0.0;
     adjoint_s = 0.0;
     forward_s = 0.0;
+    type3_s = 0.0;
     cycles = 0;
     grid = Gridding_stats.create () }
 
@@ -37,6 +41,7 @@ let add_timings st (t : Plan.timings) =
 
 let c_adjoints = Telemetry.Counter.make "op.adjoints"
 let c_forwards = Telemetry.Counter.make "op.forwards"
+let c_type3s = Telemetry.Counter.make "op.type3s"
 let c_cycles = Telemetry.Counter.make "op.cycles"
 
 let op_span kind name =
@@ -62,11 +67,18 @@ let record_forward ?(cycles = 0) st ~elapsed_s =
   Telemetry.Counter.incr c_forwards;
   if cycles > 0 then Telemetry.Counter.add c_cycles cycles
 
+let record_type3 st ~elapsed_s =
+  st.type3s <- st.type3s + 1;
+  st.type3_s <- st.type3_s +. elapsed_s;
+  Telemetry.Counter.incr c_type3s
+
 let pp_stats ppf st =
   Format.fprintf ppf
     "@[<v>adjoints %d (gridding %.4fs, fft %.4fs, deapod %.4fs)@,\
      forwards %d (%.4fs)" st.adjoints st.gridding_s st.fft_s st.deapod_s
     st.forwards st.forward_s;
+  if st.type3s > 0 then
+    Format.fprintf ppf "@,type3s %d (%.4fs)" st.type3s st.type3_s;
   if st.cycles > 0 then Format.fprintf ppf "@,simulated cycles %d" st.cycles;
   Format.fprintf ppf "@]"
 
@@ -76,8 +88,10 @@ module type NUFFT_OP = sig
   val n : int
   val g : int
   val plan : Plan.plan option
+  val transforms : Transform.t list
   val adjoint : Sample.t -> Cvec.t
   val forward : Cvec.t -> Sample.t
+  val type3 : (Cvec.t -> Cvec.t) option
   val stats : unit -> stats
 end
 
@@ -91,13 +105,16 @@ type ctx = {
   tol : float option;
   family : Numerics.Window.family option;
   kernel : Numerics.Window.t;
+  transform : Transform.t;
+  targets : float array array option;
   coords : Sample.t;
   pool : Runtime.Pool.t option;
 }
 
 type factory = ctx -> op
 
-let context ?tol ?family ?kernel ?w ?(sigma = 2.0) ?l ?pool ~n ~coords () =
+let context ?tol ?family ?kernel ?w ?(sigma = 2.0) ?l ?pool
+    ?(transform = Transform.Type1) ?targets ~n ~coords () =
   if n < 2 then invalid_arg "Operator.context: n must be >= 2";
   if sigma <= 1.0 then invalid_arg "Operator.context: sigma must be > 1";
   let g = int_of_float (Float.round (sigma *. float_of_int n)) in
@@ -107,13 +124,37 @@ let context ?tol ?family ?kernel ?w ?(sigma = 2.0) ?l ?pool ~n ~coords () =
          "Operator.context: coords are on grid %d, but sigma * n rounds to \
           %d"
          coords.Sample.g g);
+  (match (transform, targets) with
+  | (Transform.Type1 | Transform.Type2), Some _ ->
+      invalid_arg
+        "Operator.context: targets only apply to the type-3 transform"
+  | Transform.Type3, Some t ->
+      let dims = Sample.dims coords in
+      if Array.length t <> dims then
+        invalid_arg
+          (Printf.sprintf
+             "Operator.context: targets have %d axes for a %dD problem"
+             (Array.length t) dims);
+      let m = if Array.length t = 0 then 0 else Array.length t.(0) in
+      if m < 1 then invalid_arg "Operator.context: empty target set";
+      Array.iter
+        (fun a ->
+          if Array.length a <> m then
+            invalid_arg "Operator.context: ragged target axes";
+          Array.iter
+            (fun x ->
+              if not (Float.is_finite x) then
+                invalid_arg "Operator.context: non-finite target frequency")
+            a)
+        t
+  | _, None -> ());
   (* Same derivation as the plan the factory will build, so [c.w]/[c.l]
      (which the hardware-model backends read directly) always equal the
      CPU plan's geometry. *)
   let tol, kernel, w, l =
     Plan.resolve_geometry ?tol ?family ?kernel ?w ?l ~sigma ()
   in
-  { n; sigma; w; l; tol; family; kernel; coords; pool }
+  { n; sigma; w; l; tol; family; kernel; transform; targets; coords; pool }
 
 let ctx_dims c = Sample.dims c.coords
 let ctx_grid c = c.coords.Sample.g
@@ -123,26 +164,31 @@ let ctx_grid c = c.coords.Sample.g
 type entry = {
   name : string;
   dims : int list;
+  transforms : Transform.t list;
   doc : string;
   factory : factory;
 }
 
 let registry : entry list ref = ref []
 
-let register ?(dims = [ 2; 3 ]) ?(doc = "") name factory =
+let register ?(dims = [ 2; 3 ]) ?(transforms = [ Transform.Type1; Transform.Type2 ])
+    ?(doc = "") name factory =
   if List.exists (fun e -> e.name = name) !registry then
     invalid_arg (Printf.sprintf "Operator.register: duplicate backend %S" name);
-  registry := !registry @ [ { name; dims; doc; factory } ]
+  registry := !registry @ [ { name; dims; transforms; doc; factory } ]
 
 let entries () = !registry
 let all () = List.map (fun e -> (e.name, e.factory)) !registry
 
-let names ?dims () =
+let names ?dims ?transform () =
   List.filter_map
     (fun e ->
       match dims with
       | Some d when not (List.mem d e.dims) -> None
-      | _ -> Some e.name)
+      | _ -> (
+          match transform with
+          | Some t when not (List.mem t e.transforms) -> None
+          | _ -> Some e.name))
     !registry
 
 let find name = List.find_opt (fun e -> e.name = name) !registry
@@ -158,6 +204,12 @@ let create name ctx =
       if not (List.mem d e.dims) then
         invalid_arg
           (Printf.sprintf "Operator: backend %S does not support %dD" name d);
+      if not (List.mem ctx.transform e.transforms) then
+        invalid_arg
+          (Printf.sprintf
+             "Operator: backend %S does not support %s (supported: %s)" name
+             (Transform.to_string ctx.transform)
+             (Transform.list_to_string e.transforms));
       e.factory ctx
 
 (* Generic helpers over a packed operator. *)
@@ -165,19 +217,45 @@ let create name ctx =
 let name_of (module O : NUFFT_OP) = O.name
 let dims_of (module O : NUFFT_OP) = O.dims
 
-let image_length (module O : NUFFT_OP) =
-  let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
-  pow O.n O.dims
+let rec pow b e = if e = 0 then 1 else b * pow b (e - 1)
+let image_length (module O : NUFFT_OP) = pow O.n O.dims
 let apply_adjoint (module O : NUFFT_OP) s = O.adjoint s
 let apply_forward (module O : NUFFT_OP) x = O.forward x
+
+let apply_type3 (module O : NUFFT_OP) values =
+  match O.type3 with
+  | Some f -> f values
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Operator: backend %S was not built for the type-3 transform \
+            (supported: %s)"
+           O.name
+           (Transform.list_to_string O.transforms))
+
 let stats_of (module O : NUFFT_OP) = O.stats ()
 let plan_of (module O : NUFFT_OP) = O.plan
+let transforms_of (module O : NUFFT_OP) = O.transforms
+let type3_of (module O : NUFFT_OP) = O.type3
 
 let normal (module O : NUFFT_OP) x = O.adjoint (O.forward x)
 
 let now () = Unix.gettimeofday ()
 
-let of_plan ?name ?(compile = true) (plan : Plan.plan) ~coords : op =
+let two_pi = 2.0 *. Float.pi
+
+(* Default type-3 targets: the centred integer lattice, row-major with x
+   fastest — the target set on which type-3 reduces exactly to type-1, so
+   a lattice-targeted type-3 operator is a drop-in (approximate) adjoint. *)
+let lattice_targets ~dims ~n =
+  let total = pow n dims in
+  let h = n / 2 in
+  Array.init dims (fun d ->
+      let stride = pow n d in
+      Array.init total (fun idx -> float_of_int ((idx / stride mod n) - h)))
+
+let of_plan ?name ?(compile = true) ?(transform = Transform.Type1) ?targets
+    (plan : Plan.plan) ~coords : op =
   if coords.Sample.g <> plan.Plan.g then
     invalid_arg
       (Printf.sprintf "Operator.of_plan: coords are for grid %d, plan uses %d"
@@ -189,12 +267,46 @@ let of_plan ?name ?(compile = true) (plan : Plan.plan) ~coords : op =
   in
   let st = create_stats () in
   let p = plan in
+  (* The type-3 leg is prepared eagerly when requested: a plan cache entry
+     built for Type3 is ready to replay, and geometry errors (target
+     extents forcing an oversized fine grid) surface at build time. *)
+  let type3_exec =
+    match transform with
+    | Transform.Type1 | Transform.Type2 -> None
+    | Transform.Type3 ->
+        let dims = Sample.dims coords in
+        let g = p.Plan.g in
+        let sources =
+          Array.init dims (fun d ->
+              Array.map
+                (fun u ->
+                  let om = two_pi *. u /. float_of_int g in
+                  if om >= Float.pi then om -. two_pi else om)
+                coords.Sample.coords.(d))
+        in
+        let targets =
+          match targets with
+          | Some t -> t
+          | None -> lattice_targets ~dims ~n:p.Plan.n
+        in
+        let t3 =
+          Plan.make_type3 ~kernel:p.Plan.kernel ~w:p.Plan.w ~sigma:p.Plan.sigma
+            ~l:p.Plan.l ?pool:p.Plan.pool ~simd:p.Plan.simd ~sources ~targets
+            ()
+        in
+        Some (t3, st)
+  in
   (module struct
     let name = name
     let dims = Sample.dims coords
     let n = p.Plan.n
     let g = p.Plan.g
     let plan = Some p
+
+    let transforms =
+      match type3_exec with
+      | Some _ -> Transform.all
+      | None -> [ Transform.Type1; Transform.Type2 ]
 
     (* With [compile] (the default), forward/adjoint replay the plan's
        compiled sample plan: the engine's decomposition is paid on the
@@ -223,6 +335,17 @@ let of_plan ?name ?(compile = true) (plan : Plan.plan) ~coords : op =
       Telemetry.span_end sp;
       Sample.with_values coords values
 
+    let type3 =
+      Option.map
+        (fun (t3, st) values ->
+          let sp = op_span "op.type3" name in
+          let t0 = now () in
+          let out = Plan.type3_exec ~stats:st.grid t3 values in
+          record_type3 st ~elapsed_s:(now () -. t0);
+          Telemetry.span_end sp;
+          out)
+        type3_exec
+
     let stats () = st
   end : NUFFT_OP)
 
@@ -245,12 +368,12 @@ let cpu_backend ?(simd = false) name engine_of : factory =
         Plan.make ~kernel:c.kernel ~w:c.w ~sigma:c.sigma ~l:c.l ~engine
           ?pool:c.pool ~simd ~n:c.n ()
   in
-  of_plan ~name plan ~coords:c.coords
+  of_plan ~name ~transform:c.transform ?targets:c.targets plan ~coords:c.coords
 
 let () =
   List.iter
     (fun (name, doc, engine_of) ->
-      register ~doc name (cpu_backend name engine_of))
+      register ~transforms:Transform.all ~doc name (cpu_backend name engine_of))
     [ ( "serial",
         "input-driven double-precision CPU reference (MIRT-class)",
         fun ~g:_ ~w:_ -> Gridding.Serial );
@@ -275,7 +398,7 @@ let () =
      vector unit or JIGSAW_SIMD=off|scalar). Registered separately so the
      conformance suite exercises the SIMD path against every reference,
      and so plan-cache keys (by backend name) never mix the two. *)
-  register
+  register ~transforms:Transform.all
     ~doc:
       "compiled-plan replay through the runtime-dispatched SIMD kernels \
        (4-ULP contract vs serial; honours JIGSAW_SIMD)"

@@ -26,11 +26,13 @@
 type stats = {
   mutable adjoints : int;
   mutable forwards : int;
+  mutable type3s : int;  (** type-3 applications *)
   mutable gridding_s : float;
   mutable fft_s : float;
   mutable deapod_s : float;
   mutable adjoint_s : float;  (** total adjoint wall-clock *)
   mutable forward_s : float;  (** total forward wall-clock *)
+  mutable type3_s : float;  (** total type-3 wall-clock *)
   mutable cycles : int;  (** simulated hardware cycles (JIGSAW, GPU) *)
   grid : Gridding_stats.t;
 }
@@ -61,6 +63,9 @@ val record_adjoint :
 
 val record_forward : ?cycles:int -> stats -> elapsed_s:float -> unit
 
+val record_type3 : stats -> elapsed_s:float -> unit
+(** Count one type-3 application ([type3s], [type3_s], [op.type3s]). *)
+
 (** One NuFFT backend, bound to a problem geometry and sample
     coordinates. *)
 module type NUFFT_OP = sig
@@ -79,15 +84,28 @@ module type NUFFT_OP = sig
       [None] for hardware-model backends (JIGSAW fixed-point, GPU f32
       simulation), whose numerics a CPU plan must never substitute. *)
 
+  val transforms : Transform.t list
+  (** The transform types {e this instance} can apply: always
+      [Type1; Type2] (the adjoint/forward pair below), plus [Type3] when
+      the operator was built from a type-3 context and so carries a
+      prepared type-3 leg. *)
+
   val adjoint : Sample.t -> Numerics.Cvec.t
-  (** k-space to image: gridding, FFT, de-apodization. Accepts any sample
-      set with matching [g] and dimensionality; returns the centred
-      row-major [n^dims] image. *)
+  (** Type-1, k-space to image: gridding, FFT, de-apodization. Accepts
+      any sample set with matching [g] and dimensionality; returns the
+      centred row-major [n^dims] image. *)
 
   val forward : Numerics.Cvec.t -> Sample.t
-  (** image to k-space at the {e bound} coordinates: apodization, FFT,
-      interpolation. Returns the bound coordinate set carrying the
+  (** Type-2, image to k-space at the {e bound} coordinates: apodization,
+      FFT, interpolation. Returns the bound coordinate set carrying the
       evaluated values. *)
+
+  val type3 : (Numerics.Cvec.t -> Numerics.Cvec.t) option
+  (** Type-3 leg: strengths at the bound source coordinates to values at
+      the bound target frequencies ({!Plan.make_type3} geometry prepared
+      at operator build time). [None] unless the operator was created
+      from a [Transform.Type3] context — hardware-model backends never
+      provide it. *)
 
   val stats : unit -> stats
   (** Instrumentation accumulated over every application so far. *)
@@ -108,6 +126,13 @@ type ctx = {
   kernel : Numerics.Window.t;
       (** resolved kernel — what every backend's weight tables must be
           built from (hardware models included) *)
+  transform : Transform.t;
+      (** the transform type the consumer intends to apply; the registry
+          filters backends on it *)
+  targets : float array array option;
+      (** type-3 target frequencies (one axis per dimension); [None] with
+          [Type3] means the centred integer lattice. Always [None] for
+          type-1/2. *)
   coords : Sample.t;
   pool : Runtime.Pool.t option;
 }
@@ -122,6 +147,8 @@ val context :
   ?sigma:float ->
   ?l:int ->
   ?pool:Runtime.Pool.t ->
+  ?transform:Transform.t ->
+  ?targets:float array array ->
   n:int ->
   coords:Sample.t ->
   unit ->
@@ -132,7 +159,17 @@ val context :
     ([tol] derives kernel + [w] + [l]; mutually exclusive with explicit
     [kernel]/[w]), so [ctx.w]/[ctx.l]/[ctx.kernel] always equal the
     geometry of the plan a CPU factory builds. Checks
-    [coords.g = round (sigma * n)]. *)
+    [coords.g = round (sigma * n)].
+
+    [transform] (default {!Transform.Type1}) declares which transform the
+    operator will be asked to apply; {!create} rejects backends that do
+    not list it — the CPU engines support all three types, the jigsaw and
+    gpusim hardware models only type-1/type-2, and the mismatch surfaces
+    here as a typed [Invalid_argument] naming the supported set instead
+    of failing at apply time. [targets] (type-3 only) gives the target
+    frequencies, one axis array per dimension, validated for shape and
+    finiteness; omitted, the type-3 leg evaluates on the centred integer
+    lattice (on which type-3 reproduces type-1). *)
 
 val ctx_dims : ctx -> int
 val ctx_grid : ctx -> int
@@ -142,12 +179,21 @@ val ctx_grid : ctx -> int
 type entry = {
   name : string;
   dims : int list;  (** dimensionalities the backend supports *)
+  transforms : Transform.t list;  (** transform types the backend supports *)
   doc : string;
   factory : factory;
 }
 
-val register : ?dims:int list -> ?doc:string -> string -> factory -> unit
-(** Add a backend under a unique name (default [dims = [2; 3]]). Raises
+val register :
+  ?dims:int list ->
+  ?transforms:Transform.t list ->
+  ?doc:string ->
+  string ->
+  factory ->
+  unit
+(** Add a backend under a unique name (default [dims = [2; 3]],
+    [transforms = [Type1; Type2]] — hardware models keep the default, the
+    CPU engines register with {!Transform.all}). Raises
     [Invalid_argument] on a duplicate name. *)
 
 val all : unit -> (string * factory) list
@@ -155,16 +201,19 @@ val all : unit -> (string * factory) list
 
 val entries : unit -> entry list
 
-val names : ?dims:int -> unit -> string list
+val names : ?dims:int -> ?transform:Transform.t -> unit -> string list
 (** Registered names, optionally only those supporting [dims]-dimensional
-    problems (what the CLI's [--list-backends] prints). *)
+    problems and/or the given transform type (what the CLI's
+    [--list-backends] prints). *)
 
 val find : string -> entry option
 
 val create : string -> ctx -> op
 (** Look up a backend by name and build it. Raises [Invalid_argument] for
-    an unknown name (the message lists the registered ones) or a
-    dimensionality the backend does not support. *)
+    an unknown name (the message lists the registered ones), a
+    dimensionality the backend does not support, or a [ctx.transform]
+    outside the backend's declared {!entry.transforms} (the message names
+    the supported set). *)
 
 (** {2 Helpers} *)
 
@@ -176,18 +225,39 @@ val image_length : op -> int
 
 val apply_adjoint : op -> Sample.t -> Numerics.Cvec.t
 val apply_forward : op -> Numerics.Cvec.t -> Sample.t
+
+val apply_type3 : op -> Numerics.Cvec.t -> Numerics.Cvec.t
+(** Apply the operator's type-3 leg. Raises [Invalid_argument] (naming
+    the instance's supported transforms) when the operator was not built
+    for type-3. *)
+
 val stats_of : op -> stats
 
 val plan_of : op -> Plan.plan option
 (** The operator's underlying CPU plan, if it has one (see
     {!NUFFT_OP.plan}). *)
 
+val transforms_of : op -> Transform.t list
+val type3_of : op -> (Numerics.Cvec.t -> Numerics.Cvec.t) option
+
 val normal : op -> Numerics.Cvec.t -> Numerics.Cvec.t
 (** [normal op x = adjoint (forward x)] — the Gram/normal map [A^H A]
     iterative reconstruction needs. *)
 
+val lattice_targets : dims:int -> n:int -> float array array
+(** The centred integer lattice as a type-3 target set: [n^dims] points,
+    row-major with x fastest, axis values in [[-n/2, n/2)] — the default
+    targets a [Transform.Type3] context without explicit [targets] binds,
+    and the set on which type-3 mathematically reduces to type-1. *)
+
 val of_plan :
-  ?name:string -> ?compile:bool -> Plan.plan -> coords:Sample.t -> op
+  ?name:string ->
+  ?compile:bool ->
+  ?transform:Transform.t ->
+  ?targets:float array array ->
+  Plan.plan ->
+  coords:Sample.t ->
+  op
 (** Wrap an existing CPU plan as an operator bound to [coords] (which must
     live on the plan's grid). This is how every CPU registry entry is
     implemented, and the escape hatch for custom plans (window, table
@@ -200,4 +270,10 @@ val of_plan :
     precomputed window indices and weights, bit-identically to the serial
     engine. Pass [~compile:false] to run the plan's gridding engine on
     every application (e.g. to benchmark or differential-test the engines
-    themselves). *)
+    themselves).
+
+    With [~transform:Type3] the operator additionally prepares a type-3
+    leg ({!Plan.make_type3}) whose sources are the bound coordinates read
+    back as angular frequencies and whose targets are [targets] (default:
+    {!lattice_targets}); preparation is eager, so geometry errors surface
+    here rather than at first application. *)

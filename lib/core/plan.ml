@@ -408,3 +408,259 @@ let forward_compiled ?stats ?pool ?simd plan ~coords image =
   let out = Sample_plan.gather_parallel ?stats ?pool:rpool ~simd sp big in
   Gridding_stats.end_span span;
   out
+
+(* {2 Type-3: nonuniform-to-nonuniform}
+
+   f_k = sum_j c_j e^{+i s_k . x_j} by the FINUFFT scale/shift
+   decomposition (Barnett et al. 2019, §4). Per dimension:
+
+   - centre both point sets: x0 = (min+max)/2 of the sources, s0 of the
+     targets; then s_k.x_j = s_k.x0 + s0.(x_j - x0) + (s_k - s0).(x_j - x0),
+     giving a per-source prephase e^{i s0.(x_j - x0)} and a per-target
+     postphase e^{i s_k.x0} around the centred problem;
+   - rescale the centred sources into the primary box: with half-widths
+     X = max|x_j - x0| and S = max|s_k - s0| (degenerate widths guarded
+     to 1), the shared fine grid nf = max over dims of the even integer
+     >= 2*(sigma*S*X/pi + w/2 + 1) and gamma_d = nf / (2*sigma*S_d) put
+     u_j = (x_j - x0)/gamma strictly inside (-pi, pi) with at least w/2+1
+     grid points of margin — the kernel support never crosses the +-nf/2
+     seam, so spreading on the wrapped [0, nf) torus followed by an
+     fftshift equals un-periodised spreading on the centred line;
+   - spread the prephased strengths with the plan kernel onto the nf^d
+     grid (the existing compiled slice-and-dice replay machinery);
+   - evaluate the gridded series at the rescaled target frequencies
+     theta_k = 2*pi*gamma*(s_k - s0)/nf (|theta| <= pi/sigma) with the
+     existing type-2 pass: an inner plan of base size nf applied at
+     omega = -theta (its forward convention is e^{-i omega.n});
+   - divide by the kernel's continuous FT at theta_k/2pi cycles per grid
+     unit to undo the spreading convolution, and apply the postphase.
+
+   Both stages inherit the plan-level accuracy law, so the end-to-end
+   error tracks the requested tolerance (asserted against the direct
+   NuDFT oracle by the accuracy sweep). *)
+
+type t3 = {
+  t3_dims : int;
+  t3_m_in : int;
+  t3_m_out : int;
+  t3_nf : int;  (* fine grid per dimension (stage-1 spread grid) *)
+  t3_w : int;
+  t3_tol : float option;
+  t3_prephase : Cvec.t;  (* e^{i s0.(x_j - x0)} per source *)
+  t3_splan : Sample_plan.t;  (* spread decomposition on the nf grid *)
+  t3_inner : plan;  (* inner type-2 plan, n = nf *)
+  t3_inner_coords : Sample.t;  (* omega_k = -theta_k in inner grid units *)
+  t3_post : Cvec.t;  (* e^{i s_k.x0} / prod_d psi_hat(theta_kd / 2pi) *)
+  t3_pool : Runtime.Pool.t option;
+  t3_simd : bool;
+}
+
+let two_pi = 2.0 *. Float.pi
+
+let check_axes ~what ~dims ~m axes =
+  if Array.length axes <> dims then
+    invalid_arg (Printf.sprintf "Plan.make_type3: %s dims mismatch" what);
+  Array.iter
+    (fun a ->
+      if Array.length a <> m then
+        invalid_arg (Printf.sprintf "Plan.make_type3: ragged %s axes" what);
+      Array.iter
+        (fun x ->
+          if not (Float.is_finite x) then
+            invalid_arg
+              (Printf.sprintf "Plan.make_type3: non-finite %s coordinate" what))
+        a)
+    axes
+
+let make_type3 ?tol ?family ?kernel ?w ?(sigma = 2.0) ?l ?pool ?(simd = false)
+    ~sources ~targets () =
+  let dims = Array.length sources in
+  if dims < 2 || dims > 3 then
+    invalid_arg "Plan.make_type3: dims must be 2 or 3";
+  if Array.length sources.(0) < 1 || Array.length targets = 0
+     || Array.length targets.(0) < 1
+  then invalid_arg "Plan.make_type3: empty source or target set";
+  let m_in = Array.length sources.(0) in
+  let m_out = Array.length targets.(0) in
+  check_axes ~what:"source" ~dims ~m:m_in sources;
+  check_axes ~what:"target" ~dims ~m:m_out targets;
+  let tol, kernel, w, l = resolve_geometry ?tol ?family ?kernel ?w ?l ~sigma () in
+  if l < 1 then invalid_arg "Plan.make_type3: l must be >= 1";
+  let sp_make = Telemetry.span_begin ~cat:"plan" "plan.make_type3" in
+  (* Per-dimension centres and half-widths of the two point clouds. *)
+  let centre axes d =
+    let a = axes.(d) in
+    let lo = Array.fold_left Float.min a.(0) a in
+    let hi = Array.fold_left Float.max a.(0) a in
+    ((lo +. hi) /. 2.0, (hi -. lo) /. 2.0)
+  in
+  let x0 = Array.make dims 0.0 and xw = Array.make dims 0.0 in
+  let s0 = Array.make dims 0.0 and sw = Array.make dims 0.0 in
+  for d = 0 to dims - 1 do
+    let c, hw = centre sources d in
+    x0.(d) <- c;
+    xw.(d) <- hw;
+    let c, hw = centre targets d in
+    s0.(d) <- c;
+    sw.(d) <- hw
+  done;
+  let safe v = if v > 0.0 then v else 1.0 in
+  (* Shared fine grid: the largest per-dimension requirement, kept even so
+     the fftshift and the +-nf/2 margin argument hold exactly. *)
+  let nf = ref 4 in
+  for d = 0 to dims - 1 do
+    let need =
+      2
+      * int_of_float
+          (Float.ceil
+             ((sigma *. safe sw.(d) *. safe xw.(d) /. Float.pi)
+             +. (float_of_int w /. 2.0)
+             +. 1.0))
+    in
+    if need > !nf then nf := need
+  done;
+  let nf = !nf in
+  let cells =
+    let c = ref 1 in
+    for _ = 1 to dims do
+      c := !c * 2 * nf
+    done;
+    !c
+  in
+  if cells > 1 lsl 26 then
+    invalid_arg
+      (Printf.sprintf
+         "Plan.make_type3: fine grid %d^%d too large for the source/target \
+          extents (rescale the problem)"
+         nf dims);
+  let gamma =
+    Array.init dims (fun d -> float_of_int nf /. (2.0 *. sigma *. safe sw.(d)))
+  in
+  (* Rescaled sources in fine-grid units, wrapped onto [0, nf). *)
+  let gcoords =
+    Array.init dims (fun d ->
+        Array.init m_in (fun j ->
+            let u = (sources.(d).(j) -. x0.(d)) /. gamma.(d) in
+            Sample.omega_to_grid ~g:nf u))
+  in
+  let table = Wt.make ~precision:Wt.Double ~kernel ~width:w ~l () in
+  let splan =
+    match dims with
+    | 2 ->
+        Sample_plan.compile_2d ~table ~g:nf ~gx:gcoords.(0) ~gy:gcoords.(1) ()
+    | _ ->
+        Sample_plan.compile_3d ~table ~g:nf ~gx:gcoords.(0) ~gy:gcoords.(1)
+          ~gz:gcoords.(2) ()
+  in
+  let prephase =
+    Cvec.init m_in (fun j ->
+        let ph = ref 0.0 in
+        for d = 0 to dims - 1 do
+          ph := !ph +. (s0.(d) *. (sources.(d).(j) -. x0.(d)))
+        done;
+        C.exp_i !ph)
+  in
+  (* Inner type-2 plan over the nf-point base grid, same kernel geometry. *)
+  let inner = make ~kernel ~w ~sigma ~l ?pool ~simd ~n:nf () in
+  let g2 = inner.g in
+  let icoords =
+    Array.init dims (fun d ->
+        Array.init m_out (fun k ->
+            let theta =
+              two_pi *. gamma.(d) *. (targets.(d).(k) -. s0.(d))
+              /. float_of_int nf
+            in
+            Sample.omega_to_grid ~g:g2 (-.theta)))
+  in
+  let inner_coords =
+    Sample.make ~g:g2 ~coords:icoords ~values:(Cvec.create m_out)
+  in
+  ignore (compiled inner inner_coords);
+  let post =
+    Cvec.init m_out (fun k ->
+        let ph = ref 0.0 and corr = ref 1.0 in
+        for d = 0 to dims - 1 do
+          ph := !ph +. (targets.(d).(k) *. x0.(d));
+          let f =
+            gamma.(d) *. (targets.(d).(k) -. s0.(d)) /. float_of_int nf
+          in
+          corr := !corr *. W.ft kernel ~width:w f
+        done;
+        if Float.abs !corr < 1e-300 then
+          invalid_arg
+            "Plan.make_type3: kernel transform vanishes at a target frequency";
+        C.scale (1.0 /. !corr) (C.exp_i !ph))
+  in
+  Telemetry.span_end sp_make;
+  {
+    t3_dims = dims;
+    t3_m_in = m_in;
+    t3_m_out = m_out;
+    t3_nf = nf;
+    t3_w = w;
+    t3_tol = tol;
+    t3_prephase = prephase;
+    t3_splan = splan;
+    t3_inner = inner;
+    t3_inner_coords = inner_coords;
+    t3_post = post;
+    t3_pool = pool;
+    t3_simd = simd;
+  }
+
+(* fftshift: spread grid index l (torus [0, nf), position l or l - nf) to
+   the centred row-major layout the inner forward expects (index i is
+   position i - nf/2). nf is even, so the shift is an exact half-turn. *)
+let fftshift_to_centred ~dims ~nf grid =
+  let h = nf / 2 in
+  let sh i = if i < h then i + h else i - h in
+  let out = Cvec.create (Cvec.length grid) in
+  (match dims with
+  | 2 ->
+      for iy = 0 to nf - 1 do
+        let src_row = sh iy * nf in
+        let dst_row = iy * nf in
+        for ix = 0 to nf - 1 do
+          Cvec.set out (dst_row + ix) (Cvec.get grid (src_row + sh ix))
+        done
+      done
+  | _ ->
+      for iz = 0 to nf - 1 do
+        for iy = 0 to nf - 1 do
+          let src_row = ((sh iz * nf) + sh iy) * nf in
+          let dst_row = ((iz * nf) + iy) * nf in
+          for ix = 0 to nf - 1 do
+            Cvec.set out (dst_row + ix) (Cvec.get grid (src_row + sh ix))
+          done
+        done
+      done);
+  out
+
+let type3_exec ?stats t values =
+  if Cvec.length values <> t.t3_m_in then
+    invalid_arg "Plan.type3_exec: values size mismatch";
+  let sp = Telemetry.span_begin ~cat:"plan" "plan.type3" in
+  let prephased =
+    Cvec.init t.t3_m_in (fun j ->
+        C.mul (Cvec.get values j) (Cvec.get t.t3_prephase j))
+  in
+  let span = Gridding_stats.grid_span "grid.type3-spread" in
+  let grid =
+    Sample_plan.spread_parallel ?stats ?pool:t.t3_pool ~simd:t.t3_simd
+      t.t3_splan prephased
+  in
+  Gridding_stats.end_span span;
+  let centred = fftshift_to_centred ~dims:t.t3_dims ~nf:t.t3_nf grid in
+  let b = forward_compiled ?stats t.t3_inner ~coords:t.t3_inner_coords centred in
+  for k = 0 to t.t3_m_out - 1 do
+    Cvec.set b k (C.mul (Cvec.get b k) (Cvec.get t.t3_post k))
+  done;
+  Telemetry.span_end sp;
+  b
+
+let type3_dims t = t.t3_dims
+let type3_source_count t = t.t3_m_in
+let type3_target_count t = t.t3_m_out
+let type3_fine_grid t = t.t3_nf
+let type3_width t = t.t3_w
+let type3_tol t = t.t3_tol

@@ -63,6 +63,13 @@ val make :
     the Beatty beta, [w = Window.default_width ~sigma] (6 at the default
     [sigma = 2.0]), [l = 512], [engine = Serial].
 
+    A plan serves the lattice-coupled transform types: {!adjoint} is
+    type-1 ({!Transform.Type1}, nonuniform to uniform) and {!forward} is
+    type-2 ({!Transform.Type2}, uniform to nonuniform). The
+    nonuniform-to-nonuniform type-3 transform has its own preparation —
+    {!make_type3} — because its geometry is derived from the source and
+    target point clouds rather than from [n].
+
     [tol] switches the plan to tolerance-driven geometry: kernel + width
     come from {!Numerics.Window.for_tolerance} (family ES unless
     [~family:KB]) and the table oversampling from
@@ -280,3 +287,66 @@ val forward_compiled :
 (** {!forward} through the compiled plan: pad/apodize, FFT, replay-gather
     at the compiled sample locations ({!Sample_plan.gather_parallel} over
     the same resolved pool as {!adjoint_compiled}). *)
+
+(** {2 Type-3 transforms (nonuniform to nonuniform)}
+
+    [f_k = sum_j c_j e^{+i s_k . x_j}] for arbitrary real source points
+    [x_j] and target frequencies [s_k] — neither constrained to a lattice
+    or to [[-pi, pi)]. Computed by the standard scale/shift decomposition:
+    centre both point clouds, rescale the sources into the primary box,
+    spread them with the plan kernel onto a fine grid of [nf] points per
+    dimension (the existing compiled type-1 machinery), evaluate the
+    gridded series at the rescaled target frequencies with a type-2 pass
+    of an inner [n = nf] plan, then undo the spreading convolution with
+    the kernel's continuous Fourier transform and restore the centring
+    phases. See the implementation comment for the derivation; accuracy
+    tracks the requested tolerance through both stages and is asserted
+    against {!Nudft.type3} by the accuracy-contract sweep. *)
+
+type t3
+(** A prepared type-3 transform: fixed source/target geometry, compiled
+    spread decomposition, inner type-2 plan, and the pre/post phase and
+    kernel-correction vectors. Apply with {!type3_exec}. *)
+
+val make_type3 :
+  ?tol:float ->
+  ?family:Numerics.Window.family ->
+  ?kernel:Numerics.Window.t ->
+  ?w:int ->
+  ?sigma:float ->
+  ?l:int ->
+  ?pool:Runtime.Pool.t ->
+  ?simd:bool ->
+  sources:float array array ->
+  targets:float array array ->
+  unit ->
+  t3
+(** [make_type3 ~sources ~targets ()] prepares the transform for the given
+    point sets (one axis array per dimension; 2 or 3 dims; axes of one set
+    must share a length). Geometry knobs ([tol]/[family]/[kernel]/[w]/
+    [sigma]/[l]) resolve exactly as in {!make}; [pool] and [simd] flow to
+    the spread replay, the inner FFT and the inner gather. Raises
+    [Invalid_argument] on dimension/length mismatches, non-finite
+    coordinates, or when the product of source and target extents forces
+    a fine grid too large to allocate ([(2 nf)^dims > 2^26] cells) — in
+    that regime rescale the problem instead. *)
+
+val type3_exec :
+  ?stats:Gridding_stats.t -> t3 -> Numerics.Cvec.t -> Numerics.Cvec.t
+(** [type3_exec t c] applies the prepared transform to source strengths
+    [c] (length = source count), returning the target-frequency values
+    (length = target count). Repeated applications replay the compiled
+    decompositions; no per-call compilation. *)
+
+val type3_dims : t3 -> int
+val type3_source_count : t3 -> int
+val type3_target_count : t3 -> int
+
+val type3_fine_grid : t3 -> int
+(** The fine-grid size [nf] per dimension the decomposition chose. *)
+
+val type3_width : t3 -> int
+(** Resolved spreading-kernel width (shared by both stages). *)
+
+val type3_tol : t3 -> float option
+(** The tolerance the geometry was derived from, if any. *)

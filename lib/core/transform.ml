@@ -1,0 +1,29 @@
+type t = Type1 | Type2 | Type3
+
+let all = [ Type1; Type2; Type3 ]
+
+let to_string = function
+  | Type1 -> "type1"
+  | Type2 -> "type2"
+  | Type3 -> "type3"
+
+let short = function Type1 -> "t1" | Type2 -> "t2" | Type3 -> "t3"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "type1" | "t1" | "1" | "adjoint" -> Some Type1
+  | "type2" | "t2" | "2" | "forward" -> Some Type2
+  | "type3" | "t3" | "3" -> Some Type3
+  | _ -> None
+
+let code = function Type1 -> 0 | Type2 -> 1 | Type3 -> 2
+
+let of_code = function
+  | 0 -> Some Type1
+  | 1 -> Some Type2
+  | 2 -> Some Type3
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let list_to_string ts = String.concat "/" (List.map short ts)

@@ -1,0 +1,43 @@
+(** First-class NUFFT transform types.
+
+    The three classical transform kinds of a FINUFFT-style library
+    (Barnett et al. 2019):
+
+    - {b Type-1} (nonuniform to uniform): [x_n = sum_j c_j e^{+i omega_j . n}]
+      over the centred integer lattice [n] — the MRI {e adjoint} (gridding)
+      direction this codebase grew up around.
+    - {b Type-2} (uniform to nonuniform): [f_j = sum_n x_n e^{-i omega_j . n}]
+      — the {e forward} (degridding) direction.
+    - {b Type-3} (nonuniform to nonuniform):
+      [f_k = sum_j c_j e^{+i s_k . x_j}] for arbitrary real source points
+      [x_j] and target frequencies [s_k], computed by the scale/shift
+      decomposition in {!Plan.make_type3}.
+
+    Backends declare which types they support ({!Operator.register});
+    the registry filters on the requested type instead of failing at
+    apply time. *)
+
+type t = Type1 | Type2 | Type3
+
+val all : t list
+(** [[Type1; Type2; Type3]]. *)
+
+val to_string : t -> string
+(** ["type1" | "type2" | "type3"] — stable, used in cache keys and CLI. *)
+
+val short : t -> string
+(** ["t1" | "t2" | "t3"] — compact form for backend listings. *)
+
+val of_string : string -> t option
+(** Accepts ["type1"]/["t1"]/["1"]/["adjoint"] (and the type-2/3
+    analogues), case-insensitively. *)
+
+val code : t -> int
+(** Wire byte for the JGS1 protocol: 0, 1, 2. *)
+
+val of_code : int -> t option
+
+val pp : Format.formatter -> t -> unit
+
+val list_to_string : t list -> string
+(** ["t1/t2/t3"]-style rendering of a supported-types list. *)

@@ -102,6 +102,11 @@ let make flavour op_name (c : Op.ctx) : Op.op =
 
     let stats () = st
 
+    (* Hardware models grid on the lattice-coupled path only: type-1
+       (adjoint) and type-2 (forward). No type-3 leg. *)
+    let transforms = [ Nufft.Transform.Type1; Nufft.Transform.Type2 ]
+    let type3 = None
+
     (* f32-LUT numerics: a CPU double plan must never stand in for this
        backend's own transforms. *)
     let plan = None
@@ -115,6 +120,8 @@ let registered = ref false
 let register () =
   if not !registered then begin
     registered := true;
+    (* Default [~transforms] = type-1/type-2 only: the simulated kernels
+       model lattice gridding; no type-3 path. *)
     Op.register ~dims:[ 2 ]
       ~doc:
         "Slice-and-Dice GPU kernel replayed on the Titan Xp timing \

@@ -146,6 +146,54 @@ let sweep ?(seed = 7) ?(families = [ W.ES; W.KB ]) ?(tols = default_tols)
         tols)
     families
 
+(* Type-3 cells: random real source points and target frequencies in
+   boxes wide enough that the scale/shift decomposition's fine grid is
+   exercised (nf well above the window width), small enough that the
+   O(M_in * M_out) NuDFT reference stays cheap. The single measured
+   error lands in both row columns so [row_ok] / [failures] apply
+   unchanged; [width]/[l] report the decomposition's window width and
+   fine-grid size. *)
+let t3_m_in = function 2 -> 150 | _ -> 90
+let t3_m_out = function 2 -> 120 | _ -> 70
+let t3_xscale = function 2 -> 3.0 | _ -> 2.0
+let t3_sscale = function 2 -> 12.0 | _ -> 8.0
+
+let measure_type3 ?(seed = 7) ?m_in ?m_out ~family ~tol ~dims () =
+  if dims <> 2 && dims <> 3 then
+    invalid_arg "Accuracy.measure_type3: dims must be 2 or 3";
+  let m_in = match m_in with Some m -> m | None -> t3_m_in dims in
+  let m_out = match m_out with Some m -> m | None -> t3_m_out dims in
+  let rng = Random.State.make [| seed; dims; 0x73 |] in
+  let axes scale m =
+    Array.init dims (fun _ ->
+        Array.init m (fun _ -> (Random.State.float rng 2.0 -. 1.0) *. scale))
+  in
+  let sources = axes (t3_xscale dims) m_in in
+  let targets = axes (t3_sscale dims) m_out in
+  let values = random_cvec rng m_in in
+  let t3 = Plan.make_type3 ~tol ~family ~sources ~targets () in
+  let fast = Plan.type3_exec t3 values in
+  let exact = Nudft.type3 ~sources ~targets ~values in
+  let err = Cvec.nrmsd ~reference:exact fast in
+  { family;
+    tol;
+    dims;
+    traj = Random;
+    width = Plan.type3_width t3;
+    l = Plan.type3_fine_grid t3;
+    adjoint_err = err;
+    forward_err = err }
+
+let sweep_type3 ?(seed = 7) ?(families = [ W.ES; W.KB ])
+    ?(tols = default_tols) ?(dims = [ 2; 3 ]) () =
+  List.concat_map
+    (fun family ->
+      List.concat_map
+        (fun tol ->
+          List.map (fun d -> measure_type3 ~seed ~family ~tol ~dims:d ()) dims)
+        tols)
+    families
+
 let pp_row ppf r =
   Format.fprintf ppf "%-13s tol %.0e %dD %-6s w=%-2d l=%-6d adj %.2e fwd %.2e%s"
     (W.family_name r.family) r.tol r.dims (traj_name r.traj) r.width r.l

@@ -69,6 +69,34 @@ val sweep :
 (** The full grid of {!measure} calls (defaults: both families, all five
     tolerances, 2D+3D, all trajectories — 60 cells). *)
 
+val measure_type3 :
+  ?seed:int ->
+  ?m_in:int ->
+  ?m_out:int ->
+  family:Numerics.Window.family ->
+  tol:float ->
+  dims:int ->
+  unit ->
+  row
+(** One type-3 cell: random real source points and target frequencies
+    (150 -> 120 points in 2D, 90 -> 70 in 3D by default), transformed via
+    the scale/shift decomposition ({!Nufft.Plan.make_type3}) and compared
+    against the direct {!Nufft.Nudft.type3} oracle. The single measured
+    error fills both [adjoint_err] and [forward_err] (so {!row_ok} and
+    {!failures} apply unchanged); [traj] is [Random], [width] is the
+    decomposition's window width and [l] its fine-grid size [nf]. *)
+
+val sweep_type3 :
+  ?seed:int ->
+  ?families:Numerics.Window.family list ->
+  ?tols:float list ->
+  ?dims:int list ->
+  unit ->
+  row list
+(** The type-3 grid of {!measure_type3} calls (defaults: both families,
+    all five tolerances, 2D+3D — 20 cells), separate from {!sweep} so
+    existing consumers of the 60-cell lattice sweep are unchanged. *)
+
 val pp_row : Format.formatter -> row -> unit
 
 val backend_rel_l2_err : ?seed:int -> ?tol:float -> string -> float

@@ -107,6 +107,11 @@ let make_2d (c : Op.ctx) : Op.op =
 
     let stats () = st
 
+    (* Hardware models grid on the lattice-coupled path only: type-1
+       (adjoint) and type-2 (forward). No type-3 leg. *)
+    let transforms = [ Nufft.Transform.Type1; Nufft.Transform.Type2 ]
+    let type3 = None
+
     (* Fixed-point numerics: a CPU plan must never stand in for this
        backend's own transforms. *)
     let plan = None
@@ -166,6 +171,11 @@ let make_3d (c : Op.ctx) : Op.op =
 
     let stats () = st
 
+    (* Hardware models grid on the lattice-coupled path only: type-1
+       (adjoint) and type-2 (forward). No type-3 leg. *)
+    let transforms = [ Nufft.Transform.Type1; Nufft.Transform.Type2 ]
+    let type3 = None
+
     (* Fixed-point numerics: a CPU plan must never stand in for this
        backend's own transforms. *)
     let plan = None
@@ -176,6 +186,9 @@ let registered = ref false
 let register () =
   if not !registered then begin
     registered := true;
+    (* Default [~transforms] = type-1/type-2 only: the fixed-point engines
+       grid onto the lattice-coupled oversampled grid and have no type-3
+       scale/shift path — the registry rejects a Type3 context up front. *)
     Op.register ~dims:[ 2 ]
       ~doc:
         "JIGSAW 2D streaming fixed-point engine (M+12 cycles), FFT + \

@@ -33,6 +33,10 @@ type key = {
   g : int;
   tol : float option;
   kernel : Numerics.Window.t;
+  transform : Nufft.Transform.t;
+  targets : float array array option;
+      (* type-3 target frequencies; compared structurally (finite floats,
+         validated at context construction) *)
   fp : int;
 }
 
@@ -118,6 +122,8 @@ let key_of t ~backend (ctx : Op.ctx) =
     g = Op.ctx_grid ctx;
     tol = ctx.Op.tol;
     kernel = ctx.Op.kernel;
+    transform = ctx.Op.transform;
+    targets = ctx.Op.targets;
     fp = t.fingerprint ctx.Op.coords }
 
 (* Structural coordinate equality guards against fingerprint collisions:
@@ -142,6 +148,8 @@ let geometry_matches ~backend (ctx : Op.ctx) e =
   && e.key.g = Op.ctx_grid ctx
   && e.key.tol = ctx.Op.tol
   && e.key.kernel = ctx.Op.kernel
+  && e.key.transform = ctx.Op.transform
+  && (e.key.targets == ctx.Op.targets || e.key.targets = ctx.Op.targets)
 
 let find_physical t ~backend (ctx : Op.ctx) =
   List.find_opt
@@ -182,10 +190,15 @@ let build ~backend (ctx : Op.ctx) =
   let op = Op.create backend ctx in
   let plan_bytes =
     match Op.plan_of op with
-    | Some plan ->
+    | Some plan when ctx.Op.transform <> Nufft.Transform.Type3 ->
         let splan = Plan.compiled plan ctx.Op.coords in
         8 * Sample_plan.memory_words splan
-    | None -> 0
+    | _ ->
+        (* Type-3 operators compile their own internal spread + inner
+           type-2 plans eagerly in [of_plan]; the bound coordinates are
+           sources, not grid-coupled samples, so there is nothing to
+           pre-compile here. *)
+        0
   in
   (with_canonical ctx.Op.coords op, plan_bytes + coord_bytes ctx.Op.coords + 4096)
 

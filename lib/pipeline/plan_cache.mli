@@ -4,7 +4,8 @@
     layer: repeated reconstructions over the same trajectory should pay
     for plan construction and the slice-and-dice decomposition exactly
     once. The cache is keyed on the full operator identity —
-    [(backend, n, sigma, w, l, g, coordinate fingerprint)] — with a
+    [(backend, n, sigma, w, l, g, transform, targets, coordinate
+    fingerprint)] — with a
     structural coordinate comparison on fingerprint match, so distinct
     trajectories that collide in the fingerprint still get distinct
     entries.

@@ -15,6 +15,7 @@ type method_ = Adjoint | Cg of int
 
 type request = {
   backend : string;
+  transform : Nufft.Transform.t;
   n : int;
   coords : Sample.t;
   values : Cvec.t;
@@ -60,45 +61,76 @@ let method_name = function
   | Adjoint -> "adjoint"
   | Cg k -> Printf.sprintf "cg-%d" k
 
+let rec pow b e = if e = 0 then 1 else b * pow b (e - 1)
+
 (* ------------------------------------------------------------------ *)
 (* Validation: every malformed request becomes a typed error before any
-   work is scheduled. *)
+   work is scheduled. Shape rules are per-transform: type-1 and type-3
+   carry one value per sample; type-2 carries the n^dims image whose
+   spectrum is evaluated at the trajectory. *)
 
 let validate req =
   let m = Sample.length req.coords in
   if req.n < 2 then Error (Invalid_request "n must be >= 2")
   else if m = 0 then Error (Recon_error Imaging.Recon.Empty_sample_set)
-  else if Cvec.length req.values <> m then
-    Error
-      (Invalid_request
-         (Printf.sprintf "values length %d does not match the %d-sample set"
-            (Cvec.length req.values) m))
   else
-    match req.density with
-    | Some d when Array.length d <> m ->
-        Error
-          (Recon_error
-             (Imaging.Recon.Density_length_mismatch
-                { expected = m; got = Array.length d }))
-    | _ -> (
-        match req.method_ with
-        | Cg iters when iters < 1 ->
-            Error (Invalid_request "cg iterations must be >= 1")
-        | _ -> Ok ())
+    match req.transform with
+    | Nufft.Transform.Type2 ->
+        let ilen = pow req.n (Sample.dims req.coords) in
+        if Cvec.length req.values <> ilen then
+          Error
+            (Invalid_request
+               (Printf.sprintf
+                  "type-2 values length %d does not match the %d-voxel image"
+                  (Cvec.length req.values) ilen))
+        else if req.density <> None then
+          Error
+            (Invalid_request
+               "density weights do not apply to a type-2 (forward) request")
+        else (
+          match req.method_ with
+          | Adjoint -> Ok ()
+          | Cg _ ->
+              Error (Invalid_request "cg applies to type-1 requests only"))
+    | (Nufft.Transform.Type1 | Nufft.Transform.Type3) as tr ->
+        if Cvec.length req.values <> m then
+          Error
+            (Invalid_request
+               (Printf.sprintf
+                  "values length %d does not match the %d-sample set"
+                  (Cvec.length req.values) m))
+        else (
+          match req.density with
+          | Some d when Array.length d <> m ->
+              Error
+                (Recon_error
+                   (Imaging.Recon.Density_length_mismatch
+                      { expected = m; got = Array.length d }))
+          | _ -> (
+              match (req.method_, tr) with
+              | Cg _, Nufft.Transform.Type3 ->
+                  Error (Invalid_request "cg applies to type-1 requests only")
+              | Cg iters, _ when iters < 1 ->
+                  Error (Invalid_request "cg iterations must be >= 1")
+              | _ -> Ok ()))
 
 (* Cached operators are always built pool-less: their applications run
    inside the service pool's [parallel_for] during batch execution, and a
    nested submission to the same pool deadlocks. The pool parallelises
    across requests instead. *)
-let op_of ?tol ?family t ~backend ~n ~coords =
+let op_of ?tol ?family ?(transform = Nufft.Transform.Type1) t ~backend ~n
+    ~coords =
   match
     (* A per-request tolerance overrides the service geometry entirely —
        kernel, width and table oversampling are all derived from it, so a
        tenant at 1e-6 never rides a 1e-3 tenant's plan (distinct cache
        keys by construction). *)
     match tol with
-    | Some tol -> Op.context ~tol ?family ~sigma:t.sigma ~n ~coords ()
-    | None -> Op.context ?family ~w:t.w ~sigma:t.sigma ~l:t.l ~n ~coords ()
+    | Some tol ->
+        Op.context ~tol ?family ~sigma:t.sigma ~transform ~n ~coords ()
+    | None ->
+        Op.context ?family ~w:t.w ~sigma:t.sigma ~l:t.l ~transform ~n ~coords
+          ()
   with
   | ctx -> (
       match Plan_cache.operator t.cache ~backend ~ctx with
@@ -106,8 +138,19 @@ let op_of ?tol ?family t ~backend ~n ~coords =
       | exception Invalid_argument msg -> Error (Invalid_request msg))
   | exception Invalid_argument msg -> Error (Invalid_request msg)
 
-let operator ?tol ?family t ~backend ~n ~coords =
-  op_of ?tol ?family t ~backend ~n ~coords
+let operator ?tol ?family ?transform t ~backend ~n ~coords =
+  op_of ?tol ?family ?transform t ~backend ~n ~coords
+
+(* ["auto"] defers the backend choice to the tuner: measured trials over
+   the request's own trajectory on a cache miss, the cached winner after.
+   Resolved pool-less, matching how cached operators are built. With
+   [JIGSAW_TUNE=off] the tuner returns the default untouched, so the
+   request behaves exactly like an explicit ["serial"] request. *)
+let resolve_backend req =
+  if req.backend = "auto" then
+    Nufft.Tuner.resolve ?tol:req.tol ?family:req.family ~default:"serial"
+      ~n:req.n ~coords:req.coords ()
+  else req.backend
 
 (* ------------------------------------------------------------------ *)
 (* Fast direct path: for operators that expose their CPU plan, the whole
@@ -129,8 +172,6 @@ let weight_into (w : float array) (values : Cvec.t) (out : Cvec.t) =
     A1.unsafe_set out (2 * j) (s *. re);
     A1.unsafe_set out ((2 * j) + 1) (s *. im)
   done
-
-let rec pow b e = if e = 0 then 1 else b * pow b (e - 1)
 
 let fast_adjoint ?fft_pool t ~(plan : Plan.plan) ~canonical req =
   let dims = Sample.dims req.coords in
@@ -183,19 +224,46 @@ let run_cg t op req iters =
   (res.Imaging.Cg.solution, res.Imaging.Cg.iterations)
 
 let execute ?fft_pool t req (op, canonical) =
-  match req.method_ with
-  | Adjoint -> (
-      match Op.plan_of op with
-      | Some plan -> Ok (fast_adjoint ?fft_pool t ~plan ~canonical req, 0)
-      | None -> (
-          (* Hardware-model backends (fixed-point, f32 simulation) own
-             their numerics: run them through the generic driver rather
-             than substituting a CPU plan. *)
-          let samples = Sample.with_values req.coords req.values in
-          match Imaging.Recon.reconstruct_op ?density:req.density op samples with
-          | Ok image -> Ok (image, 0)
-          | Error e -> Error (Recon_error e)))
-  | Cg iters -> Ok (run_cg t op req iters)
+  match req.transform with
+  | Nufft.Transform.Type2 ->
+      (* Forward projection: evaluate the request's image spectrum at the
+         bound trajectory. The response carries the M k-space values
+         (unscaled — type-2 is the pure evaluation, not a recon). *)
+      let s = Op.apply_forward op req.values in
+      Ok (s.Sample.values, 0)
+  | Nufft.Transform.Type3 ->
+      (* Type-3 reconstruction on the operator's bound target set (the
+         centred lattice unless the context bound explicit targets):
+         density-weight the strengths, apply, scale by 1/m — parity with
+         the type-1 adjoint recon on the lattice. *)
+      let m = Cvec.length req.values in
+      let vals =
+        match req.density with
+        | None -> req.values
+        | Some w ->
+            let out = Cvec.create m in
+            weight_into w req.values out;
+            out
+      in
+      let image = Op.apply_type3 op vals in
+      Cvec.scale_inplace (1.0 /. float_of_int m) image;
+      Ok (image, 0)
+  | Nufft.Transform.Type1 -> (
+      match req.method_ with
+      | Adjoint -> (
+          match Op.plan_of op with
+          | Some plan -> Ok (fast_adjoint ?fft_pool t ~plan ~canonical req, 0)
+          | None -> (
+              (* Hardware-model backends (fixed-point, f32 simulation) own
+                 their numerics: run them through the generic driver rather
+                 than substituting a CPU plan. *)
+              let samples = Sample.with_values req.coords req.values in
+              match
+                Imaging.Recon.reconstruct_op ?density:req.density op samples
+              with
+              | Ok image -> Ok (image, 0)
+              | Error e -> Error (Recon_error e)))
+      | Cg iters -> Ok (run_cg t op req iters))
 
 (* One request, start to finish; never raises — the batch scheduler runs
    this inside the domain pool, where an escaped exception would poison
@@ -205,7 +273,9 @@ let run_one ?fft_pool t req =
     if Telemetry.enabled () then
       Telemetry.span_begin ~cat:"svc"
         ~args:
-          [ ("backend", req.backend); ("method", method_name req.method_) ]
+          [ ("backend", req.backend);
+            ("transform", Nufft.Transform.to_string req.transform);
+            ("method", method_name req.method_) ]
         "svc.request"
     else Telemetry.null_span
   in
@@ -215,9 +285,12 @@ let run_one ?fft_pool t req =
     match validate req with
     | Error e -> Error e
     | Ok () -> (
+        match resolve_backend req with
+        | exception Invalid_argument msg -> Error (Invalid_request msg)
+        | backend -> (
         match
-          op_of ?tol:req.tol ?family:req.family t ~backend:req.backend
-            ~n:req.n ~coords:req.coords
+          op_of ?tol:req.tol ?family:req.family ~transform:req.transform t
+            ~backend ~n:req.n ~coords:req.coords
         with
         | Error e -> Error e
         | Ok pair -> (
@@ -225,7 +298,7 @@ let run_one ?fft_pool t req =
             | r -> r
             | exception Invalid_argument msg -> Error (Invalid_request msg)
             | exception Failure msg -> Error (Internal msg)
-            | exception exn -> Error (Internal (Printexc.to_string exn))))
+            | exception exn -> Error (Internal (Printexc.to_string exn)))))
   in
   let elapsed_s = now () -. t0 in
   Telemetry.span_end sp;

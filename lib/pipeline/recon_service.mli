@@ -32,7 +32,20 @@ type method_ =
           [A^H W A x = A^H W y], with the given iteration budget *)
 
 type request = {
-  backend : string;  (** registered operator backend name *)
+  backend : string;
+      (** registered operator backend name, or ["auto"] to let the
+          {!Nufft.Tuner} pick from measured trials over this trajectory
+          (with [JIGSAW_TUNE=off], ["auto"] degrades to ["serial"]) *)
+  transform : Nufft.Transform.t;
+      (** which transform to apply. [Type1] is the reconstruction path
+          (adjoint or CG); [Type2] evaluates the request's [values] — an
+          [n^dims] image — at the trajectory and returns the M k-space
+          values in [response.image] (unscaled, [iterations = 0], density
+          must be [None], method must be [Adjoint]); [Type3] treats the
+          trajectory as arbitrary source frequencies and reconstructs on
+          the centred lattice via the scale/shift decomposition
+          ({!Nufft.Plan.make_type3}), density-weighting and [1/m]-scaling
+          like the type-1 adjoint ([Adjoint] only). *)
   n : int;  (** image size per dimension *)
   coords : Nufft.Sample.t;
       (** trajectory in grid units on the oversampled grid
@@ -51,7 +64,9 @@ type request = {
 }
 
 type response = {
-  image : Numerics.Cvec.t;  (** centred row-major [n^dims] image *)
+  image : Numerics.Cvec.t;
+      (** centred row-major [n^dims] image (type-1/type-3); for type-2
+          requests, the M evaluated k-space values *)
   iterations : int;  (** CG iterations performed; 0 for {!Adjoint} *)
   elapsed_s : float;
 }
@@ -86,6 +101,7 @@ val workspace : t -> Workspace.t
 val operator :
   ?tol:float ->
   ?family:Numerics.Window.family ->
+  ?transform:Nufft.Transform.t ->
   t ->
   backend:string ->
   n:int ->

@@ -80,6 +80,7 @@ type recon_request = {
   method_ : method_;
   tol : float option;
   family : Numerics.Window.family option;
+  transform : Nufft.Transform.t;
   omega : float array array;
   values : float array;
   density : float array option;
@@ -234,6 +235,7 @@ let encode_recon_payload (r : recon_request) =
       put_u8 b 1;
       put_f64 b tol);
   put_u8 b (family_code r.family);
+  put_u8 b (Nufft.Transform.code r.transform);
   let m = Array.length r.values / 2 in
   put_u32 b m;
   Array.iter (put_floats b) r.omega;
@@ -270,6 +272,12 @@ let decode_recon_payload limits payload =
       | Ok f -> f
       | Error msg -> raise (Short msg)
     in
+    let transform =
+      let c = get_u8 r "transform" in
+      match Nufft.Transform.of_code c with
+      | Some t -> t
+      | None -> raise (Short (Printf.sprintf "unknown transform code %d" c))
+    in
     let m = get_u32 r "m" in
     if m > limits.max_samples then
       raise
@@ -289,8 +297,8 @@ let decode_recon_payload limits payload =
               (String.length payload - r.pos)))
     else
       Ok
-        { tenant; backend; n; dims; method_; tol; family; omega; values;
-          density }
+        { tenant; backend; n; dims; method_; tol; family; transform; omega;
+          values; density }
   with Short what -> Error (Malformed ("truncated or invalid " ^ what))
 
 let encode_request ?(limits = default_limits) req =
@@ -477,6 +485,7 @@ let recon_request_equal (a : recon_request) (b : recon_request) =
      | Some x, Some y -> float_bits_equal x y
      | _ -> false)
   && a.family = b.family
+  && a.transform = b.transform
   && Array.length a.omega = Array.length b.omega
   && Array.for_all2 floats_equal a.omega b.omega
   && floats_equal a.values b.values

@@ -65,6 +65,13 @@ type recon_request = {
   method_ : method_;
   tol : float option;  (** plan accuracy target *)
   family : Numerics.Window.family option;  (** kernel family override *)
+  transform : Nufft.Transform.t;
+      (** transform type, one wire byte ({!Nufft.Transform.code}) after
+          the family byte. Type-1 reconstructs; type-3 treats [omega] as
+          arbitrary source frequencies and reconstructs on the lattice.
+          Type-2 decodes but is rejected at the serving layer: JGS1 recon
+          frames carry one value per sample, not the [n^dims] image a
+          forward evaluation consumes. *)
   omega : float array array;  (** [dims] axes of [m] radians, [-pi, pi) *)
   values : float array;  (** [2m] interleaved re/im sample values *)
   density : float array option;  (** [m] compensation weights *)

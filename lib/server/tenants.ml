@@ -107,6 +107,13 @@ let to_service_request t (r : Protocol.recon_request) =
     Array.exists (fun ax -> Array.exists (fun v -> not (Float.is_finite v)) ax)
       r.omega
   then Error (Protocol.Bad_request, "non-finite omega coordinate")
+  else if r.transform = Nufft.Transform.Type2 then
+    (* A JGS1 recon frame carries one value per sample; a forward (type-2)
+       evaluation consumes an n^dims image payload the frame format does
+       not model. In-process callers use [Recon_service] directly. *)
+    Error
+      ( Protocol.Bad_request,
+        "type-2 (forward) requests are not served over the wire" )
   else
     match r.method_ with
     | Protocol.Cg iters when iters < 1 || iters > cg_iteration_cap ->
@@ -129,6 +136,7 @@ let to_service_request t (r : Protocol.recon_request) =
               {
                 Svc.backend =
                   (if r.backend = "" then t.cfg.default_backend else r.backend);
+                transform = r.transform;
                 n = r.n;
                 coords;
                 values;

@@ -141,6 +141,50 @@ let test_backend_rel_l2_err () =
     true
     (e_hw > e_dflt && e_hw < 5e-2)
 
+(* ------------------------------------------------------------------ *)
+(* Type-3 acceptance sweep: the scale/shift decomposition must honour
+   the same 10x contract at every tolerance, both families, 2D and 3D,
+   against the direct NuDFT type-3 oracle. *)
+
+let t3_rows = lazy (Acc.sweep_type3 ~seed:7 ())
+
+let test_type3_contract () =
+  let rows = Lazy.force t3_rows in
+  Alcotest.(check int) "type-3 grid: 2 families x 5 tols x 2 dims" 20
+    (List.length rows);
+  match Acc.failures rows with
+  | [] -> ()
+  | bad ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun r -> Buffer.add_string buf (Format.asprintf "%a@." Acc.pp_row r))
+        bad;
+      Alcotest.failf "%d/20 type-3 cells breach the %gx contract:\n%s"
+        (List.length bad) Acc.contract_slack (Buffer.contents buf)
+
+let test_type3_improves_with_tol () =
+  List.iter
+    (fun family ->
+      List.iter
+        (fun dims ->
+          let cell tol =
+            match
+              List.filter
+                (fun r ->
+                  r.Acc.family = family && r.Acc.tol = tol
+                  && r.Acc.dims = dims)
+                (Lazy.force t3_rows)
+            with
+            | [ r ] -> Acc.worst r
+            | _ -> Alcotest.fail "missing type-3 sweep cell"
+          in
+          let loose = cell 1e-2 and tight = cell 1e-6 in
+          if not (tight < loose) then
+            Alcotest.failf "type-3 %s %dD: err(1e-6)=%.3e >= err(1e-2)=%.3e"
+              (Window.family_name family) dims tight loose)
+        [ 2; 3 ])
+    [ Window.ES; Window.KB ]
+
 let () =
   Alcotest.run "accuracy"
     [ ("sweep",
@@ -152,6 +196,11 @@ let () =
            test_accuracy_improves_with_tol;
          Alcotest.test_case "derived geometry monotone in tol" `Slow
            test_derived_geometry_monotone ]);
+      ("type3",
+       [ Alcotest.test_case "10x contract holds on the type-3 grid" `Slow
+           test_type3_contract;
+         Alcotest.test_case "tighter tol buys type-3 accuracy" `Slow
+           test_type3_improves_with_tol ]);
       ("api",
        [ Alcotest.test_case "trajectory names roundtrip" `Quick
            test_traj_names_roundtrip;

@@ -210,6 +210,185 @@ let prop_phase_ramp mode name dims =
       else true)
 
 (* ------------------------------------------------------------------ *)
+(* Type-3 metamorphic properties. The scale/shift decomposition
+   ([Plan.make_type3]) is pure floating point, so it must be linear to
+   rounding; its adjoint is reached through the swapped plan
+   (A^H y = conj(B conj(y)) where B swaps sources and targets, since
+   A_{kj} = e^{i s_k . x_j} is symmetric in the two point sets); and on
+   integer lattice targets it must agree with the type-1 adjoint of the
+   same samples (same sum, two different factorizations). The qcheck
+   box property drives random source/target boxes — widths, centres and
+   aspect ratios — against the O(M_in M_out) NuDFT oracle under the
+   10x accuracy contract. *)
+
+module Plan = Nufft.Plan
+module Nudft = Nufft.Nudft
+module Transform = Nufft.Transform
+
+let t3_sizes = function 2 -> (60, 40) | _ -> (36, 24)
+
+let random_axes rng ~dims ~scale ~centre m =
+  Array.init dims (fun _ ->
+      Array.init m (fun _ ->
+          centre +. ((Random.State.float rng 2.0 -. 1.0) *. scale)))
+
+let conj_cvec v =
+  Cvec.init (Cvec.length v) (fun i -> C.conj (Cvec.get v i))
+
+let prop_t3_linearity dims =
+  let m_in, m_out = t3_sizes dims in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "type-3 linearity: %dD" dims)
+    ~count:5
+    QCheck.(
+      triple (int_range 0 100_000)
+        (float_range (-1.0) 1.0)
+        (float_range (-1.0) 1.0))
+    (fun (seed, a, b) ->
+      let rng = Random.State.make [| seed; dims; 0x7e |] in
+      let sources = random_axes rng ~dims ~scale:3.0 ~centre:0.0 m_in in
+      let targets = random_axes rng ~dims ~scale:10.0 ~centre:0.0 m_out in
+      let t3 =
+        Plan.make_type3 ~tol:1e-6 ~family:Numerics.Window.ES ~sources
+          ~targets ()
+      in
+      let x = random_cvec ~seed:(seed + 1) m_in
+      and y = random_cvec ~seed:(seed + 2) m_in in
+      let lhs = Plan.type3_exec t3 (lincomb a x b y) in
+      let rhs =
+        lincomb a (Plan.type3_exec t3 x) b (Plan.type3_exec t3 y)
+      in
+      let err = rel_err lhs rhs in
+      if err >= 1e-9 then
+        QCheck.Test.fail_reportf "type-3 nonlinear: err %.3e" err
+      else true)
+
+let prop_t3_adjointness dims =
+  let m_in, m_out = t3_sizes dims in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "type-3 adjointness: %dD" dims)
+    ~count:5
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; dims; 0x7f |] in
+      let sources = random_axes rng ~dims ~scale:3.0 ~centre:0.0 m_in in
+      let targets = random_axes rng ~dims ~scale:10.0 ~centre:0.0 m_out in
+      let tol = 1e-6 in
+      let fwd =
+        Plan.make_type3 ~tol ~family:Numerics.Window.ES ~sources ~targets ()
+      and swapped =
+        Plan.make_type3 ~tol ~family:Numerics.Window.ES ~sources:targets
+          ~targets:sources ()
+      in
+      let x = random_cvec ~seed:(seed + 3) m_in
+      and y = random_cvec ~seed:(seed + 4) m_out in
+      let ax = Plan.type3_exec fwd x in
+      let aty = conj_cvec (Plan.type3_exec swapped (conj_cvec y)) in
+      let lhs = Cvec.dot ax y and rhs = Cvec.dot x aty in
+      let err =
+        C.norm (C.sub lhs rhs) /. Float.max (C.norm lhs) (C.norm rhs)
+      in
+      (* both sides go through a NUFFT approximation, so the identity
+         holds to the accuracy contract, not machine precision *)
+      if err >= 100.0 *. tol then
+        QCheck.Test.fail_reportf "type-3 dot-test err %.3e" err
+      else true)
+
+let prop_t3_lattice_equals_type1 dims =
+  let n = if dims = 2 then 12 else 8 in
+  let m = if dims = 2 then 72 else 48 in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "type-3 on lattice targets = type-1 adjoint: %dD"
+             dims)
+    ~count:5
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; dims; 0x80 |] in
+      let omega =
+        random_axes rng ~dims ~scale:(Float.pi -. 1e-6) ~centre:0.0 m
+      in
+      let tol = 1e-6 in
+      let plan = Plan.make ~tol ~family:Numerics.Window.ES ~n () in
+      let values = random_cvec ~seed:(seed + 5) m in
+      let samples =
+        if dims = 2 then
+          Sample.of_omega_2d ~g:plan.Plan.g ~omega_x:omega.(0)
+            ~omega_y:omega.(1) ~values
+        else
+          Sample.of_omega_3d ~g:plan.Plan.g ~omega_x:omega.(0)
+            ~omega_y:omega.(1) ~omega_z:omega.(2) ~values
+      in
+      let type1 = Plan.adjoint plan samples in
+      let t3 =
+        Plan.make_type3 ~tol ~family:Numerics.Window.ES ~sources:omega
+          ~targets:(Op.lattice_targets ~dims ~n) ()
+      in
+      let type3 = Plan.type3_exec t3 values in
+      let err = rel_err type1 type3 in
+      if err >= 100.0 *. tol then
+        QCheck.Test.fail_reportf "lattice disagreement: err %.3e" err
+      else true)
+
+let prop_t3_random_box dims =
+  let m_in, m_out = t3_sizes dims in
+  let tol = 1e-4 in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "type-3 random box vs NuDFT: %dD" dims)
+    ~count:8
+    QCheck.(
+      pair (int_range 0 100_000)
+        (pair
+           (pair (float_range 0.5 4.0) (float_range (-5.0) 5.0))
+           (pair (float_range 2.0 16.0) (float_range (-20.0) 20.0))))
+    (fun (seed, ((xscale, x0), (sscale, s0))) ->
+      let rng = Random.State.make [| seed; dims; 0x81 |] in
+      let sources = random_axes rng ~dims ~scale:xscale ~centre:x0 m_in in
+      let targets = random_axes rng ~dims ~scale:sscale ~centre:s0 m_out in
+      let values = random_cvec ~seed:(seed + 6) m_in in
+      let t3 =
+        Plan.make_type3 ~tol ~family:Numerics.Window.ES ~sources ~targets ()
+      in
+      let fast = Plan.type3_exec t3 values in
+      let exact = Nudft.type3 ~sources ~targets ~values in
+      let err = Cvec.nrmsd ~reference:exact fast in
+      if err >= 10.0 *. tol then
+        QCheck.Test.fail_reportf
+          "box (xscale %.2f x0 %.2f sscale %.2f s0 %.2f): err %.3e beyond \
+           10x contract"
+          xscale x0 sscale s0 err
+      else true)
+
+(* Registry filtering: hardware-model backends declare type-1/2 only, so
+   they are invisible to a type-3 listing and refuse a type-3 context;
+   a type-1-built CPU operator refuses apply_type3. *)
+let test_t3_registry_filtering () =
+  let t3_2d = Op.names ~dims:2 ~transform:Transform.Type3 () in
+  Alcotest.(check bool) "serial serves type-3" true (List.mem "serial" t3_2d);
+  List.iter
+    (fun nm ->
+      Alcotest.(check bool) (nm ^ " hidden from type-3 listing") false
+        (List.mem nm t3_2d))
+    [ "jigsaw-2d"; "gpusim-slice"; "gpusim-binned" ];
+  let coords = Sample.random ~seed:3 ~dims:2 ~g:24 32 in
+  let ctx3 = Op.context ~transform:Transform.Type3 ~n:12 ~coords () in
+  (match Op.create "jigsaw-2d" ctx3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "jigsaw-2d accepted a type-3 context");
+  let op1 = Op.create "serial" (Op.context ~n:12 ~coords ()) in
+  match Op.apply_type3 op1 (random_cvec ~seed:4 32) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "type-1 operator accepted apply_type3"
+
+let t3_props =
+  List.concat_map
+    (fun dims ->
+      [ prop_t3_linearity dims;
+        prop_t3_adjointness dims;
+        prop_t3_lattice_equals_type1 dims;
+        prop_t3_random_box dims ])
+    [ 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
 
 let all_props =
   List.concat_map
@@ -227,4 +406,8 @@ let all_props =
 
 let () =
   Alcotest.run "conformance"
-    [ ("metamorphic", Qutil.to_alcotests all_props) ]
+    [ ("metamorphic", Qutil.to_alcotests all_props);
+      ( "type3",
+        Qutil.to_alcotests t3_props
+        @ [ Alcotest.test_case "registry filters by transform" `Quick
+              test_t3_registry_filtering ] ) ]

@@ -256,6 +256,7 @@ let test_determinism_stress () =
   in
   let req =
     { Svc.backend = "replay-parallel";
+      transform = Nufft.Transform.Type1;
       n;
       coords;
       values;

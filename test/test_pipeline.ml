@@ -57,6 +57,8 @@ let () =
           Cvec.create (n * n)
 
         let forward (_ : Cvec.t) : Sample.t = failwith "latch: forward unused"
+        let transforms = [ Nufft.Transform.Type1 ]
+        let type3 = None
         let stats () = st
       end in
       (module M : Op.NUFFT_OP))
@@ -250,13 +252,14 @@ let test_arena_bitwise_all_backends () =
     (fun backend ->
       let req =
         { Svc.backend;
+          transform = Nufft.Transform.Type1;
           n;
           coords;
           values;
           density = Some density;
           method_ = Svc.Adjoint;
-      tol = None;
-      family = None }
+          tol = None;
+          family = None }
       in
       let r1 = sok (Svc.submit svc req) in
       let r2 = sok (Svc.submit svc req) in
@@ -287,6 +290,7 @@ let test_steady_state_allocation () =
   let svc = Svc.create () in
   let req =
     { Svc.backend = "serial";
+      transform = Nufft.Transform.Type1;
       n;
       coords;
       values;
@@ -328,6 +332,7 @@ let test_warm_request_zero_plan_builds () =
   let svc = Svc.create () in
   let req coords =
     { Svc.backend = "slice";
+      transform = Nufft.Transform.Type1;
       n;
       coords;
       values;
@@ -356,6 +361,7 @@ let test_typed_errors () =
   let svc = Svc.create () in
   let base =
     { Svc.backend = "serial";
+      transform = Nufft.Transform.Type1;
       n;
       coords;
       values;
@@ -417,6 +423,7 @@ let test_cg_through_service () =
   let samples = Imaging.Recon.acquire_op op phantom in
   let req =
     { Svc.backend = "serial";
+      transform = Nufft.Transform.Type1;
       n;
       coords;
       values = samples.Sample.values;
@@ -438,6 +445,75 @@ let test_cg_through_service () =
   check_bitwise "service CG = direct CG" reference.Imaging.Cg.solution
     resp.Svc.image
 
+let test_type3_and_type2_through_service () =
+  let n = 16 in
+  let traj, coords = radial ~n in
+  let density = Trajectory.Radial.density_weights traj in
+  let values = values_for coords in
+  let m = Sample.length coords in
+  let svc = Svc.create () in
+  let base =
+    { Svc.backend = "serial";
+      transform = Nufft.Transform.Type1;
+      n;
+      coords;
+      values;
+      density = Some density;
+      method_ = Svc.Adjoint;
+      tol = Some 1e-5;
+      family = None }
+  in
+  (* Type-3 on the default lattice targets reproduces the type-1 adjoint
+     reconstruction to the plan tolerance (same sum, two different
+     factorizations). *)
+  let r1 = sok (Svc.submit svc base) in
+  let r3 =
+    sok (Svc.submit svc { base with Svc.transform = Nufft.Transform.Type3 })
+  in
+  Alcotest.(check int) "type-3 image length" (Cvec.length r1.Svc.image)
+    (Cvec.length r3.Svc.image);
+  let err = Cvec.nrmsd ~reference:r1.Svc.image r3.Svc.image in
+  Alcotest.(check bool)
+    (Printf.sprintf "type-3 = type-1 on the lattice (nrmsd %.2e)" err)
+    true (err < 1e-3);
+  (* Type-3 + CG is a typed error, not an escape. *)
+  (match
+     Svc.submit svc
+       { base with
+         Svc.transform = Nufft.Transform.Type3;
+         method_ = Svc.Cg 4 }
+   with
+  | Error (Svc.Invalid_request _) -> ()
+  | _ -> Alcotest.fail "type-3 cg accepted");
+  (* Type-2 forward projection: image in, m k-space samples out. *)
+  let image =
+    Cvec.init (n * n) (fun k ->
+        C.make
+          (0.02 *. float_of_int ((k mod 23) - 11))
+          (0.01 *. float_of_int ((k mod 7) - 3)))
+  in
+  let r2 =
+    sok
+      (Svc.submit svc
+         { base with
+           Svc.transform = Nufft.Transform.Type2;
+           values = image;
+           density = None })
+  in
+  Alcotest.(check int) "type-2 returns one value per sample" m
+    (Cvec.length r2.Svc.image);
+  Alcotest.(check int) "type-2 performs no iterations" 0 r2.Svc.iterations;
+  (* Type-2 with an image-length mismatch is a typed error. *)
+  match
+    Svc.submit svc
+      { base with
+        Svc.transform = Nufft.Transform.Type2;
+        values;
+        density = None }
+  with
+  | Error (Svc.Invalid_request _) -> ()
+  | _ -> Alcotest.fail "type-2 with k-space-length values accepted"
+
 let test_batch_overlap () =
   Atomic.set latch_entered 0;
   Atomic.set latch_peak 0;
@@ -452,13 +528,14 @@ let test_batch_overlap () =
       let svc = Svc.create ~pool () in
       let req =
         { Svc.backend = latch_name;
+          transform = Nufft.Transform.Type1;
           n;
           coords;
           values;
           density = None;
           method_ = Svc.Adjoint;
-      tol = None;
-      family = None }
+          tol = None;
+          family = None }
       in
       let t0 = Unix.gettimeofday () in
       let results = Svc.submit_batch svc [ req; req ] in
@@ -504,5 +581,7 @@ let () =
           Alcotest.test_case "typed errors" `Quick test_typed_errors;
           Alcotest.test_case "cg through the service" `Quick
             test_cg_through_service;
+          Alcotest.test_case "type-3 and type-2 requests" `Quick
+            test_type3_and_type2_through_service;
           Alcotest.test_case "batch overlap across the pool" `Quick
             test_batch_overlap ] ) ]

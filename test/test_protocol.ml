@@ -37,12 +37,16 @@ let gen_recon_request =
       oneofl
         [ None; Some Numerics.Window.KB; Some Numerics.Window.ES ]
     in
+    let* transform =
+      oneofl
+        Nufft.Transform.[ Type1; Type2; Type3 ]
+    in
     let* omega = array_repeat dims (gen_omega_axis m) in
     let* values = array_size (return (2 * m)) gen_float in
     let* density = opt (array_size (return m) gen_float) in
     return
-      { P.tenant; backend; n; dims; method_; tol; family; omega; values;
-        density })
+      { P.tenant; backend; transform; n; dims; method_; tol; family; omega;
+        values; density })
 
 let gen_request =
   QCheck.Gen.(
@@ -178,7 +182,8 @@ let prop_response_roundtrip =
 let test_every_byte_boundary () =
   let req =
     P.Recon
-      { P.tenant = "t"; backend = ""; n = 8; dims = 2; method_ = P.Adjoint;
+      { P.tenant = "t"; backend = ""; transform = Nufft.Transform.Type1;
+        n = 8; dims = 2; method_ = P.Adjoint;
         tol = Some 1e-6; family = Some Numerics.Window.ES;
         omega = [| [| 0.5; -1.0 |]; [| 1.5; -2.0 |] |];
         values = [| 1.0; 2.0; 3.0; 4.0 |]; density = None }
@@ -251,7 +256,8 @@ let test_oversized_strings_and_counts () =
      decoder with a typed Malformed *)
   let long = String.make 300 'a' in
   let req =
-    { P.tenant = long; backend = ""; n = 8; dims = 1; method_ = P.Adjoint;
+    { P.tenant = long; backend = ""; transform = Nufft.Transform.Type1;
+      n = 8; dims = 1; method_ = P.Adjoint;
       tol = None; family = None; omega = [| [| 0.0 |] |];
       values = [| 1.0; 0.0 |]; density = None }
   in
@@ -273,9 +279,52 @@ let test_oversized_strings_and_counts () =
   | Ok (Some f) -> expect_error "m over limit" (P.decode_request ~limits f)
   | _ -> Alcotest.fail "frame expected"
 
+let test_unknown_transform_code () =
+  (* The transform type rides one wire byte (after the family byte);
+     locate it by diffing two otherwise-identical requests, then verify
+     an out-of-range code is rejected with a typed Malformed rather than
+     silently defaulting. *)
+  let payload_of transform =
+    let bytes =
+      P.encode_request
+        (P.Recon
+           { P.tenant = "t"; backend = ""; transform; n = 8; dims = 1;
+             method_ = P.Adjoint; tol = None; family = None;
+             omega = [| [| 0.25 |] |]; values = [| 1.0; 0.0 |];
+             density = None })
+    in
+    String.sub bytes P.header_len (String.length bytes - P.header_len)
+  in
+  let p1 = payload_of Nufft.Transform.Type1 in
+  let p3 = payload_of Nufft.Transform.Type3 in
+  check Alcotest.int "same payload length" (String.length p1)
+    (String.length p3);
+  let diffs = ref [] in
+  String.iteri (fun i c -> if c <> p3.[i] then diffs := i :: !diffs) p1;
+  match !diffs with
+  | [ i ] ->
+      let mutated = Bytes.of_string p1 in
+      Bytes.set mutated i '\xee';
+      expect_error "unknown transform code"
+        (P.decode_request { P.kind = 0x02; payload = Bytes.to_string mutated });
+      (* the legitimate codes still decode *)
+      List.iter
+        (fun t ->
+          match
+            P.decode_request { P.kind = 0x02; payload = payload_of t }
+          with
+          | Ok (P.Recon r) ->
+              checkb "transform code round-trips" true (r.P.transform = t)
+          | _ -> Alcotest.fail "valid transform rejected")
+        Nufft.Transform.[ Type1; Type2; Type3 ]
+  | l ->
+      Alcotest.failf "transform must occupy exactly one wire byte (%d differ)"
+        (List.length l)
+
 let test_truncated_and_trailing () =
   let req =
-    { P.tenant = "t"; backend = ""; n = 8; dims = 1; method_ = P.Cg 3;
+    { P.tenant = "t"; backend = ""; transform = Nufft.Transform.Type1;
+      n = 8; dims = 1; method_ = P.Cg 3;
       tol = None; family = None; omega = [| [| 1.0; 2.0 |] |];
       values = [| 1.0; 0.0; 2.0; 0.0 |]; density = None }
   in
@@ -298,7 +347,8 @@ let test_keepalive_no_state_leakage () =
   let reqs =
     [ P.Ping;
       P.Recon
-        { P.tenant = "a"; backend = "serial"; n = 16; dims = 2;
+        { P.tenant = "a"; backend = "serial"; transform = Nufft.Transform.Type1;
+          n = 16; dims = 2;
           method_ = P.Adjoint; tol = None; family = None;
           omega = [| [| 0.1; 0.2; 0.3 |]; [| -0.1; -0.2; -0.3 |] |];
           values = [| 1.; 0.; 2.; 0.; 3.; 0. |]; density = Some [| 1.; 1.; 1. |] };
@@ -362,7 +412,9 @@ let () =
           Alcotest.test_case "oversized strings/counts" `Quick
             test_oversized_strings_and_counts;
           Alcotest.test_case "truncated and trailing" `Quick
-            test_truncated_and_trailing ] );
+            test_truncated_and_trailing;
+          Alcotest.test_case "unknown transform code" `Quick
+            test_unknown_transform_code ] );
       ( "keep-alive",
         [ Alcotest.test_case "no state leakage" `Quick
             test_keepalive_no_state_leakage;

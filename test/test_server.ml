@@ -75,7 +75,8 @@ let latch_handler l _req =
   Ok dummy_response
 
 let tiny_recon ?(tenant = "t") ?(m = 4) () =
-  { P.tenant; backend = ""; n = 8; dims = 2; method_ = P.Adjoint; tol = None;
+  { P.tenant; backend = ""; transform = Nufft.Transform.Type1;
+    n = 8; dims = 2; method_ = P.Adjoint; tol = None;
     family = None;
     omega =
       [| Array.init m (fun j -> -3.0 +. (0.37 *. float_of_int j));
@@ -364,6 +365,21 @@ let test_end_to_end_recon () =
       (match call_recon port { req with dims = 3 } with
       | Ok (P.Err (P.Bad_request, _)) -> ()
       | _ -> Alcotest.fail "axis mismatch must be a typed Bad_request");
+      (* type-2 forward projections are not served over the wire (the
+         response frame carries one value per sample, not an image) *)
+      (match
+         call_recon port { req with transform = Nufft.Transform.Type2 }
+       with
+      | Ok (P.Err (P.Bad_request, _)) -> ()
+      | _ -> Alcotest.fail "wire type-2 must be a typed Bad_request");
+      (* type-3 reconstructs on the default lattice targets *)
+      (match
+         call_recon port { req with transform = Nufft.Transform.Type3 }
+       with
+      | Ok (P.Recon_ok resp) ->
+          checki "type-3 image length" (Array.length img1)
+            (Array.length resp.P.image)
+      | _ -> Alcotest.fail "wire type-3 recon failed");
       (* every arena came back, and stays back across a GC *)
       Gc.full_major ();
       let ws = Pipeline.Workspace.stats (Serving.Tenants.workspace (S.tenants t)) in

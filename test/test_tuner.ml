@@ -1,0 +1,145 @@
+(* Auto-tuner unit tests: JIGSAW_TUNE parsing (re-read on every call),
+   the Off mode's bit-identical passthrough (no trials, no cache
+   writes), forced engines, the Auto path's self-consistency (the cached
+   winner is the argmax of its own trials; a second sight of the key is
+   a cache hit, not a re-trial), and the shape-key bucketing (jitter
+   within a power-of-two sample band shares a key; crossing the band or
+   changing n re-tunes). [Unix.putenv] mutates this process's
+   environment, so every mode change is scoped with a restore. *)
+
+module Tuner = Nufft.Tuner
+module Sample = Nufft.Sample
+
+let with_env v f =
+  let old = Option.value (Sys.getenv_opt "JIGSAW_TUNE") ~default:"auto" in
+  Unix.putenv "JIGSAW_TUNE" v;
+  Fun.protect ~finally:(fun () -> Unix.putenv "JIGSAW_TUNE" old) f
+
+let coords_for ?(seed = 5) ~g m = Sample.random_2d ~seed ~g m
+
+let test_mode_parsing () =
+  Alcotest.(check bool) "default is auto" true (Tuner.mode () = Tuner.Auto);
+  with_env "auto" (fun () ->
+      Alcotest.(check bool) "auto" true (Tuner.mode () = Tuner.Auto));
+  List.iter
+    (fun v ->
+      with_env v (fun () ->
+          Alcotest.(check bool) (v ^ " disables") true
+            (Tuner.mode () = Tuner.Off)))
+    [ "off"; "0"; "false" ];
+  with_env "slice" (fun () ->
+      Alcotest.(check bool) "forced engine" true
+        (Tuner.mode () = Tuner.Forced "slice");
+      Alcotest.(check string) "forced mode_name" "slice" (Tuner.mode_name ()));
+  with_env "off" (fun () ->
+      Alcotest.(check string) "off mode_name" "off" (Tuner.mode_name ()))
+
+let test_off_is_passthrough () =
+  with_env "off" (fun () ->
+      Tuner.reset ();
+      let coords = coords_for ~g:32 300 in
+      let got =
+        Tuner.resolve ~default:"serial" ~n:16 ~coords ()
+      in
+      Alcotest.(check string) "off returns the default untouched" "serial"
+        got;
+      Alcotest.(check int) "off never populates the cache" 0 (Tuner.size ()))
+
+let test_forced_engine () =
+  with_env "replay-simd" (fun () ->
+      Tuner.reset ();
+      let coords = coords_for ~g:32 300 in
+      let got = Tuner.resolve ~default:"serial" ~n:16 ~coords () in
+      Alcotest.(check string) "forced name wins over default" "replay-simd"
+        got;
+      Alcotest.(check int) "forced never populates the cache" 0
+        (Tuner.size ()))
+
+let test_auto_argmax_and_hit () =
+  with_env "auto" (fun () ->
+      Tuner.reset ();
+      Telemetry.reset ();
+      Telemetry.set_enabled true;
+      Fun.protect
+        ~finally:(fun () -> Telemetry.set_enabled false)
+        (fun () ->
+          let c_trial = Telemetry.Counter.make "tuner.trial"
+          and c_hit = Telemetry.Counter.make "tuner.hit" in
+          let coords = coords_for ~g:32 300 in
+          let c = Tuner.choose ~n:16 ~coords () in
+          Alcotest.(check bool) "trials were measured" true
+            (Telemetry.Counter.value c_trial > 0);
+          Alcotest.(check bool) "at least the two serial candidates" true
+            (List.length c.Tuner.trials >= 2);
+          let best =
+            List.fold_left
+              (fun acc (t : Tuner.trial) ->
+                if t.Tuner.samples_per_sec > acc.Tuner.samples_per_sec then t
+                else acc)
+              (List.hd c.Tuner.trials) c.Tuner.trials
+          in
+          Alcotest.(check string) "winner is the argmax of its own trials"
+            best.Tuner.engine c.Tuner.backend;
+          Alcotest.(check bool) "winner throughput is positive" true
+            (c.Tuner.sps > 0.0);
+          Alcotest.(check int) "one cached key" 1 (Tuner.size ());
+          let trials_before = Telemetry.Counter.value c_trial in
+          let c2 = Tuner.choose ~n:16 ~coords () in
+          Alcotest.(check string) "same key returns the cached winner"
+            c.Tuner.backend c2.Tuner.backend;
+          Alcotest.(check int) "no re-trial on a hit" trials_before
+            (Telemetry.Counter.value c_trial);
+          Alcotest.(check bool) "hit counter ticked" true
+            (Telemetry.Counter.value c_hit > 0);
+          let resolved = Tuner.resolve ~default:"serial" ~n:16 ~coords () in
+          Alcotest.(check string) "resolve returns the cached winner"
+            c.Tuner.backend resolved))
+
+let test_key_bucketing () =
+  (* Direct key algebra. *)
+  let k = Tuner.key_of ~dims:2 ~n:16 ~tol:None ~m:1024 ~domains:0 in
+  Alcotest.(check int) "no tol -> bucket 0" 0 k.Tuner.tol_bucket;
+  Alcotest.(check int) "m=1024 -> band 10" 10 k.Tuner.m_bucket;
+  let k4 = Tuner.key_of ~dims:2 ~n:16 ~tol:(Some 1e-4) ~m:1024 ~domains:0 in
+  Alcotest.(check int) "tol 1e-4 -> bucket -4" (-4) k4.Tuner.tol_bucket;
+  Alcotest.(check bool) "same band, same key" true
+    (Tuner.key_of ~dims:2 ~n:16 ~tol:None ~m:700 ~domains:0
+    = Tuner.key_of ~dims:2 ~n:16 ~tol:None ~m:1000 ~domains:0);
+  Alcotest.(check bool) "crossing the band re-keys" false
+    (Tuner.key_of ~dims:2 ~n:16 ~tol:None ~m:300 ~domains:0
+    = Tuner.key_of ~dims:2 ~n:16 ~tol:None ~m:700 ~domains:0);
+  (* And through the cache: jitter within the band shares the entry. *)
+  with_env "auto" (fun () ->
+      Tuner.reset ();
+      ignore (Tuner.choose ~n:16 ~coords:(coords_for ~g:32 700) ());
+      ignore (Tuner.choose ~n:16 ~coords:(coords_for ~seed:6 ~g:32 1000) ());
+      Alcotest.(check int) "one key for one band" 1 (Tuner.size ());
+      ignore (Tuner.choose ~n:16 ~coords:(coords_for ~g:32 300) ());
+      Alcotest.(check int) "new band, new key" 2 (Tuner.size ()))
+
+let test_candidates_without_pool () =
+  let names = Tuner.candidate_names () in
+  Alcotest.(check bool) "serial always a candidate" true
+    (List.mem "serial" names);
+  Alcotest.(check bool) "compiled replay always a candidate" true
+    (List.mem "slice" names);
+  List.iter
+    (fun nm ->
+      Alcotest.(check bool) (nm ^ " needs a pool") false (List.mem nm names))
+    [ "slice-parallel"; "replay-parallel" ];
+  Alcotest.(check bool) "simd candidate tracks the dispatcher" true
+    (List.mem "replay-simd" names = Simd.enabled ())
+
+let () =
+  Alcotest.run "tuner"
+    [ ("mode",
+       [ Alcotest.test_case "JIGSAW_TUNE parsing" `Quick test_mode_parsing;
+         Alcotest.test_case "off is passthrough" `Quick
+           test_off_is_passthrough;
+         Alcotest.test_case "forced engine" `Quick test_forced_engine ]);
+      ("auto",
+       [ Alcotest.test_case "argmax winner, cached on repeat" `Quick
+           test_auto_argmax_and_hit;
+         Alcotest.test_case "shape-key bucketing" `Quick test_key_bucketing;
+         Alcotest.test_case "candidate set without a pool" `Quick
+           test_candidates_without_pool ]) ]
